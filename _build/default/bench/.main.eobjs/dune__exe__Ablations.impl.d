@@ -1,0 +1,1 @@
+bench/ablations.ml: Bastion Kernel List Machine Printf Sil Workloads

@@ -1,0 +1,1 @@
+bench/figure3.ml: Lazy List Paper_data Printf Report Results Workloads

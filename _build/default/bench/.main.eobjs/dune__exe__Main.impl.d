@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Figure3 List Micro Printf Stats9 String Sys Table4 Table5 Table6 Table7

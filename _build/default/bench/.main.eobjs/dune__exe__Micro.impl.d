@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Attacks Bastion Bechamel Benchmark Hashtbl Int64 Kernel List Machine Measure Printf Report Sil Staged Test Time Toolkit Workloads

@@ -1,0 +1,1 @@
+bench/results.ml: Lazy List Workloads

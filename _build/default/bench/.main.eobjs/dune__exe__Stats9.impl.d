@@ -1,0 +1,1 @@
+bench/stats9.ml: Attacks Bastion Kernel Lazy List Paper_data Printf Report Results Workloads

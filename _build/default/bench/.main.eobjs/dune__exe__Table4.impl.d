@@ -1,0 +1,1 @@
+bench/table4.ml: Kernel List Paper_data Printf Report Workloads

@@ -1,0 +1,1 @@
+bench/table5.ml: Bastion List Paper_data Printf Report Workloads

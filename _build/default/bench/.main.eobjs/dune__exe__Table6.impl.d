@@ -1,0 +1,1 @@
+bench/table6.ml: Attacks List Printf Report

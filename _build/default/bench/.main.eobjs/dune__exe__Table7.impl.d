@@ -1,0 +1,1 @@
+bench/table7.ml: Bastion Lazy List Paper_data Printf Report Results Workloads

@@ -1,0 +1,64 @@
+(* Figure 3: performance overhead of LLVM CFI, CET and the cumulative
+   BASTION contexts for NGINX, SQLite and vsftpd, versus the unprotected
+   baseline.  Table 3 prints the raw numbers the percentages come from. *)
+
+module D = Workloads.Drivers
+
+let defense_rows =
+  [ D.Llvm_cfi; D.Cet_only; D.Bastion_ct; D.Bastion_ct_cf; D.Bastion_full ]
+
+let run () =
+  let results = Lazy.force Results.main_results in
+  print_endline "== Figure 3: performance overhead (%) vs unprotected baseline ==";
+  print_endline "   (paper values in parentheses)";
+  let header = "Configuration" :: List.map (fun (r : Results.app_results) -> r.app.app_name) results in
+  let rows =
+    List.map
+      (fun d ->
+        let name = D.defense_name d in
+        let paper = List.assoc name Paper_data.figure3 in
+        D.defense_name d
+        :: List.map2
+             (fun (r : Results.app_results) p ->
+               Printf.sprintf "%5.2f%% (%.2f%%)" (Results.overhead r (Results.find r d)) p)
+             results paper)
+      defense_rows
+  in
+  Report.Table.print ~align:[ Report.Table.L; R; R; R ] ~header rows;
+  print_newline ();
+  (* The figure itself: grouped bars per application. *)
+  Report.Barchart.print ~unit_:"%"
+    (List.map
+       (fun (r : Results.app_results) ->
+         ( r.app.app_name,
+           List.map
+             (fun d -> (D.defense_name d, Results.overhead r (Results.find r d)))
+             defense_rows ))
+       results);
+  print_endline "== Table 3: raw benchmark numbers per configuration ==";
+  print_endline "   NGINX: MB/sec; SQLite: NOTPM; vsftpd: ms/download (paper: sec/100MB)";
+  let rows =
+    List.map
+      (fun (d, paper_name) ->
+        let paper = List.assoc paper_name Paper_data.table3 in
+        paper_name
+        :: List.map2
+             (fun (r : Results.app_results) p ->
+               let v =
+                 match d with
+                 | None -> r.baseline.m_metric
+                 | Some d -> Results.metric_of r d
+               in
+               Printf.sprintf "%.2f (%.2f)" v p)
+             results paper)
+      [
+        (None, "Vanilla");
+        (Some D.Llvm_cfi, "LLVM CFI");
+        (Some D.Cet_only, "CET");
+        (Some D.Bastion_ct, "CET+CT");
+        (Some D.Bastion_ct_cf, "CET+CT+CF");
+        (Some D.Bastion_full, "CET+CT+CF+AI");
+      ]
+  in
+  Report.Table.print ~align:[ Report.Table.L; R; R; R ] ~header rows;
+  print_newline ()

@@ -1,0 +1,42 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Figure 3, Tables 3-7), the section-9.2
+   statistics, the ablation benches, and Bechamel micro-benchmarks.
+
+   Usage:  dune exec bench/main.exe [section ...]
+   Sections: figure3 table3 table4 table5 table6 table7 stats ablations
+             micro all (default: all) *)
+
+let sections =
+  [
+    ("figure3", fun () -> Figure3.run ());
+    ("table4", fun () -> Table4.run ());
+    ("table5", fun () -> Table5.run ());
+    ("table6", fun () -> Table6.run ());
+    ("table7", fun () -> Table7.run ());
+    ("stats", fun () -> Stats9.run ());
+    ("ablations", fun () -> Ablations.run ());
+    ("micro", fun () -> Micro.run ());
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let wanted =
+    match args with
+    | [] | [ "all" ] -> List.map fst sections
+    | args ->
+      (* table3 is printed together with figure3. *)
+      List.map (function "table3" -> "figure3" | s -> s) args
+  in
+  let wanted = List.sort_uniq compare wanted in
+  let unknown = List.filter (fun w -> not (List.mem_assoc w sections)) wanted in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown sections: %s\nknown: %s\n"
+      (String.concat ", " unknown)
+      (String.concat ", " (List.map fst sections));
+    exit 2
+  end;
+  let requested = List.filter (fun (name, _) -> List.mem name wanted) sections in
+  print_endline "BASTION reproduction benchmark harness";
+  print_endline "======================================";
+  Printf.printf "sections: %s\n\n" (String.concat ", " (List.map fst requested));
+  List.iter (fun (_, f) -> f ()) requested

@@ -1,0 +1,107 @@
+(* Bechamel micro-benchmarks: wall-clock cost of the real OCaml
+   implementation behind each reproduced experiment.
+
+   One Test.make per table/figure:
+   - figure3/full-check      the monitor work done per sensitive trap
+   - table4/machine-syscalls syscall dispatch through seccomp
+   - table5/compiler-pass    the whole BASTION compiler pass
+   - table6/attack-run       one attack evaluation under full BASTION
+   - table7/ptrace-fetch     the state-fetch step that dominates Table 7
+   - shadow/insert-lookup    shadow-memory operations (AI's hot path) *)
+
+open Bechamel
+
+let exec_prog () =
+  (* The small end-to-end fixture used across the test suite. *)
+  let pb = Sil.Builder.program () in
+  Kernel.Syscalls.declare_stubs pb;
+  let open Sil.Operand in
+  let fb = Sil.Builder.func pb "worker" ~params:[ ("n", Sil.Types.I64) ] in
+  Sil.Builder.call fb "mmap"
+    [ Null; Var (Sil.Builder.param fb 0); const 3; const 2; const (-1); const 0 ];
+  Sil.Builder.ret fb None;
+  Sil.Builder.seal fb;
+  let fb = Sil.Builder.func pb "main" ~params:[] in
+  Workloads.Appkit.counted_loop fb ~tag:"work" ~count:50 (fun fb ->
+      Sil.Builder.call fb "worker" [ const 4096 ]);
+  Sil.Builder.halt fb;
+  Sil.Builder.seal fb;
+  Sil.Builder.build pb ~entry:"main"
+
+let bench_full_check () =
+  let prog = exec_prog () in
+  let protected_prog = Bastion.Api.protect prog in
+  Staged.stage (fun () ->
+      let session = Bastion.Api.launch protected_prog () in
+      match Machine.run session.machine with
+      | Machine.Exited _ -> ()
+      | Machine.Faulted f -> failwith (Machine.fault_to_string f))
+
+let bench_syscall_dispatch () =
+  let prog = exec_prog () in
+  Staged.stage (fun () ->
+      let machine, process = Bastion.Api.launch_unprotected prog in
+      process.filter <- Some (Kernel.Seccomp.allowlist (List.map (fun (_, nr, _) -> nr) Kernel.Syscalls.table));
+      ignore (Machine.run machine))
+
+let bench_compiler_pass () =
+  let prog =
+    Workloads.Nginx_model.build { Workloads.Nginx_model.default with filler = false }
+  in
+  Staged.stage (fun () -> ignore (Bastion.Api.protect prog))
+
+let bench_attack_run () =
+  let attack = List.hd Attacks.Catalog.all in
+  Staged.stage (fun () -> ignore (Attacks.Runner.run attack Attacks.Runner.Full_bastion))
+
+let bench_ptrace_fetch () =
+  let prog = exec_prog () in
+  let machine = Machine.create prog in
+  let tracer = Kernel.Ptrace.create machine in
+  (* Give the tracer something to walk. *)
+  ignore (Machine.run machine);
+  Staged.stage (fun () ->
+      ignore (Kernel.Ptrace.getregs tracer);
+      ignore (Kernel.Ptrace.stack_trace tracer))
+
+let bench_shadow () =
+  let shadow = Bastion.Shadow_memory.create () in
+  let counter = ref 0L in
+  Staged.stage (fun () ->
+      counter := Int64.add !counter 8L;
+      Bastion.Shadow_memory.set_shadow shadow ~addr:!counter ~value:!counter;
+      ignore (Bastion.Shadow_memory.shadow shadow ~addr:!counter))
+
+let tests () =
+  Test.make_grouped ~name:"bastion"
+    [
+      Test.make ~name:"figure3/full-check" (bench_full_check ());
+      Test.make ~name:"table4/machine-syscalls" (bench_syscall_dispatch ());
+      Test.make ~name:"table5/compiler-pass" (bench_compiler_pass ());
+      Test.make ~name:"table6/attack-run" (bench_attack_run ());
+      Test.make ~name:"table7/ptrace-fetch" (bench_ptrace_fetch ());
+      Test.make ~name:"shadow/insert-lookup" (bench_shadow ());
+    ]
+
+let run () =
+  print_endline "== Bechamel micro-benchmarks (host wall-clock) ==";
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let est =
+        match Analyze.OLS.estimates result with
+        | Some (e :: _) -> Printf.sprintf "%12.1f ns/run" e
+        | Some [] | None -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Report.Table.print ~header:[ "benchmark"; "monotonic clock" ]
+    (List.sort compare !rows);
+  print_newline ()

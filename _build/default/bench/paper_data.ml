@@ -1,0 +1,81 @@
+(* Reference numbers from the paper, printed beside our measurements so
+   every table/figure reproduction is directly comparable. *)
+
+let apps = [ "NGINX"; "SQLite"; "vsftpd" ]
+
+(* Figure 3: overhead (%) per configuration, per app. *)
+let figure3 =
+  [
+    ("LLVM CFI", [ 0.06; 2.56; 1.72 ]);
+    ("CET", [ 0.07; 0.39; 0.18 ]);
+    ("CET+CT", [ 0.17; 0.92; 0.31 ]);
+    ("CET+CT+CF", [ 0.29; 1.48; 0.58 ]);
+    ("CET+CT+CF+AI", [ 0.60; 2.01; 1.65 ]);
+  ]
+
+(* Table 3: raw throughput per configuration. *)
+let table3 =
+  [
+    ("Vanilla", [ 110.61; 37107.41; 10.75 ]);
+    ("LLVM CFI", [ 110.54; 36156.15; 10.93 ]);
+    ("CET", [ 110.52; 36961.91; 10.77 ]);
+    ("CET+CT", [ 110.42; 36764.50; 10.79 ]);
+    ("CET+CT+CF", [ 110.28; 36560.02; 10.81 ]);
+    ("CET+CT+CF+AI", [ 109.94; 36360.85; 10.93 ]);
+  ]
+
+(* Table 4: sensitive syscall usage during benchmarking. *)
+let table4 : (string * int list) list =
+  [
+    ("execve", [ 0; 0; 0 ]);
+    ("execveat", [ 0; 0; 0 ]);
+    ("fork", [ 0; 0; 0 ]);
+    ("vfork", [ 0; 0; 0 ]);
+    ("clone", [ 96; 48; 36 ]);
+    ("ptrace", [ 0; 0; 0 ]);
+    ("mprotect", [ 334; 501; 7 ]);
+    ("mmap", [ 534; 42; 33 ]);
+    ("mremap", [ 0; 0; 0 ]);
+    ("remap_file_pages", [ 0; 0; 0 ]);
+    ("chmod", [ 0; 0; 0 ]);
+    ("setuid", [ 32; 0; 12 ]);
+    ("setgid", [ 32; 0; 12 ]);
+    ("setreuid", [ 0; 0; 0 ]);
+    ("socket", [ 32; 1; 85 ]);
+    ("connect", [ 32; 0; 8 ]);
+    ("bind", [ 1; 1; 77 ]);
+    ("listen", [ 2; 1; 77 ]);
+    ("accept", [ 0; 11; 87 ]);
+    ("accept4", [ 5665; 0; 0 ]);
+  ]
+
+let table4_totals = [ 6713; 557; 433 ]
+
+(* Table 5: instrumentation statistics. *)
+let table5 =
+  [
+    ("Total # application callsites", [ 7017; 12253; 4695 ]);
+    ("Total # arbitrary direct callsites", [ 6692; 12026; 4688 ]);
+    ("Total # arbitrary in-direct callsites", [ 325; 227; 7 ]);
+    ("Total # sensitive callsites", [ 26; 13; 12 ]);
+    ("Total # sensitive syscalls called indirectly", [ 0; 0; 0 ]);
+    ("ctx_write_mem()", [ 5226; 1337; 204 ]);
+    ("ctx_bind_mem()", [ 43; 18; 33 ]);
+    ("ctx_bind_const()", [ 18; 13; 9 ]);
+    ("Total instrumentation sites", [ 5287; 1368; 246 ]);
+  ]
+
+(* Table 7: filesystem-extension rows — (runtime, overhead %) per app. *)
+let table7 =
+  [
+    ("seccomp hook only", [ (110.41, 0.15); (36993.27, 0.29); (10.76, 0.08) ]);
+    ("fetch process state", [ (4.56, 95.88); (7461.18, 79.89); (10.95, 1.85) ]);
+    ("full context checking", [ (3.65, 96.70); (7419.50, 80.00); (11.01, 2.41) ]);
+  ]
+
+(* §9.2 prose numbers. *)
+let nginx_monitor_init_ms = 21.0
+let nginx_depth = (4, 5.2, 9)
+
+(* §9.2 comparison to related defenses. *)
+let related_overheads = [ ("uCFI", 7.88); ("OS-CFI", 7.6); ("OAT", 2.7) ]

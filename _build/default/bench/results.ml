@@ -1,0 +1,27 @@
+(* Shared measurement collection: Figure 3 / Table 3 / Table 7 reuse the
+   same runs, so they are collected once per bench invocation. *)
+
+module D = Workloads.Drivers
+
+let apps () = [ D.nginx (); D.sqlite (); D.vsftpd () ]
+
+type app_results = {
+  app : D.app;
+  baseline : D.measurement;
+  by_defense : (D.defense * D.measurement) list;
+}
+
+let overhead (r : app_results) (m : D.measurement) =
+  D.overhead_pct ~baseline:r.baseline m ~higher_is_better:r.app.higher_is_better
+
+let collect_app ?(defenses = List.tl D.figure3_defenses @ D.table7_defenses) (app : D.app)
+    : app_results =
+  let baseline = D.run app D.Vanilla in
+  let by_defense = List.map (fun d -> (d, D.run app d)) defenses in
+  { app; baseline; by_defense }
+
+let main_results : app_results list Lazy.t = lazy (List.map collect_app (apps ()))
+
+let find (r : app_results) (d : D.defense) = List.assoc d r.by_defense
+
+let metric_of (r : app_results) (d : D.defense) = (find r d).m_metric

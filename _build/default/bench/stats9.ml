@@ -1,0 +1,52 @@
+(* §9.2 prose statistics: monitor initialisation cost and NGINX
+   call-depth distribution at sensitive syscall traps. *)
+
+(* Empirical syscall danger ranking from the attack catalog (§11.3). *)
+let risk_ranking () =
+  print_endline "== Empirical syscall danger ranking (§11.3, from the attack catalog) ==";
+  Report.Table.print
+    ~align:[ Report.Table.L; L; R; R ]
+    ~header:[ "syscall"; "category"; "#attacks"; "score" ]
+    (List.map
+       (fun (e : Attacks.Risk.entry) ->
+         [
+           e.r_name;
+           Kernel.Syscalls.category_name e.r_category;
+           string_of_int e.r_attacks;
+           Printf.sprintf "%.1f" e.r_score;
+         ])
+       (Attacks.Risk.rank ()));
+  print_newline ()
+
+let run () =
+  let results = Lazy.force Results.main_results in
+  print_endline "== Section 9.2 statistics ==";
+  List.iter
+    (fun (r : Results.app_results) ->
+      let m = Results.find r Workloads.Drivers.Bastion_full in
+      let init_ms =
+        float_of_int m.m_monitor_init_cycles
+        /. Workloads.Drivers_config.cycles_per_second *. 1000.0
+      in
+      Printf.printf "%-8s monitor init: %.3f ms (paper: ~%.0f ms for NGINX)\n"
+        r.app.app_name init_ms Paper_data.nginx_monitor_init_ms;
+      match m.m_monitor with
+      | Some monitor -> (
+        match Bastion.Monitor.depth_stats monitor with
+        | Some (dmin, davg, dmax) ->
+          let pmin, pavg, pmax = Paper_data.nginx_depth in
+          Printf.printf
+            "%-8s call depth at traps: min %d avg %.1f max %d (paper NGINX: min %d avg %.1f max %d)\n"
+            r.app.app_name dmin davg dmax pmin pavg pmax
+        | None -> ())
+      | None -> ())
+    results;
+  print_endline "\nComparison points the paper quotes (full-protection overhead):";
+  List.iter
+    (fun (name, ovh) -> Printf.printf "  %-8s %.2f%%\n" name ovh)
+    Paper_data.related_overheads;
+  let nginx = List.hd results in
+  Printf.printf "  Bastion  %.2f%% (NGINX, this reproduction)\n\n"
+    (Results.overhead nginx (Results.find nginx Workloads.Drivers.Bastion_full));
+  risk_ranking ()
+

@@ -1,0 +1,38 @@
+(* Table 4: sensitive system-call usage during benchmarking, at the
+   paper's run scale (5,665 NGINX connections, 501 SQLite runtime
+   mprotects, the vsftpd FTP session mix). *)
+
+module D = Workloads.Drivers
+
+let paper_apps () =
+  [
+    D.nginx ~params:{ Workloads.Nginx_model.paper_scale with filler = false } ();
+    D.sqlite ~params:{ Workloads.Sqlite_model.paper_scale with filler = false } ();
+    D.vsftpd ~params:{ Workloads.Vsftpd_model.paper_scale with filler = false } ();
+  ]
+
+let run () =
+  print_endline "== Table 4: sensitive syscall usage from benchmarking ==";
+  print_endline "   measured (paper)";
+  let measurements = List.map (fun app -> D.run app D.Bastion_full) (paper_apps ()) in
+  let count (m : D.measurement) name =
+    Kernel.Process.syscall_count m.m_process (Kernel.Syscalls.number name)
+  in
+  let header = [ "System call"; "NGINX"; "SQLite"; "vsFTPd" ] in
+  let rows =
+    List.map
+      (fun (name, paper) ->
+        name
+        :: List.map2
+             (fun m p -> Printf.sprintf "%d (%d)" (count m name) p)
+             measurements paper)
+      Paper_data.table4
+  in
+  let totals =
+    "Total Bastion monitor hook"
+    :: List.map2
+         (fun (m : D.measurement) p -> Printf.sprintf "%d (%d)" m.m_traps p)
+         measurements Paper_data.table4_totals
+  in
+  Report.Table.print ~align:[ Report.Table.L; R; R; R ] ~header (rows @ [ totals ]);
+  print_newline ()

@@ -1,0 +1,38 @@
+(* Table 7: extending BASTION to filesystem syscalls (§11.2), broken
+   into the three cost checkpoints: seccomp hook only, + fetching the
+   process state over ptrace, + full context checking.  Fetching state
+   dominates — which motivates the in-kernel-monitor what-if reported
+   by the ablations section. *)
+
+module D = Workloads.Drivers
+
+let rows =
+  [
+    (D.Bastion_fs Bastion.Monitor.Fs_hook_only, "seccomp hook only");
+    (D.Bastion_fs Bastion.Monitor.Fs_fetch_only, "fetch process state");
+    (D.Bastion_fs Bastion.Monitor.Fs_full, "full context checking");
+  ]
+
+let run () =
+  let results = Lazy.force Results.main_results in
+  print_endline "== Table 7: overhead with file-system syscalls protected ==";
+  print_endline "   measured metric, overhead% (paper metric, paper overhead%)";
+  let header =
+    "Bastion + fs syscalls"
+    :: List.map (fun (r : Results.app_results) -> r.app.app_name) results
+  in
+  let body =
+    List.map
+      (fun (d, label) ->
+        let paper = List.assoc label Paper_data.table7 in
+        label
+        :: List.map2
+             (fun (r : Results.app_results) (p_metric, p_ovh) ->
+               let m = Results.find r d in
+               Printf.sprintf "%.2f, %.2f%% (%.2f, %.2f%%)" m.m_metric
+                 (Results.overhead r m) p_metric p_ovh)
+             results paper)
+      rows
+  in
+  Report.Table.print ~align:[ Report.Table.L; R; R; R ] ~header body;
+  print_newline ()

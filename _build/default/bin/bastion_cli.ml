@@ -1,0 +1,223 @@
+(* The bastion command-line interface.
+
+     bastion analyze --app nginx [--fs] [--dump-ir]
+         run the BASTION compiler pass over an application model and
+         print its call-type classification and instrumentation stats
+
+     bastion run --app nginx --defense full
+         run a workload under a defense configuration and report the
+         paper's metric plus overhead vs the unprotected baseline
+
+     bastion attack --id coop-chrome [--config ai]
+     bastion attack --all
+         run attacks from the Table 6 catalog under chosen contexts
+
+     bastion list
+         list applications, defenses and attacks *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log every monitor trap decision.")
+
+(* --- shared argument parsers ----------------------------------------- *)
+
+let app_names = [ "nginx"; "sqlite"; "vsftpd" ]
+
+let app_of_name = function
+  | "nginx" -> Workloads.Drivers.nginx ()
+  | "sqlite" -> Workloads.Drivers.sqlite ()
+  | "vsftpd" -> Workloads.Drivers.vsftpd ()
+  | s -> invalid_arg ("unknown app: " ^ s)
+
+let prog_of_name = function
+  | "nginx" -> Workloads.Nginx_model.build Workloads.Nginx_model.default
+  | "sqlite" -> Workloads.Sqlite_model.build Workloads.Sqlite_model.default
+  | "vsftpd" -> Workloads.Vsftpd_model.build Workloads.Vsftpd_model.default
+  | s -> invalid_arg ("unknown app: " ^ s)
+
+let app_arg =
+  Arg.(
+    required
+    & opt (some (enum (List.map (fun a -> (a, a)) app_names))) None
+    & info [ "app" ] ~docv:"APP" ~doc:"Application model (nginx, sqlite, vsftpd).")
+
+let defenses =
+  [
+    ("vanilla", Workloads.Drivers.Vanilla);
+    ("cfi", Workloads.Drivers.Llvm_cfi);
+    ("cet", Workloads.Drivers.Cet_only);
+    ("ct", Workloads.Drivers.Bastion_ct);
+    ("ct-cf", Workloads.Drivers.Bastion_ct_cf);
+    ("full", Workloads.Drivers.Bastion_full);
+    ("fs-hook", Workloads.Drivers.Bastion_fs Bastion.Monitor.Fs_hook_only);
+    ("fs-fetch", Workloads.Drivers.Bastion_fs Bastion.Monitor.Fs_fetch_only);
+    ("fs-full", Workloads.Drivers.Bastion_fs Bastion.Monitor.Fs_full);
+  ]
+
+(* --- analyze ---------------------------------------------------------- *)
+
+let analyze verbose app fs dump_ir emit_metadata =
+  setup_logs verbose;
+  let prog = prog_of_name app in
+  if dump_ir then print_endline (Sil.Pp.prog_to_string prog);
+  let protected_prog = Bastion.Api.protect ~protect_filesystem:fs prog in
+  (match emit_metadata with
+  | Some file ->
+    Bastion.Metadata_io.save protected_prog ~file;
+    Printf.printf "metadata written to %s\n" file
+  | None -> ());
+  let s = Bastion.Api.stats protected_prog in
+  Printf.printf "BASTION compiler pass over %s%s\n" app
+    (if fs then " (+ filesystem syscalls)" else "");
+  Printf.printf "  application callsites     : %d (%d indirect)\n" s.total_callsites
+    s.indirect_callsites;
+  Printf.printf "  sensitive callsites       : %d\n" s.sensitive_callsites;
+  Printf.printf "  sensitive called indirect : %d\n" s.sensitive_indirect;
+  Printf.printf "  ctx_write_mem sites       : %d\n" s.write_mem_sites;
+  Printf.printf "  ctx_bind_mem sites        : %d\n" s.bind_mem_sites;
+  Printf.printf "  ctx_bind_const sites      : %d\n" s.bind_const_sites;
+  print_endline "\nCall-type classification of syscalls used by the program:";
+  List.iter
+    (fun (name, nr, _) ->
+      let ct = Bastion.Calltype.call_type protected_prog.calltype nr in
+      if ct.directly || ct.indirectly then
+        Printf.printf "  %-18s %s%s\n" name
+          (if ct.directly then "direct " else "")
+          (if ct.indirectly then "indirect" else ""))
+    Kernel.Syscalls.table;
+  `Ok ()
+
+let analyze_cmd =
+  let fs =
+    Arg.(value & flag & info [ "fs" ] ~doc:"Extend the sensitive set with filesystem syscalls (§11.2).")
+  in
+  let dump = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the program IR first.") in
+  let emit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-metadata" ] ~docv:"FILE"
+          ~doc:"Write the compiler-generated context metadata to FILE (the \
+                file the monitor would load at startup).")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Run the BASTION compiler pass over an application model")
+    Term.(ret (const analyze $ verbose_arg $ app_arg $ fs $ dump $ emit))
+
+(* --- run -------------------------------------------------------------- *)
+
+let run_workload verbose app defense =
+  setup_logs verbose;
+  let a = app_of_name app in
+  let baseline = Workloads.Drivers.run a Workloads.Drivers.Vanilla in
+  let m = Workloads.Drivers.run a defense in
+  Printf.printf "%s under %s\n" a.app_name (Workloads.Drivers.defense_name defense);
+  Printf.printf "  metric    : %.2f %s (baseline %.2f)\n" m.m_metric a.metric_name
+    baseline.m_metric;
+  Printf.printf "  overhead  : %.2f%%\n"
+    (Workloads.Drivers.overhead_pct ~baseline m ~higher_is_better:a.higher_is_better);
+  Printf.printf "  traps     : %d, syscalls: %d, cycles: %d\n" m.m_traps m.m_syscalls
+    m.m_cycles;
+  `Ok ()
+
+let run_cmd =
+  let defense =
+    Arg.(
+      value
+      & opt (enum defenses) Workloads.Drivers.Bastion_full
+      & info [ "defense" ] ~docv:"DEFENSE"
+          ~doc:"One of: vanilla, cfi, cet, ct, ct-cf, full, fs-hook, fs-fetch, fs-full.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a workload under a defense configuration")
+    Term.(ret (const run_workload $ verbose_arg $ app_arg $ defense))
+
+(* --- attack ----------------------------------------------------------- *)
+
+let attack_configs =
+  [
+    ("none", Attacks.Runner.Undefended);
+    ("ct", Attacks.Runner.Only_ct);
+    ("cf", Attacks.Runner.Only_cf);
+    ("ai", Attacks.Runner.Only_ai);
+    ("full", Attacks.Runner.Full_bastion);
+  ]
+
+let run_attack verbose id all config =
+  setup_logs verbose;
+  let chosen =
+    if all then Attacks.Catalog.all
+    else
+      match id with
+      | Some id ->
+        List.filter (fun (a : Attacks.Attack.t) -> String.equal a.a_id id) Attacks.Catalog.all
+      | None -> []
+  in
+  if chosen = [] then
+    `Error (false, "no attack selected; use --id ID or --all (see `bastion list`)")
+  else begin
+    List.iter
+      (fun (attack : Attacks.Attack.t) ->
+        match config with
+        | Some config ->
+          let outcome = Attacks.Runner.run attack config in
+          Printf.printf "%-22s %-10s %s\n" attack.a_id
+            (Attacks.Runner.config_name config)
+            (Attacks.Runner.outcome_name outcome)
+        | None ->
+          let row = Attacks.Runner.evaluate attack in
+          let f o = match o with
+            | Attacks.Runner.Blocked _ -> "blocked"
+            | Attacks.Runner.Succeeded -> "SUCCEEDED"
+            | Attacks.Runner.Inert -> "inert"
+          in
+          Printf.printf "%-22s undef=%s ct=%s cf=%s ai=%s full=%s %s\n" attack.a_id
+            (f row.r_undefended) (f row.r_ct) (f row.r_cf) (f row.r_ai) (f row.r_full)
+            (if Attacks.Runner.matches_expectation row then "(matches Table 6)"
+             else "(MISMATCH vs Table 6)"))
+      chosen;
+    `Ok ()
+  end
+
+let attack_cmd =
+  let id =
+    Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID" ~doc:"Attack id.")
+  in
+  let all = Arg.(value & flag & info [ "all" ] ~doc:"Run the whole catalog.") in
+  let config =
+    Arg.(
+      value
+      & opt (some (enum attack_configs)) None
+      & info [ "config" ] ~docv:"CONFIG"
+          ~doc:"Run under one configuration only (none, ct, cf, ai, full); default: all five.")
+  in
+  Cmd.v (Cmd.info "attack" ~doc:"Run attacks from the Table 6 catalog")
+    Term.(ret (const run_attack $ verbose_arg $ id $ all $ config))
+
+(* --- list ------------------------------------------------------------- *)
+
+let list_all () =
+  print_endline "applications:";
+  List.iter (Printf.printf "  %s\n") app_names;
+  print_endline "defenses:";
+  List.iter (fun (n, _) -> Printf.printf "  %s\n" n) defenses;
+  Printf.printf "attacks (%d):\n" Attacks.Catalog.count;
+  List.iter
+    (fun (a : Attacks.Attack.t) ->
+      Printf.printf "  %-22s %-8s %s\n" a.a_id a.a_category a.a_name)
+    Attacks.Catalog.all;
+  `Ok ()
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List applications, defenses and attacks")
+    Term.(ret (const list_all $ const ()))
+
+(* --- main ------------------------------------------------------------- *)
+
+let () =
+  let doc = "BASTION system-call integrity — OCaml reproduction" in
+  let info = Cmd.info "bastion" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ analyze_cmd; run_cmd; attack_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/attack_gallery.ml: Array Attacks List Printf Sys

@@ -1,0 +1,1 @@
+examples/custom_policy.ml: Attacks Bastion Machine Printf Sil String Workloads

@@ -1,0 +1,1 @@
+examples/metadata_workflow.ml: Bastion Filename List Machine Printf Sil String Sys Workloads

@@ -1,0 +1,1 @@
+examples/metadata_workflow.mli:

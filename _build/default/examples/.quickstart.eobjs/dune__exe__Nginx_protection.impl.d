@@ -1,0 +1,1 @@
+examples/nginx_protection.ml: Bastion Kernel List Machine Printf Sil Workloads

@@ -1,0 +1,1 @@
+examples/nginx_protection.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attacks Bastion Kernel List Machine Option Printf Sil String

@@ -1,0 +1,76 @@
+(* The compile-once / deploy-anywhere workflow of Figure 1:
+
+   1. BUILD MACHINE: the BASTION compiler pass analyses the program,
+      instruments it, and emits a metadata file next to the binary.
+   2. DEPLOY MACHINE: the monitor loads the binary + metadata, installs
+      the seccomp filter and starts enforcing — no re-analysis.
+
+   Run with:  dune exec examples/metadata_workflow.exe *)
+
+let () =
+  (* --- build side ---------------------------------------------------- *)
+  print_endline "[build] running the BASTION compiler pass over vsftpd...";
+  let params = { Workloads.Vsftpd_model.default with filler = false } in
+  let prog = Workloads.Vsftpd_model.build params in
+  let protected_prog = Bastion.Api.protect prog in
+  let file = Filename.temp_file "vsftpd" ".bastion-meta" in
+  Bastion.Metadata_io.save protected_prog ~file;
+  let lines =
+    let ic = open_in file in
+    let n = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr n
+       done
+     with End_of_file -> close_in ic);
+    !n
+  in
+  Printf.printf "[build] metadata: %s (%d records)\n" file lines;
+
+  (* --- deploy side --------------------------------------------------- *)
+  print_endline "[deploy] loading binary + metadata, attaching the monitor...";
+  (* Only the instrumented program and the metadata file cross the
+     boundary — the analysis results travel in the file. *)
+  let restored = Bastion.Metadata_io.load ~file protected_prog.inst.iprog in
+  let session = Bastion.Api.launch restored () in
+  Workloads.Vsftpd_model.setup params session.process;
+  (match Machine.run session.machine with
+  | Machine.Exited _ ->
+    Printf.printf "[deploy] benign run clean: %d traps verified, %d denials\n"
+      session.monitor.traps_checked
+      (List.length (Bastion.Monitor.denials session.monitor))
+  | Machine.Faulted f -> Printf.printf "[deploy] UNEXPECTED: %s\n" (Machine.fault_to_string f));
+
+  (* The restored deployment still blocks attacks. *)
+  print_endline "[deploy] replaying the root-shell corruption against it...";
+  let restored = Bastion.Metadata_io.load ~file protected_prog.inst.iprog in
+  let session = Bastion.Api.launch restored () in
+  Workloads.Vsftpd_model.setup params session.process;
+  let m = session.machine in
+  let fired = ref false in
+  let seen = ref 0 in
+  m.on_instr <-
+    Some
+      (fun m (loc : Sil.Loc.t) ->
+        (* Corrupt the uid right before a *session's* privilege drop
+           consumes it (the first two setuid calls are the startup
+           transitions, which legitimately include uid 0). *)
+        if (not !fired) && String.equal loc.func "vsf_secutil_change_credentials" then begin
+          match Sil.Prog.instr_at m.prog loc with
+          | Sil.Instr.Call { target = Sil.Instr.Direct "setuid"; _ } -> (
+            incr seen;
+            if !seen = 3 then begin
+              fired := true;
+              match
+                Machine.local_address m ~func:"vsf_secutil_change_credentials" ~var:"uid"
+              with
+              | Some a -> Machine.poke m a 0L
+              | None -> ()
+            end)
+          | _ -> ()
+        end);
+  (match Machine.run m with
+  | Machine.Exited _ -> print_endline "[deploy] UNEXPECTED: corruption not caught"
+  | Machine.Faulted f -> Printf.printf "[deploy] blocked: %s\n" (Machine.fault_to_string f));
+  Sys.remove file

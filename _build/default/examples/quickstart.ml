@@ -1,0 +1,98 @@
+(* Quickstart: protect a small program with BASTION and watch an attack
+   die at the system call.
+
+   The program is a tiny "updater" daemon: it stores the path of its
+   own binary in a global context and, on request, re-executes itself —
+   the same execve pattern as NGINX's binary-upgrade path (paper
+   Listing 1).  We run it three times:
+
+   1. benign, protected          -> runs to completion;
+   2. under attack, unprotected  -> the attacker gets execve("/bin/sh");
+   3. under attack, protected    -> the Argument-Integrity context kills
+                                    the process before execve executes.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module B = Sil.Builder
+open Sil.Operand
+
+let build_updater () =
+  let pb = B.program () in
+  Kernel.Syscalls.declare_stubs pb;
+  B.struct_ pb "exec_ctx" [ ("path", Sil.Types.Ptr Sil.Types.I64); ("flags", Sil.Types.I64) ];
+  B.global pb "g_ctx" (Sil.Types.Struct "exec_ctx") Sil.Prog.Zero;
+  B.global pb "g_scratch" (Sil.Types.Array (Sil.Types.I64, 16)) Sil.Prog.Zero;
+
+  (* do_update(): execve(g_ctx.path, NULL, NULL) — the sensitive call. *)
+  let fb = B.func pb "do_update" ~params:[ ("ctx", Sil.Types.Ptr (Sil.Types.Struct "exec_ctx")) ] in
+  let path = B.local fb "path" (Sil.Types.Ptr Sil.Types.I64) in
+  B.load fb path (Sil.Place.Lfield (Var (B.param fb 0), "exec_ctx", "path"));
+  B.call fb "execve" [ Var path; Null; Null ];
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "main" ~params:[] in
+  let ctxp = B.local fb "ctxp" (Sil.Types.Ptr (Sil.Types.Struct "exec_ctx")) in
+  B.addr_of fb ctxp (Sil.Place.Lglobal "g_ctx");
+  B.store fb (Sil.Place.Lfield (Var ctxp, "exec_ctx", "path")) (Cstr "/usr/sbin/updaterd");
+  B.call fb "do_update" [ Var ctxp ];
+  B.halt fb;
+  B.seal fb;
+  B.build pb ~entry:"main"
+
+(* The attack: a memory-corruption write swaps the exec path for
+   /bin/sh just before do_update() reads it. *)
+let install_attack (m : Machine.t) =
+  m.on_instr <-
+    Some
+      (let fired = ref false in
+       fun m (loc : Sil.Loc.t) ->
+         if (not !fired) && String.equal loc.func "do_update" then begin
+           fired := true;
+           let scratch = Machine.global_address m "g_scratch" in
+           Attacks.Primitives.plant_string m scratch "/bin/sh";
+           Attacks.Primitives.poke m (Machine.global_address m "g_ctx") scratch;
+           print_endline "  [attacker] g_ctx.path -> \"/bin/sh\""
+         end)
+
+let show_execs tag (proc : Kernel.Process.t) =
+  match Kernel.Process.executed proc "execve" with
+  | [] -> Printf.printf "  [%s] execve never executed\n" tag
+  | evs ->
+    List.iter
+      (fun (e : Kernel.Process.exec_event) ->
+        Printf.printf "  [%s] execve(%s) EXECUTED\n" tag
+          (Option.value ~default:"?" e.ev_path))
+      evs
+
+let () =
+  print_endline "=== 1. benign run under full BASTION protection ===";
+  let prog = build_updater () in
+  let protected_prog = Bastion.Api.protect prog in
+  let session = Bastion.Api.launch protected_prog () in
+  (match Machine.run session.machine with
+  | Machine.Exited _ -> print_endline "  program exited normally"
+  | Machine.Faulted f -> Printf.printf "  UNEXPECTED: %s\n" (Machine.fault_to_string f));
+  show_execs "benign" session.process;
+
+  print_endline "\n=== 2. attack, no protection ===";
+  let machine, process = Bastion.Api.launch_unprotected (build_updater ()) in
+  install_attack machine;
+  (match Machine.run machine with
+  | Machine.Exited _ -> print_endline "  program exited (attacker won silently)"
+  | Machine.Faulted f -> Printf.printf "  fault: %s\n" (Machine.fault_to_string f));
+  show_execs "unprotected" process;
+
+  print_endline "\n=== 3. attack, full BASTION protection ===";
+  let protected_prog = Bastion.Api.protect (build_updater ()) in
+  let session = Bastion.Api.launch protected_prog () in
+  install_attack session.machine;
+  (match Machine.run session.machine with
+  | Machine.Exited _ -> print_endline "  UNEXPECTED: program exited"
+  | Machine.Faulted f -> Printf.printf "  %s\n" (Machine.fault_to_string f));
+  show_execs "protected" session.process;
+  List.iter
+    (fun (d : Bastion.Monitor.denial) ->
+      Printf.printf "  monitor denial: %s on %s (%s)\n" d.d_context
+        (Kernel.Syscalls.name d.d_sysno) d.d_detail)
+    (Bastion.Monitor.denials session.monitor)

@@ -1,0 +1,1 @@
+lib/attacks/attack.ml: Array Int64 Machine String Victims

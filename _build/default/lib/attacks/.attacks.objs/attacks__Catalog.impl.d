@@ -1,0 +1,1 @@
+lib/attacks/catalog.ml: Attack Hooks Int64 List Machine Primitives Printf Sil String Victims

@@ -1,0 +1,1 @@
+lib/attacks/catalog.mli: Attack

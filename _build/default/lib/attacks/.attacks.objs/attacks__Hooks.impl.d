@@ -1,0 +1,1 @@
+lib/attacks/hooks.ml: Array Hashtbl List Machine Option Sil String

@@ -1,0 +1,1 @@
+lib/attacks/hooks.mli: Machine Sil

@@ -1,0 +1,1 @@
+lib/attacks/primitives.ml: Char Int64 Machine Sil String

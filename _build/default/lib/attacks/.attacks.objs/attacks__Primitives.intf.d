@@ -1,0 +1,1 @@
+lib/attacks/primitives.mli: Machine

@@ -1,0 +1,1 @@
+lib/attacks/risk.ml: Attack Catalog Hashtbl Kernel List Option

@@ -1,0 +1,1 @@
+lib/attacks/risk.mli: Attack Kernel

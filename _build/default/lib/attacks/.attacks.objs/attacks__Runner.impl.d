@@ -1,0 +1,1 @@
+lib/attacks/runner.ml: Attack Bastion Catalog Kernel List Machine

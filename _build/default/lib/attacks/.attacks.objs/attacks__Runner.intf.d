@@ -1,0 +1,1 @@
+lib/attacks/runner.mli: Attack Machine

@@ -1,0 +1,1 @@
+lib/attacks/victims.ml: Kernel List Sil Workloads

@@ -1,0 +1,1 @@
+lib/attacks/victims.mli: Kernel Sil Workloads

@@ -1,0 +1,42 @@
+(* The attack abstraction: one Table 6 row.
+
+   An attack pairs a victim program with a corruption script (installed
+   as machine hooks) and a goal predicate over executed syscalls.  The
+   [expected] record is the paper's Table 6 verdict: whether each of the
+   three contexts, *enabled alone*, blocks the attack. *)
+
+type expected = { e_ct : bool; e_cf : bool; e_ai : bool }
+
+let all_contexts_block = { e_ct = true; e_cf = true; e_ai = true }
+let cf_ai_block = { e_ct = false; e_cf = true; e_ai = true }
+let ai_only_blocks = { e_ct = false; e_cf = false; e_ai = true }
+
+type t = {
+  a_id : string;
+  a_name : string;
+  a_category : string;  (** "ROP" | "Direct" | "Indirect" *)
+  a_reference : string; (** the paper's citation *)
+  a_expected : expected;
+  a_victim : Victims.t;
+  a_fs_scope : bool;    (** run under the §11.2 filesystem-extended monitor *)
+  a_goal : string;      (** syscall whose illegitimate execution completes it *)
+  a_goal_check : args:int64 array -> path:string option -> bool;
+  a_install : Machine.t -> unit;
+}
+
+(* Common goal predicates ------------------------------------------------ *)
+
+(** The attacker launched a shell. *)
+let goal_shell ~args:_ ~path =
+  match path with Some p -> String.equal p "/bin/sh" | None -> false
+
+(** Memory was made writable+executable. *)
+let goal_rwx ~(args : int64 array) ~path:_ =
+  Array.length args > 2 && Int64.equal args.(2) 7L
+
+(** Any invocation at all (for syscalls the victim never uses). *)
+let goal_any ~args:_ ~path:_ = true
+
+(** uid 0 requested. *)
+let goal_uid0 ~(args : int64 array) ~path:_ =
+  Array.length args > 0 && Int64.equal args.(0) 0L

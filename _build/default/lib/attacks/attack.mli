@@ -1,0 +1,31 @@
+(** The attack abstraction: one row of the paper's Table 6.
+
+    An attack pairs a victim program with a corruption script and a goal
+    predicate; [expected] is the paper's verdict — whether each context,
+    enabled alone, blocks it. *)
+
+type expected = { e_ct : bool; e_cf : bool; e_ai : bool }
+
+val all_contexts_block : expected
+val cf_ai_block : expected
+val ai_only_blocks : expected
+
+type t = {
+  a_id : string;
+  a_name : string;
+  a_category : string;  (** "ROP" | "Direct" | "Indirect" *)
+  a_reference : string; (** the paper's citation *)
+  a_expected : expected;
+  a_victim : Victims.t;
+  a_fs_scope : bool;    (** run under the §11.2 fs-extended monitor *)
+  a_goal : string;      (** the syscall whose illegitimate execution completes it *)
+  a_goal_check : args:int64 array -> path:string option -> bool;
+  a_install : Machine.t -> unit;
+}
+
+(** Goal predicates. *)
+
+val goal_shell : args:int64 array -> path:string option -> bool
+val goal_rwx : args:int64 array -> path:string option -> bool
+val goal_any : args:int64 array -> path:string option -> bool
+val goal_uid0 : args:int64 array -> path:string option -> bool

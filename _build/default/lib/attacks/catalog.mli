@@ -1,0 +1,7 @@
+(** The 32-attack catalog of Table 6: 18 ROP payloads, 9 direct syscall
+    manipulations (NEWTON CsCFI, AOCR NGINX-1, seven CVEs), 5 indirect
+    manipulations (NEWTON CPI, AOCR Apache, AOCR NGINX-2, COOP,
+    Control Jujutsu). *)
+
+val all : Attack.t list
+val count : int

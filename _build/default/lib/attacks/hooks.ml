@@ -1,0 +1,43 @@
+(* Trigger machinery: attacks fire their corruption scripts at precise
+   execution points (function entry, a specific instruction, the n-th
+   visit), via the machine's instruction hook. *)
+
+type trigger =
+  | At_entry of string              (** first instruction of a function *)
+  | At_entry_nth of string * int    (** n-th entry of a function *)
+  | At_loc of Sil.Loc.t
+
+type hook = { trigger : trigger; action : Machine.t -> unit }
+
+let install (m : Machine.t) (hooks : hook list) =
+  let counters = Hashtbl.create 8 in
+  let armed = Array.make (List.length hooks) true in
+  m.on_instr <-
+    Some
+      (fun m (loc : Sil.Loc.t) ->
+        List.iteri
+          (fun i h ->
+            if armed.(i) then begin
+              let fire =
+                match h.trigger with
+                | At_entry func ->
+                  String.equal loc.func func && String.equal loc.block "entry"
+                  && loc.index = 0
+                | At_entry_nth (func, n) ->
+                  if
+                    String.equal loc.func func && String.equal loc.block "entry"
+                    && loc.index = 0
+                  then begin
+                    let c = 1 + Option.value ~default:0 (Hashtbl.find_opt counters i) in
+                    Hashtbl.replace counters i c;
+                    c = n
+                  end
+                  else false
+                | At_loc l -> Sil.Loc.equal l loc
+              in
+              if fire then begin
+                armed.(i) <- false;
+                h.action m
+              end
+            end)
+          hooks)

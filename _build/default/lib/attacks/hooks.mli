@@ -1,0 +1,12 @@
+(** Trigger machinery: attacks fire their corruption scripts at precise
+    execution points via the machine's instruction hook.  Each hook
+    fires at most once. *)
+
+type trigger =
+  | At_entry of string              (** first instruction of a function *)
+  | At_entry_nth of string * int    (** the n-th entry of a function *)
+  | At_loc of Sil.Loc.t
+
+type hook = { trigger : trigger; action : Machine.t -> unit }
+
+val install : Machine.t -> hook list -> unit

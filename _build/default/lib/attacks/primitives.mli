@@ -1,0 +1,28 @@
+(** Attacker primitives (§4 threat model): arbitrary memory read/write
+    bounded by DEP/W^X (no code or rodata writes) and information
+    hiding (the shadow region is unreachable). *)
+
+exception Dep_violation of int64
+
+(** Is an address within the attacker's write reach? *)
+val writable : int64 -> bool
+
+(** Arbitrary write.  @raise Dep_violation outside the reachable space. *)
+val poke : Machine.t -> int64 -> int64 -> unit
+
+val peek : Machine.t -> int64 -> int64
+
+(** Write a NUL-terminated string into attacker-reachable memory. *)
+val plant_string : Machine.t -> int64 -> string -> unit
+
+(** Overwrite the innermost frame's return address (stack smash). *)
+val overwrite_return : Machine.t -> int64 -> unit
+
+(** Address of the first instruction of a function's entry block. *)
+val gadget_entry : Machine.t -> string -> int64
+
+val global : Machine.t -> string -> int64
+val func_addr : Machine.t -> string -> int64
+
+(** Address of a struct field within a global. *)
+val global_field : Machine.t -> global:string -> struct_:string -> field:string -> int64

@@ -1,0 +1,54 @@
+(* Empirical syscall danger ranking (§11.3).
+
+   The paper notes there is no consensus on quantifying a syscall's
+   "danger level" and that rankings so far are deduced empirically from
+   case studies (Bernaschi et al., SecQuant).  With a concrete attack
+   catalog we can do exactly that: score each syscall by how many
+   catalog attacks need it as their goal, weighted by how many contexts
+   fail to stop the attack (harder-to-stop goals are more dangerous). *)
+
+type entry = {
+  r_sysno : int;
+  r_name : string;
+  r_category : Kernel.Syscalls.category;
+  r_attacks : int;         (** catalog attacks with this goal *)
+  r_score : float;         (** weighted danger score *)
+}
+
+(** Weight of one attack: 1 plus one unit per context it bypasses. *)
+let attack_weight (a : Attack.t) =
+  let bypasses = function true -> 0.0 | false -> 1.0 in
+  1.0
+  +. bypasses a.a_expected.e_ct
+  +. bypasses a.a_expected.e_cf
+  +. bypasses a.a_expected.e_ai
+
+let rank ?(catalog = Catalog.all) () : entry list =
+  let tally = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Attack.t) ->
+      let nr = Kernel.Syscalls.number a.a_goal in
+      let n, s = Option.value ~default:(0, 0.0) (Hashtbl.find_opt tally nr) in
+      Hashtbl.replace tally nr (n + 1, s +. attack_weight a))
+    catalog;
+  Hashtbl.fold
+    (fun nr (n, s) acc ->
+      {
+        r_sysno = nr;
+        r_name = Kernel.Syscalls.name nr;
+        r_category = Kernel.Syscalls.category nr;
+        r_attacks = n;
+        r_score = s;
+      }
+      :: acc)
+    tally []
+  |> List.sort (fun a b -> compare (b.r_score, b.r_name) (a.r_score, a.r_name))
+
+(** Sanity property the paper's Table 1 selection implies: every goal
+    syscall of the catalog is in the sensitive set. *)
+let all_goals_sensitive ?(catalog = Catalog.all) () =
+  List.for_all
+    (fun (a : Attack.t) ->
+      Kernel.Syscalls.is_sensitive (Kernel.Syscalls.number a.a_goal)
+      || Kernel.Syscalls.is_filesystem (Kernel.Syscalls.number a.a_goal))
+    catalog

@@ -1,0 +1,21 @@
+(** Empirical syscall danger ranking (§11.3): score syscalls by how
+    many catalog attacks target them, weighted by how many contexts the
+    attack bypasses — the kind of empirical ranking the paper says the
+    field still lacks. *)
+
+type entry = {
+  r_sysno : int;
+  r_name : string;
+  r_category : Kernel.Syscalls.category;
+  r_attacks : int;   (** catalog attacks with this goal *)
+  r_score : float;   (** weighted danger score *)
+}
+
+val attack_weight : Attack.t -> float
+
+(** Ranking over a catalog (default: the full Table 6 catalog),
+    most dangerous first. *)
+val rank : ?catalog:Attack.t list -> unit -> entry list
+
+(** Every catalog goal lies within BASTION's protected scope. *)
+val all_goals_sensitive : ?catalog:Attack.t list -> unit -> bool

@@ -1,0 +1,114 @@
+(* Attack execution and context attribution.
+
+   Each attack runs under five configurations:
+   - undefended (sanity: the exploit must actually work),
+   - each context enabled alone (Table 6 attribution),
+   - all three contexts (the deployment configuration: must block).
+
+   ROP-era machines run without CET (§10.1 evaluates BASTION's ROP
+   defense in CET's absence). *)
+
+type config = Undefended | Only_ct | Only_cf | Only_ai | Full_bastion
+
+let config_name = function
+  | Undefended -> "undefended"
+  | Only_ct -> "CT"
+  | Only_cf -> "CF"
+  | Only_ai -> "AI"
+  | Full_bastion -> "CT+CF+AI"
+
+type outcome =
+  | Succeeded             (** the goal syscall executed with attacker values *)
+  | Blocked of Machine.fault
+  | Inert                 (** program finished without the attack firing *)
+
+let outcome_name = function
+  | Succeeded -> "SUCCEEDED"
+  | Blocked f -> "blocked: " ^ Machine.fault_to_string f
+  | Inert -> "inert (goal never reached, no kill)"
+
+let contexts_of = function
+  | Only_ct -> { Bastion.Monitor.ct = true; cf = false; ai = false }
+  | Only_cf -> { Bastion.Monitor.ct = false; cf = true; ai = false }
+  | Only_ai -> { Bastion.Monitor.ct = false; cf = false; ai = true }
+  | Full_bastion | Undefended -> Bastion.Monitor.all_contexts
+
+(* A hijacked gadget may spin in a loop whose counter is attacker
+   stack garbage; bound the run and end it as soon as the goal fires. *)
+let attack_fuel = 20_000_000
+
+let run (attack : Attack.t) (config : config) : outcome =
+  let prog = attack.a_victim.v_build () in
+  let machine_config = { Machine.default_config with fuel = attack_fuel } in
+  let machine, process =
+    match config with
+    | Undefended -> Bastion.Api.launch_unprotected ~machine_config prog
+    | _ ->
+      let protected_prog =
+        Bastion.Api.protect ~protect_filesystem:attack.a_fs_scope prog
+      in
+      let monitor_config =
+        {
+          Bastion.Monitor.default_config with
+          contexts = contexts_of config;
+          fs_mode =
+            (if attack.a_fs_scope then Bastion.Monitor.Fs_full
+             else Bastion.Monitor.Fs_off);
+        }
+      in
+      let session = Bastion.Api.launch ~machine_config ~monitor_config protected_prog () in
+      (session.machine, session.process)
+  in
+  attack.a_victim.v_setup process;
+  let goal_nr = Kernel.Syscalls.number attack.a_goal in
+  let goal_hit = ref false in
+  process.on_syscall_executed <-
+    Some
+      (fun ~sysno ~args ~path ->
+        if sysno = goal_nr && attack.a_goal_check ~args ~path then begin
+          goal_hit := true;
+          (* Attack complete: stop the victim. *)
+          raise (Machine.Program_exit 0x600DL)
+        end);
+  attack.a_install machine;
+  match Machine.run machine with
+  | Machine.Exited _ -> if !goal_hit then Succeeded else Inert
+  | Machine.Faulted Machine.Fuel_exhausted -> if !goal_hit then Succeeded else Inert
+  | Machine.Faulted fault -> if !goal_hit then Succeeded else Blocked fault
+
+(* ------------------------------------------------------------------ *)
+(* The Table 6 matrix                                                  *)
+
+type row = {
+  r_attack : Attack.t;
+  r_undefended : outcome;
+  r_ct : outcome;
+  r_cf : outcome;
+  r_ai : outcome;
+  r_full : outcome;
+}
+
+let blocked = function Blocked _ -> true | Succeeded | Inert -> false
+
+let evaluate (attack : Attack.t) : row =
+  {
+    r_attack = attack;
+    r_undefended = run attack Undefended;
+    r_ct = run attack Only_ct;
+    r_cf = run attack Only_cf;
+    r_ai = run attack Only_ai;
+    r_full = run attack Full_bastion;
+  }
+
+(** Does the row agree with the paper's Table 6 entry?  The attack must
+    succeed undefended, be blocked by exactly the contexts the paper
+    marks with a check, and be blocked by the full deployment. *)
+let matches_expectation (r : row) =
+  let e = r.r_attack.a_expected in
+  r.r_undefended = Succeeded
+  && blocked r.r_ct = e.e_ct
+  && blocked r.r_cf = e.e_cf
+  && blocked r.r_ai = e.e_ai
+  && blocked r.r_full
+
+let evaluate_all () = List.map evaluate Catalog.all

@@ -1,0 +1,40 @@
+(** Attack execution and context attribution.
+
+    Each attack runs under five configurations: undefended (the exploit
+    must work), each context alone (the Table 6 ✓/×), and full BASTION
+    (must block).  ROP-era machines run without CET (§10.1). *)
+
+type config = Undefended | Only_ct | Only_cf | Only_ai | Full_bastion
+
+val config_name : config -> string
+
+type outcome =
+  | Succeeded             (** the goal syscall executed with attacker values *)
+  | Blocked of Machine.fault
+  | Inert                 (** run ended without the attack completing *)
+
+val outcome_name : outcome -> string
+
+(** Fuel bound for attack runs (hijacked gadgets may spin). *)
+val attack_fuel : int
+
+val run : Attack.t -> config -> outcome
+
+(** One evaluated Table 6 row. *)
+type row = {
+  r_attack : Attack.t;
+  r_undefended : outcome;
+  r_ct : outcome;
+  r_cf : outcome;
+  r_ai : outcome;
+  r_full : outcome;
+}
+
+val blocked : outcome -> bool
+val evaluate : Attack.t -> row
+
+(** Does the row agree with the paper: succeeds undefended, blocked by
+    exactly the expected contexts, blocked by the full deployment? *)
+val matches_expectation : row -> bool
+
+val evaluate_all : unit -> row list

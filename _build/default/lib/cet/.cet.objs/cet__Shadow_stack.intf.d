@@ -1,0 +1,1 @@
+lib/cet/shadow_stack.mli:

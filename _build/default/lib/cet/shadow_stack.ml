@@ -1,0 +1,35 @@
+(* Hardware-style shadow stack (Intel CET, AMD Zen 3+).
+
+   The CPU pushes a second copy of each return address onto a stack that
+   ordinary stores cannot reach; on return it compares the program-stack
+   copy with the shadow copy and faults on mismatch.  In the simulator
+   the shadow stack is a plain OCaml structure deliberately *not* mapped
+   into the corruptible machine memory, which is exactly the property
+   the hardware provides. *)
+
+type t = { mutable entries : int64 list; mutable pushes : int; mutable checks : int }
+
+exception Violation of { expected : int64; actual : int64 }
+
+exception Underflow
+
+let create () = { entries = []; pushes = 0; checks = 0 }
+
+let push t addr =
+  t.pushes <- t.pushes + 1;
+  t.entries <- addr :: t.entries
+
+(** Pop and compare against the (possibly corrupted) program-stack return
+    address.  Raises {!Violation} on mismatch, {!Underflow} on an empty
+    shadow stack (a return with no matching call). *)
+let pop_check t ~actual =
+  t.checks <- t.checks + 1;
+  match t.entries with
+  | [] -> raise Underflow
+  | expected :: rest ->
+    t.entries <- rest;
+    if not (Int64.equal expected actual) then raise (Violation { expected; actual })
+
+let depth t = List.length t.entries
+let pushes t = t.pushes
+let checks t = t.checks

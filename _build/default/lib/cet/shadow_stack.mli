@@ -1,0 +1,27 @@
+(** Hardware-style shadow stack (Intel CET / AMD shadow stacks).
+
+    The CPU pushes a second copy of each return address onto a stack
+    ordinary stores cannot reach and compares on return.  In the
+    simulator this structure is deliberately not mapped into the
+    corruptible machine memory — exactly the property the hardware
+    provides. *)
+
+type t
+
+exception Violation of { expected : int64; actual : int64 }
+exception Underflow
+
+val create : unit -> t
+
+(** Record a return address at call time. *)
+val push : t -> int64 -> unit
+
+(** Pop and compare against the (possibly corrupted) program-stack
+    return address.
+    @raise Violation on mismatch.
+    @raise Underflow on a return with no matching call. *)
+val pop_check : t -> actual:int64 -> unit
+
+val depth : t -> int
+val pushes : t -> int
+val checks : t -> int

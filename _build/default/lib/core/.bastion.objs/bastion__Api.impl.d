@@ -1,0 +1,1 @@
+lib/core/api.ml: Arg_analysis Calltype Cfg_analysis Hashtbl Instrument Kernel List Machine Metadata Monitor Runtime Sil

@@ -1,0 +1,1 @@
+lib/core/api.mli: Arg_analysis Calltype Cfg_analysis Instrument Kernel Machine Monitor Runtime Sil

@@ -1,0 +1,1 @@
+lib/core/arg_analysis.ml: Hashtbl List Queue Set Sil String

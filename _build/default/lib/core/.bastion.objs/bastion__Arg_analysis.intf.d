@@ -1,0 +1,1 @@
+lib/core/arg_analysis.mli: Hashtbl Set Sil

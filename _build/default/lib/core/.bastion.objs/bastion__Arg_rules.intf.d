@@ -1,0 +1,1 @@
+lib/core/arg_rules.mli: Kernel

@@ -1,0 +1,1 @@
+lib/core/calltype.ml: Hashtbl List Option Sil

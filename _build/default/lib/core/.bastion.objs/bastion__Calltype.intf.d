@@ -1,0 +1,1 @@
+lib/core/calltype.mli: Hashtbl Sil

@@ -1,0 +1,1 @@
+lib/core/cfg_analysis.ml: Hashtbl List Map Option Queue Sil String

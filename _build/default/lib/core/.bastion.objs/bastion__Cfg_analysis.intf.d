@@ -1,0 +1,1 @@
+lib/core/cfg_analysis.mli: Hashtbl Map Sil

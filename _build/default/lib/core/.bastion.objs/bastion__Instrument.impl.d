@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Arg_analysis Array Fun Hashtbl Int64 List Printf Sil String

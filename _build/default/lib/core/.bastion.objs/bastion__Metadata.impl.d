@@ -1,0 +1,1 @@
+lib/core/metadata.ml: Arg_analysis Calltype Cfg_analysis Fun Hashtbl Instrument List Machine Printf Sil String

@@ -1,0 +1,1 @@
+lib/core/metadata.mli: Arg_analysis Calltype Cfg_analysis Hashtbl Instrument Machine Sil

@@ -1,0 +1,1 @@
+lib/core/metadata_io.ml: Api Arg_analysis Buffer Calltype Cfg_analysis Hashtbl Instrument Int64 Kernel List Option Printf Scanf Sil String

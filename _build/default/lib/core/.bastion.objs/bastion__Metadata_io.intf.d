@@ -1,0 +1,1 @@
+lib/core/metadata_io.mli: Api Arg_analysis Calltype Instrument Sil

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Arg_rules Array Calltype Cfg_analysis Hashtbl Int64 Kernel List Logs Machine Metadata Printf Runtime Shadow_memory Sil String

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Int64 List Machine Shadow_memory Sil

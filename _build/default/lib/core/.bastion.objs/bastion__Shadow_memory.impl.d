@@ -1,0 +1,1 @@
+lib/core/shadow_memory.ml: Array Int64

@@ -1,0 +1,122 @@
+(* Public entry points of the BASTION library: compile-side protection
+   (analysis + instrumentation + metadata) and runtime deployment
+   (monitor attached to a booted process).
+
+   Typical use:
+   {[
+     let protected = Api.protect prog in
+     let session = Api.launch protected () in
+     let outcome = Machine.run session.machine in
+     ...
+   ]} *)
+
+module Syscalls = Kernel.Syscalls
+
+type protected = {
+  original : Sil.Prog.t;
+  inst : Instrument.t;
+  analysis : Arg_analysis.t;
+  calltype : Calltype.t;
+  cfg : Cfg_analysis.t;
+  sensitive_numbers : int list;
+  original_callgraph : Sil.Callgraph.t;
+}
+
+(** Run the full BASTION compiler pass over a program.
+    [protect_filesystem] extends the sensitive set with the filesystem
+    syscalls (§11.2). *)
+let protect ?(protect_filesystem = false) (prog : Sil.Prog.t) : protected =
+  Sil.Validate.check_exn prog;
+  let original_callgraph = Sil.Callgraph.build prog in
+  let sensitive_numbers =
+    Syscalls.sensitive_numbers
+    @ (if protect_filesystem then Syscalls.filesystem_numbers else [])
+  in
+  let analysis = Arg_analysis.analyze prog original_callgraph ~sensitive_numbers in
+  let inst = Instrument.run prog analysis in
+  Sil.Validate.check_exn inst.iprog;
+  (* Call-type and control-flow metadata are derived from the
+     instrumented program: its locations are what the binary contains. *)
+  let icg = Sil.Callgraph.build inst.iprog in
+  let calltype = Calltype.analyze inst.iprog icg in
+  let cfg = Cfg_analysis.analyze inst.iprog icg ~sensitive_numbers in
+  { original = prog; inst; analysis; calltype; cfg; sensitive_numbers; original_callgraph }
+
+type session = {
+  machine : Machine.t;
+  process : Kernel.Process.t;
+  runtime : Runtime.t;
+  monitor : Monitor.t;
+}
+
+(** Boot the instrumented program on a fresh machine, wire the runtime
+    library, build post-layout metadata, and attach the monitor. *)
+let launch ?(machine_config = Machine.default_config)
+    ?(monitor_config = Monitor.default_config) (p : protected) () : session =
+  let machine = Machine.create ~config:machine_config p.inst.iprog in
+  let process = Kernel.boot machine in
+  let runtime = Runtime.create () in
+  Runtime.install runtime machine;
+  Runtime.seed_globals runtime machine;
+  let meta =
+    Metadata.build ~calltype:p.calltype ~cfg:p.cfg ~analysis:p.analysis ~inst:p.inst
+      machine
+  in
+  let monitor = Monitor.create ~meta ~runtime ~config:monitor_config machine in
+  Monitor.attach monitor process;
+  { machine; process; runtime; monitor }
+
+(** Launch without any BASTION protection (the unprotected baseline):
+    same machine and kernel, no filter, no instrumentation. *)
+let launch_unprotected ?(machine_config = Machine.default_config) (prog : Sil.Prog.t) :
+    Machine.t * Kernel.Process.t =
+  let machine = Machine.create ~config:machine_config prog in
+  let process = Kernel.boot machine in
+  (machine, process)
+
+(* ------------------------------------------------------------------ *)
+(* Table 5 statistics                                                  *)
+
+type instrumentation_stats = {
+  total_callsites : int;
+  direct_callsites : int;
+  indirect_callsites : int;
+  sensitive_callsites : int;
+  sensitive_indirect : int;
+  write_mem_sites : int;
+  bind_mem_sites : int;
+  bind_const_sites : int;
+}
+
+let total_instrumentation_sites s =
+  s.write_mem_sites + s.bind_mem_sites + s.bind_const_sites
+
+let stats (p : protected) : instrumentation_stats =
+  let cg_stats = Sil.Callgraph.stats p.original_callgraph in
+  let sensitive_callsites =
+    List.length
+      (List.filter
+         (fun (cs : Sil.Callgraph.callsite) ->
+           match cs.cs_target with
+           | Sil.Instr.Direct callee -> (
+             match Hashtbl.find_opt p.original.funcs callee with
+             | Some f -> (
+               match Sil.Func.syscall_number f with
+               | Some nr -> List.mem nr Syscalls.sensitive_numbers
+               | None -> false)
+             | None -> false)
+           | Sil.Instr.Indirect _ -> false)
+         p.original_callgraph.callsites)
+  in
+  {
+    total_callsites = cg_stats.total_callsites;
+    direct_callsites = cg_stats.direct_callsites;
+    indirect_callsites = cg_stats.indirect_count;
+    sensitive_callsites;
+    sensitive_indirect =
+      Calltype.sensitive_indirect_count p.calltype
+        ~sensitive_numbers:Syscalls.sensitive_numbers;
+    write_mem_sites = p.inst.counts.write_mem;
+    bind_mem_sites = p.inst.counts.bind_mem;
+    bind_const_sites = p.inst.counts.bind_const;
+  }

@@ -1,0 +1,71 @@
+(** Public entry points of the BASTION library.
+
+    Compile side: {!protect} runs the whole pass (call-type analysis,
+    control-flow metadata, argument-integrity analysis,
+    instrumentation).  Runtime side: {!launch} boots the instrumented
+    program with the runtime library wired in and the monitor attached.
+
+    {[
+      let protected = Api.protect prog in
+      let session = Api.launch protected () in
+      match Machine.run session.machine with
+      | Machine.Exited _ -> (* clean *) ...
+      | Machine.Faulted f -> (* killed by a defense *) ...
+    ]} *)
+
+module Syscalls = Kernel.Syscalls
+
+(** Everything the compiler pass produced for a program. *)
+type protected = {
+  original : Sil.Prog.t;
+  inst : Instrument.t;              (** instrumented program + metadata *)
+  analysis : Arg_analysis.t;
+  calltype : Calltype.t;
+  cfg : Cfg_analysis.t;
+  sensitive_numbers : int list;
+  original_callgraph : Sil.Callgraph.t;
+}
+
+(** Run the BASTION compiler pass.  [protect_filesystem] extends the
+    sensitive set with the filesystem syscalls (§11.2).
+    @raise Invalid_argument if the program is malformed. *)
+val protect : ?protect_filesystem:bool -> Sil.Prog.t -> protected
+
+(** A deployed protection: machine + kernel process + runtime library +
+    attached monitor. *)
+type session = {
+  machine : Machine.t;
+  process : Kernel.Process.t;
+  runtime : Runtime.t;
+  monitor : Monitor.t;
+}
+
+(** Boot the instrumented program, wire the ctx_* runtime, build
+    post-layout metadata, seed the shadow from the loader-visible
+    globals and attach the monitor. *)
+val launch :
+  ?machine_config:Machine.config ->
+  ?monitor_config:Monitor.config ->
+  protected ->
+  unit ->
+  session
+
+(** The unprotected baseline: same machine and kernel, no filter, no
+    instrumentation. *)
+val launch_unprotected :
+  ?machine_config:Machine.config -> Sil.Prog.t -> Machine.t * Kernel.Process.t
+
+(** Table 5 statistics. *)
+type instrumentation_stats = {
+  total_callsites : int;
+  direct_callsites : int;
+  indirect_callsites : int;
+  sensitive_callsites : int;
+  sensitive_indirect : int;   (** sensitive syscalls callable indirectly *)
+  write_mem_sites : int;
+  bind_mem_sites : int;
+  bind_const_sites : int;
+}
+
+val total_instrumentation_sites : instrumentation_stats -> int
+val stats : protected -> instrumentation_stats

@@ -1,0 +1,58 @@
+(** Argument-Integrity context analysis (§3.3, §6.3): discover the
+    sensitive variables (syscall arguments plus their use-def chains,
+    field-sensitive and inter-procedural) and produce the
+    instrumentation plan — where ctx_write_mem must follow stores and
+    which argument positions of which callsites must be bound. *)
+
+(** One sensitive item. *)
+type item =
+  | S_local of string * Sil.Operand.var  (** function name, variable *)
+  | S_global of string
+  | S_field of string * string           (** struct name, field name *)
+
+val item_compare : item -> item -> int
+
+module Item_set : Set.S with type elt = item
+
+(** How one argument position of a callsite is bound before the call. *)
+type binding =
+  | Bind_const of int64
+  | Bind_cstr of string       (** constant string (rodata address) *)
+  | Bind_faddr of string      (** constant function address *)
+  | Bind_var of Sil.Operand.var
+  | Bind_global of string
+
+(** The per-callsite plan: which positions are bound, and whether the
+    callsite is a syscall invocation ([pl_sysno]) or an
+    argument-carrying call on a sensitive chain. *)
+type plan = {
+  pl_loc : Sil.Loc.t;            (** callsite in the ORIGINAL program *)
+  pl_callee : string;
+  pl_sysno : int option;
+  mutable pl_args : (int * binding) list;
+}
+
+type t = { items : Item_set.t; plans : (Sil.Loc.t, plan) Hashtbl.t }
+
+(** All definitions of a variable inside a function. *)
+val defs_of :
+  Sil.Func.t ->
+  Sil.Operand.var ->
+  [ `Rvalue of Sil.Instr.rvalue | `Stored of Sil.Operand.t | `Call_result ] list
+
+val param_index : Sil.Func.t -> Sil.Operand.var -> int option
+val binding_of_operand : Sil.Operand.t -> binding
+
+val analyze : Sil.Prog.t -> Sil.Callgraph.t -> sensitive_numbers:int list -> t
+
+val is_sensitive_local : t -> string -> Sil.Operand.var -> bool
+val is_sensitive_global : t -> string -> bool
+val is_sensitive_field : t -> string -> string -> bool
+
+val sensitive_locals_of : t -> string -> Sil.Operand.var list
+val sensitive_globals : t -> string list
+val sensitive_fields : t -> (string * string) list
+
+val plan_at : t -> Sil.Loc.t -> plan option
+val plan_count : t -> int
+val all_plans : t -> plan list

@@ -1,0 +1,15 @@
+(** Direct vs extended argument rules (§6.3.2).  The distinction is
+    syscall- and position-specific, so it is not instrumented: the
+    monitor recovers the syscall being verified and applies the rule. *)
+
+module Syscalls = Kernel.Syscalls
+
+type kind =
+  | Direct     (** verify the value only *)
+  | Extended   (** verify pointer value and pointee contents *)
+  | Sockaddr   (** extended, with the specialised accept fast path *)
+
+val kind : sysno:int -> pos:int -> kind
+
+(** Maximum pointee words an extended check walks. *)
+val max_extended_words : int

@@ -1,0 +1,54 @@
+(* Call-Type context analysis (§3.1, §6.1).
+
+   Classifies every system call of the program as not-callable,
+   directly-callable and/or indirectly-callable, and records the set of
+   legitimate indirect callsites.  The classification drives both the
+   seccomp filter (KILL not-callable syscalls outright, TRACE the rest)
+   and the monitor's per-trap calling-convention check. *)
+
+type call_type = { directly : bool; indirectly : bool }
+
+let not_callable = { directly = false; indirectly = false }
+
+type t = {
+  by_sysno : (int, call_type) Hashtbl.t;   (** syscalls present in the program *)
+  legit_indirect : Sil.Loc.Set.t;          (** all legitimate indirect callsites *)
+  indirect_targets : (string, unit) Hashtbl.t;  (** address-taken functions *)
+}
+
+let analyze (prog : Sil.Prog.t) (cg : Sil.Callgraph.t) : t =
+  let by_sysno = Hashtbl.create 32 in
+  List.iter
+    (fun (stub : Sil.Func.t) ->
+      match Sil.Func.syscall_number stub with
+      | None -> ()
+      | Some nr ->
+        let directly = Sil.Callgraph.direct_callers_of cg stub.fname <> [] in
+        let indirectly = Sil.Callgraph.is_address_taken cg stub.fname in
+        if directly || indirectly then
+          Hashtbl.replace by_sysno nr { directly; indirectly })
+    (Sil.Prog.syscall_stubs prog);
+  let legit_indirect =
+    List.fold_left
+      (fun acc (cs : Sil.Callgraph.callsite) -> Sil.Loc.Set.add cs.cs_loc acc)
+      Sil.Loc.Set.empty cg.indirect_callsites
+  in
+  let indirect_targets = Hashtbl.create 64 in
+  Sil.Callgraph.Sset.iter
+    (fun f -> Hashtbl.replace indirect_targets f ())
+    cg.address_taken;
+  { by_sysno; legit_indirect; indirect_targets }
+
+(** The call type of syscall [nr]; [not_callable] when absent. *)
+let call_type t nr = Option.value ~default:not_callable (Hashtbl.find_opt t.by_sysno nr)
+
+let is_legit_indirect_callsite t loc = Sil.Loc.Set.mem loc t.legit_indirect
+
+let is_indirect_target t fname = Hashtbl.mem t.indirect_targets fname
+
+(** Number of *sensitive* syscalls the program can call indirectly
+    (Table 5 row 5; zero for all three paper applications). *)
+let sensitive_indirect_count t ~sensitive_numbers =
+  List.fold_left
+    (fun acc nr -> if (call_type t nr).indirectly then acc + 1 else acc)
+    0 sensitive_numbers

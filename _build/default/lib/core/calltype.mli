@@ -1,0 +1,26 @@
+(** Call-Type context analysis (§3.1, §6.1): classify every syscall as
+    not-callable, directly-callable and/or indirectly-callable, and
+    record the legitimate indirect callsites. *)
+
+(** Allowed calling conventions for one syscall. *)
+type call_type = { directly : bool; indirectly : bool }
+
+val not_callable : call_type
+
+type t = {
+  by_sysno : (int, call_type) Hashtbl.t;   (** syscalls present in the program *)
+  legit_indirect : Sil.Loc.Set.t;          (** all legitimate indirect callsites *)
+  indirect_targets : (string, unit) Hashtbl.t;  (** address-taken functions *)
+}
+
+val analyze : Sil.Prog.t -> Sil.Callgraph.t -> t
+
+(** The call type of a syscall number; {!not_callable} when absent. *)
+val call_type : t -> int -> call_type
+
+val is_legit_indirect_callsite : t -> Sil.Loc.t -> bool
+val is_indirect_target : t -> string -> bool
+
+(** Number of sensitive syscalls callable indirectly (Table 5 row 5;
+    zero for all three paper applications). *)
+val sensitive_indirect_count : t -> sensitive_numbers:int list -> int

@@ -1,0 +1,86 @@
+(* Control-Flow context analysis (§3.2, §6.2).
+
+   For every sensitive system-call callsite, recursively record the
+   callee -> caller-site relations that can legitimately appear on the
+   stack when the call executes.  Recursion stops at [main] (the program
+   entry) or at an indirect callsite — the runtime monitor verifies the
+   partial trace up to that point (§7.3). *)
+
+module Smap = Map.Make (String)
+
+type t = {
+  valid_callers : (string, Sil.Loc.Set.t) Hashtbl.t;
+      (** callee function -> legitimate direct callsites of it, restricted
+          to functions on some path to a sensitive syscall *)
+  covered : (string, unit) Hashtbl.t;
+      (** functions appearing on some legitimate path *)
+  sensitive_callsites : Sil.Loc.Set.t;
+      (** callsites that invoke a sensitive syscall stub *)
+}
+
+let analyze (prog : Sil.Prog.t) (cg : Sil.Callgraph.t) ~(sensitive_numbers : int list)
+    : t =
+  let valid_callers = Hashtbl.create 64 in
+  let covered = Hashtbl.create 64 in
+  let add_pair ~callee ~caller_site =
+    let existing =
+      Option.value ~default:Sil.Loc.Set.empty (Hashtbl.find_opt valid_callers callee)
+    in
+    Hashtbl.replace valid_callers callee (Sil.Loc.Set.add caller_site existing)
+  in
+  (* Seed: functions containing a sensitive syscall callsite. *)
+  let sensitive_callsites =
+    List.fold_left
+      (fun acc (cs : Sil.Callgraph.callsite) ->
+        match cs.cs_target with
+        | Sil.Instr.Direct callee -> (
+          match Hashtbl.find_opt prog.funcs callee with
+          | Some f -> (
+            match Sil.Func.syscall_number f with
+            | Some nr when List.mem nr sensitive_numbers ->
+              add_pair ~callee ~caller_site:cs.cs_loc;
+              Sil.Loc.Set.add cs.cs_loc acc
+            | Some _ | None -> acc)
+          | None -> acc)
+        | Sil.Instr.Indirect _ -> acc)
+      Sil.Loc.Set.empty cg.callsites
+  in
+  (* Walk callee->caller edges upward from those functions. *)
+  let queue = Queue.create () in
+  let seen = Hashtbl.create 64 in
+  Sil.Loc.Set.iter
+    (fun (loc : Sil.Loc.t) ->
+      if not (Hashtbl.mem seen loc.func) then begin
+        Hashtbl.replace seen loc.func ();
+        Queue.push loc.func queue
+      end)
+    sensitive_callsites;
+  while not (Queue.is_empty queue) do
+    let fname = Queue.pop queue in
+    Hashtbl.replace covered fname ();
+    if not (String.equal fname prog.entry) then
+      List.iter
+        (fun (caller_site : Sil.Loc.t) ->
+          add_pair ~callee:fname ~caller_site;
+          if not (Hashtbl.mem seen caller_site.func) then begin
+            Hashtbl.replace seen caller_site.func ();
+            Queue.push caller_site.func queue
+          end)
+        (Sil.Callgraph.direct_callers_of cg fname)
+    (* Functions reached only indirectly contribute no further direct
+       pairs: the monitor stops unwinding at the indirect callsite. *)
+  done;
+  { valid_callers; covered; sensitive_callsites }
+
+let is_valid_caller t ~callee ~caller_site =
+  match Hashtbl.find_opt t.valid_callers callee with
+  | Some set -> Sil.Loc.Set.mem caller_site set
+  | None -> false
+
+let is_covered t fname = Hashtbl.mem t.covered fname
+
+let is_sensitive_callsite t loc = Sil.Loc.Set.mem loc t.sensitive_callsites
+
+(** Total number of recorded callee->caller pairs (metadata size). *)
+let pair_count t =
+  Hashtbl.fold (fun _ set acc -> acc + Sil.Loc.Set.cardinal set) t.valid_callers 0

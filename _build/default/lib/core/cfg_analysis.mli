@@ -1,0 +1,25 @@
+(** Control-Flow context analysis (§3.2, §6.2): for every sensitive
+    syscall callsite, the callee -> caller-site relations that may
+    legitimately appear on the stack, recorded up to [main] or the
+    nearest indirect callsite. *)
+
+module Smap : Map.S with type key = string
+
+type t = {
+  valid_callers : (string, Sil.Loc.Set.t) Hashtbl.t;
+      (** callee -> its legitimate direct callsites, restricted to
+          functions on some path to a sensitive syscall *)
+  covered : (string, unit) Hashtbl.t;
+      (** functions appearing on some legitimate path *)
+  sensitive_callsites : Sil.Loc.Set.t;
+      (** callsites that invoke a sensitive syscall stub *)
+}
+
+val analyze : Sil.Prog.t -> Sil.Callgraph.t -> sensitive_numbers:int list -> t
+
+val is_valid_caller : t -> callee:string -> caller_site:Sil.Loc.t -> bool
+val is_covered : t -> string -> bool
+val is_sensitive_callsite : t -> Sil.Loc.t -> bool
+
+(** Total callee->caller pairs recorded (metadata size). *)
+val pair_count : t -> int

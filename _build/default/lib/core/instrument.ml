@@ -1,0 +1,238 @@
+(* The instrumentation pass (§6.3.3): rewrite the program, inserting
+   BASTION runtime-library calls (Table 2):
+
+   - [ctx_write_mem(p, size)] after every store/definition of a
+     memory-backed sensitive variable (and at function entry for
+     sensitive parameters, cf. Fig. 2 line 11);
+   - [ctx_bind_mem(id, pos, p)] / [ctx_bind_const(id, pos, c)]
+     immediately before each sensitive callsite, binding each argument
+     to its position.
+
+   Each instrumented callsite receives a small-integer id embedded as a
+   constant in the bind calls; the id keys the runtime binding table and
+   the monitor's metadata. *)
+
+let write_mem_name = "ctx_write_mem"
+let bind_mem_name = "ctx_bind_mem"
+let bind_const_name = "ctx_bind_const"
+
+type callsite_meta = {
+  cm_id : int;
+  cm_loc : Sil.Loc.t;  (** location of the call in the INSTRUMENTED program *)
+  cm_callee : string;
+  cm_sysno : int option;
+  cm_specs : (int * Arg_analysis.binding) list;
+}
+
+type counts = {
+  mutable write_mem : int;
+  mutable bind_mem : int;
+  mutable bind_const : int;
+}
+
+type t = {
+  iprog : Sil.Prog.t;
+  callsites : callsite_meta list;
+  counts : counts;
+}
+
+let ensure_intrinsics (pb_funcs : (string, Sil.Func.t) Hashtbl.t) =
+  let declare name arity =
+    if not (Hashtbl.mem pb_funcs name) then begin
+      let params =
+        List.mapi (fun i _ -> ({ Sil.Operand.vid = i; vname = Printf.sprintf "a%d" i }, Sil.Types.I64))
+          (List.init arity Fun.id)
+      in
+      Hashtbl.replace pb_funcs name
+        {
+          Sil.Func.fname = name;
+          params;
+          locals = [];
+          blocks =
+            [ { Sil.Func.label = "entry"; instrs = [||]; term = Sil.Instr.Ret None } ];
+          kind = Sil.Func.Intrinsic name;
+        }
+    end
+  in
+  declare write_mem_name 2;
+  declare bind_mem_name 3;
+  declare bind_const_name 3
+
+(** Rewrite one application function. *)
+let instrument_func (analysis : Arg_analysis.t) (counts : counts)
+    ~(structs : Sil.Types.struct_env) ~(fresh_id : unit -> int)
+    ~(metas : callsite_meta list ref) (f : Sil.Func.t) : Sil.Func.t =
+  let next_vid = ref (List.length (Sil.Func.all_vars f)) in
+  let extra_locals = ref [] in
+  let fresh_tmp () =
+    let v = { Sil.Operand.vid = !next_vid; vname = Printf.sprintf "ctx_tmp%d" !next_vid } in
+    incr next_vid;
+    extra_locals := (v, Sil.Types.Ptr Sil.Types.I64) :: !extra_locals;
+    v
+  in
+  let sensitive_target (p : Sil.Place.t) =
+    match p with
+    | Lvar v -> Arg_analysis.is_sensitive_local analysis f.fname v
+    | Lglobal g -> Arg_analysis.is_sensitive_global analysis g
+    | Lfield (_, s, fl) -> Arg_analysis.is_sensitive_field analysis s fl
+    | Lindex _ | Lderef _ -> false
+  in
+  (* A store through a pointer (v[i] = ..., *p = ...) must refresh the
+     shadow when the pointer provably aims at a sensitive object: check
+     whether any definition of the base variable takes the address of a
+     sensitive place. *)
+  let base_points_to_sensitive (op : Sil.Operand.t) =
+    match op with
+    | Var v ->
+      List.exists
+        (fun def ->
+          match def with
+          | `Rvalue (Sil.Instr.Addr_of place) -> sensitive_target place
+          | `Rvalue _ | `Stored _ | `Call_result -> false)
+        (Arg_analysis.defs_of f v)
+    | Const _ | Cstr _ | Global _ | Func_addr _ | Null -> false
+  in
+  let sensitive_place (p : Sil.Place.t) =
+    match p with
+    | Lvar _ | Lglobal _ | Lfield _ -> sensitive_target p
+    | Lindex (base, _, _) | Lderef base -> base_points_to_sensitive base
+  in
+  let emit_write_mem ?(size = 1) buf (place : Sil.Place.t) =
+    let tmp = fresh_tmp () in
+    buf := Sil.Instr.Assign (tmp, Sil.Instr.Addr_of place) :: !buf;
+    buf :=
+      Sil.Instr.Call
+        {
+          dst = None;
+          target = Sil.Instr.Direct write_mem_name;
+          args = [ Sil.Operand.Var tmp; Sil.Operand.Const (Int64.of_int size) ];
+        }
+      :: !buf;
+    counts.write_mem <- counts.write_mem + 1
+  in
+  let emit_binds buf label (plan : Arg_analysis.plan) =
+    let id = fresh_id () in
+    List.iter
+      (fun ((pos, binding) : int * Arg_analysis.binding) ->
+        let const_args value =
+          [ Sil.Operand.const id; Sil.Operand.const pos; value ]
+        in
+        match binding with
+        | Bind_const c ->
+          counts.bind_const <- counts.bind_const + 1;
+          buf :=
+            Sil.Instr.Call
+              { dst = None; target = Direct bind_const_name; args = const_args (Const c) }
+            :: !buf
+        | Bind_cstr s ->
+          counts.bind_const <- counts.bind_const + 1;
+          buf :=
+            Sil.Instr.Call
+              { dst = None; target = Direct bind_const_name; args = const_args (Cstr s) }
+            :: !buf
+        | Bind_faddr fn ->
+          counts.bind_const <- counts.bind_const + 1;
+          buf :=
+            Sil.Instr.Call
+              {
+                dst = None;
+                target = Direct bind_const_name;
+                args = const_args (Func_addr fn);
+              }
+            :: !buf
+        | Bind_var v ->
+          counts.bind_mem <- counts.bind_mem + 1;
+          let tmp = fresh_tmp () in
+          buf := Sil.Instr.Assign (tmp, Sil.Instr.Addr_of (Lvar v)) :: !buf;
+          buf :=
+            Sil.Instr.Call
+              { dst = None; target = Direct bind_mem_name; args = const_args (Var tmp) }
+            :: !buf
+        | Bind_global g ->
+          counts.bind_mem <- counts.bind_mem + 1;
+          let tmp = fresh_tmp () in
+          buf := Sil.Instr.Assign (tmp, Sil.Instr.Addr_of (Lglobal g)) :: !buf;
+          buf :=
+            Sil.Instr.Call
+              { dst = None; target = Direct bind_mem_name; args = const_args (Var tmp) }
+            :: !buf)
+      plan.pl_args;
+    let meta =
+      {
+        cm_id = id;
+        cm_loc = Sil.Loc.make f.fname label (List.length !buf);
+        cm_callee = plan.pl_callee;
+        cm_sysno = plan.pl_sysno;
+        cm_specs = plan.pl_args;
+      }
+    in
+    metas := meta :: !metas
+  in
+  let first_label = (Sil.Func.entry_block f).label in
+  let blocks =
+    List.map
+      (fun (b : Sil.Func.block) ->
+        let buf = ref [] in
+        (* All sensitive locals are traced at function entry: parameters
+           carry their incoming value (Fig. 2 line 11), and
+           uninitialised locals sync their shadow with the frame's
+           initial state so stack-slot reuse across frames can never
+           read as corruption. *)
+        if String.equal b.label first_label then
+          List.iter
+            (fun ((v : Sil.Operand.var), ty) ->
+              if Arg_analysis.is_sensitive_local analysis f.fname v then
+                (* The entry sync covers the variable's full extent
+                   (multi-word buffers included). *)
+                let size = max 1 (Sil.Types.size_words structs ty) in
+                emit_write_mem ~size buf (Sil.Place.Lvar v))
+            (Sil.Func.all_vars f);
+        Array.iteri
+          (fun idx (ins : Sil.Instr.t) ->
+            let loc = Sil.Loc.make f.fname b.label idx in
+            match ins with
+            | Call { dst; _ } ->
+              (match Arg_analysis.plan_at analysis loc with
+              | Some plan -> emit_binds buf b.label plan
+              | None -> ());
+              buf := ins :: !buf;
+              (match dst with
+              | Some v when Arg_analysis.is_sensitive_local analysis f.fname v ->
+                emit_write_mem buf (Sil.Place.Lvar v)
+              | Some _ | None -> ())
+            | Assign (v, _) ->
+              buf := ins :: !buf;
+              if Arg_analysis.is_sensitive_local analysis f.fname v then
+                emit_write_mem buf (Sil.Place.Lvar v)
+            | Store (place, _) ->
+              buf := ins :: !buf;
+              if sensitive_place place then emit_write_mem buf place)
+          b.instrs;
+        { b with instrs = Array.of_list (List.rev !buf) })
+      f.blocks
+  in
+  { f with locals = f.locals @ List.rev !extra_locals; blocks }
+
+(** Instrument the whole program.  The input program is not modified. *)
+let run (prog : Sil.Prog.t) (analysis : Arg_analysis.t) : t =
+  let counts = { write_mem = 0; bind_mem = 0; bind_const = 0 } in
+  let metas = ref [] in
+  let next_id = ref 0 in
+  let fresh_id () =
+    incr next_id;
+    !next_id
+  in
+  let funcs = Hashtbl.create (Hashtbl.length prog.funcs) in
+  Hashtbl.iter
+    (fun name (f : Sil.Func.t) ->
+      match f.kind with
+      | App_code ->
+        Hashtbl.replace funcs name
+          (instrument_func analysis counts ~structs:prog.structs ~fresh_id ~metas f)
+      | Syscall_stub _ | Intrinsic _ -> Hashtbl.replace funcs name f)
+    prog.funcs;
+  ensure_intrinsics funcs;
+  let iprog =
+    { Sil.Prog.structs = prog.structs; globals = prog.globals; funcs; entry = prog.entry }
+  in
+  { iprog; callsites = !metas; counts }

@@ -1,0 +1,33 @@
+(** The instrumentation pass (§6.3.3): rewrite a program, inserting the
+    BASTION runtime-library calls of Table 2 — ctx_write_mem after
+    sensitive stores (and at function entry), ctx_bind_mem /
+    ctx_bind_const before sensitive callsites. *)
+
+val write_mem_name : string
+val bind_mem_name : string
+val bind_const_name : string
+
+(** One instrumented callsite, keyed by its small-integer id. *)
+type callsite_meta = {
+  cm_id : int;
+  cm_loc : Sil.Loc.t;  (** location of the call in the INSTRUMENTED program *)
+  cm_callee : string;
+  cm_sysno : int option;
+  cm_specs : (int * Arg_analysis.binding) list;
+}
+
+(** Instrumentation-site counts (Table 5 rows 6-8). *)
+type counts = {
+  mutable write_mem : int;
+  mutable bind_mem : int;
+  mutable bind_const : int;
+}
+
+type t = {
+  iprog : Sil.Prog.t;            (** the instrumented program *)
+  callsites : callsite_meta list;
+  counts : counts;
+}
+
+(** Instrument the whole program; the input is not modified. *)
+val run : Sil.Prog.t -> Arg_analysis.t -> t

@@ -1,0 +1,129 @@
+(* Deploy-time (post-layout) metadata: the paper's compiler-generated
+   context metadata with program offsets resolved to concrete addresses,
+   as loaded by the monitor at initialisation (§7.1). *)
+
+type arg_spec = Spec_const of int64 | Spec_mem
+
+type cs_entry = {
+  e_id : int;
+  e_loc : Sil.Loc.t;
+  e_addr : int64;
+  e_callee : string;
+  e_sysno : int option;
+  e_specs : (int * arg_spec) list;
+}
+
+type conv = Conv_direct of string | Conv_indirect
+
+type t = {
+  calltype : Calltype.t;
+  cfg : Cfg_analysis.t;
+  cs_by_addr : (int64, cs_entry) Hashtbl.t;
+  conv_by_addr : (int64, conv) Hashtbl.t;  (** every callsite's convention *)
+  func_slots : (string, int list) Hashtbl.t;  (** sensitive local offsets (words) *)
+  checked_globals : (string * int64 * int) list;  (** name, address, words *)
+  entry_count : int;  (** total metadata entries, for init-cost reporting *)
+}
+
+let resolve_spec (m : Machine.t) (binding : Arg_analysis.binding) : arg_spec =
+  match binding with
+  | Bind_const c -> Spec_const c
+  | Bind_cstr s -> Spec_const (Machine.Layout.intern_string m.layout m.mem s)
+  | Bind_faddr f -> Spec_const (Machine.Layout.func_entry m.layout f)
+  | Bind_var _ | Bind_global _ -> Spec_mem
+
+let build ~(calltype : Calltype.t) ~(cfg : Cfg_analysis.t)
+    ~(analysis : Arg_analysis.t) ~(inst : Instrument.t) (m : Machine.t) : t =
+  let cs_by_addr = Hashtbl.create 64 in
+  List.iter
+    (fun (cm : Instrument.callsite_meta) ->
+      let e_addr = Machine.Layout.addr_of_loc m.layout cm.cm_loc in
+      Hashtbl.replace cs_by_addr e_addr
+        {
+          e_id = cm.cm_id;
+          e_loc = cm.cm_loc;
+          e_addr;
+          e_callee = cm.cm_callee;
+          e_sysno = cm.cm_sysno;
+          e_specs = List.map (fun (pos, b) -> (pos, resolve_spec m b)) cm.cm_specs;
+        })
+    inst.callsites;
+  let conv_by_addr = Hashtbl.create 256 in
+  List.iter
+    (fun (loc, _dst, target, _args) ->
+      let addr = Machine.Layout.addr_of_loc m.layout loc in
+      let conv =
+        match (target : Sil.Instr.call_target) with
+        | Direct f -> Conv_direct f
+        | Indirect _ -> Conv_indirect
+      in
+      Hashtbl.replace conv_by_addr addr conv)
+    (Sil.Prog.calls m.prog);
+  let func_slots = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Sil.Func.t) ->
+      match Arg_analysis.sensitive_locals_of analysis f.fname with
+      | [] -> ()
+      | vars ->
+        let offsets =
+          List.filter_map
+            (fun (v : Sil.Operand.var) ->
+              try Some (Machine.Layout.var_offset m.layout f.fname v.vid)
+              with Invalid_argument _ -> None)
+            vars
+        in
+        Hashtbl.replace func_slots f.fname offsets)
+    (Sil.Prog.functions m.prog);
+  let checked_globals =
+    (* Sensitive scalar/aggregate globals, plus sensitive fields of any
+       struct-typed global. *)
+    let direct =
+      List.map
+        (fun g ->
+          (g, Machine.Layout.global_addr m.layout g, Machine.Layout.global_words m.layout g))
+        (Arg_analysis.sensitive_globals analysis)
+    in
+    let field_regions gname sname ~elem_base =
+      List.filter_map
+        (fun (s, f) ->
+          if String.equal s sname then
+            let off = Sil.Types.field_offset m.prog.structs s f in
+            let words =
+              Sil.Types.size_words m.prog.structs
+                (Sil.Types.field_type m.prog.structs s f)
+            in
+            Some
+              ( Printf.sprintf "%s.%s" gname f,
+                Machine.Memory.addr_add elem_base off,
+                words )
+          else None)
+        (Arg_analysis.sensitive_fields analysis)
+    in
+    let fields =
+      List.concat_map
+        (fun (g : Sil.Prog.global) ->
+          let base = Machine.Layout.global_addr m.layout g.gname in
+          match g.gty with
+          | Sil.Types.Struct sname -> field_regions g.gname sname ~elem_base:base
+          | Sil.Types.Array (Sil.Types.Struct sname, n) ->
+            (* Arrays of structs (vtable-like object tables): check the
+               sensitive fields of every element. *)
+            let elem = Sil.Types.size_words m.prog.structs (Sil.Types.Struct sname) in
+            List.concat_map
+              (fun e ->
+                field_regions
+                  (Printf.sprintf "%s[%d]" g.gname e)
+                  sname
+                  ~elem_base:(Machine.Memory.addr_add base (e * elem)))
+              (List.init n Fun.id)
+          | Sil.Types.Void | Sil.Types.I64 | Sil.Types.Ptr _ | Sil.Types.Array _
+          | Sil.Types.Func _ -> [])
+        m.prog.globals
+    in
+    direct @ fields
+  in
+  let entry_count =
+    Hashtbl.length cs_by_addr + Hashtbl.length conv_by_addr
+    + Cfg_analysis.pair_count cfg + List.length checked_globals
+  in
+  { calltype; cfg; cs_by_addr; conv_by_addr; func_slots; checked_globals; entry_count }

@@ -1,0 +1,42 @@
+(** Deploy-time (post-layout) metadata: the compiler-generated context
+    metadata with program offsets resolved to concrete code addresses,
+    as the monitor loads it at initialisation (§7.1). *)
+
+(** How one argument position is verified. *)
+type arg_spec = Spec_const of int64 | Spec_mem
+
+(** One traced callsite. *)
+type cs_entry = {
+  e_id : int;
+  e_loc : Sil.Loc.t;
+  e_addr : int64;
+  e_callee : string;
+  e_sysno : int option;  (** [Some n] iff a syscall callsite *)
+  e_specs : (int * arg_spec) list;
+}
+
+(** Calling convention of a callsite (what decoding the call instruction
+    at the trap rip reveals). *)
+type conv = Conv_direct of string | Conv_indirect
+
+type t = {
+  calltype : Calltype.t;
+  cfg : Cfg_analysis.t;
+  cs_by_addr : (int64, cs_entry) Hashtbl.t;
+  conv_by_addr : (int64, conv) Hashtbl.t;   (** every callsite *)
+  func_slots : (string, int list) Hashtbl.t;
+      (** per function: word offsets of sensitive locals *)
+  checked_globals : (string * int64 * int) list;
+      (** sensitive global regions: name, address, words *)
+  entry_count : int;  (** total metadata entries (init-cost reporting) *)
+}
+
+val resolve_spec : Machine.t -> Arg_analysis.binding -> arg_spec
+
+val build :
+  calltype:Calltype.t ->
+  cfg:Cfg_analysis.t ->
+  analysis:Arg_analysis.t ->
+  inst:Instrument.t ->
+  Machine.t ->
+  t

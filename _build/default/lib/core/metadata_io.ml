@@ -1,0 +1,318 @@
+(* Serialisation of the compiler-generated context metadata.
+
+   In the paper the BASTION compiler writes its analysis results to a
+   metadata file shipped alongside the protected binary; the monitor
+   loads it at initialisation (§7.1, Fig. 1).  This module implements
+   that boundary: {!write} renders everything the runtime needs —
+   call-type table, legitimate indirect callsites, callee→caller pairs,
+   per-callsite argument bindings, sensitive variables — as a
+   line-oriented text format, and {!restore} rebuilds a deployable
+   {!Api.protected} from the metadata plus the instrumented program.
+
+   Format (one record per line, strings in OCaml lexical form):
+
+     BASTION-METADATA v1
+     calltype <sysno> <d|i|di>
+     indirect-callsite <func> <block> <index>
+     indirect-target <fname>
+     valid-caller <callee> <caller-func> <block> <index>
+     covered <fname>
+     sensitive-callsite <func> <block> <index>
+     counts <write_mem> <bind_mem> <bind_const>
+     callsite <id> <func> <block> <index> <callee> <sysno|->
+     arg <id> <pos> const <int64>
+     arg <id> <pos> cstr "<string>"
+     arg <id> <pos> faddr <fname>
+     arg <id> <pos> var <func> <vid> "<name>"
+     arg <id> <pos> global <gname>
+     sensitive-local <func> <vid> "<name>"
+     sensitive-global <gname>
+     sensitive-field <struct> <field>
+     plan <loc...> <callee> <sysno|->        (analysis plans, same arg refs) *)
+
+let header = "BASTION-METADATA v1"
+
+exception Parse_error of int * string
+
+let loc_str (l : Sil.Loc.t) = Printf.sprintf "%s %s %d" l.func l.block l.index
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+let write_binding buf id pos (b : Arg_analysis.binding) =
+  match b with
+  | Bind_const c -> Printf.bprintf buf "arg %d %d const %Ld\n" id pos c
+  | Bind_cstr s -> Printf.bprintf buf "arg %d %d cstr %S\n" id pos s
+  | Bind_faddr f -> Printf.bprintf buf "arg %d %d faddr %s\n" id pos f
+  | Bind_var v -> Printf.bprintf buf "arg %d %d var %d %S\n" id pos v.vid v.vname
+  | Bind_global g -> Printf.bprintf buf "arg %d %d global %s\n" id pos g
+
+(** Render the metadata of a protected program. *)
+let write (p : Api.protected) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  (* Call-type table. *)
+  Hashtbl.iter
+    (fun sysno (ct : Calltype.call_type) ->
+      let conv =
+        match (ct.directly, ct.indirectly) with
+        | true, true -> "di"
+        | true, false -> "d"
+        | false, true -> "i"
+        | false, false -> "-"
+      in
+      Printf.bprintf buf "calltype %d %s\n" sysno conv)
+    p.calltype.by_sysno;
+  Sil.Loc.Set.iter
+    (fun l -> Printf.bprintf buf "indirect-callsite %s\n" (loc_str l))
+    p.calltype.legit_indirect;
+  Hashtbl.iter
+    (fun f () -> Printf.bprintf buf "indirect-target %s\n" f)
+    p.calltype.indirect_targets;
+  (* Control-flow metadata. *)
+  Hashtbl.iter
+    (fun callee set ->
+      Sil.Loc.Set.iter
+        (fun l -> Printf.bprintf buf "valid-caller %s %s\n" callee (loc_str l))
+        set)
+    p.cfg.valid_callers;
+  Hashtbl.iter (fun f () -> Printf.bprintf buf "covered %s\n" f) p.cfg.covered;
+  Sil.Loc.Set.iter
+    (fun l -> Printf.bprintf buf "sensitive-callsite %s\n" (loc_str l))
+    p.cfg.sensitive_callsites;
+  (* Instrumented-callsite metadata. *)
+  Printf.bprintf buf "counts %d %d %d\n" p.inst.counts.write_mem p.inst.counts.bind_mem
+    p.inst.counts.bind_const;
+  List.iter
+    (fun (cm : Instrument.callsite_meta) ->
+      Printf.bprintf buf "callsite %d %s %s %s\n" cm.cm_id (loc_str cm.cm_loc)
+        cm.cm_callee
+        (match cm.cm_sysno with Some n -> string_of_int n | None -> "-");
+      List.iter (fun (pos, b) -> write_binding buf cm.cm_id pos b) cm.cm_specs)
+    p.inst.callsites;
+  (* Sensitive items (drive the monitor's sweeps). *)
+  Arg_analysis.Item_set.iter
+    (fun item ->
+      match item with
+      | Arg_analysis.S_local (f, v) ->
+        Printf.bprintf buf "sensitive-local %s %d %S\n" f v.vid v.vname
+      | Arg_analysis.S_global g -> Printf.bprintf buf "sensitive-global %s\n" g
+      | Arg_analysis.S_field (s, f) -> Printf.bprintf buf "sensitive-field %s %s\n" s f)
+    p.analysis.items;
+  Buffer.contents buf
+
+let save (p : Api.protected) ~file =
+  let oc = open_out file in
+  output_string oc (write p);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+type parsed = {
+  pr_calltype : (int * Calltype.call_type) list;
+  pr_indirect_callsites : Sil.Loc.t list;
+  pr_indirect_targets : string list;
+  pr_valid_callers : (string * Sil.Loc.t) list;
+  pr_covered : string list;
+  pr_sensitive_callsites : Sil.Loc.t list;
+  pr_counts : int * int * int;
+  pr_callsites : Instrument.callsite_meta list;  (** specs filled from arg lines *)
+  pr_items : Arg_analysis.item list;
+}
+
+let parse (text : string) : parsed =
+  let lines = String.split_on_char '\n' text in
+  (match lines with
+  | first :: _ when String.equal first header -> ()
+  | _ -> raise (Parse_error (1, "missing metadata header")));
+  let calltype = ref [] in
+  let ind_cs = ref [] in
+  let ind_tg = ref [] in
+  let pairs = ref [] in
+  let covered = ref [] in
+  let sens_cs = ref [] in
+  let counts = ref (0, 0, 0) in
+  let callsites : (int, Instrument.callsite_meta) Hashtbl.t = Hashtbl.create 32 in
+  let args : (int, (int * Arg_analysis.binding) list ref) Hashtbl.t = Hashtbl.create 32 in
+  let items = ref [] in
+  let fail ln msg = raise (Parse_error (ln, msg)) in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      if ln = 1 || String.length line = 0 then ()
+      else
+        try
+          Scanf.sscanf line "%s@ %s@\000" (fun kind rest ->
+              match kind with
+              | "calltype" ->
+                Scanf.sscanf rest "%d %s" (fun sysno conv ->
+                    let ct =
+                      match conv with
+                      | "di" -> { Calltype.directly = true; indirectly = true }
+                      | "d" -> { Calltype.directly = true; indirectly = false }
+                      | "i" -> { Calltype.directly = false; indirectly = true }
+                      | "-" -> Calltype.not_callable
+                      | other -> fail ln ("bad call type " ^ other)
+                    in
+                    calltype := (sysno, ct) :: !calltype)
+              | "indirect-callsite" ->
+                Scanf.sscanf rest "%s %s %d" (fun f b ix ->
+                    ind_cs := Sil.Loc.make f b ix :: !ind_cs)
+              | "indirect-target" -> ind_tg := String.trim rest :: !ind_tg
+              | "valid-caller" ->
+                Scanf.sscanf rest "%s %s %s %d" (fun callee f b ix ->
+                    pairs := (callee, Sil.Loc.make f b ix) :: !pairs)
+              | "covered" -> covered := String.trim rest :: !covered
+              | "sensitive-callsite" ->
+                Scanf.sscanf rest "%s %s %d" (fun f b ix ->
+                    sens_cs := Sil.Loc.make f b ix :: !sens_cs)
+              | "counts" ->
+                Scanf.sscanf rest "%d %d %d" (fun a b c -> counts := (a, b, c))
+              | "callsite" ->
+                Scanf.sscanf rest "%d %s %s %d %s %s" (fun id f blk ix callee sysno ->
+                    Hashtbl.replace callsites id
+                      {
+                        Instrument.cm_id = id;
+                        cm_loc = Sil.Loc.make f blk ix;
+                        cm_callee = callee;
+                        cm_sysno =
+                          (if String.equal sysno "-" then None
+                           else Some (int_of_string sysno));
+                        cm_specs = [];
+                      })
+              | "arg" ->
+                Scanf.sscanf rest "%d %d %s@ %s@\000" (fun id pos akind payload ->
+                    let binding =
+                      match akind with
+                      | "const" -> Arg_analysis.Bind_const (Int64.of_string payload)
+                      | "cstr" -> Scanf.sscanf payload "%S" (fun s -> Arg_analysis.Bind_cstr s)
+                      | "faddr" -> Arg_analysis.Bind_faddr (String.trim payload)
+                      | "var" ->
+                        Scanf.sscanf payload "%d %S" (fun vid vname ->
+                            Arg_analysis.Bind_var { Sil.Operand.vid; vname })
+                      | "global" -> Arg_analysis.Bind_global (String.trim payload)
+                      | other -> fail ln ("bad binding kind " ^ other)
+                    in
+                    let cell =
+                      match Hashtbl.find_opt args id with
+                      | Some c -> c
+                      | None ->
+                        let c = ref [] in
+                        Hashtbl.replace args id c;
+                        c
+                    in
+                    cell := (pos, binding) :: !cell)
+              | "sensitive-local" ->
+                Scanf.sscanf rest "%s %d %S" (fun f vid vname ->
+                    items := Arg_analysis.S_local (f, { Sil.Operand.vid; vname }) :: !items)
+              | "sensitive-global" ->
+                items := Arg_analysis.S_global (String.trim rest) :: !items
+              | "sensitive-field" ->
+                Scanf.sscanf rest "%s %s" (fun s f ->
+                    items := Arg_analysis.S_field (s, f) :: !items)
+              | other -> fail ln ("unknown record " ^ other))
+        with
+        | Parse_error _ as e -> raise e
+        | Scanf.Scan_failure msg -> fail ln msg
+        | Failure msg -> fail ln msg
+        | End_of_file -> fail ln "truncated record")
+    lines;
+  let pr_callsites =
+    Hashtbl.fold
+      (fun id (cm : Instrument.callsite_meta) acc ->
+        let specs =
+          match Hashtbl.find_opt args id with
+          | Some c -> List.sort compare !c
+          | None -> []
+        in
+        { cm with cm_specs = specs } :: acc)
+      callsites []
+  in
+  {
+    pr_calltype = !calltype;
+    pr_indirect_callsites = !ind_cs;
+    pr_indirect_targets = !ind_tg;
+    pr_valid_callers = !pairs;
+    pr_covered = !covered;
+    pr_sensitive_callsites = !sens_cs;
+    pr_counts = !counts;
+    pr_callsites;
+    pr_items = !items;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Restoring a deployable protected bundle                             *)
+
+(** Rebuild an {!Api.protected} from parsed metadata and the
+    instrumented program it was produced for (the paper's binary +
+    metadata file pair).  The result launches exactly like the output
+    of {!Api.protect}. *)
+let restore (iprog : Sil.Prog.t) (pr : parsed) : Api.protected =
+  let by_sysno = Hashtbl.create 32 in
+  List.iter (fun (n, ct) -> Hashtbl.replace by_sysno n ct) pr.pr_calltype;
+  let legit_indirect =
+    List.fold_left (fun s l -> Sil.Loc.Set.add l s) Sil.Loc.Set.empty
+      pr.pr_indirect_callsites
+  in
+  let indirect_targets = Hashtbl.create 32 in
+  List.iter (fun f -> Hashtbl.replace indirect_targets f ()) pr.pr_indirect_targets;
+  let calltype = { Calltype.by_sysno; legit_indirect; indirect_targets } in
+  let valid_callers = Hashtbl.create 32 in
+  List.iter
+    (fun (callee, l) ->
+      let existing =
+        Option.value ~default:Sil.Loc.Set.empty (Hashtbl.find_opt valid_callers callee)
+      in
+      Hashtbl.replace valid_callers callee (Sil.Loc.Set.add l existing))
+    pr.pr_valid_callers;
+  let covered = Hashtbl.create 32 in
+  List.iter (fun f -> Hashtbl.replace covered f ()) pr.pr_covered;
+  let sensitive_callsites =
+    List.fold_left (fun s l -> Sil.Loc.Set.add l s) Sil.Loc.Set.empty
+      pr.pr_sensitive_callsites
+  in
+  let cfg = { Cfg_analysis.valid_callers; covered; sensitive_callsites } in
+  let items =
+    List.fold_left (fun s i -> Arg_analysis.Item_set.add i s) Arg_analysis.Item_set.empty
+      pr.pr_items
+  in
+  (* Plans are only consumed by the instrumenter, which already ran;
+     keep the callsite plans reconstructible for introspection. *)
+  let plans = Hashtbl.create 32 in
+  List.iter
+    (fun (cm : Instrument.callsite_meta) ->
+      Hashtbl.replace plans cm.cm_loc
+        {
+          Arg_analysis.pl_loc = cm.cm_loc;
+          pl_callee = cm.cm_callee;
+          pl_sysno = cm.cm_sysno;
+          pl_args = cm.cm_specs;
+        })
+    pr.pr_callsites;
+  let analysis = { Arg_analysis.items; plans } in
+  let w, bm, bc = pr.pr_counts in
+  let inst =
+    {
+      Instrument.iprog;
+      callsites = pr.pr_callsites;
+      counts = { Instrument.write_mem = w; bind_mem = bm; bind_const = bc };
+    }
+  in
+  {
+    Api.original = iprog;
+    inst;
+    analysis;
+    calltype;
+    cfg;
+    sensitive_numbers = Kernel.Syscalls.sensitive_numbers;
+    original_callgraph = Sil.Callgraph.build iprog;
+  }
+
+let load ~file (iprog : Sil.Prog.t) : Api.protected =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  restore iprog (parse text)

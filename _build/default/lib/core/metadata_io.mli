@@ -1,0 +1,37 @@
+(** Serialisation of the compiler-generated context metadata — the
+    metadata file the paper's compiler ships beside the protected
+    binary and the monitor loads at initialisation (§7.1, Fig. 1). *)
+
+val header : string
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+(** Render a protected program's metadata as the line-oriented text
+    format documented in the implementation. *)
+val write : Api.protected -> string
+
+val save : Api.protected -> file:string -> unit
+
+(** Raw parsed records. *)
+type parsed = {
+  pr_calltype : (int * Calltype.call_type) list;
+  pr_indirect_callsites : Sil.Loc.t list;
+  pr_indirect_targets : string list;
+  pr_valid_callers : (string * Sil.Loc.t) list;
+  pr_covered : string list;
+  pr_sensitive_callsites : Sil.Loc.t list;
+  pr_counts : int * int * int;
+  pr_callsites : Instrument.callsite_meta list;
+  pr_items : Arg_analysis.item list;
+}
+
+(** @raise Parse_error on malformed input. *)
+val parse : string -> parsed
+
+(** Rebuild a deployable bundle from metadata plus the instrumented
+    program it was produced for; launches exactly like the output of
+    {!Api.protect}. *)
+val restore : Sil.Prog.t -> parsed -> Api.protected
+
+val load : file:string -> Sil.Prog.t -> Api.protected

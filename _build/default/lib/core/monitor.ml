@@ -1,0 +1,423 @@
+(* The BASTION runtime monitor (§7): a separate process that traps on
+   sensitive syscall invocations (seccomp TRACE) and verifies the three
+   contexts against compiler metadata before letting the call proceed.
+
+   Enforcement order follows §7.2-§7.4: Call-Type, then Control-Flow,
+   then Argument-Integrity; a violation kills the protected application.
+   Every inspection of the tracee charges ptrace-modelled cycle costs. *)
+
+module Ptrace = Kernel.Ptrace
+module Process = Kernel.Process
+module Syscalls = Kernel.Syscalls
+
+let log_src = Logs.Src.create "bastion.monitor" ~doc:"BASTION runtime monitor"
+
+module Log = (val Logs.src_log log_src)
+
+type contexts = { ct : bool; cf : bool; ai : bool }
+
+let all_contexts = { ct = true; cf = true; ai = true }
+let no_contexts = { ct = false; cf = false; ai = false }
+
+(** How the §11.2 filesystem-syscall extension is deployed (Table 7). *)
+type fs_mode =
+  | Fs_off          (** main evaluation: fs syscalls simply allowed *)
+  | Fs_hook_only    (** row 1: seccomp evaluates, no trap *)
+  | Fs_fetch_only   (** row 2: trap + fetch process state, no checking *)
+  | Fs_full         (** row 3: trap + full context checking *)
+
+type config = {
+  contexts : contexts;
+  fs_mode : fs_mode;
+  sockaddr_fastpath : bool;
+}
+
+let default_config = { contexts = all_contexts; fs_mode = Fs_off; sockaddr_fastpath = true }
+
+type denial = { d_sysno : int; d_context : string; d_detail : string }
+
+type t = {
+  meta : Metadata.t;
+  runtime : Runtime.t;
+  config : config;
+  machine : Machine.t;
+  mutable traps_checked : int;
+  mutable init_cycles : int;
+  mutable denials : denial list;
+  (* §9.2 statistics: call-stack depth observed at each verified trap. *)
+  mutable depth_total : int;
+  mutable depth_min : int;
+  mutable depth_max : int;
+  mutable depth_samples : int;
+}
+
+exception Deny of string * string  (** context, detail *)
+
+let create ~(meta : Metadata.t) ~(runtime : Runtime.t) ~config (machine : Machine.t) =
+  (* Loading metadata: a linear pass over all entries (the paper reports
+     10-20 ms; we report cycles in stats, not on the tracee's clock). *)
+  let init_cycles = 40 * meta.entry_count in
+  {
+    meta;
+    runtime;
+    config;
+    machine;
+    traps_checked = 0;
+    init_cycles;
+    denials = [];
+    depth_total = 0;
+    depth_min = max_int;
+    depth_max = 0;
+    depth_samples = 0;
+  }
+
+let charge_check (t : t) = Machine.charge t.machine t.machine.config.cost.monitor_check
+
+(* Shadow-memory access from the monitor side.  The shadow region is
+   mapped *shared* between the application and the monitor (§7.1), so
+   lookups are local probes, not remote reads. *)
+let shadow_lookup (t : t) addr =
+  let value, probes = Shadow_memory.find_probes t.runtime.shadow addr in
+  Machine.charge t.machine
+    (t.machine.config.cost.monitor_check + (2 * probes));
+  value
+
+let binding_lookup (t : t) ~id ~pos =
+  shadow_lookup t (Shadow_memory.binding_key ~id ~pos)
+
+let in_rodata addr =
+  addr >= Machine.Layout.rodata_base && addr < Machine.Layout.data_base
+
+(* ------------------------------------------------------------------ *)
+(* Call-Type context (§7.2)                                            *)
+
+let check_call_type (t : t) (regs : Ptrace.regs) =
+  charge_check t;
+  let ct = Calltype.call_type t.meta.calltype regs.sysno in
+  match Hashtbl.find_opt t.meta.conv_by_addr regs.rip with
+  | None -> raise (Deny ("call-type", "syscall invoked from unknown callsite"))
+  | Some (Metadata.Conv_direct callee) ->
+    if not ct.directly then
+      raise
+        (Deny
+           ( "call-type",
+             Printf.sprintf "%s is not directly-callable" (Syscalls.name regs.sysno) ));
+    (* The decoded call instruction must actually name this syscall. *)
+    (match Hashtbl.find_opt t.machine.prog.funcs callee with
+    | Some stub when Sil.Func.syscall_number stub = Some regs.sysno -> ()
+    | Some _ | None ->
+      raise (Deny ("call-type", "callsite does not match trapped syscall")))
+  | Some Metadata.Conv_indirect ->
+    if not ct.indirectly then
+      raise
+        (Deny
+           ( "call-type",
+             Printf.sprintf "%s is not indirectly-callable" (Syscalls.name regs.sysno) ))
+
+(* ------------------------------------------------------------------ *)
+(* Control-Flow context (§7.3)                                         *)
+
+let loc_of_rip (t : t) (rip : int64) : Sil.Loc.t option =
+  match Machine.Layout.point_of_addr t.machine.layout rip with
+  | Some (Machine.Layout.Instr_at loc) -> Some loc
+  | Some (Machine.Layout.Term_of _) | None -> None
+
+let check_control_flow (t : t) (tracer : Ptrace.t) (regs : Ptrace.regs)
+    (frames : Ptrace.frame_view list) =
+  let syscall_loc =
+    match loc_of_rip t regs.rip with
+    | Some loc -> loc
+    | None -> raise (Deny ("control-flow", "trap rip is not a call instruction"))
+  in
+  charge_check t;
+  if not (Cfg_analysis.is_sensitive_callsite t.meta.cfg syscall_loc) then
+    raise (Deny ("control-flow", "callsite is not in the CFG metadata"));
+  (match frames with
+  | top :: _ when String.equal top.fv_func syscall_loc.func -> ()
+  | _ -> raise (Deny ("control-flow", "stack top does not match the trapping callsite")));
+  (* Unwind callee -> caller pairs until main or an indirect callsite. *)
+  let rec walk = function
+    | [] -> ()
+    | (inner : Ptrace.frame_view) :: rest -> (
+      charge_check t;
+      match inner.fv_ret_token with
+      | None ->
+        (* Bottom of the stack: the frame with no caller must be the
+           program entry point; anything else is a pivoted stack. *)
+        if not (String.equal inner.fv_func t.machine.prog.entry) then
+          raise
+            (Deny
+               ( "control-flow",
+                 Printf.sprintf "stack bottoms out in %s, not in %s" inner.fv_func
+                   t.machine.prog.entry ))
+      | Some token -> (
+        match Ptrace.callsite_of_token tracer token with
+        | None ->
+          raise (Deny ("control-flow", "return address does not map to a callsite"))
+        | Some caller_site -> (
+          (match rest with
+          | outer :: _ when String.equal caller_site.func outer.fv_func -> ()
+          | _ ->
+            raise
+              (Deny ("control-flow", "unwound caller does not match the next frame")));
+          let caller_addr = Machine.Layout.addr_of_loc t.machine.layout caller_site in
+          match Hashtbl.find_opt t.meta.conv_by_addr caller_addr with
+          | Some Metadata.Conv_indirect ->
+            (* A legitimate indirect callsite ends verification: the
+               partial trace up to here matched the expected one. *)
+            if
+              Calltype.is_legit_indirect_callsite t.meta.calltype caller_site
+              && Calltype.is_indirect_target t.meta.calltype inner.fv_func
+            then ()
+            else
+              raise
+                (Deny ("control-flow", "illegitimate indirect call on the stack"))
+          | Some (Metadata.Conv_direct _) ->
+            if
+              Cfg_analysis.is_valid_caller t.meta.cfg ~callee:inner.fv_func
+                ~caller_site
+            then walk rest
+            else
+              raise
+                (Deny
+                   ( "control-flow",
+                     Printf.sprintf "%s is not a valid caller of %s"
+                       (Sil.Loc.to_string caller_site) inner.fv_func ))
+          | None ->
+            raise (Deny ("control-flow", "unwound return site is not a callsite")))))
+  in
+  walk frames
+
+(* ------------------------------------------------------------------ *)
+(* Argument-Integrity context (§7.4)                                   *)
+
+let check_extended (t : t) (tracer : Ptrace.t) ~(ptr : int64) =
+  (* Verify pointee contents word by word against the shadow.  Rodata is
+     write-protected (DEP), so contents there are trusted after a bounded
+     cost-only scan. *)
+  if in_rodata ptr then begin
+    let s = Ptrace.read_string tracer ptr in
+    ignore s
+  end
+  else begin
+    (* One batched remote read of the pointee region, then compare each
+       word up to the NUL terminator against its shadow. *)
+    let words = Ptrace.read_block tracer ptr Arg_rules.max_extended_words in
+    let rec scan i =
+      if i >= Array.length words then ()
+      else
+        let actual = words.(i) in
+        if Int64.equal actual 0L then ()
+        else begin
+          let a = Machine.Memory.addr_add ptr i in
+          (match shadow_lookup t a with
+          | Some legit when Int64.equal legit actual -> ()
+          | Some _ ->
+            raise (Deny ("argument-integrity", "extended argument contents corrupted"))
+          | None ->
+            raise (Deny ("argument-integrity", "extended argument contents untraced")));
+          scan (i + 1)
+        end
+    in
+    scan 0
+  end
+
+let check_callsite_args (t : t) (tracer : Ptrace.t) (entry : Metadata.cs_entry)
+    (frame : Ptrace.frame_view) =
+  List.iter
+    (fun ((pos, spec) : int * Metadata.arg_spec) ->
+      charge_check t;
+      let actual = if pos < Array.length frame.fv_args then frame.fv_args.(pos) else 0L in
+      (match spec with
+      | Metadata.Spec_const c ->
+        if not (Int64.equal actual c) then
+          raise
+            (Deny
+               ( "argument-integrity",
+                 Printf.sprintf "constant argument %d of %s corrupted" pos entry.e_callee
+               ))
+      | Metadata.Spec_mem -> (
+        match binding_lookup t ~id:entry.e_id ~pos with
+        | None ->
+          raise
+            (Deny
+               ( "argument-integrity",
+                 Printf.sprintf "argument %d of %s was never bound" pos entry.e_callee ))
+        | Some addr -> (
+          match shadow_lookup t addr with
+          | None ->
+            raise
+              (Deny
+                 ( "argument-integrity",
+                   Printf.sprintf "argument %d of %s is untraced" pos entry.e_callee ))
+          | Some legit ->
+            if not (Int64.equal legit actual) then
+              raise
+                (Deny
+                   ( "argument-integrity",
+                     Printf.sprintf "argument %d of %s corrupted (expected %Ld, got %Ld)"
+                       pos entry.e_callee legit actual )))));
+      (* Direct vs extended handling is recovered from the syscall
+         identity (§6.3.2), not from instrumentation. *)
+      match entry.e_sysno with
+      | None -> ()
+      | Some nr -> (
+        match Arg_rules.kind ~sysno:nr ~pos with
+        | Arg_rules.Direct -> ()
+        | Arg_rules.Sockaddr when t.config.sockaddr_fastpath ->
+          (* Specialised sockaddr verification: one fixed-size read. *)
+          if not (Int64.equal actual 0L) then ignore (Ptrace.read_block tracer actual 2)
+        | Arg_rules.Sockaddr | Arg_rules.Extended ->
+          if not (Int64.equal actual 0L) then check_extended t tracer ~ptr:actual))
+    entry.e_specs
+
+let check_argument_integrity (t : t) (tracer : Ptrace.t) (regs : Ptrace.regs)
+    (frames : Ptrace.frame_view list) =
+  (* The trapping callsite itself must carry argument metadata *for the
+     trapped syscall*: a sensitive syscall invoked from a callsite the
+     compiler never bound for it has, by definition, untraced arguments
+     (§10.2). *)
+  (match Hashtbl.find_opt t.meta.cs_by_addr regs.rip with
+  | Some entry when entry.e_sysno = Some regs.sysno -> ()
+  | Some _ | None ->
+    raise (Deny ("argument-integrity", "syscall arguments are untraced at this callsite")));
+  (* Per-frame: verify the bound arguments of the call each frame has in
+     flight, then sweep the frame's sensitive locals. *)
+  List.iter
+    (fun (frame : Ptrace.frame_view) ->
+      (match Hashtbl.find_opt t.meta.cs_by_addr frame.fv_callsite with
+      | Some entry -> check_callsite_args t tracer entry frame
+      | None -> ());
+      match Hashtbl.find_opt t.meta.func_slots frame.fv_func with
+      | None -> ()
+      | Some offsets -> (
+        (* One batched read of the frame's sensitive-slot span. *)
+        match offsets with
+        | [] -> ()
+        | first :: _ ->
+          let lo = List.fold_left min first offsets in
+          let hi = List.fold_left max first offsets in
+          let span = Ptrace.read_block tracer (Machine.Memory.addr_add frame.fv_base lo) (hi - lo + 1) in
+          List.iter
+            (fun off ->
+              charge_check t;
+              let a = Machine.Memory.addr_add frame.fv_base off in
+              let actual = span.(off - lo) in
+              match shadow_lookup t a with
+              | Some legit when not (Int64.equal legit actual) ->
+                raise
+                  (Deny
+                     ( "argument-integrity",
+                       Printf.sprintf "sensitive variable at %s+%d corrupted"
+                         frame.fv_func off ))
+              | Some _ | None -> ())
+            offsets))
+    frames;
+  (* Whole-trap sweep of sensitive globals (and global struct fields),
+     one batched read per region. *)
+  List.iter
+    (fun ((name, addr, words) : string * int64 * int) ->
+      let span = Ptrace.read_block tracer addr words in
+      Array.iteri
+        (fun i actual ->
+          charge_check t;
+          let a = Machine.Memory.addr_add addr i in
+          match shadow_lookup t a with
+          | Some legit when not (Int64.equal legit actual) ->
+            raise
+              (Deny
+                 ( "argument-integrity",
+                   Printf.sprintf "sensitive global %s corrupted" name ))
+          | Some _ | None -> ())
+        span)
+    t.meta.checked_globals
+
+(* ------------------------------------------------------------------ *)
+(* Trap entry point                                                    *)
+
+let full_check (t : t) (tracer : Ptrace.t) : Process.verdict =
+  t.traps_checked <- t.traps_checked + 1;
+  Log.debug (fun m -> m "trap: %s" (Syscalls.name tracer.cur_sysno));
+  try
+    let regs = Ptrace.getregs tracer in
+    if t.config.contexts.ct then check_call_type t regs;
+    if t.config.contexts.cf || t.config.contexts.ai then begin
+      let frames = Ptrace.stack_trace tracer in
+      let depth = List.length frames in
+      t.depth_total <- t.depth_total + depth;
+      t.depth_samples <- t.depth_samples + 1;
+      if depth < t.depth_min then t.depth_min <- depth;
+      if depth > t.depth_max then t.depth_max <- depth;
+      if t.config.contexts.cf then check_control_flow t tracer regs frames;
+      if t.config.contexts.ai then check_argument_integrity t tracer regs frames
+    end;
+    Process.Continue
+  with Deny (context, detail) ->
+    Log.warn (fun m ->
+        m "DENY %s: %s context violated (%s)"
+          (Syscalls.name tracer.cur_sysno)
+          context detail);
+    t.denials <- { d_sysno = tracer.cur_sysno; d_context = context; d_detail = detail } :: t.denials;
+    Process.Deny { context; detail }
+
+let fetch_only (t : t) (tracer : Ptrace.t) : Process.verdict =
+  t.traps_checked <- t.traps_checked + 1;
+  let _regs = Ptrace.getregs tracer in
+  let _frames = Ptrace.stack_trace tracer in
+  Process.Continue
+
+(* ------------------------------------------------------------------ *)
+(* Deployment                                                          *)
+
+(** The seccomp filter §7.1 describes: ALLOW non-sensitive calls used by
+    the program, KILL not-callable calls (sensitive or not, §11.3),
+    TRACE directly/indirectly-callable sensitive calls.  Unknown syscall
+    numbers default to KILL. *)
+let build_filter (t : t) : Kernel.Seccomp.filter =
+  let filter = Kernel.Seccomp.create ~default:Kernel.Seccomp.Kill () in
+  List.iter
+    (fun (_, nr, _) ->
+      let ct = Calltype.call_type t.meta.calltype nr in
+      let callable = ct.directly || ct.indirectly in
+      let action =
+        if not callable then
+          (* Not-callable enforcement is the Call-Type context's seccomp
+             leg; with CT disabled (context-attribution runs), deliver a
+             trap instead so the other contexts get to judge. *)
+          if t.config.contexts.ct then Kernel.Seccomp.Kill else Kernel.Seccomp.Trace
+        else if Syscalls.is_sensitive nr then Kernel.Seccomp.Trace
+        else if Syscalls.is_filesystem nr then
+          match t.config.fs_mode with
+          | Fs_off | Fs_hook_only -> Kernel.Seccomp.Allow
+          | Fs_fetch_only | Fs_full -> Kernel.Seccomp.Trace
+        else Kernel.Seccomp.Allow
+      in
+      Kernel.Seccomp.set_rule filter nr action)
+    Syscalls.table;
+  filter
+
+let hook (t : t) (proc : Process.t) ~sysno ~args:_ : Process.verdict =
+  if Syscalls.is_filesystem sysno && not (Syscalls.is_sensitive sysno) then
+    match t.config.fs_mode with
+    | Fs_fetch_only -> fetch_only t proc.tracer
+    | Fs_full -> full_check t proc.tracer
+    | Fs_off | Fs_hook_only -> Process.Continue
+  else full_check t proc.tracer
+
+(** Attach the monitor to a booted process: install the seccomp filter
+    and the TRACE hook. *)
+let attach (t : t) (proc : Process.t) =
+  proc.filter <- Some (build_filter t);
+  proc.tracer_hook <- Some (fun proc ~sysno ~args -> hook t proc ~sysno ~args)
+
+let denials (t : t) = List.rev t.denials
+
+(** §9.2 call-depth statistics over all verified traps:
+    (min, mean, max); [None] before the first stack walk. *)
+let depth_stats (t : t) =
+  if t.depth_samples = 0 then None
+  else
+    Some
+      ( t.depth_min,
+        float_of_int t.depth_total /. float_of_int t.depth_samples,
+        t.depth_max )

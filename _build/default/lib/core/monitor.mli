@@ -1,0 +1,73 @@
+(** The BASTION runtime monitor (§7): traps on sensitive syscall
+    invocations (seccomp TRACE) and verifies the Call-Type,
+    Control-Flow and Argument-Integrity contexts against compiler
+    metadata before letting the call proceed.  A violation kills the
+    protected application. *)
+
+module Ptrace = Kernel.Ptrace
+module Process = Kernel.Process
+module Syscalls = Kernel.Syscalls
+
+(** Which contexts are enforced. *)
+type contexts = { ct : bool; cf : bool; ai : bool }
+
+val all_contexts : contexts
+val no_contexts : contexts
+
+(** How the §11.2 filesystem-syscall extension is deployed (the Table 7
+    checkpoints). *)
+type fs_mode =
+  | Fs_off          (** main evaluation: fs syscalls simply allowed *)
+  | Fs_hook_only    (** row 1: seccomp evaluates, no trap *)
+  | Fs_fetch_only   (** row 2: trap + fetch process state, no checking *)
+  | Fs_full         (** row 3: trap + full context checking *)
+
+type config = {
+  contexts : contexts;
+  fs_mode : fs_mode;
+  sockaddr_fastpath : bool;
+      (** the specialised accept/accept4 sockaddr verification (§9.2) *)
+}
+
+val default_config : config
+
+(** One recorded denial: syscall, violated context, detail. *)
+type denial = { d_sysno : int; d_context : string; d_detail : string }
+
+type t = {
+  meta : Metadata.t;
+  runtime : Runtime.t;
+  config : config;
+  machine : Machine.t;
+  mutable traps_checked : int;
+  mutable init_cycles : int;    (** metadata-loading cost (§9.2) *)
+  mutable denials : denial list;
+  mutable depth_total : int;
+  mutable depth_min : int;
+  mutable depth_max : int;
+  mutable depth_samples : int;
+}
+
+exception Deny of string * string
+
+val create : meta:Metadata.t -> runtime:Runtime.t -> config:config -> Machine.t -> t
+
+(** Full verification of one trap (CT, then CF, then AI). *)
+val full_check : t -> Ptrace.t -> Process.verdict
+
+(** Fetch state only (Table 7 row 2): getregs + stack walk, no checks. *)
+val fetch_only : t -> Ptrace.t -> Process.verdict
+
+(** The seccomp filter of §7.1: ALLOW used non-sensitive syscalls, KILL
+    not-callable ones (§11.3), TRACE the rest; unknown numbers default
+    to KILL. *)
+val build_filter : t -> Kernel.Seccomp.filter
+
+(** Install the filter and TRACE hook on a booted process. *)
+val attach : t -> Process.t -> unit
+
+(** Denials in chronological order. *)
+val denials : t -> denial list
+
+(** §9.2 call-depth statistics over verified traps: (min, mean, max). *)
+val depth_stats : t -> (int * float * int) option

@@ -1,0 +1,55 @@
+(* The BASTION runtime library (Table 2), installed as the machine's
+   intrinsic handler.  The inlined ctx_* calls keep the shadow memory up
+   to date from inside the protected application:
+
+   - ctx_write_mem(p, size): refresh the shadow copies of [size] words
+     at [p] from their just-stored (legitimate) values;
+   - ctx_bind_mem(id, pos, p): bind address [p] to argument [pos] of
+     instrumented callsite [id];
+   - ctx_bind_const(id, pos, c): constants are static metadata — the
+     call exists only for its (small, inlined) runtime cost. *)
+
+type t = {
+  shadow : Shadow_memory.t;
+  mutable write_mem_calls : int;
+  mutable bind_mem_calls : int;
+  mutable bind_const_calls : int;
+}
+
+let create () =
+  { shadow = Shadow_memory.create (); write_mem_calls = 0; bind_mem_calls = 0; bind_const_calls = 0 }
+
+let handle (t : t) (m : Machine.t) ~name ~(args : int64 array) : int64 =
+  let arg i = if i < Array.length args then args.(i) else 0L in
+  (match name with
+  | "ctx_write_mem" ->
+    t.write_mem_calls <- t.write_mem_calls + 1;
+    let addr = arg 0 and size = Int64.to_int (arg 1) in
+    for i = 0 to max 0 (size - 1) do
+      let a = Machine.Memory.addr_add addr i in
+      Shadow_memory.set_shadow t.shadow ~addr:a ~value:(Machine.peek m a)
+    done
+  | "ctx_bind_mem" ->
+    t.bind_mem_calls <- t.bind_mem_calls + 1;
+    Shadow_memory.set_binding t.shadow ~id:(Int64.to_int (arg 0))
+      ~pos:(Int64.to_int (arg 1)) ~addr:(arg 2)
+  | "ctx_bind_const" -> t.bind_const_calls <- t.bind_const_calls + 1
+  | _ -> ());
+  0L
+
+let install (t : t) (m : Machine.t) =
+  m.on_intrinsic <- Some (fun m ~name ~args -> handle t m ~name ~args)
+
+(** Seed the shadow with the post-initialisation contents of every
+    global: the loader-visible static state is legitimate by definition
+    (the paper's compiler records static values in metadata). *)
+let seed_globals (t : t) (m : Machine.t) =
+  List.iter
+    (fun (g : Sil.Prog.global) ->
+      let addr = Machine.Layout.global_addr m.layout g.gname in
+      let words = Machine.Layout.global_words m.layout g.gname in
+      for i = 0 to words - 1 do
+        let a = Machine.Memory.addr_add addr i in
+        Shadow_memory.set_shadow t.shadow ~addr:a ~value:(Machine.peek m a)
+      done)
+    m.prog.globals

@@ -1,0 +1,23 @@
+(** The BASTION runtime library (Table 2), installed as the machine's
+    intrinsic handler: ctx_write_mem refreshes shadow copies after
+    legitimate stores, ctx_bind_mem binds argument positions to
+    addresses, ctx_bind_const exists for its (inlined) cost only. *)
+
+type t = {
+  shadow : Shadow_memory.t;
+  mutable write_mem_calls : int;
+  mutable bind_mem_calls : int;
+  mutable bind_const_calls : int;
+}
+
+val create : unit -> t
+
+(** Execute one intrinsic call (exposed for testing). *)
+val handle : t -> Machine.t -> name:string -> args:int64 array -> int64
+
+(** Wire the runtime into a machine's intrinsic dispatch. *)
+val install : t -> Machine.t -> unit
+
+(** Seed the shadow with the post-initialisation contents of every
+    global: loader-visible static state is legitimate by definition. *)
+val seed_globals : t -> Machine.t -> unit

@@ -1,0 +1,107 @@
+(* The BASTION shadow memory (§7.1): an open-addressing hash table,
+   logically resident in the protected application's address space under
+   a segmentation register, shared with the monitor process.
+
+   Two kinds of entries share the table, distinguished by a tag bit in
+   the key:
+   - shadow copies:     key = variable address,        value = legit value
+   - argument bindings: key = (callsite id, position), value = bound address
+
+   The monitor's accesses go through [Ptrace]-charged wrappers in
+   {!Monitor}; lookups report the number of probes so the cost model (and
+   the probe-length ablation bench) can account for them. *)
+
+type t = {
+  mutable keys : int64 array;
+  mutable values : int64 array;
+  mutable used : bool array;
+  mutable count : int;
+  mutable total_probes : int;
+  mutable lookups : int;
+}
+
+let initial_capacity = 1024
+
+let create () =
+  {
+    keys = Array.make initial_capacity 0L;
+    values = Array.make initial_capacity 0L;
+    used = Array.make initial_capacity false;
+    count = 0;
+    total_probes = 0;
+    lookups = 0;
+  }
+
+(* SplitMix64 finalizer: a good avalanche for word keys. *)
+let hash (key : int64) =
+  let open Int64 in
+  let z = mul key 0x9E3779B97F4A7C15L in
+  let z = logxor z (shift_right_logical z 30) in
+  let z = mul z 0xBF58476D1CE4E5B9L in
+  let z = logxor z (shift_right_logical z 27) in
+  let z = mul z 0x94D049BB133111EBL in
+  to_int (logand (logxor z (shift_right_logical z 31)) 0x7FFFFFFFL)
+
+let binding_tag = 0x4000_0000_0000_0000L
+
+(** Key for a binding entry of (callsite id, argument position). *)
+let binding_key ~id ~pos =
+  Int64.logor binding_tag (Int64.of_int ((id * 16) + (pos land 15)))
+
+let capacity t = Array.length t.keys
+
+let rec insert t key value =
+  if 10 * t.count > 7 * capacity t then grow t;
+  let cap = capacity t in
+  let rec probe i steps =
+    if t.used.(i) then
+      if Int64.equal t.keys.(i) key then t.values.(i) <- value
+      else probe ((i + 1) mod cap) (steps + 1)
+    else begin
+      t.used.(i) <- true;
+      t.keys.(i) <- key;
+      t.values.(i) <- value;
+      t.count <- t.count + 1
+    end
+  in
+  probe (hash key mod cap) 0
+
+and grow t =
+  let old_keys = t.keys and old_values = t.values and old_used = t.used in
+  let cap = 2 * capacity t in
+  t.keys <- Array.make cap 0L;
+  t.values <- Array.make cap 0L;
+  t.used <- Array.make cap false;
+  t.count <- 0;
+  Array.iteri
+    (fun i u -> if u then insert t old_keys.(i) old_values.(i))
+    old_used
+
+(** Look up a key; returns the value and the number of probes taken. *)
+let find_probes t key : int64 option * int =
+  t.lookups <- t.lookups + 1;
+  let cap = capacity t in
+  let rec probe i steps =
+    if steps > cap then (None, steps)
+    else if not t.used.(i) then (None, steps + 1)
+    else if Int64.equal t.keys.(i) key then (Some t.values.(i), steps + 1)
+    else probe ((i + 1) mod cap) (steps + 1)
+  in
+  let result, steps = probe (hash key mod cap) 0 in
+  t.total_probes <- t.total_probes + steps;
+  (result, steps)
+
+let find t key = fst (find_probes t key)
+
+(* Convenience wrappers -------------------------------------------------- *)
+
+let set_shadow t ~addr ~value = insert t addr value
+let shadow t ~addr = find t addr
+let set_binding t ~id ~pos ~addr = insert t (binding_key ~id ~pos) addr
+let binding t ~id ~pos = find t (binding_key ~id ~pos)
+
+let entry_count t = t.count
+
+(** Mean probes per lookup so far (ablation statistic). *)
+let mean_probe_length t =
+  if t.lookups = 0 then 0.0 else float_of_int t.total_probes /. float_of_int t.lookups

@@ -1,0 +1,1 @@
+lib/defenses/debloat.ml: Hashtbl List Queue Set Sil String Syscall_filter

@@ -1,0 +1,1 @@
+lib/defenses/debloat.mli: Set Sil

@@ -1,0 +1,1 @@
+lib/defenses/llvm_cfi.ml: Hashtbl Kernel List Machine Sil String

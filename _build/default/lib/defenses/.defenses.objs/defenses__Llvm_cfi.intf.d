@@ -1,0 +1,1 @@
+lib/defenses/llvm_cfi.mli: Hashtbl Machine Sil

@@ -1,0 +1,1 @@
+lib/defenses/syscall_filter.ml: Kernel List Sil

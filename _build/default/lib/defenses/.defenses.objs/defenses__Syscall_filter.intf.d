@@ -1,0 +1,1 @@
+lib/defenses/syscall_filter.mli: Kernel Sil

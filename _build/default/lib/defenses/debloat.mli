@@ -1,0 +1,15 @@
+(** Debloating baseline (§2.2): remove functions unreachable from the
+    entry point (address-taken functions are conservatively kept).  As
+    the paper notes, sensitive syscalls with remaining callers survive
+    debloating. *)
+
+module Sset : Set.S with type elt = string
+
+(** Reachable-function set (entry + direct calls + address-taken). *)
+val reachable : Sil.Prog.t -> Sset.t
+
+(** The debloated program and the number of functions removed. *)
+val run : Sil.Prog.t -> Sil.Prog.t * int
+
+(** Syscalls still invocable after debloating. *)
+val surviving_syscalls : Sil.Prog.t -> int list

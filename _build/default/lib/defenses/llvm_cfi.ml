@@ -1,0 +1,82 @@
+(* The LLVM CFI baseline (clang -fsanitize=cfi), as characterised in §9.2
+   and §10: a coarse-grained, type-based forward-edge check performed at
+   *every* indirect callsite.
+
+   The target of an indirect call must be (a) an address-taken function
+   and (b) in the same type equivalence class as the callsite.  We model
+   the equivalence class the way clang's icall scheme degrades in
+   practice on C code: by signature shape (arity + parameter shapes).
+   This reproduces both of the paper's bypass stories: a syscall wrapper
+   whose address is taken for lazy binding (CsCFI) and a type-matched
+   code pointer (AOCR) both pass the check, while arity-mismatched
+   redirects are caught. *)
+
+type t = {
+  mutable checks : int;
+  mutable violations : int;
+  classes : (string, string) Hashtbl.t;  (** function -> signature class *)
+  address_taken : (string, unit) Hashtbl.t;
+  callsite_class : (Sil.Loc.t, string) Hashtbl.t;  (** expected class per callsite *)
+}
+
+let class_of_arity n =
+  String.concat "" ("i:" :: List.init n (fun _ -> "w"))
+
+(** A syscall stub's class uses its C prototype (what the PLT-visible
+    libc wrapper declares), not the 6-register kernel ABI. *)
+let signature_class (f : Sil.Func.t) =
+  match Sil.Func.syscall_number f with
+  | Some nr -> class_of_arity (Kernel.Syscalls.natural_arity nr)
+  | None -> class_of_arity (List.length f.params)
+
+let build ?(stubs_address_taken = true) (prog : Sil.Prog.t) : t =
+  let cg = Sil.Callgraph.build prog in
+  let classes = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Sil.Func.t) -> Hashtbl.replace classes f.fname (signature_class f))
+    (Sil.Prog.functions prog);
+  let address_taken = Hashtbl.create 64 in
+  Sil.Callgraph.Sset.iter (fun f -> Hashtbl.replace address_taken f ()) cg.address_taken;
+  (* Lazy dynamic binding takes the address of every libc syscall
+     wrapper (§10.2: "its address is still taken as this system call is
+     necessary to support dynamic loading of shared libraries"), which
+     is precisely why type-matched redirects to syscalls slip past
+     LLVM CFI. *)
+  if stubs_address_taken then
+    List.iter
+      (fun (stub : Sil.Func.t) -> Hashtbl.replace address_taken stub.fname ())
+      (Sil.Prog.syscall_stubs prog);
+  (* The expected class of each indirect callsite is the static type of
+     the callee expression — in SIL, the arity of the call. *)
+  let callsite_class = Hashtbl.create 64 in
+  List.iter
+    (fun (cs : Sil.Callgraph.callsite) ->
+      match cs.cs_target with
+      | Sil.Instr.Indirect _ ->
+        Hashtbl.replace callsite_class cs.cs_loc (class_of_arity (List.length cs.cs_args))
+      | Sil.Instr.Direct _ -> ())
+    cg.callsites;
+  { checks = 0; violations = 0; classes; address_taken; callsite_class }
+
+(** Install the per-indirect-call check on a machine.  A violating call
+    faults exactly as clang's cfi-icall trap does. *)
+let install (t : t) (m : Machine.t) =
+  m.on_indirect_call <-
+    Some
+      (fun m ~callsite ~target ~resolved ->
+        t.checks <- t.checks + 1;
+        Machine.charge m m.config.cost.cfi_check;
+        let expected = Hashtbl.find_opt t.callsite_class callsite in
+        let ok =
+          match resolved with
+          | None -> false
+          | Some fname ->
+            Hashtbl.mem t.address_taken fname
+            && (match (expected, Hashtbl.find_opt t.classes fname) with
+               | Some e, Some c -> String.equal e c
+               | _, _ -> false)
+        in
+        if not ok then begin
+          t.violations <- t.violations + 1;
+          raise (Machine.Killed (Machine.Cfi_violation { callsite; target }))
+        end)

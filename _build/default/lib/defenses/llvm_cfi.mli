@@ -1,0 +1,29 @@
+(** The LLVM CFI baseline (clang -fsanitize=cfi-icall): a coarse,
+    type-class check at every indirect callsite.  The target must be
+    address-taken and signature-class-compatible with the callsite.
+
+    Reproduces the paper's bypass stories: lazy dynamic binding takes
+    every libc syscall wrapper's address, so a type-matched redirect to
+    a syscall (CsCFI, AOCR) passes the check, while arity-mismatched or
+    never-address-taken targets are caught. *)
+
+type t = {
+  mutable checks : int;
+  mutable violations : int;
+  classes : (string, string) Hashtbl.t;
+  address_taken : (string, unit) Hashtbl.t;
+  callsite_class : (Sil.Loc.t, string) Hashtbl.t;
+}
+
+val class_of_arity : int -> string
+
+(** A stub's class uses its C prototype arity, not the kernel ABI. *)
+val signature_class : Sil.Func.t -> string
+
+(** [stubs_address_taken] (default true) models the dynamic-loader
+    artifact of §10.2. *)
+val build : ?stubs_address_taken:bool -> Sil.Prog.t -> t
+
+(** Install the per-indirect-call check on a machine; violations fault
+    the run. *)
+val install : t -> Machine.t -> unit

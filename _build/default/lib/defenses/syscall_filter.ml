@@ -1,0 +1,21 @@
+(* Plain seccomp-style system-call filtering (§2.2): an allowlist of the
+   syscalls the program uses; everything else is killed.  Unlike BASTION
+   it makes a binary decision — a sensitive-but-used syscall remains
+   fully available to an attacker. *)
+
+let allowlist_of_program (prog : Sil.Prog.t) =
+  let cg = Sil.Callgraph.build prog in
+  List.filter_map
+    (fun (stub : Sil.Func.t) ->
+      match Sil.Func.syscall_number stub with
+      | Some nr
+        when Sil.Callgraph.direct_callers_of cg stub.fname <> []
+             || Sil.Callgraph.is_address_taken cg stub.fname ->
+        Some nr
+      | Some _ | None -> None)
+    (Sil.Prog.syscall_stubs prog)
+
+(** Install an allowlist filter derived from the program's own syscall
+    usage (what sysfilter/Confine-style tools compute). *)
+let install (prog : Sil.Prog.t) (proc : Kernel.Process.t) =
+  proc.filter <- Some (Kernel.Seccomp.allowlist (allowlist_of_program prog))

@@ -1,0 +1,10 @@
+(** Plain seccomp-style system-call filtering (§2.2): an allowlist of
+    the syscalls the program uses.  Unlike BASTION it makes a binary
+    decision — a used-but-sensitive syscall stays fully available to an
+    attacker, corrupted arguments included. *)
+
+(** The syscall numbers a sysfilter/Confine-style tool would allow. *)
+val allowlist_of_program : Sil.Prog.t -> int list
+
+(** Install the derived allowlist on a process. *)
+val install : Sil.Prog.t -> Kernel.Process.t -> unit

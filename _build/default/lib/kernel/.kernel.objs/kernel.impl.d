@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Int64 Machine Net Process Ptrace Seccomp Syscalls Vfs

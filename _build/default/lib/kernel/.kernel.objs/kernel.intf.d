@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Machine Net Process Ptrace Seccomp Syscalls Vfs

@@ -1,0 +1,1 @@
+lib/kernel/net.ml: Hashtbl Queue

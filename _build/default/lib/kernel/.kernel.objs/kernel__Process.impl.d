@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Hashtbl List Machine Net Option Ptrace Seccomp Syscalls Vfs

@@ -1,0 +1,1 @@
+lib/kernel/process.mli: Hashtbl Machine Net Ptrace Seccomp Vfs

@@ -1,0 +1,1 @@
+lib/kernel/ptrace.ml: Array List Machine Sil String

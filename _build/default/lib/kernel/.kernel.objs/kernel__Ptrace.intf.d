@@ -1,0 +1,1 @@
+lib/kernel/ptrace.mli: Machine Sil

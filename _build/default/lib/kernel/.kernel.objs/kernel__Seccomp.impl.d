@@ -1,0 +1,1 @@
+lib/kernel/seccomp.ml: Hashtbl List Option

@@ -1,0 +1,190 @@
+(* System-call dispatch: seccomp evaluation, TRACE stops to the attached
+   tracer (the BASTION monitor), then the per-syscall semantics over the
+   VFS / socket substrates.  Installed as the machine's syscall handler. *)
+
+module Syscalls = Syscalls
+module Seccomp = Seccomp
+module Vfs = Vfs
+module Net = Net
+module Ptrace = Ptrace
+module Process = Process
+
+let charge (p : Process.t) n = Machine.charge p.machine n
+
+let cost (p : Process.t) = p.machine.config.cost
+
+(* ------------------------------------------------------------------ *)
+(* Per-syscall semantics                                               *)
+
+let sys_open (p : Process.t) (args : int64 array) =
+  let path = Machine.read_string p.machine args.(0) in
+  match Vfs.lookup p.vfs path with
+  | Some file -> Int64.of_int (Process.alloc_fd p (File { file; pos = 0 }))
+  | None -> -2L
+
+let sys_read (p : Process.t) (args : int64 array) =
+  let fd = Int64.to_int args.(0) in
+  let count = Int64.to_int args.(2) in
+  match Process.find_fd p fd with
+  | Some (File f) ->
+    let n = min count (f.file.size_words - f.pos) in
+    let n = max n 0 in
+    f.pos <- f.pos + n;
+    p.io_words_in <- p.io_words_in + n;
+    charge p ((cost p).io_per_word * n);
+    Int64.of_int n
+  | Some (Conn c) ->
+    let n = min count c.request_words in
+    p.io_words_in <- p.io_words_in + n;
+    charge p ((cost p).io_per_word * n);
+    Int64.of_int n
+  | Some (Sock _) | None -> -1L
+
+let sys_write (p : Process.t) (args : int64 array) =
+  let fd = Int64.to_int args.(0) in
+  let count = max 0 (Int64.to_int args.(2)) in
+  match Process.find_fd p fd with
+  | Some (Conn _) ->
+    p.io_words_out <- p.io_words_out + count;
+    charge p ((cost p).io_per_word * count);
+    Int64.of_int count
+  | Some (File _) ->
+    charge p ((cost p).io_per_word * count);
+    Int64.of_int count
+  | Some (Sock _) | None -> -1L
+
+let sys_sendfile (p : Process.t) (args : int64 array) =
+  (* sendfile(out_fd, in_fd, offset, count) *)
+  let count = max 0 (Int64.to_int args.(3)) in
+  (match Process.find_fd p (Int64.to_int args.(1)) with
+  | Some (File f) -> f.pos <- min f.file.size_words (f.pos + count)
+  | Some (Sock _) | Some (Conn _) | None -> ());
+  p.io_words_out <- p.io_words_out + count;
+  charge p ((cost p).io_per_word * count);
+  Int64.of_int count
+
+let sys_socket (p : Process.t) _args = Int64.of_int (Process.alloc_fd p (Sock { port = 0 }))
+
+let sys_bind (p : Process.t) (args : int64 array) =
+  match Process.find_fd p (Int64.to_int args.(0)) with
+  | Some (Sock s) ->
+    s.port <- Int64.to_int args.(1);
+    0L
+  | Some (File _) | Some (Conn _) | None -> -1L
+
+let sys_listen (p : Process.t) (args : int64 array) =
+  match Process.find_fd p (Int64.to_int args.(0)) with
+  | Some (Sock s) ->
+    Net.listen p.net s.port;
+    0L
+  | Some (File _) | Some (Conn _) | None -> -1L
+
+let sys_accept (p : Process.t) (args : int64 array) =
+  if p.serve_start_cycles = None then
+    p.serve_start_cycles <- Some p.machine.stats.cycles;
+  match Process.find_fd p (Int64.to_int args.(0)) with
+  | Some (Sock s) -> (
+    match Net.accept p.net s.port with
+    | Some conn -> Int64.of_int (Process.alloc_fd p (Conn conn))
+    | None -> -1L)
+  | Some (File _) | Some (Conn _) | None -> -1L
+
+let sys_mmap (p : Process.t) (args : int64 array) =
+  let words = max 1 (Int64.to_int args.(1)) in
+  Machine.alloc_heap p.machine words
+
+let sys_chmod (p : Process.t) (args : int64 array) =
+  let path = Machine.read_string p.machine args.(0) in
+  Vfs.chmod p.vfs path (Int64.to_int args.(1))
+
+let execute (p : Process.t) ~sysno ~(args : int64 array) : int64 =
+  let arg i = if i < Array.length args then args.(i) else 0L in
+  let args6 = Array.init 6 arg in
+  match Syscalls.name sysno with
+  | "open" | "openat" -> sys_open p args6
+  | "read" | "recvfrom" -> sys_read p args6
+  | "write" | "sendto" -> sys_write p args6
+  | "sendfile" -> sys_sendfile p args6
+  | "close" ->
+    Process.close_fd p (Int64.to_int args6.(0));
+    0L
+  | "fsync" ->
+    charge p (2 * (cost p).syscall_base);
+    0L
+  | "lseek" -> (
+    match Process.find_fd p (Int64.to_int args6.(0)) with
+    | Some (File f) ->
+      f.pos <- Int64.to_int args6.(1);
+      args6.(1)
+    | Some (Sock _) | Some (Conn _) | None -> -1L)
+  | "stat" | "fstat" -> 0L
+  | "socket" -> sys_socket p args6
+  | "bind" -> sys_bind p args6
+  | "listen" -> sys_listen p args6
+  | "connect" -> 0L
+  | "accept" | "accept4" -> sys_accept p args6
+  | "mmap" -> sys_mmap p args6
+  | "mprotect" | "mremap" | "remap_file_pages" -> 0L
+  | "chmod" -> sys_chmod p args6
+  | "setuid" ->
+    p.uid <- Int64.to_int args6.(0);
+    0L
+  | "setgid" ->
+    p.gid <- Int64.to_int args6.(0);
+    0L
+  | "setreuid" ->
+    p.uid <- Int64.to_int args6.(1);
+    0L
+  | "fork" | "vfork" | "clone" ->
+    (* The child inherits a copy of the seccomp policy and stays under
+       the same monitor (§7.1); workers are not scheduled separately —
+       the parent image serves all connections. *)
+    let child = Process.spawn_child p in
+    Int64.of_int child.next_pid
+  | "execve" | "execveat" -> 0L
+  | "ptrace" -> 0L
+  | "exit" -> raise (Machine.Program_exit args6.(0))
+  | _ -> 0L
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let dispatch (p : Process.t) (_m : Machine.t) ~sysno ~(args : int64 array) : int64 =
+  charge p (cost p).syscall_base;
+  (match p.filter with
+  | None -> ()
+  | Some filter -> (
+    charge p (cost p).seccomp_eval;
+    match Seccomp.evaluate filter sysno with
+    | Seccomp.Allow -> ()
+    | Seccomp.Kill -> raise (Machine.Killed (Machine.Seccomp_kill { sysno }))
+    | Seccomp.Trace -> (
+      p.trap_count <- p.trap_count + 1;
+      charge p (2 * (cost p).trap_context_switch);
+      match p.tracer_hook with
+      | None -> ()
+      | Some hook -> (
+        p.tracer.cur_sysno <- sysno;
+        match hook p ~sysno ~args with
+        | Process.Continue -> ()
+        | Process.Deny { context; detail } ->
+          raise (Machine.Killed (Machine.Monitor_kill { context; detail }))))));
+  Process.count_syscall p sysno;
+  let path =
+    match Syscalls.name sysno with
+    | "execve" | "execveat" | "chmod" | "open" | "openat" | "stat"
+      when Array.length args > 0 ->
+      Some (Machine.read_string p.machine args.(0))
+    | _ -> None
+  in
+  if Syscalls.is_sensitive sysno then Process.log_exec p ~sysno ~args ~path;
+  (match p.on_syscall_executed with
+  | Some hook -> hook ~sysno ~args ~path
+  | None -> ());
+  execute p ~sysno ~args
+
+(** Wire a process's kernel into its machine.  Returns the process. *)
+let boot (machine : Machine.t) : Process.t =
+  let p = Process.create machine in
+  machine.on_syscall <- Some (fun m ~sysno ~args -> dispatch p m ~sysno ~args);
+  p

@@ -1,0 +1,51 @@
+(* A miniature socket layer: listening ports with queues of pending
+   connections.  Workload drivers enqueue connections (HTTP requests,
+   database clients, FTP sessions) before running the server loop;
+   [accept] pops them.  An empty queue makes [accept] return -1, which
+   server loops use as their exit condition — this keeps runs
+   deterministic without modelling real concurrency. *)
+
+type connection = {
+  conn_id : int;
+  request_words : int;   (** size of the inbound request *)
+  payload : string;      (** small textual payload (e.g. requested path) *)
+}
+
+type t = {
+  listeners : (int, connection Queue.t) Hashtbl.t;  (** port -> pending *)
+  mutable next_conn : int;
+  mutable accepted : int;
+}
+
+let create () = { listeners = Hashtbl.create 4; next_conn = 1000; accepted = 0 }
+
+let listen t port =
+  if not (Hashtbl.mem t.listeners port) then
+    Hashtbl.replace t.listeners port (Queue.create ())
+
+let enqueue t port ~request_words ~payload =
+  (match Hashtbl.find_opt t.listeners port with
+  | Some q ->
+    t.next_conn <- t.next_conn + 1;
+    Queue.push { conn_id = t.next_conn; request_words; payload } q
+  | None ->
+    (* Pre-listen enqueue: create the queue eagerly so drivers can load
+       connections before the server reaches listen(). *)
+    listen t port;
+    t.next_conn <- t.next_conn + 1;
+    Queue.push
+      { conn_id = t.next_conn; request_words; payload }
+      (Hashtbl.find t.listeners port));
+  t.next_conn
+
+let accept t port =
+  match Hashtbl.find_opt t.listeners port with
+  | Some q when not (Queue.is_empty q) ->
+    t.accepted <- t.accepted + 1;
+    Some (Queue.pop q)
+  | Some _ | None -> None
+
+let pending t port =
+  match Hashtbl.find_opt t.listeners port with
+  | Some q -> Queue.length q
+  | None -> 0

@@ -1,0 +1,25 @@
+(** A miniature socket layer: listening ports with queues of pending
+    connections.  Drivers enqueue connections before running the server
+    loop; [accept] pops them, and an empty queue returns [None], which
+    server loops use as their deterministic exit condition. *)
+
+type connection = {
+  conn_id : int;
+  request_words : int;   (** size of the inbound request *)
+  payload : string;      (** small textual payload (e.g. requested path) *)
+}
+
+type t
+
+val create : unit -> t
+
+val listen : t -> int -> unit
+
+(** Enqueue a pending connection on a port (creating the queue if the
+    server has not reached listen() yet); returns the connection id. *)
+val enqueue : t -> int -> request_words:int -> payload:string -> int
+
+val accept : t -> int -> connection option
+
+(** Number of pending connections on a port. *)
+val pending : t -> int -> int

@@ -1,0 +1,93 @@
+(* The tracer interface the BASTION monitor uses to inspect a stopped
+   tracee (PTRACE_GETREGS + process_vm_readv in the paper).  Every
+   operation charges its modelled cycle cost to the tracee's clock —
+   this is the cost that dominates Table 7. *)
+
+type regs = { rip : int64; sysno : int; args : int64 array }
+
+type frame_view = {
+  fv_func : string;
+      (** function the frame is executing (what a real unwinder infers
+          from the frame's code addresses) *)
+  fv_callsite : int64;
+      (** code address of the call this frame has in flight *)
+  fv_args : int64 array;
+      (** argument registers as spilled at that callsite *)
+  fv_ret_token : int64 option;
+      (** memory-resident return address (None for the entry frame) —
+          read back from the corruptible stack *)
+  fv_base : int64;
+      (** frame base address (for locating local-variable slots) *)
+}
+
+type t = {
+  machine : Machine.t;
+  mutable cur_sysno : int;   (** set by the kernel before a TRACE stop *)
+  mutable getregs_count : int;
+  mutable words_read : int;
+  mutable frames_walked : int;
+}
+
+let create machine = { machine; cur_sysno = -1; getregs_count = 0; words_read = 0; frames_walked = 0 }
+
+let cost (t : t) = t.machine.config.cost
+
+let getregs (t : t) : regs =
+  t.getregs_count <- t.getregs_count + 1;
+  Machine.charge t.machine (cost t).ptrace_getregs;
+  { rip = t.machine.trap_rip; sysno = t.cur_sysno; args = t.machine.abi_regs }
+
+(** One remote read: a full process_vm_readv call for a single word. *)
+let read_word (t : t) addr =
+  t.words_read <- t.words_read + 1;
+  Machine.charge t.machine ((cost t).ptrace_call + (cost t).ptrace_read_word);
+  Machine.peek t.machine addr
+
+(** Batched remote read of [n] consecutive words: one call, [n] words of
+    transfer.  Used wherever the monitor can read a region at once. *)
+let read_block (t : t) addr n =
+  t.words_read <- t.words_read + n;
+  Machine.charge t.machine ((cost t).ptrace_call + (n * (cost t).ptrace_read_word));
+  Machine.Memory.read_block t.machine.mem addr n
+
+(** Read a NUL-terminated string (one char per word) from the tracee. *)
+let read_string ?(max_len = 4096) (t : t) addr =
+  let s = Machine.Memory.read_string ~max_len t.machine.mem addr in
+  let words = String.length s + 1 in
+  t.words_read <- t.words_read + words;
+  Machine.charge t.machine ((cost t).ptrace_call + ((cost t).ptrace_read_word * words));
+  s
+
+(** Unwind the tracee's stack, innermost frame first.  Each frame costs
+    one remote read of the frame record (saved frame pointer + return
+    address), as a real frame-pointer unwind does. *)
+let stack_trace (t : t) : frame_view list =
+  List.map
+    (fun (frame : Machine.frame) ->
+      t.frames_walked <- t.frames_walked + 1;
+      t.words_read <- t.words_read + 2;
+      Machine.charge t.machine ((cost t).ptrace_call + (2 * (cost t).ptrace_read_word));
+      {
+        fv_func = frame.ffunc;
+        fv_callsite = frame.in_flight_callsite;
+        fv_args = frame.in_flight_args;
+        fv_ret_token = Machine.read_ret_addr t.machine frame;
+        fv_base = frame.frame_base;
+      })
+    (Machine.frames t.machine)
+
+(** Map a memory-resident return token back to the callsite (the call
+    instruction immediately preceding the resume point), as an unwinder
+    maps return addresses to call instructions.  Returns [None] if the
+    token does not point into code or points at a block entry (which no
+    legitimate call produces). *)
+let callsite_of_token (t : t) token : Sil.Loc.t option =
+  match Machine.Layout.point_of_addr t.machine.layout token with
+  | Some (Machine.Layout.Instr_at loc) ->
+    if loc.index = 0 then None else Some { loc with index = loc.index - 1 }
+  | Some (Machine.Layout.Term_of (func, block)) ->
+    let f = Sil.Prog.find_func t.machine.prog func in
+    let b = Sil.Func.find_block f block in
+    let n = Array.length b.instrs in
+    if n = 0 then None else Some (Sil.Loc.make func block (n - 1))
+  | None -> None

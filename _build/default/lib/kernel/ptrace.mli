@@ -1,0 +1,54 @@
+(** The tracer interface the BASTION monitor uses to inspect a stopped
+    tracee (PTRACE_GETREGS + process_vm_readv in the paper).  Every
+    operation charges its modelled cycle cost to the tracee's clock —
+    the cost that dominates Table 7. *)
+
+type regs = { rip : int64; sysno : int; args : int64 array }
+
+(** One unwound stack frame, innermost first. *)
+type frame_view = {
+  fv_func : string;
+      (** function the frame is executing (what an unwinder infers from
+          the frame's code addresses) *)
+  fv_callsite : int64;
+      (** code address of the call this frame has in flight *)
+  fv_args : int64 array;
+      (** argument registers as spilled at that callsite *)
+  fv_ret_token : int64 option;
+      (** memory-resident return address, read back from the
+          corruptible stack ([None] for the entry frame) *)
+  fv_base : int64;
+      (** frame base address (locates local-variable slots) *)
+}
+
+type t = {
+  machine : Machine.t;
+  mutable cur_sysno : int;   (** set by the kernel before a TRACE stop *)
+  mutable getregs_count : int;
+  mutable words_read : int;
+  mutable frames_walked : int;
+}
+
+val create : Machine.t -> t
+
+(** PTRACE_GETREGS: rip of the trapping callsite, syscall number and
+    argument registers. *)
+val getregs : t -> regs
+
+(** One remote read: a full process_vm_readv call for a single word. *)
+val read_word : t -> int64 -> int64
+
+(** Batched remote read of [n] consecutive words: one call. *)
+val read_block : t -> int64 -> int -> int64 array
+
+(** Read a NUL-terminated string (one char per word) from the tracee. *)
+val read_string : ?max_len:int -> t -> int64 -> string
+
+(** Unwind the tracee's stack, innermost frame first; costs one remote
+    read per frame. *)
+val stack_trace : t -> frame_view list
+
+(** Map a memory-resident return token back to the call instruction
+    immediately preceding the resume point, as an unwinder maps return
+    addresses to callsites.  [None] when the token does not decode. *)
+val callsite_of_token : t -> int64 -> Sil.Loc.t option

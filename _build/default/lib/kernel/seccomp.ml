@@ -1,0 +1,42 @@
+(* A seccomp-BPF-style system-call filter.
+
+   The BASTION monitor installs a filter that returns
+   SECCOMP_RET_ALLOW for non-sensitive calls, SECCOMP_RET_KILL for
+   not-callable calls and SECCOMP_RET_TRACE for directly/indirectly
+   callable sensitive calls (§7.1).  The plain system-call-filtering
+   baseline uses the same engine with an allowlist policy. *)
+
+type action = Allow | Kill | Trace
+
+let action_name = function Allow -> "ALLOW" | Kill -> "KILL" | Trace -> "TRACE"
+
+type filter = {
+  rules : (int, action) Hashtbl.t;
+  default : action;
+  mutable evaluations : int;
+}
+
+let create ?(default = Allow) () = { rules = Hashtbl.create 64; default; evaluations = 0 }
+
+let set_rule filter nr action = Hashtbl.replace filter.rules nr action
+
+let rule filter nr = Option.value ~default:filter.default (Hashtbl.find_opt filter.rules nr)
+
+(** Evaluate the filter for a syscall number (charges nothing itself;
+    the kernel charges [Cost.seccomp_eval] per evaluation). *)
+let evaluate filter nr =
+  filter.evaluations <- filter.evaluations + 1;
+  rule filter nr
+
+let evaluations filter = filter.evaluations
+
+(** Build an allowlist filter: listed syscalls allowed, others killed. *)
+let allowlist numbers =
+  let f = create ~default:Kill () in
+  List.iter (fun nr -> set_rule f nr Allow) numbers;
+  f
+
+(** A copy sharing no mutable state, for seccomp policy inheritance
+    across fork/clone. *)
+let copy filter =
+  { rules = Hashtbl.copy filter.rules; default = filter.default; evaluations = 0 }

@@ -1,0 +1,32 @@
+(** A seccomp-BPF-style system-call filter.
+
+    BASTION installs ALLOW for used non-sensitive calls, KILL for
+    not-callable calls and TRACE for sensitive calls (§7.1); the plain
+    filtering baseline uses the same engine with an allowlist. *)
+
+type action = Allow | Kill | Trace
+
+val action_name : action -> string
+
+type filter
+
+(** [create ~default ()] makes an empty filter; [default] (default
+    [Allow]) applies to syscalls without an explicit rule. *)
+val create : ?default:action -> unit -> filter
+
+val set_rule : filter -> int -> action -> unit
+
+(** The rule that would apply, without counting an evaluation. *)
+val rule : filter -> int -> action
+
+(** Evaluate the filter for one invocation (counts the evaluation; the
+    kernel charges its cycle cost separately). *)
+val evaluate : filter -> int -> action
+
+val evaluations : filter -> int
+
+(** Allowlist: listed syscalls allowed, everything else killed. *)
+val allowlist : int list -> filter
+
+(** An independent copy (seccomp inheritance across fork/clone). *)
+val copy : filter -> filter

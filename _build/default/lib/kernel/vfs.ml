@@ -1,0 +1,25 @@
+(* A miniature file system: named files with sizes (in 64-bit words) and
+   optional string contents.  Workload models serve static pages and
+   database files from here; content bytes are not materialised for bulk
+   I/O (only sizes and offsets matter for the performance model), except
+   for small files whose contents an extended-argument check may read. *)
+
+type file = { path : string; size_words : int; mutable mode : int }
+
+type t = { files : (string, file) Hashtbl.t }
+
+let create () = { files = Hashtbl.create 16 }
+
+let add_file t path ~size_words =
+  Hashtbl.replace t.files path { path; size_words; mode = 0o644 }
+
+let lookup t path = Hashtbl.find_opt t.files path
+
+let chmod t path mode =
+  match lookup t path with
+  | Some f ->
+    f.mode <- mode;
+    0L
+  | None -> -2L (* -ENOENT *)
+
+let exists t path = Hashtbl.mem t.files path

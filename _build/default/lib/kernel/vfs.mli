@@ -1,0 +1,16 @@
+(** A miniature file system: named files with sizes in 64-bit words.
+    Contents are not materialised for bulk I/O — sizes and offsets are
+    what the performance model needs. *)
+
+type file = { path : string; size_words : int; mutable mode : int }
+
+type t
+
+val create : unit -> t
+val add_file : t -> string -> size_words:int -> unit
+val lookup : t -> string -> file option
+
+(** Returns 0 on success, -2 (-ENOENT) for missing files. *)
+val chmod : t -> string -> int -> int64
+
+val exists : t -> string -> bool

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Cet Cost Int64 Layout List Memory Printf Sil String

@@ -1,0 +1,1 @@
+lib/machine/layout.ml: Array Hashtbl Int64 List Memory Printf Sil

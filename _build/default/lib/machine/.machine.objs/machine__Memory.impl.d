@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Array Buffer Char Hashtbl Int64 Option String

@@ -1,0 +1,60 @@
+(* The cycle cost model shared by the machine, the kernel and the
+   defenses.  All performance results are ratios of cycle counts, so only
+   the *relative* magnitudes matter; the constants below follow the
+   structure §9 and §11.2 of the paper attribute costs to:
+
+   - ordinary execution is cheap;
+   - the in-kernel seccomp filter evaluation is cheap (Table 7 row 1);
+   - a TRACE trap is dominated by two context switches plus the ptrace
+     state fetch (Table 7 row 2 vs row 1);
+   - the context verification itself is cheap once state is fetched
+     (Table 7 row 3 vs row 2);
+   - ctx_* instrumentation is a handful of inlined instructions;
+   - CET is nearly free, LLVM CFI costs a few cycles per indirect call. *)
+
+type t = {
+  instr : int;                (** any straight-line IR instruction *)
+  call : int;                 (** call / frame push *)
+  ret : int;                  (** return / frame pop *)
+  syscall_base : int;         (** kernel entry/exit for any syscall *)
+  io_per_word : int;          (** data movement per 64-bit word of I/O *)
+  seccomp_eval : int;         (** BPF filter evaluation per syscall *)
+  trap_context_switch : int;  (** one direction tracee<->monitor *)
+  ptrace_getregs : int;       (** PTRACE_GETREGS *)
+  ptrace_call : int;          (** fixed cost of one process_vm_readv call *)
+  ptrace_read_word : int;     (** process_vm_readv, incremental per word *)
+  intrinsic : int;            (** one inlined ctx_* library call *)
+  cet_op : int;               (** shadow-stack push or check *)
+  cfi_check : int;            (** LLVM CFI check at an indirect callsite *)
+  monitor_check : int;        (** one in-monitor comparison/lookup step *)
+}
+
+let default =
+  {
+    instr = 1;
+    call = 3;
+    ret = 3;
+    syscall_base = 180;
+    io_per_word = 8;
+    seccomp_eval = 3;
+    trap_context_switch = 2600;
+    ptrace_getregs = 700;
+    ptrace_call = 520;
+    ptrace_read_word = 11;
+    intrinsic = 2;
+    cet_op = 1;
+    cfi_check = 9;
+    monitor_check = 6;
+  }
+
+(** A what-if cost table for the §11.2 discussion of running the monitor
+    in kernel mode (eBPF / kernel module): traps no longer context-switch
+    and state access is direct. *)
+let in_kernel_monitor =
+  {
+    default with
+    trap_context_switch = 25;
+    ptrace_getregs = 8;
+    ptrace_call = 2;
+    ptrace_read_word = 1;
+  }

@@ -1,0 +1,28 @@
+(** The cycle cost model shared by the machine, the kernel, the
+    defenses and the monitor.  All reproduced performance results are
+    ratios of cycle counts, so only relative magnitudes matter; the
+    structure follows where §9 and §11.2 attribute costs. *)
+
+type t = {
+  instr : int;                (** any straight-line IR instruction *)
+  call : int;                 (** call / frame push *)
+  ret : int;                  (** return / frame pop *)
+  syscall_base : int;         (** kernel entry/exit for any syscall *)
+  io_per_word : int;          (** data movement per 64-bit word of I/O *)
+  seccomp_eval : int;         (** BPF filter evaluation per syscall *)
+  trap_context_switch : int;  (** one direction tracee<->monitor *)
+  ptrace_getregs : int;       (** PTRACE_GETREGS *)
+  ptrace_call : int;          (** fixed cost of one process_vm_readv call *)
+  ptrace_read_word : int;     (** incremental cost per word transferred *)
+  intrinsic : int;            (** one inlined ctx_* library call *)
+  cet_op : int;               (** shadow-stack compare *)
+  cfi_check : int;            (** LLVM CFI check at an indirect callsite *)
+  monitor_check : int;        (** one in-monitor comparison/lookup step *)
+}
+
+(** The calibrated default (see DESIGN.md §5). *)
+val default : t
+
+(** §11.2 what-if: the monitor inside the kernel (eBPF / module) — no
+    context switches, near-direct state access. *)
+val in_kernel_monitor : t

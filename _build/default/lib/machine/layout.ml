@@ -1,0 +1,148 @@
+(* Address-space layout and code addressing.
+
+   Every SIL instruction and block terminator receives a concrete code
+   address, so the simulated machine has a real instruction pointer:
+   return addresses are plain words spilled to stack memory (corruptible,
+   as on real hardware without CET), function pointers are code
+   addresses, and BASTION's metadata can be keyed by callsite address
+   exactly as the paper keys it by binary offset. *)
+
+type code_point =
+  | Instr_at of Sil.Loc.t
+  | Term_of of string * string  (** function, block *)
+
+let code_base = 0x0040_0000L
+let rodata_base = 0x0050_0000L
+let data_base = 0x0060_0000L
+let heap_base = 0x0070_0000L
+(* shadow_base: the $gs-relative BASTION shadow region *)
+let shadow_base = 0x2000_0000L
+let stack_base = 0x7fff_0000L
+
+type t = {
+  prog : Sil.Prog.t;
+  addr_of_point : (code_point, int64) Hashtbl.t;
+  point_of_addr : (int64, code_point) Hashtbl.t;
+  func_entry : (string, int64) Hashtbl.t;
+  func_of_addr : (int64, string) Hashtbl.t;  (** every code addr -> function *)
+  global_addr : (string, int64) Hashtbl.t;
+  global_size : (string, int) Hashtbl.t;     (** words *)
+  rodata : (string, int64) Hashtbl.t;        (** interned strings *)
+  mutable rodata_next : int64;
+  (* Per-function variable slot offsets (in words from frame base) and
+     frame size in words. *)
+  var_offset : (string * int, int) Hashtbl.t;  (** (func, vid) -> offset *)
+  frame_words : (string, int) Hashtbl.t;
+}
+
+let build (prog : Sil.Prog.t) : t =
+  let t =
+    {
+      prog;
+      addr_of_point = Hashtbl.create 1024;
+      point_of_addr = Hashtbl.create 1024;
+      func_entry = Hashtbl.create 64;
+      func_of_addr = Hashtbl.create 1024;
+      global_addr = Hashtbl.create 64;
+      global_size = Hashtbl.create 64;
+      rodata = Hashtbl.create 64;
+      rodata_next = rodata_base;
+      var_offset = Hashtbl.create 256;
+      frame_words = Hashtbl.create 64;
+    }
+  in
+  (* Code addresses: functions in deterministic order, one word per
+     instruction and per terminator. *)
+  let next = ref code_base in
+  let emit fname point =
+    let addr = !next in
+    Hashtbl.replace t.addr_of_point point addr;
+    Hashtbl.replace t.point_of_addr addr point;
+    Hashtbl.replace t.func_of_addr addr fname;
+    next := Int64.add !next 8L
+  in
+  List.iter
+    (fun (f : Sil.Func.t) ->
+      Hashtbl.replace t.func_entry f.fname !next;
+      List.iter
+        (fun (b : Sil.Func.block) ->
+          Array.iteri
+            (fun i _ -> emit f.fname (Instr_at (Sil.Loc.make f.fname b.label i)))
+            b.instrs;
+          emit f.fname (Term_of (f.fname, b.label)))
+        f.blocks;
+      (* Frame layout: slot offsets for params then locals. *)
+      let off = ref 0 in
+      List.iter
+        (fun ((v : Sil.Operand.var), ty) ->
+          Hashtbl.replace t.var_offset (f.fname, v.vid) !off;
+          off := !off + max 1 (Sil.Types.size_words prog.structs ty))
+        (Sil.Func.all_vars f);
+      Hashtbl.replace t.frame_words f.fname !off)
+    (Sil.Prog.functions prog);
+  (* Globals. *)
+  let gnext = ref data_base in
+  List.iter
+    (fun (g : Sil.Prog.global) ->
+      let words = max 1 (Sil.Types.size_words prog.structs g.gty) in
+      Hashtbl.replace t.global_addr g.gname !gnext;
+      Hashtbl.replace t.global_size g.gname words;
+      gnext := Int64.add !gnext (Int64.of_int (8 * words)))
+    prog.globals;
+  t
+
+let addr_of_point t point =
+  match Hashtbl.find_opt t.addr_of_point point with
+  | Some a -> a
+  | None -> invalid_arg "Layout.addr_of_point: unknown code point"
+
+let addr_of_loc t loc = addr_of_point t (Instr_at loc)
+
+let point_of_addr t addr = Hashtbl.find_opt t.point_of_addr addr
+
+let func_entry t fname =
+  match Hashtbl.find_opt t.func_entry fname with
+  | Some a -> a
+  | None -> invalid_arg ("Layout.func_entry: unknown function " ^ fname)
+
+(** The function a code address belongs to, if any. *)
+let func_of_addr t addr = Hashtbl.find_opt t.func_of_addr addr
+
+(** Resolve a code address used as a call target: it must be a function
+    entry address. *)
+let func_of_entry_addr t addr =
+  match func_of_addr t addr with
+  | Some fname when Int64.equal (func_entry t fname) addr -> Some fname
+  | Some _ | None -> None
+
+let global_addr t gname =
+  match Hashtbl.find_opt t.global_addr gname with
+  | Some a -> a
+  | None -> invalid_arg ("Layout.global_addr: unknown global " ^ gname)
+
+let global_words t gname =
+  match Hashtbl.find_opt t.global_size gname with
+  | Some n -> n
+  | None -> invalid_arg ("Layout.global_words: unknown global " ^ gname)
+
+(** Intern a string literal in rodata; idempotent per content. *)
+let intern_string t (mem : Memory.t) s =
+  match Hashtbl.find_opt t.rodata s with
+  | Some a -> a
+  | None ->
+    let addr = t.rodata_next in
+    let words = Memory.write_string mem addr s in
+    t.rodata_next <- Int64.add addr (Int64.of_int (8 * (words + 1)));
+    Hashtbl.replace t.rodata s addr;
+    addr
+
+let var_offset t fname vid =
+  match Hashtbl.find_opt t.var_offset (fname, vid) with
+  | Some o -> o
+  | None ->
+    invalid_arg (Printf.sprintf "Layout.var_offset: %s has no var #%d" fname vid)
+
+let frame_words t fname =
+  match Hashtbl.find_opt t.frame_words fname with
+  | Some n -> n
+  | None -> invalid_arg ("Layout.frame_words: unknown function " ^ fname)

@@ -1,0 +1,62 @@
+(** Address-space layout and code addressing.
+
+    Every instruction and block terminator receives a concrete code
+    address, giving the machine a real instruction pointer: return
+    addresses are plain words, function pointers are code addresses,
+    and monitor metadata is keyed by callsite address exactly as the
+    paper keys it by binary offset. *)
+
+type code_point =
+  | Instr_at of Sil.Loc.t
+  | Term_of of string * string  (** function, block *)
+
+val code_base : int64
+val rodata_base : int64
+val data_base : int64
+val heap_base : int64
+
+(** The $gs-relative BASTION shadow region (hidden from the attacker). *)
+val shadow_base : int64
+
+val stack_base : int64
+
+type t = {
+  prog : Sil.Prog.t;
+  addr_of_point : (code_point, int64) Hashtbl.t;
+  point_of_addr : (int64, code_point) Hashtbl.t;
+  func_entry : (string, int64) Hashtbl.t;
+  func_of_addr : (int64, string) Hashtbl.t;
+  global_addr : (string, int64) Hashtbl.t;
+  global_size : (string, int) Hashtbl.t;
+  rodata : (string, int64) Hashtbl.t;
+  mutable rodata_next : int64;
+  var_offset : (string * int, int) Hashtbl.t;
+  frame_words : (string, int) Hashtbl.t;
+}
+
+val build : Sil.Prog.t -> t
+
+val addr_of_point : t -> code_point -> int64
+val addr_of_loc : t -> Sil.Loc.t -> int64
+val point_of_addr : t -> int64 -> code_point option
+
+(** @raise Invalid_argument for unknown functions. *)
+val func_entry : t -> string -> int64
+
+(** The function a code address belongs to, if any. *)
+val func_of_addr : t -> int64 -> string option
+
+(** Resolve an address used as a call target: must be a function entry. *)
+val func_of_entry_addr : t -> int64 -> string option
+
+val global_addr : t -> string -> int64
+val global_words : t -> string -> int
+
+(** Intern a string literal in rodata (idempotent per content). *)
+val intern_string : t -> Memory.t -> string -> int64
+
+(** Word offset of a variable slot from its frame base. *)
+val var_offset : t -> string -> int -> int
+
+(** Frame size in words (locals + params). *)
+val frame_words : t -> string -> int

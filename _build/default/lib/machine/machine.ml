@@ -1,0 +1,458 @@
+(* The simulated machine: interprets a SIL program over concrete,
+   corruptible memory.
+
+   Faithfulness properties that matter for the reproduction:
+   - all locals live in stack memory at concrete addresses (an attacker
+     write primitive can corrupt any variable, as in the paper's threat
+     model);
+   - return addresses are plain words in stack memory, read back on
+     [Ret] — overwriting one performs a real control transfer (ROP);
+   - function pointers are code addresses; indirect calls resolve
+     whatever address the loaded word holds, so corrupted pointers and
+     out-of-bounds index reads (NEWTON) redirect control for real;
+   - CET, when enabled, keeps a shadow copy of return addresses outside
+     the corruptible memory and faults on mismatch;
+   - syscall stubs do not execute as code: invoking one enters the
+     kernel handler installed by the embedder (seccomp, tracing and the
+     BASTION monitor all live behind that handler). *)
+
+module Memory = Memory
+module Layout = Layout
+module Cost = Cost
+
+type fault =
+  | Cet_violation of { expected : int64; actual : int64 }
+  | Cfi_violation of { callsite : Sil.Loc.t; target : int64 }
+  | Seccomp_kill of { sysno : int }
+  | Monitor_kill of { context : string; detail : string }
+  | Bad_indirect_target of { callsite : Sil.Loc.t; target : int64 }
+  | Bad_return_target of { target : int64 }
+  | Fuel_exhausted
+
+exception Killed of fault
+
+let fault_to_string = function
+  | Cet_violation { expected; actual } ->
+    Printf.sprintf "CET shadow-stack violation (expected %Lx, got %Lx)" expected actual
+  | Cfi_violation { callsite; target } ->
+    Printf.sprintf "LLVM-CFI violation at %s (target %Lx)" (Sil.Loc.to_string callsite) target
+  | Seccomp_kill { sysno } -> Printf.sprintf "seccomp SECCOMP_RET_KILL (syscall %d)" sysno
+  | Monitor_kill { context; detail } ->
+    Printf.sprintf "BASTION monitor kill: %s context violated (%s)" context detail
+  | Bad_indirect_target { callsite; target } ->
+    Printf.sprintf "indirect call to non-function address %Lx at %s" target
+      (Sil.Loc.to_string callsite)
+  | Bad_return_target { target } ->
+    Printf.sprintf "return to non-code address %Lx" target
+  | Fuel_exhausted -> "fuel exhausted"
+
+type outcome = Exited of int64 | Faulted of fault
+
+type cursor = { cblock : string; cindex : int }
+
+type frame = {
+  mutable ffunc : string;
+  frame_base : int64;
+  ret_slot : int64;  (** address of this frame's return-address word; 0 for entry *)
+  fdst : Sil.Operand.var option;  (** caller variable receiving the return value *)
+  mutable cursor : cursor;
+  mutable in_flight_args : int64 array;
+      (** evaluated arguments of the call this frame currently has in
+          flight (the "argument registers" at that callsite) *)
+  mutable in_flight_callsite : int64;  (** code address of that call instr *)
+}
+
+type stats = {
+  mutable instrs : int;
+  mutable calls : int;
+  mutable indirect_calls : int;
+  mutable rets : int;
+  mutable syscalls : int;
+  mutable cycles : int;
+}
+
+let stats_create () =
+  { instrs = 0; calls = 0; indirect_calls = 0; rets = 0; syscalls = 0; cycles = 0 }
+
+type config = { cet : bool; cost : Cost.t; fuel : int }
+
+let default_config = { cet = false; cost = Cost.default; fuel = 500_000_000 }
+
+type t = {
+  prog : Sil.Prog.t;
+  layout : Layout.t;
+  mem : Memory.t;
+  config : config;
+  stats : stats;
+  shadow_stack : Cet.Shadow_stack.t;
+  mutable sp : int64;
+  mutable brk : int64;
+  mutable frames : frame list;  (** top of stack first *)
+  mutable abi_regs : int64 array;  (** args of the most recent call *)
+  mutable trap_rip : int64;  (** code address of the most recent call instr *)
+  mutable on_syscall : (t -> sysno:int -> args:int64 array -> int64) option;
+  mutable on_intrinsic : (t -> name:string -> args:int64 array -> int64) option;
+  mutable on_indirect_call :
+    (t -> callsite:Sil.Loc.t -> target:int64 -> resolved:string option -> unit) option;
+  mutable on_instr : (t -> Sil.Loc.t -> unit) option;
+}
+
+let charge (t : t) n = t.stats.cycles <- t.stats.cycles + n
+
+(* ------------------------------------------------------------------ *)
+(* Creation and data initialisation                                    *)
+
+let init_globals (t : t) =
+  List.iter
+    (fun (g : Sil.Prog.global) ->
+      let addr = Layout.global_addr t.layout g.gname in
+      match g.ginit with
+      | Zero -> ()
+      | Word v -> Memory.write t.mem addr v
+      | Words ws -> Memory.write_block t.mem addr (Array.of_list ws)
+      | Str s ->
+        let saddr = Layout.intern_string t.layout t.mem s in
+        Memory.write t.mem addr saddr
+      | Fptr f -> Memory.write t.mem addr (Layout.func_entry t.layout f))
+    t.prog.globals
+
+let create ?(config = default_config) (prog : Sil.Prog.t) : t =
+  let layout = Layout.build prog in
+  let t =
+    {
+      prog;
+      layout;
+      mem = Memory.create ();
+      config;
+      stats = stats_create ();
+      shadow_stack = Cet.Shadow_stack.create ();
+      sp = Layout.stack_base;
+      brk = Layout.heap_base;
+      frames = [];
+      abi_regs = [||];
+      trap_rip = 0L;
+      on_syscall = None;
+      on_intrinsic = None;
+      on_indirect_call = None;
+      on_instr = None;
+    }
+  in
+  init_globals t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Address computation                                                 *)
+
+let top_frame (t : t) =
+  match t.frames with
+  | f :: _ -> f
+  | [] -> invalid_arg "Machine.top_frame: no frames"
+
+let var_addr_in (t : t) (frame : frame) (v : Sil.Operand.var) =
+  let off = Layout.var_offset t.layout frame.ffunc v.vid in
+  Memory.addr_add frame.frame_base off
+
+let var_addr (t : t) v = var_addr_in t (top_frame t) v
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+
+let rec eval (t : t) (op : Sil.Operand.t) : int64 =
+  match op with
+  | Const n -> n
+  | Cstr s -> Layout.intern_string t.layout t.mem s
+  | Var v -> Memory.read t.mem (var_addr t v)
+  | Global g -> Memory.read t.mem (Layout.global_addr t.layout g)
+  | Func_addr f -> Layout.func_entry t.layout f
+  | Null -> 0L
+
+and place_addr (t : t) (p : Sil.Place.t) : int64 =
+  match p with
+  | Lvar v -> var_addr t v
+  | Lglobal g -> Layout.global_addr t.layout g
+  | Lfield (base, sname, field) ->
+    let b = eval t base in
+    Memory.addr_add b (Sil.Types.field_offset t.prog.structs sname field)
+  | Lindex (base, index, elem_ty) ->
+    let b = eval t base in
+    let i = Int64.to_int (eval t index) in
+    Memory.addr_add b (i * max 1 (Sil.Types.size_words t.prog.structs elem_ty))
+  | Lderef p -> eval t p
+
+let eval_rvalue (t : t) (rv : Sil.Instr.rvalue) : int64 =
+  match rv with
+  | Use op -> eval t op
+  | Load p -> Memory.read t.mem (place_addr t p)
+  | Addr_of p -> place_addr t p
+  | Binop (op, a, b) -> Sil.Instr.eval_binop op (eval t a) (eval t b)
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+
+let push_frame (t : t) ~(callee : Sil.Func.t) ~(args : int64 array)
+    ~(ret_token : int64) ~(dst : Sil.Operand.var option) =
+  t.sp <- Int64.sub t.sp 8L;
+  let ret_slot = t.sp in
+  Memory.write t.mem ret_slot ret_token;
+  (* The CET push rides the call micro-ops for free; only the
+     return-side compare costs a cycle. *)
+  if t.config.cet then Cet.Shadow_stack.push t.shadow_stack ret_token;
+  let words = Layout.frame_words t.layout callee.fname in
+  t.sp <- Int64.sub t.sp (Int64.of_int (8 * words));
+  let frame =
+    {
+      ffunc = callee.fname;
+      frame_base = t.sp;
+      ret_slot;
+      fdst = dst;
+      cursor = { cblock = (Sil.Func.entry_block callee).label; cindex = 0 };
+      in_flight_args = [||];
+      in_flight_callsite = 0L;
+    }
+  in
+  t.frames <- frame :: t.frames;
+  (* Copy arguments into parameter slots. *)
+  List.iteri
+    (fun i ((v : Sil.Operand.var), _) ->
+      if i < Array.length args then
+        Memory.write t.mem (var_addr_in t frame v) args.(i))
+    callee.params
+
+exception Program_exit of int64
+
+let pop_frame (t : t) (ret_val : int64) =
+  match t.frames with
+  | [] -> raise (Program_exit ret_val)
+  | frame :: rest ->
+    t.stats.rets <- t.stats.rets + 1;
+    charge t t.config.cost.ret;
+    if Int64.equal frame.ret_slot 0L then raise (Program_exit ret_val);
+    let token = Memory.read t.mem frame.ret_slot in
+    if t.config.cet then begin
+      charge t t.config.cost.cet_op;
+      Cet.Shadow_stack.pop_check t.shadow_stack ~actual:token
+    end;
+    t.frames <- rest;
+    t.sp <- Int64.add frame.ret_slot 8L;
+    (match rest with
+    | caller :: _ -> (
+      (* Deliver the return value if the caller recorded a destination
+         (guarded: after a ROP redirect the frame may not match). *)
+      match frame.fdst with
+      | Some v -> (
+        try Memory.write t.mem (var_addr_in t caller v) ret_val
+        with Invalid_argument _ -> ())
+      | None -> ())
+    | [] -> ());
+    (* Transfer control to the (possibly corrupted) return token. *)
+    (match Layout.point_of_addr t.layout token with
+    | Some point -> (
+      match rest with
+      | caller :: _ ->
+        (match point with
+        | Layout.Instr_at loc ->
+          (* A token pointing into another function models a ROP pivot:
+             the gadget executes with the attacker-controlled stack. *)
+          if not (String.equal loc.func caller.ffunc) then caller.ffunc <- loc.func;
+          caller.cursor <- { cblock = loc.block; cindex = loc.index }
+        | Layout.Term_of (fname, block) ->
+          if not (String.equal fname caller.ffunc) then caller.ffunc <- fname;
+          let f = Sil.Prog.find_func t.prog fname in
+          let b = Sil.Func.find_block f block in
+          caller.cursor <- { cblock = block; cindex = Array.length b.instrs })
+      | [] -> raise (Program_exit ret_val))
+    | None -> raise (Killed (Bad_return_target { target = token })))
+
+(** The code address execution resumes at when the call at [loc] returns. *)
+let return_token (t : t) (f : Sil.Func.t) (cur : cursor) =
+  let block = Sil.Func.find_block f cur.cblock in
+  if cur.cindex + 1 < Array.length block.instrs then
+    Layout.addr_of_point t.layout
+      (Instr_at (Sil.Loc.make f.fname cur.cblock (cur.cindex + 1)))
+  else Layout.addr_of_point t.layout (Term_of (f.fname, cur.cblock))
+
+(* ------------------------------------------------------------------ *)
+(* Built-in intrinsics                                                 *)
+
+(** Bump-allocate [words] words of heap; used by the malloc intrinsic and
+    by the kernel's mmap implementation. *)
+let alloc_heap (t : t) words =
+  let addr = t.brk in
+  t.brk <- Int64.add t.brk (Int64.of_int (8 * max 1 words));
+  addr
+
+let run_intrinsic (t : t) name (args : int64 array) : int64 =
+  match name with
+  | "malloc" ->
+    let words = if Array.length args > 0 then Int64.to_int args.(0) else 1 in
+    alloc_heap t words
+  | _ -> (
+    match t.on_intrinsic with
+    | Some h -> h t ~name ~args
+    | None -> 0L)
+
+(* ------------------------------------------------------------------ *)
+(* The interpreter                                                     *)
+
+let exec_call (t : t) (frame : frame) ~dst ~(target : Sil.Instr.call_target)
+    ~(args : Sil.Operand.t list) =
+  let loc = Sil.Loc.make frame.ffunc frame.cursor.cblock frame.cursor.cindex in
+  let argv = Array.of_list (List.map (eval t) args) in
+  let callsite_addr = Layout.addr_of_loc t.layout loc in
+  t.abi_regs <- argv;
+  t.trap_rip <- callsite_addr;
+  frame.in_flight_args <- argv;
+  frame.in_flight_callsite <- callsite_addr;
+  t.stats.calls <- t.stats.calls + 1;
+  let callee_name =
+    match target with
+    | Direct f -> f
+    | Indirect op ->
+      t.stats.indirect_calls <- t.stats.indirect_calls + 1;
+      let addr = eval t op in
+      let resolved = Layout.func_of_entry_addr t.layout addr in
+      (match t.on_indirect_call with
+      | Some h -> h t ~callsite:loc ~target:addr ~resolved
+      | None -> ());
+      (match resolved with
+      | Some f -> f
+      | None -> raise (Killed (Bad_indirect_target { callsite = loc; target = addr })))
+  in
+  let callee = Sil.Prog.find_func t.prog callee_name in
+  (* Intrinsics are inlined runtime-library snippets: they cost their
+     body, not a call.  Real calls and syscalls pay the call overhead. *)
+  (match callee.kind with
+  | Intrinsic _ -> ()
+  | App_code | Syscall_stub _ -> charge t t.config.cost.call);
+  match callee.kind with
+  | Syscall_stub sysno ->
+    t.stats.syscalls <- t.stats.syscalls + 1;
+    let result =
+      match t.on_syscall with
+      | Some h -> h t ~sysno ~args:argv
+      | None -> 0L
+    in
+    (match dst with Some v -> Memory.write t.mem (var_addr_in t frame v) result | None -> ());
+    frame.cursor <- { frame.cursor with cindex = frame.cursor.cindex + 1 }
+  | Intrinsic name ->
+    charge t t.config.cost.intrinsic;
+    let result = run_intrinsic t name argv in
+    (match dst with Some v -> Memory.write t.mem (var_addr_in t frame v) result | None -> ());
+    frame.cursor <- { frame.cursor with cindex = frame.cursor.cindex + 1 }
+  | App_code ->
+    let f = Sil.Prog.find_func t.prog frame.ffunc in
+    let token = return_token t f frame.cursor in
+    (* Advance the caller past the call before pushing, so the cursor is
+       correct if the callee is re-entered recursively. *)
+    frame.cursor <- { frame.cursor with cindex = frame.cursor.cindex + 1 };
+    push_frame t ~callee ~args:argv ~ret_token:token ~dst
+
+let exec_terminator (t : t) (frame : frame) (term : Sil.Instr.terminator) =
+  match term with
+  | Jump l -> frame.cursor <- { cblock = l; cindex = 0 }
+  | Branch (cond, l1, l2) ->
+    let c = eval t cond in
+    charge t t.config.cost.instr;
+    frame.cursor <- { cblock = (if not (Int64.equal c 0L) then l1 else l2); cindex = 0 }
+  | Ret op ->
+    let v = match op with Some op -> eval t op | None -> 0L in
+    pop_frame t v
+  | Halt -> raise (Program_exit 0L)
+
+let step (t : t) =
+  let frame = top_frame t in
+  let f = Sil.Prog.find_func t.prog frame.ffunc in
+  let block = Sil.Func.find_block f frame.cursor.cblock in
+  if frame.cursor.cindex >= Array.length block.instrs then
+    exec_terminator t frame block.term
+  else begin
+    let loc = Sil.Loc.make frame.ffunc frame.cursor.cblock frame.cursor.cindex in
+    (match t.on_instr with Some h -> h t loc | None -> ());
+    let ins = block.instrs.(frame.cursor.cindex) in
+    t.stats.instrs <- t.stats.instrs + 1;
+    match ins with
+    | Assign (v, rv) ->
+      charge t t.config.cost.instr;
+      Memory.write t.mem (var_addr t v) (eval_rvalue t rv);
+      frame.cursor <- { frame.cursor with cindex = frame.cursor.cindex + 1 }
+    | Store (p, op) ->
+      charge t t.config.cost.instr;
+      Memory.write t.mem (place_addr t p) (eval t op);
+      frame.cursor <- { frame.cursor with cindex = frame.cursor.cindex + 1 }
+    | Call { dst; target; args } -> exec_call t frame ~dst ~target ~args
+  end
+
+(** Run the program from its entry point to completion. *)
+let run (t : t) : outcome =
+  let entry = Sil.Prog.find_func t.prog t.prog.entry in
+  t.sp <- Layout.stack_base;
+  t.frames <- [];
+  t.frames <-
+    [
+      {
+        ffunc = entry.fname;
+        frame_base =
+          (let words = Layout.frame_words t.layout entry.fname in
+           t.sp <- Int64.sub t.sp (Int64.of_int (8 * words));
+           t.sp);
+        ret_slot = 0L;
+        fdst = None;
+        cursor = { cblock = (Sil.Func.entry_block entry).label; cindex = 0 };
+        in_flight_args = [||];
+        in_flight_callsite = 0L;
+      };
+    ];
+  let budget = ref t.config.fuel in
+  try
+    let rec loop () =
+      if !budget <= 0 then raise (Killed Fuel_exhausted);
+      decr budget;
+      step t;
+      loop ()
+    in
+    loop ()
+  with
+  | Program_exit v -> Exited v
+  | Killed fault -> Faulted fault
+  | Cet.Shadow_stack.Violation { expected; actual } ->
+    Faulted (Cet_violation { expected; actual })
+  | Cet.Shadow_stack.Underflow -> Faulted (Cet_violation { expected = 0L; actual = 0L })
+
+(* ------------------------------------------------------------------ *)
+(* Introspection used by the kernel's ptrace layer and by attacks      *)
+
+(** Stack frames, innermost first, with the *memory-resident* return
+    address of each (reading it reflects any corruption). *)
+let frames (t : t) = t.frames
+
+let read_ret_addr (t : t) (frame : frame) =
+  if Int64.equal frame.ret_slot 0L then None
+  else Some (Memory.read t.mem frame.ret_slot)
+
+let peek (t : t) addr = Memory.read t.mem addr
+let poke (t : t) addr v = Memory.write t.mem addr v
+let read_string (t : t) addr = Memory.read_string t.mem addr
+
+let global_address (t : t) name = Layout.global_addr t.layout name
+let function_address (t : t) name = Layout.func_entry t.layout name
+let instr_address (t : t) loc = Layout.addr_of_loc t.layout loc
+
+(** Address of a local variable of a live frame, searching innermost
+    frames first.  Used by attack scripts to corrupt specific variables. *)
+let local_address (t : t) ~func ~var =
+  let rec find = function
+    | [] -> None
+    | (f : frame) :: rest ->
+      if String.equal f.ffunc func then
+        let fn = Sil.Prog.find_func t.prog func in
+        let v =
+          List.find_opt
+            (fun ((v : Sil.Operand.var), _) -> String.equal v.vname var)
+            (Sil.Func.all_vars fn)
+        in
+        match v with
+        | Some (v, _) -> Some (var_addr_in t f v)
+        | None -> find rest
+      else find rest
+  in
+  find t.frames

@@ -1,0 +1,51 @@
+(* Word-addressable sparse memory.
+
+   Addresses are byte addresses but all accesses are 8-byte-word aligned
+   and word-sized (SIL is word oriented).  Unmapped reads return zero,
+   which models a zero-filled sparse address space and — importantly for
+   the NEWTON-style attacks — lets out-of-bounds array indexing read
+   whatever happens to live at the computed address. *)
+
+type t = { cells : (int64, int64) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 4096 }
+
+let read t addr = Option.value ~default:0L (Hashtbl.find_opt t.cells addr)
+
+let write t addr v =
+  if Int64.equal v 0L then Hashtbl.remove t.cells addr
+  else Hashtbl.replace t.cells addr v
+
+let word = 8L
+
+let addr_add addr words = Int64.add addr (Int64.mul word (Int64.of_int words))
+
+(** Read [n] consecutive words starting at [addr]. *)
+let read_block t addr n = Array.init n (fun i -> read t (addr_add addr i))
+
+let write_block t addr words =
+  Array.iteri (fun i v -> write t (addr_add addr i) v) words
+
+(** Read a NUL-terminated string stored one character per word. *)
+let read_string ?(max_len = 4096) t addr =
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= max_len then Buffer.contents buf
+    else
+      let c = read t (addr_add addr i) in
+      if Int64.equal c 0L then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr (Int64.to_int c land 0xff));
+        go (i + 1)
+      end
+  in
+  go 0
+
+(** Store a string one character per word, NUL terminated; returns the
+    number of words written. *)
+let write_string t addr s =
+  String.iteri (fun i c -> write t (addr_add addr i) (Int64.of_int (Char.code c))) s;
+  write t (addr_add addr (String.length s)) 0L;
+  String.length s + 1
+
+let mapped_words t = Hashtbl.length t.cells

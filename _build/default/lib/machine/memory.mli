@@ -1,0 +1,28 @@
+(** Word-addressable sparse memory.  Accesses are 8-byte-word sized;
+    unmapped reads return zero (a zero-filled sparse address space —
+    which also lets out-of-bounds indexing read whatever lives at the
+    computed address, as the NEWTON attacks require). *)
+
+type t
+
+val create : unit -> t
+val read : t -> int64 -> int64
+
+(** Writing zero unmaps the word. *)
+val write : t -> int64 -> int64 -> unit
+
+val word : int64
+
+(** [addr_add a n] is [a + 8*n]. *)
+val addr_add : int64 -> int -> int64
+
+val read_block : t -> int64 -> int -> int64 array
+val write_block : t -> int64 -> int64 array -> unit
+
+(** NUL-terminated string stored one character per word. *)
+val read_string : ?max_len:int -> t -> int64 -> string
+
+(** Returns the number of words written (including the NUL). *)
+val write_string : t -> int64 -> string -> int
+
+val mapped_words : t -> int

@@ -1,0 +1,39 @@
+(* Horizontal ASCII bar charts, used to render Figure 3 the way the
+   paper draws it (grouped bars per application). *)
+
+let bar_width = 46
+
+(** Render one group of labelled values as horizontal bars, scaled to
+    the largest value across all groups. *)
+let render ~(unit_ : string) (groups : (string * (string * float) list) list) : string =
+  let buf = Buffer.create 1024 in
+  let max_v =
+    List.fold_left
+      (fun acc (_, rows) -> List.fold_left (fun acc (_, v) -> max acc v) acc rows)
+      0.0 groups
+  in
+  let max_v = if max_v <= 0.0 then 1.0 else max_v in
+  let label_w =
+    List.fold_left
+      (fun acc (_, rows) ->
+        List.fold_left (fun acc (l, _) -> max acc (String.length l)) acc rows)
+      0 groups
+  in
+  List.iter
+    (fun (group, rows) ->
+      Buffer.add_string buf group;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun (label, v) ->
+          let n = int_of_float (Float.round (v /. max_v *. float_of_int bar_width)) in
+          let n = max 0 (min bar_width n) in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s |%s%s %.2f%s\n" label_w label (String.make n '#')
+               (String.make (bar_width - n) ' ')
+               v unit_))
+        rows;
+      Buffer.add_char buf '\n')
+    groups;
+  Buffer.contents buf
+
+let print ~unit_ groups = print_string (render ~unit_ groups)

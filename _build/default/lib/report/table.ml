@@ -1,0 +1,26 @@
+(* Plain-text table rendering shared by the bench harness, the examples
+   and the CLI. *)
+
+type align = L | R
+
+let render ?(align : align list = []) ~(header : string list) (rows : string list list) : string =
+  let ncols = List.length header in
+  let all = header :: rows in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let align_of c = try List.nth align c with _ -> L in
+  let pad c s =
+    let w = List.nth widths c in
+    let fill = String.make (max 0 (w - String.length s)) ' ' in
+    match align_of c with L -> s ^ fill | R -> fill ^ s
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let print ?align ~header rows = print_endline (render ?align ~header rows)
+
+let fmt_f ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+let fmt_pct ?(digits = 2) v = Printf.sprintf "%.*f%%" digits v

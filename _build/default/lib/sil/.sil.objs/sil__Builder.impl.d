@@ -1,0 +1,1 @@
+lib/sil/builder.pp.ml: Array Func Hashtbl Instr List Operand Printf Prog String Types

@@ -1,0 +1,1 @@
+lib/sil/builder.pp.mli: Func Instr Operand Place Prog Types

@@ -1,0 +1,1 @@
+lib/sil/callgraph.pp.ml: Instr List Loc Map Operand Option Prog Set String

@@ -1,0 +1,1 @@
+lib/sil/callgraph.pp.mli: Instr Loc Map Operand Prog Set

@@ -1,0 +1,1 @@
+lib/sil/func.pp.ml: Array Instr List Loc Operand Ppx_deriving_runtime Printf String Types

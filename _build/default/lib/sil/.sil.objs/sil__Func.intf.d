@@ -1,0 +1,1 @@
+lib/sil/func.pp.mli: Format Instr Loc Operand Types

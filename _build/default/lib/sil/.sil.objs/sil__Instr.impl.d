@@ -1,0 +1,1 @@
+lib/sil/instr.pp.ml: Int64 List Operand Place Ppx_deriving_runtime

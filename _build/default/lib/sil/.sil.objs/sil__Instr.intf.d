@@ -1,0 +1,1 @@
+lib/sil/instr.pp.mli: Format Operand Place

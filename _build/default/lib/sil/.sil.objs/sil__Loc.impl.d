@@ -1,0 +1,1 @@
+lib/sil/loc.pp.ml: Map Ppx_deriving_runtime Printf Set

@@ -1,0 +1,1 @@
+lib/sil/loc.pp.mli: Format Map Set

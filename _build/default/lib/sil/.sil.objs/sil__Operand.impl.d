@@ -1,0 +1,1 @@
+lib/sil/operand.pp.ml: Int64 Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/sil/operand.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/sil/place.pp.ml: List Operand Ppx_deriving_runtime Types

@@ -1,0 +1,1 @@
+lib/sil/place.pp.mli: Format Operand Types

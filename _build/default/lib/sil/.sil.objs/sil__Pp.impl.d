@@ -1,0 +1,1 @@
+lib/sil/pp.pp.ml: Array Format Func Instr List Operand Place Prog Types

@@ -1,0 +1,1 @@
+lib/sil/pp.pp.mli: Format Func Instr Operand Place Prog

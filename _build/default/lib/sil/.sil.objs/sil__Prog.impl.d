@@ -1,0 +1,1 @@
+lib/sil/prog.pp.ml: Array Func Hashtbl Instr List Loc String Types

@@ -1,0 +1,1 @@
+lib/sil/prog.pp.mli: Func Hashtbl Instr Loc Operand Types

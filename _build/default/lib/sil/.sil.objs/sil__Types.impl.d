@@ -1,0 +1,1 @@
+lib/sil/types.pp.ml: Buffer Hashtbl List Ppx_deriving_runtime Printf String

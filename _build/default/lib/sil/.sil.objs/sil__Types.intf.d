@@ -1,0 +1,1 @@
+lib/sil/types.pp.mli: Format Hashtbl

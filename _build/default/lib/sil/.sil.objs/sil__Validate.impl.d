@@ -1,0 +1,1 @@
+lib/sil/validate.pp.ml: Buffer Format Func Hashtbl Instr List Loc Operand Place Printf Prog String Types

@@ -1,0 +1,1 @@
+lib/sil/validate.pp.mli: Format Prog

@@ -1,0 +1,165 @@
+(* Imperative construction API for SIL programs.
+
+   A [program] accumulates structs, globals and functions; a [fb]
+   (function builder) accumulates blocks and instructions with a current
+   insertion point.  Workload models and tests build programs through
+   this module only. *)
+
+type program = {
+  structs : Types.struct_env;
+  mutable globals : Prog.global list;
+  funcs : (string, Func.t) Hashtbl.t;
+}
+
+type fb = {
+  prog : program;
+  fname : string;
+  params : (Operand.var * Types.t) list;
+  mutable locals : (Operand.var * Types.t) list;
+  mutable next_var : int;
+  mutable blocks_rev : Func.block list;  (** sealed blocks, reverse order *)
+  mutable cur_label : string;
+  mutable cur_instrs_rev : Instr.t list;
+  mutable sealed : bool;
+  kind : Func.kind;
+}
+
+let program () : program =
+  { structs = Types.struct_env_create (); globals = []; funcs = Hashtbl.create 64 }
+
+let struct_ (p : program) sname fields =
+  Types.define_struct p.structs { Types.sname; fields }
+
+let global (p : program) gname gty ginit =
+  if List.exists (fun (g : Prog.global) -> String.equal g.gname gname) p.globals
+  then invalid_arg ("Builder.global: duplicate global " ^ gname);
+  p.globals <- { Prog.gname; gty; ginit } :: p.globals
+
+(* ------------------------------------------------------------------ *)
+(* Function construction                                               *)
+
+let func ?(kind = Func.App_code) (p : program) fname ~params : fb =
+  if Hashtbl.mem p.funcs fname then
+    invalid_arg ("Builder.func: duplicate function " ^ fname);
+  let params =
+    List.mapi (fun i (name, ty) -> ({ Operand.vid = i; vname = name }, ty)) params
+  in
+  {
+    prog = p;
+    fname;
+    params;
+    locals = [];
+    next_var = List.length params;
+    blocks_rev = [];
+    cur_label = "entry";
+    cur_instrs_rev = [];
+    sealed = false;
+    kind;
+  }
+
+let param (fb : fb) i = fst (List.nth fb.params i)
+
+let local (fb : fb) vname ty : Operand.var =
+  let v = { Operand.vid = fb.next_var; vname } in
+  fb.next_var <- fb.next_var + 1;
+  fb.locals <- fb.locals @ [ (v, ty) ];
+  v
+
+let check_open (fb : fb) what =
+  if fb.sealed then
+    invalid_arg (Printf.sprintf "Builder.%s: function %s already sealed" what fb.fname)
+
+let emit (fb : fb) (ins : Instr.t) =
+  check_open fb "emit";
+  fb.cur_instrs_rev <- ins :: fb.cur_instrs_rev
+
+let close_block (fb : fb) (term : Instr.terminator) =
+  let block =
+    {
+      Func.label = fb.cur_label;
+      instrs = Array.of_list (List.rev fb.cur_instrs_rev);
+      term;
+    }
+  in
+  fb.blocks_rev <- block :: fb.blocks_rev;
+  fb.cur_instrs_rev <- []
+
+(** Start a new labelled block.  If the current block has not been
+    terminated, fall through with an explicit jump. *)
+let block (fb : fb) label =
+  check_open fb "block";
+  close_block fb (Instr.Jump label);
+  fb.cur_label <- label
+
+(* Straight-line instructions ---------------------------------------- *)
+
+let assign (fb : fb) v rv = emit fb (Instr.Assign (v, rv))
+let set (fb : fb) v op = assign fb v (Instr.Use op)
+let load (fb : fb) v place = assign fb v (Instr.Load place)
+let addr_of (fb : fb) v place = assign fb v (Instr.Addr_of place)
+let binop (fb : fb) v op a b = assign fb v (Instr.Binop (op, a, b))
+let store (fb : fb) place op = emit fb (Instr.Store (place, op))
+
+let call (fb : fb) ?dst callee args =
+  emit fb (Instr.Call { dst; target = Instr.Direct callee; args })
+
+let call_indirect (fb : fb) ?dst fptr args =
+  emit fb (Instr.Call { dst; target = Instr.Indirect fptr; args })
+
+(* Terminators -------------------------------------------------------- *)
+
+let terminate (fb : fb) term =
+  check_open fb "terminate";
+  close_block fb term;
+  (* A fresh anonymous label in case construction continues. *)
+  fb.cur_label <- Printf.sprintf "anon%d" (List.length fb.blocks_rev)
+
+let jump (fb : fb) label = terminate fb (Instr.Jump label)
+let branch (fb : fb) cond l1 l2 = terminate fb (Instr.Branch (cond, l1, l2))
+let ret (fb : fb) op = terminate fb (Instr.Ret op)
+let halt (fb : fb) = terminate fb Instr.Halt
+
+(** Seal the function and register it in the program.  An unterminated
+    trailing block gets an implicit [Ret None]. *)
+let seal (fb : fb) =
+  check_open fb "seal";
+  (match fb.cur_instrs_rev with
+  | [] when fb.blocks_rev <> [] -> ()
+  | _ -> close_block fb (Instr.Ret None));
+  fb.sealed <- true;
+  let blocks = List.rev fb.blocks_rev in
+  let f =
+    {
+      Func.fname = fb.fname;
+      params = fb.params;
+      locals = fb.locals;
+      blocks;
+      kind = fb.kind;
+    }
+  in
+  Hashtbl.add fb.prog.funcs fb.fname f
+
+(* Declarations ------------------------------------------------------- *)
+
+(** Declare a system-call stub: a leaf function whose invocation enters
+    the (simulated) kernel.  [arity] is the number of arguments. *)
+let syscall_stub (p : program) name ~number ~arity =
+  let params = List.init arity (fun i -> (Printf.sprintf "a%d" i, Types.I64)) in
+  let fb = func ~kind:(Func.Syscall_stub number) p name ~params in
+  ret fb None;
+  seal fb
+
+(** Declare a runtime-library intrinsic executed natively by the machine
+    (the BASTION ctx_* API of Table 2). *)
+let intrinsic (p : program) name ~arity =
+  let params = List.init arity (fun i -> (Printf.sprintf "a%d" i, Types.I64)) in
+  let fb = func ~kind:(Func.Intrinsic name) p name ~params in
+  ret fb None;
+  seal fb
+
+(* Finalisation ------------------------------------------------------- *)
+
+let build (p : program) ~entry : Prog.t =
+  if not (Hashtbl.mem p.funcs entry) then
+    invalid_arg ("Builder.build: entry function not defined: " ^ entry);
+  { Prog.structs = p.structs; globals = List.rev p.globals; funcs = p.funcs; entry }

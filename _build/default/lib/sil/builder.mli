@@ -1,0 +1,75 @@
+(** Imperative construction API for SIL programs.
+
+    A {!program} accumulates structs, globals and functions; an {!fb}
+    (function builder) accumulates blocks and instructions at a current
+    insertion point.  Typical use:
+
+    {[
+      let pb = Builder.program () in
+      let fb = Builder.func pb "main" ~params:[] in
+      Builder.call fb "getpid" [];
+      Builder.halt fb;
+      Builder.seal fb;
+      let prog = Builder.build pb ~entry:"main"
+    ]} *)
+
+type program
+type fb
+
+val program : unit -> program
+
+(** Define a named struct.
+    @raise Invalid_argument on duplicates. *)
+val struct_ : program -> string -> (string * Types.t) list -> unit
+
+(** Declare a global with its initialiser.
+    @raise Invalid_argument on duplicates. *)
+val global : program -> string -> Types.t -> Prog.init -> unit
+
+(** Open a function for construction.  The entry block is labelled
+    ["entry"].  @raise Invalid_argument on duplicate names. *)
+val func : ?kind:Func.kind -> program -> string -> params:(string * Types.t) list -> fb
+
+(** The [i]-th parameter variable. *)
+val param : fb -> int -> Operand.var
+
+(** Declare a fresh local variable. *)
+val local : fb -> string -> Types.t -> Operand.var
+
+(** Append a raw instruction at the insertion point. *)
+val emit : fb -> Instr.t -> unit
+
+(** Start a new labelled block; an unterminated current block falls
+    through with an explicit jump. *)
+val block : fb -> string -> unit
+
+val assign : fb -> Operand.var -> Instr.rvalue -> unit
+val set : fb -> Operand.var -> Operand.t -> unit
+val load : fb -> Operand.var -> Place.t -> unit
+val addr_of : fb -> Operand.var -> Place.t -> unit
+val binop : fb -> Operand.var -> Instr.binop -> Operand.t -> Operand.t -> unit
+val store : fb -> Place.t -> Operand.t -> unit
+val call : fb -> ?dst:Operand.var -> string -> Operand.t list -> unit
+val call_indirect : fb -> ?dst:Operand.var -> Operand.t -> Operand.t list -> unit
+
+val terminate : fb -> Instr.terminator -> unit
+val jump : fb -> string -> unit
+val branch : fb -> Operand.t -> string -> string -> unit
+val ret : fb -> Operand.t option -> unit
+val halt : fb -> unit
+
+(** Close the function and register it; an unterminated trailing block
+    gets an implicit [Ret None]. *)
+val seal : fb -> unit
+
+(** Declare a system-call stub (a leaf whose invocation enters the
+    simulated kernel). *)
+val syscall_stub : program -> string -> number:int -> arity:int -> unit
+
+(** Declare a runtime-library intrinsic executed natively by the
+    machine (the ctx_* API of the paper's Table 2). *)
+val intrinsic : program -> string -> arity:int -> unit
+
+(** Finalise the program.
+    @raise Invalid_argument if [entry] is not defined. *)
+val build : program -> entry:string -> Prog.t

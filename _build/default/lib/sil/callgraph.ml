@@ -1,0 +1,88 @@
+(* Whole-program call structure: the direct call graph, indirect
+   callsites, and address-taken functions.  This is the input to both the
+   call-type analysis (address-taken syscalls are indirectly-callable)
+   and the control-flow analysis (callee -> caller-site relations). *)
+
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+type callsite = {
+  cs_loc : Loc.t;                (** where the call instruction lives *)
+  cs_target : Instr.call_target;
+  cs_args : Operand.t list;
+}
+
+type t = {
+  prog : Prog.t;
+  callsites : callsite list;                  (** every call in the program *)
+  direct_callers : Loc.t list Smap.t;         (** callee name -> callsites *)
+  indirect_callsites : callsite list;
+  address_taken : Sset.t;                     (** functions whose address escapes *)
+}
+
+(** Functions whose address appears in an operand. *)
+let operand_fnames op =
+  match (op : Operand.t) with
+  | Func_addr f -> [ f ]
+  | Const _ | Cstr _ | Var _ | Global _ | Null -> []
+
+let global_fnames (g : Prog.global) =
+  match g.ginit with
+  | Fptr f -> [ f ]
+  | Zero | Word _ | Words _ | Str _ -> []
+
+let build (prog : Prog.t) : t =
+  let callsites =
+    List.map
+      (fun (cs_loc, _dst, cs_target, cs_args) -> { cs_loc; cs_target; cs_args })
+      (Prog.calls prog)
+  in
+  let direct_callers =
+    List.fold_left
+      (fun acc cs ->
+        match cs.cs_target with
+        | Instr.Direct callee ->
+          let existing = Option.value ~default:[] (Smap.find_opt callee acc) in
+          Smap.add callee (cs.cs_loc :: existing) acc
+        | Instr.Indirect _ -> acc)
+      Smap.empty callsites
+  in
+  let indirect_callsites =
+    List.filter
+      (fun cs ->
+        match cs.cs_target with Instr.Indirect _ -> true | Instr.Direct _ -> false)
+      callsites
+  in
+  (* Address-taken: Func_addr operands anywhere (including call arguments
+     and stores) and function-pointer global initialisers. *)
+  let address_taken =
+    let from_instrs =
+      List.fold_left
+        (fun acc (_, ins) ->
+          List.fold_left
+            (fun acc op -> List.fold_left (fun acc f -> Sset.add f acc) acc (operand_fnames op))
+            acc (Instr.operands ins))
+        Sset.empty (Prog.instrs prog)
+    in
+    List.fold_left
+      (fun acc g -> List.fold_left (fun acc f -> Sset.add f acc) acc (global_fnames g))
+      from_instrs prog.globals
+  in
+  { prog; callsites; direct_callers; indirect_callsites; address_taken }
+
+let direct_callers_of (cg : t) fname =
+  Option.value ~default:[] (Smap.find_opt fname cg.direct_callers)
+
+let is_address_taken (cg : t) fname = Sset.mem fname cg.address_taken
+
+(** Statistics backing Table 5 rows 1-3. *)
+type stats = {
+  total_callsites : int;
+  direct_callsites : int;
+  indirect_count : int;
+}
+
+let stats (cg : t) =
+  let total_callsites = List.length cg.callsites in
+  let indirect_count = List.length cg.indirect_callsites in
+  { total_callsites; direct_callsites = total_callsites - indirect_count; indirect_count }

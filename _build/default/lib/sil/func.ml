@@ -1,0 +1,60 @@
+(* Functions: a list of labelled basic blocks; the first block is the
+   entry.  A function's [kind] records whether it is ordinary application
+   code, a system-call stub (the moral equivalent of a libc syscall
+   wrapper: calling it enters the kernel), or a BASTION runtime-library
+   intrinsic (ctx_write_mem and friends, executed by the machine). *)
+
+type kind =
+  | App_code
+  | Syscall_stub of int  (** syscall number *)
+  | Intrinsic of string  (** runtime-library operation name *)
+[@@deriving show { with_path = false }, eq]
+
+type block = { label : string; instrs : Instr.t array; term : Instr.terminator }
+
+type t = {
+  fname : string;
+  params : (Operand.var * Types.t) list;
+  locals : (Operand.var * Types.t) list;  (** excludes params *)
+  blocks : block list;
+  kind : kind;
+}
+
+let signature (f : t) : Types.signature =
+  { Types.params = List.map snd f.params; ret = Types.I64 }
+
+let find_block (f : t) label =
+  match List.find_opt (fun b -> String.equal b.label label) f.blocks with
+  | Some b -> b
+  | None ->
+    invalid_arg (Printf.sprintf "Func.find_block: %s has no block %s" f.fname label)
+
+let entry_block (f : t) =
+  match f.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg (Printf.sprintf "Func.entry_block: %s has no blocks" f.fname)
+
+(** All (location, instruction) pairs of the function, in layout order. *)
+let instrs (f : t) : (Loc.t * Instr.t) list =
+  List.concat_map
+    (fun b ->
+      Array.to_list b.instrs
+      |> List.mapi (fun i ins -> (Loc.make f.fname b.label i, ins)))
+    f.blocks
+
+(** Variable environment: params then locals. *)
+let all_vars (f : t) = f.params @ f.locals
+
+let var_type (f : t) (v : Operand.var) =
+  match List.assoc_opt v (all_vars f) with
+  | Some ty -> ty
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Func.var_type: %s has no variable %s#%d" f.fname v.vname
+         v.vid)
+
+let is_syscall_stub (f : t) =
+  match f.kind with Syscall_stub _ -> true | App_code | Intrinsic _ -> false
+
+let syscall_number (f : t) =
+  match f.kind with Syscall_stub n -> Some n | App_code | Intrinsic _ -> None

@@ -1,0 +1,47 @@
+(** Functions: labelled basic blocks (first block is the entry). *)
+
+(** What kind of code a function is. *)
+type kind =
+  | App_code             (** ordinary application code *)
+  | Syscall_stub of int  (** libc-style syscall wrapper; calling it
+                             enters the (simulated) kernel; the payload
+                             is the syscall number *)
+  | Intrinsic of string  (** BASTION runtime-library operation, executed
+                             natively by the machine *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val show_kind : kind -> string
+val equal_kind : kind -> kind -> bool
+
+type block = { label : string; instrs : Instr.t array; term : Instr.terminator }
+
+type t = {
+  fname : string;
+  params : (Operand.var * Types.t) list;
+  locals : (Operand.var * Types.t) list;  (** excludes params *)
+  blocks : block list;
+  kind : kind;
+}
+
+(** The function's (I64-returning) signature. *)
+val signature : t -> Types.signature
+
+(** @raise Invalid_argument if no block carries that label. *)
+val find_block : t -> string -> block
+
+(** @raise Invalid_argument if the function has no blocks. *)
+val entry_block : t -> block
+
+(** All (location, instruction) pairs, in layout order. *)
+val instrs : t -> (Loc.t * Instr.t) list
+
+(** Parameters followed by locals. *)
+val all_vars : t -> (Operand.var * Types.t) list
+
+(** @raise Invalid_argument if the variable is unknown. *)
+val var_type : t -> Operand.var -> Types.t
+
+val is_syscall_stub : t -> bool
+
+(** The syscall number if this is a stub. *)
+val syscall_number : t -> int option

@@ -1,0 +1,67 @@
+(** Instructions and block terminators. *)
+
+type binop =
+  | Add | Sub | Mul | Div
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+val pp_binop : Format.formatter -> binop -> unit
+val show_binop : binop -> string
+val equal_binop : binop -> binop -> bool
+
+type rvalue =
+  | Use of Operand.t
+  | Load of Place.t
+  | Addr_of of Place.t
+      (** address of a place; taking a local's address spills it to its
+          stack slot, making it reachable through memory *)
+  | Binop of binop * Operand.t * Operand.t
+
+val pp_rvalue : Format.formatter -> rvalue -> unit
+val show_rvalue : rvalue -> string
+val equal_rvalue : rvalue -> rvalue -> bool
+
+type call_target =
+  | Direct of string
+      (** call a named function; calling a syscall stub this way is a
+          directly-callable syscall use *)
+  | Indirect of Operand.t
+      (** call through a function-pointer value *)
+
+val pp_call_target : Format.formatter -> call_target -> unit
+val show_call_target : call_target -> string
+val equal_call_target : call_target -> call_target -> bool
+
+type t =
+  | Assign of Operand.var * rvalue
+  | Store of Place.t * Operand.t
+  | Call of { dst : Operand.var option; target : call_target; args : Operand.t list }
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+
+type terminator =
+  | Jump of string
+  | Branch of Operand.t * string * string  (** non-zero takes the first label *)
+  | Ret of Operand.t option
+  | Halt                                   (** program exit *)
+
+val pp_terminator : Format.formatter -> terminator -> unit
+val show_terminator : terminator -> string
+val equal_terminator : terminator -> terminator -> bool
+
+(** Operands read by an rvalue. *)
+val rvalue_operands : rvalue -> Operand.t list
+
+(** All operands read by an instruction. *)
+val operands : t -> Operand.t list
+
+(** The variable defined by an instruction, if any. *)
+val def : t -> Operand.var option
+
+val is_call : t -> bool
+
+(** Two's-complement 64-bit evaluation; comparisons return 0/1;
+    division by zero yields 0. *)
+val eval_binop : binop -> int64 -> int64 -> int64

@@ -1,0 +1,24 @@
+(* Code locations.  Every instruction has a location; the machine assigns
+   each location a concrete code address, so locations play the role of
+   instruction pointers (the monitor's metadata is keyed by them, exactly
+   as BASTION keys metadata by binary offsets). *)
+
+type t = { func : string; block : string; index : int }
+[@@deriving show { with_path = false }, eq, ord]
+
+let make func block index = { func; block; index }
+
+let to_string { func; block; index } =
+  Printf.sprintf "%s:%s:%d" func block index
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

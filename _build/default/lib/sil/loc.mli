@@ -1,0 +1,19 @@
+(** Code locations: (function, block, instruction index).
+
+    Every instruction has a location; the machine assigns each location
+    a concrete code address, so locations play the role instruction
+    pointers play in the paper (monitor metadata is keyed by them the
+    way BASTION keys metadata by binary offsets). *)
+
+type t = { func : string; block : string; index : int }
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val make : string -> string -> int -> t
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

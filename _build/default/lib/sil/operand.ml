@@ -1,0 +1,29 @@
+(* Operands: the values an instruction may read. *)
+
+(** A local variable (parameter or function-local).  Identified by a
+    per-function unique id; the name is kept for diagnostics and for the
+    symbol table the attacker API uses to locate stack slots. *)
+type var = { vid : int; vname : string }
+[@@deriving show { with_path = false }, eq, ord]
+
+type t =
+  | Const of int64            (** integer constant *)
+  | Cstr of string            (** string literal, lives in rodata *)
+  | Var of var                (** read of a local variable *)
+  | Global of string          (** read of a scalar global *)
+  | Func_addr of string       (** address of a function (address-taken) *)
+  | Null
+[@@deriving show { with_path = false }, eq, ord]
+
+let const n = Const (Int64.of_int n)
+let var v = Var v
+
+(** Variables read by this operand (none or one). *)
+let vars = function
+  | Var v -> [ v ]
+  | Const _ | Cstr _ | Global _ | Func_addr _ | Null -> []
+
+(** Globals read by this operand. *)
+let globals = function
+  | Global g -> [ g ]
+  | Const _ | Cstr _ | Var _ | Func_addr _ | Null -> []

@@ -1,0 +1,34 @@
+(** Operands: the values an instruction may read. *)
+
+(** A local variable (parameter or function-local), unique per function
+    by [vid]; [vname] is kept for diagnostics and symbol lookup. *)
+type var = { vid : int; vname : string }
+
+val pp_var : Format.formatter -> var -> unit
+val show_var : var -> string
+val equal_var : var -> var -> bool
+val compare_var : var -> var -> int
+
+type t =
+  | Const of int64            (** integer constant *)
+  | Cstr of string            (** string literal (interned in rodata) *)
+  | Var of var                (** read of a local variable *)
+  | Global of string          (** read of a scalar global *)
+  | Func_addr of string       (** address of a function (address-taken) *)
+  | Null
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [const n] is [Const (Int64.of_int n)]. *)
+val const : int -> t
+
+val var : var -> t
+
+(** Variables read by this operand (zero or one). *)
+val vars : t -> var list
+
+(** Globals read by this operand (zero or one). *)
+val globals : t -> string list

@@ -1,0 +1,36 @@
+(* Places: memory locations that can be loaded from, stored to, or have
+   their address taken.  Field and index places carry the type
+   information needed to compute word offsets. *)
+
+type t =
+  | Lvar of Operand.var
+      (** a local variable's stack slot *)
+  | Lglobal of string
+      (** a scalar global *)
+  | Lfield of Operand.t * string * string
+      (** [Lfield (base, struct_name, field)]: field of the struct pointed
+          to by [base] *)
+  | Lindex of Operand.t * Operand.t * Types.t
+      (** [Lindex (base, index, elem_ty)]: element of the array pointed to
+          by [base] *)
+  | Lderef of Operand.t
+      (** the word pointed to by a pointer operand *)
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Operands read in order to evaluate the address of this place. *)
+let operands = function
+  | Lvar _ | Lglobal _ -> []
+  | Lfield (base, _, _) -> [ base ]
+  | Lindex (base, index, _) -> [ base; index ]
+  | Lderef p -> [ p ]
+
+let vars place = List.concat_map Operand.vars (operands place)
+
+(** The variable this place denotes directly, if it is a bare local. *)
+let as_var = function
+  | Lvar v -> Some v
+  | Lglobal _ | Lfield _ | Lindex _ | Lderef _ -> None
+
+let as_global = function
+  | Lglobal g -> Some g
+  | Lvar _ | Lfield _ | Lindex _ | Lderef _ -> None

@@ -1,0 +1,32 @@
+(** Places: memory locations that can be loaded, stored, or have their
+    address taken. *)
+
+type t =
+  | Lvar of Operand.var
+      (** a local variable's stack slot *)
+  | Lglobal of string
+      (** a scalar global *)
+  | Lfield of Operand.t * string * string
+      (** [Lfield (base, struct_name, field)]: field of the struct
+          pointed to by [base] *)
+  | Lindex of Operand.t * Operand.t * Types.t
+      (** [Lindex (base, index, elem_ty)]: array element *)
+  | Lderef of Operand.t
+      (** the word pointed to by a pointer operand *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Operands read to evaluate the address of this place. *)
+val operands : t -> Operand.t list
+
+(** Variables read to evaluate the address of this place. *)
+val vars : t -> Operand.var list
+
+(** The variable this place denotes, if it is a bare local. *)
+val as_var : t -> Operand.var option
+
+(** The global this place denotes, if it is a bare global. *)
+val as_global : t -> string option

@@ -1,0 +1,85 @@
+(* Human-readable program printing, loosely LLVM-flavoured.  Used by the
+   CLI's [analyze --dump-ir] and by debugging tests. *)
+
+open Format
+
+let pp_var fmt (v : Operand.var) = fprintf fmt "%%%s.%d" v.vname v.vid
+
+let pp_operand fmt (op : Operand.t) =
+  match op with
+  | Const n -> fprintf fmt "%Ld" n
+  | Cstr s -> fprintf fmt "%S" s
+  | Var v -> pp_var fmt v
+  | Global g -> fprintf fmt "@%s" g
+  | Func_addr f -> fprintf fmt "&%s" f
+  | Null -> pp_print_string fmt "null"
+
+let pp_place fmt (p : Place.t) =
+  match p with
+  | Lvar v -> pp_var fmt v
+  | Lglobal g -> fprintf fmt "@%s" g
+  | Lfield (base, s, f) -> fprintf fmt "%a->%s.%s" pp_operand base s f
+  | Lindex (base, idx, _) -> fprintf fmt "%a[%a]" pp_operand base pp_operand idx
+  | Lderef p -> fprintf fmt "*%a" pp_operand p
+
+let binop_name (op : Instr.binop) =
+  match op with
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let pp_rvalue fmt (rv : Instr.rvalue) =
+  match rv with
+  | Use op -> pp_operand fmt op
+  | Load p -> fprintf fmt "load %a" pp_place p
+  | Addr_of p -> fprintf fmt "addr %a" pp_place p
+  | Binop (op, a, b) ->
+    fprintf fmt "%s %a, %a" (binop_name op) pp_operand a pp_operand b
+
+let pp_args fmt args =
+  pp_print_list ~pp_sep:(fun fmt () -> pp_print_string fmt ", ") pp_operand fmt args
+
+let pp_instr fmt (ins : Instr.t) =
+  match ins with
+  | Assign (v, rv) -> fprintf fmt "%a = %a" pp_var v pp_rvalue rv
+  | Store (p, op) -> fprintf fmt "store %a <- %a" pp_place p pp_operand op
+  | Call { dst; target; args } ->
+    (match dst with Some v -> fprintf fmt "%a = " pp_var v | None -> ());
+    (match target with
+    | Direct f -> fprintf fmt "call %s(%a)" f pp_args args
+    | Indirect op -> fprintf fmt "call *%a(%a)" pp_operand op pp_args args)
+
+let pp_terminator fmt (t : Instr.terminator) =
+  match t with
+  | Jump l -> fprintf fmt "jump %s" l
+  | Branch (c, l1, l2) -> fprintf fmt "branch %a ? %s : %s" pp_operand c l1 l2
+  | Ret None -> pp_print_string fmt "ret"
+  | Ret (Some op) -> fprintf fmt "ret %a" pp_operand op
+  | Halt -> pp_print_string fmt "halt"
+
+let pp_func fmt (f : Func.t) =
+  let kind =
+    match f.kind with
+    | App_code -> ""
+    | Syscall_stub n -> sprintf " [syscall %d]" n
+    | Intrinsic name -> sprintf " [intrinsic %s]" name
+  in
+  fprintf fmt "func %s(%a)%s {@\n" f.fname
+    (pp_print_list ~pp_sep:(fun fmt () -> pp_print_string fmt ", ")
+       (fun fmt (v, ty) -> fprintf fmt "%a: %s" pp_var v (Types.show ty)))
+    f.params kind;
+  List.iter
+    (fun (b : Func.block) ->
+      fprintf fmt "  %s:@\n" b.label;
+      Array.iter (fun ins -> fprintf fmt "    %a@\n" pp_instr ins) b.instrs;
+      fprintf fmt "    %a@\n" pp_terminator b.term)
+    f.blocks;
+  fprintf fmt "}@\n"
+
+let pp_prog fmt (p : Prog.t) =
+  List.iter
+    (fun (g : Prog.global) -> fprintf fmt "global @%s : %s@\n" g.gname (Types.show g.gty))
+    p.globals;
+  List.iter (pp_func fmt) (Prog.functions p)
+
+let prog_to_string p = Format.asprintf "%a" pp_prog p

@@ -1,0 +1,13 @@
+(** Human-readable program printing, loosely LLVM-flavoured. *)
+
+val pp_var : Format.formatter -> Operand.var -> unit
+val pp_operand : Format.formatter -> Operand.t -> unit
+val pp_place : Format.formatter -> Place.t -> unit
+val binop_name : Instr.binop -> string
+val pp_rvalue : Format.formatter -> Instr.rvalue -> unit
+val pp_args : Format.formatter -> Operand.t list -> unit
+val pp_instr : Format.formatter -> Instr.t -> unit
+val pp_terminator : Format.formatter -> Instr.terminator -> unit
+val pp_func : Format.formatter -> Func.t -> unit
+val pp_prog : Format.formatter -> Prog.t -> unit
+val prog_to_string : Prog.t -> string

@@ -1,0 +1,68 @@
+(* A whole program: struct definitions, globals, functions, entry point.
+   This is the unit the BASTION compiler pass analyses (an LLVM module in
+   the paper). *)
+
+type global = {
+  gname : string;
+  gty : Types.t;
+  ginit : init;
+}
+
+and init =
+  | Zero
+  | Word of int64
+  | Words of int64 list          (** for arrays/structs, in layout order *)
+  | Str of string                (** pointer to a fresh rodata string *)
+  | Fptr of string               (** pointer to a function (address taken) *)
+
+type t = {
+  structs : Types.struct_env;
+  globals : global list;
+  funcs : (string, Func.t) Hashtbl.t;
+  entry : string;
+}
+
+let find_func (p : t) name =
+  match Hashtbl.find_opt p.funcs name with
+  | Some f -> f
+  | None -> invalid_arg ("Prog.find_func: unknown function " ^ name)
+
+let mem_func (p : t) name = Hashtbl.mem p.funcs name
+
+let find_global (p : t) name =
+  match List.find_opt (fun g -> String.equal g.gname name) p.globals with
+  | Some g -> g
+  | None -> invalid_arg ("Prog.find_global: unknown global " ^ name)
+
+(** Functions in a stable (sorted) order, for deterministic layout. *)
+let functions (p : t) =
+  Hashtbl.fold (fun _ f acc -> f :: acc) p.funcs []
+  |> List.sort (fun (a : Func.t) b -> String.compare a.fname b.fname)
+
+let syscall_stubs (p : t) = List.filter Func.is_syscall_stub (functions p)
+
+let app_functions (p : t) =
+  List.filter (fun (f : Func.t) -> f.kind = Func.App_code) (functions p)
+
+(** All (location, instruction) pairs of the whole program. *)
+let instrs (p : t) : (Loc.t * Instr.t) list =
+  List.concat_map Func.instrs (functions p)
+
+(** All call instructions with their locations. *)
+let calls (p : t) =
+  List.filter_map
+    (fun (loc, ins) ->
+      match (ins : Instr.t) with
+      | Call { dst; target; args } -> Some (loc, dst, target, args)
+      | Assign _ | Store _ -> None)
+    (instrs p)
+
+let instr_at (p : t) (loc : Loc.t) : Instr.t =
+  let f = find_func p loc.func in
+  let b = Func.find_block f loc.block in
+  if loc.index < 0 || loc.index >= Array.length b.instrs then
+    invalid_arg ("Prog.instr_at: index out of range at " ^ Loc.to_string loc);
+  b.instrs.(loc.index)
+
+(** Count of instructions, for statistics. *)
+let instr_count (p : t) = List.length (instrs p)

@@ -1,0 +1,44 @@
+(** Whole programs: struct definitions, globals, functions, entry point
+    — the unit the BASTION compiler pass analyses (an LLVM module in the
+    paper). *)
+
+type global = { gname : string; gty : Types.t; ginit : init }
+
+and init =
+  | Zero
+  | Word of int64
+  | Words of int64 list          (** aggregate initialiser, layout order *)
+  | Str of string                (** pointer to a fresh rodata string *)
+  | Fptr of string               (** pointer to a function (address taken) *)
+
+type t = {
+  structs : Types.struct_env;
+  globals : global list;
+  funcs : (string, Func.t) Hashtbl.t;
+  entry : string;
+}
+
+(** @raise Invalid_argument if the function is unknown. *)
+val find_func : t -> string -> Func.t
+
+val mem_func : t -> string -> bool
+
+(** @raise Invalid_argument if the global is unknown. *)
+val find_global : t -> string -> global
+
+(** Functions in a stable (name-sorted) order, for deterministic layout. *)
+val functions : t -> Func.t list
+
+val syscall_stubs : t -> Func.t list
+val app_functions : t -> Func.t list
+
+(** All (location, instruction) pairs of the whole program. *)
+val instrs : t -> (Loc.t * Instr.t) list
+
+(** All call instructions: (location, destination, target, arguments). *)
+val calls : t -> (Loc.t * Operand.var option * Instr.call_target * Operand.t list) list
+
+(** @raise Invalid_argument if the location does not exist. *)
+val instr_at : t -> Loc.t -> Instr.t
+
+val instr_count : t -> int

@@ -1,0 +1,87 @@
+(* Types of the SIL intermediate representation.
+
+   SIL is a small, word-oriented IR playing the role LLVM IR plays in the
+   paper: rich enough to express direct/indirect calls, address-taken
+   functions, struct-field accesses and use-def chains, while staying
+   simple enough to interpret on the simulated machine.  Every scalar
+   occupies one 64-bit word; structs and arrays are laid out as
+   consecutive words. *)
+
+type t =
+  | Void
+  | I64                          (** 64-bit integer (also chars, flags) *)
+  | Ptr of t                     (** pointer to [t] *)
+  | Struct of string             (** reference to a named struct *)
+  | Array of t * int             (** [n] consecutive elements *)
+  | Func of signature            (** function type (for pointers) *)
+[@@deriving show { with_path = false }, eq, ord]
+
+and signature = { params : t list; ret : t }
+[@@deriving show { with_path = false }, eq, ord]
+
+type struct_def = { sname : string; fields : (string * t) list }
+[@@deriving show { with_path = false }, eq]
+
+(** Environment of named struct definitions. *)
+type struct_env = (string, struct_def) Hashtbl.t
+
+let struct_env_create () : struct_env = Hashtbl.create 16
+
+let define_struct (env : struct_env) (def : struct_def) =
+  if Hashtbl.mem env def.sname then
+    invalid_arg ("Types.define_struct: duplicate struct " ^ def.sname);
+  Hashtbl.add env def.sname def
+
+let find_struct (env : struct_env) name =
+  match Hashtbl.find_opt env name with
+  | Some def -> def
+  | None -> invalid_arg ("Types.find_struct: unknown struct " ^ name)
+
+(** Size of a type in 64-bit words. *)
+let rec size_words (env : struct_env) = function
+  | Void -> 0
+  | I64 | Ptr _ | Func _ -> 1
+  | Array (elt, n) -> n * size_words env elt
+  | Struct name ->
+    let def = find_struct env name in
+    List.fold_left (fun acc (_, ty) -> acc + size_words env ty) 0 def.fields
+
+(** Word offset of [field] within struct [name]. *)
+let field_offset (env : struct_env) name field =
+  let def = find_struct env name in
+  let rec scan off = function
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Types.field_offset: no field %s in struct %s" field
+           name)
+    | (f, ty) :: rest ->
+      if String.equal f field then off else scan (off + size_words env ty) rest
+  in
+  scan 0 def.fields
+
+let field_type (env : struct_env) name field =
+  let def = find_struct env name in
+  match List.assoc_opt field def.fields with
+  | Some ty -> ty
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Types.field_type: no field %s in struct %s" field name)
+
+(** A coarse signature class used by the LLVM-CFI baseline: two function
+    types are in the same equivalence class iff they have the same number
+    of parameters and the same pointer/integer shape per position.  This
+    mirrors clang CFI's type-based matching coarseness. *)
+let rec shape = function
+  | Void -> 'v'
+  | I64 -> 'i'
+  | Ptr _ -> 'p'
+  | Struct _ -> 's'
+  | Array _ -> 'a'
+  | Func _ -> 'f'
+
+and signature_class { params; ret } =
+  let buf = Buffer.create 8 in
+  Buffer.add_char buf (shape ret);
+  Buffer.add_char buf ':';
+  List.iter (fun ty -> Buffer.add_char buf (shape ty)) params;
+  Buffer.contents buf

@@ -1,0 +1,60 @@
+(** Types of the SIL intermediate representation.
+
+    SIL is word-oriented: every scalar occupies one 64-bit word; structs
+    and arrays are laid out as consecutive words.  Struct bodies live in
+    a per-program {!struct_env} and are referenced by name. *)
+
+type t =
+  | Void
+  | I64                          (** 64-bit integer (also chars, flags) *)
+  | Ptr of t                     (** pointer *)
+  | Struct of string             (** reference to a named struct *)
+  | Array of t * int             (** fixed-length array *)
+  | Func of signature            (** function type (for pointers) *)
+
+and signature = { params : t list; ret : t }
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp_signature : Format.formatter -> signature -> unit
+val show_signature : signature -> string
+val equal_signature : signature -> signature -> bool
+val compare_signature : signature -> signature -> int
+
+(** A named struct definition: ordered fields with their types. *)
+type struct_def = { sname : string; fields : (string * t) list }
+
+val pp_struct_def : Format.formatter -> struct_def -> unit
+val show_struct_def : struct_def -> string
+val equal_struct_def : struct_def -> struct_def -> bool
+
+(** Environment of named struct definitions. *)
+type struct_env = (string, struct_def) Hashtbl.t
+
+val struct_env_create : unit -> struct_env
+
+(** [define_struct env def] registers [def].
+    @raise Invalid_argument on a duplicate name. *)
+val define_struct : struct_env -> struct_def -> unit
+
+(** @raise Invalid_argument if the struct is unknown. *)
+val find_struct : struct_env -> string -> struct_def
+
+(** Size of a type in 64-bit words ([Void] is 0). *)
+val size_words : struct_env -> t -> int
+
+(** Word offset of a field within a struct.
+    @raise Invalid_argument if the struct or field is unknown. *)
+val field_offset : struct_env -> string -> string -> int
+
+(** Type of a field within a struct. *)
+val field_type : struct_env -> string -> string -> t
+
+(** One-character shape of a type (used by signature classes). *)
+val shape : t -> char
+
+(** Coarse signature equivalence class, modelling the type-granularity
+    of clang-style CFI: same arity and same per-position shapes. *)
+val signature_class : signature -> string

@@ -1,0 +1,104 @@
+(* Well-formedness checking for programs.  Run by workload constructors
+   and tests so that malformed IR fails fast rather than misbehaving in
+   the interpreter. *)
+
+type error = { loc : string; message : string }
+
+let error loc fmt = Printf.ksprintf (fun message -> { loc; message }) fmt
+
+let pp_error fmt (e : error) = Format.fprintf fmt "%s: %s" e.loc e.message
+
+let check_func (prog : Prog.t) (f : Func.t) : error list =
+  let errs = ref [] in
+  let add loc fmt = Printf.ksprintf (fun m -> errs := { loc; message = m } :: !errs) fmt in
+  let labels =
+    List.fold_left (fun acc (b : Func.block) -> b.label :: acc) [] f.blocks
+  in
+  let distinct = List.sort_uniq String.compare labels in
+  if List.length distinct <> List.length labels then
+    add f.fname "duplicate block labels";
+  let var_known v = List.mem_assoc v (Func.all_vars f) in
+  let check_operand loc op =
+    match (op : Operand.t) with
+    | Var v -> if not (var_known v) then add loc "unknown variable %s#%d" v.vname v.vid
+    | Global g ->
+      if not (List.exists (fun (x : Prog.global) -> String.equal x.gname g) prog.globals)
+      then add loc "unknown global %s" g
+    | Func_addr fn ->
+      if not (Prog.mem_func prog fn) then add loc "address of unknown function %s" fn
+    | Const _ | Cstr _ | Null -> ()
+  in
+  let check_place loc p =
+    List.iter (check_operand loc) (Place.operands p);
+    (match (p : Place.t) with
+    | Lvar v -> if not (var_known v) then add loc "unknown variable %s#%d" v.vname v.vid
+    | Lglobal g ->
+      if not (List.exists (fun (x : Prog.global) -> String.equal x.gname g) prog.globals)
+      then add loc "unknown global %s" g
+    | Lfield (_, sname, field) -> (
+      match Hashtbl.find_opt prog.structs sname with
+      | None -> add loc "unknown struct %s" sname
+      | Some def ->
+        if not (List.mem_assoc field def.Types.fields) then
+          add loc "struct %s has no field %s" sname field)
+    | Lindex _ | Lderef _ -> ())
+  in
+  List.iter
+    (fun (loc, ins) ->
+      let locs = Loc.to_string loc in
+      List.iter (check_operand locs) (Instr.operands ins);
+      (match (ins : Instr.t) with
+      | Assign (v, rv) ->
+        if not (var_known v) then add locs "assign to unknown variable %s#%d" v.vname v.vid;
+        (match rv with
+        | Load p | Addr_of p -> check_place locs p
+        | Use _ | Binop _ -> ())
+      | Store (p, _) -> check_place locs p
+      | Call { target = Direct callee; args; _ } -> (
+        match Hashtbl.find_opt prog.funcs callee with
+        | None -> add locs "call to unknown function %s" callee
+        | Some g ->
+          let arity = List.length g.Func.params in
+          let n = List.length args in
+          (* Syscall stubs follow the 6-register kernel ABI: fewer
+             arguments are allowed (unused registers read as zero). *)
+          let ok = if Func.is_syscall_stub g then n <= arity else n = arity in
+          if not ok then
+            add locs "call to %s: %d args, expected %d" callee n arity)
+      | Call { target = Indirect _; _ } -> ()))
+    (Func.instrs f);
+  List.iter
+    (fun (b : Func.block) ->
+      let check_label l =
+        if not (List.mem l labels) then
+          add (f.fname ^ ":" ^ b.label) "jump to unknown label %s" l
+      in
+      match b.term with
+      | Jump l -> check_label l
+      | Branch (op, l1, l2) ->
+        check_operand (f.fname ^ ":" ^ b.label) op;
+        check_label l1;
+        check_label l2
+      | Ret (Some op) -> check_operand (f.fname ^ ":" ^ b.label) op
+      | Ret None | Halt -> ())
+    f.blocks;
+  List.rev !errs
+
+let check (prog : Prog.t) : error list =
+  let entry_errs =
+    if Prog.mem_func prog prog.entry then []
+    else [ error "program" "entry function %s not defined" prog.entry ]
+  in
+  entry_errs @ List.concat_map (check_func prog) (Prog.functions prog)
+
+(** Raise [Invalid_argument] with a readable report if the program is
+    malformed. *)
+let check_exn (prog : Prog.t) =
+  match check prog with
+  | [] -> ()
+  | errs ->
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun e -> Buffer.add_string buf (Format.asprintf "%a\n" pp_error e))
+      errs;
+    invalid_arg ("Validate.check_exn:\n" ^ Buffer.contents buf)

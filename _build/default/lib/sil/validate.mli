@@ -1,0 +1,14 @@
+(** Well-formedness checking for programs: unknown variables, globals,
+    callees, labels and struct fields; call arities (syscall stubs may
+    be called with fewer arguments than the 6-register kernel ABI). *)
+
+type error = { loc : string; message : string }
+
+val error : string -> ('a, unit, string, error) format4 -> 'a
+val pp_error : Format.formatter -> error -> unit
+
+(** All problems found, empty when the program is well-formed. *)
+val check : Prog.t -> error list
+
+(** Like {!check} but raises [Invalid_argument] with a readable report. *)
+val check_exn : Prog.t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/appkit.mli: Sil

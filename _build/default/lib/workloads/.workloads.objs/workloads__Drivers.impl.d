@@ -1,0 +1,1 @@
+lib/workloads/drivers.ml: Bastion Defenses Hashtbl Kernel Lazy Machine Nginx_model Printf Sil Sqlite_model Vsftpd_model

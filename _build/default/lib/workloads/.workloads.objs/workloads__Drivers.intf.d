@@ -1,0 +1,1 @@
+lib/workloads/drivers.mli: Bastion Kernel Lazy Machine Nginx_model Sil Sqlite_model Vsftpd_model

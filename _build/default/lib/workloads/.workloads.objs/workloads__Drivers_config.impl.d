@@ -1,0 +1,1 @@
+lib/workloads/drivers_config.ml:

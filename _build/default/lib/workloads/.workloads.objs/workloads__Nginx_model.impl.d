@@ -1,0 +1,1 @@
+lib/workloads/nginx_model.ml: Appkit Drivers_config Kernel List Machine Sil

@@ -1,0 +1,1 @@
+lib/workloads/nginx_model.mli: Kernel Machine Sil

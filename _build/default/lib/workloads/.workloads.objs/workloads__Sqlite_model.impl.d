@@ -1,0 +1,1 @@
+lib/workloads/sqlite_model.ml: Appkit Drivers_config Int64 Kernel List Machine Sil

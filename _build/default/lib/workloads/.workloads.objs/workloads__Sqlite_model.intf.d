@@ -1,0 +1,1 @@
+lib/workloads/sqlite_model.mli: Kernel Machine Sil

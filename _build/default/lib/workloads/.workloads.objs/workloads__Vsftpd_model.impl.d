@@ -1,0 +1,1 @@
+lib/workloads/vsftpd_model.ml: Appkit Drivers_config Int64 Kernel Machine Sil

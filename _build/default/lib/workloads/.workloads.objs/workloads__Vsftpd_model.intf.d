@@ -1,0 +1,1 @@
+lib/workloads/vsftpd_model.mli: Kernel Machine Sil

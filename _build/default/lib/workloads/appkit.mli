@@ -1,0 +1,20 @@
+(** Shared construction helpers for the application models. *)
+
+val i64 : Sil.Types.t
+val ptr : Sil.Types.t
+
+(** Emit [body] inside a counted loop executing [count] times; block
+    labels derive from [tag] so multiple loops coexist in a function. *)
+val counted_loop :
+  Sil.Builder.fb -> tag:string -> count:int -> (Sil.Builder.fb -> unit) -> unit
+
+(** A compute-only loop (models parsing, hashing, b-tree walking). *)
+val compute_loop : Sil.Builder.fb -> tag:string -> iters:int -> unit
+
+(** Generate never-executed filler functions so a model's static
+    callsite counts reach the paper's Table 5 numbers; returns the
+    number of functions generated. *)
+val add_filler : Sil.Builder.program -> prefix:string -> direct:int -> indirect:int -> int
+
+(** Table 5 rows 1-3 for a built program. *)
+val callsite_stats : Sil.Prog.t -> Sil.Callgraph.stats

@@ -1,0 +1,193 @@
+(* Load drivers: run an application model under a chosen defense
+   configuration and report the paper's metrics.
+
+   The defense axis reproduces Figure 3's configurations (vanilla, LLVM
+   CFI, CET, CET+CT, CET+CT+CF, CET+CT+CF+AI) plus the Table 7
+   filesystem-extension rows. *)
+
+type defense =
+  | Vanilla
+  | Llvm_cfi
+  | Cet_only
+  | Bastion_ct          (** CET + Call-Type *)
+  | Bastion_ct_cf       (** CET + Call-Type + Control-Flow *)
+  | Bastion_full        (** CET + all three contexts *)
+  | Bastion_fs of Bastion.Monitor.fs_mode
+      (** CET + all three contexts + §11.2 filesystem extension *)
+
+let defense_name = function
+  | Vanilla -> "Vanilla"
+  | Llvm_cfi -> "LLVM CFI"
+  | Cet_only -> "CET"
+  | Bastion_ct -> "CET+CT"
+  | Bastion_ct_cf -> "CET+CT+CF"
+  | Bastion_full -> "CET+CT+CF+AI"
+  | Bastion_fs Bastion.Monitor.Fs_hook_only -> "Bastion+fs (seccomp hook only)"
+  | Bastion_fs Bastion.Monitor.Fs_fetch_only -> "Bastion+fs (fetch process state)"
+  | Bastion_fs Bastion.Monitor.Fs_full -> "Bastion+fs (full context checking)"
+  | Bastion_fs Bastion.Monitor.Fs_off -> "Bastion+fs (off)"
+
+let figure3_defenses =
+  [ Vanilla; Llvm_cfi; Cet_only; Bastion_ct; Bastion_ct_cf; Bastion_full ]
+
+let table7_defenses =
+  [
+    Bastion_fs Bastion.Monitor.Fs_hook_only;
+    Bastion_fs Bastion.Monitor.Fs_fetch_only;
+    Bastion_fs Bastion.Monitor.Fs_full;
+  ]
+
+(** An application model packaged for the drivers. *)
+type app = {
+  app_name : string;
+  app_key : string;  (** cache key: name + parameter fingerprint *)
+  prog : Sil.Prog.t Lazy.t;
+  prog_fs : Sil.Prog.t Lazy.t;  (** same program; separate lazy for fs runs *)
+  setup : Kernel.Process.t -> unit;
+  metric : Kernel.Process.t -> Machine.t -> float;
+  metric_name : string;
+  higher_is_better : bool;
+}
+
+let nginx ?(params = Nginx_model.default) () =
+  let build = lazy (Nginx_model.build params) in
+  {
+    app_name = "NGINX";
+    app_key = Printf.sprintf "NGINX-%d" (Hashtbl.hash params);
+    prog = build;
+    prog_fs = build;
+    setup = Nginx_model.setup params;
+    metric = Nginx_model.throughput_mb_s;
+    metric_name = "MB/sec";
+    higher_is_better = true;
+  }
+
+let sqlite ?(params = Sqlite_model.default) () =
+  let build = lazy (Sqlite_model.build params) in
+  {
+    app_name = "SQLite";
+    app_key = Printf.sprintf "SQLite-%d" (Hashtbl.hash params);
+    prog = build;
+    prog_fs = build;
+    setup = Sqlite_model.setup params;
+    metric = Sqlite_model.notpm;
+    metric_name = "NOTPM";
+    higher_is_better = true;
+  }
+
+let vsftpd ?(params = Vsftpd_model.default) () =
+  let build = lazy (Vsftpd_model.build params) in
+  {
+    app_name = "vsftpd";
+    app_key = Printf.sprintf "vsftpd-%d" (Hashtbl.hash params);
+    prog = build;
+    prog_fs = build;
+    setup = Vsftpd_model.setup params;
+    metric = Vsftpd_model.seconds_per_download params;
+    metric_name = "ms/download";
+    higher_is_better = false;
+  }
+
+type measurement = {
+  m_app : string;
+  m_defense : defense;
+  m_metric : float;
+  m_cycles : int;
+  m_traps : int;
+  m_syscalls : int;
+  m_monitor_init_cycles : int;
+  m_process : Kernel.Process.t;
+  m_machine : Machine.t;
+  m_monitor : Bastion.Monitor.t option;
+}
+
+exception Benign_run_died of string
+
+(* Cache of protected programs: the compile pass is shared between the
+   CT / CT+CF / full configurations of the same app. *)
+let protect_cache : (string, Bastion.Api.protected) Hashtbl.t = Hashtbl.create 8
+let protect_fs_cache : (string, Bastion.Api.protected) Hashtbl.t = Hashtbl.create 8
+
+let protected_of (app : app) ~fs =
+  let cache = if fs then protect_fs_cache else protect_cache in
+  match Hashtbl.find_opt cache app.app_key with
+  | Some p -> p
+  | None ->
+    let p =
+      Bastion.Api.protect ~protect_filesystem:fs
+        (Lazy.force (if fs then app.prog_fs else app.prog))
+    in
+    Hashtbl.replace cache app.app_key p;
+    p
+
+let run ?(cost = Machine.Cost.default) (app : app) (defense : defense) : measurement =
+  let machine_config cet = { Machine.default_config with cet; cost } in
+  let machine, process, monitor =
+    match defense with
+    | Vanilla ->
+      let m, p =
+        Bastion.Api.launch_unprotected ~machine_config:(machine_config false)
+          (Lazy.force app.prog)
+      in
+      (m, p, None)
+    | Llvm_cfi ->
+      let prog = Lazy.force app.prog in
+      let m, p =
+        Bastion.Api.launch_unprotected ~machine_config:(machine_config false) prog
+      in
+      Defenses.Llvm_cfi.install (Defenses.Llvm_cfi.build prog) m;
+      (m, p, None)
+    | Cet_only ->
+      let m, p =
+        Bastion.Api.launch_unprotected ~machine_config:(machine_config true)
+          (Lazy.force app.prog)
+      in
+      (m, p, None)
+    | Bastion_ct | Bastion_ct_cf | Bastion_full ->
+      let contexts =
+        match defense with
+        | Bastion_ct -> { Bastion.Monitor.ct = true; cf = false; ai = false }
+        | Bastion_ct_cf -> { Bastion.Monitor.ct = true; cf = true; ai = false }
+        | _ -> Bastion.Monitor.all_contexts
+      in
+      let session =
+        Bastion.Api.launch ~machine_config:(machine_config true)
+          ~monitor_config:{ Bastion.Monitor.default_config with contexts }
+          (protected_of app ~fs:false) ()
+      in
+      (session.machine, session.process, Some session.monitor)
+    | Bastion_fs mode ->
+      let session =
+        Bastion.Api.launch ~machine_config:(machine_config true)
+          ~monitor_config:{ Bastion.Monitor.default_config with fs_mode = mode }
+          (protected_of app ~fs:true) ()
+      in
+      (session.machine, session.process, Some session.monitor)
+  in
+  app.setup process;
+  (match Machine.run machine with
+  | Machine.Exited _ -> ()
+  | Machine.Faulted f ->
+    raise
+      (Benign_run_died
+         (Printf.sprintf "%s under %s: %s" app.app_name (defense_name defense)
+            (Machine.fault_to_string f))));
+  {
+    m_app = app.app_name;
+    m_defense = defense;
+    m_metric = app.metric process machine;
+    m_cycles = machine.stats.cycles;
+    m_traps = process.trap_count;
+    m_syscalls = machine.stats.syscalls;
+    m_monitor_init_cycles =
+      (match monitor with Some m -> m.Bastion.Monitor.init_cycles | None -> 0);
+    m_process = process;
+    m_machine = machine;
+    m_monitor = monitor;
+  }
+
+(** Relative overhead (in %) of a measurement against a baseline,
+    respecting the metric's direction. *)
+let overhead_pct ~(baseline : measurement) (m : measurement) ~higher_is_better =
+  if higher_is_better then (baseline.m_metric -. m.m_metric) /. baseline.m_metric *. 100.0
+  else (m.m_metric -. baseline.m_metric) /. baseline.m_metric *. 100.0

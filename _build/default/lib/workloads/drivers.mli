@@ -1,0 +1,58 @@
+(** Load drivers: run an application model under a defense
+    configuration and report the paper's metrics.  The defense axis
+    reproduces Figure 3's configurations plus the Table 7 rows. *)
+
+type defense =
+  | Vanilla
+  | Llvm_cfi
+  | Cet_only
+  | Bastion_ct          (** CET + Call-Type *)
+  | Bastion_ct_cf       (** CET + Call-Type + Control-Flow *)
+  | Bastion_full        (** CET + all three contexts *)
+  | Bastion_fs of Bastion.Monitor.fs_mode
+      (** CET + all three contexts + the §11.2 filesystem extension *)
+
+val defense_name : defense -> string
+val figure3_defenses : defense list
+val table7_defenses : defense list
+
+(** An application model packaged for the drivers. *)
+type app = {
+  app_name : string;
+  app_key : string;   (** cache key: name + parameter fingerprint *)
+  prog : Sil.Prog.t Lazy.t;
+  prog_fs : Sil.Prog.t Lazy.t;
+  setup : Kernel.Process.t -> unit;
+  metric : Kernel.Process.t -> Machine.t -> float;
+  metric_name : string;
+  higher_is_better : bool;
+}
+
+val nginx : ?params:Nginx_model.params -> unit -> app
+val sqlite : ?params:Sqlite_model.params -> unit -> app
+val vsftpd : ?params:Vsftpd_model.params -> unit -> app
+
+type measurement = {
+  m_app : string;
+  m_defense : defense;
+  m_metric : float;
+  m_cycles : int;
+  m_traps : int;
+  m_syscalls : int;
+  m_monitor_init_cycles : int;
+  m_process : Kernel.Process.t;
+  m_machine : Machine.t;
+  m_monitor : Bastion.Monitor.t option;
+}
+
+(** A benign run died — a reproduction bug, never expected. *)
+exception Benign_run_died of string
+
+(** Run an app under a defense.  [cost] overrides the machine cost
+    table (e.g. {!Machine.Cost.in_kernel_monitor}).
+    @raise Benign_run_died if the run faults. *)
+val run : ?cost:Machine.Cost.t -> app -> defense -> measurement
+
+(** Relative overhead (%) against a baseline measurement, respecting the
+    metric direction. *)
+val overhead_pct : baseline:measurement -> measurement -> higher_is_better:bool -> float

@@ -1,0 +1,6 @@
+(* Global scale of the simulated clock.  Only ratios matter for the
+   reproduced figures; this constant just puts the absolute throughput
+   numbers in a recognisable range. *)
+
+let cycles_per_second = 3.0e9
+let cycles_per_minute = 60.0 *. cycles_per_second

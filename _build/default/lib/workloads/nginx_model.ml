@@ -1,0 +1,432 @@
+(* The NGINX application model.
+
+   A SIL rendition of the NGINX structure the paper analyses and
+   attacks:
+   - an init phase performing almost all sensitive syscalls (pools and
+     shared memory via mmap, W^X transitions via mprotect, listener
+     setup, worker channels, privilege drop, worker spawning) with the
+     invocation counts of Table 4;
+   - a keep-alive worker loop: accept4 per connection, then per request
+     read/parse/open/read/write/log/close plus the two indirect-call
+     sites of Listings 1 & 2 (ctx->output_filter and
+     v[index].get_handler);
+   - the rarely-used runtime-upgrade path ngx_execute_proc() whose
+     execve(ctx->path, ctx->argv, ctx->envp) is the paper's running
+     example. *)
+
+module B = Sil.Builder
+open Sil.Operand
+open Appkit
+
+type params = {
+  connections : int;        (** accept4 invocations (5,665 in the paper run) *)
+  requests_per_conn : int;  (** keep-alive requests per connection *)
+  page_words : int;         (** served page size (6,745 B ~ 843 words) *)
+  workers : int;
+  init_mmap : int;          (** Table 4: 534 *)
+  init_mprotect : int;      (** Table 4: 334 *)
+  filler : bool;            (** pad static structure to Table 5 scale *)
+}
+
+let default =
+  {
+    connections = 40;
+    requests_per_conn = 180;
+    page_words = 843;
+    workers = 32;
+    init_mmap = 534;
+    init_mprotect = 334;
+    filler = true;
+  }
+
+(** Parameters matching the paper's benchmark run exactly (Table 4). *)
+let paper_scale = { default with connections = 5664; requests_per_conn = 4 }
+
+let page_path = "/var/www/index.html"
+let binary_path = "/usr/local/nginx/sbin/nginx"
+let log_path = "/var/log/nginx/access.log"
+let listen_port = 80
+
+(* Table 5 targets for NGINX. *)
+let table5_total_callsites = 7017
+let table5_indirect_callsites = 325
+
+let construct ~filler_counts (p : params) : Sil.Prog.t =
+  let pb = B.program () in
+  Kernel.Syscalls.declare_stubs pb;
+  (* Structs from the two code listings. *)
+  B.struct_ pb "ngx_exec_ctx_t" [ ("path", ptr); ("argv", ptr); ("envp", ptr) ];
+  B.struct_ pb "ngx_output_chain_ctx_t" [ ("output_filter", ptr); ("filter_ctx", i64) ];
+  B.struct_ pb "ngx_http_var_t" [ ("get_handler", ptr); ("data", i64); ("flags", i64) ];
+  B.struct_ pb "ngx_request_t" [ ("fd", i64); ("uri", ptr); ("variables", Sil.Types.Array (i64, 4)) ];
+  (* Globals. *)
+  B.global pb "g_exec_ctx" (Sil.Types.Struct "ngx_exec_ctx_t") Sil.Prog.Zero;
+  B.global pb "g_argv" (Sil.Types.Array (i64, 4)) Sil.Prog.Zero;
+  B.global pb "g_envp" (Sil.Types.Array (i64, 2)) Sil.Prog.Zero;
+  B.global pb "g_upgrade" i64 Sil.Prog.Zero;
+  B.global pb "g_vars" (Sil.Types.Array (Sil.Types.Struct "ngx_http_var_t", 8)) Sil.Prog.Zero;
+  B.global pb "g_chain" (Sil.Types.Struct "ngx_output_chain_ctx_t") Sil.Prog.Zero;
+  B.global pb "g_listen_fd" i64 Sil.Prog.Zero;
+  B.global pb "g_log_fd" i64 Sil.Prog.Zero;
+  B.global pb "g_cur_fd" i64 Sil.Prog.Zero;
+  B.global pb "g_scratch" (Sil.Types.Array (i64, 24)) Sil.Prog.Zero;
+  (* ngx_spawn_process callback slot: ngx_execute_proc is passed as an
+     ngx_spawn_proc_pt function pointer in real NGINX, so its address is
+     legitimately taken. *)
+  B.global pb "g_spawn_proc" ptr (Sil.Prog.Fptr "ngx_execute_proc");
+
+  (* --- Variable handlers (indirect-call targets, Listing 2) --------- *)
+  List.iter
+    (fun name ->
+      let fb = B.func pb name ~params:[ ("r", ptr); ("v", ptr); ("data", i64) ] in
+      let x = B.local fb "x" i64 in
+      B.binop fb x Sil.Instr.Add (Var (B.param fb 2)) (const 1);
+      B.ret fb (Some (Var x));
+      B.seal fb)
+    [ "ngx_http_variable_host"; "ngx_http_variable_uri"; "ngx_http_variable_status" ];
+
+  (* --- ngx_http_write_filter: the benign output_filter target ------- *)
+  let fb = B.func pb "ngx_http_write_filter" ~params:[ ("fc", i64); ("in", i64) ] in
+  let fd = B.local fb "fd" i64 in
+  B.load fb fd (Sil.Place.Lglobal "g_cur_fd");
+  B.call fb "write" [ Var fd; Null; const 2 ];
+  B.ret fb (Some (const 0));
+  B.seal fb;
+
+  (* --- ngx_output_chain (Listing 1, lines 10-19) -------------------- *)
+  let fb = B.func pb "ngx_output_chain" ~params:[ ("ctx", ptr); ("in", i64) ] in
+  let filter = B.local fb "filter" ptr in
+  let fc = B.local fb "fc" i64 in
+  B.load fb filter (Sil.Place.Lfield (Var (B.param fb 0), "ngx_output_chain_ctx_t", "output_filter"));
+  B.load fb fc (Sil.Place.Lfield (Var (B.param fb 0), "ngx_output_chain_ctx_t", "filter_ctx"));
+  let r = B.local fb "r" i64 in
+  B.call_indirect fb ~dst:r (Var filter) [ Var fc; Var (B.param fb 1) ];
+  (* NB: `in` is a chain pointer in writable memory (Listing 1 line 16):
+     this is the argument-corruptible indirect callsite Control Jujutsu
+     leverages. *)
+  B.ret fb (Some (Var r));
+  B.seal fb;
+
+  (* --- ngx_http_get_indexed_variable (Listing 2) -------------------- *)
+  let fb =
+    B.func pb "ngx_http_get_indexed_variable" ~params:[ ("r", ptr); ("index", i64) ]
+  in
+  let vbase = B.local fb "vbase" ptr in
+  let handler = B.local fb "handler" ptr in
+  let data = B.local fb "data" i64 in
+  let vptr = B.local fb "vptr" ptr in
+  let rv = B.local fb "rv" i64 in
+  B.addr_of fb vbase (Sil.Place.Lglobal "g_vars");
+  B.addr_of fb vptr
+    (Sil.Place.Lindex (Var vbase, Var (B.param fb 1), Sil.Types.Struct "ngx_http_var_t"));
+  B.load fb handler (Sil.Place.Lfield (Var vptr, "ngx_http_var_t", "get_handler"));
+  B.load fb data (Sil.Place.Lfield (Var vptr, "ngx_http_var_t", "data"));
+  B.call_indirect fb ~dst:rv (Var handler) [ Var (B.param fb 0); Var vptr; Var data ];
+  B.ret fb (Some (Var rv));
+  B.seal fb;
+
+  (* --- ngx_execute_proc (Listing 1, lines 1-9) ---------------------- *)
+  let fb = B.func pb "ngx_execute_proc" ~params:[ ("cycle", i64); ("data", ptr) ] in
+  let path = B.local fb "path" ptr in
+  let argv = B.local fb "argv" ptr in
+  let envp = B.local fb "envp" ptr in
+  B.load fb path (Sil.Place.Lfield (Var (B.param fb 1), "ngx_exec_ctx_t", "path"));
+  B.load fb argv (Sil.Place.Lfield (Var (B.param fb 1), "ngx_exec_ctx_t", "argv"));
+  B.load fb envp (Sil.Place.Lfield (Var (B.param fb 1), "ngx_exec_ctx_t", "envp"));
+  B.call fb "execve" [ Var path; Var argv; Var envp ];
+  B.call fb "exit" [ const 1 ];
+  B.ret fb None;
+  B.seal fb;
+
+  (* --- Init-phase helpers ------------------------------------------- *)
+  (* ngx_shm_alloc(size): the Figure 2 pattern — the mmap size argument
+     arrives through a parameter, exercising the inter-procedural
+     argument chain. *)
+  let fb = B.func pb "ngx_shm_alloc" ~params:[ ("size", i64) ] in
+  let prots = B.local fb "prots" i64 in
+  let addr = B.local fb "addr" ptr in
+  B.binop fb prots Sil.Instr.Or (const 1) (const 2);
+  B.call fb ~dst:addr "mmap"
+    [ Null; Var (B.param fb 0); Var prots; const 1; const (-1); const 0 ];
+  B.ret fb (Some (Var addr));
+  B.seal fb;
+
+  (* ngx_shared_memory_add: one more level in the Figure 2 chain
+     (size flows caller -> caller -> mmap). *)
+  let fb = B.func pb "ngx_shared_memory_add" ~params:[ ("size", i64) ] in
+  let addr = B.local fb "addr" ptr in
+  B.call fb ~dst:addr "ngx_shm_alloc" [ Var (B.param fb 0) ];
+  B.ret fb (Some (Var addr));
+  B.seal fb;
+
+  let shm_allocs = min 64 (max 1 (p.init_mmap / 8)) in
+  let fb = B.func pb "ngx_create_pools" ~params:[ ("n", i64) ] in
+  let size = B.local fb "size" i64 in
+  counted_loop fb ~tag:"pool" ~count:(p.init_mmap - shm_allocs) (fun fb ->
+      B.call fb "mmap" [ Null; const 4096; const 3; const 2; const (-1); const 0 ]);
+  B.binop fb size Sil.Instr.Mul (Var (B.param fb 0)) (const 512);
+  counted_loop fb ~tag:"shm" ~count:shm_allocs (fun fb ->
+      B.call fb "ngx_shared_memory_add" [ Var size ]);
+  B.ret fb None;
+  B.seal fb;
+
+  (* Cold paths: rarely-used NGINX functionality whose sensitive
+     callsites exist in the binary but never run during benchmarking
+     (slab-pool growth, W^X debugging, realloc's mremap, thread spawn,
+     privilege restore, log-rotation chmod). *)
+  let fb = B.func pb "ngx_cold_paths" ~params:[] in
+  let region = B.local fb "region" ptr in
+  B.call fb ~dst:region "mmap" [ Null; const 65536; const 3; const 2; const (-1); const 0 ];
+  B.call fb ~dst:region "mmap" [ Null; const 16384; const 1; const 2; const (-1); const 0 ];
+  B.call fb "mprotect" [ Var region; const 65536; const 1 ];
+  B.call fb "mprotect" [ Var region; const 16384; const 3 ];
+  B.call fb "mremap" [ Var region; const 65536; const 131072; const 1 ];
+  B.call fb "clone" [ const 3 ];
+  B.call fb "setreuid" [ const (-1); const 0 ];
+  B.call fb "chmod" [ Cstr log_path; const 0o644 ];
+  B.ret fb None;
+  B.seal fb;
+
+  let rx_mprotects = min 34 (max 1 (p.init_mprotect / 10)) in
+  let fb = B.func pb "ngx_harden_memory" ~params:[] in
+  let prot_rx = B.local fb "prot_rx" i64 in
+  counted_loop fb ~tag:"ro" ~count:(p.init_mprotect - rx_mprotects) (fun fb ->
+      B.call fb "mprotect" [ Null; const 4096; const 1 ]);
+  B.binop fb prot_rx Sil.Instr.Or (const 1) (const 4);
+  counted_loop fb ~tag:"rx" ~count:rx_mprotects (fun fb ->
+      B.call fb "mprotect" [ Null; const 4096; Var prot_rx ]);
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "ngx_open_listening" ~params:[] in
+  let s = B.local fb "s" i64 in
+  B.call fb ~dst:s "socket" [ const 2; const 1; const 0 ];
+  B.store fb (Sil.Place.Lglobal "g_listen_fd") (Var s);
+  B.call fb "bind" [ Var s; const listen_port ];
+  B.call fb "listen" [ Var s; const 511 ];
+  (* NGINX re-issues listen when the backlog is reconfigured. *)
+  B.call fb "listen" [ Var s; const 1024 ];
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "ngx_worker_channels" ~params:[ ("n", i64) ] in
+  let ch = B.local fb "ch" i64 in
+  counted_loop fb ~tag:"chan" ~count:(p.workers - 1) (fun fb ->
+      B.call fb ~dst:ch "socket" [ const 1; const 1; const 0 ];
+      B.call fb "connect" [ Var ch; const 9000 ]);
+  (* One upstream health-check connection. *)
+  B.call fb "connect" [ const 0; const 8080 ];
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "ngx_spawn_workers" ~params:[ ("n", i64) ] in
+  counted_loop fb ~tag:"spawn" ~count:p.workers (fun fb ->
+      (* worker + cache manager + cache loader: 3 clones per slot. *)
+      B.call fb "clone" [ const 0 ];
+      B.call fb "clone" [ const 1 ];
+      B.call fb "clone" [ const 2 ];
+      B.call fb "setuid" [ const 33 ];
+      B.call fb "setgid" [ const 33 ]);
+  B.ret fb None;
+  B.seal fb;
+
+  (* --- ngx_init_cycle ------------------------------------------------ *)
+  let fb = B.func pb "ngx_init_cycle" ~params:[] in
+  let pctx = B.local fb "pctx" ptr in
+  let pargv = B.local fb "pargv" ptr in
+  let penvp = B.local fb "penvp" ptr in
+  let lfd = B.local fb "lfd" i64 in
+  (* Populate the upgrade exec context (Listing 1 state). *)
+  B.addr_of fb pctx (Sil.Place.Lglobal "g_exec_ctx");
+  B.addr_of fb pargv (Sil.Place.Lglobal "g_argv");
+  B.addr_of fb penvp (Sil.Place.Lglobal "g_envp");
+  B.store fb (Sil.Place.Lfield (Var pctx, "ngx_exec_ctx_t", "path")) (Cstr binary_path);
+  B.store fb (Sil.Place.Lfield (Var pctx, "ngx_exec_ctx_t", "argv")) (Var pargv);
+  B.store fb (Sil.Place.Lfield (Var pctx, "ngx_exec_ctx_t", "envp")) (Var penvp);
+  B.store fb (Sil.Place.Lindex (Var pargv, const 0, i64)) (Cstr binary_path);
+  B.store fb (Sil.Place.Lindex (Var pargv, const 1, i64)) (Cstr "-g");
+  B.store fb (Sil.Place.Lindex (Var pargv, const 2, i64)) (Cstr "daemon off;");
+  B.store fb (Sil.Place.Lindex (Var penvp, const 0, i64)) (Cstr "PATH=/usr/bin");
+  (* Indexed-variable table (Listing 2 state). *)
+  let vbase = B.local fb "vbase" ptr in
+  let vp = B.local fb "vp" ptr in
+  B.addr_of fb vbase (Sil.Place.Lglobal "g_vars");
+  List.iteri
+    (fun i handler ->
+      B.addr_of fb vp
+        (Sil.Place.Lindex (Var vbase, const i, Sil.Types.Struct "ngx_http_var_t"));
+      B.store fb (Sil.Place.Lfield (Var vp, "ngx_http_var_t", "get_handler")) (Func_addr handler);
+      B.store fb (Sil.Place.Lfield (Var vp, "ngx_http_var_t", "data")) (const (100 + i));
+      B.store fb (Sil.Place.Lfield (Var vp, "ngx_http_var_t", "flags")) (const 0))
+    [
+      "ngx_http_variable_host"; "ngx_http_variable_uri"; "ngx_http_variable_status";
+      "ngx_http_variable_host"; "ngx_http_variable_uri"; "ngx_http_variable_status";
+      "ngx_http_variable_host"; "ngx_http_variable_uri";
+    ];
+  (* Output chain context. *)
+  let cp = B.local fb "cp" ptr in
+  B.addr_of fb cp (Sil.Place.Lglobal "g_chain");
+  B.store fb
+    (Sil.Place.Lfield (Var cp, "ngx_output_chain_ctx_t", "output_filter"))
+    (Func_addr "ngx_http_write_filter");
+  B.store fb (Sil.Place.Lfield (Var cp, "ngx_output_chain_ctx_t", "filter_ctx")) (const 0);
+  (* Syscall-heavy init. *)
+  B.call fb "ngx_create_pools" [ const 4 ];
+  B.call fb "ngx_harden_memory" [];
+  B.call fb "ngx_open_listening" [];
+  B.call fb "ngx_worker_channels" [ const p.workers ];
+  B.call fb "ngx_spawn_workers" [ const p.workers ];
+  let log = B.local fb "log" i64 in
+  B.call fb ~dst:log "open" [ Cstr log_path; const 1 ];
+  B.store fb (Sil.Place.Lglobal "g_log_fd") (Var log);
+  B.load fb lfd (Sil.Place.Lglobal "g_listen_fd");
+  B.ret fb (Some (Var lfd));
+  B.seal fb;
+
+  (* --- Request handling ---------------------------------------------- *)
+  let fb = B.func pb "ngx_http_log_request" ~params:[ ("status", i64) ] in
+  let lfd = B.local fb "lfd" i64 in
+  B.load fb lfd (Sil.Place.Lglobal "g_log_fd");
+  B.call fb "write" [ Var lfd; Null; const 12 ];
+  B.ret fb None;
+  B.seal fb;
+
+  (* The static-content handler: the file I/O of one request. *)
+  let fb = B.func pb "ngx_http_static_handler" ~params:[ ("fd", i64); ("bufp", ptr) ] in
+  let n = B.local fb "n" i64 in
+  let ffd = B.local fb "ffd" i64 in
+  B.call fb "stat" [ Cstr page_path; Var (B.param fb 1) ];
+  B.call fb ~dst:ffd "open" [ Cstr page_path; const 0 ];
+  B.call fb "fstat" [ Var ffd; Var (B.param fb 1) ];
+  B.block fb "send_loop";
+  B.call fb ~dst:n "read" [ Var ffd; Var (B.param fb 1); const 256 ];
+  let more = B.local fb "more" i64 in
+  B.binop fb more Sil.Instr.Gt (Var n) (const 0);
+  B.branch fb (Var more) "send_body" "send_done";
+  B.block fb "send_body";
+  B.call fb "write" [ Var (B.param fb 0); Var (B.param fb 1); Var n ];
+  B.jump fb "send_loop";
+  B.block fb "send_done";
+  B.call fb "close" [ Var ffd ];
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "ngx_http_handle_request" ~params:[ ("fd", i64) ] in
+  let buf = B.local fb "buf" (Sil.Types.Array (i64, 8)) in
+  let bufp = B.local fb "bufp" ptr in
+  let req = B.local fb "req" (Sil.Types.Struct "ngx_request_t") in
+  let reqp = B.local fb "reqp" ptr in
+  let n = B.local fb "n" i64 in
+  let chainp = B.local fb "chainp" ptr in
+  B.addr_of fb bufp (Sil.Place.Lvar buf);
+  B.store fb (Sil.Place.Lglobal "g_cur_fd") (Var (B.param fb 0));
+  B.call fb ~dst:n "read" [ Var (B.param fb 0); Var bufp; const 64 ];
+  compute_loop fb ~tag:"parse" ~iters:24;
+  B.addr_of fb reqp (Sil.Place.Lvar req);
+  B.store fb (Sil.Place.Lfield (Var reqp, "ngx_request_t", "fd")) (Var (B.param fb 0));
+  B.call fb "ngx_http_get_indexed_variable" [ Var reqp; const 2 ];
+  B.call fb "ngx_http_static_handler" [ Var (B.param fb 0); Var bufp ];
+  B.addr_of fb chainp (Sil.Place.Lglobal "g_chain");
+  B.call fb "ngx_output_chain" [ Var chainp; Var bufp ];
+  B.call fb "ngx_http_log_request" [ const 200 ];
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "ngx_process_connection" ~params:[ ("fd", i64) ] in
+  counted_loop fb ~tag:"keepalive" ~count:p.requests_per_conn (fun fb ->
+      B.call fb "ngx_http_handle_request" [ Var (B.param fb 0) ]);
+  B.call fb "close" [ Var (B.param fb 0) ];
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "ngx_worker_loop" ~params:[] in
+  let lfd = B.local fb "lfd" i64 in
+  let sa = B.local fb "sa" (Sil.Types.Array (i64, 2)) in
+  let sap = B.local fb "sap" ptr in
+  let cfd = B.local fb "cfd" i64 in
+  B.load fb lfd (Sil.Place.Lglobal "g_listen_fd");
+  B.addr_of fb sap (Sil.Place.Lvar sa);
+  B.store fb (Sil.Place.Lindex (Var sap, const 0, i64)) (const 0);
+  B.store fb (Sil.Place.Lindex (Var sap, const 1, i64)) (const 0);
+  B.block fb "accept_loop";
+  B.call fb ~dst:cfd "accept4" [ Var lfd; Var sap; const 2; const 0 ];
+  let got = B.local fb "got" i64 in
+  B.binop fb got Sil.Instr.Ge (Var cfd) (const 0);
+  B.branch fb (Var got) "serve" "accept_done";
+  B.block fb "serve";
+  B.call fb "ngx_process_connection" [ Var cfd ];
+  B.jump fb "accept_loop";
+  B.block fb "accept_done";
+  B.ret fb None;
+  B.seal fb;
+
+  (* --- ngx_master_cycle & main --------------------------------------- *)
+  let fb = B.func pb "ngx_worker_process_cycle" ~params:[] in
+  B.call fb "ngx_worker_loop" [];
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "ngx_master_cycle" ~params:[] in
+  let upgrade = B.local fb "upgrade" i64 in
+  let ctxp = B.local fb "ctxp" ptr in
+  B.load fb upgrade (Sil.Place.Lglobal "g_upgrade");
+  B.branch fb (Var upgrade) "do_upgrade" "serve";
+  B.block fb "do_upgrade";
+  (* The legitimate binary-upgrade path: rarely taken (never during
+     benchmarking), but statically present — exactly the execve the
+     paper's attacks try to reach illegitimately.  The same rare path
+     hosts the cold sensitive callsites. *)
+  B.addr_of fb ctxp (Sil.Place.Lglobal "g_exec_ctx");
+  B.call fb "ngx_cold_paths" [];
+  B.call fb "ngx_execute_proc" [ const 0; Var ctxp ];
+  B.jump fb "serve";
+  B.block fb "serve";
+  B.call fb "ngx_worker_process_cycle" [];
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "main" ~params:[] in
+  B.call fb "ngx_init_cycle" [];
+  B.call fb "ngx_master_cycle" [];
+  B.halt fb;
+  B.seal fb;
+
+  (match filler_counts with
+  | Some (direct, indirect) when direct + indirect > 0 ->
+    ignore (add_filler pb ~prefix:"ngx" ~direct ~indirect)
+  | Some _ | None -> ());
+  B.build pb ~entry:"main"
+
+(** Build the model; with [p.filler] the static callsite counts are
+    padded up to the paper's Table 5 numbers. *)
+let build (p : params) : Sil.Prog.t =
+  let base = construct ~filler_counts:None p in
+  if not p.filler then base
+  else begin
+    let stats = Appkit.callsite_stats base in
+    let missing_indirect = max 0 (table5_indirect_callsites - stats.indirect_count) in
+    let missing_direct =
+      max 0 (table5_total_callsites - stats.total_callsites - missing_indirect)
+    in
+    construct ~filler_counts:(Some (missing_direct, missing_indirect)) p
+  end
+
+(** Kernel-side setup: the served page, the log file, and the pending
+    client connections (what wrk generates). *)
+let setup (p : params) (proc : Kernel.Process.t) =
+  Kernel.Vfs.add_file proc.vfs page_path ~size_words:p.page_words;
+  Kernel.Vfs.add_file proc.vfs log_path ~size_words:0;
+  Kernel.Vfs.add_file proc.vfs binary_path ~size_words:2048;
+  for _ = 1 to p.connections do
+    ignore
+      (Kernel.Net.enqueue proc.net listen_port ~request_words:64 ~payload:"GET /index.html")
+  done
+
+(** Throughput in MB/s: bytes served per simulated second. *)
+let throughput_mb_s (proc : Kernel.Process.t) (m : Machine.t) =
+  ignore m;
+  let bytes = float_of_int (proc.io_words_out * 8) in
+  let seconds =
+    float_of_int (Kernel.Process.serve_cycles proc) /. Drivers_config.cycles_per_second
+  in
+  bytes /. (1024.0 *. 1024.0) /. seconds

@@ -1,0 +1,38 @@
+(** The NGINX application model: an init phase with the paper's
+    sensitive-syscall mix (Table 4), a keep-alive worker loop with the
+    request-path file I/O, the two indirect-call sites of Listings 1-2
+    (ctx->output_filter, v[index].get_handler) and the rarely-used
+    binary-upgrade path whose [execve(ctx->path, ctx->argv, ctx->envp)]
+    is the paper's running example. *)
+
+type params = {
+  connections : int;        (** accept4 invocations (5,665 at paper scale) *)
+  requests_per_conn : int;  (** keep-alive requests per connection *)
+  page_words : int;         (** served page size (6,745 B ~ 843 words) *)
+  workers : int;
+  init_mmap : int;          (** Table 4: 534 *)
+  init_mprotect : int;      (** Table 4: 334 *)
+  filler : bool;            (** pad static structure to Table 5 scale *)
+}
+
+val default : params
+
+(** Parameters matching the paper's Table 4 run. *)
+val paper_scale : params
+
+val page_path : string
+val binary_path : string
+val log_path : string
+val listen_port : int
+
+val table5_total_callsites : int
+val table5_indirect_callsites : int
+
+(** Build the model (padded to Table 5 scale when [filler]). *)
+val build : params -> Sil.Prog.t
+
+(** Kernel-side setup: served page, log file, pending connections. *)
+val setup : params -> Kernel.Process.t -> unit
+
+(** MB/s over the serving window (the wrk metric). *)
+val throughput_mb_s : Kernel.Process.t -> Machine.t -> float

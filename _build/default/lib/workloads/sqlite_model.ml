@@ -1,0 +1,279 @@
+(* The SQLite application model under a DBT2-style (TPC-C new-order)
+   load.
+
+   Structure per the paper's measurements: sensitive syscalls at
+   initialisation (mmap for the page cache, clone for the worker pool,
+   one socket/bind/listen for the service port), plus — unlike NGINX —
+   recurring mprotect during the run: SQLite's memory subsystem
+   re-hardens regions as it recycles them, which is why Table 4 shows
+   501 runtime mprotect calls and why the Argument-Integrity context
+   costs more here.  The VDBE opcode dispatch is indirect-call-heavy,
+   which is what makes LLVM CFI's per-indirect-call checks relatively
+   expensive (2.56% in Figure 3). *)
+
+module B = Sil.Builder
+open Sil.Operand
+open Appkit
+
+type params = {
+  connections : int;       (** DBT2 client connections (Table 4: accept 11) *)
+  txns_per_conn : int;     (** new-order transactions per connection *)
+  mprotect_every : int;    (** one mprotect per this many transactions *)
+  rows_per_txn : int;      (** rows read per new-order transaction *)
+  row_words : int;
+  vdbe_ops_per_txn : int;  (** indirect opcode dispatches per transaction *)
+  init_mmap : int;         (** Table 4: 42 *)
+  init_clone : int;        (** Table 4: 48 *)
+  filler : bool;
+}
+
+let default =
+  {
+    connections = 11;
+    txns_per_conn = 180;
+    mprotect_every = 40;
+    rows_per_txn = 10;
+    row_words = 120;
+    vdbe_ops_per_txn = 48;
+    init_mmap = 42;
+    init_clone = 48;
+    filler = true;
+  }
+
+(** Matches Table 4 exactly: 11 connections, 501 runtime mprotect. *)
+let paper_scale = { default with connections = 10; txns_per_conn = 501; mprotect_every = 10 }
+
+let db_path = "/data/test.db"
+let journal_path = "/data/test.db-journal"
+let service_port = 5432
+
+let table5_total_callsites = 12253
+let table5_indirect_callsites = 227
+
+let construct ~filler_counts (p : params) : Sil.Prog.t =
+  let pb = B.program () in
+  Kernel.Syscalls.declare_stubs pb;
+  B.struct_ pb "vdbe_op_t" [ ("handler", ptr); ("p1", i64); ("p2", i64) ];
+  B.global pb "g_db_fd" i64 Sil.Prog.Zero;
+  B.global pb "g_journal_fd" i64 Sil.Prog.Zero;
+  B.global pb "g_listen_fd" i64 Sil.Prog.Zero;
+  B.global pb "g_vdbe_ops" (Sil.Types.Array (Sil.Types.Struct "vdbe_op_t", 8)) Sil.Prog.Zero;
+  B.global pb "g_txn_count" i64 Sil.Prog.Zero;
+  B.global pb "g_heap_base" ptr Sil.Prog.Zero;
+
+  (* VDBE opcode handlers: indirect-call targets. *)
+  List.iter
+    (fun name ->
+      let fb = B.func pb name ~params:[ ("p1", i64); ("p2", i64) ] in
+      let x = B.local fb "x" i64 in
+      B.binop fb x Sil.Instr.Add (Var (B.param fb 0)) (Var (B.param fb 1));
+      B.binop fb x Sil.Instr.Xor (Var x) (const 0x55);
+      B.ret fb (Some (Var x));
+      B.seal fb)
+    [ "vdbe_op_column"; "vdbe_op_add"; "vdbe_op_insert"; "vdbe_op_halt" ];
+
+  (* sqlite3_mem_harden: the recurring runtime mprotect, with the
+     protection flags flowing through a local (sensitive chain). *)
+  let fb = B.func pb "sqlite3_mem_harden" ~params:[ ("region", ptr) ] in
+  let prots = B.local fb "prots" i64 in
+  B.binop fb prots Sil.Instr.Or (const 1) (const 2);
+  B.call fb "mprotect" [ Var (B.param fb 0); const 4096; Var prots ];
+  B.ret fb None;
+  B.seal fb;
+
+  (* Pager I/O: read a row via lseek+read. *)
+  let fb = B.func pb "sqlite3_pager_read" ~params:[ ("offset", i64); ("nwords", i64) ] in
+  let fd = B.local fb "fd" i64 in
+  let n = B.local fb "n" i64 in
+  B.load fb fd (Sil.Place.Lglobal "g_db_fd");
+  B.call fb "lseek" [ Var fd; Var (B.param fb 0); const 0 ];
+  B.call fb ~dst:n "read" [ Var fd; Null; Var (B.param fb 1) ];
+  B.ret fb (Some (Var n));
+  B.seal fb;
+
+  let fb = B.func pb "sqlite3_pager_write" ~params:[ ("nwords", i64) ] in
+  let fd = B.local fb "fd" i64 in
+  B.load fb fd (Sil.Place.Lglobal "g_journal_fd");
+  B.call fb "write" [ Var fd; Null; Var (B.param fb 0) ];
+  B.ret fb None;
+  B.seal fb;
+
+  (* VDBE bytecode interpreter: indirect dispatch per opcode. *)
+  let fb = B.func pb "sqlite3_vdbe_exec" ~params:[ ("nops", i64) ] in
+  let base = B.local fb "base" ptr in
+  let opp = B.local fb "opp" ptr in
+  let handler = B.local fb "handler" ptr in
+  let p1 = B.local fb "p1" i64 in
+  let p2 = B.local fb "p2" i64 in
+  let slot = B.local fb "slot" i64 in
+  B.addr_of fb base (Sil.Place.Lglobal "g_vdbe_ops");
+  (* The loop count is dynamic (a parameter), so build the loop manually. *)
+  let i = B.local fb "i" i64 in
+  B.set fb i (const 0);
+  B.block fb "op_head";
+  let c = B.local fb "c" i64 in
+  B.binop fb c Sil.Instr.Lt (Var i) (Var (B.param fb 0));
+  B.branch fb (Var c) "op_body" "op_done";
+  B.block fb "op_body";
+  B.binop fb slot Sil.Instr.And (Var i) (const 3);
+  B.addr_of fb opp (Sil.Place.Lindex (Var base, Var slot, Sil.Types.Struct "vdbe_op_t"));
+  B.load fb handler (Sil.Place.Lfield (Var opp, "vdbe_op_t", "handler"));
+  B.load fb p1 (Sil.Place.Lfield (Var opp, "vdbe_op_t", "p1"));
+  B.load fb p2 (Sil.Place.Lfield (Var opp, "vdbe_op_t", "p2"));
+  B.call_indirect fb (Var handler) [ Var p1; Var p2 ];
+  B.binop fb i Sil.Instr.Add (Var i) (const 1);
+  B.jump fb "op_head";
+  B.block fb "op_done";
+  B.ret fb None;
+  B.seal fb;
+
+  (* One new-order transaction. *)
+  let fb = B.func pb "sqlite3_new_order_txn" ~params:[] in
+  let jfd = B.local fb "jfd" i64 in
+  let count = B.local fb "count" i64 in
+  let trigger = B.local fb "trigger" i64 in
+  let heap = B.local fb "heap" ptr in
+  compute_loop fb ~tag:"btree" ~iters:32;
+  counted_loop fb ~tag:"rows" ~count:p.rows_per_txn (fun fb ->
+      B.call fb "sqlite3_pager_read" [ const 4096; const p.row_words ]);
+  B.call fb "sqlite3_vdbe_exec" [ const p.vdbe_ops_per_txn ];
+  counted_loop fb ~tag:"journal" ~count:5 (fun fb ->
+      B.call fb "sqlite3_pager_write" [ const p.row_words ]);
+  B.load fb jfd (Sil.Place.Lglobal "g_journal_fd");
+  B.call fb "fsync" [ Var jfd ];
+  (* Every mprotect_every transactions, re-harden a recycled region. *)
+  B.load fb count (Sil.Place.Lglobal "g_txn_count");
+  B.binop fb count Sil.Instr.Add (Var count) (const 1);
+  B.store fb (Sil.Place.Lglobal "g_txn_count") (Var count);
+  B.binop fb trigger Sil.Instr.Div (Var count) (const p.mprotect_every);
+  B.binop fb trigger Sil.Instr.Mul (Var trigger) (const p.mprotect_every);
+  B.binop fb trigger Sil.Instr.Eq (Var trigger) (Var count);
+  B.branch fb (Var trigger) "harden" "txn_done";
+  B.block fb "harden";
+  B.load fb heap (Sil.Place.Lglobal "g_heap_base");
+  B.call fb "sqlite3_mem_harden" [ Var heap ];
+  B.jump fb "txn_done";
+  B.block fb "txn_done";
+  B.ret fb None;
+  B.seal fb;
+
+  (* Cold OS-layer paths: callsites that exist in the binary (shared
+     cache setup, debugging W^X flips, realloc's mremap, os_unix fork)
+     but never run under DBT2. *)
+  let fb = B.func pb "sqlite3_os_cold_paths" ~params:[] in
+  let region = B.local fb "region" ptr in
+  B.call fb ~dst:region "mmap" [ Null; const 32768; const 3; const 2; const (-1); const 0 ];
+  B.call fb "mprotect" [ Var region; const 32768; const 1 ];
+  B.call fb "mremap" [ Var region; const 32768; const 65536; const 1 ];
+  B.call fb "fork" [];
+  B.ret fb None;
+  B.seal fb;
+
+  (* Initialisation. *)
+  let fb = B.func pb "sqlite3_initialize" ~params:[] in
+  let debug = B.local fb "debug" i64 in
+  let s = B.local fb "s" i64 in
+  let fd = B.local fb "fd" i64 in
+  let heap = B.local fb "heap" ptr in
+  counted_loop fb ~tag:"cache" ~count:(p.init_mmap - 10) (fun fb ->
+      B.call fb "mmap" [ Null; const 8192; const 3; const 2; const (-1); const 0 ]);
+  B.call fb ~dst:heap "mmap" [ Null; const 65536; const 3; const 2; const (-1); const 0 ];
+  B.store fb (Sil.Place.Lglobal "g_heap_base") (Var heap);
+  counted_loop fb ~tag:"scratch" ~count:9 (fun fb ->
+      B.call fb "mmap" [ Null; const 4096; const 3; const 2; const (-1); const 0 ]);
+  counted_loop fb ~tag:"pool" ~count:p.init_clone (fun fb -> B.call fb "clone" [ const 0 ]);
+  B.call fb ~dst:s "socket" [ const 2; const 1; const 0 ];
+  B.store fb (Sil.Place.Lglobal "g_listen_fd") (Var s);
+  B.call fb "bind" [ Var s; const service_port ];
+  B.call fb "listen" [ Var s; const 128 ];
+  B.call fb ~dst:fd "open" [ Cstr db_path; const 2 ];
+  B.store fb (Sil.Place.Lglobal "g_db_fd") (Var fd);
+  B.call fb ~dst:fd "open" [ Cstr journal_path; const 2 ];
+  B.store fb (Sil.Place.Lglobal "g_journal_fd") (Var fd);
+  B.set fb debug (const 0);
+  B.branch fb (Var debug) "cold" "warm";
+  B.block fb "cold";
+  B.call fb "sqlite3_os_cold_paths" [];
+  B.jump fb "warm";
+  B.block fb "warm";
+  (* VDBE dispatch table. *)
+  let base = B.local fb "base" ptr in
+  let opp = B.local fb "opp" ptr in
+  B.addr_of fb base (Sil.Place.Lglobal "g_vdbe_ops");
+  List.iteri
+    (fun idx name ->
+      B.addr_of fb opp (Sil.Place.Lindex (Var base, const idx, Sil.Types.Struct "vdbe_op_t"));
+      B.store fb (Sil.Place.Lfield (Var opp, "vdbe_op_t", "handler")) (Func_addr name);
+      B.store fb (Sil.Place.Lfield (Var opp, "vdbe_op_t", "p1")) (const idx);
+      B.store fb (Sil.Place.Lfield (Var opp, "vdbe_op_t", "p2")) (const (idx * 2)))
+    [ "vdbe_op_column"; "vdbe_op_add"; "vdbe_op_insert"; "vdbe_op_halt" ];
+  B.ret fb None;
+  B.seal fb;
+
+  (* Service loop: accept DBT2 clients, run their transactions. *)
+  let fb = B.func pb "sqlite3_serve_connection" ~params:[ ("fd", i64) ] in
+  counted_loop fb ~tag:"txns" ~count:p.txns_per_conn (fun fb ->
+      B.call fb "sqlite3_new_order_txn" []);
+  B.call fb "close" [ Var (B.param fb 0) ];
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "sqlite3_service_loop" ~params:[] in
+  let lfd = B.local fb "lfd" i64 in
+  let sa = B.local fb "sa" (Sil.Types.Array (i64, 2)) in
+  let sap = B.local fb "sap" ptr in
+  let cfd = B.local fb "cfd" i64 in
+  let got = B.local fb "got" i64 in
+  B.load fb lfd (Sil.Place.Lglobal "g_listen_fd");
+  B.addr_of fb sap (Sil.Place.Lvar sa);
+  B.store fb (Sil.Place.Lindex (Var sap, const 0, i64)) (const 0);
+  B.store fb (Sil.Place.Lindex (Var sap, const 1, i64)) (const 0);
+  B.block fb "accept_loop";
+  B.call fb ~dst:cfd "accept" [ Var lfd; Var sap; const 2 ];
+  B.binop fb got Sil.Instr.Ge (Var cfd) (const 0);
+  B.branch fb (Var got) "serve" "accept_done";
+  B.block fb "serve";
+  B.call fb "sqlite3_serve_connection" [ Var cfd ];
+  B.jump fb "accept_loop";
+  B.block fb "accept_done";
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "main" ~params:[] in
+  B.call fb "sqlite3_initialize" [];
+  B.call fb "sqlite3_service_loop" [];
+  B.halt fb;
+  B.seal fb;
+
+  (match filler_counts with
+  | Some (direct, indirect) when direct + indirect > 0 ->
+    ignore (add_filler pb ~prefix:"sqlite" ~direct ~indirect)
+  | Some _ | None -> ());
+  B.build pb ~entry:"main"
+
+let build (p : params) : Sil.Prog.t =
+  let base = construct ~filler_counts:None p in
+  if not p.filler then base
+  else begin
+    let stats = Appkit.callsite_stats base in
+    let missing_indirect = max 0 (table5_indirect_callsites - stats.indirect_count) in
+    let missing_direct =
+      max 0 (table5_total_callsites - stats.total_callsites - missing_indirect)
+    in
+    construct ~filler_counts:(Some (missing_direct, missing_indirect)) p
+  end
+
+let setup (p : params) (proc : Kernel.Process.t) =
+  Kernel.Vfs.add_file proc.vfs db_path ~size_words:(1 lsl 20);
+  Kernel.Vfs.add_file proc.vfs journal_path ~size_words:0;
+  for _ = 1 to p.connections do
+    ignore (Kernel.Net.enqueue proc.net service_port ~request_words:16 ~payload:"NEW_ORDER")
+  done
+
+(** New-order transactions per minute (the DBT2 NOTPM metric). *)
+let notpm (proc : Kernel.Process.t) (m : Machine.t) =
+  let txns = Machine.peek m (Machine.global_address m "g_txn_count") in
+  let minutes =
+    float_of_int (Kernel.Process.serve_cycles proc) /. Drivers_config.cycles_per_minute
+  in
+  Int64.to_float txns /. minutes

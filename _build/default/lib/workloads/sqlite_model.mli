@@ -1,0 +1,34 @@
+(** The SQLite application model under a DBT2-style (TPC-C new-order)
+    load: init-time mmap/clone/socket, recurring runtime mprotect (the
+    Table 4 signature that makes Argument Integrity cost more here),
+    and an indirect-call-heavy VDBE opcode dispatch (what makes LLVM
+    CFI's per-icall checks most expensive on SQLite). *)
+
+type params = {
+  connections : int;       (** DBT2 clients (Table 4: accept 11) *)
+  txns_per_conn : int;
+  mprotect_every : int;    (** one mprotect per this many transactions *)
+  rows_per_txn : int;
+  row_words : int;
+  vdbe_ops_per_txn : int;  (** indirect opcode dispatches per transaction *)
+  init_mmap : int;         (** Table 4: 42 *)
+  init_clone : int;        (** Table 4: 48 *)
+  filler : bool;
+}
+
+val default : params
+
+(** Matches Table 4: 11 accepts, 501 runtime mprotects. *)
+val paper_scale : params
+
+val db_path : string
+val journal_path : string
+val service_port : int
+val table5_total_callsites : int
+val table5_indirect_callsites : int
+
+val build : params -> Sil.Prog.t
+val setup : params -> Kernel.Process.t -> unit
+
+(** New-order transactions per minute (the DBT2 NOTPM metric). *)
+val notpm : Kernel.Process.t -> Machine.t -> float

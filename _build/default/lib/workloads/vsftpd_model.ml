@@ -1,0 +1,306 @@
+(* The vsftpd application model under a dkftpbench-style load.
+
+   FTP's protocol structure drives the distinctive Table 4 profile:
+   every passive-mode transfer creates its own data socket
+   (socket/bind/listen/accept per file), sessions fork twice (the
+   privilege-separated login + post-auth worker) and drop privileges
+   (setuid/setgid per session).  Like the real code base, all socket and
+   credential syscalls go through shared vsf_sysutil/vsf_secutil
+   helpers, which is why vsftpd has so few *distinct* sensitive
+   callsites (Table 5: 12) despite many invocations.  Transfers move a
+   large file with big sendfile chunks, so the per-syscall trap cost is
+   amortised over a lot of data — which is why even the §11.2
+   filesystem extension stays cheap on vsftpd (Table 7: 2.41%). *)
+
+module B = Sil.Builder
+open Sil.Operand
+open Appkit
+
+type params = {
+  sessions : int;            (** control connections *)
+  pasv_transfers : int;      (** passive-mode downloads in total (76) *)
+  active_transfers : int;    (** active-mode downloads (connect: 8) *)
+  pasv_cap : int;            (** max passive transfers per session *)
+  file_words : int;          (** downloaded file size (100 MB = 13,107,200) *)
+  chunk_words : int;         (** sendfile chunk *)
+  init_mmap : int;           (** Table 4: 33 *)
+  init_mprotect : int;       (** Table 4: 7 *)
+  init_clone : int;          (** 36 total = this + 2 per session *)
+  filler : bool;
+}
+
+let default =
+  {
+    sessions = 11;
+    pasv_transfers = 76;
+    active_transfers = 8;
+    pasv_cap = 8;
+    file_words = 524_288;    (* 4 MB keeps runs quick; same shape as 100 MB *)
+    chunk_words = 131_072;   (* vsftpd uses large sendfile chunks *)
+    init_mmap = 33;
+    init_mprotect = 7;
+    init_clone = 14;
+    filler = true;
+  }
+
+(** Table 4-matching run: 10 sessions plus the final empty accept
+    reproduce the paper's 87 accepts, 36 clones, 12 setuid/setgid. *)
+let paper_scale = { default with sessions = 10; init_clone = 16 }
+
+let file_path = "/srv/ftp/big.bin"
+let control_port = 21
+let data_port = 20
+
+let table5_total_callsites = 4695
+let table5_indirect_callsites = 7
+
+let construct ~filler_counts (p : params) : Sil.Prog.t =
+  let pb = B.program () in
+  Kernel.Syscalls.declare_stubs pb;
+  B.struct_ pb "vsf_session_t" [ ("ctrl_fd", i64); ("data_fd", i64); ("uid", i64) ];
+  B.global pb "g_listen_fd" i64 Sil.Prog.Zero;
+  B.global pb "g_session_no" i64 Sil.Prog.Zero;
+  B.global pb "g_pasv_budget" i64 Sil.Prog.Zero;
+  B.global pb "g_cmd_handler"
+    (Sil.Types.Ptr (Sil.Types.Func { params = [ i64 ]; ret = i64 }))
+    (Sil.Prog.Fptr "vsf_cmd_retr");
+
+  (* --- vsf_sysutil helpers: the shared syscall wrappers -------------- *)
+
+  (* Create, bind and listen a TCP socket: one socket/bind/listen
+     callsite serving both the control listener and every PASV socket. *)
+  let fb =
+    B.func pb "vsf_sysutil_listen_socket" ~params:[ ("port", i64); ("backlog", i64) ]
+  in
+  let s = B.local fb "s" i64 in
+  B.call fb ~dst:s "socket" [ const 2; const 1; const 0 ];
+  B.call fb "bind" [ Var s; Var (B.param fb 0) ];
+  B.call fb "listen" [ Var s; Var (B.param fb 1) ];
+  B.ret fb (Some (Var s));
+  B.seal fb;
+
+  (* Accept with a zeroed sockaddr, shared by control and data paths. *)
+  let fb = B.func pb "vsf_sysutil_accept" ~params:[ ("fd", i64) ] in
+  let sa = B.local fb "sa" (Sil.Types.Array (i64, 2)) in
+  let sap = B.local fb "sap" ptr in
+  let cfd = B.local fb "cfd" i64 in
+  B.addr_of fb sap (Sil.Place.Lvar sa);
+  B.store fb (Sil.Place.Lindex (Var sap, const 0, i64)) (const 0);
+  B.store fb (Sil.Place.Lindex (Var sap, const 1, i64)) (const 0);
+  B.call fb ~dst:cfd "accept" [ Var (B.param fb 0); Var sap; const 2 ];
+  B.ret fb (Some (Var cfd));
+  B.seal fb;
+
+  (* Active-mode data socket. *)
+  let fb = B.func pb "vsf_sysutil_connect_sock" ~params:[ ("port", i64) ] in
+  let s = B.local fb "s" i64 in
+  B.call fb ~dst:s "socket" [ const 2; const 1; const 0 ];
+  B.call fb "connect" [ Var s; Var (B.param fb 0) ];
+  B.ret fb (Some (Var s));
+  B.seal fb;
+
+  (* Session forks (privilege separation). *)
+  let fb = B.func pb "vsf_sysutil_fork" ~params:[ ("tag", i64) ] in
+  let pid = B.local fb "pid" i64 in
+  B.call fb ~dst:pid "clone" [ Var (B.param fb 0) ];
+  B.ret fb (Some (Var pid));
+  B.seal fb;
+
+  (* Credential switch. *)
+  let fb = B.func pb "vsf_secutil_change_credentials" ~params:[ ("uid", i64) ] in
+  B.call fb "setuid" [ Var (B.param fb 0) ];
+  B.call fb "setgid" [ Var (B.param fb 0) ];
+  B.ret fb None;
+  B.seal fb;
+
+  (* Command handler: the model's (single) indirect-call target. *)
+  let fb = B.func pb "vsf_cmd_retr" ~params:[ ("fd", i64) ] in
+  B.ret fb (Some (Var (B.param fb 0)));
+  B.seal fb;
+
+  (* --- transfers ------------------------------------------------------ *)
+
+  (* One file transfer over an established data connection. *)
+  let fb = B.func pb "vsf_send_file" ~params:[ ("data_fd", i64) ] in
+  let ffd = B.local fb "ffd" i64 in
+  let sent = B.local fb "sent" i64 in
+  let n = B.local fb "n" i64 in
+  let more = B.local fb "more" i64 in
+  B.call fb ~dst:ffd "open" [ Cstr file_path; const 0 ];
+  B.call fb "fstat" [ Var ffd; Null ];
+  B.set fb sent (const 0);
+  B.block fb "xfer_loop";
+  B.binop fb more Sil.Instr.Lt (Var sent) (const p.file_words);
+  B.branch fb (Var more) "xfer_body" "xfer_done";
+  B.block fb "xfer_body";
+  B.call fb ~dst:n "sendfile"
+    [ Var (B.param fb 0); Var ffd; Var sent; const p.chunk_words ];
+  B.binop fb sent Sil.Instr.Add (Var sent) (Var n);
+  B.jump fb "xfer_loop";
+  B.block fb "xfer_done";
+  B.call fb "close" [ Var ffd ];
+  B.ret fb None;
+  B.seal fb;
+
+  (* Passive-mode transfer: fresh data socket per file. *)
+  let fb = B.func pb "vsf_pasv_transfer" ~params:[] in
+  let ds = B.local fb "ds" i64 in
+  let dfd = B.local fb "dfd" i64 in
+  let got = B.local fb "got" i64 in
+  B.call fb ~dst:ds "vsf_sysutil_listen_socket" [ const data_port; const 1 ];
+  B.call fb ~dst:dfd "vsf_sysutil_accept" [ Var ds ];
+  B.binop fb got Sil.Instr.Ge (Var dfd) (const 0);
+  B.branch fb (Var got) "transfer" "pasv_done";
+  B.block fb "transfer";
+  B.call fb "vsf_send_file" [ Var dfd ];
+  B.call fb "close" [ Var dfd ];
+  B.jump fb "pasv_done";
+  B.block fb "pasv_done";
+  B.call fb "close" [ Var ds ];
+  B.ret fb (Some (Var got));
+  B.seal fb;
+
+  (* Active-mode transfer: server connects back to the client. *)
+  let fb = B.func pb "vsf_port_transfer" ~params:[] in
+  let ds = B.local fb "ds" i64 in
+  B.call fb ~dst:ds "vsf_sysutil_connect_sock" [ const 40000 ];
+  B.call fb "vsf_send_file" [ Var ds ];
+  B.call fb "close" [ Var ds ];
+  B.ret fb None;
+  B.seal fb;
+
+  (* --- session handling ----------------------------------------------- *)
+
+  let fb = B.func pb "vsf_handle_session" ~params:[ ("ctrl_fd", i64) ] in
+  let sess = B.local fb "sess" (Sil.Types.Struct "vsf_session_t") in
+  let sessp = B.local fb "sessp" ptr in
+  let sno = B.local fb "sno" i64 in
+  let first = B.local fb "first" i64 in
+  let k = B.local fb "k" i64 in
+  let ok = B.local fb "ok" i64 in
+  let h = B.local fb "h" ptr in
+  B.addr_of fb sessp (Sil.Place.Lvar sess);
+  B.store fb (Sil.Place.Lfield (Var sessp, "vsf_session_t", "ctrl_fd")) (Var (B.param fb 0));
+  B.call fb "vsf_sysutil_fork" [ const 0 ];  (* privilege-separated login helper *)
+  B.call fb "vsf_sysutil_fork" [ const 1 ];  (* post-auth worker *)
+  B.call fb "vsf_secutil_change_credentials" [ const 1001 ];
+  B.call fb ~dst:k "read" [ Var (B.param fb 0); Null; const 8 ];  (* RETR cmd *)
+  B.load fb h (Sil.Place.Lglobal "g_cmd_handler");
+  B.call_indirect fb (Var h) [ Var (B.param fb 0) ];
+  (* Passive transfers, bounded per session and by the benchmark's
+     shared download budget. *)
+  let budget = B.local fb "budget" i64 in
+  B.set fb k (const 0);
+  B.block fb "pasv_head";
+  let c = B.local fb "c" i64 in
+  B.binop fb c Sil.Instr.Lt (Var k) (const p.pasv_cap);
+  B.branch fb (Var c) "pasv_check" "pasv_exit";
+  B.block fb "pasv_check";
+  B.load fb budget (Sil.Place.Lglobal "g_pasv_budget");
+  B.binop fb c Sil.Instr.Gt (Var budget) (const 0);
+  B.branch fb (Var c) "pasv_body" "pasv_exit";
+  B.block fb "pasv_body";
+  B.binop fb budget Sil.Instr.Sub (Var budget) (const 1);
+  B.store fb (Sil.Place.Lglobal "g_pasv_budget") (Var budget);
+  B.call fb ~dst:ok "vsf_pasv_transfer" [];
+  B.binop fb k Sil.Instr.Add (Var k) (const 1);
+  B.jump fb "pasv_head";
+  B.block fb "pasv_exit";
+  (* Active-mode transfers: performed by the first session only. *)
+  B.load fb sno (Sil.Place.Lglobal "g_session_no");
+  B.binop fb first Sil.Instr.Eq (Var sno) (const 1);
+  B.branch fb (Var first) "active" "sess_done";
+  B.block fb "active";
+  counted_loop fb ~tag:"port" ~count:p.active_transfers (fun fb ->
+      B.call fb "vsf_port_transfer" []);
+  B.jump fb "sess_done";
+  B.block fb "sess_done";
+  B.call fb "write" [ Var (B.param fb 0); Null; const 4 ];  (* 226 reply *)
+  B.call fb "close" [ Var (B.param fb 0) ];
+  B.ret fb None;
+  B.seal fb;
+
+  (* --- init + accept loop --------------------------------------------- *)
+
+  let fb = B.func pb "vsf_init" ~params:[] in
+  let s = B.local fb "s" i64 in
+  counted_loop fb ~tag:"pools" ~count:p.init_mmap (fun fb ->
+      B.call fb "mmap" [ Null; const 4096; const 3; const 2; const (-1); const 0 ]);
+  counted_loop fb ~tag:"harden" ~count:p.init_mprotect (fun fb ->
+      B.call fb "mprotect" [ Null; const 4096; const 1 ]);
+  counted_loop fb ~tag:"helpers" ~count:p.init_clone (fun fb ->
+      B.call fb "clone" [ const 0 ]);
+  (* Two startup privilege transitions: the listener process, then the
+     privileged helper. *)
+  B.call fb "vsf_secutil_change_credentials" [ const 0 ];
+  B.call fb "vsf_secutil_change_credentials" [ const 1000 ];
+  B.call fb ~dst:s "vsf_sysutil_listen_socket" [ const control_port; const 32 ];
+  B.store fb (Sil.Place.Lglobal "g_listen_fd") (Var s);
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "vsf_accept_loop" ~params:[] in
+  let lfd = B.local fb "lfd" i64 in
+  let cfd = B.local fb "cfd" i64 in
+  let got = B.local fb "got" i64 in
+  let sno = B.local fb "sno" i64 in
+  B.load fb lfd (Sil.Place.Lglobal "g_listen_fd");
+  B.block fb "accept_loop";
+  B.call fb ~dst:cfd "vsf_sysutil_accept" [ Var lfd ];
+  B.binop fb got Sil.Instr.Ge (Var cfd) (const 0);
+  B.branch fb (Var got) "serve" "accept_done";
+  B.block fb "serve";
+  B.load fb sno (Sil.Place.Lglobal "g_session_no");
+  B.binop fb sno Sil.Instr.Add (Var sno) (const 1);
+  B.store fb (Sil.Place.Lglobal "g_session_no") (Var sno);
+  B.call fb "vsf_handle_session" [ Var cfd ];
+  B.jump fb "accept_loop";
+  B.block fb "accept_done";
+  B.ret fb None;
+  B.seal fb;
+
+  let fb = B.func pb "main" ~params:[] in
+  B.call fb "vsf_init" [];
+  B.call fb "vsf_accept_loop" [];
+  B.halt fb;
+  B.seal fb;
+
+  (match filler_counts with
+  | Some (direct, indirect) when direct + indirect > 0 ->
+    ignore (add_filler pb ~prefix:"vsf" ~direct ~indirect)
+  | Some _ | None -> ());
+  B.build pb ~entry:"main"
+
+let build (p : params) : Sil.Prog.t =
+  let base = construct ~filler_counts:None p in
+  if not p.filler then base
+  else begin
+    let stats = Appkit.callsite_stats base in
+    let missing_indirect = max 0 (table5_indirect_callsites - stats.indirect_count) in
+    let missing_direct =
+      max 0 (table5_total_callsites - stats.total_callsites - missing_indirect)
+    in
+    construct ~filler_counts:(Some (missing_direct, missing_indirect)) p
+  end
+
+let setup (p : params) (proc : Kernel.Process.t) =
+  Kernel.Vfs.add_file proc.vfs file_path ~size_words:p.file_words;
+  for _ = 1 to p.sessions do
+    ignore
+      (Kernel.Net.enqueue proc.net control_port ~request_words:8 ~payload:"RETR big.bin")
+  done;
+  for _ = 1 to p.pasv_transfers do
+    ignore (Kernel.Net.enqueue proc.net data_port ~request_words:1 ~payload:"data")
+  done;
+  (* The shared benchmark budget lives in program memory. *)
+  Machine.poke proc.machine
+    (Machine.global_address proc.machine "g_pasv_budget")
+    (Int64.of_int p.pasv_transfers)
+
+(** Milliseconds to download one file (the dkftpbench metric; lower is
+    better).  Averaged over all transfers in the run. *)
+let seconds_per_download (p : params) (proc : Kernel.Process.t) (m : Machine.t) =
+  ignore m;
+  let transfers = float_of_int (p.pasv_transfers + p.active_transfers) in
+  float_of_int (Kernel.Process.serve_cycles proc)
+  /. Drivers_config.cycles_per_second /. transfers *. 1000.0

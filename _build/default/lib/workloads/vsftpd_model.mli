@@ -1,0 +1,37 @@
+(** The vsftpd application model under a dkftpbench-style load:
+    per-transfer passive-mode sockets (socket/bind/listen/accept per
+    file), two forks and a privilege drop per session, and large
+    sendfile chunks that amortise per-trap cost (why Table 7 stays
+    cheap on vsftpd).  Socket and credential syscalls go through shared
+    vsf_sysutil/vsf_secutil helpers, like the real code base. *)
+
+type params = {
+  sessions : int;
+  pasv_transfers : int;      (** Table 4: 76 *)
+  active_transfers : int;    (** Table 4: connect 8 *)
+  pasv_cap : int;            (** max passive transfers per session *)
+  file_words : int;          (** 100 MB = 13,107,200 at paper scale *)
+  chunk_words : int;
+  init_mmap : int;           (** Table 4: 33 *)
+  init_mprotect : int;       (** Table 4: 7 *)
+  init_clone : int;
+  filler : bool;
+}
+
+val default : params
+
+(** Matches Table 4: 87 accepts, 36 clones, 12 setuid/setgid. *)
+val paper_scale : params
+
+val file_path : string
+val control_port : int
+val data_port : int
+val table5_total_callsites : int
+val table5_indirect_callsites : int
+
+val build : params -> Sil.Prog.t
+val setup : params -> Kernel.Process.t -> unit
+
+(** Milliseconds per download over the serving window (lower is
+    better). *)
+val seconds_per_download : params -> Kernel.Process.t -> Machine.t -> float

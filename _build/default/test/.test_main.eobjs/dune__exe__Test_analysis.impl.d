@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Bastion Kernel List Machine Option Sil Stdlib String Testlib

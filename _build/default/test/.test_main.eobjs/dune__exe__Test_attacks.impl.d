@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Attacks Bastion List Machine Printf String Testlib

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Bastion Format Kernel List Machine Sil Stdlib Testlib

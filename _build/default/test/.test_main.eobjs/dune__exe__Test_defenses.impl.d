@@ -1,0 +1,1 @@
+test/test_defenses.ml: Alcotest Bastion Defenses Kernel List Machine Sil String Testlib

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Bastion Kernel List Machine Printf QCheck QCheck_alcotest Sil Workloads

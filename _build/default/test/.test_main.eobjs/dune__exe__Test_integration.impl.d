@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bastion Cet Defenses Kernel List Machine Sil String Testlib Workloads

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Int64 Kernel List Machine Sil String Testlib

@@ -1,0 +1,1 @@
+test/test_metadata_io.ml: Alcotest Astring Bastion Filename Fun Hashtbl Kernel List Machine Sil String Sys Testlib Workloads

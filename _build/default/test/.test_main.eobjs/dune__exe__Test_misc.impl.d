@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring Bastion Hashtbl Int64 Kernel List Machine Report Sil String Testlib Workloads

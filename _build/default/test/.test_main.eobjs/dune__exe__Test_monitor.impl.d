@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Array Attacks Bastion Char Int64 Kernel List Machine Sil String Testlib

@@ -1,0 +1,1 @@
+test/test_props.ml: Bastion Hashtbl Int64 Kernel List Machine QCheck QCheck_alcotest Sil String Testlib Workloads

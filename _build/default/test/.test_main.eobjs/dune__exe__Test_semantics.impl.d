@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Bastion Kernel List Machine Sil Testlib Workloads

@@ -1,0 +1,1 @@
+test/test_sil.ml: Alcotest Astring Kernel List Sil Testlib

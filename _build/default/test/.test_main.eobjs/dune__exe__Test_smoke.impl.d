@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Bastion Kernel List Machine Sil String Testlib

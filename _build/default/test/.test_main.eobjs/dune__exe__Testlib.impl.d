@@ -1,0 +1,1 @@
+test/testlib.ml: Alcotest Bastion Kernel Machine Sil String

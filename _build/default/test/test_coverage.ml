@@ -1,0 +1,132 @@
+(* Last-mile unit coverage: pretty-printer constructors, exit codes,
+   builder declarations, shadow binding keyspace, stats plumbing. *)
+
+module B = Sil.Builder
+open Sil.Operand
+
+let i64 = Sil.Types.I64
+
+let test_pp_all_constructs () =
+  let show_instr i = Format.asprintf "%a" Sil.Pp.pp_instr i in
+  let v = { Sil.Operand.vid = 0; vname = "v" } in
+  Alcotest.(check string) "assign use" "%v.0 = 7" (show_instr (Assign (v, Use (const 7))));
+  Alcotest.(check string) "assign load" "%v.0 = load @g"
+    (show_instr (Assign (v, Load (Lglobal "g"))));
+  Alcotest.(check string) "assign addr" "%v.0 = addr %v.0"
+    (show_instr (Assign (v, Addr_of (Lvar v))));
+  Alcotest.(check string) "binop" "%v.0 = xor 1, 2"
+    (show_instr (Assign (v, Binop (Xor, const 1, const 2))));
+  Alcotest.(check string) "store deref" "store *%v.0 <- null"
+    (show_instr (Store (Lderef (Var v), Null)));
+  Alcotest.(check string) "indirect call" "call *%v.0(&f)"
+    (show_instr (Call { dst = None; target = Indirect (Var v); args = [ Func_addr "f" ] }));
+  let show_term t = Format.asprintf "%a" Sil.Pp.pp_terminator t in
+  Alcotest.(check string) "branch" "branch %v.0 ? a : b"
+    (show_term (Branch (Var v, "a", "b")));
+  Alcotest.(check string) "halt" "halt" (show_term Halt);
+  Alcotest.(check string) "ret value" "ret 3" (show_term (Ret (Some (const 3))))
+
+let test_exit_codes () =
+  let pb = B.program () in
+  Kernel.Syscalls.declare_stubs pb;
+  let fb = B.func pb "main" ~params:[] in
+  B.call fb "exit" [ const 42 ];
+  B.halt fb;
+  B.seal fb;
+  let prog = B.build pb ~entry:"main" in
+  let machine = Machine.create prog in
+  ignore (Kernel.boot machine);
+  match Machine.run machine with
+  | Machine.Exited code -> Alcotest.(check int64) "exit code" 42L code
+  | Machine.Faulted f -> Alcotest.failf "fault %s" (Machine.fault_to_string f)
+
+let test_entry_return_value () =
+  let pb = B.program () in
+  let fb = B.func pb "main" ~params:[] in
+  let x = B.local fb "x" i64 in
+  B.binop fb x Sil.Instr.Mul (const 6) (const 9);
+  B.ret fb (Some (Var x));
+  B.seal fb;
+  let prog = B.build pb ~entry:"main" in
+  let machine = Machine.create prog in
+  match Machine.run machine with
+  | Machine.Exited code -> Alcotest.(check int64) "entry ret is exit value" 54L code
+  | Machine.Faulted f -> Alcotest.failf "fault %s" (Machine.fault_to_string f)
+
+let test_intrinsic_declaration () =
+  let pb = B.program () in
+  B.intrinsic pb "my_probe" ~arity:2;
+  let fb = B.func pb "main" ~params:[] in
+  B.call fb "my_probe" [ const 1; const 2 ];
+  B.halt fb;
+  B.seal fb;
+  let prog = B.build pb ~entry:"main" in
+  Sil.Validate.check_exn prog;
+  let machine = Machine.create prog in
+  let seen = ref None in
+  machine.on_intrinsic <-
+    Some
+      (fun _ ~name ~args ->
+        seen := Some (name, args);
+        99L);
+  Testlib.check_exit (Machine.run machine);
+  match !seen with
+  | Some ("my_probe", [| 1L; 2L |]) -> ()
+  | _ -> Alcotest.fail "intrinsic not dispatched with its arguments"
+
+let test_binding_keyspace () =
+  (* Distinct (id, pos) pairs give distinct keys. *)
+  let keys = ref [] in
+  for id = 0 to 40 do
+    for pos = 0 to 5 do
+      keys := Bastion.Shadow_memory.binding_key ~id ~pos :: !keys
+    done
+  done;
+  let n = List.length !keys in
+  Alcotest.(check int) "all distinct" n
+    (List.length (List.sort_uniq Stdlib.compare !keys))
+
+let test_machine_stats_plumbing () =
+  let prog = Testlib.exec_program () in
+  let machine = Machine.create prog in
+  ignore (Kernel.boot machine);
+  ignore (Machine.run machine);
+  let s = machine.stats in
+  Alcotest.(check bool) "instrs counted" true (s.instrs > 0);
+  Alcotest.(check bool) "calls counted" true (s.calls > 0);
+  Alcotest.(check bool) "one indirect call" true (s.indirect_calls = 1);
+  Alcotest.(check bool) "syscalls counted" true (s.syscalls >= 3);
+  Alcotest.(check bool) "rets counted" true (s.rets > 0);
+  Alcotest.(check bool) "cycles monotone proxy" true (s.cycles > s.instrs)
+
+let test_monitor_depth_window () =
+  (* Depth stats are absent when neither CF nor AI fetched frames. *)
+  let prog = Testlib.exec_program () in
+  let protected_prog = Bastion.Api.protect prog in
+  let session =
+    Bastion.Api.launch
+      ~monitor_config:
+        {
+          Bastion.Monitor.default_config with
+          contexts = { Bastion.Monitor.ct = true; cf = false; ai = false };
+        }
+      protected_prog ()
+  in
+  Testlib.check_exit (Machine.run session.machine);
+  Alcotest.(check bool) "no frame walks in CT-only mode" true
+    (Bastion.Monitor.depth_stats session.monitor = None)
+
+let suites =
+  [
+    ( "coverage",
+      [
+        Alcotest.test_case "pretty-printer constructs" `Quick test_pp_all_constructs;
+        Alcotest.test_case "exit codes" `Quick test_exit_codes;
+        Alcotest.test_case "entry return value" `Quick test_entry_return_value;
+        Alcotest.test_case "intrinsic declaration + dispatch" `Quick
+          test_intrinsic_declaration;
+        Alcotest.test_case "binding keyspace" `Quick test_binding_keyspace;
+        Alcotest.test_case "machine stats plumbing" `Quick test_machine_stats_plumbing;
+        Alcotest.test_case "depth stats need frame walks" `Quick test_monitor_depth_window;
+      ] );
+  ]

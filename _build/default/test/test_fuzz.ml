@@ -1,0 +1,185 @@
+(* End-to-end property: NO FALSE POSITIVES.
+
+   Generate random-but-benign programs in the patterns real code uses
+   (computed flags, sizes flowing through helper parameters, struct
+   fields, loops, indirect dispatch through legitimate tables), protect
+   them with full BASTION, and require that:
+   - the protected run exits cleanly (the monitor never kills a
+     legitimate execution), and
+   - the protected run executes exactly the same syscalls as the
+     unprotected run. *)
+
+module B = Sil.Builder
+open Sil.Operand
+
+let i64 = Sil.Types.I64
+let ptr = Sil.Types.Ptr Sil.Types.I64
+
+(* Specification of one random benign program. *)
+type spec = {
+  sp_mmaps : int;          (* mmap loop iterations *)
+  sp_prot : int;           (* computed mprotect value (benign) *)
+  sp_depth : int;          (* helper-chain depth to the mmap *)
+  sp_requests : int;       (* accept loop length *)
+  sp_dispatch : bool;      (* indirect handler dispatch in the loop *)
+  sp_use_exec : bool;      (* rarely-taken execve path exists *)
+  sp_field_size : int;     (* value stored in the shm struct field *)
+}
+
+let gen_spec =
+  QCheck.Gen.(
+    map
+      (fun (mmaps, prot, depth, requests, dispatch, use_exec, field_size) ->
+        {
+          sp_mmaps = mmaps;
+          sp_prot = prot;
+          sp_depth = depth;
+          sp_requests = requests;
+          sp_dispatch = dispatch;
+          sp_use_exec = use_exec;
+          sp_field_size = field_size;
+        })
+      (tup7 (int_range 0 6) (int_range 0 7) (int_range 1 5) (int_range 0 6) bool bool
+         (int_range 1 100000)))
+
+let print_spec s =
+  Printf.sprintf "{mmaps=%d prot=%d depth=%d req=%d dispatch=%b exec=%b field=%d}"
+    s.sp_mmaps s.sp_prot s.sp_depth s.sp_requests s.sp_dispatch s.sp_use_exec
+    s.sp_field_size
+
+let build_program (s : spec) : Sil.Prog.t =
+  let pb = B.program () in
+  Kernel.Syscalls.declare_stubs pb;
+  B.struct_ pb "shm_t" [ ("size", i64); ("tag", i64) ];
+  B.global pb "g_shm" (Sil.Types.Struct "shm_t") Sil.Prog.Zero;
+  B.global pb "g_lfd" i64 Sil.Prog.Zero;
+  B.global pb "g_handler" ptr (Sil.Prog.Fptr "on_event");
+  (* Benign indirect target. *)
+  let fb = B.func pb "on_event" ~params:[ ("x", i64) ] in
+  let y = B.local fb "y" i64 in
+  B.binop fb y Sil.Instr.Xor (Var (B.param fb 0)) (const 0x5A);
+  B.ret fb (Some (Var y));
+  B.seal fb;
+  (* A helper chain of configurable depth ending in mmap: the size flows
+     down through every level's parameter. *)
+  let leaf = Printf.sprintf "lvl%d" s.sp_depth in
+  let fb = B.func pb leaf ~params:[ ("size", i64) ] in
+  let prot = B.local fb "prot" i64 in
+  let shmp = B.local fb "shmp" ptr in
+  let fsz = B.local fb "fsz" i64 in
+  B.set fb prot (const (s.sp_prot land 7));
+  B.addr_of fb shmp (Sil.Place.Lglobal "g_shm");
+  B.load fb fsz (Sil.Place.Lfield (Var shmp, "shm_t", "size"));
+  B.call fb "mmap" [ Null; Var fsz; Var prot; Var (B.param fb 0); const (-1); const 0 ];
+  B.ret fb None;
+  B.seal fb;
+  for i = s.sp_depth - 1 downto 1 do
+    let fb = B.func pb (Printf.sprintf "lvl%d" i) ~params:[ ("size", i64) ] in
+    B.call fb (Printf.sprintf "lvl%d" (i + 1)) [ Var (B.param fb 0) ];
+    B.ret fb None;
+    B.seal fb
+  done;
+  (* Rarely-taken exec path. *)
+  if s.sp_use_exec then begin
+    let fb = B.func pb "spawn" ~params:[] in
+    B.call fb "execve" [ Cstr "/bin/true"; Null; Null ];
+    B.ret fb None;
+    B.seal fb
+  end;
+  (* Request loop: accept + optional indirect dispatch + write. *)
+  let fb = B.func pb "serve" ~params:[] in
+  let lfd = B.local fb "lfd" i64 in
+  let cfd = B.local fb "cfd" i64 in
+  let got = B.local fb "got" i64 in
+  let h = B.local fb "h" ptr in
+  B.load fb lfd (Sil.Place.Lglobal "g_lfd");
+  B.block fb "loop";
+  B.call fb ~dst:cfd "accept" [ Var lfd; Null; const 2 ];
+  B.binop fb got Sil.Instr.Ge (Var cfd) (const 0);
+  B.branch fb (Var got) "body" "out";
+  B.block fb "body";
+  if s.sp_dispatch then begin
+    B.load fb h (Sil.Place.Lglobal "g_handler");
+    B.call_indirect fb (Var h) [ Var cfd ]
+  end;
+  B.call fb "write" [ Var cfd; Null; const 16 ];
+  B.call fb "close" [ Var cfd ];
+  B.jump fb "loop";
+  B.block fb "out";
+  B.ret fb None;
+  B.seal fb;
+  (* main *)
+  let fb = B.func pb "main" ~params:[] in
+  let shmp = B.local fb "shmp" ptr in
+  let sock = B.local fb "sock" i64 in
+  let flag = B.local fb "flag" i64 in
+  B.addr_of fb shmp (Sil.Place.Lglobal "g_shm");
+  B.store fb (Sil.Place.Lfield (Var shmp, "shm_t", "size")) (const s.sp_field_size);
+  Workloads.Appkit.counted_loop fb ~tag:"mm" ~count:s.sp_mmaps (fun fb ->
+      B.call fb "lvl1" [ const 4096 ]);
+  B.call fb ~dst:sock "socket" [ const 2; const 1; const 0 ];
+  B.call fb "bind" [ Var sock; const 7000 ];
+  B.call fb "listen" [ Var sock; const 8 ];
+  B.store fb (Sil.Place.Lglobal "g_lfd") (Var sock);
+  B.set fb flag (const 0);
+  (if s.sp_use_exec then begin
+    B.branch fb (Var flag) "spawn" "go";
+    B.block fb "spawn";
+    B.call fb "spawn" [];
+    B.jump fb "go";
+    B.block fb "go"
+  end);
+  B.call fb "serve" [];
+  B.halt fb;
+  B.seal fb;
+  B.build pb ~entry:"main"
+
+let syscall_profile (proc : Kernel.Process.t) =
+  List.map
+    (fun (_, nr, _) -> Kernel.Process.syscall_count proc nr)
+    Kernel.Syscalls.table
+
+let setup (s : spec) (proc : Kernel.Process.t) =
+  for _ = 1 to s.sp_requests do
+    ignore (Kernel.Net.enqueue proc.net 7000 ~request_words:4 ~payload:"ping")
+  done
+
+let prop_no_false_positives =
+  QCheck.Test.make ~count:60 ~name:"benign programs are never killed (incl. fs scope)"
+    (QCheck.make ~print:print_spec gen_spec)
+    (fun s ->
+      let prog = build_program s in
+      (* Unprotected reference run. *)
+      let machine, proc = Bastion.Api.launch_unprotected prog in
+      setup s proc;
+      let ref_outcome = Machine.run machine in
+      let ref_profile = syscall_profile proc in
+      (* Fully protected run (sensitive scope). *)
+      let session = Bastion.Api.launch (Bastion.Api.protect prog) () in
+      setup s session.process;
+      let got = Machine.run session.machine in
+      let ok_sensitive =
+        match (ref_outcome, got) with
+        | Machine.Exited _, Machine.Exited _ ->
+          syscall_profile session.process = ref_profile
+        | _ -> false
+      in
+      (* Filesystem-extended scope. *)
+      let session =
+        Bastion.Api.launch
+          ~monitor_config:
+            { Bastion.Monitor.default_config with fs_mode = Bastion.Monitor.Fs_full }
+          (Bastion.Api.protect ~protect_filesystem:true prog)
+          ()
+      in
+      setup s session.process;
+      let got_fs = Machine.run session.machine in
+      let ok_fs =
+        match got_fs with
+        | Machine.Exited _ -> syscall_profile session.process = ref_profile
+        | Machine.Faulted _ -> false
+      in
+      ok_sensitive && ok_fs)
+
+let suites =
+  [ ("fuzz", [ QCheck_alcotest.to_alcotest prop_no_false_positives ]) ]

@@ -1,0 +1,145 @@
+(* Cross-library integration tests: protection composed with the other
+   defenses, the fs extension end-to-end, CET shadow-stack unit
+   behaviour, and idempotence properties of the pipeline. *)
+
+let small_nginx_params =
+  {
+    Workloads.Nginx_model.default with
+    connections = 4;
+    requests_per_conn = 3;
+    init_mmap = 6;
+    init_mprotect = 4;
+    workers = 2;
+    filler = false;
+  }
+
+(* --- CET shadow stack unit ---------------------------------------------- *)
+
+let test_shadow_stack_unit () =
+  let ss = Cet.Shadow_stack.create () in
+  Cet.Shadow_stack.push ss 100L;
+  Cet.Shadow_stack.push ss 200L;
+  Alcotest.(check int) "depth" 2 (Cet.Shadow_stack.depth ss);
+  Cet.Shadow_stack.pop_check ss ~actual:200L;
+  Alcotest.check_raises "mismatch raises"
+    (Cet.Shadow_stack.Violation { expected = 100L; actual = 999L })
+    (fun () -> Cet.Shadow_stack.pop_check ss ~actual:999L);
+  let ss = Cet.Shadow_stack.create () in
+  Alcotest.check_raises "underflow raises" Cet.Shadow_stack.Underflow (fun () ->
+      Cet.Shadow_stack.pop_check ss ~actual:0L)
+
+(* --- full pipeline on the real models ------------------------------------ *)
+
+let test_fs_extension_end_to_end () =
+  let prog = Workloads.Nginx_model.build small_nginx_params in
+  let protected_prog = Bastion.Api.protect ~protect_filesystem:true prog in
+  let session =
+    Bastion.Api.launch
+      ~monitor_config:
+        { Bastion.Monitor.default_config with fs_mode = Bastion.Monitor.Fs_full }
+      protected_prog ()
+  in
+  Workloads.Nginx_model.setup small_nginx_params session.process;
+  Testlib.check_exit (Machine.run session.machine);
+  (* Every open/read/write/close also trapped. *)
+  let fs_calls =
+    List.fold_left
+      (fun acc nr -> acc + Kernel.Process.syscall_count session.process nr)
+      0 Kernel.Syscalls.filesystem_numbers
+  in
+  Alcotest.(check bool) "fs traps dominate" true (session.process.trap_count >= fs_calls);
+  Alcotest.(check int) "no denials" 0
+    (List.length (Bastion.Monitor.denials session.monitor))
+
+let test_fs_attack_blocked () =
+  (* Under the fs extension, corrupting a write length is caught. *)
+  let prog = Workloads.Nginx_model.build small_nginx_params in
+  let protected_prog = Bastion.Api.protect ~protect_filesystem:true prog in
+  let session =
+    Bastion.Api.launch
+      ~monitor_config:
+        { Bastion.Monitor.default_config with fs_mode = Bastion.Monitor.Fs_full }
+      protected_prog ()
+  in
+  Workloads.Nginx_model.setup small_nginx_params session.process;
+  let m = session.machine in
+  let fired = ref false in
+  m.on_instr <-
+    Some
+      (fun m (loc : Sil.Loc.t) ->
+        (* Corrupt the fd between its legitimate load and the write()
+           call: fire exactly when the call instruction is next. *)
+        if (not !fired) && String.equal loc.func "ngx_http_log_request" then begin
+          match Sil.Prog.instr_at m.prog loc with
+          | Sil.Instr.Call { target = Sil.Instr.Direct "write"; _ } -> (
+            fired := true;
+            match Machine.local_address m ~func:"ngx_http_log_request" ~var:"lfd" with
+            | Some addr -> Machine.poke m addr 0xbadL
+            | None -> ())
+          | _ -> ()
+        end);
+  Testlib.check_fault (Machine.run m)
+    (Testlib.is_monitor_kill ~context:"argument-integrity")
+    "argument-integrity"
+
+let test_debloat_then_protect () =
+  (* Debloating the padded NGINX model removes the unreachable filler;
+     the debloated program still protects and runs. *)
+  let prog =
+    Workloads.Nginx_model.build { small_nginx_params with filler = true }
+  in
+  let before = (Sil.Callgraph.stats (Sil.Callgraph.build prog)).total_callsites in
+  let debloated, removed = Defenses.Debloat.run prog in
+  Alcotest.(check bool) "filler removed" true (removed > 100);
+  let after = (Sil.Callgraph.stats (Sil.Callgraph.build debloated)).total_callsites in
+  Alcotest.(check bool) "callsites shrank" true (after < before);
+  let protected_prog = Bastion.Api.protect debloated in
+  let session = Bastion.Api.launch protected_prog () in
+  Workloads.Nginx_model.setup small_nginx_params session.process;
+  Testlib.check_exit (Machine.run session.machine)
+
+let test_protect_deterministic () =
+  (* Protecting the same program twice yields identical statistics. *)
+  let prog = Workloads.Vsftpd_model.build { Workloads.Vsftpd_model.default with filler = false } in
+  let s1 = Bastion.Api.stats (Bastion.Api.protect prog) in
+  let s2 = Bastion.Api.stats (Bastion.Api.protect prog) in
+  Alcotest.(check bool) "same stats" true (s1 = s2)
+
+let test_cfi_and_bastion_compose () =
+  (* Both defenses active on the instrumented binary: benign runs pass. *)
+  let prog = Workloads.Nginx_model.build small_nginx_params in
+  let protected_prog = Bastion.Api.protect prog in
+  let session =
+    Bastion.Api.launch ~machine_config:{ Machine.default_config with cet = true }
+      protected_prog ()
+  in
+  Defenses.Llvm_cfi.install
+    (Defenses.Llvm_cfi.build protected_prog.inst.iprog)
+    session.machine;
+  Workloads.Nginx_model.setup small_nginx_params session.process;
+  Testlib.check_exit (Machine.run session.machine)
+
+let test_monitor_init_scales_with_metadata () =
+  let small =
+    Bastion.Api.protect (Workloads.Vsftpd_model.build { Workloads.Vsftpd_model.default with filler = false })
+  in
+  let big =
+    Bastion.Api.protect (Workloads.Nginx_model.build Workloads.Nginx_model.default)
+  in
+  let init p = (Bastion.Api.launch p ()).monitor.init_cycles in
+  Alcotest.(check bool) "bigger metadata, bigger init" true (init big > init small)
+
+let suites =
+  [
+    ( "integration",
+      [
+        Alcotest.test_case "CET shadow stack unit" `Quick test_shadow_stack_unit;
+        Alcotest.test_case "fs extension end to end" `Quick test_fs_extension_end_to_end;
+        Alcotest.test_case "fs attack blocked" `Quick test_fs_attack_blocked;
+        Alcotest.test_case "debloat then protect" `Quick test_debloat_then_protect;
+        Alcotest.test_case "protect deterministic" `Quick test_protect_deterministic;
+        Alcotest.test_case "CFI + BASTION compose" `Quick test_cfi_and_bastion_compose;
+        Alcotest.test_case "monitor init scales with metadata" `Quick
+          test_monitor_init_scales_with_metadata;
+      ] );
+  ]

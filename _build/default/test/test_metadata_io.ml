@@ -1,0 +1,120 @@
+(* Metadata serialisation: the compiler -> metadata file -> monitor
+   boundary of §7.1.  A restored bundle must behave exactly like the
+   in-memory one, for benign runs and under attack. *)
+
+let roundtrip prog =
+  let p = Bastion.Api.protect prog in
+  let text = Bastion.Metadata_io.write p in
+  let restored = Bastion.Metadata_io.restore p.inst.iprog (Bastion.Metadata_io.parse text) in
+  (p, text, restored)
+
+let test_header_and_shape () =
+  let _, text, _ = roundtrip (Testlib.exec_program ()) in
+  Alcotest.(check bool) "header" true
+    (Astring.String.is_prefix ~affix:"BASTION-METADATA v1" text);
+  Alcotest.(check bool) "has calltype records" true
+    (Astring.String.is_infix ~affix:"\ncalltype " text);
+  Alcotest.(check bool) "has valid-caller records" true
+    (Astring.String.is_infix ~affix:"\nvalid-caller " text);
+  Alcotest.(check bool) "has callsite records" true
+    (Astring.String.is_infix ~affix:"\ncallsite " text)
+
+let test_roundtrip_equivalence () =
+  let p, _, restored = roundtrip (Testlib.exec_program ()) in
+  (* Same call-type table. *)
+  Hashtbl.iter
+    (fun sysno (ct : Bastion.Calltype.call_type) ->
+      let ct' = Bastion.Calltype.call_type restored.calltype sysno in
+      Alcotest.(check bool) "directly" ct.directly ct'.directly;
+      Alcotest.(check bool) "indirectly" ct.indirectly ct'.indirectly)
+    p.calltype.by_sysno;
+  (* Same pair count and sensitive callsites. *)
+  Alcotest.(check int) "cfg pairs" (Bastion.Cfg_analysis.pair_count p.cfg)
+    (Bastion.Cfg_analysis.pair_count restored.cfg);
+  Alcotest.(check bool) "sensitive callsites" true
+    (Sil.Loc.Set.equal p.cfg.sensitive_callsites restored.cfg.sensitive_callsites);
+  (* Same sensitive items and callsite metadata. *)
+  Alcotest.(check bool) "items" true
+    (Bastion.Arg_analysis.Item_set.equal p.analysis.items restored.analysis.items);
+  let key (cm : Bastion.Instrument.callsite_meta) = (cm.cm_id, cm.cm_loc, cm.cm_specs) in
+  Alcotest.(check bool) "callsites" true
+    (List.sort compare (List.map key p.inst.callsites)
+    = List.sort compare (List.map key restored.inst.callsites))
+
+let test_restored_bundle_runs () =
+  let _, _, restored = roundtrip (Testlib.exec_program ()) in
+  let session = Bastion.Api.launch restored () in
+  Testlib.check_exit (Machine.run session.machine);
+  Alcotest.(check int) "execve executed" 1
+    (List.length (Kernel.Process.executed session.process "execve"))
+
+let test_restored_bundle_blocks_attacks () =
+  let _, _, restored = roundtrip (Testlib.exec_program ()) in
+  let session = Bastion.Api.launch restored () in
+  let m = session.machine in
+  let evil = Machine.Layout.intern_string m.layout m.mem "/bin/sh" in
+  let fired = ref false in
+  m.on_instr <-
+    Some
+      (fun m (loc : Sil.Loc.t) ->
+        if (not !fired) && String.equal loc.func "do_exec" then begin
+          fired := true;
+          Machine.poke m (Machine.global_address m "gctx") evil
+        end);
+  Testlib.check_fault (Machine.run m)
+    (Testlib.is_monitor_kill ~context:"argument-integrity")
+    "argument-integrity"
+
+let test_file_roundtrip () =
+  let p = Bastion.Api.protect (Testlib.exec_program ()) in
+  let file = Filename.temp_file "bastion" ".meta" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Bastion.Metadata_io.save p ~file;
+      let restored = Bastion.Metadata_io.load ~file p.inst.iprog in
+      let session = Bastion.Api.launch restored () in
+      Testlib.check_exit (Machine.run session.machine))
+
+let test_parse_errors () =
+  let expect_error text =
+    match Bastion.Metadata_io.parse text with
+    | exception Bastion.Metadata_io.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected a parse error"
+  in
+  expect_error "not a metadata file";
+  expect_error "BASTION-METADATA v1\nfrobnicate 1 2 3";
+  expect_error "BASTION-METADATA v1\ncalltype 59 z"
+
+let test_workload_scale_roundtrip () =
+  (* The full NGINX model's metadata survives the trip too. *)
+  let prog =
+    Workloads.Nginx_model.build
+      { Workloads.Nginx_model.default with connections = 2; requests_per_conn = 2;
+        init_mmap = 4; init_mprotect = 4; filler = false }
+  in
+  let p = Bastion.Api.protect prog in
+  let restored =
+    Bastion.Metadata_io.restore p.inst.iprog
+      (Bastion.Metadata_io.parse (Bastion.Metadata_io.write p))
+  in
+  let session = Bastion.Api.launch restored () in
+  Workloads.Nginx_model.setup
+    { Workloads.Nginx_model.default with connections = 2 }
+    session.process;
+  Testlib.check_exit (Machine.run session.machine)
+
+let suites =
+  [
+    ( "metadata-io",
+      [
+        Alcotest.test_case "header and record shape" `Quick test_header_and_shape;
+        Alcotest.test_case "roundtrip equivalence" `Quick test_roundtrip_equivalence;
+        Alcotest.test_case "restored bundle runs" `Quick test_restored_bundle_runs;
+        Alcotest.test_case "restored bundle blocks attacks" `Quick
+          test_restored_bundle_blocks_attacks;
+        Alcotest.test_case "file save/load" `Quick test_file_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "workload-scale roundtrip" `Quick test_workload_scale_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,318 @@
+(* Unit tests for the runtime monitor: each context's detection in
+   isolation, the seccomp filter it builds, the fs-extension modes, the
+   sockaddr fast path and the shadow-memory runtime. *)
+
+module B = Sil.Builder
+open Sil.Operand
+
+let i64 = Sil.Types.I64
+let ptr = Sil.Types.Ptr Sil.Types.I64
+
+let launch ?(contexts = Bastion.Monitor.all_contexts) ?(fs_mode = Bastion.Monitor.Fs_off)
+    ?(sockaddr_fastpath = true) ?(protect_filesystem = false) prog =
+  let protected_prog = Bastion.Api.protect ~protect_filesystem prog in
+  Bastion.Api.launch
+    ~monitor_config:{ Bastion.Monitor.contexts; fs_mode; sockaddr_fastpath }
+    protected_prog ()
+
+(* Fixture: main stores a prot value, helper mprotects with it; also a
+   benign indirect call and an execve path (for extended checks). *)
+let fixture () =
+  let pb = B.program () in
+  Kernel.Syscalls.declare_stubs pb;
+  B.global pb "g_prot" i64 Sil.Prog.Zero;
+  B.global pb "g_path" ptr Sil.Prog.Zero;
+  B.global pb "g_fp" ptr (Sil.Prog.Fptr "helper");
+  B.global pb "g_buf" (Sil.Types.Array (i64, 8)) Sil.Prog.Zero;
+  let fb = B.func pb "helper" ~params:[ ("len", i64) ] in
+  let prot = B.local fb "prot" i64 in
+  B.load fb prot (Sil.Place.Lglobal "g_prot");
+  B.call fb "mprotect" [ Null; Var (B.param fb 0); Var prot ];
+  B.ret fb (Some (const 0));
+  B.seal fb;
+  let fb = B.func pb "do_exec" ~params:[] in
+  let path = B.local fb "path" ptr in
+  B.load fb path (Sil.Place.Lglobal "g_path");
+  B.call fb "execve" [ Var path; Null; Null ];
+  B.ret fb None;
+  B.seal fb;
+  let fb = B.func pb "main" ~params:[] in
+  let h = B.local fb "h" ptr in
+  let r = B.local fb "r" i64 in
+  B.store fb (Sil.Place.Lglobal "g_prot") (const 1);
+  B.store fb (Sil.Place.Lglobal "g_path") (Cstr "/usr/bin/tool");
+  B.call fb "helper" [ const 4096 ];
+  B.load fb h (Sil.Place.Lglobal "g_fp");
+  B.call_indirect fb ~dst:r (Var h) [ const 64 ];
+  B.call fb "do_exec" [];
+  B.halt fb;
+  B.seal fb;
+  B.build pb ~entry:"main"
+
+let poke_at (m : Machine.t) func action =
+  let fired = ref false in
+  m.on_instr <-
+    Some
+      (fun m (loc : Sil.Loc.t) ->
+        if (not !fired) && String.equal loc.func func then begin
+          fired := true;
+          action m
+        end)
+
+(* --- seccomp filter construction -------------------------------------- *)
+
+let test_filter_rules () =
+  let session = launch (fixture ()) in
+  match session.process.filter with
+  | None -> Alcotest.fail "no filter installed"
+  | Some f ->
+    let rule name = Kernel.Seccomp.rule f (Kernel.Syscalls.number name) in
+    Alcotest.(check bool) "mprotect traced" true (rule "mprotect" = Kernel.Seccomp.Trace);
+    Alcotest.(check bool) "execve traced" true (rule "execve" = Kernel.Seccomp.Trace);
+    Alcotest.(check bool) "setuid (unused, sensitive) killed" true
+      (rule "setuid" = Kernel.Seccomp.Kill);
+    Alcotest.(check bool) "getpid (unused, benign) killed (§11.3)" true
+      (rule "getpid" = Kernel.Seccomp.Kill);
+    Alcotest.(check bool) "open allowed in default scope" true
+      (rule "open" = Kernel.Seccomp.Kill || rule "open" = Kernel.Seccomp.Allow)
+
+let test_filter_fs_modes () =
+  let prog = fixture () in
+  let rule_of fs_mode name =
+    let session = launch ~fs_mode ~protect_filesystem:true prog in
+    match session.process.filter with
+    | Some f -> Kernel.Seccomp.rule f (Kernel.Syscalls.number name)
+    | None -> Alcotest.fail "no filter"
+  in
+  Alcotest.(check bool) "hook-only: fs syscalls evaluated but allowed" true
+    (rule_of Bastion.Monitor.Fs_hook_only "execve" = Kernel.Seccomp.Trace);
+  let session = launch ~fs_mode:Bastion.Monitor.Fs_fetch_only ~protect_filesystem:true prog in
+  (match session.process.filter with
+  | Some f ->
+    (* The fixture has no fs syscalls used, so check a used one stays
+       traced and the default stays kill. *)
+    Alcotest.(check bool) "mprotect still traced" true
+      (Kernel.Seccomp.rule f (Kernel.Syscalls.number "mprotect") = Kernel.Seccomp.Trace)
+  | None -> Alcotest.fail "no filter");
+  ignore session
+
+(* --- call-type context -------------------------------------------------- *)
+
+let test_ct_blocks_indirect_syscall () =
+  let session =
+    launch ~contexts:{ Bastion.Monitor.ct = true; cf = false; ai = false } (fixture ())
+  in
+  let m = session.machine in
+  poke_at m "main" (fun m ->
+      Machine.poke m (Machine.global_address m "g_fp")
+        (Machine.function_address m "mprotect"));
+  Testlib.check_fault (Machine.run m)
+    (Testlib.is_monitor_kill ~context:"call-type")
+    "call-type";
+  match Bastion.Monitor.denials session.monitor with
+  | [ d ] ->
+    Alcotest.(check string) "denial names mprotect" "mprotect"
+      (Kernel.Syscalls.name d.d_sysno)
+  | _ -> Alcotest.fail "expected exactly one denial"
+
+(* --- control-flow context ----------------------------------------------- *)
+
+let test_cf_blocks_invalid_pair () =
+  let session =
+    launch ~contexts:{ Bastion.Monitor.ct = false; cf = true; ai = false } (fixture ())
+  in
+  let m = session.machine in
+  (* ROP: redirect main's helper-call return into do_exec's body. *)
+  poke_at m "helper" (fun m ->
+      match Machine.frames m with
+      | frame :: _ ->
+        Machine.poke m frame.ret_slot
+          (Machine.instr_address m (Sil.Loc.make "do_exec" "entry" 0))
+      | [] -> ());
+  Testlib.check_fault (Machine.run m)
+    (Testlib.is_monitor_kill ~context:"control-flow")
+    "control-flow"
+
+let test_cf_accepts_legit_indirect () =
+  (* The benign run includes an indirect call on the path to no syscall;
+     CF-only must pass the whole program. *)
+  let session =
+    launch ~contexts:{ Bastion.Monitor.ct = false; cf = true; ai = false } (fixture ())
+  in
+  Testlib.check_exit (Machine.run session.machine)
+
+(* --- argument-integrity context ----------------------------------------- *)
+
+let test_ai_blocks_global_corruption () =
+  let session =
+    launch ~contexts:{ Bastion.Monitor.ct = false; cf = false; ai = true } (fixture ())
+  in
+  let m = session.machine in
+  poke_at m "helper" (fun m -> Machine.poke m (Machine.global_address m "g_prot") 7L);
+  Testlib.check_fault (Machine.run m)
+    (Testlib.is_monitor_kill ~context:"argument-integrity")
+    "argument-integrity";
+  (* The corrupted mprotect must not have executed. *)
+  Alcotest.(check int) "mprotect blocked" 0
+    (List.length (Kernel.Process.executed session.process "mprotect"))
+
+let test_ai_blocks_extended_corruption () =
+  let session =
+    launch ~contexts:{ Bastion.Monitor.ct = false; cf = false; ai = true } (fixture ())
+  in
+  let m = session.machine in
+  poke_at m "do_exec" (fun m ->
+      (* Point the path at attacker-written bytes in a writable buffer. *)
+      let buf = Machine.global_address m "g_buf" in
+      Attacks.Primitives.plant_string m buf "/bin/sh";
+      Machine.poke m (Machine.global_address m "g_path") buf);
+  Testlib.check_fault (Machine.run m)
+    (Testlib.is_monitor_kill ~context:"argument-integrity")
+    "argument-integrity";
+  Alcotest.(check int) "execve blocked" 0
+    (List.length (Kernel.Process.executed session.process "execve"))
+
+let test_ai_allows_legit_rodata_path () =
+  let session =
+    launch ~contexts:{ Bastion.Monitor.ct = false; cf = false; ai = true } (fixture ())
+  in
+  Testlib.check_exit (Machine.run session.machine);
+  match Kernel.Process.executed session.process "execve" with
+  | [ e ] -> Alcotest.(check (option string)) "path" (Some "/usr/bin/tool") e.ev_path
+  | _ -> Alcotest.fail "expected one execve"
+
+let test_ai_requires_traced_callsite () =
+  (* A sensitive syscall reached from a callsite with no argument
+     metadata (here: an indirect call to the stub with only AI on) is
+     untraced and must die. *)
+  let session =
+    launch ~contexts:{ Bastion.Monitor.ct = false; cf = false; ai = true } (fixture ())
+  in
+  let m = session.machine in
+  poke_at m "main" (fun m ->
+      Machine.poke m (Machine.global_address m "g_fp")
+        (Machine.function_address m "mprotect"));
+  Testlib.check_fault (Machine.run m)
+    (Testlib.is_monitor_kill ~context:"argument-integrity")
+    "argument-integrity"
+
+(* --- the §11.1 adaptive attacker ------------------------------------------ *)
+
+(* Perfect mimicry is harmless: an attacker who writes the *expected*
+   values back bypasses the contexts but thereby performs exactly the
+   legitimate operation — no gain (the paper's §11.1 argument). *)
+let test_adaptive_mimicry_is_harmless () =
+  let session = launch (fixture ()) in
+  let m = session.machine in
+  poke_at m "helper" (fun m ->
+      (* Write the value the shadow already expects. *)
+      Machine.poke m (Machine.global_address m "g_prot") 1L);
+  Testlib.check_exit (Machine.run m);
+  match Kernel.Process.executed session.process "mprotect" with
+  | [] -> Alcotest.fail "expected mprotect to run"
+  | evs ->
+    List.iter
+      (fun (e : Kernel.Process.exec_event) ->
+        Alcotest.(check int64) "prot unchanged" 1L e.ev_args.(2))
+      evs
+
+(* Partial mimicry is caught: matching every static constraint but one
+   mem-backed variable still trips Argument Integrity. *)
+let test_adaptive_partial_mimicry_caught () =
+  let session = launch (fixture ()) in
+  let m = session.machine in
+  poke_at m "do_exec" (fun m ->
+      (* The attacker leaves the pointer intact (it must match its
+         shadow) and instead corrupts the pointee in rodata... which DEP
+         forbids; the best remaining move is a fresh buffer, and that
+         buffer is untraced. *)
+      let buf = Machine.global_address m "g_buf" in
+      Machine.poke m buf (Int64.of_int (Char.code '/'));
+      Machine.poke m (Machine.global_address m "g_path") buf);
+  Testlib.check_fault (Machine.run m)
+    (Testlib.is_monitor_kill ~context:"argument-integrity")
+    "argument-integrity"
+
+(* --- sockaddr fast path -------------------------------------------------- *)
+
+let accept_prog () =
+  let pb = B.program () in
+  Kernel.Syscalls.declare_stubs pb;
+  B.global pb "g_lfd" i64 Sil.Prog.Zero;
+  let fb = B.func pb "main" ~params:[] in
+  let s = B.local fb "s" i64 in
+  let sa = B.local fb "sa" (Sil.Types.Array (i64, 2)) in
+  let sap = B.local fb "sap" ptr in
+  let c = B.local fb "c" i64 in
+  B.call fb ~dst:s "socket" [ const 2; const 1; const 0 ];
+  B.call fb "bind" [ Var s; const 80 ];
+  B.call fb "listen" [ Var s; const 4 ];
+  B.addr_of fb sap (Sil.Place.Lvar sa);
+  B.store fb (Sil.Place.Lindex (Var sap, const 0, i64)) (const 0);
+  B.store fb (Sil.Place.Lindex (Var sap, const 1, i64)) (const 0);
+  B.call fb ~dst:c "accept" [ Var s; Var sap; const 2 ];
+  B.halt fb;
+  B.seal fb;
+  B.build pb ~entry:"main"
+
+let test_sockaddr_paths () =
+  let run fast =
+    let session = launch ~sockaddr_fastpath:fast (accept_prog ()) in
+    ignore (Kernel.Net.enqueue session.process.net 80 ~request_words:1 ~payload:"x");
+    Testlib.check_exit (Machine.run session.machine);
+    session.machine.stats.cycles
+  in
+  let fast = run true and slow = run false in
+  Alcotest.(check bool) "both pass; fast path not slower" true (fast <= slow)
+
+(* --- misc ----------------------------------------------------------------- *)
+
+let test_monitor_stats () =
+  let session = launch (fixture ()) in
+  Testlib.check_exit (Machine.run session.machine);
+  Alcotest.(check bool) "init cycles positive" true (session.monitor.init_cycles > 0);
+  Alcotest.(check int) "traps checked" 3 session.monitor.traps_checked;
+  match Bastion.Monitor.depth_stats session.monitor with
+  | Some (dmin, davg, dmax) ->
+    Alcotest.(check bool) "depth sane" true (dmin >= 1 && davg >= 1.0 && dmax >= dmin)
+  | None -> Alcotest.fail "no depth stats"
+
+let test_runtime_shadow_sync () =
+  let session = launch (fixture ()) in
+  Testlib.check_exit (Machine.run session.machine);
+  let m = session.machine in
+  (* After the run, shadow copies of sensitive globals equal memory. *)
+  let gprot = Machine.global_address m "g_prot" in
+  Alcotest.(check (option int64)) "g_prot shadow in sync"
+    (Some (Machine.peek m gprot))
+    (Bastion.Shadow_memory.shadow session.runtime.shadow ~addr:gprot);
+  Alcotest.(check bool) "write_mem ran" true (session.runtime.write_mem_calls > 0);
+  Alcotest.(check bool) "bind_mem ran" true (session.runtime.bind_mem_calls > 0)
+
+let suites =
+  [
+    ( "monitor",
+      [
+        Alcotest.test_case "seccomp filter rules" `Quick test_filter_rules;
+        Alcotest.test_case "filter fs modes" `Quick test_filter_fs_modes;
+        Alcotest.test_case "CT blocks indirect syscall" `Quick
+          test_ct_blocks_indirect_syscall;
+        Alcotest.test_case "CF blocks invalid pair" `Quick test_cf_blocks_invalid_pair;
+        Alcotest.test_case "CF accepts legit indirect" `Quick test_cf_accepts_legit_indirect;
+        Alcotest.test_case "AI blocks global corruption" `Quick
+          test_ai_blocks_global_corruption;
+        Alcotest.test_case "AI blocks extended corruption" `Quick
+          test_ai_blocks_extended_corruption;
+        Alcotest.test_case "AI allows legit rodata path" `Quick
+          test_ai_allows_legit_rodata_path;
+        Alcotest.test_case "AI requires traced callsite" `Quick
+          test_ai_requires_traced_callsite;
+        Alcotest.test_case "adaptive mimicry is harmless (§11.1)" `Quick
+          test_adaptive_mimicry_is_harmless;
+        Alcotest.test_case "partial mimicry caught (§11.1)" `Quick
+          test_adaptive_partial_mimicry_caught;
+        Alcotest.test_case "sockaddr fast path" `Quick test_sockaddr_paths;
+        Alcotest.test_case "monitor stats" `Quick test_monitor_stats;
+        Alcotest.test_case "runtime shadow sync" `Quick test_runtime_shadow_sync;
+      ] );
+  ]

@@ -1,0 +1,188 @@
+(* Property-based tests (qcheck) on the core data structures and
+   invariants, registered as alcotest cases. *)
+
+let gen_addr = QCheck.map (fun n -> Int64.of_int (abs n land 0xFFFFF8)) QCheck.int
+let gen_word = QCheck.map Int64.of_int QCheck.int
+
+(* --- shadow memory behaves like a map -------------------------------- *)
+
+let prop_shadow_model =
+  QCheck.Test.make ~count:200 ~name:"shadow memory agrees with a model map"
+    QCheck.(list (pair gen_addr gen_word))
+    (fun ops ->
+      let shadow = Bastion.Shadow_memory.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (addr, v) ->
+          Bastion.Shadow_memory.set_shadow shadow ~addr ~value:v;
+          Hashtbl.replace model addr v)
+        ops;
+      Hashtbl.fold
+        (fun addr v acc ->
+          acc && Bastion.Shadow_memory.shadow shadow ~addr = Some v)
+        model true
+      && Bastion.Shadow_memory.entry_count shadow = Hashtbl.length model)
+
+let prop_shadow_growth =
+  QCheck.Test.make ~count:20 ~name:"shadow memory survives growth"
+    QCheck.(int_range 100 4000)
+    (fun n ->
+      let shadow = Bastion.Shadow_memory.create () in
+      for i = 1 to n do
+        Bastion.Shadow_memory.set_shadow shadow ~addr:(Int64.of_int (i * 8))
+          ~value:(Int64.of_int (i * 3))
+      done;
+      let ok = ref true in
+      for i = 1 to n do
+        if
+          Bastion.Shadow_memory.shadow shadow ~addr:(Int64.of_int (i * 8))
+          <> Some (Int64.of_int (i * 3))
+        then ok := false
+      done;
+      !ok)
+
+let prop_binding_keys_disjoint =
+  QCheck.Test.make ~count:500 ~name:"binding keys never collide with addresses"
+    QCheck.(pair (pair (int_range 0 100000) (int_range 0 15)) gen_addr)
+    (fun ((id, pos), addr) ->
+      not (Int64.equal (Bastion.Shadow_memory.binding_key ~id ~pos) addr))
+
+(* --- machine memory ---------------------------------------------------- *)
+
+let prop_memory_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"memory write/read roundtrip"
+    QCheck.(list (pair gen_addr gen_word))
+    (fun ops ->
+      let mem = Machine.Memory.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (addr, v) ->
+          Machine.Memory.write mem addr v;
+          Hashtbl.replace model addr v)
+        ops;
+      Hashtbl.fold
+        (fun addr v acc -> acc && Int64.equal (Machine.Memory.read mem addr) v)
+        model true)
+
+let printable_string =
+  QCheck.string_gen_of_size (QCheck.Gen.int_range 0 60)
+    (QCheck.Gen.char_range '\032' '\126')
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"string store/load roundtrip" printable_string
+    (fun s ->
+      QCheck.assume (not (String.contains s '\000'));
+      let mem = Machine.Memory.create () in
+      let _ = Machine.Memory.write_string mem 0x8000L s in
+      String.equal (Machine.Memory.read_string mem 0x8000L) s)
+
+(* --- binop evaluator ---------------------------------------------------- *)
+
+let prop_binop_comparisons =
+  QCheck.Test.make ~count:300 ~name:"comparison operators are consistent"
+    QCheck.(pair gen_word gen_word)
+    (fun (a, b) ->
+      let v op = Sil.Instr.eval_binop op a b in
+      let as_bool x = not (Int64.equal x 0L) in
+      as_bool (v Sil.Instr.Eq) = not (as_bool (v Sil.Instr.Ne))
+      && as_bool (v Sil.Instr.Lt) = not (as_bool (v Sil.Instr.Ge))
+      && as_bool (v Sil.Instr.Gt) = not (as_bool (v Sil.Instr.Le))
+      && (as_bool (v Sil.Instr.Lt) || as_bool (v Sil.Instr.Gt)
+         || as_bool (v Sil.Instr.Eq)))
+
+let prop_binop_algebra =
+  QCheck.Test.make ~count:300 ~name:"add/sub and xor involution"
+    QCheck.(pair gen_word gen_word)
+    (fun (a, b) ->
+      let open Sil.Instr in
+      Int64.equal (eval_binop Sub (eval_binop Add a b) b) a
+      && Int64.equal (eval_binop Xor (eval_binop Xor a b) b) a
+      && Int64.equal (eval_binop Div a 0L) 0L)
+
+(* --- loops execute the right number of times ---------------------------- *)
+
+let prop_counted_loop =
+  QCheck.Test.make ~count:30 ~name:"counted_loop performs exactly n syscalls"
+    QCheck.(int_range 0 50)
+    (fun n ->
+      let pb = Sil.Builder.program () in
+      Kernel.Syscalls.declare_stubs pb;
+      let fb = Sil.Builder.func pb "main" ~params:[] in
+      Workloads.Appkit.counted_loop fb ~tag:"t" ~count:n (fun fb ->
+          Sil.Builder.call fb "getpid" []);
+      Sil.Builder.halt fb;
+      Sil.Builder.seal fb;
+      let prog = Sil.Builder.build pb ~entry:"main" in
+      let machine = Machine.create prog in
+      let proc = Kernel.boot machine in
+      match Machine.run machine with
+      | Machine.Exited _ ->
+        Kernel.Process.syscall_count proc (Kernel.Syscalls.number "getpid") = n
+      | Machine.Faulted _ -> false)
+
+(* --- layout -------------------------------------------------------------- *)
+
+let prop_layout_injective =
+  QCheck.Test.make ~count:10 ~name:"code addresses are injective over locations"
+    QCheck.unit
+    (fun () ->
+      let prog = Testlib.exec_program () in
+      let layout = Machine.Layout.build prog in
+      let addrs =
+        List.map
+          (fun (loc, _) -> Machine.Layout.addr_of_loc layout loc)
+          (Sil.Prog.instrs prog)
+      in
+      List.length addrs = List.length (List.sort_uniq compare addrs))
+
+(* --- seccomp allowlist ---------------------------------------------------- *)
+
+let prop_allowlist =
+  QCheck.Test.make ~count:100 ~name:"allowlist allows exactly its members"
+    QCheck.(pair (list (int_range 0 400)) (int_range 0 400))
+    (fun (allowed, probe) ->
+      let f = Kernel.Seccomp.allowlist allowed in
+      let verdict = Kernel.Seccomp.evaluate f probe in
+      if List.mem probe allowed then verdict = Kernel.Seccomp.Allow
+      else verdict = Kernel.Seccomp.Kill)
+
+(* --- types ------------------------------------------------------------------ *)
+
+let gen_ty =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then oneofl [ Sil.Types.I64; Sil.Types.Ptr Sil.Types.I64 ]
+        else
+          frequency
+            [
+              (2, oneofl [ Sil.Types.I64; Sil.Types.Ptr Sil.Types.I64 ]);
+              (1, map2 (fun t k -> Sil.Types.Array (t, k)) (self (n / 2)) (int_range 1 5));
+            ]))
+
+let prop_array_sizes =
+  QCheck.Test.make ~count:100 ~name:"array size = n * element size"
+    (QCheck.make gen_ty)
+    (fun ty ->
+      let env = Sil.Types.struct_env_create () in
+      let n = 7 in
+      Sil.Types.size_words env (Sil.Types.Array (ty, n))
+      = n * Sil.Types.size_words env ty)
+
+let suites =
+  [
+    ( "properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_shadow_model;
+          prop_shadow_growth;
+          prop_binding_keys_disjoint;
+          prop_memory_roundtrip;
+          prop_string_roundtrip;
+          prop_binop_comparisons;
+          prop_binop_algebra;
+          prop_counted_loop;
+          prop_layout_injective;
+          prop_allowlist;
+          prop_array_sizes;
+        ] );
+  ]

@@ -1,0 +1,172 @@
+(* Fine-grained interpreter semantics: places (field/index/deref),
+   string operands, function-pointer values, argument-rule table, and
+   operand/place helper functions. *)
+
+module B = Sil.Builder
+open Sil.Operand
+
+let i64 = Sil.Types.I64
+let ptr = Sil.Types.Ptr Sil.Types.I64
+
+let run mk =
+  let pb = B.program () in
+  Kernel.Syscalls.declare_stubs pb;
+  mk pb;
+  let prog = B.build pb ~entry:"main" in
+  Sil.Validate.check_exn prog;
+  let machine = Machine.create prog in
+  ignore (Kernel.boot machine);
+  let outcome = Machine.run machine in
+  Testlib.check_exit outcome;
+  machine
+
+let g_out m = Machine.peek m (Machine.global_address m "g_out")
+
+let test_field_access () =
+  let m =
+    run (fun pb ->
+        B.struct_ pb "pair_t" [ ("a", i64); ("b", i64) ];
+        B.global pb "g_pair" (Sil.Types.Struct "pair_t") Sil.Prog.Zero;
+        B.global pb "g_out" i64 Sil.Prog.Zero;
+        let fb = B.func pb "main" ~params:[] in
+        let p = B.local fb "p" ptr in
+        let v = B.local fb "v" i64 in
+        B.addr_of fb p (Sil.Place.Lglobal "g_pair");
+        B.store fb (Sil.Place.Lfield (Var p, "pair_t", "a")) (const 11);
+        B.store fb (Sil.Place.Lfield (Var p, "pair_t", "b")) (const 22);
+        B.load fb v (Sil.Place.Lfield (Var p, "pair_t", "b"));
+        B.store fb (Sil.Place.Lglobal "g_out") (Var v);
+        B.halt fb;
+        B.seal fb)
+  in
+  Alcotest.(check int64) "field b" 22L (g_out m)
+
+let test_index_access () =
+  let m =
+    run (fun pb ->
+        B.global pb "g_arr" (Sil.Types.Array (i64, 8)) Sil.Prog.Zero;
+        B.global pb "g_out" i64 Sil.Prog.Zero;
+        let fb = B.func pb "main" ~params:[] in
+        let p = B.local fb "p" ptr in
+        let i = B.local fb "i" i64 in
+        let acc = B.local fb "acc" i64 in
+        let v = B.local fb "v" i64 in
+        B.addr_of fb p (Sil.Place.Lglobal "g_arr");
+        B.set fb i (const 0);
+        B.set fb acc (const 0);
+        (* g_arr[i] := 3*i for i in 0..7 *)
+        Workloads.Appkit.counted_loop fb ~tag:"fill" ~count:8 (fun fb ->
+            B.store fb (Sil.Place.Lindex (Var p, Var i, i64)) (Var acc);
+            B.binop fb acc Sil.Instr.Add (Var acc) (const 3);
+            B.binop fb i Sil.Instr.Add (Var i) (const 1));
+        B.load fb v (Sil.Place.Lindex (Var p, const 5, i64));
+        B.store fb (Sil.Place.Lglobal "g_out") (Var v);
+        B.halt fb;
+        B.seal fb)
+  in
+  Alcotest.(check int64) "arr[5] = 15" 15L (g_out m)
+
+let test_deref_store () =
+  let m =
+    run (fun pb ->
+        B.global pb "g_cell" i64 Sil.Prog.Zero;
+        B.global pb "g_out" i64 Sil.Prog.Zero;
+        let fb = B.func pb "main" ~params:[] in
+        let p = B.local fb "p" ptr in
+        let v = B.local fb "v" i64 in
+        B.addr_of fb p (Sil.Place.Lglobal "g_cell");
+        B.store fb (Sil.Place.Lderef (Var p)) (const 99);
+        B.load fb v (Sil.Place.Lglobal "g_cell");
+        B.store fb (Sil.Place.Lglobal "g_out") (Var v);
+        B.halt fb;
+        B.seal fb)
+  in
+  Alcotest.(check int64) "store through pointer" 99L (g_out m)
+
+let test_struct_array_elements () =
+  (* v[index].field addressing over an array of structs. *)
+  let m =
+    run (fun pb ->
+        B.struct_ pb "tri_t" [ ("x", i64); ("y", i64); ("z", i64) ];
+        B.global pb "g_tris" (Sil.Types.Array (Sil.Types.Struct "tri_t", 4)) Sil.Prog.Zero;
+        B.global pb "g_out" i64 Sil.Prog.Zero;
+        let fb = B.func pb "main" ~params:[] in
+        let base = B.local fb "base" ptr in
+        let ep = B.local fb "ep" ptr in
+        let v = B.local fb "v" i64 in
+        B.addr_of fb base (Sil.Place.Lglobal "g_tris");
+        B.addr_of fb ep (Sil.Place.Lindex (Var base, const 2, Sil.Types.Struct "tri_t"));
+        B.store fb (Sil.Place.Lfield (Var ep, "tri_t", "z")) (const 7);
+        (* element 2, field z is word 2*3+2 = 8 of the array *)
+        B.load fb v (Sil.Place.Lindex (Var base, const 8, i64));
+        B.store fb (Sil.Place.Lglobal "g_out") (Var v);
+        B.halt fb;
+        B.seal fb)
+  in
+  Alcotest.(check int64) "struct-array layout" 7L (g_out m)
+
+let test_cstr_and_fptr_operands () =
+  let m =
+    run (fun pb ->
+        B.global pb "g_out" i64 Sil.Prog.Zero;
+        B.global pb "g_s" ptr Sil.Prog.Zero;
+        let fb = B.func pb "id" ~params:[ ("x", i64) ] in
+        B.ret fb (Some (Var (B.param fb 0)));
+        B.seal fb;
+        let fb = B.func pb "main" ~params:[] in
+        let h = B.local fb "h" ptr in
+        let r = B.local fb "r" i64 in
+        B.store fb (Sil.Place.Lglobal "g_s") (Cstr "token");
+        B.set fb h (Func_addr "id");
+        B.call_indirect fb ~dst:r (Var h) [ const 64 ];
+        B.store fb (Sil.Place.Lglobal "g_out") (Var r);
+        B.halt fb;
+        B.seal fb)
+  in
+  Alcotest.(check int64) "fptr call" 64L (g_out m);
+  let s_addr = Machine.peek m (Machine.global_address m "g_s") in
+  Alcotest.(check string) "cstr interned" "token" (Machine.read_string m s_addr)
+
+(* --- argument rules ----------------------------------------------------- *)
+
+let test_arg_rules () =
+  let k name pos = Bastion.Arg_rules.kind ~sysno:(Kernel.Syscalls.number name) ~pos in
+  Alcotest.(check bool) "execve path extended" true (k "execve" 0 = Bastion.Arg_rules.Extended);
+  Alcotest.(check bool) "execve argv extended" true (k "execve" 1 = Bastion.Arg_rules.Extended);
+  Alcotest.(check bool) "mmap all direct" true (k "mmap" 2 = Bastion.Arg_rules.Direct);
+  Alcotest.(check bool) "accept sockaddr" true (k "accept" 1 = Bastion.Arg_rules.Sockaddr);
+  Alcotest.(check bool) "accept4 sockaddr" true (k "accept4" 1 = Bastion.Arg_rules.Sockaddr);
+  Alcotest.(check bool) "open path extended" true (k "open" 0 = Bastion.Arg_rules.Extended);
+  Alcotest.(check bool) "setuid direct" true (k "setuid" 0 = Bastion.Arg_rules.Direct)
+
+(* --- operand / place helpers --------------------------------------------- *)
+
+let test_helpers () =
+  let v = { Sil.Operand.vid = 1; vname = "x" } in
+  Alcotest.(check int) "operand vars" 1 (List.length (Sil.Operand.vars (Var v)));
+  Alcotest.(check int) "const no vars" 0 (List.length (Sil.Operand.vars (const 3)));
+  Alcotest.(check (list string)) "operand globals" [ "g" ] (Sil.Operand.globals (Global "g"));
+  let place = Sil.Place.Lfield (Var v, "s", "f") in
+  Alcotest.(check int) "place vars" 1 (List.length (Sil.Place.vars place));
+  Alcotest.(check bool) "as_var" true (Sil.Place.as_var (Lvar v) = Some v);
+  Alcotest.(check bool) "as_global" true (Sil.Place.as_global (Lglobal "g") = Some "g");
+  let call =
+    Sil.Instr.Call { dst = Some v; target = Indirect (Var v); args = [ const 1; Var v ] }
+  in
+  Alcotest.(check int) "call operands" 3 (List.length (Sil.Instr.operands call));
+  Alcotest.(check bool) "def" true (Sil.Instr.def call = Some v);
+  Alcotest.(check bool) "is_call" true (Sil.Instr.is_call call)
+
+let suites =
+  [
+    ( "semantics",
+      [
+        Alcotest.test_case "struct field access" `Quick test_field_access;
+        Alcotest.test_case "array index access" `Quick test_index_access;
+        Alcotest.test_case "store through pointer" `Quick test_deref_store;
+        Alcotest.test_case "array-of-struct layout" `Quick test_struct_array_elements;
+        Alcotest.test_case "cstr + fptr operands" `Quick test_cstr_and_fptr_operands;
+        Alcotest.test_case "direct/extended argument rules" `Quick test_arg_rules;
+        Alcotest.test_case "operand/place helpers" `Quick test_helpers;
+      ] );
+  ]

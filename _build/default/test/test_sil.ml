@@ -1,0 +1,222 @@
+(* Unit tests for the SIL IR: types, builder, validator, callgraph,
+   pretty-printer. *)
+
+module B = Sil.Builder
+open Sil.Operand
+
+let i64 = Sil.Types.I64
+let ptr = Sil.Types.Ptr Sil.Types.I64
+
+let env_with ?(structs = []) () =
+  let env = Sil.Types.struct_env_create () in
+  List.iter (fun (name, fields) -> Sil.Types.define_struct env { sname = name; fields }) structs;
+  env
+
+(* --- types ----------------------------------------------------------- *)
+
+let test_size_words () =
+  let env =
+    env_with
+      ~structs:
+        [
+          ("pair", [ ("a", i64); ("b", ptr) ]);
+          ("nested", [ ("p", Sil.Types.Struct "pair"); ("c", i64) ]);
+        ]
+      ()
+  in
+  Alcotest.(check int) "scalar" 1 (Sil.Types.size_words env i64);
+  Alcotest.(check int) "pointer" 1 (Sil.Types.size_words env ptr);
+  Alcotest.(check int) "array" 12 (Sil.Types.size_words env (Sil.Types.Array (i64, 12)));
+  Alcotest.(check int) "struct" 2 (Sil.Types.size_words env (Sil.Types.Struct "pair"));
+  Alcotest.(check int) "nested struct" 3 (Sil.Types.size_words env (Sil.Types.Struct "nested"));
+  Alcotest.(check int) "array of structs" 9
+    (Sil.Types.size_words env (Sil.Types.Array (Sil.Types.Struct "nested", 3)));
+  Alcotest.(check int) "void" 0 (Sil.Types.size_words env Sil.Types.Void)
+
+let test_field_offsets () =
+  let env =
+    env_with
+      ~structs:[ ("hdr", [ ("magic", i64); ("body", Sil.Types.Array (i64, 4)); ("crc", i64) ]) ]
+      ()
+  in
+  Alcotest.(check int) "first field" 0 (Sil.Types.field_offset env "hdr" "magic");
+  Alcotest.(check int) "after array" 5 (Sil.Types.field_offset env "hdr" "crc");
+  Alcotest.(check bool) "field type" true
+    (Sil.Types.equal (Sil.Types.field_type env "hdr" "crc") i64);
+  Alcotest.check_raises "unknown field" (Invalid_argument "Types.field_offset: no field zz in struct hdr")
+    (fun () -> ignore (Sil.Types.field_offset env "hdr" "zz"))
+
+let test_duplicate_struct () =
+  let env = env_with ~structs:[ ("s", [ ("x", i64) ]) ] () in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Types.define_struct: duplicate struct s")
+    (fun () -> Sil.Types.define_struct env { sname = "s"; fields = [] })
+
+let test_signature_class () =
+  let open Sil.Types in
+  let c1 = signature_class { params = [ I64; Ptr I64 ]; ret = I64 } in
+  let c2 = signature_class { params = [ I64; Ptr (Ptr I64) ]; ret = I64 } in
+  let c3 = signature_class { params = [ I64 ]; ret = I64 } in
+  Alcotest.(check string) "same shape" c1 c2;
+  Alcotest.(check bool) "different arity" true (c1 <> c3)
+
+(* --- builder --------------------------------------------------------- *)
+
+let test_builder_basic () =
+  let pb = B.program () in
+  let fb = B.func pb "f" ~params:[ ("x", i64) ] in
+  let y = B.local fb "y" i64 in
+  B.binop fb y Sil.Instr.Add (Var (B.param fb 0)) (const 1);
+  B.ret fb (Some (Var y));
+  B.seal fb;
+  let fb = B.func pb "main" ~params:[] in
+  let r = B.local fb "r" i64 in
+  B.call fb ~dst:r "f" [ const 41 ];
+  B.halt fb;
+  B.seal fb;
+  let prog = B.build pb ~entry:"main" in
+  Sil.Validate.check_exn prog;
+  let f = Sil.Prog.find_func prog "f" in
+  Alcotest.(check int) "one block" 1 (List.length f.blocks);
+  Alcotest.(check int) "param count" 1 (List.length f.params);
+  Alcotest.(check int) "whole-program instrs" 2 (Sil.Prog.instr_count prog)
+
+let test_builder_blocks_and_fallthrough () =
+  let pb = B.program () in
+  let fb = B.func pb "main" ~params:[] in
+  let x = B.local fb "x" i64 in
+  B.set fb x (const 1);
+  B.block fb "next";  (* implicit jump from entry *)
+  B.set fb x (const 2);
+  B.halt fb;
+  B.seal fb;
+  let prog = B.build pb ~entry:"main" in
+  Sil.Validate.check_exn prog;
+  let f = Sil.Prog.find_func prog "main" in
+  Alcotest.(check int) "two blocks" 2 (List.length f.blocks);
+  match (List.hd f.blocks).term with
+  | Sil.Instr.Jump "next" -> ()
+  | _ -> Alcotest.fail "expected implicit jump to next"
+
+let test_builder_duplicates () =
+  let pb = B.program () in
+  let fb = B.func pb "f" ~params:[] in
+  B.ret fb None;
+  B.seal fb;
+  Alcotest.check_raises "duplicate function"
+    (Invalid_argument "Builder.func: duplicate function f") (fun () ->
+      ignore (B.func pb "f" ~params:[]));
+  B.global pb "g" i64 Sil.Prog.Zero;
+  Alcotest.check_raises "duplicate global"
+    (Invalid_argument "Builder.global: duplicate global g") (fun () ->
+      B.global pb "g" i64 Sil.Prog.Zero)
+
+let test_builder_seal_guard () =
+  let pb = B.program () in
+  let fb = B.func pb "f" ~params:[] in
+  B.ret fb None;
+  B.seal fb;
+  Alcotest.check_raises "emit after seal"
+    (Invalid_argument "Builder.emit: function f already sealed") (fun () ->
+      B.store fb (Sil.Place.Lglobal "nope") (const 0))
+
+(* --- validator ------------------------------------------------------- *)
+
+let invalid_prog mk =
+  let pb = B.program () in
+  let fb = B.func pb "main" ~params:[] in
+  mk pb fb;
+  B.halt fb;
+  B.seal fb;
+  B.build pb ~entry:"main"
+
+let expect_invalid name mk =
+  let prog = invalid_prog mk in
+  match Sil.Validate.check prog with
+  | [] -> Alcotest.failf "%s: expected validation errors" name
+  | _ -> ()
+
+let test_validator_catches () =
+  expect_invalid "unknown global" (fun _pb fb ->
+      B.store fb (Sil.Place.Lglobal "missing") (const 1));
+  expect_invalid "unknown callee" (fun _pb fb -> B.call fb "missing" []);
+  expect_invalid "unknown variable" (fun _pb fb ->
+      B.set fb { Sil.Operand.vid = 99; vname = "ghost" } (const 1));
+  expect_invalid "unknown label" (fun _pb fb ->
+      B.branch fb (const 1) "nowhere" "nowhere");
+  expect_invalid "arity mismatch" (fun pb fb ->
+      let g = B.func pb "g" ~params:[ ("a", i64) ] in
+      B.ret g None;
+      B.seal g;
+      B.call fb "g" [ const 1; const 2 ]);
+  expect_invalid "unknown struct" (fun _pb fb ->
+      B.store fb (Sil.Place.Lfield (Null, "ghost_t", "x")) (const 1))
+
+let test_validator_allows_short_syscall_args () =
+  let pb = B.program () in
+  Kernel.Syscalls.declare_stubs pb;
+  let fb = B.func pb "main" ~params:[] in
+  B.call fb "setuid" [ const 0 ];  (* 1 arg against the 6-register ABI *)
+  B.halt fb;
+  B.seal fb;
+  Sil.Validate.check_exn (B.build pb ~entry:"main")
+
+(* --- callgraph ------------------------------------------------------- *)
+
+let test_callgraph () =
+  let pb = B.program () in
+  B.global pb "g_fp" ptr (Sil.Prog.Fptr "callee_b");
+  let fb = B.func pb "callee_a" ~params:[] in
+  B.ret fb None;
+  B.seal fb;
+  let fb = B.func pb "callee_b" ~params:[] in
+  B.ret fb None;
+  B.seal fb;
+  let fb = B.func pb "main" ~params:[] in
+  let h = B.local fb "h" ptr in
+  B.call fb "callee_a" [];
+  B.call fb "callee_a" [];
+  B.load fb h (Sil.Place.Lglobal "g_fp");
+  B.call_indirect fb (Var h) [];
+  B.halt fb;
+  B.seal fb;
+  let prog = B.build pb ~entry:"main" in
+  let cg = Sil.Callgraph.build prog in
+  Alcotest.(check int) "direct callers of a" 2
+    (List.length (Sil.Callgraph.direct_callers_of cg "callee_a"));
+  Alcotest.(check int) "direct callers of b" 0
+    (List.length (Sil.Callgraph.direct_callers_of cg "callee_b"));
+  Alcotest.(check bool) "b address taken" true (Sil.Callgraph.is_address_taken cg "callee_b");
+  Alcotest.(check bool) "a not address taken" false
+    (Sil.Callgraph.is_address_taken cg "callee_a");
+  let s = Sil.Callgraph.stats cg in
+  Alcotest.(check int) "total" 3 s.total_callsites;
+  Alcotest.(check int) "indirect" 1 s.indirect_count
+
+let test_pp_roundtrip_smoke () =
+  let prog = Testlib.exec_program () in
+  let text = Sil.Pp.prog_to_string prog in
+  Alcotest.(check bool) "mentions execve" true
+    (Astring.String.is_infix ~affix:"execve" text);
+  Alcotest.(check bool) "mentions struct field" true
+    (Astring.String.is_infix ~affix:"exec_ctx" text)
+
+let suites =
+  [
+    ( "sil",
+      [
+        Alcotest.test_case "size_words" `Quick test_size_words;
+        Alcotest.test_case "field offsets" `Quick test_field_offsets;
+        Alcotest.test_case "duplicate struct rejected" `Quick test_duplicate_struct;
+        Alcotest.test_case "signature classes" `Quick test_signature_class;
+        Alcotest.test_case "builder basics" `Quick test_builder_basic;
+        Alcotest.test_case "builder blocks + fallthrough" `Quick
+          test_builder_blocks_and_fallthrough;
+        Alcotest.test_case "builder duplicate detection" `Quick test_builder_duplicates;
+        Alcotest.test_case "builder seal guard" `Quick test_builder_seal_guard;
+        Alcotest.test_case "validator catches malformed IR" `Quick test_validator_catches;
+        Alcotest.test_case "validator allows syscall ABI arity" `Quick
+          test_validator_allows_short_syscall_args;
+        Alcotest.test_case "callgraph" `Quick test_callgraph;
+        Alcotest.test_case "pretty-printer smoke" `Quick test_pp_roundtrip_smoke;
+      ] );
+  ]

@@ -1,0 +1,151 @@
+(* Workload-model tests: each app must run cleanly under every defense
+   configuration, with the expected syscall profile (Table 4 shape). *)
+
+let small_nginx () =
+  Workloads.Drivers.nginx
+    ~params:
+      {
+        Workloads.Nginx_model.default with
+        connections = 8;
+        requests_per_conn = 5;
+        filler = false;
+        init_mmap = 30;
+        init_mprotect = 20;
+      }
+    ()
+
+let small_sqlite () =
+  Workloads.Drivers.sqlite
+    ~params:
+      { Workloads.Sqlite_model.default with connections = 3; txns_per_conn = 20;
+        mprotect_every = 10; filler = false }
+    ()
+
+let small_vsftpd () =
+  Workloads.Drivers.vsftpd
+    ~params:
+      {
+        Workloads.Vsftpd_model.default with
+        sessions = 3;
+        pasv_transfers = 6;
+        active_transfers = 2;
+        file_words = 4096;
+        chunk_words = 1024;
+        filler = false;
+      }
+    ()
+
+let check_defense app defense () =
+  let m = Workloads.Drivers.run (app ()) defense in
+  Alcotest.(check bool) "made progress" true (m.m_cycles > 0);
+  Alcotest.(check bool) "positive metric" true (m.m_metric > 0.0)
+
+let test_nginx_syscall_profile () =
+  let app = small_nginx () in
+  let m = Workloads.Drivers.run app Workloads.Drivers.Bastion_full in
+  let count name = Kernel.Process.syscall_count m.m_process (Kernel.Syscalls.number name) in
+  Alcotest.(check int) "accept4 = connections + sentinel" 9 (count "accept4");
+  Alcotest.(check int) "bind" 1 (count "bind");
+  Alcotest.(check int) "listen" 2 (count "listen");
+  Alcotest.(check int) "setuid = workers" 32 (count "setuid");
+  Alcotest.(check int) "clone = 3x workers" 96 (count "clone");
+  Alcotest.(check int) "socket" 32 (count "socket");
+  Alcotest.(check int) "connect" 32 (count "connect");
+  Alcotest.(check int) "mmap" 30 (count "mmap");
+  Alcotest.(check int) "mprotect" 20 (count "mprotect");
+  Alcotest.(check int) "execve never runs" 0 (count "execve")
+
+let test_vsftpd_syscall_profile () =
+  let app = small_vsftpd () in
+  let m = Workloads.Drivers.run app Workloads.Drivers.Bastion_full in
+  let count name = Kernel.Process.syscall_count m.m_process (Kernel.Syscalls.number name) in
+  Alcotest.(check int) "accept = sessions + sentinel + pasv" (3 + 1 + 6) (count "accept");
+  Alcotest.(check int) "connect = active transfers" 2 (count "connect");
+  Alcotest.(check int) "setuid = 2 + sessions" 5 (count "setuid");
+  Alcotest.(check int) "bind = 1 + pasv" 7 (count "bind")
+
+let test_sqlite_syscall_profile () =
+  let app = small_sqlite () in
+  let m = Workloads.Drivers.run app Workloads.Drivers.Bastion_full in
+  let count name = Kernel.Process.syscall_count m.m_process (Kernel.Syscalls.number name) in
+  Alcotest.(check int) "accept = connections + sentinel" 4 (count "accept");
+  Alcotest.(check int) "runtime mprotect = txns/10" 6 (count "mprotect");
+  Alcotest.(check int) "fsync per txn" 60 (count "fsync")
+
+let test_overheads_ordered () =
+  (* Vanilla must be the fastest; adding contexts must not speed things
+     up; everything must stay within sane bounds. *)
+  let app = small_nginx () in
+  let run d = Workloads.Drivers.run app d in
+  let base = run Workloads.Drivers.Vanilla in
+  let ct = run Workloads.Drivers.Bastion_ct in
+  let cf = run Workloads.Drivers.Bastion_ct_cf in
+  let ai = run Workloads.Drivers.Bastion_full in
+  Alcotest.(check bool) "ct >= base" true (ct.m_cycles >= base.m_cycles);
+  Alcotest.(check bool) "cf >= ct" true (cf.m_cycles >= ct.m_cycles);
+  Alcotest.(check bool) "ai >= cf" true (ai.m_cycles >= cf.m_cycles)
+
+let suites =
+  let open Workloads.Drivers in
+  let defense_cases app_name app =
+    List.map
+      (fun d ->
+        Alcotest.test_case
+          (Printf.sprintf "%s under %s" app_name (defense_name d))
+          `Quick (check_defense app d))
+      (figure3_defenses @ table7_defenses)
+  in
+  [
+    ( "workloads",
+      defense_cases "nginx" small_nginx
+      @ defense_cases "sqlite" small_sqlite
+      @ defense_cases "vsftpd" small_vsftpd
+      @ [
+          Alcotest.test_case "nginx syscall profile" `Quick test_nginx_syscall_profile;
+          Alcotest.test_case "vsftpd syscall profile" `Quick test_vsftpd_syscall_profile;
+          Alcotest.test_case "sqlite syscall profile" `Quick test_sqlite_syscall_profile;
+          Alcotest.test_case "context costs ordered" `Quick test_overheads_ordered;
+        ] );
+  ]
+
+(* Appended: Table 4 exactness at paper scale, as a regression guard
+   (the bench prints the same numbers; this enforces them). *)
+let paper_table4 =
+  [
+    (* name, nginx, sqlite, vsftpd *)
+    ("clone", 96, 48, 36); ("mprotect", 334, 501, 7); ("mmap", 534, 42, 33);
+    ("setuid", 32, 0, 12); ("setgid", 32, 0, 12); ("socket", 32, 1, 85);
+    ("connect", 32, 0, 8); ("bind", 1, 1, 77); ("listen", 2, 1, 77);
+    ("accept", 0, 11, 87); ("accept4", 5665, 0, 0); ("execve", 0, 0, 0);
+    ("fork", 0, 0, 0); ("chmod", 0, 0, 0); ("setreuid", 0, 0, 0);
+  ]
+
+let test_table4_exact () =
+  let run app = Workloads.Drivers.run app Workloads.Drivers.Bastion_full in
+  let nginx =
+    run (Workloads.Drivers.nginx
+           ~params:{ Workloads.Nginx_model.paper_scale with filler = false } ())
+  in
+  let sqlite =
+    run (Workloads.Drivers.sqlite
+           ~params:{ Workloads.Sqlite_model.paper_scale with filler = false } ())
+  in
+  let vsftpd =
+    run (Workloads.Drivers.vsftpd
+           ~params:{ Workloads.Vsftpd_model.paper_scale with filler = false } ())
+  in
+  let count (m : Workloads.Drivers.measurement) name =
+    Kernel.Process.syscall_count m.m_process (Kernel.Syscalls.number name)
+  in
+  List.iter
+    (fun (name, n, s, v) ->
+      Alcotest.(check int) ("nginx " ^ name) n (count nginx name);
+      Alcotest.(check int) ("sqlite " ^ name) s (count sqlite name);
+      Alcotest.(check int) ("vsftpd " ^ name) v (count vsftpd name))
+    paper_table4
+
+let suites =
+  match suites with
+  | [ (name, cases) ] ->
+    [ (name, cases @ [ Alcotest.test_case "Table 4 exact at paper scale" `Slow test_table4_exact ]) ]
+  | other -> other
