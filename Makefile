@@ -1,0 +1,19 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Build everything, then run the full test suite.
+check:
+	dune build @check
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

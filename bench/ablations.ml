@@ -2,8 +2,9 @@
 
    1. the accept/accept4 sockaddr fast path (§9.2);
    2. running the monitor in the kernel instead of over ptrace (§11.2);
-   3. shadow-memory probe behaviour under load;
-   4. control-flow verification cost as a function of stack depth. *)
+   3. shadow-memory probe behaviour under load (both table sides);
+   4. control-flow verification cost as a function of stack depth;
+   5. the trap fast path's CT+CF verdict cache, on vs off. *)
 
 module D = Workloads.Drivers
 module B = Sil.Builder
@@ -57,10 +58,14 @@ let shadow_ablation () =
   print_endline "-- ablation: shadow-memory occupancy and probe length --";
   let session, _ = run_nginx_with ~sockaddr_fastpath:true in
   let shadow = session.runtime.shadow in
+  let lookup_probes, insert_probes, inserts =
+    Bastion.Runtime.shadow_probe_stats session.runtime
+  in
   Printf.printf "  entries: %d, capacity: %d, mean probes/lookup: %.2f\n"
     (Bastion.Shadow_memory.entry_count shadow)
     (Bastion.Shadow_memory.capacity shadow)
-    (Bastion.Shadow_memory.mean_probe_length shadow)
+    lookup_probes;
+  Printf.printf "  inserts: %d, mean probes/insert: %.2f\n" inserts insert_probes
 
 (* --- 4. stack-depth sweep ------------------------------------------- *)
 
@@ -114,10 +119,41 @@ let depth_sweep () =
         ((full - ct_only) / traps))
     [ 2; 4; 8; 16; 32 ]
 
+(* --- 5. trap verdict cache ------------------------------------------ *)
+
+let trap_cache_ablation () =
+  print_endline "-- ablation: trap fast path (CT+CF verdict cache) --";
+  List.iter
+    (fun (app : D.app) ->
+      List.iter
+        (fun defense ->
+          let on = D.run ~trap_cache:true app defense in
+          let off = D.run ~trap_cache:false app defense in
+          let hits, misses, rate =
+            match on.D.m_monitor with
+            | Some m -> Bastion.Monitor.cache_stats m
+            | None -> (0, 0, 0.0)
+          in
+          let t_on = on.D.m_process.Kernel.Process.tracer in
+          let t_off = off.D.m_process.Kernel.Process.tracer in
+          Printf.printf
+            "  %-8s %-22s cycles %9d -> %9d (-%.2f%%), ptrace calls %6d -> \
+             %6d, cache %d/%d hits (%.1f%%)\n"
+            app.D.app_name
+            (D.defense_name on.D.m_defense)
+            off.D.m_cycles on.D.m_cycles
+            (float_of_int (off.D.m_cycles - on.D.m_cycles)
+            /. float_of_int off.D.m_cycles *. 100.0)
+            t_off.Kernel.Ptrace.calls_made t_on.Kernel.Ptrace.calls_made hits
+            (hits + misses) (rate *. 100.0))
+        [ D.Bastion_full; D.Bastion_fs Bastion.Monitor.Fs_full ])
+    [ D.nginx (); D.sqlite (); D.vsftpd () ]
+
 let run () =
   print_endline "== Ablation benches ==";
   sockaddr_ablation ();
   in_kernel_ablation ();
   shadow_ablation ();
   depth_sweep ();
+  trap_cache_ablation ();
   print_newline ()

@@ -2,9 +2,13 @@
    paper's evaluation (Figure 3, Tables 3-7), the section-9.2
    statistics, the ablation benches, and Bechamel micro-benchmarks.
 
-   Usage:  dune exec bench/main.exe [section ...]
+   Usage:  dune exec bench/main.exe [section ...] [--json PATH]
    Sections: figure3 table3 table4 table5 table6 table7 stats ablations
-             micro all (default: all) *)
+             micro all (default: all)
+
+   --json PATH writes machine-readable cycle totals / overhead % per
+   configuration (including the trap-cache on/off ablation pair) to
+   PATH; given alone it skips the printed sections. *)
 
 let sections =
   [
@@ -20,8 +24,19 @@ let sections =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Split off a `--json PATH` pair before section selection. *)
+  let rec extract_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | "--json" :: [] ->
+      prerr_endline "--json requires a PATH argument";
+      exit 2
+    | arg :: rest -> extract_json (arg :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_path, args = extract_json [] args in
   let wanted =
     match args with
+    | [] when json_path <> None -> []  (* JSON-only invocation *)
     | [] | [ "all" ] -> List.map fst sections
     | args ->
       (* table3 is printed together with figure3. *)
@@ -36,7 +51,10 @@ let () =
     exit 2
   end;
   let requested = List.filter (fun (name, _) -> List.mem name wanted) sections in
-  print_endline "BASTION reproduction benchmark harness";
-  print_endline "======================================";
-  Printf.printf "sections: %s\n\n" (String.concat ", " (List.map fst requested));
-  List.iter (fun (_, f) -> f ()) requested
+  if requested <> [] then begin
+    print_endline "BASTION reproduction benchmark harness";
+    print_endline "======================================";
+    Printf.printf "sections: %s\n\n" (String.concat ", " (List.map fst requested));
+    List.iter (fun (_, f) -> f ()) requested
+  end;
+  match json_path with None -> () | Some path -> Json_out.emit path

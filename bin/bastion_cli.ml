@@ -110,18 +110,29 @@ let analyze_cmd =
 
 (* --- run -------------------------------------------------------------- *)
 
-let run_workload verbose app defense =
+let run_workload verbose app defense no_trap_cache =
   setup_logs verbose;
+  let trap_cache = not no_trap_cache in
   let a = app_of_name app in
   let baseline = Workloads.Drivers.run a Workloads.Drivers.Vanilla in
-  let m = Workloads.Drivers.run a defense in
-  Printf.printf "%s under %s\n" a.app_name (Workloads.Drivers.defense_name defense);
+  let m = Workloads.Drivers.run ~trap_cache a defense in
+  Printf.printf "%s under %s%s\n" a.app_name (Workloads.Drivers.defense_name defense)
+    (if no_trap_cache then " (trap verdict cache off)" else "");
   Printf.printf "  metric    : %.2f %s (baseline %.2f)\n" m.m_metric a.metric_name
     baseline.m_metric;
   Printf.printf "  overhead  : %.2f%%\n"
     (Workloads.Drivers.overhead_pct ~baseline m ~higher_is_better:a.higher_is_better);
   Printf.printf "  traps     : %d, syscalls: %d, cycles: %d\n" m.m_traps m.m_syscalls
     m.m_cycles;
+  let tracer = m.m_process.Kernel.Process.tracer in
+  Printf.printf "  ptrace    : %d calls, %d words fetched\n"
+    tracer.Kernel.Ptrace.calls_made tracer.Kernel.Ptrace.words_read;
+  (match m.m_monitor with
+  | None -> ()
+  | Some monitor ->
+    let hits, misses, rate = Bastion.Monitor.cache_stats monitor in
+    Printf.printf "  trap cache: %d hits, %d misses (%.1f%% hit rate)\n" hits misses
+      (rate *. 100.0));
   `Ok ()
 
 let run_cmd =
@@ -132,8 +143,15 @@ let run_cmd =
       & info [ "defense" ] ~docv:"DEFENSE"
           ~doc:"One of: vanilla, cfi, cet, ct, ct-cf, full, fs-hook, fs-fetch, fs-full.")
   in
+  let no_trap_cache =
+    Arg.(
+      value & flag
+      & info [ "no-trap-cache" ]
+          ~doc:"Disable the monitor's CT+CF verdict cache (the trap fast \
+                path); every trap then re-runs the full context checks.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a defense configuration")
-    Term.(ret (const run_workload $ verbose_arg $ app_arg $ defense))
+    Term.(ret (const run_workload $ verbose_arg $ app_arg $ defense $ no_trap_cache))
 
 (* --- attack ----------------------------------------------------------- *)
 

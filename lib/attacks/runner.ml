@@ -37,7 +37,7 @@ let contexts_of = function
    stack garbage; bound the run and end it as soon as the goal fires. *)
 let attack_fuel = 20_000_000
 
-let run (attack : Attack.t) (config : config) : outcome =
+let run ?(trap_cache = true) (attack : Attack.t) (config : config) : outcome =
   let prog = attack.a_victim.v_build () in
   let machine_config = { Machine.default_config with fuel = attack_fuel } in
   let machine, process =
@@ -51,6 +51,7 @@ let run (attack : Attack.t) (config : config) : outcome =
         {
           Bastion.Monitor.default_config with
           contexts = contexts_of config;
+          trap_cache;
           fs_mode =
             (if attack.a_fs_scope then Bastion.Monitor.Fs_full
              else Bastion.Monitor.Fs_off);
@@ -90,14 +91,14 @@ type row = {
 
 let blocked = function Blocked _ -> true | Succeeded | Inert -> false
 
-let evaluate (attack : Attack.t) : row =
+let evaluate ?(trap_cache = true) (attack : Attack.t) : row =
   {
     r_attack = attack;
-    r_undefended = run attack Undefended;
-    r_ct = run attack Only_ct;
-    r_cf = run attack Only_cf;
-    r_ai = run attack Only_ai;
-    r_full = run attack Full_bastion;
+    r_undefended = run ~trap_cache attack Undefended;
+    r_ct = run ~trap_cache attack Only_ct;
+    r_cf = run ~trap_cache attack Only_cf;
+    r_ai = run ~trap_cache attack Only_ai;
+    r_full = run ~trap_cache attack Full_bastion;
   }
 
 (** Does the row agree with the paper's Table 6 entry?  The attack must
@@ -111,4 +112,5 @@ let matches_expectation (r : row) =
   && blocked r.r_ai = e.e_ai
   && blocked r.r_full
 
-let evaluate_all () = List.map evaluate Catalog.all
+let evaluate_all ?(trap_cache = true) () =
+  List.map (fun a -> evaluate ~trap_cache a) Catalog.all

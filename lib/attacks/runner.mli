@@ -18,7 +18,9 @@ val outcome_name : outcome -> string
 (** Fuel bound for attack runs (hijacked gadgets may spin). *)
 val attack_fuel : int
 
-val run : Attack.t -> config -> outcome
+(** [trap_cache] toggles the monitor's CT+CF verdict cache (default
+    on); the Table 6 matrix must be identical either way. *)
+val run : ?trap_cache:bool -> Attack.t -> config -> outcome
 
 (** One evaluated Table 6 row. *)
 type row = {
@@ -31,10 +33,10 @@ type row = {
 }
 
 val blocked : outcome -> bool
-val evaluate : Attack.t -> row
+val evaluate : ?trap_cache:bool -> Attack.t -> row
 
 (** Does the row agree with the paper: succeeds undefended, blocked by
     exactly the expected contexts, blocked by the full deployment? *)
 val matches_expectation : row -> bool
 
-val evaluate_all : unit -> row list
+val evaluate_all : ?trap_cache:bool -> unit -> row list

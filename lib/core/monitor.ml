@@ -30,9 +30,12 @@ type config = {
   contexts : contexts;
   fs_mode : fs_mode;
   sockaddr_fastpath : bool;
+  trap_cache : bool;
 }
 
-let default_config = { contexts = all_contexts; fs_mode = Fs_off; sockaddr_fastpath = true }
+let default_config =
+  { contexts = all_contexts; fs_mode = Fs_off; sockaddr_fastpath = true;
+    trap_cache = true }
 
 type denial = { d_sysno : int; d_context : string; d_detail : string }
 
@@ -41,6 +44,7 @@ type t = {
   runtime : Runtime.t;
   config : config;
   machine : Machine.t;
+  cache : Verdict_cache.t;
   mutable traps_checked : int;
   mutable init_cycles : int;
   mutable denials : denial list;
@@ -62,6 +66,7 @@ let create ~(meta : Metadata.t) ~(runtime : Runtime.t) ~config (machine : Machin
     runtime;
     config;
     machine;
+    cache = Verdict_cache.create ();
     traps_checked = 0;
     init_cycles;
     denials = [];
@@ -272,7 +277,7 @@ let check_callsite_args (t : t) (tracer : Ptrace.t) (entry : Metadata.cs_entry)
     entry.e_specs
 
 let check_argument_integrity (t : t) (tracer : Ptrace.t) (regs : Ptrace.regs)
-    (frames : Ptrace.frame_view list) =
+    (snap : Ptrace.snapshot) =
   (* The trapping callsite itself must carry argument metadata *for the
      trapped syscall*: a sensitive syscall invoked from a callsite the
      compiler never bound for it has, by definition, untraced arguments
@@ -282,27 +287,24 @@ let check_argument_integrity (t : t) (tracer : Ptrace.t) (regs : Ptrace.regs)
   | Some _ | None ->
     raise (Deny ("argument-integrity", "syscall arguments are untraced at this callsite")));
   (* Per-frame: verify the bound arguments of the call each frame has in
-     flight, then sweep the frame's sensitive locals. *)
+     flight, then sweep the frame's sensitive locals.  The slot spans
+     were prefetched by the snapshot's coalesced read. *)
   List.iter
     (fun (frame : Ptrace.frame_view) ->
       (match Hashtbl.find_opt t.meta.cs_by_addr frame.fv_callsite with
       | Some entry -> check_callsite_args t tracer entry frame
       | None -> ());
       match Hashtbl.find_opt t.meta.func_slots frame.fv_func with
-      | None -> ()
+      | None | Some [] -> ()
       | Some offsets -> (
-        (* One batched read of the frame's sensitive-slot span. *)
-        match offsets with
-        | [] -> ()
-        | first :: _ ->
-          let lo = List.fold_left min first offsets in
-          let hi = List.fold_left max first offsets in
-          let span = Ptrace.read_block tracer (Machine.Memory.addr_add frame.fv_base lo) (hi - lo + 1) in
+        match List.assoc_opt frame.fv_base snap.sn_slots with
+        | None -> ()
+        | Some (slots : Ptrace.frame_slots) ->
           List.iter
             (fun off ->
               charge_check t;
               let a = Machine.Memory.addr_add frame.fv_base off in
-              let actual = span.(off - lo) in
+              let actual = slots.sl_span.(off - slots.sl_lo) in
               match shadow_lookup t a with
               | Some legit when not (Int64.equal legit actual) ->
                 raise
@@ -312,7 +314,7 @@ let check_argument_integrity (t : t) (tracer : Ptrace.t) (regs : Ptrace.regs)
                          frame.fv_func off ))
               | Some _ | None -> ())
             offsets))
-    frames;
+    snap.sn_frames;
   (* Whole-trap sweep of sensitive globals (and global struct fields),
      one batched read per region. *)
   List.iter
@@ -335,21 +337,61 @@ let check_argument_integrity (t : t) (tracer : Ptrace.t) (regs : Ptrace.regs)
 (* ------------------------------------------------------------------ *)
 (* Trap entry point                                                    *)
 
+(** The (lo, hi) word-offset range of [func]'s sensitive local slots,
+    for the snapshot's coalesced slot-span read. *)
+let slot_span (t : t) func =
+  match Hashtbl.find_opt t.meta.func_slots func with
+  | None | Some [] -> None
+  | Some (first :: _ as offsets) ->
+    let lo = List.fold_left min first offsets in
+    let hi = List.fold_left max first offsets in
+    Some (lo, hi)
+
+let chain_of (frames : Ptrace.frame_view list) =
+  List.map (fun (fv : Ptrace.frame_view) -> (fv.fv_func, fv.fv_ret_token)) frames
+
 let full_check (t : t) (tracer : Ptrace.t) : Process.verdict =
   t.traps_checked <- t.traps_checked + 1;
   Log.debug (fun m -> m "trap: %s" (Syscalls.name tracer.cur_sysno));
   try
     let regs = Ptrace.getregs tracer in
-    if t.config.contexts.ct then check_call_type t regs;
-    if t.config.contexts.cf || t.config.contexts.ai then begin
-      let frames = Ptrace.stack_trace tracer in
+    if not (t.config.contexts.cf || t.config.contexts.ai) then begin
+      (* CT needs no process state beyond the registers. *)
+      if t.config.contexts.ct then check_call_type t regs
+    end
+    else begin
+      let snap = Ptrace.snapshot tracer ~slot_span:(slot_span t) in
+      let frames = snap.sn_frames in
       let depth = List.length frames in
       t.depth_total <- t.depth_total + depth;
       t.depth_samples <- t.depth_samples + 1;
       if depth < t.depth_min then t.depth_min <- depth;
       if depth > t.depth_max then t.depth_max <- depth;
-      if t.config.contexts.cf then check_control_flow t tracer regs frames;
-      if t.config.contexts.ai then check_argument_integrity t tracer regs frames
+      (* Trap fast path: the cache only ever short-circuits CT and CF
+         together, and only records keys that passed both — so it is
+         enabled exactly when both are enforced.  AI always re-runs. *)
+      let use_cache =
+        t.config.trap_cache && t.config.contexts.ct && t.config.contexts.cf
+      in
+      let cache_key =
+        if use_cache then begin
+          Machine.charge t.machine t.machine.config.cost.cache_probe;
+          Some (Verdict_cache.key ~sysno:regs.sysno ~rip:regs.rip ~chain:(chain_of frames))
+        end
+        else None
+      in
+      let hit =
+        match cache_key with Some k -> Verdict_cache.probe t.cache k | None -> false
+      in
+      if not hit then begin
+        if t.config.contexts.ct then check_call_type t regs;
+        if t.config.contexts.cf then check_control_flow t tracer regs frames;
+        (* Only reached when CT and CF both passed. *)
+        match cache_key with
+        | Some k -> Verdict_cache.record t.cache k
+        | None -> ()
+      end;
+      if t.config.contexts.ai then check_argument_integrity t tracer regs snap
     end;
     Process.Continue
   with Deny (context, detail) ->
@@ -363,7 +405,7 @@ let full_check (t : t) (tracer : Ptrace.t) : Process.verdict =
 let fetch_only (t : t) (tracer : Ptrace.t) : Process.verdict =
   t.traps_checked <- t.traps_checked + 1;
   let _regs = Ptrace.getregs tracer in
-  let _frames = Ptrace.stack_trace tracer in
+  let _snap = Ptrace.snapshot tracer ~slot_span:(slot_span t) in
   Process.Continue
 
 (* ------------------------------------------------------------------ *)
@@ -374,6 +416,9 @@ let fetch_only (t : t) (tracer : Ptrace.t) : Process.verdict =
     TRACE directly/indirectly-callable sensitive calls.  Unknown syscall
     numbers default to KILL. *)
 let build_filter (t : t) : Kernel.Seccomp.filter =
+  (* Rebuilding the filter invalidates every cached CT+CF verdict: the
+     callable set (and hence what a trap means) may have changed. *)
+  Verdict_cache.bump_epoch t.cache;
   let filter = Kernel.Seccomp.create ~default:Kernel.Seccomp.Kill () in
   List.iter
     (fun (_, nr, _) ->
@@ -411,6 +456,12 @@ let attach (t : t) (proc : Process.t) =
   proc.tracer_hook <- Some (fun proc ~sysno ~args -> hook t proc ~sysno ~args)
 
 let denials (t : t) = List.rev t.denials
+
+(** Verdict-cache statistics of the trap fast path:
+    (hits, misses, hit rate). *)
+let cache_stats (t : t) =
+  (Verdict_cache.hits t.cache, Verdict_cache.misses t.cache,
+   Verdict_cache.hit_rate t.cache)
 
 (** §9.2 call-depth statistics over all verified traps:
     (min, mean, max); [None] before the first stack walk. *)

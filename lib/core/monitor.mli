@@ -27,6 +27,8 @@ type config = {
   fs_mode : fs_mode;
   sockaddr_fastpath : bool;
       (** the specialised accept/accept4 sockaddr verification (§9.2) *)
+  trap_cache : bool;
+      (** the trap fast path's CT+CF verdict cache; AI always re-runs *)
 }
 
 val default_config : config
@@ -39,6 +41,7 @@ type t = {
   runtime : Runtime.t;
   config : config;
   machine : Machine.t;
+  cache : Verdict_cache.t;      (** the CT+CF verdict cache *)
   mutable traps_checked : int;
   mutable init_cycles : int;    (** metadata-loading cost (§9.2) *)
   mutable denials : denial list;
@@ -68,6 +71,10 @@ val attach : t -> Process.t -> unit
 
 (** Denials in chronological order. *)
 val denials : t -> denial list
+
+(** Verdict-cache statistics of the trap fast path:
+    (hits, misses, hit rate). *)
+val cache_stats : t -> int * int * float
 
 (** §9.2 call-depth statistics over verified traps: (min, mean, max). *)
 val depth_stats : t -> (int * float * int) option

@@ -40,6 +40,15 @@ let handle (t : t) (m : Machine.t) ~name ~(args : int64 array) : int64 =
 let install (t : t) (m : Machine.t) =
   m.on_intrinsic <- Some (fun m ~name ~args -> handle t m ~name ~args)
 
+(** Shadow-table probe statistics of this runtime's shadow, both sides:
+    (mean lookup probes, mean insert probes, inserts performed).  The
+    write side is driven by the inlined ctx_* calls above, so it is a
+    runtime statistic, not a monitor one. *)
+let shadow_probe_stats (t : t) =
+  ( Shadow_memory.mean_probe_length t.shadow,
+    Shadow_memory.mean_insert_probe_length t.shadow,
+    Shadow_memory.insert_count t.shadow )
+
 (** Seed the shadow with the post-initialisation contents of every
     global: the loader-visible static state is legitimate by definition
     (the paper's compiler records static values in metadata). *)

@@ -18,6 +18,10 @@ val handle : t -> Machine.t -> name:string -> args:int64 array -> int64
 (** Wire the runtime into a machine's intrinsic dispatch. *)
 val install : t -> Machine.t -> unit
 
+(** Shadow-table probe statistics, both sides: (mean lookup probes,
+    mean insert probes, inserts performed). *)
+val shadow_probe_stats : t -> float * float * int
+
 (** Seed the shadow with the post-initialisation contents of every
     global: loader-visible static state is legitimate by definition. *)
 val seed_globals : t -> Machine.t -> unit

@@ -18,6 +18,8 @@ type t = {
   mutable count : int;
   mutable total_probes : int;
   mutable lookups : int;
+  mutable insert_probes : int;
+  mutable inserts : int;
 }
 
 let initial_capacity = 1024
@@ -30,6 +32,8 @@ let create () =
     count = 0;
     total_probes = 0;
     lookups = 0;
+    insert_probes = 0;
+    inserts = 0;
   }
 
 (* SplitMix64 finalizer: a good avalanche for word keys. *)
@@ -53,11 +57,18 @@ let capacity t = Array.length t.keys
 let rec insert t key value =
   if 10 * t.count > 7 * capacity t then grow t;
   let cap = capacity t in
+  t.inserts <- t.inserts + 1;
+  (* [steps] counts every slot examined, like [find_probes] does on the
+     read side; the total feeds the probe-length ablation. *)
   let rec probe i steps =
     if t.used.(i) then
-      if Int64.equal t.keys.(i) key then t.values.(i) <- value
+      if Int64.equal t.keys.(i) key then begin
+        t.insert_probes <- t.insert_probes + steps + 1;
+        t.values.(i) <- value
+      end
       else probe ((i + 1) mod cap) (steps + 1)
     else begin
+      t.insert_probes <- t.insert_probes + steps + 1;
       t.used.(i) <- true;
       t.keys.(i) <- key;
       t.values.(i) <- value;
@@ -105,3 +116,12 @@ let entry_count t = t.count
 (** Mean probes per lookup so far (ablation statistic). *)
 let mean_probe_length t =
   if t.lookups = 0 then 0.0 else float_of_int t.total_probes /. float_of_int t.lookups
+
+let insert_count t = t.inserts
+let insert_probe_count t = t.insert_probes
+
+(** Mean probes per insert so far, including rehash probes during
+    growth (the write-side ablation statistic). *)
+let mean_insert_probe_length t =
+  if t.inserts = 0 then 0.0
+  else float_of_int t.insert_probes /. float_of_int t.inserts

@@ -33,3 +33,13 @@ val entry_count : t -> int
 
 (** Mean probes per lookup so far (ablation statistic). *)
 val mean_probe_length : t -> float
+
+(** Inserts performed (including rehash inserts during growth). *)
+val insert_count : t -> int
+
+(** Slots examined across all inserts (the write-side analogue of the
+    lookup probe count). *)
+val insert_probe_count : t -> int
+
+(** Mean probes per insert so far (write-side ablation statistic). *)
+val mean_insert_probe_length : t -> float

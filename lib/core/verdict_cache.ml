@@ -1,0 +1,114 @@
+(* The trap fast path's CT+CF verdict cache: a fixed-size direct-mapped
+   cache keyed by a 64-bit mix of (syscall number, trap rip, the stack's
+   [(function, return token)] chain).
+
+   Safety argument (encoded in the test suite): a cached key means this
+   exact callsite + return-token chain already passed the Call-Type and
+   Control-Flow contexts.  Any ROP/pivot attack necessarily changes a
+   return token, a frame's function, or the trap rip — and every step of
+   the key computation is a bijection of the accumulator, so changing
+   any single chain element (even by one bit) provably changes the key.
+   A corrupted stack can therefore never hit the cache.  Argument
+   Integrity is deliberately NOT cached: argument values change per
+   request and must be re-verified on every trap.
+
+   The cache carries an epoch; entries recorded under an older epoch
+   miss.  The monitor bumps the epoch whenever the metadata or the
+   seccomp filter is rebuilt. *)
+
+type t = {
+  keys : int64 array;
+  epochs : int array;   (** epoch each slot was recorded under *)
+  valid : bool array;
+  mask : int;           (** size - 1; size is a power of two *)
+  mutable epoch : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable records : int;
+  mutable epoch_bumps : int;
+}
+
+let default_size = 4096
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+let create ?(size = default_size) () =
+  let size = pow2_at_least (max 1 size) 1 in
+  {
+    keys = Array.make size 0L;
+    epochs = Array.make size 0;
+    valid = Array.make size false;
+    mask = size - 1;
+    epoch = 0;
+    hits = 0;
+    misses = 0;
+    records = 0;
+    epoch_bumps = 0;
+  }
+
+let size t = t.mask + 1
+
+(* SplitMix64 finalizer: a bijective avalanche over 64-bit words. *)
+let mix (key : int64) =
+  let open Int64 in
+  let z = mul key 0x9E3779B97F4A7C15L in
+  let z = logxor z (shift_right_logical z 30) in
+  let z = mul z 0xBF58476D1CE4E5B9L in
+  let z = logxor z (shift_right_logical z 27) in
+  let z = mul z 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let hash_string (s : string) =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c -> h := mix (Int64.logxor !h (Int64.of_int (Char.code c))))
+    s;
+  !h
+
+(* Sentinel mixed in for the entry frame's missing return token;
+   distinct from any mix of a real token with overwhelming margin. *)
+let no_token = 0x5BD1E9955BD1E995L
+
+(** The cache key of one trap: every fold step is [mix (acc xor x)],
+    a bijection of [acc], so two chains differing in exactly one
+    element always map to different keys. *)
+let key ~(sysno : int) ~(rip : int64) ~(chain : (string * int64 option) list) :
+    int64 =
+  let h = mix (Int64.logxor rip (Int64.of_int sysno)) in
+  List.fold_left
+    (fun h (func, token) ->
+      let h = mix (Int64.logxor h (hash_string func)) in
+      let tok = match token with None -> no_token | Some tok -> mix tok in
+      mix (Int64.logxor h tok))
+    h chain
+
+let index t k = Int64.to_int (Int64.logand k 0x7FFFFFFFL) land t.mask
+
+(** Probe for a key recorded under the current epoch. *)
+let probe t k =
+  let i = index t k in
+  let hit = t.valid.(i) && Int64.equal t.keys.(i) k && t.epochs.(i) = t.epoch in
+  if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+  hit
+
+(** Record a key that just passed CT and CF under the current epoch. *)
+let record t k =
+  let i = index t k in
+  t.keys.(i) <- k;
+  t.epochs.(i) <- t.epoch;
+  t.valid.(i) <- true;
+  t.records <- t.records + 1
+
+(** Invalidate every cached verdict (metadata / filter rebuild). *)
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  t.epoch_bumps <- t.epoch_bumps + 1
+
+let hits t = t.hits
+let misses t = t.misses
+let records t = t.records
+let epoch t = t.epoch
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

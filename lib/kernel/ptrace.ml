@@ -1,7 +1,13 @@
 (* The tracer interface the BASTION monitor uses to inspect a stopped
    tracee (PTRACE_GETREGS + process_vm_readv in the paper).  Every
    operation charges its modelled cycle cost to the tracee's clock —
-   this is the cost that dominates Table 7. *)
+   this is the cost that dominates Table 7.
+
+   Because each process_vm_readv call carries a fixed per-call price on
+   top of the per-word transfer cost, the monitor's fast path reads the
+   tracee with [snapshot]: the whole stack span and the union of the
+   frames' sensitive-slot spans in one or two coalesced calls, instead
+   of one call per frame plus one per region. *)
 
 type regs = { rip : int64; sysno : int; args : int64 array }
 
@@ -20,15 +26,30 @@ type frame_view = {
       (** frame base address (for locating local-variable slots) *)
 }
 
+type frame_slots = {
+  sl_lo : int;            (** word offset of the span's first slot *)
+  sl_span : int64 array;  (** slot words [lo .. lo + length - 1] *)
+}
+
+type snapshot = {
+  sn_frames : frame_view list;   (** unwound frames, innermost first *)
+  sn_slots : (int64 * frame_slots) list;
+      (** per frame base, the frame's sensitive-slot span *)
+  sn_calls : int;  (** process_vm_readv calls this snapshot cost (1-2) *)
+}
+
 type t = {
   machine : Machine.t;
   mutable cur_sysno : int;   (** set by the kernel before a TRACE stop *)
   mutable getregs_count : int;
   mutable words_read : int;
   mutable frames_walked : int;
+  mutable calls_made : int;  (** process_vm_readv calls issued *)
 }
 
-let create machine = { machine; cur_sysno = -1; getregs_count = 0; words_read = 0; frames_walked = 0 }
+let create machine =
+  { machine; cur_sysno = -1; getregs_count = 0; words_read = 0; frames_walked = 0;
+    calls_made = 0 }
 
 let cost (t : t) = t.machine.config.cost
 
@@ -39,6 +60,7 @@ let getregs (t : t) : regs =
 
 (** One remote read: a full process_vm_readv call for a single word. *)
 let read_word (t : t) addr =
+  t.calls_made <- t.calls_made + 1;
   t.words_read <- t.words_read + 1;
   Machine.charge t.machine ((cost t).ptrace_call + (cost t).ptrace_read_word);
   Machine.peek t.machine addr
@@ -46,6 +68,7 @@ let read_word (t : t) addr =
 (** Batched remote read of [n] consecutive words: one call, [n] words of
     transfer.  Used wherever the monitor can read a region at once. *)
 let read_block (t : t) addr n =
+  t.calls_made <- t.calls_made + 1;
   t.words_read <- t.words_read + n;
   Machine.charge t.machine ((cost t).ptrace_call + (n * (cost t).ptrace_read_word));
   Machine.Memory.read_block t.machine.mem addr n
@@ -54,27 +77,84 @@ let read_block (t : t) addr n =
 let read_string ?(max_len = 4096) (t : t) addr =
   let s = Machine.Memory.read_string ~max_len t.machine.mem addr in
   let words = String.length s + 1 in
+  t.calls_made <- t.calls_made + 1;
   t.words_read <- t.words_read + words;
   Machine.charge t.machine ((cost t).ptrace_call + ((cost t).ptrace_read_word * words));
   s
 
+let view_of_frame (t : t) (frame : Machine.frame) : frame_view =
+  {
+    fv_func = frame.ffunc;
+    fv_callsite = frame.in_flight_callsite;
+    fv_args = frame.in_flight_args;
+    fv_ret_token = Machine.read_ret_addr t.machine frame;
+    fv_base = frame.frame_base;
+  }
+
 (** Unwind the tracee's stack, innermost frame first.  Each frame costs
     one remote read of the frame record (saved frame pointer + return
-    address), as a real frame-pointer unwind does. *)
+    address), as a naive frame-pointer unwind does.  The monitor's fast
+    path uses {!snapshot} instead. *)
 let stack_trace (t : t) : frame_view list =
   List.map
     (fun (frame : Machine.frame) ->
       t.frames_walked <- t.frames_walked + 1;
+      t.calls_made <- t.calls_made + 1;
       t.words_read <- t.words_read + 2;
       Machine.charge t.machine ((cost t).ptrace_call + (2 * (cost t).ptrace_read_word));
-      {
-        fv_func = frame.ffunc;
-        fv_callsite = frame.in_flight_callsite;
-        fv_args = frame.in_flight_args;
-        fv_ret_token = Machine.read_ret_addr t.machine frame;
-        fv_base = frame.frame_base;
-      })
+      view_of_frame t frame)
     (Machine.frames t.machine)
+
+(** Coalesced snapshot of the tracee's stack: one batched call for the
+    whole stack span (frame records, spilled in-flight arguments,
+    return tokens) and, when [slot_span] names any sensitive-slot
+    spans, a second batched call for their union — O(1-2) calls total
+    where {!stack_trace} plus per-region reads cost O(frames +
+    regions).  [slot_span f] gives the (lo, hi) word-offset range of
+    function [f]'s sensitive local slots, if any. *)
+let snapshot (t : t) ~(slot_span : string -> (int * int) option) : snapshot =
+  let mframes = Machine.frames t.machine in
+  let nframes = List.length mframes in
+  (* Call 1: the contiguous stack span, two record words per frame. *)
+  let frame_words = 2 * nframes in
+  t.calls_made <- t.calls_made + 1;
+  t.frames_walked <- t.frames_walked + nframes;
+  t.words_read <- t.words_read + frame_words;
+  Machine.charge t.machine
+    ((cost t).ptrace_call + (frame_words * (cost t).ptrace_read_word));
+  let sn_frames = List.map (view_of_frame t) mframes in
+  (* Call 2: the union of the frames' sensitive-slot spans, gathered in
+     one scatter-read (process_vm_readv takes an iovec list, so
+     disjoint per-frame spans still cost a single call). *)
+  let sn_slots =
+    List.filter_map
+      (fun (frame : Machine.frame) ->
+        match slot_span frame.ffunc with
+        | None -> None
+        | Some (lo, hi) ->
+          let n = hi - lo + 1 in
+          let span =
+            Machine.Memory.read_block t.machine.mem
+              (Machine.Memory.addr_add frame.frame_base lo)
+              n
+          in
+          Some (frame.frame_base, { sl_lo = lo; sl_span = span }))
+      mframes
+  in
+  let slot_words =
+    List.fold_left (fun acc (_, s) -> acc + Array.length s.sl_span) 0 sn_slots
+  in
+  let sn_calls =
+    if slot_words = 0 then 1
+    else begin
+      t.calls_made <- t.calls_made + 1;
+      t.words_read <- t.words_read + slot_words;
+      Machine.charge t.machine
+        ((cost t).ptrace_call + (slot_words * (cost t).ptrace_read_word));
+      2
+    end
+  in
+  { sn_frames; sn_slots; sn_calls }
 
 (** Map a memory-resident return token back to the callsite (the call
     instruction immediately preceding the resume point), as an unwinder

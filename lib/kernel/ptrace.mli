@@ -1,7 +1,9 @@
 (** The tracer interface the BASTION monitor uses to inspect a stopped
     tracee (PTRACE_GETREGS + process_vm_readv in the paper).  Every
     operation charges its modelled cycle cost to the tracee's clock —
-    the cost that dominates Table 7. *)
+    the cost that dominates Table 7.  The monitor's fast path uses
+    {!snapshot} to read the whole stack (and the sensitive-slot spans)
+    in one or two coalesced calls instead of one per frame. *)
 
 type regs = { rip : int64; sysno : int; args : int64 array }
 
@@ -21,12 +23,27 @@ type frame_view = {
       (** frame base address (locates local-variable slots) *)
 }
 
+(** One frame's sensitive-slot span as prefetched by {!snapshot}. *)
+type frame_slots = {
+  sl_lo : int;            (** word offset of the span's first slot *)
+  sl_span : int64 array;  (** slot words [lo .. lo + length - 1] *)
+}
+
+(** A coalesced read of everything the CF and AI contexts need. *)
+type snapshot = {
+  sn_frames : frame_view list;  (** unwound frames, innermost first *)
+  sn_slots : (int64 * frame_slots) list;
+      (** per frame base, the frame's sensitive-slot span *)
+  sn_calls : int;  (** process_vm_readv calls this snapshot cost (1-2) *)
+}
+
 type t = {
   machine : Machine.t;
   mutable cur_sysno : int;   (** set by the kernel before a TRACE stop *)
   mutable getregs_count : int;
   mutable words_read : int;
   mutable frames_walked : int;
+  mutable calls_made : int;  (** process_vm_readv calls issued *)
 }
 
 val create : Machine.t -> t
@@ -45,8 +62,15 @@ val read_block : t -> int64 -> int -> int64 array
 val read_string : ?max_len:int -> t -> int64 -> string
 
 (** Unwind the tracee's stack, innermost frame first; costs one remote
-    read per frame. *)
+    read per frame (the slow path {!snapshot} replaces). *)
 val stack_trace : t -> frame_view list
+
+(** Coalesced stack fetch: the whole stack span in one batched call
+    plus, when [slot_span] names any sensitive-slot ranges, their union
+    in a second — O(1-2) calls where {!stack_trace} + per-region reads
+    cost O(frames + regions).  [slot_span f] is the (lo, hi)
+    word-offset range of [f]'s sensitive local slots. *)
+val snapshot : t -> slot_span:(string -> (int * int) option) -> snapshot
 
 (** Map a memory-resident return token back to the call instruction
     immediately preceding the resume point, as an unwinder maps return

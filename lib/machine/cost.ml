@@ -27,6 +27,7 @@ type t = {
   cet_op : int;               (** shadow-stack push or check *)
   cfi_check : int;            (** LLVM CFI check at an indirect callsite *)
   monitor_check : int;        (** one in-monitor comparison/lookup step *)
+  cache_probe : int;          (** one verdict-cache probe (hash + compare) *)
 }
 
 let default =
@@ -45,6 +46,7 @@ let default =
     cet_op = 1;
     cfi_check = 9;
     monitor_check = 6;
+    cache_probe = 4;
   }
 
 (** A what-if cost table for the §11.2 discussion of running the monitor

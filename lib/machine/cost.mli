@@ -18,6 +18,7 @@ type t = {
   cet_op : int;               (** shadow-stack compare *)
   cfi_check : int;            (** LLVM CFI check at an indirect callsite *)
   monitor_check : int;        (** one in-monitor comparison/lookup step *)
+  cache_probe : int;          (** one verdict-cache probe (hash + compare) *)
 }
 
 (** The calibrated default (see DESIGN.md §5). *)

@@ -120,7 +120,8 @@ let protected_of (app : app) ~fs =
     Hashtbl.replace cache app.app_key p;
     p
 
-let run ?(cost = Machine.Cost.default) (app : app) (defense : defense) : measurement =
+let run ?(cost = Machine.Cost.default) ?(trap_cache = true) (app : app)
+    (defense : defense) : measurement =
   let machine_config cet = { Machine.default_config with cet; cost } in
   let machine, process, monitor =
     match defense with
@@ -152,14 +153,14 @@ let run ?(cost = Machine.Cost.default) (app : app) (defense : defense) : measure
       in
       let session =
         Bastion.Api.launch ~machine_config:(machine_config true)
-          ~monitor_config:{ Bastion.Monitor.default_config with contexts }
+          ~monitor_config:{ Bastion.Monitor.default_config with contexts; trap_cache }
           (protected_of app ~fs:false) ()
       in
       (session.machine, session.process, Some session.monitor)
     | Bastion_fs mode ->
       let session =
         Bastion.Api.launch ~machine_config:(machine_config true)
-          ~monitor_config:{ Bastion.Monitor.default_config with fs_mode = mode }
+          ~monitor_config:{ Bastion.Monitor.default_config with fs_mode = mode; trap_cache }
           (protected_of app ~fs:true) ()
       in
       (session.machine, session.process, Some session.monitor)

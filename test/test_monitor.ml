@@ -9,10 +9,10 @@ let i64 = Sil.Types.I64
 let ptr = Sil.Types.Ptr Sil.Types.I64
 
 let launch ?(contexts = Bastion.Monitor.all_contexts) ?(fs_mode = Bastion.Monitor.Fs_off)
-    ?(sockaddr_fastpath = true) ?(protect_filesystem = false) prog =
+    ?(sockaddr_fastpath = true) ?(protect_filesystem = false) ?(trap_cache = true) prog =
   let protected_prog = Bastion.Api.protect ~protect_filesystem prog in
   Bastion.Api.launch
-    ~monitor_config:{ Bastion.Monitor.contexts; fs_mode; sockaddr_fastpath }
+    ~monitor_config:{ Bastion.Monitor.contexts; fs_mode; sockaddr_fastpath; trap_cache }
     protected_prog ()
 
 (* Fixture: main stores a prot value, helper mprotects with it; also a

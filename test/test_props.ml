@@ -41,6 +41,41 @@ let prop_shadow_growth =
       done;
       !ok)
 
+(* Raw insert/find on the open-addressed table, with enough keys to
+   force at least one [grow] (initial capacity is far below 3000):
+   every inserted binding must survive the rehash, and the insert-probe
+   counters must have seen every insert. *)
+let prop_shadow_insert_roundtrip =
+  QCheck.Test.make ~count:20 ~name:"insert/find roundtrip across grow"
+    QCheck.(pair (int_range 200 3000) (int_range 1 1000))
+    (fun (n, salt) ->
+      let shadow = Bastion.Shadow_memory.create () in
+      let key i = Int64.of_int ((i * 8) + (salt * 16)) in
+      for i = 1 to n do
+        Bastion.Shadow_memory.insert shadow (key i) (Int64.of_int (i + salt))
+      done;
+      let ok = ref true in
+      for i = 1 to n do
+        if Bastion.Shadow_memory.find shadow (key i) <> Some (Int64.of_int (i + salt))
+        then ok := false
+      done;
+      !ok
+      && Bastion.Shadow_memory.insert_count shadow >= n
+      && Bastion.Shadow_memory.insert_probe_count shadow
+         >= Bastion.Shadow_memory.insert_count shadow)
+
+let prop_binding_key_injective =
+  QCheck.Test.make ~count:500 ~name:"binding_key injective over valid (id,pos)"
+    QCheck.(
+      pair
+        (pair (int_range 0 100000) (int_range 0 15))
+        (pair (int_range 0 100000) (int_range 0 15)))
+    (fun ((id1, pos1), (id2, pos2)) ->
+      let k1 = Bastion.Shadow_memory.binding_key ~id:id1 ~pos:pos1 in
+      let k2 = Bastion.Shadow_memory.binding_key ~id:id2 ~pos:pos2 in
+      if id1 = id2 && pos1 = pos2 then Int64.equal k1 k2
+      else not (Int64.equal k1 k2))
+
 let prop_binding_keys_disjoint =
   QCheck.Test.make ~count:500 ~name:"binding keys never collide with addresses"
     QCheck.(pair (pair (int_range 0 100000) (int_range 0 15)) gen_addr)
@@ -175,6 +210,8 @@ let suites =
         [
           prop_shadow_model;
           prop_shadow_growth;
+          prop_shadow_insert_roundtrip;
+          prop_binding_key_injective;
           prop_binding_keys_disjoint;
           prop_memory_roundtrip;
           prop_string_roundtrip;
