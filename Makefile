@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench trace-demo clean
 
 all: build
 
@@ -14,6 +14,12 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# Record an NGINX run with the flight recorder and summarise the trace
+# (open nginx.trace.json in Perfetto / chrome://tracing).
+trace-demo:
+	dune exec bin/bastion_cli.exe -- run --app nginx --trace nginx.trace.json --metrics
+	dune exec bin/bastion_cli.exe -- trace-summary nginx.trace.json
 
 clean:
 	dune clean

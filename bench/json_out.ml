@@ -7,7 +7,7 @@
 module D = Workloads.Drivers
 module J = Report.Json
 
-let record ~(app : D.app) ~(baseline : D.measurement) ?trap_cache
+let record ~(app : D.app) ~(baseline : D.measurement) ?trap_cache ?recorder
     (m : D.measurement) : J.t =
   let tracer = m.D.m_process.Kernel.Process.tracer in
   let cache_fields =
@@ -20,6 +20,11 @@ let record ~(app : D.app) ~(baseline : D.measurement) ?trap_cache
         ("cache_misses", J.Num (float_of_int misses));
         ("cache_hit_rate", J.Num rate);
       ]
+  in
+  let metrics_fields =
+    match recorder with
+    | None -> []
+    | Some r -> [ ("metrics", Obs.Metrics.to_json (Obs.Recorder.metrics r)) ]
   in
   J.Obj
     ([
@@ -39,7 +44,7 @@ let record ~(app : D.app) ~(baseline : D.measurement) ?trap_cache
        ("ptrace_calls", J.Num (float_of_int tracer.Kernel.Ptrace.calls_made));
        ("ptrace_words", J.Num (float_of_int tracer.Kernel.Ptrace.words_read));
      ]
-    @ cache_fields)
+    @ cache_fields @ metrics_fields)
 
 (** Collect the trap-fast-path configurations for every app: the
     unprotected baseline, full BASTION and the Table 7 [Fs_full] row,
@@ -55,8 +60,11 @@ let document () : J.t =
              (fun defense ->
                List.map
                  (fun trap_cache ->
-                   record ~app ~baseline ~trap_cache
-                     (D.run ~trap_cache app defense))
+                   (* A fresh per-run registry: the snapshot folded into
+                      this record belongs to exactly this run. *)
+                   let recorder = Obs.Recorder.create ~metrics:true () in
+                   record ~app ~baseline ~trap_cache ~recorder
+                     (D.run ~trap_cache ~recorder app defense))
                  [ true; false ])
              [ D.Bastion_full; D.Bastion_fs Bastion.Monitor.Fs_full ])
       apps

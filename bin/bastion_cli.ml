@@ -4,9 +4,13 @@
          run the BASTION compiler pass over an application model and
          print its call-type classification and instrumentation stats
 
-     bastion run --app nginx --defense full
+     bastion run --app nginx --defense full [--trace FILE] [--metrics]
          run a workload under a defense configuration and report the
-         paper's metric plus overhead vs the unprotected baseline
+         paper's metric plus overhead vs the unprotected baseline;
+         --trace/--audit/--metrics arm the flight recorder
+
+     bastion trace-summary FILE
+         summarise a Chrome-trace file written by `bastion run --trace`
 
      bastion attack --id coop-chrome [--config ai]
      bastion attack --all
@@ -110,12 +114,29 @@ let analyze_cmd =
 
 (* --- run -------------------------------------------------------------- *)
 
-let run_workload verbose app defense no_trap_cache =
+let run_workload verbose app defense no_trap_cache trace metrics audit =
   setup_logs verbose;
   let trap_cache = not no_trap_cache in
   let a = app_of_name app in
+  (* The recorder exists only when some sink wants it: the trace or
+     audit file needs the ring, --metrics the histograms, -v the live
+     callback.  Otherwise runs stay on the counter-bump path. *)
+  let tracing = trace <> None || audit <> None in
+  let recorder =
+    if tracing || metrics || verbose then
+      Some (Obs.Recorder.create ~tracing ~metrics ())
+    else None
+  in
+  (match recorder with
+  | Some r when verbose ->
+    Obs.Recorder.set_on_event r
+      (Some
+         (fun ev ->
+           if Obs.Event.denied ev then Logs.warn (fun m -> m "%s" (Obs.Event.to_string ev))
+           else Logs.debug (fun m -> m "%s" (Obs.Event.to_string ev))))
+  | _ -> ());
   let baseline = Workloads.Drivers.run a Workloads.Drivers.Vanilla in
-  let m = Workloads.Drivers.run ~trap_cache a defense in
+  let m = Workloads.Drivers.run ~trap_cache ?recorder a defense in
   Printf.printf "%s under %s%s\n" a.app_name (Workloads.Drivers.defense_name defense)
     (if no_trap_cache then " (trap verdict cache off)" else "");
   Printf.printf "  metric    : %.2f %s (baseline %.2f)\n" m.m_metric a.metric_name
@@ -133,6 +154,23 @@ let run_workload verbose app defense no_trap_cache =
     let hits, misses, rate = Bastion.Monitor.cache_stats monitor in
     Printf.printf "  trap cache: %d hits, %d misses (%.1f%% hit rate)\n" hits misses
       (rate *. 100.0));
+  (match recorder with
+  | None -> ()
+  | Some r ->
+    (match trace with
+    | Some path ->
+      Obs.Chrome.write r path;
+      Printf.printf "  trace     : %s (%d events%s)\n" path
+        (List.length (Obs.Recorder.items r))
+        (let d = Obs.Recorder.events_dropped r in
+         if d > 0 then Printf.sprintf ", %d dropped" d else "")
+    | None -> ());
+    (match audit with
+    | Some path ->
+      Obs.Recorder.write_jsonl r path;
+      Printf.printf "  audit log : %s\n" path
+    | None -> ());
+    if metrics then print_string (Obs.Recorder.summary_table r));
   `Ok ()
 
 let run_cmd =
@@ -150,8 +188,56 @@ let run_cmd =
           ~doc:"Disable the monitor's CT+CF verdict cache (the trap fast \
                 path); every trap then re-runs the full context checks.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record every trap and write a Chrome-trace JSON to FILE \
+                (open in Perfetto or chrome://tracing).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Collect latency histograms and print the metrics registry \
+                after the run.")
+  in
+  let audit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"FILE"
+          ~doc:"Write a JSONL audit log (one structured event per line) to FILE.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a defense configuration")
-    Term.(ret (const run_workload $ verbose_arg $ app_arg $ defense $ no_trap_cache))
+    Term.(
+      ret
+        (const run_workload $ verbose_arg $ app_arg $ defense $ no_trap_cache $ trace
+       $ metrics $ audit))
+
+(* --- trace-summary ----------------------------------------------------- *)
+
+let trace_summary file =
+  match Report.Json.of_file file with
+  | exception Sys_error e -> `Error (false, e)
+  | exception Report.Json.Parse_error e ->
+    `Error (false, Printf.sprintf "%s: %s" file e)
+  | doc ->
+    print_string (Obs.Chrome.render_summary (Obs.Chrome.summarize doc));
+    `Ok ()
+
+let trace_summary_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome-trace JSON written by `bastion run --trace`.")
+  in
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:"Summarise a Chrome-trace file written by `bastion run --trace`")
+    Term.(ret (const trace_summary $ file))
 
 (* --- attack ----------------------------------------------------------- *)
 
@@ -238,4 +324,6 @@ let list_cmd =
 let () =
   let doc = "BASTION system-call integrity — OCaml reproduction" in
   let info = Cmd.info "bastion" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ analyze_cmd; run_cmd; attack_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ analyze_cmd; run_cmd; attack_cmd; list_cmd; trace_summary_cmd ]))

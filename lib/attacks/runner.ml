@@ -37,7 +37,7 @@ let contexts_of = function
    stack garbage; bound the run and end it as soon as the goal fires. *)
 let attack_fuel = 20_000_000
 
-let run ?(trap_cache = true) (attack : Attack.t) (config : config) : outcome =
+let run ?(trap_cache = true) ?recorder (attack : Attack.t) (config : config) : outcome =
   let prog = attack.a_victim.v_build () in
   let machine_config = { Machine.default_config with fuel = attack_fuel } in
   let machine, process =
@@ -57,7 +57,9 @@ let run ?(trap_cache = true) (attack : Attack.t) (config : config) : outcome =
              else Bastion.Monitor.Fs_off);
         }
       in
-      let session = Bastion.Api.launch ~machine_config ~monitor_config protected_prog () in
+      let session =
+        Bastion.Api.launch ~machine_config ~monitor_config ?recorder protected_prog ()
+      in
       (session.machine, session.process)
   in
   attack.a_victim.v_setup process;
@@ -91,14 +93,14 @@ type row = {
 
 let blocked = function Blocked _ -> true | Succeeded | Inert -> false
 
-let evaluate ?(trap_cache = true) (attack : Attack.t) : row =
+let evaluate ?(trap_cache = true) ?recorder (attack : Attack.t) : row =
   {
     r_attack = attack;
-    r_undefended = run ~trap_cache attack Undefended;
-    r_ct = run ~trap_cache attack Only_ct;
-    r_cf = run ~trap_cache attack Only_cf;
-    r_ai = run ~trap_cache attack Only_ai;
-    r_full = run ~trap_cache attack Full_bastion;
+    r_undefended = run ~trap_cache ?recorder attack Undefended;
+    r_ct = run ~trap_cache ?recorder attack Only_ct;
+    r_cf = run ~trap_cache ?recorder attack Only_cf;
+    r_ai = run ~trap_cache ?recorder attack Only_ai;
+    r_full = run ~trap_cache ?recorder attack Full_bastion;
   }
 
 (** Does the row agree with the paper's Table 6 entry?  The attack must
@@ -112,5 +114,5 @@ let matches_expectation (r : row) =
   && blocked r.r_ai = e.e_ai
   && blocked r.r_full
 
-let evaluate_all ?(trap_cache = true) () =
-  List.map (fun a -> evaluate ~trap_cache a) Catalog.all
+let evaluate_all ?(trap_cache = true) ?recorder () =
+  List.map (fun a -> evaluate ~trap_cache ?recorder a) Catalog.all

@@ -50,19 +50,25 @@ type session = {
 }
 
 (** Boot the instrumented program on a fresh machine, wire the runtime
-    library, build post-layout metadata, and attach the monitor. *)
+    library, build post-layout metadata, and attach the monitor.
+    [recorder] wires the flight recorder through the whole pipeline
+    (runtime intrinsics, monitor phase spans, legacy-counter probes);
+    observation never charges modelled cycles. *)
 let launch ?(machine_config = Machine.default_config)
-    ?(monitor_config = Monitor.default_config) (p : protected) () : session =
+    ?(monitor_config = Monitor.default_config) ?recorder (p : protected) () : session =
   let machine = Machine.create ~config:machine_config p.inst.iprog in
   let process = Kernel.boot machine in
   let runtime = Runtime.create () in
   Runtime.install runtime machine;
   Runtime.seed_globals runtime machine;
+  (match recorder with
+  | Some r -> Runtime.attach_recorder runtime r
+  | None -> ());
   let meta =
     Metadata.build ~calltype:p.calltype ~cfg:p.cfg ~analysis:p.analysis ~inst:p.inst
       machine
   in
-  let monitor = Monitor.create ~meta ~runtime ~config:monitor_config machine in
+  let monitor = Monitor.create ?recorder ~meta ~runtime ~config:monitor_config machine in
   Monitor.attach monitor process;
   { machine; process; runtime; monitor }
 

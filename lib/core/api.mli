@@ -42,10 +42,13 @@ type session = {
 
 (** Boot the instrumented program, wire the ctx_* runtime, build
     post-layout metadata, seed the shadow from the loader-visible
-    globals and attach the monitor. *)
+    globals and attach the monitor.  [recorder] wires the flight
+    recorder through the whole pipeline; observation never charges
+    modelled cycles. *)
 val launch :
   ?machine_config:Machine.config ->
   ?monitor_config:Monitor.config ->
+  ?recorder:Obs.Recorder.t ->
   protected ->
   unit ->
   session

@@ -10,10 +10,6 @@ module Ptrace = Kernel.Ptrace
 module Process = Kernel.Process
 module Syscalls = Kernel.Syscalls
 
-let log_src = Logs.Src.create "bastion.monitor" ~doc:"BASTION runtime monitor"
-
-module Log = (val Logs.src_log log_src)
-
 type contexts = { ct : bool; cf : bool; ai : bool }
 
 let all_contexts = { ct = true; cf = true; ai = true }
@@ -45,6 +41,7 @@ type t = {
   config : config;
   machine : Machine.t;
   cache : Verdict_cache.t;
+  mutable recorder : Obs.Recorder.t option;
   mutable traps_checked : int;
   mutable init_cycles : int;
   mutable denials : denial list;
@@ -57,7 +54,8 @@ type t = {
 
 exception Deny of string * string  (** context, detail *)
 
-let create ~(meta : Metadata.t) ~(runtime : Runtime.t) ~config (machine : Machine.t) =
+let create ?recorder ~(meta : Metadata.t) ~(runtime : Runtime.t) ~config
+    (machine : Machine.t) =
   (* Loading metadata: a linear pass over all entries (the paper reports
      10-20 ms; we report cycles in stats, not on the tracee's clock). *)
   let init_cycles = 40 * meta.entry_count in
@@ -67,6 +65,7 @@ let create ~(meta : Metadata.t) ~(runtime : Runtime.t) ~config (machine : Machin
     config;
     machine;
     cache = Verdict_cache.create ();
+    recorder;
     traps_checked = 0;
     init_cycles;
     denials = [];
@@ -75,6 +74,8 @@ let create ~(meta : Metadata.t) ~(runtime : Runtime.t) ~config (machine : Machin
     depth_max = 0;
     depth_samples = 0;
   }
+
+let set_recorder (t : t) r = t.recorder <- r
 
 let charge_check (t : t) = Machine.charge t.machine t.machine.config.cost.monitor_check
 
@@ -350,14 +351,104 @@ let slot_span (t : t) func =
 let chain_of (frames : Ptrace.frame_view list) =
   List.map (fun (fv : Ptrace.frame_view) -> (fv.fv_func, fv.fv_ret_token)) frames
 
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder hooks.  Observation reads the machine's cycle clock
+   but never charges it: a run's cycle totals and verdicts are
+   identical with the recorder on or off.  With no recorder (or an
+   un-armed one) each hook is an option match / counter bump. *)
+
+type trap_obs = {
+  ob_seq : int;
+  ob_start : int;           (* machine cycles at trap entry *)
+  ob_calls0 : int;          (* tracer counters at trap entry ... *)
+  ob_words0 : int;
+  ob_probes0 : int;         (* ... and shadow probes, for the deltas *)
+  mutable ob_spans : Obs.Event.span list;  (* reverse execution order *)
+  mutable ob_cache : bool option;
+  mutable ob_depth : int;
+}
+
+let cycles_now (t : t) = t.machine.stats.cycles
+
+let obs_begin (t : t) (tracer : Ptrace.t) : trap_obs option =
+  match t.recorder with
+  | Some r when Obs.Recorder.armed r ->
+    Some
+      {
+        ob_seq = Obs.Recorder.next_seq r;
+        ob_start = cycles_now t;
+        ob_calls0 = tracer.calls_made;
+        ob_words0 = tracer.words_read;
+        ob_probes0 = Shadow_memory.probe_count t.runtime.shadow;
+        ob_spans = [];
+        ob_cache = None;
+        ob_depth = 0;
+      }
+  | _ -> None
+
+(** Run one context check as an observed phase span. *)
+let obs_span (t : t) (obs : trap_obs option) phase f =
+  match obs with
+  | None -> f ()
+  | Some ob ->
+    let t0 = cycles_now t in
+    let push outcome =
+      ob.ob_spans <-
+        { Obs.Event.sp_phase = phase; sp_outcome = outcome; sp_start = t0;
+          sp_dur = cycles_now t - t0 }
+        :: ob.ob_spans
+    in
+    (try f () with Deny _ as e -> push Obs.Event.Failed; raise e);
+    push Obs.Event.Passed
+
+(** Mark a phase the verdict cache vouched for (zero-duration span). *)
+let obs_cached (t : t) (obs : trap_obs option) phase =
+  match obs with
+  | None -> ()
+  | Some ob ->
+    ob.ob_spans <-
+      { Obs.Event.sp_phase = phase; sp_outcome = Obs.Event.Cached;
+        sp_start = cycles_now t; sp_dur = 0 }
+      :: ob.ob_spans
+
+let obs_finish (t : t) (tracer : Ptrace.t) (obs : trap_obs option) ~(rip : int64)
+    ~kind (verdict : Obs.Event.verdict) =
+  match t.recorder with
+  | None -> ()
+  | Some r -> (
+    match obs with
+    | None ->
+      (* Un-armed recorder: the hook reduces to counter bumps. *)
+      Obs.Recorder.count_trap r
+        ~denied:(match verdict with Obs.Event.Denied _ -> true | Obs.Event.Allowed -> false)
+    | Some ob ->
+      Obs.Recorder.record_trap r
+        {
+          Obs.Event.ev_seq = ob.ob_seq;
+          ev_kind = kind;
+          ev_sysno = tracer.cur_sysno;
+          ev_sysname = Syscalls.name tracer.cur_sysno;
+          ev_rip = rip;
+          ev_start = ob.ob_start;
+          ev_dur = cycles_now t - ob.ob_start;
+          ev_verdict = verdict;
+          ev_spans = List.rev ob.ob_spans;
+          ev_cache = ob.ob_cache;
+          ev_depth = ob.ob_depth;
+          ev_ptrace_calls = tracer.calls_made - ob.ob_calls0;
+          ev_ptrace_words = tracer.words_read - ob.ob_words0;
+          ev_shadow_probes = Shadow_memory.probe_count t.runtime.shadow - ob.ob_probes0;
+        })
+
 let full_check (t : t) (tracer : Ptrace.t) : Process.verdict =
   t.traps_checked <- t.traps_checked + 1;
-  Log.debug (fun m -> m "trap: %s" (Syscalls.name tracer.cur_sysno));
+  let obs = obs_begin t tracer in
+  let regs = Ptrace.getregs tracer in
   try
-    let regs = Ptrace.getregs tracer in
     if not (t.config.contexts.cf || t.config.contexts.ai) then begin
       (* CT needs no process state beyond the registers. *)
-      if t.config.contexts.ct then check_call_type t regs
+      if t.config.contexts.ct then
+        obs_span t obs Obs.Event.Ct (fun () -> check_call_type t regs)
     end
     else begin
       let snap = Ptrace.snapshot tracer ~slot_span:(slot_span t) in
@@ -367,6 +458,7 @@ let full_check (t : t) (tracer : Ptrace.t) : Process.verdict =
       t.depth_samples <- t.depth_samples + 1;
       if depth < t.depth_min then t.depth_min <- depth;
       if depth > t.depth_max then t.depth_max <- depth;
+      (match obs with Some ob -> ob.ob_depth <- depth | None -> ());
       (* Trap fast path: the cache only ever short-circuits CT and CF
          together, and only records keys that passed both — so it is
          enabled exactly when both are enforced.  AI always re-runs. *)
@@ -383,29 +475,45 @@ let full_check (t : t) (tracer : Ptrace.t) : Process.verdict =
       let hit =
         match cache_key with Some k -> Verdict_cache.probe t.cache k | None -> false
       in
-      if not hit then begin
-        if t.config.contexts.ct then check_call_type t regs;
-        if t.config.contexts.cf then check_control_flow t tracer regs frames;
+      (match obs with
+      | Some ob when use_cache -> ob.ob_cache <- Some hit
+      | _ -> ());
+      if hit then begin
+        obs_cached t obs Obs.Event.Ct;
+        obs_cached t obs Obs.Event.Cf
+      end
+      else begin
+        if t.config.contexts.ct then
+          obs_span t obs Obs.Event.Ct (fun () -> check_call_type t regs);
+        if t.config.contexts.cf then
+          obs_span t obs Obs.Event.Cf (fun () ->
+              check_control_flow t tracer regs frames);
         (* Only reached when CT and CF both passed. *)
         match cache_key with
         | Some k -> Verdict_cache.record t.cache k
         | None -> ()
       end;
-      if t.config.contexts.ai then check_argument_integrity t tracer regs snap
+      if t.config.contexts.ai then
+        obs_span t obs Obs.Event.Ai (fun () ->
+            check_argument_integrity t tracer regs snap)
     end;
+    obs_finish t tracer obs ~rip:regs.rip ~kind:Obs.Event.Trap_check Obs.Event.Allowed;
     Process.Continue
   with Deny (context, detail) ->
-    Log.warn (fun m ->
-        m "DENY %s: %s context violated (%s)"
-          (Syscalls.name tracer.cur_sysno)
-          context detail);
     t.denials <- { d_sysno = tracer.cur_sysno; d_context = context; d_detail = detail } :: t.denials;
+    obs_finish t tracer obs ~rip:regs.rip ~kind:Obs.Event.Trap_check
+      (Obs.Event.Denied { d_context = context; d_detail = detail });
     Process.Deny { context; detail }
 
 let fetch_only (t : t) (tracer : Ptrace.t) : Process.verdict =
   t.traps_checked <- t.traps_checked + 1;
-  let _regs = Ptrace.getregs tracer in
-  let _snap = Ptrace.snapshot tracer ~slot_span:(slot_span t) in
+  let obs = obs_begin t tracer in
+  let regs = Ptrace.getregs tracer in
+  let snap = Ptrace.snapshot tracer ~slot_span:(slot_span t) in
+  (match obs with
+  | Some ob -> ob.ob_depth <- List.length snap.sn_frames
+  | None -> ());
+  obs_finish t tracer obs ~rip:regs.rip ~kind:Obs.Event.Fetch_only Obs.Event.Allowed;
   Process.Continue
 
 (* ------------------------------------------------------------------ *)
@@ -449,11 +557,49 @@ let hook (t : t) (proc : Process.t) ~sysno ~args:_ : Process.verdict =
     | Fs_off | Fs_hook_only -> Process.Continue
   else full_check t proc.tracer
 
+(** Mirror the legacy counters of the whole enforcement pipeline into a
+    metrics registry as sampled probes.  The original accessors stay
+    authoritative — the registry reads them at snapshot time, so the
+    two views can never disagree (the test suite checks the emitted
+    trace against [calls_made], {!cache_stats} and the shadow probe
+    statistics). *)
+let register_probes (t : t) (tracer : Ptrace.t) (reg : Obs.Metrics.t) =
+  let p name f = Obs.Metrics.register_probe reg name f in
+  let fi f = fun () -> float_of_int (f ()) in
+  p "ptrace.calls_made" (fi (fun () -> tracer.calls_made));
+  p "ptrace.words_read" (fi (fun () -> tracer.words_read));
+  p "ptrace.getregs" (fi (fun () -> tracer.getregs_count));
+  p "ptrace.frames_walked" (fi (fun () -> tracer.frames_walked));
+  p "cache.hits" (fi (fun () -> Verdict_cache.hits t.cache));
+  p "cache.misses" (fi (fun () -> Verdict_cache.misses t.cache));
+  p "cache.records" (fi (fun () -> Verdict_cache.records t.cache));
+  p "cache.epoch" (fi (fun () -> Verdict_cache.epoch t.cache));
+  p "cache.hit_rate" (fun () -> Verdict_cache.hit_rate t.cache);
+  let shadow = t.runtime.shadow in
+  p "shadow.lookups" (fi (fun () -> Shadow_memory.lookup_count shadow));
+  p "shadow.lookup_probes" (fi (fun () -> Shadow_memory.probe_count shadow));
+  p "shadow.mean_probe_length" (fun () -> Shadow_memory.mean_probe_length shadow);
+  p "shadow.inserts" (fi (fun () -> Shadow_memory.insert_count shadow));
+  p "shadow.insert_probes" (fi (fun () -> Shadow_memory.insert_probe_count shadow));
+  p "shadow.mean_insert_probe_length" (fun () ->
+      Shadow_memory.mean_insert_probe_length shadow);
+  p "shadow.entries" (fi (fun () -> Shadow_memory.entry_count shadow));
+  p "monitor.traps_checked" (fi (fun () -> t.traps_checked));
+  p "monitor.denials" (fi (fun () -> List.length t.denials));
+  p "monitor.init_cycles" (fi (fun () -> t.init_cycles));
+  p "machine.cycles" (fi (fun () -> t.machine.stats.cycles));
+  p "machine.instrs" (fi (fun () -> t.machine.stats.instrs));
+  p "machine.syscalls" (fi (fun () -> t.machine.stats.syscalls))
+
 (** Attach the monitor to a booted process: install the seccomp filter
-    and the TRACE hook. *)
+    and the TRACE hook; with a recorder present, also mirror the
+    pipeline's legacy counters into its registry. *)
 let attach (t : t) (proc : Process.t) =
   proc.filter <- Some (build_filter t);
-  proc.tracer_hook <- Some (fun proc ~sysno ~args -> hook t proc ~sysno ~args)
+  proc.tracer_hook <- Some (fun proc ~sysno ~args -> hook t proc ~sysno ~args);
+  match t.recorder with
+  | Some r -> register_probes t proc.tracer (Obs.Recorder.metrics r)
+  | None -> ()
 
 let denials (t : t) = List.rev t.denials
 

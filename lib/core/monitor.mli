@@ -42,6 +42,8 @@ type t = {
   config : config;
   machine : Machine.t;
   cache : Verdict_cache.t;      (** the CT+CF verdict cache *)
+  mutable recorder : Obs.Recorder.t option;
+      (** the flight recorder; observation never charges cycles *)
   mutable traps_checked : int;
   mutable init_cycles : int;    (** metadata-loading cost (§9.2) *)
   mutable denials : denial list;
@@ -53,7 +55,11 @@ type t = {
 
 exception Deny of string * string
 
-val create : meta:Metadata.t -> runtime:Runtime.t -> config:config -> Machine.t -> t
+val create :
+  ?recorder:Obs.Recorder.t ->
+  meta:Metadata.t -> runtime:Runtime.t -> config:config -> Machine.t -> t
+
+val set_recorder : t -> Obs.Recorder.t option -> unit
 
 (** Full verification of one trap (CT, then CF, then AI). *)
 val full_check : t -> Ptrace.t -> Process.verdict
@@ -66,7 +72,14 @@ val fetch_only : t -> Ptrace.t -> Process.verdict
     to KILL. *)
 val build_filter : t -> Kernel.Seccomp.filter
 
-(** Install the filter and TRACE hook on a booted process. *)
+(** Mirror the pipeline's legacy counters ([Ptrace], the verdict cache,
+    the shadow table, the monitor and machine totals) into a metrics
+    registry as sampled probes; the legacy accessors stay
+    authoritative. *)
+val register_probes : t -> Ptrace.t -> Obs.Metrics.t -> unit
+
+(** Install the filter and TRACE hook on a booted process; with a
+    recorder present, also {!register_probes} into its registry. *)
 val attach : t -> Process.t -> unit
 
 (** Denials in chronological order. *)

@@ -11,16 +11,33 @@
 
 type t = {
   shadow : Shadow_memory.t;
+  mutable recorder : Obs.Recorder.t option;
   mutable write_mem_calls : int;
   mutable bind_mem_calls : int;
   mutable bind_const_calls : int;
 }
 
 let create () =
-  { shadow = Shadow_memory.create (); write_mem_calls = 0; bind_mem_calls = 0; bind_const_calls = 0 }
+  { shadow = Shadow_memory.create (); recorder = None; write_mem_calls = 0;
+    bind_mem_calls = 0; bind_const_calls = 0 }
+
+(** Wire a flight recorder to the runtime library: each ctx_* intrinsic
+    is counted (and, when tracing, recorded as an instant event on the
+    trace timeline), and the runtime's call counters are mirrored into
+    the registry as sampled probes. *)
+let attach_recorder (t : t) (r : Obs.Recorder.t) =
+  t.recorder <- Some r;
+  let reg = Obs.Recorder.metrics r in
+  let p name f = Obs.Metrics.register_probe reg name (fun () -> float_of_int (f ())) in
+  p "runtime.write_mem_calls" (fun () -> t.write_mem_calls);
+  p "runtime.bind_mem_calls" (fun () -> t.bind_mem_calls);
+  p "runtime.bind_const_calls" (fun () -> t.bind_const_calls)
 
 let handle (t : t) (m : Machine.t) ~name ~(args : int64 array) : int64 =
   let arg i = if i < Array.length args then args.(i) else 0L in
+  (match t.recorder with
+  | Some r -> Obs.Recorder.record_instant r ~name ~at:m.stats.cycles
+  | None -> ());
   (match name with
   | "ctx_write_mem" ->
     t.write_mem_calls <- t.write_mem_calls + 1;

@@ -5,12 +5,18 @@
 
 type t = {
   shadow : Shadow_memory.t;
+  mutable recorder : Obs.Recorder.t option;
   mutable write_mem_calls : int;
   mutable bind_mem_calls : int;
   mutable bind_const_calls : int;
 }
 
 val create : unit -> t
+
+(** Wire a flight recorder to the runtime library: ctx_* intrinsics are
+    counted (and traced as instant events when tracing is on) and the
+    call counters are mirrored into the registry as probes. *)
+val attach_recorder : t -> Obs.Recorder.t -> unit
 
 (** Execute one intrinsic call (exposed for testing). *)
 val handle : t -> Machine.t -> name:string -> args:int64 array -> int64

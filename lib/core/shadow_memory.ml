@@ -112,6 +112,12 @@ let set_binding t ~id ~pos ~addr = insert t (binding_key ~id ~pos) addr
 let binding t ~id ~pos = find t (binding_key ~id ~pos)
 
 let entry_count t = t.count
+let lookup_count t = t.lookups
+
+(** Total slots examined across all lookups (the raw counter behind
+    {!mean_probe_length}; the observability layer reads per-trap deltas
+    of it). *)
+let probe_count t = t.total_probes
 
 (** Mean probes per lookup so far (ablation statistic). *)
 let mean_probe_length t =

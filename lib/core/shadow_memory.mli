@@ -31,6 +31,13 @@ val binding : t -> id:int -> pos:int -> int64 option
 
 val entry_count : t -> int
 
+(** Lookups performed so far. *)
+val lookup_count : t -> int
+
+(** Total slots examined across all lookups (the raw counter behind
+    {!mean_probe_length}). *)
+val probe_count : t -> int
+
 (** Mean probes per lookup so far (ablation statistic). *)
 val mean_probe_length : t -> float
 

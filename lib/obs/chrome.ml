@@ -1,0 +1,245 @@
+(* The Chrome-trace sink: renders a recorder's flight into the Trace
+   Event Format that Perfetto / chrome://tracing load directly.
+
+   Every trap becomes a B/E duration pair on one track with nested B/E
+   pairs for its CT / CF / AI phase spans; runtime-library intrinsics
+   become instant events.  Timestamps are the machine's modelled cycle
+   counter used as the trace's microsecond axis — relative widths are
+   what matter, and cycles are the repo's native unit of cost.
+
+   The document also embeds the registry snapshot under a top-level
+   "metrics" key (extra keys are legal in the JSON-object trace form),
+   so one file carries both the timeline and the counters; the test
+   suite parses it back with [Report.Json] and checks the embedded
+   counters against the legacy accessors. *)
+
+let schema = "bastion-trace/1"
+
+let trap_pid = 1
+let trap_tid = 1
+
+let common ~name ~cat ~ph ~ts rest : Report.Json.t =
+  let open Report.Json in
+  Obj
+    ([
+       ("name", Str name);
+       ("cat", Str cat);
+       ("ph", Str ph);
+       ("ts", Num (float_of_int ts));
+       ("pid", Num (float_of_int trap_pid));
+       ("tid", Num (float_of_int trap_tid));
+     ]
+    @ rest)
+
+let span_events (ev : Event.t) (sp : Event.span) =
+  let open Report.Json in
+  let name = String.uppercase_ascii (Event.phase_name sp.sp_phase) in
+  let args =
+    ( "args",
+      Obj
+        [
+          ("outcome", Str (Event.outcome_name sp.sp_outcome));
+          ("dur_cycles", Num (float_of_int sp.sp_dur));
+          ("trap_seq", Num (float_of_int ev.ev_seq));
+        ] )
+  in
+  [
+    common ~name ~cat:"phase" ~ph:"B" ~ts:sp.sp_start [ args ];
+    common ~name ~cat:"phase" ~ph:"E" ~ts:(sp.sp_start + sp.sp_dur) [];
+  ]
+
+let trap_events (ev : Event.t) =
+  let open Report.Json in
+  let name = Printf.sprintf "%s:%s" (Event.kind_name ev.ev_kind) ev.ev_sysname in
+  let args =
+    ( "args",
+      Obj
+        ([
+           ("seq", Num (float_of_int ev.ev_seq));
+           ("sysno", Num (float_of_int ev.ev_sysno));
+           ("rip", Str (Printf.sprintf "0x%Lx" ev.ev_rip));
+           ("verdict", Str (Event.verdict_name ev.ev_verdict));
+           ("dur_cycles", Num (float_of_int ev.ev_dur));
+           ("depth", Num (float_of_int ev.ev_depth));
+           ("ptrace_calls", Num (float_of_int ev.ev_ptrace_calls));
+           ("ptrace_words", Num (float_of_int ev.ev_ptrace_words));
+           ("shadow_probes", Num (float_of_int ev.ev_shadow_probes));
+         ]
+        @ (match ev.ev_cache with
+          | None -> []
+          | Some hit -> [ ("cache_hit", Bool hit) ])
+        @
+        match ev.ev_verdict with
+        | Event.Allowed -> []
+        | Event.Denied { d_context; d_detail } ->
+          [ ("context", Str d_context); ("detail", Str d_detail) ]) )
+  in
+  (common ~name ~cat:"trap" ~ph:"B" ~ts:ev.ev_start [ args ]
+  :: List.concat_map (span_events ev) ev.ev_spans)
+  @ [ common ~name ~cat:"trap" ~ph:"E" ~ts:(ev.ev_start + ev.ev_dur) [] ]
+
+let instant_event ~name ~at =
+  common ~name ~cat:"runtime" ~ph:"i" ~ts:at [ ("s", Report.Json.Str "t") ]
+
+(** The full trace document for one recorder. *)
+let document (r : Recorder.t) : Report.Json.t =
+  let open Report.Json in
+  let trace_events =
+    List.concat_map
+      (function
+        | Recorder.Trap ev -> trap_events ev
+        | Recorder.Instant { i_name; i_at } -> [ instant_event ~name:i_name ~at:i_at ])
+      (Recorder.items r)
+  in
+  Obj
+    [
+      ("schema", Str schema);
+      ("displayTimeUnit", Str "ms");
+      ("traceEvents", List trace_events);
+      ("metrics", Metrics.to_json (Recorder.metrics r));
+      ( "otherData",
+        Obj
+          [
+            ("clock", Str "modelled machine cycles (1 cycle = 1 trace us)");
+            ("events_dropped", Num (float_of_int (Recorder.events_dropped r)));
+          ] );
+    ]
+
+let write r path = Report.Json.to_file path (document r)
+
+(* --- reading a trace back (the trace-summary subcommand) -------------- *)
+
+type summary = {
+  sum_traps : int;
+  sum_allowed : int;
+  sum_denied : int;
+  sum_instants : int;
+  sum_by_syscall : (string * (int * int * int)) list;
+      (** name -> (traps, denied, total cycles), busiest first *)
+  sum_by_phase : (string * (int * int)) list;
+      (** phase -> (runs, total cycles), CT/CF/AI order *)
+  sum_counters : (string * float) list;  (** embedded registry counters *)
+}
+
+let begin_events ~cat doc =
+  match Report.Json.(Option.bind (member "traceEvents" doc) to_list) with
+  | None -> []
+  | Some evs ->
+    List.filter
+      (fun e ->
+        Report.Json.(member "ph" e) = Some (Report.Json.Str "B")
+        && Report.Json.(member "cat" e) = Some (Report.Json.Str cat))
+      evs
+
+let str_field key e = Report.Json.(Option.bind (member key e) to_str)
+let arg_of key e = Report.Json.(Option.bind (member "args" e) (member key))
+
+(** Aggregate a parsed trace document. *)
+let summarize (doc : Report.Json.t) : summary =
+  let traps = begin_events ~cat:"trap" doc in
+  let phases = begin_events ~cat:"phase" doc in
+  let instants =
+    match Report.Json.(Option.bind (member "traceEvents" doc) to_list) with
+    | None -> 0
+    | Some evs ->
+      List.length
+        (List.filter (fun e -> Report.Json.(member "ph" e) = Some (Report.Json.Str "i")) evs)
+  in
+  let denied_of e =
+    match Option.bind (arg_of "verdict" e) Report.Json.to_str with
+    | Some "denied" -> 1
+    | _ -> 0
+  in
+  let by_syscall = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let name = Option.value ~default:"?" (str_field "name" e) in
+      let cycles =
+        int_of_float (Option.value ~default:0.0 (Option.bind (arg_of "dur_cycles" e) Report.Json.to_float))
+      in
+      let t, d, c =
+        Option.value ~default:(0, 0, 0) (Hashtbl.find_opt by_syscall name)
+      in
+      Hashtbl.replace by_syscall name (t + 1, d + denied_of e, c + cycles))
+    traps;
+  let by_phase = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let name = Option.value ~default:"?" (str_field "name" e) in
+      let cycles =
+        int_of_float (Option.value ~default:0.0 (Option.bind (arg_of "dur_cycles" e) Report.Json.to_float))
+      in
+      let n, c = Option.value ~default:(0, 0) (Hashtbl.find_opt by_phase name) in
+      Hashtbl.replace by_phase name (n + 1, c + cycles))
+    phases;
+  let counters =
+    match Report.Json.(Option.bind (member "metrics" doc) (member "counters")) with
+    | Some (Report.Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun f -> (k, f)) (Report.Json.to_float v))
+        fields
+    | _ -> []
+  in
+  let denied = List.fold_left (fun acc e -> acc + denied_of e) 0 traps in
+  {
+    sum_traps = List.length traps;
+    sum_allowed = List.length traps - denied;
+    sum_denied = denied;
+    sum_instants = instants;
+    sum_by_syscall =
+      List.sort
+        (fun (_, (_, _, a)) (_, (_, _, b)) -> compare b a)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_syscall []);
+    sum_by_phase =
+      List.filter_map
+        (fun name ->
+          Option.map (fun v -> (name, v)) (Hashtbl.find_opt by_phase name))
+        [ "CT"; "CF"; "AI" ];
+    sum_counters = List.sort (fun (a, _) (b, _) -> String.compare a b) counters;
+  }
+
+(** Pretty-print a parsed trace (the [trace-summary] subcommand). *)
+let render_summary (s : summary) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "traps: %d (%d allowed, %d denied), runtime intrinsics: %d\n\n"
+       s.sum_traps s.sum_allowed s.sum_denied s.sum_instants);
+  if s.sum_by_syscall <> [] then begin
+    Buffer.add_string buf
+      (Report.Table.render
+         ~align:Report.Table.[ L; R; R; R; R ]
+         ~header:[ "trap"; "count"; "denied"; "cycles"; "cycles/trap" ]
+         (List.map
+            (fun (name, (t, d, c)) ->
+              [
+                name; string_of_int t; string_of_int d; string_of_int c;
+                Printf.sprintf "%.1f" (float_of_int c /. float_of_int (max 1 t));
+              ])
+            s.sum_by_syscall));
+    Buffer.add_string buf "\n\n"
+  end;
+  if s.sum_by_phase <> [] then begin
+    Buffer.add_string buf
+      (Report.Table.render
+         ~align:Report.Table.[ L; R; R; R ]
+         ~header:[ "phase"; "runs"; "cycles"; "cycles/run" ]
+         (List.map
+            (fun (name, (n, c)) ->
+              [
+                name; string_of_int n; string_of_int c;
+                Printf.sprintf "%.1f" (float_of_int c /. float_of_int (max 1 n));
+              ])
+            s.sum_by_phase));
+    Buffer.add_string buf "\n\n"
+  end;
+  if s.sum_counters <> [] then begin
+    Buffer.add_string buf
+      (Report.Table.render ~align:Report.Table.[ L; R ]
+         ~header:[ "counter"; "value" ]
+         (List.map
+            (fun (k, v) ->
+              [ k; (if Float.is_integer v then Printf.sprintf "%.0f" v else Printf.sprintf "%.4f" v) ])
+            s.sum_counters));
+    Buffer.add_string buf "\n"
+  end;
+  Buffer.contents buf

@@ -1,0 +1,128 @@
+(* One structured trap event — the flight recorder's unit of record.
+
+   Everything the monitor learns while judging a trap lands here: the
+   per-phase (CT / CF / AI) outcomes and modelled-cycle durations, the
+   verdict, the verdict-cache disposition, the ptrace traffic the trap
+   cost, and the shadow probes it took.  The event is the single source
+   of truth for every sink: the `-v` debug line, the JSONL audit log
+   and the Chrome-trace spans are all formatted from it. *)
+
+type phase = Ct | Cf | Ai
+
+let phase_name = function Ct -> "ct" | Cf -> "cf" | Ai -> "ai"
+
+type outcome =
+  | Passed            (** the phase ran and accepted the trap *)
+  | Failed            (** the phase ran and denied the trap *)
+  | Cached            (** skipped: a verdict-cache hit vouched for it *)
+
+let outcome_name = function
+  | Passed -> "passed"
+  | Failed -> "failed"
+  | Cached -> "cached"
+
+type span = {
+  sp_phase : phase;
+  sp_outcome : outcome;
+  sp_start : int;   (** machine cycles at phase entry *)
+  sp_dur : int;     (** modelled cycles the phase charged *)
+}
+
+type verdict = Allowed | Denied of { d_context : string; d_detail : string }
+
+type kind =
+  | Trap_check      (** a full context-verification trap *)
+  | Fetch_only      (** Table 7 row 2: state fetched, nothing checked *)
+
+let kind_name = function Trap_check -> "trap" | Fetch_only -> "fetch"
+
+type t = {
+  ev_seq : int;             (** recorder-assigned sequence number *)
+  ev_kind : kind;
+  ev_sysno : int;
+  ev_sysname : string;
+  ev_rip : int64;
+  ev_start : int;           (** machine cycles at trap entry *)
+  ev_dur : int;             (** modelled cycles the whole trap charged *)
+  ev_verdict : verdict;
+  ev_spans : span list;     (** phase spans in execution order *)
+  ev_cache : bool option;   (** Some hit when the verdict cache probed *)
+  ev_depth : int;           (** unwound stack depth (0: no walk) *)
+  ev_ptrace_calls : int;    (** process_vm_readv-class calls this trap *)
+  ev_ptrace_words : int;    (** words fetched from the tracee *)
+  ev_shadow_probes : int;   (** shadow-table slots examined *)
+}
+
+let verdict_name = function Allowed -> "allowed" | Denied _ -> "denied"
+
+let denied ev = match ev.ev_verdict with Denied _ -> true | Allowed -> false
+
+(** The `-v` debug line: everything on one line, formatted from the
+    structured event (not from ad-hoc log calls at each check site). *)
+let to_string ev =
+  let spans =
+    match ev.ev_spans with
+    | [] -> ""
+    | spans ->
+      Printf.sprintf " [%s]"
+        (String.concat " "
+           (List.map
+              (fun sp ->
+                Printf.sprintf "%s:%s/%dcy" (phase_name sp.sp_phase)
+                  (outcome_name sp.sp_outcome) sp.sp_dur)
+              spans))
+  in
+  let cache =
+    match ev.ev_cache with
+    | None -> ""
+    | Some true -> " cache=hit"
+    | Some false -> " cache=miss"
+  in
+  let verdict =
+    match ev.ev_verdict with
+    | Allowed -> "allowed"
+    | Denied { d_context; d_detail } ->
+      Printf.sprintf "DENIED %s (%s)" d_context d_detail
+  in
+  Printf.sprintf "%s#%d %s(%d) rip=0x%Lx %s%s%s depth=%d cycles=%d ptrace=%d/%dw probes=%d"
+    (kind_name ev.ev_kind) ev.ev_seq ev.ev_sysname ev.ev_sysno ev.ev_rip verdict
+    cache spans ev.ev_depth ev.ev_dur ev.ev_ptrace_calls ev.ev_ptrace_words
+    ev.ev_shadow_probes
+
+let span_to_json (sp : span) : Report.Json.t =
+  Report.Json.Obj
+    [
+      ("phase", Report.Json.Str (phase_name sp.sp_phase));
+      ("outcome", Report.Json.Str (outcome_name sp.sp_outcome));
+      ("start_cycles", Report.Json.Num (float_of_int sp.sp_start));
+      ("dur_cycles", Report.Json.Num (float_of_int sp.sp_dur));
+    ]
+
+(** One JSONL audit record (an [Obj]; the sink writes it compactly). *)
+let to_json (ev : t) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    ([
+       ("seq", Num (float_of_int ev.ev_seq));
+       ("kind", Str (kind_name ev.ev_kind));
+       ("sysno", Num (float_of_int ev.ev_sysno));
+       ("sysname", Str ev.ev_sysname);
+       ("rip", Str (Printf.sprintf "0x%Lx" ev.ev_rip));
+       ("start_cycles", Num (float_of_int ev.ev_start));
+       ("dur_cycles", Num (float_of_int ev.ev_dur));
+       ("verdict", Str (verdict_name ev.ev_verdict));
+     ]
+    @ (match ev.ev_verdict with
+      | Allowed -> []
+      | Denied { d_context; d_detail } ->
+        [ ("context", Str d_context); ("detail", Str d_detail) ])
+    @ (match ev.ev_cache with
+      | None -> []
+      | Some hit -> [ ("cache_hit", Bool hit) ])
+    @ [
+        ("depth", Num (float_of_int ev.ev_depth));
+        ("ptrace_calls", Num (float_of_int ev.ev_ptrace_calls));
+        ("ptrace_words", Num (float_of_int ev.ev_ptrace_words));
+        ("shadow_probes", Num (float_of_int ev.ev_shadow_probes));
+        ("phases", List (List.map span_to_json ev.ev_spans));
+      ])

@@ -1,0 +1,57 @@
+(** One structured trap event — the flight recorder's unit of record
+    and the single source of truth for every sink (the [-v] debug line,
+    the JSONL audit log, the Chrome-trace spans). *)
+
+type phase = Ct | Cf | Ai
+
+val phase_name : phase -> string
+
+type outcome =
+  | Passed            (** the phase ran and accepted the trap *)
+  | Failed            (** the phase ran and denied the trap *)
+  | Cached            (** skipped: a verdict-cache hit vouched for it *)
+
+val outcome_name : outcome -> string
+
+type span = {
+  sp_phase : phase;
+  sp_outcome : outcome;
+  sp_start : int;   (** machine cycles at phase entry *)
+  sp_dur : int;     (** modelled cycles the phase charged *)
+}
+
+type verdict = Allowed | Denied of { d_context : string; d_detail : string }
+
+type kind =
+  | Trap_check      (** a full context-verification trap *)
+  | Fetch_only      (** Table 7 row 2: state fetched, nothing checked *)
+
+val kind_name : kind -> string
+
+type t = {
+  ev_seq : int;             (** recorder-assigned sequence number *)
+  ev_kind : kind;
+  ev_sysno : int;
+  ev_sysname : string;
+  ev_rip : int64;
+  ev_start : int;           (** machine cycles at trap entry *)
+  ev_dur : int;             (** modelled cycles the whole trap charged *)
+  ev_verdict : verdict;
+  ev_spans : span list;     (** phase spans in execution order *)
+  ev_cache : bool option;   (** Some hit when the verdict cache probed *)
+  ev_depth : int;           (** unwound stack depth (0: no walk) *)
+  ev_ptrace_calls : int;    (** process_vm_readv-class calls this trap *)
+  ev_ptrace_words : int;    (** words fetched from the tracee *)
+  ev_shadow_probes : int;   (** shadow-table slots examined *)
+}
+
+val verdict_name : verdict -> string
+val denied : t -> bool
+
+(** The [-v] debug line, formatted from the structured event. *)
+val to_string : t -> string
+
+val span_to_json : span -> Report.Json.t
+
+(** One JSONL audit record. *)
+val to_json : t -> Report.Json.t

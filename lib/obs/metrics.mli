@@ -1,0 +1,64 @@
+(** The metrics registry: named counters (owned, bumped on the hot
+    path), sampled probes (read-only callbacks over counters that live
+    elsewhere — the legacy accessors stay authoritative and the
+    registry samples them at snapshot time), and log-scaled histograms
+    with p50/p90/p99 summaries. *)
+
+type counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+type histogram
+
+(** Number of power-of-two buckets; bucket [b] holds [2^(b-1), 2^b). *)
+val histogram_buckets : int
+
+(** Record one non-negative integer observation (negatives clamp to 0). *)
+val observe : histogram -> int -> unit
+
+val histogram_count : histogram -> int
+val histogram_min : histogram -> int
+val histogram_max : histogram -> int
+val histogram_mean : histogram -> float
+
+(** Interpolated percentile of [p] in [0,1]: monotone in [p] and
+    clamped to the observed [min, max]. *)
+val percentile : histogram -> float -> float
+
+type summary = {
+  s_count : int;
+  s_min : int;
+  s_max : int;
+  s_mean : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+}
+
+val summarize : histogram -> summary
+
+type t
+
+val create : unit -> t
+
+(** Find-or-create the named counter. *)
+val counter : t -> string -> counter
+
+(** Register (or replace) a sampled probe over an external counter. *)
+val register_probe : t -> string -> (unit -> float) -> unit
+
+(** Find-or-create the named histogram. *)
+val histogram : t -> string -> histogram
+
+(** All counter values (owned and probed), sorted by name; probes are
+    sampled at call time. *)
+val counter_values : t -> (string * float) list
+
+val histogram_summaries : t -> (string * summary) list
+
+val to_json : t -> Report.Json.t
+
+(** End-of-run text summary rendered with {!Report.Table}. *)
+val summary_table : t -> string

@@ -1,0 +1,140 @@
+(* The flight recorder: a bounded ring of structured trap events plus a
+   metrics registry, behind hooks cheap enough to leave compiled in.
+
+   Cost ladder (what a hook does per trap):
+   - no recorder attached            -> one option match in the monitor;
+   - tracing and metrics both off    -> two or three counter bumps
+                                        ([count_trap]; no event is even
+                                        allocated — [armed] is false);
+   - metrics on                      -> counter bumps + histogram
+                                        observations over the event;
+   - tracing on (or [on_event] set)  -> the above + a ring push / the
+                                        live callback.
+
+   The recorder never charges modelled cycles: observation is free on
+   the machine's clock, so a run's cycle totals, verdicts and the
+   Table 6 matrix are identical with the recorder on or off (asserted
+   in the test suite). *)
+
+type item =
+  | Trap of Event.t
+  | Instant of { i_name : string; i_at : int }
+        (** a point event: one ctx_* runtime-library intrinsic *)
+
+type t = {
+  tracing : bool;
+  metrics_on : bool;
+  ring : item Ring.t;
+  registry : Metrics.t;
+  mutable on_event : (Event.t -> unit) option;
+  mutable seq : int;
+  c_traps : Metrics.counter;
+  c_allowed : Metrics.counter;
+  c_denied : Metrics.counter;
+  c_fetches : Metrics.counter;
+  c_intrinsics : Metrics.counter;
+}
+
+let default_ring_capacity = 65536
+
+let create ?(tracing = false) ?(metrics = false) ?(ring_capacity = default_ring_capacity) () =
+  let registry = Metrics.create () in
+  let t =
+    {
+      tracing;
+      metrics_on = metrics;
+      ring = Ring.create ring_capacity;
+      registry;
+      on_event = None;
+      seq = 0;
+      c_traps = Metrics.counter registry "obs.traps";
+      c_allowed = Metrics.counter registry "obs.allowed";
+      c_denied = Metrics.counter registry "obs.denied";
+      c_fetches = Metrics.counter registry "obs.fetches";
+      c_intrinsics = Metrics.counter registry "obs.intrinsics";
+    }
+  in
+  Metrics.register_probe registry "obs.events_dropped" (fun () ->
+      float_of_int (Ring.dropped t.ring));
+  Metrics.register_probe registry "obs.events_recorded" (fun () ->
+      float_of_int (Ring.pushed t.ring));
+  t
+
+let tracing t = t.tracing
+let metrics_enabled t = t.metrics_on
+let metrics t = t.registry
+let set_on_event t fn = t.on_event <- fn
+
+(** Should the monitor build a full structured event for this trap?
+    False only when every consumer is off — then [count_trap] is the
+    whole hook. *)
+let armed t = t.tracing || t.metrics_on || t.on_event <> None
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
+
+(** The disabled-path hook: counter bumps only. *)
+let count_trap t ~denied =
+  Metrics.incr t.c_traps;
+  Metrics.incr (if denied then t.c_denied else t.c_allowed)
+
+let observe_event t (ev : Event.t) =
+  let h name = Metrics.histogram t.registry name in
+  Metrics.observe (h "trap.cycles") ev.ev_dur;
+  Metrics.observe (h "trap.ptrace_calls") ev.ev_ptrace_calls;
+  Metrics.observe (h "trap.ptrace_words") ev.ev_ptrace_words;
+  Metrics.observe (h "trap.shadow_probes") ev.ev_shadow_probes;
+  if ev.ev_depth > 0 then Metrics.observe (h "trap.depth") ev.ev_depth;
+  List.iter
+    (fun (sp : Event.span) ->
+      match sp.sp_outcome with
+      | Event.Passed | Event.Failed ->
+        Metrics.observe (h ("phase." ^ Event.phase_name sp.sp_phase ^ ".cycles")) sp.sp_dur
+      | Event.Cached -> ())
+    ev.ev_spans
+
+(** Record one fully built trap event: counters always, histograms when
+    metrics are on, the ring when tracing, the live callback if set. *)
+let record_trap t (ev : Event.t) =
+  (match ev.ev_kind with
+  | Event.Fetch_only -> Metrics.incr t.c_fetches
+  | Event.Trap_check -> ());
+  count_trap t ~denied:(Event.denied ev);
+  if t.metrics_on then observe_event t ev;
+  if t.tracing then Ring.push t.ring (Trap ev);
+  match t.on_event with None -> () | Some fn -> fn ev
+
+(** Record one runtime-library intrinsic as a point event. *)
+let record_instant t ~name ~at =
+  Metrics.incr t.c_intrinsics;
+  if t.tracing then Ring.push t.ring (Instant { i_name = name; i_at = at })
+
+let items t = Ring.to_list t.ring
+
+let trap_events t =
+  List.filter_map (function Trap ev -> Some ev | Instant _ -> None) (items t)
+
+let events_dropped t = Ring.dropped t.ring
+
+let item_to_json = function
+  | Trap ev -> Event.to_json ev
+  | Instant { i_name; i_at } ->
+    Report.Json.Obj
+      [
+        ("kind", Report.Json.Str "instant");
+        ("name", Report.Json.Str i_name);
+        ("at_cycles", Report.Json.Num (float_of_int i_at));
+      ]
+
+(** The JSONL audit log: one compact JSON object per recorded item. *)
+let write_jsonl t path =
+  let oc = open_out path in
+  Ring.iter t.ring (fun item ->
+      output_string oc (Report.Json.to_compact_string (item_to_json item));
+      output_char oc '\n');
+  close_out oc
+
+(** End-of-run text summary of the registry. *)
+let summary_table t = Metrics.summary_table t.registry

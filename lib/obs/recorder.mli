@@ -1,0 +1,56 @@
+(** The flight recorder: a bounded ring of structured trap events plus
+    a metrics registry, behind hooks cheap enough to leave compiled in
+    (with tracing and metrics off, a trap costs two or three counter
+    bumps and no allocation).  The recorder never charges modelled
+    cycles, so a run behaves identically with it on or off. *)
+
+type item =
+  | Trap of Event.t
+  | Instant of { i_name : string; i_at : int }
+        (** a point event: one ctx_* runtime-library intrinsic *)
+
+type t
+
+val default_ring_capacity : int
+
+(** [create ~tracing ~metrics ()] — [tracing] keeps events in the ring
+    (for the trace/audit sinks), [metrics] feeds the histograms; both
+    default to off. *)
+val create : ?tracing:bool -> ?metrics:bool -> ?ring_capacity:int -> unit -> t
+
+val tracing : t -> bool
+val metrics_enabled : t -> bool
+val metrics : t -> Metrics.t
+
+(** Live per-event callback (the CLI's [-v] sink). *)
+val set_on_event : t -> (Event.t -> unit) option -> unit
+
+(** Should the monitor build a full structured event for this trap?
+    False only when tracing, metrics and the callback are all off. *)
+val armed : t -> bool
+
+val next_seq : t -> int
+
+(** The disabled-path hook: counter bumps only. *)
+val count_trap : t -> denied:bool -> unit
+
+(** Record one fully built trap event. *)
+val record_trap : t -> Event.t -> unit
+
+(** Record one runtime-library intrinsic as a point event. *)
+val record_instant : t -> name:string -> at:int -> unit
+
+(** Recorded items, oldest first. *)
+val items : t -> item list
+
+(** Just the trap events, oldest first. *)
+val trap_events : t -> Event.t list
+
+val events_dropped : t -> int
+val item_to_json : item -> Report.Json.t
+
+(** Write the JSONL audit log: one compact JSON object per item. *)
+val write_jsonl : t -> string -> unit
+
+(** End-of-run text summary of the registry. *)
+val summary_table : t -> string

@@ -1,0 +1,44 @@
+(* A bounded ring buffer: the flight recorder's event store.  Pushing
+   past capacity overwrites the oldest entry and counts it as dropped,
+   so a long run keeps the most recent window at a fixed memory cost. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int;      (* next write position *)
+  mutable length : int;
+  mutable pushed : int;
+  mutable dropped : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; head = 0; length = 0; pushed = 0; dropped = 0 }
+
+let capacity t = Array.length t.buf
+
+let push t x =
+  let cap = capacity t in
+  if t.length = cap then t.dropped <- t.dropped + 1 else t.length <- t.length + 1;
+  t.buf.(t.head) <- Some x;
+  t.head <- (t.head + 1) mod cap;
+  t.pushed <- t.pushed + 1
+
+let length t = t.length
+let pushed t = t.pushed
+let dropped t = t.dropped
+
+(** Contents, oldest first. *)
+let to_list t =
+  let cap = capacity t in
+  let start = (t.head - t.length + cap * 2) mod cap in
+  List.init t.length (fun i ->
+      match t.buf.((start + i) mod cap) with
+      | Some x -> x
+      | None -> assert false)
+
+let iter t f = List.iter f (to_list t)
+
+let clear t =
+  Array.fill t.buf 0 (capacity t) None;
+  t.head <- 0;
+  t.length <- 0

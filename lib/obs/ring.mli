@@ -1,0 +1,26 @@
+(** A bounded ring buffer (the flight recorder's event store): pushing
+    past capacity overwrites the oldest entry and counts it as dropped,
+    keeping the most recent window at a fixed memory cost. *)
+
+type 'a t
+
+(** @raise Invalid_argument if [capacity <= 0]. *)
+val create : int -> 'a t
+
+val capacity : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+(** Entries currently held (≤ capacity). *)
+val length : 'a t -> int
+
+(** Total pushes since creation. *)
+val pushed : 'a t -> int
+
+(** Entries overwritten because the ring was full. *)
+val dropped : 'a t -> int
+
+(** Contents, oldest first. *)
+val to_list : 'a t -> 'a list
+
+val iter : 'a t -> ('a -> unit) -> unit
+val clear : 'a t -> unit

@@ -29,10 +29,15 @@ let escape_string s =
     s;
   Buffer.contents buf
 
+(* JSON has no representation for non-finite numbers; `%.12g` would
+   print `nan`/`inf` and corrupt the document, so those emit `null`. *)
 let number_to_string f =
-  if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.12g" f
+  match Float.classify_float f with
+  | Float.FP_nan | Float.FP_infinite -> "null"
+  | _ ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.12g" f
 
 let rec write buf indent (v : t) =
   let pad n = String.make n ' ' in
@@ -76,6 +81,41 @@ let to_string (v : t) =
   let buf = Buffer.create 256 in
   write buf 0 v;
   Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* Single-line emission, for JSONL sinks (one record per line). *)
+let rec write_compact buf (v : t) =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> Buffer.add_string buf (number_to_string f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape_string s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write_compact buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf "\":";
+        write_compact buf item)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_compact_string (v : t) =
+  let buf = Buffer.create 128 in
+  write_compact buf v;
   Buffer.contents buf
 
 let to_file path (v : t) =

@@ -120,7 +120,7 @@ let protected_of (app : app) ~fs =
     Hashtbl.replace cache app.app_key p;
     p
 
-let run ?(cost = Machine.Cost.default) ?(trap_cache = true) (app : app)
+let run ?(cost = Machine.Cost.default) ?(trap_cache = true) ?recorder (app : app)
     (defense : defense) : measurement =
   let machine_config cet = { Machine.default_config with cet; cost } in
   let machine, process, monitor =
@@ -154,14 +154,14 @@ let run ?(cost = Machine.Cost.default) ?(trap_cache = true) (app : app)
       let session =
         Bastion.Api.launch ~machine_config:(machine_config true)
           ~monitor_config:{ Bastion.Monitor.default_config with contexts; trap_cache }
-          (protected_of app ~fs:false) ()
+          ?recorder (protected_of app ~fs:false) ()
       in
       (session.machine, session.process, Some session.monitor)
     | Bastion_fs mode ->
       let session =
         Bastion.Api.launch ~machine_config:(machine_config true)
           ~monitor_config:{ Bastion.Monitor.default_config with fs_mode = mode; trap_cache }
-          (protected_of app ~fs:true) ()
+          ?recorder (protected_of app ~fs:true) ()
       in
       (session.machine, session.process, Some session.monitor)
   in

@@ -51,9 +51,13 @@ exception Benign_run_died of string
 (** Run an app under a defense.  [cost] overrides the machine cost
     table (e.g. {!Machine.Cost.in_kernel_monitor}); [trap_cache]
     toggles the monitor's CT+CF verdict cache (default on), for the
-    fast-path ablation.
+    fast-path ablation; [recorder] wires a flight recorder through the
+    monitored configurations (ignored by the unmonitored baselines —
+    observation never changes a run's cycles or verdicts).
     @raise Benign_run_died if the run faults. *)
-val run : ?cost:Machine.Cost.t -> ?trap_cache:bool -> app -> defense -> measurement
+val run :
+  ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?recorder:Obs.Recorder.t ->
+  app -> defense -> measurement
 
 (** Relative overhead (%) against a baseline measurement, respecting the
     metric direction. *)
