@@ -1,4 +1,4 @@
-.PHONY: all build test check bench trace-demo clean
+.PHONY: all build test lint check bench trace-demo clean
 
 all: build
 
@@ -8,8 +8,15 @@ build:
 test:
 	dune runtest
 
-# Build everything, then run the full test suite.
-check:
+# The metadata-soundness lint gate: every workload model must produce
+# zero diagnostics (the CI job runs the same three commands).
+lint:
+	dune exec bin/bastion_cli.exe -- lint --app nginx
+	dune exec bin/bastion_cli.exe -- lint --app sqlite
+	dune exec bin/bastion_cli.exe -- lint --app vsftpd
+
+# Build everything, then run the lint gate.
+check: lint
 	dune build @check
 
 bench:

@@ -3,12 +3,15 @@
    statistics, the ablation benches, and Bechamel micro-benchmarks.
 
    Usage:  dune exec bench/main.exe [section ...] [--json PATH]
+                                    [--json-static PATH]
    Sections: figure3 table3 table4 table5 table6 table7 stats ablations
-             micro all (default: all)
+             static micro all (default: all)
 
    --json PATH writes machine-readable cycle totals / overhead % per
    configuration (including the trap-cache on/off ablation pair) to
-   PATH; given alone it skips the printed sections. *)
+   PATH; --json-static PATH writes the constant-argument
+   pre-resolution ablation; either given alone skips the printed
+   sections. *)
 
 let sections =
   [
@@ -19,24 +22,27 @@ let sections =
     ("table7", fun () -> Table7.run ());
     ("stats", fun () -> Stats9.run ());
     ("ablations", fun () -> Ablations.run ());
+    ("static", fun () -> Static_preres.run ());
     ("micro", fun () -> Micro.run ());
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* Split off a `--json PATH` pair before section selection. *)
-  let rec extract_json acc = function
-    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
-    | "--json" :: [] ->
-      prerr_endline "--json requires a PATH argument";
+  let rec extract_json flag acc = function
+    | f :: path :: rest when String.equal f flag -> (Some path, List.rev_append acc rest)
+    | f :: [] when String.equal f flag ->
+      Printf.eprintf "%s requires a PATH argument\n" flag;
       exit 2
-    | arg :: rest -> extract_json (arg :: acc) rest
+    | arg :: rest -> extract_json flag (arg :: acc) rest
     | [] -> (None, List.rev acc)
   in
-  let json_path, args = extract_json [] args in
+  let json_path, args = extract_json "--json" [] args in
+  let json_static_path, args = extract_json "--json-static" [] args in
   let wanted =
     match args with
-    | [] when json_path <> None -> []  (* JSON-only invocation *)
+    | [] when json_path <> None || json_static_path <> None ->
+      []  (* JSON-only invocation *)
     | [] | [ "all" ] -> List.map fst sections
     | args ->
       (* table3 is printed together with figure3. *)
@@ -57,4 +63,7 @@ let () =
     Printf.printf "sections: %s\n\n" (String.concat ", " (List.map fst requested));
     List.iter (fun (_, f) -> f ()) requested
   end;
-  match json_path with None -> () | Some path -> Json_out.emit path
+  (match json_path with None -> () | Some path -> Json_out.emit path);
+  match json_static_path with
+  | None -> ()
+  | Some path -> Static_preres.emit path

@@ -1,0 +1,102 @@
+(* The constant-argument pre-resolution ablation
+   (`bench/main.exe --json-static PATH`): full BASTION per app, trap
+   cache on, with pre-resolution off and on.  The off-configuration
+   numbers must be byte-identical to the corresponding
+   BENCH_trap_fastpath.json records — pre-resolution only ever REPLACES
+   shadow probes, it never changes what a run executes.  The on-record
+   adds the count of AI slots verified against the static constant. *)
+
+module D = Workloads.Drivers
+module J = Report.Json
+
+let record ~(app : D.app) ~(baseline : D.measurement) ~pre_resolve
+    (m : D.measurement) : J.t =
+  let preres_fields =
+    match m.D.m_monitor with
+    | None -> []
+    | Some monitor ->
+      [
+        ( "pre_resolved_hits",
+          J.Num (float_of_int (Bastion.Monitor.pre_resolved_hits monitor)) );
+      ]
+  in
+  J.Obj
+    ([
+       ("app", J.Str app.D.app_name);
+       ("defense", J.Str (D.defense_name m.D.m_defense));
+       ("pre_resolve", J.Bool pre_resolve);
+       ("metric", J.Num m.D.m_metric);
+       ("metric_name", J.Str app.D.metric_name);
+       ("cycles", J.Num (float_of_int m.D.m_cycles));
+       ( "overhead_pct",
+         J.Num
+           (D.overhead_pct ~baseline m ~higher_is_better:app.D.higher_is_better)
+       );
+       ("traps", J.Num (float_of_int m.D.m_traps));
+       ("syscalls", J.Num (float_of_int m.D.m_syscalls));
+     ]
+    @ preres_fields)
+
+let resolved_slots (app : D.app) =
+  Bastion_analysis.Preresolve.resolved_slots
+    (D.protected_of ~pre_resolve:true app ~fs:false)
+
+let document () : J.t =
+  let apps = [ D.nginx (); D.sqlite (); D.vsftpd () ] in
+  let results =
+    List.concat_map
+      (fun (app : D.app) ->
+        let baseline = D.run app D.Vanilla in
+        List.map
+          (fun pre_resolve ->
+            record ~app ~baseline ~pre_resolve
+              (D.run ~pre_resolve app D.Bastion_full))
+          [ false; true ])
+      apps
+  in
+  let slots =
+    J.Obj
+      (List.map
+         (fun (app : D.app) ->
+           (app.D.app_name, J.Num (float_of_int (resolved_slots app))))
+         apps)
+  in
+  J.Obj
+    [
+      ("schema", J.Str "bastion-bench-static/1");
+      ( "note",
+        J.Str
+          "constant-argument pre-resolution ablation: full BASTION, trap \
+           cache on; pre_resolve toggles static verification of \
+           provably-constant AI slots (the off-records match \
+           BENCH_trap_fastpath.json)" );
+      ("pre_resolved_slots", slots);
+      ("results", J.List results);
+    ]
+
+let emit path =
+  let doc = document () in
+  J.to_file path doc;
+  Printf.printf "static pre-resolution bench JSON written to %s\n" path
+
+(* Printed section (`bench/main.exe static`). *)
+let run () =
+  print_endline "Constant-argument pre-resolution (static analysis ablation)";
+  print_endline "-----------------------------------------------------------";
+  let apps = [ D.nginx (); D.sqlite (); D.vsftpd () ] in
+  List.iter
+    (fun (app : D.app) ->
+      let off = D.run app D.Bastion_full in
+      let on = D.run ~pre_resolve:true app D.Bastion_full in
+      let hits =
+        match on.D.m_monitor with
+        | Some m -> Bastion.Monitor.pre_resolved_hits m
+        | None -> 0
+      in
+      Printf.printf
+        "  %-8s slots=%d  cycles off=%d on=%d  saved=%d  static AI hits=%d\n"
+        app.D.app_name (resolved_slots app) off.D.m_cycles on.D.m_cycles
+        (off.D.m_cycles - on.D.m_cycles)
+        hits)
+    apps;
+  print_newline ()

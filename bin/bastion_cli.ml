@@ -9,6 +9,10 @@
          paper's metric plus overhead vs the unprotected baseline;
          --trace/--audit/--metrics arm the flight recorder
 
+     bastion lint --app nginx [--fs] [--pre-resolve]
+         run the metadata-soundness linter over an application model;
+         exits non-zero if any diagnostic fires
+
      bastion trace-summary FILE
          summarise a Chrome-trace file written by `bastion run --trace`
 
@@ -94,6 +98,13 @@ let analyze verbose app fs dump_ir emit_metadata =
           (if ct.directly then "direct " else "")
           (if ct.indirectly then "indirect" else ""))
     Kernel.Syscalls.table;
+  let diags = Bastion_analysis.Lint.check protected_prog in
+  let enriched = Bastion_analysis.Preresolve.enrich protected_prog in
+  print_endline "\nStatic soundness:";
+  Printf.printf "  linter diagnostics        : %d\n" (List.length diags);
+  Printf.printf "  pre-resolvable AI slots   : %d (over %d callsites)\n"
+    (Bastion_analysis.Preresolve.resolved_slots enriched)
+    (Hashtbl.length enriched.pre_resolved);
   `Ok ()
 
 let analyze_cmd =
@@ -112,9 +123,55 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Run the BASTION compiler pass over an application model")
     Term.(ret (const analyze $ verbose_arg $ app_arg $ fs $ dump $ emit))
 
+(* --- lint ------------------------------------------------------------- *)
+
+let lint verbose app fs pre_resolve =
+  setup_logs verbose;
+  let prog = prog_of_name app in
+  let protected_prog = Bastion.Api.protect ~protect_filesystem:fs prog in
+  let protected_prog =
+    if pre_resolve then Bastion_analysis.Preresolve.enrich protected_prog
+    else protected_prog
+  in
+  match Bastion_analysis.Lint.check protected_prog with
+  | [] ->
+    Printf.printf "%s%s: metadata sound, 0 diagnostics\n" app
+      (if fs then " (+ filesystem syscalls)" else "");
+    `Ok ()
+  | diags ->
+    List.iter
+      (fun d -> Format.printf "%a@." Bastion_analysis.Lint.pp_diag d)
+      diags;
+    `Error
+      ( false,
+        Printf.sprintf "%d metadata-soundness diagnostic%s for %s"
+          (List.length diags)
+          (if List.length diags = 1 then "" else "s")
+          app )
+
+let lint_cmd =
+  let fs =
+    Arg.(
+      value & flag
+      & info [ "fs" ]
+          ~doc:"Lint the filesystem-extended protection (§11.2).")
+  in
+  let pre_resolve =
+    Arg.(
+      value & flag
+      & info [ "pre-resolve" ]
+          ~doc:"Run constant-argument pre-resolution first and lint the \
+                stored results too.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Cross-check the emitted metadata against the program (exit \
+             non-zero on any diagnostic)")
+    Term.(ret (const lint $ verbose_arg $ app_arg $ fs $ pre_resolve))
+
 (* --- run -------------------------------------------------------------- *)
 
-let run_workload verbose app defense no_trap_cache trace metrics audit =
+let run_workload verbose app defense no_trap_cache pre_resolve trace metrics audit =
   setup_logs verbose;
   let trap_cache = not no_trap_cache in
   let a = app_of_name app in
@@ -136,9 +193,10 @@ let run_workload verbose app defense no_trap_cache trace metrics audit =
            else Logs.debug (fun m -> m "%s" (Obs.Event.to_string ev))))
   | _ -> ());
   let baseline = Workloads.Drivers.run a Workloads.Drivers.Vanilla in
-  let m = Workloads.Drivers.run ~trap_cache ?recorder a defense in
-  Printf.printf "%s under %s%s\n" a.app_name (Workloads.Drivers.defense_name defense)
-    (if no_trap_cache then " (trap verdict cache off)" else "");
+  let m = Workloads.Drivers.run ~trap_cache ~pre_resolve ?recorder a defense in
+  Printf.printf "%s under %s%s%s\n" a.app_name (Workloads.Drivers.defense_name defense)
+    (if no_trap_cache then " (trap verdict cache off)" else "")
+    (if pre_resolve then " (constant arguments pre-resolved)" else "");
   Printf.printf "  metric    : %.2f %s (baseline %.2f)\n" m.m_metric a.metric_name
     baseline.m_metric;
   Printf.printf "  overhead  : %.2f%%\n"
@@ -153,7 +211,10 @@ let run_workload verbose app defense no_trap_cache trace metrics audit =
   | Some monitor ->
     let hits, misses, rate = Bastion.Monitor.cache_stats monitor in
     Printf.printf "  trap cache: %d hits, %d misses (%.1f%% hit rate)\n" hits misses
-      (rate *. 100.0));
+      (rate *. 100.0);
+    if pre_resolve then
+      Printf.printf "  AI slots verified statically: %d\n"
+        (Bastion.Monitor.pre_resolved_hits monitor));
   (match recorder with
   | None -> ()
   | Some r ->
@@ -188,6 +249,14 @@ let run_cmd =
           ~doc:"Disable the monitor's CT+CF verdict cache (the trap fast \
                 path); every trap then re-runs the full context checks.")
   in
+  let pre_resolve =
+    Arg.(
+      value & flag
+      & info [ "pre-resolve" ]
+          ~doc:"Pre-resolve provably-constant syscall arguments statically; \
+                the monitor verifies those AI slots against the stored \
+                constant without probing the shadow.")
+  in
   let trace =
     Arg.(
       value
@@ -213,8 +282,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a defense configuration")
     Term.(
       ret
-        (const run_workload $ verbose_arg $ app_arg $ defense $ no_trap_cache $ trace
-       $ metrics $ audit))
+        (const run_workload $ verbose_arg $ app_arg $ defense $ no_trap_cache
+       $ pre_resolve $ trace $ metrics $ audit))
 
 (* --- trace-summary ----------------------------------------------------- *)
 
@@ -326,4 +395,5 @@ let () =
   let info = Cmd.info "bastion" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ analyze_cmd; run_cmd; attack_cmd; list_cmd; trace_summary_cmd ]))
+       (Cmd.group info
+          [ analyze_cmd; lint_cmd; run_cmd; attack_cmd; list_cmd; trace_summary_cmd ]))

@@ -1,0 +1,34 @@
+(** Interprocedural constant propagation over SIL: a flat lattice per
+    variable ([Known c] iff every analysed path assigns the same
+    constant), edge-sensitive branch folding, per-parameter summaries
+    joined over direct callsites and iterated to fixpoint from the
+    entry function.  Address-taken locals, uninitialised locals and
+    non-frozen globals are [Top]; address-taken functions take unknown
+    arguments.  A [Known c] judgement is sound: the operand evaluates
+    to [c] in every benign execution reaching that point. *)
+
+type value = Top | Known of int64
+
+val value_equal : value -> value -> bool
+val value_join : value -> value -> value
+val pp_value : Format.formatter -> value -> unit
+
+type t
+
+(** Globals whose value is one word for the whole run: scalar
+    initialiser, never stored to, never address-taken anywhere. *)
+val frozen_globals : Sil.Prog.t -> (string, int64) Hashtbl.t
+
+val analyze : Sil.Prog.t -> t
+
+(** Abstract value of an operand just before the instruction at the
+    location; [Top] when the point was never reached. *)
+val value_of_operand : t -> Sil.Loc.t -> Sil.Operand.t -> value
+
+val frozen_global : t -> string -> int64 option
+
+(** Was the function reached (analysed) at all? *)
+val reached : t -> string -> bool
+
+(** Per-function parameter summary, when the function was reached. *)
+val summary : t -> string -> value array option

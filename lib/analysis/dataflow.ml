@@ -1,0 +1,163 @@
+(* A generic worklist dataflow engine over a function's block CFG.
+
+   The client supplies a join-semilattice and a per-instruction transfer
+   function; the engine iterates to a fixpoint in either direction.
+   Bottom is represented by absence: a block with no recorded state was
+   never reached along any analysed path (forward: unreachable from
+   entry, e.g. behind a folded branch; backward: cannot reach an exit).
+
+   Forward analyses may also supply [edges], an edge-sensitive
+   out-function mapping a block's exit state to per-successor states —
+   this is how constant propagation folds branches on known
+   conditions. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) = struct
+  type result = {
+    df_func : Sil.Func.t;
+    df_dir : direction;
+    df_in : (string, L.t) Hashtbl.t;
+        (** per block: state at the block's start (program order) *)
+    df_out : (string, L.t) Hashtbl.t;
+        (** per block: state at the block's end (program order) *)
+    df_transfer : Sil.Loc.t -> Sil.Instr.t -> L.t -> L.t;
+  }
+
+  let join_into tbl label state =
+    match Hashtbl.find_opt tbl label with
+    | None ->
+      Hashtbl.replace tbl label state;
+      true
+    | Some old ->
+      let joined = L.join old state in
+      if L.equal joined old then false
+      else begin
+        Hashtbl.replace tbl label joined;
+        true
+      end
+
+  (** Apply the transfer function across a whole block, forward. *)
+  let flow_forward transfer (f : Sil.Func.t) (b : Sil.Func.block) state =
+    let s = ref state in
+    Array.iteri
+      (fun idx ins -> s := transfer (Sil.Loc.make f.fname b.label idx) ins !s)
+      b.instrs;
+    !s
+
+  let flow_backward transfer (f : Sil.Func.t) (b : Sil.Func.block) state =
+    let s = ref state in
+    for idx = Array.length b.instrs - 1 downto 0 do
+      s := transfer (Sil.Loc.make f.fname b.label idx) b.instrs.(idx) !s
+    done;
+    !s
+
+  let is_exit (b : Sil.Func.block) =
+    match b.term with Ret _ | Halt -> true | Jump _ | Branch _ -> false
+
+  let run ~(dir : direction) ~(init : L.t)
+      ~(transfer : Sil.Loc.t -> Sil.Instr.t -> L.t -> L.t)
+      ?(edges : (Sil.Func.block -> L.t -> (string * L.t) list) option)
+      (f : Sil.Func.t) : result =
+    let blocks = Sil.Cfg.block_map f in
+    let df_in = Hashtbl.create 16 in
+    let df_out = Hashtbl.create 16 in
+    let work = Queue.create () in
+    let queued = Hashtbl.create 16 in
+    let push label =
+      if not (Hashtbl.mem queued label) then begin
+        Hashtbl.replace queued label ();
+        Queue.push label work
+      end
+    in
+    (match dir with
+    | Forward ->
+      let entry = (Sil.Func.entry_block f).label in
+      Hashtbl.replace df_in entry init;
+      push entry
+    | Backward ->
+      List.iter
+        (fun (b : Sil.Func.block) ->
+          if is_exit b then begin
+            Hashtbl.replace df_out b.label init;
+            push b.label
+          end)
+        f.blocks);
+    let preds = lazy (Sil.Cfg.predecessors f) in
+    while not (Queue.is_empty work) do
+      let label = Queue.pop work in
+      Hashtbl.remove queued label;
+      let b = Hashtbl.find blocks label in
+      match dir with
+      | Forward ->
+        let s_in = Hashtbl.find df_in label in
+        let s_out = flow_forward transfer f b s_in in
+        Hashtbl.replace df_out label s_out;
+        let outs =
+          match edges with
+          | Some e -> e b s_out
+          | None -> List.map (fun l -> (l, s_out)) (Sil.Cfg.successors b.term)
+        in
+        List.iter
+          (fun (succ, st) ->
+            if Hashtbl.mem blocks succ && join_into df_in succ st then push succ)
+          outs
+      | Backward ->
+        let s_out = Hashtbl.find df_out label in
+        let s_in = flow_backward transfer f b s_out in
+        Hashtbl.replace df_in label s_in;
+        List.iter
+          (fun pred -> if join_into df_out pred s_in then push pred)
+          (Option.value ~default:[] (Hashtbl.find_opt (Lazy.force preds) label))
+    done;
+    { df_func = f; df_dir = dir; df_in; df_out; df_transfer = transfer }
+
+  (** Fixpoint state at a block boundary; [None] when the block was
+      never reached (bottom). *)
+  let block_in (r : result) label = Hashtbl.find_opt r.df_in label
+
+  let block_out (r : result) label = Hashtbl.find_opt r.df_out label
+
+  (** State holding just before the instruction at [loc] in program
+      order (for a backward analysis: the facts established by the rest
+      of the program from [loc] on).  [None] when the enclosing block
+      was never reached. *)
+  let before (r : result) (loc : Sil.Loc.t) : L.t option =
+    match
+      List.find_opt
+        (fun (b : Sil.Func.block) -> String.equal b.label loc.block)
+        r.df_func.blocks
+    with
+    | None -> None
+    | Some b -> (
+      match r.df_dir with
+      | Forward -> (
+        match Hashtbl.find_opt r.df_in b.label with
+        | None -> None
+        | Some s ->
+          let s = ref s in
+          for idx = 0 to min loc.index (Array.length b.instrs) - 1 do
+            s :=
+              r.df_transfer (Sil.Loc.make r.df_func.fname b.label idx)
+                b.instrs.(idx) !s
+          done;
+          Some !s)
+      | Backward -> (
+        match Hashtbl.find_opt r.df_out b.label with
+        | None -> None
+        | Some s ->
+          let s = ref s in
+          for idx = Array.length b.instrs - 1 downto loc.index do
+            s :=
+              r.df_transfer (Sil.Loc.make r.df_func.fname b.label idx)
+                b.instrs.(idx) !s
+          done;
+          Some !s))
+end

@@ -1,0 +1,48 @@
+(** A generic worklist dataflow engine over a function's block CFG.
+
+    The client supplies a join-semilattice and a transfer function; the
+    engine iterates to a fixpoint forward or backward.  Bottom is
+    represented by absence: a block without a recorded state was never
+    reached along any analysed path. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) : sig
+  type result = {
+    df_func : Sil.Func.t;
+    df_dir : direction;
+    df_in : (string, L.t) Hashtbl.t;
+    df_out : (string, L.t) Hashtbl.t;
+    df_transfer : Sil.Loc.t -> Sil.Instr.t -> L.t -> L.t;
+  }
+
+  (** Run to fixpoint.  Forward analyses may supply [edges], an
+      edge-sensitive out-function from a block's exit state to
+      per-successor states (how constant propagation folds branches on
+      known conditions); omitted, every successor receives the block's
+      exit state. *)
+  val run :
+    dir:direction ->
+    init:L.t ->
+    transfer:(Sil.Loc.t -> Sil.Instr.t -> L.t -> L.t) ->
+    ?edges:(Sil.Func.block -> L.t -> (string * L.t) list) ->
+    Sil.Func.t ->
+    result
+
+  (** Fixpoint state at a block's start/end in program order; [None]
+      when the block was never reached (bottom). *)
+  val block_in : result -> string -> L.t option
+
+  val block_out : result -> string -> L.t option
+
+  (** State holding just before the instruction at [loc] in program
+      order; [None] when the enclosing block was never reached. *)
+  val before : result -> Sil.Loc.t -> L.t option
+end

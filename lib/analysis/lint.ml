@@ -1,0 +1,495 @@
+(* The metadata-soundness linter: cross-check the emitted CT/CF/AI
+   metadata and the instrumented module against the original program.
+
+   BASTION's runtime guarantees are only as strong as the compiler pass
+   that emits the metadata — a dropped ctx_write_mem or a missing
+   callee->caller pair silently weakens a context with no benign-run
+   symptom.  Each rule here states an invariant the instrumentation
+   pass is supposed to establish and reports where it fails:
+
+   - CF chains: every sensitive callsite reachable from the entry
+     function has a closed callee->caller chain in [valid_callers],
+     terminating at the entry function or at a legitimate
+     indirect-call boundary; every indirect callsite is in the
+     legitimate set.
+   - Dead callsites: a sensitive callsite in unreachable code inflates
+     the seccomp filter (the syscall stays TRACEd though no benign run
+     can reach it).
+   - AI coverage: every definition of a sensitive variable (and every
+     store through a pointer that provably aims at a sensitive object)
+     is immediately followed by its ctx_write_mem; every sensitive
+     local is synced at function entry over its full extent; every
+     argument position of a sensitive syscall plan is bound; per
+     reaching-definitions, values copied into a bound variable come
+     from tracked sources.
+   - Call types: no address-taken function classified not-callable, no
+     directly-called stub without the directly-callable bit — and the
+     converse overbreadth directions, which weaken the filter.
+   - Pre-resolution: stored constant-argument results must agree with a
+     fresh constant-propagation run. *)
+
+module I = Bastion.Instrument
+module A = Bastion.Arg_analysis
+
+type kind =
+  | Dead_sensitive_callsite
+  | Broken_cf_chain
+  | Missing_entry_sync
+  | Uncovered_def
+  | Untracked_source
+  | Unbound_argument
+  | Not_callable_misclass
+  | Overbroad_calltype
+  | Stale_pre_resolution
+
+let kind_name = function
+  | Dead_sensitive_callsite -> "dead-sensitive-callsite"
+  | Broken_cf_chain -> "broken-cf-chain"
+  | Missing_entry_sync -> "missing-entry-sync"
+  | Uncovered_def -> "uncovered-def"
+  | Untracked_source -> "untracked-source"
+  | Unbound_argument -> "unbound-argument"
+  | Not_callable_misclass -> "not-callable-misclass"
+  | Overbroad_calltype -> "overbroad-calltype"
+  | Stale_pre_resolution -> "stale-pre-resolution"
+
+type diag = { d_kind : kind; d_loc : Sil.Loc.t option; d_msg : string }
+
+let pp_diag fmt (d : diag) =
+  match d.d_loc with
+  | Some loc ->
+    Format.fprintf fmt "%s %s: %s" (kind_name d.d_kind) (Sil.Loc.to_string loc)
+      d.d_msg
+  | None -> Format.fprintf fmt "%s: %s" (kind_name d.d_kind) d.d_msg
+
+let is_app (f : Sil.Func.t) =
+  match f.kind with
+  | Sil.Func.App_code -> true
+  | Sil.Func.Syscall_stub _ | Sil.Func.Intrinsic _ -> false
+
+let intrinsic_names =
+  [ I.write_mem_name; I.bind_mem_name; I.bind_const_name ]
+
+(* ------------------------------------------------------------------ *)
+(* Reachability over the instrumented program: direct edges plus
+   indirect edges to every arity-matching address-taken function.      *)
+
+let reachable_funcs (prog : Sil.Prog.t) (cg : Sil.Callgraph.t) :
+    (string, unit) Hashtbl.t =
+  let arity (f : Sil.Func.t) = List.length f.params in
+  let indirect_matches n =
+    Sil.Callgraph.Sset.fold
+      (fun fname acc ->
+        match Hashtbl.find_opt prog.funcs fname with
+        | Some f when arity f = n -> fname :: acc
+        | Some _ | None -> acc)
+      cg.address_taken []
+  in
+  let reached = Hashtbl.create 32 in
+  let work = Queue.create () in
+  let visit fname =
+    if not (Hashtbl.mem reached fname) then begin
+      Hashtbl.replace reached fname ();
+      Queue.push fname work
+    end
+  in
+  visit prog.entry;
+  while not (Queue.is_empty work) do
+    let fname = Queue.pop work in
+    match Hashtbl.find_opt prog.funcs fname with
+    | None -> ()
+    | Some f ->
+      List.iter
+        (fun ((_ : Sil.Loc.t), ins) ->
+          match (ins : Sil.Instr.t) with
+          | Call { target = Direct callee; _ } -> visit callee
+          | Call { target = Indirect _; args; _ } ->
+            List.iter visit (indirect_matches (List.length args))
+          | Assign _ | Store _ -> ())
+        (Sil.Func.instrs f)
+  done;
+  reached
+
+(* ------------------------------------------------------------------ *)
+(* The write_mem pair the instrumenter emits after a definition:
+     Assign (tmp, Addr_of place); Call ctx_write_mem [Var tmp; Const n] *)
+
+let write_pair_at (instrs : Sil.Instr.t array) i (place : Sil.Place.t) :
+    int64 option =
+  if i + 1 >= Array.length instrs then None
+  else
+    match (instrs.(i), instrs.(i + 1)) with
+    | ( Sil.Instr.Assign (tmp, Sil.Instr.Addr_of p),
+        Sil.Instr.Call { target = Direct callee; args = [ Var tmp'; Const n ]; _ } )
+      when String.equal callee I.write_mem_name
+           && tmp.Sil.Operand.vid = tmp'.Sil.Operand.vid
+           && Sil.Place.equal p place ->
+      Some n
+    | _ -> None
+
+let check (p : Bastion.Api.protected) : diag list =
+  let diags = ref [] in
+  let add ?loc kind fmt =
+    Printf.ksprintf
+      (fun msg -> diags := { d_kind = kind; d_loc = loc; d_msg = msg } :: !diags)
+      fmt
+  in
+  let iprog = p.inst.iprog in
+  let icg = Sil.Callgraph.build iprog in
+  let reached = reachable_funcs iprog icg in
+  let arity_matching_indirect_exists =
+    let arities =
+      List.fold_left
+        (fun acc (cs : Sil.Callgraph.callsite) ->
+          let n = List.length cs.cs_args in
+          if List.mem n acc then acc else n :: acc)
+        [] icg.indirect_callsites
+    in
+    fun fname ->
+      match Hashtbl.find_opt iprog.funcs fname with
+      | Some f -> List.mem (List.length f.params) arities
+      | None -> false
+  in
+
+  (* --- Dead sensitive callsites and CF chain closure --------------- *)
+  Sil.Loc.Set.iter
+    (fun (loc : Sil.Loc.t) ->
+      if not (Hashtbl.mem reached loc.func) then
+        add ~loc Dead_sensitive_callsite
+          "sensitive callsite in %s, which is unreachable from %s (keeps the \
+           syscall TRACEd in the filter for nothing)"
+          loc.func iprog.entry
+      else
+        match Hashtbl.find_opt iprog.funcs loc.func with
+        | None ->
+          add ~loc Dead_sensitive_callsite "sensitive callsite in unknown function %s"
+            loc.func
+        | Some f ->
+          if not (Sil.Cfg.Sset.mem loc.block (Sil.Cfg.reachable_blocks f)) then
+            add ~loc Dead_sensitive_callsite
+              "sensitive callsite in unreachable block %s of %s" loc.block loc.func
+          else begin
+            (* Replay the monitor's unwind statically: from the
+               trapping function, every chain of valid caller sites
+               must end at the entry function or at a function
+               legitimately enterable through an indirect call. *)
+            let visited = Hashtbl.create 8 in
+            let closed = ref false in
+            let frontier = Queue.create () in
+            let push g =
+              if not (Hashtbl.mem visited g) then begin
+                Hashtbl.replace visited g ();
+                Queue.push g frontier
+              end
+            in
+            push loc.func;
+            while (not !closed) && not (Queue.is_empty frontier) do
+              let g = Queue.pop frontier in
+              if String.equal g iprog.entry then closed := true
+              else if
+                Bastion.Calltype.is_indirect_target p.calltype g
+                && arity_matching_indirect_exists g
+              then closed := true
+              else
+                match Hashtbl.find_opt p.cfg.valid_callers g with
+                | None -> ()
+                | Some sites ->
+                  Sil.Loc.Set.iter
+                    (fun (site : Sil.Loc.t) -> push site.func)
+                    sites
+            done;
+            if not !closed then
+              add ~loc Broken_cf_chain
+                "no callee->caller chain from %s reaches %s or an indirect-call \
+                 boundary (a benign trap here would be denied)"
+                loc.func iprog.entry
+          end)
+    p.cfg.sensitive_callsites;
+
+  (* Every indirect callsite must be in the legitimate set: the CF
+     unwind stops only at recorded indirect boundaries. *)
+  List.iter
+    (fun (cs : Sil.Callgraph.callsite) ->
+      if not (Bastion.Calltype.is_legit_indirect_callsite p.calltype cs.cs_loc)
+      then
+        add ~loc:cs.cs_loc Broken_cf_chain
+          "indirect callsite missing from the legitimate set (CF walks through \
+           it would be denied)")
+    icg.indirect_callsites;
+  Sil.Loc.Set.iter
+    (fun (loc : Sil.Loc.t) ->
+      if
+        not
+          (List.exists
+             (fun (cs : Sil.Callgraph.callsite) -> Sil.Loc.compare cs.cs_loc loc = 0)
+             icg.indirect_callsites)
+      then
+        add ~loc Overbroad_calltype
+          "legitimate-indirect entry does not name an indirect callsite")
+    p.calltype.legit_indirect;
+
+  (* --- AI coverage over the instrumented module -------------------- *)
+  List.iter
+    (fun (fi : Sil.Func.t) ->
+      if is_app fi then begin
+        let sensitive_target (pl : Sil.Place.t) =
+          match pl with
+          | Lvar v -> A.is_sensitive_local p.analysis fi.fname v
+          | Lglobal g -> A.is_sensitive_global p.analysis g
+          | Lfield (_, s, fl) -> A.is_sensitive_field p.analysis s fl
+          | Lindex _ | Lderef _ -> false
+        in
+        let base_points_to_sensitive (op : Sil.Operand.t) =
+          match op with
+          | Var v ->
+            List.exists
+              (fun def ->
+                match def with
+                | `Rvalue (Sil.Instr.Addr_of place) -> sensitive_target place
+                | `Rvalue _ | `Stored _ | `Call_result -> false)
+              (A.defs_of fi v)
+          | Const _ | Cstr _ | Global _ | Func_addr _ | Null -> false
+        in
+        let sensitive_place (pl : Sil.Place.t) =
+          match pl with
+          | Lvar _ | Lglobal _ | Lfield _ -> sensitive_target pl
+          | Lindex (base, _, _) | Lderef base -> base_points_to_sensitive base
+        in
+        (* Entry sync: every sensitive local's full extent. *)
+        let entry = Sil.Func.entry_block fi in
+        List.iter
+          (fun ((v : Sil.Operand.var), ty) ->
+            if A.is_sensitive_local p.analysis fi.fname v then begin
+              let want = Int64.of_int (max 1 (Sil.Types.size_words iprog.structs ty)) in
+              let found = ref false in
+              Array.iteri
+                (fun i _ ->
+                  match write_pair_at entry.instrs i (Sil.Place.Lvar v) with
+                  | Some n when Int64.equal n want -> found := true
+                  | Some _ | None -> ())
+                entry.instrs;
+              if not !found then
+                add
+                  ~loc:(Sil.Loc.make fi.fname entry.label 0)
+                  Missing_entry_sync
+                  "sensitive local %s#%d of %s has no entry-block ctx_write_mem \
+                   covering its %Ld word(s)"
+                  v.vname v.vid fi.fname want
+            end)
+          (Sil.Func.all_vars fi);
+        (* Def coverage: every def of a sensitive variable and every
+           store to a sensitive place is followed by its pair. *)
+        List.iter
+          (fun (b : Sil.Func.block) ->
+            Array.iteri
+              (fun idx (ins : Sil.Instr.t) ->
+                let loc = Sil.Loc.make fi.fname b.label idx in
+                let require place what =
+                  match write_pair_at b.instrs (idx + 1) place with
+                  | Some _ -> ()
+                  | None ->
+                    add ~loc Uncovered_def
+                      "%s is not followed by its ctx_write_mem (the shadow goes \
+                       stale and a benign trap would be denied)"
+                      what
+                in
+                match ins with
+                | Call { target = Direct callee; _ }
+                  when List.mem callee intrinsic_names ->
+                  ()
+                | Call { dst = Some v; _ }
+                  when A.is_sensitive_local p.analysis fi.fname v ->
+                  require (Sil.Place.Lvar v)
+                    (Printf.sprintf "call result defining sensitive %s#%d" v.vname
+                       v.vid)
+                | Assign (v, _) when A.is_sensitive_local p.analysis fi.fname v ->
+                  require (Sil.Place.Lvar v)
+                    (Printf.sprintf "definition of sensitive %s#%d" v.vname v.vid)
+                | Store (place, _) when sensitive_place place ->
+                  require place "store to a sensitive place"
+                | Assign _ | Store _ | Call _ -> ())
+              b.instrs)
+          fi.blocks
+      end)
+    (Sil.Prog.functions iprog);
+
+  (* --- Bound arguments of sensitive syscall plans ------------------ *)
+  List.iter
+    (fun (plan : A.plan) ->
+      match plan.pl_sysno with
+      | None -> ()
+      | Some _ -> (
+        match Sil.Prog.instr_at p.original plan.pl_loc with
+        | exception Invalid_argument _ ->
+          add ~loc:plan.pl_loc Unbound_argument
+            "syscall plan does not point at an instruction of the original program"
+        | Sil.Instr.Call { args; _ } ->
+          List.iteri
+            (fun pos _ ->
+              if not (List.mem_assoc pos plan.pl_args) then
+                add ~loc:plan.pl_loc Unbound_argument
+                  "argument %d of %s is not bound (the monitor would find it \
+                   untraced)"
+                  pos plan.pl_callee)
+            args
+        | Sil.Instr.Assign _ | Sil.Instr.Store _ ->
+          add ~loc:plan.pl_loc Unbound_argument
+            "syscall plan does not point at a call instruction"))
+    (A.all_plans p.analysis);
+
+  (* --- Reaching definitions: sources feeding bound variables ------- *)
+  let rd_cache : (string, Reaching_defs.t) Hashtbl.t = Hashtbl.create 8 in
+  let rd_of (f : Sil.Func.t) =
+    match Hashtbl.find_opt rd_cache f.fname with
+    | Some rd -> rd
+    | None ->
+      let rd = Reaching_defs.compute f in
+      Hashtbl.replace rd_cache f.fname rd;
+      rd
+  in
+  List.iter
+    (fun (plan : A.plan) ->
+      if plan.pl_sysno <> None then
+        match Hashtbl.find_opt p.original.funcs plan.pl_loc.func with
+        | None -> ()
+        | Some f ->
+          List.iter
+            (fun ((pos, binding) : int * A.binding) ->
+              match binding with
+              | A.Bind_var v ->
+                let rd = rd_of f in
+                Sil.Loc.Set.iter
+                  (fun (def : Sil.Loc.t) ->
+                    if Reaching_defs.is_entry_def def then begin
+                      (* A parameter's incoming value: every direct
+                         caller must bind the corresponding position of
+                         its own call. *)
+                      match A.param_index f v with
+                      | None -> ()
+                      | Some pi ->
+                        List.iter
+                          (fun (site : Sil.Loc.t) ->
+                            let covered =
+                              match A.plan_at p.analysis site with
+                              | Some caller_plan ->
+                                List.mem_assoc pi caller_plan.pl_args
+                              | None -> false
+                            in
+                            if not covered then
+                              add ~loc:site Untracked_source
+                                "caller of %s does not bind position %d feeding \
+                                 sensitive parameter %s#%d"
+                                f.fname pi v.vname v.vid)
+                          (Sil.Callgraph.direct_callers_of p.original_callgraph
+                             f.fname)
+                    end
+                    else
+                      match Sil.Prog.instr_at p.original def with
+                      | exception Invalid_argument _ -> ()
+                      | Sil.Instr.Assign (_, Sil.Instr.Use (Var w))
+                      | Sil.Instr.Store (_, Var w) ->
+                        if not (A.is_sensitive_local p.analysis f.fname w) then
+                          add ~loc:def Untracked_source
+                            "definition feeding bound argument %d of %s copies \
+                             from untracked %s#%d"
+                            pos plan.pl_callee w.vname w.vid
+                      | _ -> ())
+                  (Reaching_defs.reaching rd plan.pl_loc v)
+              | A.Bind_const _ | A.Bind_cstr _ | A.Bind_faddr _ | A.Bind_global _
+                ->
+                ())
+            plan.pl_args)
+    (A.all_plans p.analysis);
+
+  (* --- Call-type classification ------------------------------------ *)
+  List.iter
+    (fun (stub : Sil.Func.t) ->
+      match Sil.Func.syscall_number stub with
+      | None -> ()
+      | Some nr ->
+        let ct = Bastion.Calltype.call_type p.calltype nr in
+        let direct = Sil.Callgraph.direct_callers_of icg stub.fname <> [] in
+        let taken = Sil.Callgraph.is_address_taken icg stub.fname in
+        if direct && not ct.directly then
+          add Not_callable_misclass
+            "%s is called directly but classified not directly-callable (seccomp \
+             would kill a benign call)"
+            stub.fname;
+        if taken && not ct.indirectly then
+          add Not_callable_misclass
+            "%s is address-taken but classified not indirectly-callable" stub.fname;
+        if ct.directly && not direct then
+          add Overbroad_calltype
+            "%s is classified directly-callable but never called directly \
+             (inflates the filter)"
+            stub.fname;
+        if ct.indirectly && not taken then
+          add Overbroad_calltype
+            "%s is classified indirectly-callable but its address is never taken"
+            stub.fname)
+    (Sil.Prog.syscall_stubs iprog);
+  Sil.Callgraph.Sset.iter
+    (fun fname ->
+      if not (Bastion.Calltype.is_indirect_target p.calltype fname) then
+        add Not_callable_misclass
+          "address-taken function %s is not an indirect target (indirect calls \
+           to it would be denied)"
+          fname)
+    icg.address_taken;
+  Hashtbl.iter
+    (fun fname () ->
+      if not (Sil.Callgraph.is_address_taken icg fname) then
+        add Overbroad_calltype
+          "%s is an indirect target but its address is never taken (weakens the \
+           CF termination check)"
+          fname)
+    p.calltype.indirect_targets;
+
+  (* --- Stored pre-resolution results ------------------------------- *)
+  if Hashtbl.length p.pre_resolved > 0 then begin
+    let cp = Constprop.analyze p.original in
+    Hashtbl.iter
+      (fun id pres ->
+        match
+          List.find_opt (fun (cm : I.callsite_meta) -> cm.cm_id = id) p.inst.callsites
+        with
+        | None ->
+          add Stale_pre_resolution "pre-resolved entry for unknown callsite id %d" id
+        | Some cm ->
+          List.iter
+            (fun ((pos, c) : int * int64) ->
+              let stale fmt = add ~loc:cm.cm_orig Stale_pre_resolution fmt in
+              match List.assoc_opt pos cm.cm_specs with
+              | None -> stale "pre-resolved position %d of %s has no binding" pos
+                          cm.cm_callee
+              | Some (A.Bind_var v) -> (
+                match Constprop.value_of_operand cp cm.cm_orig (Var v) with
+                | Constprop.Known c' when Int64.equal c c' -> ()
+                | Constprop.Known c' ->
+                  stale
+                    "pre-resolved constant %Ld for position %d of %s disagrees \
+                     with the analysis (%Ld)"
+                    c pos cm.cm_callee c'
+                | Constprop.Top ->
+                  stale
+                    "position %d of %s is pre-resolved to %Ld but is not provably \
+                     constant"
+                    pos cm.cm_callee c)
+              | Some (A.Bind_global g) -> (
+                match Constprop.frozen_global cp g with
+                | Some c' when Int64.equal c c' -> ()
+                | Some _ | None ->
+                  stale
+                    "position %d of %s is pre-resolved to %Ld but global %s is \
+                     not frozen at that value"
+                    pos cm.cm_callee c g)
+              | Some (A.Bind_const _ | A.Bind_cstr _ | A.Bind_faddr _) ->
+                stale
+                  "position %d of %s is pre-resolved but already verified as a \
+                   constant spec"
+                  pos cm.cm_callee)
+            pres)
+      p.pre_resolved
+  end;
+
+  List.rev !diags

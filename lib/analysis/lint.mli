@@ -1,0 +1,50 @@
+(** The metadata-soundness linter: cross-check the CT/CF/AI metadata and
+    the instrumented module against the original program, reporting
+    invariant violations as structured diagnostics.  A clean report
+    means every sensitive callsite reachable from the entry function
+    has a closed control-flow chain, every definition feeding a
+    sensitive variable is covered by emitted instrumentation, the
+    call-type classification is exact in both directions, and any
+    stored constant-argument pre-resolution agrees with a fresh
+    analysis. *)
+
+type kind =
+  | Dead_sensitive_callsite
+      (** sensitive callsite unreachable from the entry function; it
+          inflates the seccomp filter for nothing *)
+  | Broken_cf_chain
+      (** no callee->caller chain reaches the entry function or a
+          legitimate indirect-call boundary; a benign trap would be
+          denied *)
+  | Missing_entry_sync
+      (** a sensitive local lacks its entry-block ctx_write_mem *)
+  | Uncovered_def
+      (** a definition of a sensitive variable is not followed by its
+          ctx_write_mem; the shadow goes stale *)
+  | Untracked_source
+      (** per reaching-definitions, a value feeding a bound argument
+          comes from an untracked variable or an unbound caller *)
+  | Unbound_argument
+      (** an argument position of a sensitive syscall has no binding *)
+  | Not_callable_misclass
+      (** classification too strict: a used or address-taken function
+          would be killed or denied on a benign run *)
+  | Overbroad_calltype
+      (** classification too permissive: the filter or the CF
+          termination check is weaker than the program requires *)
+  | Stale_pre_resolution
+      (** a stored constant-argument result disagrees with a fresh
+          constant-propagation run *)
+
+val kind_name : kind -> string
+
+type diag = {
+  d_kind : kind;
+  d_loc : Sil.Loc.t option;  (** anchor position, when one exists *)
+  d_msg : string;
+}
+
+val pp_diag : Format.formatter -> diag -> unit
+
+(** Run every check; diagnostics come back in deterministic order. *)
+val check : Bastion.Api.protected -> diag list

@@ -1,0 +1,40 @@
+(* Constant-argument pre-resolution: run interprocedural constant
+   propagation over the ORIGINAL program and record, per instrumented
+   callsite, the argument positions whose value is provably the same
+   constant along every path.  The monitor verifies those AI slots by
+   comparing against the stored constant directly — same denial
+   semantics, no binding-table or shadow-memory probe. *)
+
+module I = Bastion.Instrument
+module A = Bastion.Arg_analysis
+
+let resolve_spec cp (cm : I.callsite_meta) ((pos, b) : int * A.binding) :
+    (int * int64) option =
+  match b with
+  | A.Bind_var v -> (
+    match Constprop.value_of_operand cp cm.cm_orig (Sil.Operand.Var v) with
+    | Constprop.Known c -> Some (pos, c)
+    | Constprop.Top -> None)
+  | A.Bind_global g -> (
+    match Constprop.frozen_global cp g with
+    | Some c -> Some (pos, c)
+    | None -> None)
+  (* Constant specs are already verified without a probe. *)
+  | A.Bind_const _ | A.Bind_cstr _ | A.Bind_faddr _ -> None
+
+let enrich (p : Bastion.Api.protected) : Bastion.Api.protected =
+  let cp = Constprop.analyze p.original in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (cm : I.callsite_meta) ->
+      if cm.cm_sysno <> None then
+        match List.filter_map (resolve_spec cp cm) cm.cm_specs with
+        | [] -> ()
+        | resolved -> Hashtbl.replace tbl cm.cm_id resolved)
+    p.inst.callsites;
+  (* Fresh record: [protect] results are shared through caches, so the
+     default bundle must never be mutated in place. *)
+  { p with pre_resolved = tbl }
+
+let resolved_slots (p : Bastion.Api.protected) : int =
+  Hashtbl.fold (fun _ l acc -> acc + List.length l) p.pre_resolved 0

@@ -1,0 +1,12 @@
+(** Constant-argument pre-resolution: mark the syscall-argument
+    positions whose value is provably constant along all paths (per
+    interprocedural constant propagation over the original program),
+    so the monitor can verify those AI slots against the static
+    constant without a shadow-memory probe. *)
+
+(** Returns a copy of the bundle with [pre_resolved] populated; the
+    input (possibly shared through a cache) is never mutated. *)
+val enrich : Bastion.Api.protected -> Bastion.Api.protected
+
+(** Total pre-resolved (callsite, position) slots in a bundle. *)
+val resolved_slots : Bastion.Api.protected -> int

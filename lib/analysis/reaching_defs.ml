@@ -1,0 +1,62 @@
+(* Reaching definitions over a function: which definitions of a
+   variable may produce the value observed at a program point.
+
+   Definitions are [Assign], [Call] results and direct stores
+   [Store (Lvar v, _)] — the same def notion as
+   [Arg_analysis.defs_of], but flow-sensitive.  Every variable also
+   carries an entry pseudo-definition (parameters arrive with their
+   incoming value; uninitialised locals hold whatever the reused stack
+   slot held), so an empty reaching set never means "no value" — it
+   means the program point is unreachable. *)
+
+module Vmap = Map.Make (Int)
+
+(** The label used for entry pseudo-definitions ([Loc.index] is the
+    variable's id). *)
+let entry_label = "<entry>"
+
+let entry_def (f : Sil.Func.t) (v : Sil.Operand.var) : Sil.Loc.t =
+  Sil.Loc.make f.fname entry_label v.vid
+
+let is_entry_def (l : Sil.Loc.t) = String.equal l.block entry_label
+
+(** The variable an instruction defines, if any (writes through
+    pointers are not variable definitions — they define memory). *)
+let def_var (ins : Sil.Instr.t) : Sil.Operand.var option =
+  match ins with
+  | Assign (v, _) -> Some v
+  | Call { dst; _ } -> dst
+  | Store (Lvar v, _) -> Some v
+  | Store _ -> None
+
+module L = struct
+  type t = Sil.Loc.Set.t Vmap.t
+
+  let equal = Vmap.equal Sil.Loc.Set.equal
+  let join = Vmap.union (fun _ a b -> Some (Sil.Loc.Set.union a b))
+end
+
+module Df = Dataflow.Make (L)
+
+type t = { rd_func : Sil.Func.t; rd_res : Df.result }
+
+let compute (f : Sil.Func.t) : t =
+  let init =
+    List.fold_left
+      (fun m ((v : Sil.Operand.var), _) ->
+        Vmap.add v.vid (Sil.Loc.Set.singleton (entry_def f v)) m)
+      Vmap.empty (Sil.Func.all_vars f)
+  in
+  let transfer loc ins s =
+    match def_var ins with
+    | Some v -> Vmap.add v.vid (Sil.Loc.Set.singleton loc) s
+    | None -> s
+  in
+  { rd_func = f; rd_res = Df.run ~dir:Dataflow.Forward ~init ~transfer f }
+
+(** Definitions of [v] that may reach the program point just before
+    [loc]; empty iff the point is unreachable. *)
+let reaching (t : t) (loc : Sil.Loc.t) (v : Sil.Operand.var) : Sil.Loc.Set.t =
+  match Df.before t.rd_res loc with
+  | None -> Sil.Loc.Set.empty
+  | Some s -> Option.value ~default:Sil.Loc.Set.empty (Vmap.find_opt v.vid s)

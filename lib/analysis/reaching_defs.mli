@@ -1,0 +1,26 @@
+(** Flow-sensitive reaching definitions over one function: which
+    definitions ([Assign], [Call] results, [Store (Lvar _, _)]) may
+    produce the value observed at a program point.  Every variable
+    carries an entry pseudo-definition (parameters arrive with their
+    incoming value; uninitialised locals hold reused stack-slot
+    garbage), so an empty reaching set means "unreachable point", never
+    "no value". *)
+
+val entry_label : string
+
+(** The entry pseudo-definition of a variable ([Loc.block] is
+    {!entry_label}, [Loc.index] the variable id). *)
+val entry_def : Sil.Func.t -> Sil.Operand.var -> Sil.Loc.t
+
+val is_entry_def : Sil.Loc.t -> bool
+
+(** The variable an instruction defines, if any. *)
+val def_var : Sil.Instr.t -> Sil.Operand.var option
+
+type t
+
+val compute : Sil.Func.t -> t
+
+(** Definitions of the variable that may reach the point just before
+    [loc]; empty iff the point is unreachable. *)
+val reaching : t -> Sil.Loc.t -> Sil.Operand.var -> Sil.Loc.Set.t

@@ -37,7 +37,8 @@ let contexts_of = function
    stack garbage; bound the run and end it as soon as the goal fires. *)
 let attack_fuel = 20_000_000
 
-let run ?(trap_cache = true) ?recorder (attack : Attack.t) (config : config) : outcome =
+let run ?(trap_cache = true) ?(pre_resolve = false) ?recorder (attack : Attack.t)
+    (config : config) : outcome =
   let prog = attack.a_victim.v_build () in
   let machine_config = { Machine.default_config with fuel = attack_fuel } in
   let machine, process =
@@ -46,6 +47,10 @@ let run ?(trap_cache = true) ?recorder (attack : Attack.t) (config : config) : o
     | _ ->
       let protected_prog =
         Bastion.Api.protect ~protect_filesystem:attack.a_fs_scope prog
+      in
+      let protected_prog =
+        if pre_resolve then Bastion_analysis.Preresolve.enrich protected_prog
+        else protected_prog
       in
       let monitor_config =
         {
@@ -93,14 +98,15 @@ type row = {
 
 let blocked = function Blocked _ -> true | Succeeded | Inert -> false
 
-let evaluate ?(trap_cache = true) ?recorder (attack : Attack.t) : row =
+let evaluate ?(trap_cache = true) ?(pre_resolve = false) ?recorder
+    (attack : Attack.t) : row =
   {
     r_attack = attack;
-    r_undefended = run ~trap_cache ?recorder attack Undefended;
-    r_ct = run ~trap_cache ?recorder attack Only_ct;
-    r_cf = run ~trap_cache ?recorder attack Only_cf;
-    r_ai = run ~trap_cache ?recorder attack Only_ai;
-    r_full = run ~trap_cache ?recorder attack Full_bastion;
+    r_undefended = run ~trap_cache ~pre_resolve ?recorder attack Undefended;
+    r_ct = run ~trap_cache ~pre_resolve ?recorder attack Only_ct;
+    r_cf = run ~trap_cache ~pre_resolve ?recorder attack Only_cf;
+    r_ai = run ~trap_cache ~pre_resolve ?recorder attack Only_ai;
+    r_full = run ~trap_cache ~pre_resolve ?recorder attack Full_bastion;
   }
 
 (** Does the row agree with the paper's Table 6 entry?  The attack must
@@ -114,5 +120,5 @@ let matches_expectation (r : row) =
   && blocked r.r_ai = e.e_ai
   && blocked r.r_full
 
-let evaluate_all ?(trap_cache = true) ?recorder () =
-  List.map (fun a -> evaluate ~trap_cache ?recorder a) Catalog.all
+let evaluate_all ?(trap_cache = true) ?(pre_resolve = false) ?recorder () =
+  List.map (fun a -> evaluate ~trap_cache ~pre_resolve ?recorder a) Catalog.all

@@ -19,10 +19,14 @@ val outcome_name : outcome -> string
 val attack_fuel : int
 
 (** [trap_cache] toggles the monitor's CT+CF verdict cache (default
-    on); the Table 6 matrix must be identical either way.  [recorder]
+    on); the Table 6 matrix must be identical either way.
+    [pre_resolve] enables constant-argument pre-resolution (default
+    off); the matrix must again be identical either way.  [recorder]
     attaches a flight recorder to the monitored configurations; the
     matrix must also be identical with and without it. *)
-val run : ?trap_cache:bool -> ?recorder:Obs.Recorder.t -> Attack.t -> config -> outcome
+val run :
+  ?trap_cache:bool -> ?pre_resolve:bool -> ?recorder:Obs.Recorder.t ->
+  Attack.t -> config -> outcome
 
 (** One evaluated Table 6 row. *)
 type row = {
@@ -35,10 +39,14 @@ type row = {
 }
 
 val blocked : outcome -> bool
-val evaluate : ?trap_cache:bool -> ?recorder:Obs.Recorder.t -> Attack.t -> row
+val evaluate :
+  ?trap_cache:bool -> ?pre_resolve:bool -> ?recorder:Obs.Recorder.t ->
+  Attack.t -> row
 
 (** Does the row agree with the paper: succeeds undefended, blocked by
     exactly the expected contexts, blocked by the full deployment? *)
 val matches_expectation : row -> bool
 
-val evaluate_all : ?trap_cache:bool -> ?recorder:Obs.Recorder.t -> unit -> row list
+val evaluate_all :
+  ?trap_cache:bool -> ?pre_resolve:bool -> ?recorder:Obs.Recorder.t ->
+  unit -> row list

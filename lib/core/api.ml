@@ -20,6 +20,10 @@ type protected = {
   cfg : Cfg_analysis.t;
   sensitive_numbers : int list;
   original_callgraph : Sil.Callgraph.t;
+  pre_resolved : (int, (int * int64) list) Hashtbl.t;
+      (** callsite id -> (position, provably constant value); filled by
+          the static pre-resolution pass (lib/analysis), empty by
+          default *)
 }
 
 (** Run the full BASTION compiler pass over a program.
@@ -40,7 +44,8 @@ let protect ?(protect_filesystem = false) (prog : Sil.Prog.t) : protected =
   let icg = Sil.Callgraph.build inst.iprog in
   let calltype = Calltype.analyze inst.iprog icg in
   let cfg = Cfg_analysis.analyze inst.iprog icg ~sensitive_numbers in
-  { original = prog; inst; analysis; calltype; cfg; sensitive_numbers; original_callgraph }
+  { original = prog; inst; analysis; calltype; cfg; sensitive_numbers;
+    original_callgraph; pre_resolved = Hashtbl.create 1 }
 
 type session = {
   machine : Machine.t;
@@ -66,7 +71,7 @@ let launch ?(machine_config = Machine.default_config)
   | None -> ());
   let meta =
     Metadata.build ~calltype:p.calltype ~cfg:p.cfg ~analysis:p.analysis ~inst:p.inst
-      machine
+      ~pre_resolved:p.pre_resolved machine
   in
   let monitor = Monitor.create ?recorder ~meta ~runtime ~config:monitor_config machine in
   Monitor.attach monitor process;

@@ -24,6 +24,10 @@ type protected = {
   cfg : Cfg_analysis.t;
   sensitive_numbers : int list;
   original_callgraph : Sil.Callgraph.t;
+  pre_resolved : (int, (int * int64) list) Hashtbl.t;
+      (** callsite id -> (position, provably constant value); filled by
+          the static pre-resolution pass (lib/analysis), empty by
+          default *)
 }
 
 (** Run the BASTION compiler pass.  [protect_filesystem] extends the

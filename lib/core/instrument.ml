@@ -19,6 +19,7 @@ let bind_const_name = "ctx_bind_const"
 type callsite_meta = {
   cm_id : int;
   cm_loc : Sil.Loc.t;  (** location of the call in the INSTRUMENTED program *)
+  cm_orig : Sil.Loc.t;  (** the same call in the ORIGINAL program *)
   cm_callee : string;
   cm_sysno : int option;
   cm_specs : (int * Arg_analysis.binding) list;
@@ -161,6 +162,7 @@ let instrument_func (analysis : Arg_analysis.t) (counts : counts)
       {
         cm_id = id;
         cm_loc = Sil.Loc.make f.fname label (List.length !buf);
+        cm_orig = plan.pl_loc;
         cm_callee = plan.pl_callee;
         cm_sysno = plan.pl_sysno;
         cm_specs = plan.pl_args;

@@ -11,6 +11,7 @@ val bind_const_name : string
 type callsite_meta = {
   cm_id : int;
   cm_loc : Sil.Loc.t;  (** location of the call in the INSTRUMENTED program *)
+  cm_orig : Sil.Loc.t;  (** the same call in the ORIGINAL program *)
   cm_callee : string;
   cm_sysno : int option;
   cm_specs : (int * Arg_analysis.binding) list;

@@ -11,6 +11,10 @@ type cs_entry = {
   e_callee : string;
   e_sysno : int option;
   e_specs : (int * arg_spec) list;
+  e_pre : (int * int64) list;
+      (** positions pre-resolved to a provably constant value: the
+          monitor verifies these against the constant, skipping the
+          shadow probes *)
 }
 
 type conv = Conv_direct of string | Conv_indirect
@@ -33,7 +37,9 @@ let resolve_spec (m : Machine.t) (binding : Arg_analysis.binding) : arg_spec =
   | Bind_var _ | Bind_global _ -> Spec_mem
 
 let build ~(calltype : Calltype.t) ~(cfg : Cfg_analysis.t)
-    ~(analysis : Arg_analysis.t) ~(inst : Instrument.t) (m : Machine.t) : t =
+    ~(analysis : Arg_analysis.t) ~(inst : Instrument.t)
+    ?(pre_resolved : (int, (int * int64) list) Hashtbl.t = Hashtbl.create 1)
+    (m : Machine.t) : t =
   let cs_by_addr = Hashtbl.create 64 in
   List.iter
     (fun (cm : Instrument.callsite_meta) ->
@@ -46,6 +52,8 @@ let build ~(calltype : Calltype.t) ~(cfg : Cfg_analysis.t)
           e_callee = cm.cm_callee;
           e_sysno = cm.cm_sysno;
           e_specs = List.map (fun (pos, b) -> (pos, resolve_spec m b)) cm.cm_specs;
+          e_pre =
+            Option.value ~default:[] (Hashtbl.find_opt pre_resolved cm.cm_id);
         })
     inst.callsites;
   let conv_by_addr = Hashtbl.create 256 in

@@ -13,6 +13,9 @@ type cs_entry = {
   e_callee : string;
   e_sysno : int option;  (** [Some n] iff a syscall callsite *)
   e_specs : (int * arg_spec) list;
+  e_pre : (int * int64) list;
+      (** positions pre-resolved to a provably constant value: verified
+          against the constant, skipping the shadow probes *)
 }
 
 (** Calling convention of a callsite (what decoding the call instruction
@@ -38,5 +41,6 @@ val build :
   cfg:Cfg_analysis.t ->
   analysis:Arg_analysis.t ->
   inst:Instrument.t ->
+  ?pre_resolved:(int, (int * int64) list) Hashtbl.t ->
   Machine.t ->
   t

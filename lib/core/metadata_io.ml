@@ -11,7 +11,7 @@
 
    Format (one record per line, strings in OCaml lexical form):
 
-     BASTION-METADATA v1
+     BASTION-METADATA v2
      calltype <sysno> <d|i|di>
      indirect-callsite <func> <block> <index>
      indirect-target <fname>
@@ -19,18 +19,26 @@
      covered <fname>
      sensitive-callsite <func> <block> <index>
      counts <write_mem> <bind_mem> <bind_const>
-     callsite <id> <func> <block> <index> <callee> <sysno|->
+     callsite <id> <ifunc> <iblock> <iindex> <oblock> <oindex> <callee> <sysno|->
      arg <id> <pos> const <int64>
      arg <id> <pos> cstr "<string>"
      arg <id> <pos> faddr <fname>
      arg <id> <pos> var <func> <vid> "<name>"
      arg <id> <pos> global <gname>
+     pre-resolved <id> <pos> <int64>
      sensitive-local <func> <vid> "<name>"
      sensitive-global <gname>
      sensitive-field <struct> <field>
-     plan <loc...> <callee> <sysno|->        (analysis plans, same arg refs) *)
 
-let header = "BASTION-METADATA v1"
+   v1 -> v2: the callsite record carries the call's location in the
+   ORIGINAL program as well (same function, so only block and index are
+   repeated), and the pre-resolved record stores the constant-argument
+   pre-resolution results.  v1 files are rejected with a clear
+   unsupported-version error rather than a field-level parse failure. *)
+
+let header = "BASTION-METADATA v2"
+
+let header_prefix = "BASTION-METADATA "
 
 exception Parse_error of int * string
 
@@ -86,11 +94,19 @@ let write (p : Api.protected) : string =
     p.inst.counts.bind_const;
   List.iter
     (fun (cm : Instrument.callsite_meta) ->
-      Printf.bprintf buf "callsite %d %s %s %s\n" cm.cm_id (loc_str cm.cm_loc)
-        cm.cm_callee
+      Printf.bprintf buf "callsite %d %s %s %d %s %s\n" cm.cm_id
+        (loc_str cm.cm_loc) cm.cm_orig.block cm.cm_orig.index cm.cm_callee
         (match cm.cm_sysno with Some n -> string_of_int n | None -> "-");
       List.iter (fun (pos, b) -> write_binding buf cm.cm_id pos b) cm.cm_specs)
     p.inst.callsites;
+  (* Constant-argument pre-resolution results (empty unless the static
+     pre-resolution pass ran). *)
+  Hashtbl.iter
+    (fun id pres ->
+      List.iter
+        (fun (pos, c) -> Printf.bprintf buf "pre-resolved %d %d %Ld\n" id pos c)
+        pres)
+    p.pre_resolved;
   (* Sensitive items (drive the monitor's sweeps). *)
   Arg_analysis.Item_set.iter
     (fun item ->
@@ -120,12 +136,24 @@ type parsed = {
   pr_counts : int * int * int;
   pr_callsites : Instrument.callsite_meta list;  (** specs filled from arg lines *)
   pr_items : Arg_analysis.item list;
+  pr_pre_resolved : (int * int * int64) list;  (** id, pos, constant *)
 }
 
 let parse (text : string) : parsed =
   let lines = String.split_on_char '\n' text in
   (match lines with
   | first :: _ when String.equal first header -> ()
+  | first :: _
+    when String.length first >= String.length header_prefix
+         && String.equal (String.sub first 0 (String.length header_prefix)) header_prefix
+    ->
+    raise
+      (Parse_error
+         ( 1,
+           Printf.sprintf "unsupported metadata version %s (this build reads %s)"
+             (String.sub first (String.length header_prefix)
+                (String.length first - String.length header_prefix))
+             header ))
   | _ -> raise (Parse_error (1, "missing metadata header")));
   let calltype = ref [] in
   let ind_cs = ref [] in
@@ -137,6 +165,7 @@ let parse (text : string) : parsed =
   let callsites : (int, Instrument.callsite_meta) Hashtbl.t = Hashtbl.create 32 in
   let args : (int, (int * Arg_analysis.binding) list ref) Hashtbl.t = Hashtbl.create 32 in
   let items = ref [] in
+  let pre_resolved = ref [] in
   let fail ln msg = raise (Parse_error (ln, msg)) in
   List.iteri
     (fun i line ->
@@ -171,11 +200,13 @@ let parse (text : string) : parsed =
               | "counts" ->
                 Scanf.sscanf rest "%d %d %d" (fun a b c -> counts := (a, b, c))
               | "callsite" ->
-                Scanf.sscanf rest "%d %s %s %d %s %s" (fun id f blk ix callee sysno ->
+                Scanf.sscanf rest "%d %s %s %d %s %d %s %s"
+                  (fun id f blk ix oblk oix callee sysno ->
                     Hashtbl.replace callsites id
                       {
                         Instrument.cm_id = id;
                         cm_loc = Sil.Loc.make f blk ix;
+                        cm_orig = Sil.Loc.make f oblk oix;
                         cm_callee = callee;
                         cm_sysno =
                           (if String.equal sysno "-" then None
@@ -204,6 +235,9 @@ let parse (text : string) : parsed =
                         c
                     in
                     cell := (pos, binding) :: !cell)
+              | "pre-resolved" ->
+                Scanf.sscanf rest "%d %d %Ld" (fun id pos c ->
+                    pre_resolved := (id, pos, c) :: !pre_resolved)
               | "sensitive-local" ->
                 Scanf.sscanf rest "%s %d %S" (fun f vid vname ->
                     items := Arg_analysis.S_local (f, { Sil.Operand.vid; vname }) :: !items)
@@ -240,6 +274,7 @@ let parse (text : string) : parsed =
     pr_counts = !counts;
     pr_callsites;
     pr_items = !items;
+    pr_pre_resolved = !pre_resolved;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -279,19 +314,27 @@ let restore (iprog : Sil.Prog.t) (pr : parsed) : Api.protected =
       pr.pr_items
   in
   (* Plans are only consumed by the instrumenter, which already ran;
-     keep the callsite plans reconstructible for introspection. *)
+     keep the callsite plans reconstructible for introspection.  Plans
+     are keyed by the call's location in the ORIGINAL program (that is
+     what [Arg_analysis.plan_at] is asked with). *)
   let plans = Hashtbl.create 32 in
   List.iter
     (fun (cm : Instrument.callsite_meta) ->
-      Hashtbl.replace plans cm.cm_loc
+      Hashtbl.replace plans cm.cm_orig
         {
-          Arg_analysis.pl_loc = cm.cm_loc;
+          Arg_analysis.pl_loc = cm.cm_orig;
           pl_callee = cm.cm_callee;
           pl_sysno = cm.cm_sysno;
           pl_args = cm.cm_specs;
         })
     pr.pr_callsites;
   let analysis = { Arg_analysis.items; plans } in
+  let pre_resolved = Hashtbl.create (max 1 (List.length pr.pr_pre_resolved)) in
+  List.iter
+    (fun (id, pos, c) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt pre_resolved id) in
+      Hashtbl.replace pre_resolved id ((pos, c) :: existing))
+    pr.pr_pre_resolved;
   let w, bm, bc = pr.pr_counts in
   let inst =
     {
@@ -308,6 +351,7 @@ let restore (iprog : Sil.Prog.t) (pr : parsed) : Api.protected =
     cfg;
     sensitive_numbers = Kernel.Syscalls.sensitive_numbers;
     original_callgraph = Sil.Callgraph.build iprog;
+    pre_resolved;
   }
 
 let load ~file (iprog : Sil.Prog.t) : Api.protected =

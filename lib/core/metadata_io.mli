@@ -24,6 +24,7 @@ type parsed = {
   pr_counts : int * int * int;
   pr_callsites : Instrument.callsite_meta list;
   pr_items : Arg_analysis.item list;
+  pr_pre_resolved : (int * int * int64) list;  (** id, pos, constant *)
 }
 
 (** @raise Parse_error on malformed input. *)

@@ -44,6 +44,8 @@ type t = {
   mutable recorder : Obs.Recorder.t option;
   mutable traps_checked : int;
   mutable init_cycles : int;
+  mutable pre_resolved_hits : int;
+      (** AI slots verified against a static constant (no shadow probe) *)
   mutable denials : denial list;
   (* §9.2 statistics: call-stack depth observed at each verified trap. *)
   mutable depth_total : int;
@@ -68,6 +70,7 @@ let create ?recorder ~(meta : Metadata.t) ~(runtime : Runtime.t) ~config
     recorder;
     traps_checked = 0;
     init_cycles;
+    pre_resolved_hits = 0;
     denials = [];
     depth_total = 0;
     depth_min = max_int;
@@ -242,6 +245,19 @@ let check_callsite_args (t : t) (tracer : Ptrace.t) (entry : Metadata.cs_entry)
                ( "argument-integrity",
                  Printf.sprintf "constant argument %d of %s corrupted" pos entry.e_callee
                ))
+      | Metadata.Spec_mem when List.mem_assoc pos entry.e_pre ->
+        (* Pre-resolved slot: the compiler proved the argument constant
+           along all paths, so the static constant *is* the legitimate
+           value — compare directly, skipping the binding-table and
+           shadow probes (two priced lookups saved per slot). *)
+        let legit = List.assoc pos entry.e_pre in
+        t.pre_resolved_hits <- t.pre_resolved_hits + 1;
+        if not (Int64.equal legit actual) then
+          raise
+            (Deny
+               ( "argument-integrity",
+                 Printf.sprintf "argument %d of %s corrupted (expected %Ld, got %Ld)"
+                   pos entry.e_callee legit actual ))
       | Metadata.Spec_mem -> (
         match binding_lookup t ~id:entry.e_id ~pos with
         | None ->
@@ -585,6 +601,7 @@ let register_probes (t : t) (tracer : Ptrace.t) (reg : Obs.Metrics.t) =
       Shadow_memory.mean_insert_probe_length shadow);
   p "shadow.entries" (fi (fun () -> Shadow_memory.entry_count shadow));
   p "monitor.traps_checked" (fi (fun () -> t.traps_checked));
+  p "monitor.preresolved_hits" (fi (fun () -> t.pre_resolved_hits));
   p "monitor.denials" (fi (fun () -> List.length t.denials));
   p "monitor.init_cycles" (fi (fun () -> t.init_cycles));
   p "machine.cycles" (fi (fun () -> t.machine.stats.cycles));
@@ -608,6 +625,10 @@ let denials (t : t) = List.rev t.denials
 let cache_stats (t : t) =
   (Verdict_cache.hits t.cache, Verdict_cache.misses t.cache,
    Verdict_cache.hit_rate t.cache)
+
+(** AI slots verified against a pre-resolved static constant (no shadow
+    probe charged). *)
+let pre_resolved_hits (t : t) = t.pre_resolved_hits
 
 (** §9.2 call-depth statistics over all verified traps:
     (min, mean, max); [None] before the first stack walk. *)

@@ -46,6 +46,8 @@ type t = {
       (** the flight recorder; observation never charges cycles *)
   mutable traps_checked : int;
   mutable init_cycles : int;    (** metadata-loading cost (§9.2) *)
+  mutable pre_resolved_hits : int;
+      (** AI slots verified against a static constant (no shadow probe) *)
   mutable denials : denial list;
   mutable depth_total : int;
   mutable depth_min : int;
@@ -88,6 +90,10 @@ val denials : t -> denial list
 (** Verdict-cache statistics of the trap fast path:
     (hits, misses, hit rate). *)
 val cache_stats : t -> int * int * float
+
+(** AI slots verified against a pre-resolved static constant (the
+    shadow probes those slots would have cost are skipped). *)
+val pre_resolved_hits : t -> int
 
 (** §9.2 call-depth statistics over verified traps: (min, mean, max). *)
 val depth_stats : t -> (int * float * int) option

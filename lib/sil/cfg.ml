@@ -1,0 +1,111 @@
+(* Intraprocedural control-flow graph helpers over a function's blocks:
+   successor/predecessor maps, reachability from the entry block,
+   reverse postorder and iterative dominators.  The dataflow engine and
+   the metadata-soundness linter (lib/analysis) are built on these. *)
+
+module Sset = Set.Make (String)
+
+let successors (term : Instr.terminator) : string list =
+  match term with
+  | Jump l -> [ l ]
+  | Branch (_, l1, l2) -> if String.equal l1 l2 then [ l1 ] else [ l1; l2 ]
+  | Ret _ | Halt -> []
+
+let block_map (f : Func.t) : (string, Func.block) Hashtbl.t =
+  let tbl = Hashtbl.create (List.length f.blocks) in
+  List.iter (fun (b : Func.block) -> Hashtbl.replace tbl b.label b) f.blocks;
+  tbl
+
+let predecessors (f : Func.t) : (string, string list) Hashtbl.t =
+  let tbl = Hashtbl.create (List.length f.blocks) in
+  List.iter (fun (b : Func.block) -> Hashtbl.replace tbl b.label []) f.blocks;
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun succ ->
+          match Hashtbl.find_opt tbl succ with
+          | Some preds when not (List.mem b.label preds) ->
+            Hashtbl.replace tbl succ (b.label :: preds)
+          | Some _ | None -> ())
+        (successors b.term))
+    f.blocks;
+  tbl
+
+let reachable_blocks (f : Func.t) : Sset.t =
+  let blocks = block_map f in
+  let seen = ref Sset.empty in
+  let rec visit label =
+    if not (Sset.mem label !seen) then begin
+      seen := Sset.add label !seen;
+      match Hashtbl.find_opt blocks label with
+      | Some b -> List.iter visit (successors b.term)
+      | None -> ()
+    end
+  in
+  visit (Func.entry_block f).label;
+  !seen
+
+(** Reverse postorder of the blocks reachable from entry (the entry
+    block first; a natural iteration order for forward dataflow). *)
+let reverse_postorder (f : Func.t) : string list =
+  let blocks = block_map f in
+  let seen = ref Sset.empty in
+  let post = ref [] in
+  let rec visit label =
+    if not (Sset.mem label !seen) then begin
+      seen := Sset.add label !seen;
+      (match Hashtbl.find_opt blocks label with
+      | Some b -> List.iter visit (successors b.term)
+      | None -> ());
+      post := label :: !post
+    end
+  in
+  visit (Func.entry_block f).label;
+  !post
+
+(** Iterative dominator computation: [dominators f] maps every reachable
+    block to the set of blocks that dominate it (itself included). *)
+let dominators (f : Func.t) : (string, Sset.t) Hashtbl.t =
+  let entry = (Func.entry_block f).label in
+  let rpo = reverse_postorder f in
+  let reach = Sset.of_list rpo in
+  let all = Sset.of_list rpo in
+  let preds = predecessors f in
+  let doms = Hashtbl.create (List.length rpo) in
+  Hashtbl.replace doms entry (Sset.singleton entry);
+  List.iter
+    (fun l -> if not (String.equal l entry) then Hashtbl.replace doms l all)
+    rpo;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun label ->
+        if not (String.equal label entry) then begin
+          let preds =
+            List.filter (fun p -> Sset.mem p reach)
+              (Option.value ~default:[] (Hashtbl.find_opt preds label))
+          in
+          let meet =
+            match preds with
+            | [] -> Sset.empty
+            | first :: rest ->
+              List.fold_left
+                (fun acc p -> Sset.inter acc (Hashtbl.find doms p))
+                (Hashtbl.find doms first) rest
+          in
+          let next = Sset.add label meet in
+          if not (Sset.equal next (Hashtbl.find doms label)) then begin
+            Hashtbl.replace doms label next;
+            changed := true
+          end
+        end)
+      rpo
+  done;
+  doms
+
+(** [dominates doms a b]: does block [a] dominate block [b]? *)
+let dominates (doms : (string, Sset.t) Hashtbl.t) a b =
+  match Hashtbl.find_opt doms b with
+  | Some set -> Sset.mem a set
+  | None -> false

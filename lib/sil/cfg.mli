@@ -1,0 +1,26 @@
+(** Intraprocedural CFG helpers over a function's blocks: successors,
+    predecessors, reachability, reverse postorder and iterative
+    dominators.  The dataflow engine and the metadata-soundness linter
+    are built on these. *)
+
+module Sset : Set.S with type elt = string
+
+(** Successor labels of a terminator (deduplicated for the degenerate
+    [Branch (_, l, l)]). *)
+val successors : Instr.terminator -> string list
+
+val block_map : Func.t -> (string, Func.block) Hashtbl.t
+val predecessors : Func.t -> (string, string list) Hashtbl.t
+
+(** Blocks reachable from the entry block. *)
+val reachable_blocks : Func.t -> Sset.t
+
+(** Reverse postorder of the reachable blocks, entry first. *)
+val reverse_postorder : Func.t -> string list
+
+(** [dominators f] maps every reachable block to the set of blocks
+    dominating it (itself included). *)
+val dominators : Func.t -> (string, Sset.t) Hashtbl.t
+
+(** [dominates doms a b]: does block [a] dominate block [b]? *)
+val dominates : (string, Sset.t) Hashtbl.t -> string -> string -> bool

@@ -18,9 +18,21 @@ let check_func (prog : Prog.t) (f : Func.t) : error list =
   if List.length distinct <> List.length labels then
     add f.fname "duplicate block labels";
   let var_known v = List.mem_assoc v (Func.all_vars f) in
+  (* Aggregates (structs, arrays) live in memory and are manipulated
+     through pointers obtained with [Addr_of]; a bare aggregate-typed
+     variable in a scalar position would read a single word of it. *)
+  let check_scalar loc v =
+    if var_known v then
+      match Func.var_type f v with
+      | Types.Struct _ | Types.Array _ ->
+        add loc "aggregate variable %s#%d used as a scalar operand" v.vname v.vid
+      | Types.Void | Types.I64 | Types.Ptr _ | Types.Func _ -> ()
+  in
   let check_operand loc op =
     match (op : Operand.t) with
-    | Var v -> if not (var_known v) then add loc "unknown variable %s#%d" v.vname v.vid
+    | Var v ->
+      if not (var_known v) then add loc "unknown variable %s#%d" v.vname v.vid
+      else check_scalar loc v
     | Global g ->
       if not (List.exists (fun (x : Prog.global) -> String.equal x.gname g) prog.globals)
       then add loc "unknown global %s" g
@@ -49,12 +61,20 @@ let check_func (prog : Prog.t) (f : Func.t) : error list =
       List.iter (check_operand locs) (Instr.operands ins);
       (match (ins : Instr.t) with
       | Assign (v, rv) ->
-        if not (var_known v) then add locs "assign to unknown variable %s#%d" v.vname v.vid;
+        if not (var_known v) then add locs "assign to unknown variable %s#%d" v.vname v.vid
+        else check_scalar locs v;
         (match rv with
         | Load p | Addr_of p -> check_place locs p
         | Use _ | Binop _ -> ())
-      | Store (p, _) -> check_place locs p
-      | Call { target = Direct callee; args; _ } -> (
+      | Store (p, _) ->
+        (match (p : Place.t) with
+        | Lvar v when var_known v -> check_scalar locs v
+        | _ -> ());
+        check_place locs p
+      | Call { dst = Some v; _ } when not (var_known v) ->
+        add locs "call result assigned to unknown variable %s#%d" v.vname v.vid
+      | Call { target = Direct callee; args; dst } -> (
+        (match dst with Some v -> check_scalar locs v | None -> ());
         match Hashtbl.find_opt prog.funcs callee with
         | None -> add locs "call to unknown function %s" callee
         | Some g ->
@@ -65,7 +85,8 @@ let check_func (prog : Prog.t) (f : Func.t) : error list =
           let ok = if Func.is_syscall_stub g then n <= arity else n = arity in
           if not ok then
             add locs "call to %s: %d args, expected %d" callee n arity)
-      | Call { target = Indirect _; _ } -> ()))
+      | Call { target = Indirect _; dst; _ } ->
+        (match dst with Some v -> check_scalar locs v | None -> ())))
     (Func.instrs f);
   List.iter
     (fun (b : Func.block) ->
@@ -89,7 +110,21 @@ let check (prog : Prog.t) : error list =
     if Prog.mem_func prog prog.entry then []
     else [ error "program" "entry function %s not defined" prog.entry ]
   in
-  entry_errs @ List.concat_map (check_func prog) (Prog.functions prog)
+  (* The function table tolerates shadowed bindings (Hashtbl.add); a
+     program carrying two functions of the same name is malformed — the
+     layout and the monitor's metadata both key on the name. *)
+  let dup_errs =
+    let names = Hashtbl.fold (fun name _ acc -> name :: acc) prog.funcs [] in
+    let sorted = List.sort String.compare names in
+    let rec dups acc = function
+      | a :: (b :: _ as rest) ->
+        dups (if String.equal a b && not (List.mem a acc) then a :: acc else acc) rest
+      | [ _ ] | [] -> acc
+    in
+    List.map (fun n -> error "program" "function %s defined more than once" n)
+      (List.rev (dups [] sorted))
+  in
+  entry_errs @ dup_errs @ List.concat_map (check_func prog) (Prog.functions prog)
 
 (** Raise [Invalid_argument] with a readable report if the program is
     malformed. *)

@@ -1,6 +1,10 @@
 (** Well-formedness checking for programs: unknown variables, globals,
     callees, labels and struct fields; call arities (syscall stubs may
-    be called with fewer arguments than the 6-register kernel ABI). *)
+    be called with fewer arguments than the 6-register kernel ABI);
+    duplicate function names (the function table tolerates shadowed
+    bindings, the layout does not); aggregate-typed variables used in
+    scalar positions (aggregates are only manipulated through
+    pointers). *)
 
 type error = { loc : string; message : string }
 

@@ -108,20 +108,36 @@ exception Benign_run_died of string
 let protect_cache : (string, Bastion.Api.protected) Hashtbl.t = Hashtbl.create 8
 let protect_fs_cache : (string, Bastion.Api.protected) Hashtbl.t = Hashtbl.create 8
 
-let protected_of (app : app) ~fs =
-  let cache = if fs then protect_fs_cache else protect_cache in
-  match Hashtbl.find_opt cache app.app_key with
-  | Some p -> p
-  | None ->
-    let p =
-      Bastion.Api.protect ~protect_filesystem:fs
-        (Lazy.force (if fs then app.prog_fs else app.prog))
-    in
-    Hashtbl.replace cache app.app_key p;
-    p
+let preresolve_cache : (string, Bastion.Api.protected) Hashtbl.t = Hashtbl.create 8
 
-let run ?(cost = Machine.Cost.default) ?(trap_cache = true) ?recorder (app : app)
-    (defense : defense) : measurement =
+let protected_of ?(pre_resolve = false) (app : app) ~fs =
+  let cache = if fs then protect_fs_cache else protect_cache in
+  let base =
+    match Hashtbl.find_opt cache app.app_key with
+    | Some p -> p
+    | None ->
+      let p =
+        Bastion.Api.protect ~protect_filesystem:fs
+          (Lazy.force (if fs then app.prog_fs else app.prog))
+      in
+      Hashtbl.replace cache app.app_key p;
+      p
+  in
+  if not pre_resolve then base
+  else begin
+    (* Enrichment returns a fresh bundle, so the shared cache entry
+       above is never mutated. *)
+    let key = app.app_key ^ if fs then "+fs" else "" in
+    match Hashtbl.find_opt preresolve_cache key with
+    | Some p -> p
+    | None ->
+      let p = Bastion_analysis.Preresolve.enrich base in
+      Hashtbl.replace preresolve_cache key p;
+      p
+  end
+
+let run ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = false)
+    ?recorder (app : app) (defense : defense) : measurement =
   let machine_config cet = { Machine.default_config with cet; cost } in
   let machine, process, monitor =
     match defense with
@@ -154,14 +170,14 @@ let run ?(cost = Machine.Cost.default) ?(trap_cache = true) ?recorder (app : app
       let session =
         Bastion.Api.launch ~machine_config:(machine_config true)
           ~monitor_config:{ Bastion.Monitor.default_config with contexts; trap_cache }
-          ?recorder (protected_of app ~fs:false) ()
+          ?recorder (protected_of ~pre_resolve app ~fs:false) ()
       in
       (session.machine, session.process, Some session.monitor)
     | Bastion_fs mode ->
       let session =
         Bastion.Api.launch ~machine_config:(machine_config true)
           ~monitor_config:{ Bastion.Monitor.default_config with fs_mode = mode; trap_cache }
-          ?recorder (protected_of app ~fs:true) ()
+          ?recorder (protected_of ~pre_resolve app ~fs:true) ()
       in
       (session.machine, session.process, Some session.monitor)
   in

@@ -48,16 +48,23 @@ type measurement = {
 (** A benign run died — a reproduction bug, never expected. *)
 exception Benign_run_died of string
 
+(** The (cached) compile-pass output for an app; [pre_resolve] layers
+    constant-argument pre-resolution on top (as a fresh bundle — the
+    cached one is never mutated). *)
+val protected_of : ?pre_resolve:bool -> app -> fs:bool -> Bastion.Api.protected
+
 (** Run an app under a defense.  [cost] overrides the machine cost
     table (e.g. {!Machine.Cost.in_kernel_monitor}); [trap_cache]
     toggles the monitor's CT+CF verdict cache (default on), for the
-    fast-path ablation; [recorder] wires a flight recorder through the
-    monitored configurations (ignored by the unmonitored baselines —
-    observation never changes a run's cycles or verdicts).
+    fast-path ablation; [pre_resolve] enables constant-argument
+    pre-resolution (default off), for the static-analysis ablation;
+    [recorder] wires a flight recorder through the monitored
+    configurations (ignored by the unmonitored baselines — observation
+    never changes a run's cycles or verdicts).
     @raise Benign_run_died if the run faults. *)
 val run :
-  ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?recorder:Obs.Recorder.t ->
-  app -> defense -> measurement
+  ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?pre_resolve:bool ->
+  ?recorder:Obs.Recorder.t -> app -> defense -> measurement
 
 (** Relative overhead (%) against a baseline measurement, respecting the
     metric direction. *)

@@ -11,7 +11,7 @@ let roundtrip prog =
 let test_header_and_shape () =
   let _, text, _ = roundtrip (Testlib.exec_program ()) in
   Alcotest.(check bool) "header" true
-    (Astring.String.is_prefix ~affix:"BASTION-METADATA v1" text);
+    (Astring.String.is_prefix ~affix:"BASTION-METADATA v2" text);
   Alcotest.(check bool) "has calltype records" true
     (Astring.String.is_infix ~affix:"\ncalltype " text);
   Alcotest.(check bool) "has valid-caller records" true
@@ -83,8 +83,95 @@ let test_parse_errors () =
     | _ -> Alcotest.fail "expected a parse error"
   in
   expect_error "not a metadata file";
-  expect_error "BASTION-METADATA v1\nfrobnicate 1 2 3";
-  expect_error "BASTION-METADATA v1\ncalltype 59 z"
+  expect_error "BASTION-METADATA v2\nfrobnicate 1 2 3";
+  expect_error "BASTION-METADATA v2\ncalltype 59 z";
+  expect_error "BASTION-METADATA v2\npre-resolved 1 z 3"
+
+let test_old_version_rejected () =
+  (* A v1 file must be rejected with a clear version message, not a
+     record-level parse failure. *)
+  match Bastion.Metadata_io.parse "BASTION-METADATA v1\ncalltype 59 direct" with
+  | exception Bastion.Metadata_io.Parse_error (line, msg) ->
+    Alcotest.(check int) "error on the header line" 1 line;
+    Alcotest.(check bool) "names the unsupported version" true
+      (Astring.String.is_infix ~affix:"v1" msg);
+    Alcotest.(check bool) "names the supported version" true
+      (Astring.String.is_infix ~affix:"v2" msg)
+  | _ -> Alcotest.fail "expected a version error"
+
+let test_pre_resolved_roundtrip () =
+  let p = Bastion.Api.protect (Testlib.exec_program ()) in
+  let p = Bastion_analysis.Preresolve.enrich p in
+  (* Guarantee at least one record even if the analysis finds none. *)
+  let p =
+    if Hashtbl.length p.pre_resolved > 0 then p
+    else begin
+      let tbl = Hashtbl.copy p.pre_resolved in
+      (match p.inst.callsites with
+      | cm :: _ -> Hashtbl.replace tbl cm.cm_id [ (0, 42L) ]
+      | [] -> ());
+      { p with pre_resolved = tbl }
+    end
+  in
+  let restored =
+    Bastion.Metadata_io.restore p.inst.iprog
+      (Bastion.Metadata_io.parse (Bastion.Metadata_io.write p))
+  in
+  let dump tbl =
+    Hashtbl.fold (fun id l acc -> (id, List.sort compare l) :: acc) tbl []
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "pre-resolved records survive" true
+    (dump p.pre_resolved = dump restored.pre_resolved)
+
+(* qcheck: arbitrary pre-resolved tables survive the text format. *)
+let preres_qcheck =
+  QCheck.Test.make ~count:50 ~name:"metadata-io pre-resolved table roundtrips"
+    QCheck.(
+      small_list (triple small_nat (int_bound 5) (map Int64.of_int int)))
+    (fun records ->
+      let p = Bastion.Api.protect (Testlib.exec_program ()) in
+      let ids = List.map (fun (cm : Bastion.Instrument.callsite_meta) -> cm.cm_id)
+          p.inst.callsites in
+      QCheck.assume (ids <> []);
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (i, pos, c) ->
+          let id = List.nth ids (i mod List.length ids) in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt tbl id) in
+          if not (List.mem_assoc pos prev) then
+            Hashtbl.replace tbl id ((pos, c) :: prev))
+        records;
+      let p = { p with pre_resolved = tbl } in
+      let restored =
+        Bastion.Metadata_io.restore p.inst.iprog
+          (Bastion.Metadata_io.parse (Bastion.Metadata_io.write p))
+      in
+      let dump t =
+        Hashtbl.fold (fun id l acc -> (id, List.sort compare l) :: acc) t []
+        |> List.sort compare
+      in
+      dump p.pre_resolved = dump restored.pre_resolved)
+
+let test_restored_pre_resolved_still_checks () =
+  (* A restored enriched bundle still verifies pre-resolved slots
+     statically at run time. *)
+  let app = Workloads.Drivers.nginx () in
+  let p =
+    Bastion_analysis.Preresolve.enrich
+      (Bastion.Api.protect (Lazy.force app.prog))
+  in
+  Alcotest.(check bool) "nginx has pre-resolvable slots" true
+    (Hashtbl.length p.pre_resolved > 0);
+  let restored =
+    Bastion.Metadata_io.restore p.inst.iprog
+      (Bastion.Metadata_io.parse (Bastion.Metadata_io.write p))
+  in
+  let session = Bastion.Api.launch restored () in
+  app.setup session.process;
+  Testlib.check_exit (Machine.run session.machine);
+  Alcotest.(check bool) "static AI verifications happened" true
+    (Bastion.Monitor.pre_resolved_hits session.monitor > 0)
 
 let test_workload_scale_roundtrip () =
   (* The full NGINX model's metadata survives the trip too. *)
@@ -115,6 +202,13 @@ let suites =
           test_restored_bundle_blocks_attacks;
         Alcotest.test_case "file save/load" `Quick test_file_roundtrip;
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "old version rejected clearly" `Quick
+          test_old_version_rejected;
+        Alcotest.test_case "pre-resolved records roundtrip" `Quick
+          test_pre_resolved_roundtrip;
+        QCheck_alcotest.to_alcotest preres_qcheck;
+        Alcotest.test_case "restored pre-resolved bundle checks statically" `Slow
+          test_restored_pre_resolved_still_checks;
         Alcotest.test_case "workload-scale roundtrip" `Quick test_workload_scale_roundtrip;
       ] );
   ]
