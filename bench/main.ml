@@ -4,13 +4,16 @@
 
    Usage:  dune exec bench/main.exe [section ...] [--json PATH]
                                     [--json-static PATH]
+                                    [--json-parallel PATH] [--parallel-smoke]
    Sections: figure3 table3 table4 table5 table6 table7 stats ablations
-             static micro all (default: all)
+             static micro throughput all (default: all)
 
    --json PATH writes machine-readable cycle totals / overhead % per
    configuration (including the trap-cache on/off ablation pair) to
    PATH; --json-static PATH writes the constant-argument
-   pre-resolution ablation; either given alone skips the printed
+   pre-resolution ablation; --json-parallel PATH writes the sharded
+   multi-tracee monitor throughput bench (--parallel-smoke shrinks it
+   to the CI configuration); any given alone skips the printed
    sections. *)
 
 let sections =
@@ -24,6 +27,7 @@ let sections =
     ("ablations", fun () -> Ablations.run ());
     ("static", fun () -> Static_preres.run ());
     ("micro", fun () -> Micro.run ());
+    ("throughput", fun () -> Throughput.run ());
   ]
 
 let () =
@@ -39,9 +43,13 @@ let () =
   in
   let json_path, args = extract_json "--json" [] args in
   let json_static_path, args = extract_json "--json-static" [] args in
+  let json_parallel_path, args = extract_json "--json-parallel" [] args in
+  let parallel_smoke = List.mem "--parallel-smoke" args in
+  let args = List.filter (fun a -> a <> "--parallel-smoke") args in
   let wanted =
     match args with
-    | [] when json_path <> None || json_static_path <> None ->
+    | [] when json_path <> None || json_static_path <> None
+              || json_parallel_path <> None ->
       []  (* JSON-only invocation *)
     | [] | [ "all" ] -> List.map fst sections
     | args ->
@@ -64,6 +72,9 @@ let () =
     List.iter (fun (_, f) -> f ()) requested
   end;
   (match json_path with None -> () | Some path -> Json_out.emit path);
-  match json_static_path with
+  (match json_static_path with
   | None -> ()
-  | Some path -> Static_preres.emit path
+  | Some path -> Static_preres.emit path);
+  match json_parallel_path with
+  | None -> ()
+  | Some path -> Throughput.emit ~smoke:parallel_smoke path

@@ -171,10 +171,48 @@ let lint_cmd =
 
 (* --- run -------------------------------------------------------------- *)
 
-let run_workload verbose app defense no_trap_cache pre_resolve trace metrics audit =
+(* Sharded mode: N tracees over a monitor pool of worker domains.  Each
+   tracee is a full session run on its owning shard; the report is the
+   modelled makespan (heaviest shard) against the serial cycle sum. *)
+let run_workload_sharded a defense ~trap_cache ~pre_resolve ~shards ~tracees metrics =
+  let m =
+    Workloads.Drivers.run_multi ~trap_cache ~pre_resolve ~shards ~tracees a defense
+  in
+  let t0 = m.mm_tracees.(0) in
+  Printf.printf "%s under %s: %d tracees over %d shard%s\n" a.Workloads.Drivers.app_name
+    (Workloads.Drivers.defense_name defense) tracees shards
+    (if shards = 1 then "" else "s");
+  Printf.printf "  per tracee       : %.2f %s, %d traps, %d cycles\n" t0.m_metric
+    a.Workloads.Drivers.metric_name t0.m_traps t0.m_cycles;
+  Printf.printf "  total traps      : %d\n" (Workloads.Drivers.sum_traps m);
+  Printf.printf "  serial cycles    : %d\n" m.mm_serial_cycles;
+  Printf.printf "  makespan cycles  : %d (modelled speedup %.2fx)\n" m.mm_makespan_cycles
+    (float_of_int m.mm_serial_cycles /. float_of_int m.mm_makespan_cycles);
+  Printf.printf "  host wall clock  : %.3f s\n" m.mm_wall_seconds;
+  Array.iter
+    (fun (sh : Bastion_mt.Monitor_pool.shard_stats) ->
+      Printf.printf "  shard %d          : %d tracees, queue max depth %d, %d blocked pushes\n"
+        sh.sh_shard sh.sh_tracees sh.sh_queue.Bastion_mt.Trap_queue.q_max_depth
+        sh.sh_queue.Bastion_mt.Trap_queue.q_blocked_pushes)
+    m.mm_pool.p_shards;
+  if metrics then begin
+    let reg = Obs.Metrics.create () in
+    Bastion_mt.Monitor_pool.mirror_stats m.mm_pool reg;
+    print_string (Obs.Metrics.summary_table reg)
+  end;
+  `Ok ()
+
+let run_workload verbose app defense no_trap_cache pre_resolve trace metrics audit
+    shards tracees =
   setup_logs verbose;
   let trap_cache = not no_trap_cache in
   let a = app_of_name app in
+  if shards < 1 then `Error (false, "--shards must be >= 1")
+  else if tracees < 0 then `Error (false, "--tracees must be >= 1")
+  else if shards > 1 || tracees > 1 then
+    let tracees = if tracees = 0 then 2 * shards else tracees in
+    run_workload_sharded a defense ~trap_cache ~pre_resolve ~shards ~tracees metrics
+  else begin
   (* The recorder exists only when some sink wants it: the trace or
      audit file needs the ring, --metrics the histograms, -v the live
      callback.  Otherwise runs stay on the counter-bump path. *)
@@ -233,6 +271,7 @@ let run_workload verbose app defense no_trap_cache pre_resolve trace metrics aud
     | None -> ());
     if metrics then print_string (Obs.Recorder.summary_table r));
   `Ok ()
+  end
 
 let run_cmd =
   let defense =
@@ -279,11 +318,25 @@ let run_cmd =
       & info [ "audit" ] ~docv:"FILE"
           ~doc:"Write a JSONL audit log (one structured event per line) to FILE.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Shard the monitor over N worker domains; each tracee runs \
+                wholly on its owning shard (same tracee, same shard).")
+  in
+  let tracees =
+    Arg.(
+      value & opt int 0
+      & info [ "tracees" ] ~docv:"K"
+          ~doc:"Number of concurrent tracees in sharded mode (default: 2x \
+                the shard count).")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a defense configuration")
     Term.(
       ret
         (const run_workload $ verbose_arg $ app_arg $ defense $ no_trap_cache
-       $ pre_resolve $ trace $ metrics $ audit))
+       $ pre_resolve $ trace $ metrics $ audit $ shards $ tracees))
 
 (* --- trace-summary ----------------------------------------------------- *)
 
@@ -319,7 +372,18 @@ let attack_configs =
     ("full", Attacks.Runner.Full_bastion);
   ]
 
-let run_attack verbose id all config =
+let print_row (row : Attacks.Runner.row) =
+  let f o = match o with
+    | Attacks.Runner.Blocked _ -> "blocked"
+    | Attacks.Runner.Succeeded -> "SUCCEEDED"
+    | Attacks.Runner.Inert -> "inert"
+  in
+  Printf.printf "%-22s undef=%s ct=%s cf=%s ai=%s full=%s %s\n" row.r_attack.a_id
+    (f row.r_undefended) (f row.r_ct) (f row.r_cf) (f row.r_ai) (f row.r_full)
+    (if Attacks.Runner.matches_expectation row then "(matches Table 6)"
+     else "(MISMATCH vs Table 6)")
+
+let run_attack verbose id all config shards =
   setup_logs verbose;
   let chosen =
     if all then Attacks.Catalog.all
@@ -331,6 +395,19 @@ let run_attack verbose id all config =
   in
   if chosen = [] then
     `Error (false, "no attack selected; use --id ID or --all (see `bastion list`)")
+  else if shards < 1 then `Error (false, "--shards must be >= 1")
+  else if shards > 1 && (not all || config <> None) then
+    `Error (false, "--shards only applies to `attack --all` without --config")
+  else if shards > 1 then begin
+    (* One Table 6 row per tracee on the monitor pool. *)
+    let rows, stats = Attacks.Runner.evaluate_all_sharded ~shards () in
+    List.iter print_row rows;
+    Array.iter
+      (fun (sh : Bastion_mt.Monitor_pool.shard_stats) ->
+        Printf.printf "shard %d: %d rows\n" sh.sh_shard sh.sh_tracees)
+      stats.p_shards;
+    `Ok ()
+  end
   else begin
     List.iter
       (fun (attack : Attacks.Attack.t) ->
@@ -340,17 +417,7 @@ let run_attack verbose id all config =
           Printf.printf "%-22s %-10s %s\n" attack.a_id
             (Attacks.Runner.config_name config)
             (Attacks.Runner.outcome_name outcome)
-        | None ->
-          let row = Attacks.Runner.evaluate attack in
-          let f o = match o with
-            | Attacks.Runner.Blocked _ -> "blocked"
-            | Attacks.Runner.Succeeded -> "SUCCEEDED"
-            | Attacks.Runner.Inert -> "inert"
-          in
-          Printf.printf "%-22s undef=%s ct=%s cf=%s ai=%s full=%s %s\n" attack.a_id
-            (f row.r_undefended) (f row.r_ct) (f row.r_cf) (f row.r_ai) (f row.r_full)
-            (if Attacks.Runner.matches_expectation row then "(matches Table 6)"
-             else "(MISMATCH vs Table 6)"))
+        | None -> print_row (Attacks.Runner.evaluate attack))
       chosen;
     `Ok ()
   end
@@ -367,8 +434,15 @@ let attack_cmd =
       & info [ "config" ] ~docv:"CONFIG"
           ~doc:"Run under one configuration only (none, ct, cf, ai, full); default: all five.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"With --all: evaluate the catalog over N worker domains, one \
+                Table 6 row per tracee (results identical to serial).")
+  in
   Cmd.v (Cmd.info "attack" ~doc:"Run attacks from the Table 6 catalog")
-    Term.(ret (const run_attack $ verbose_arg $ id $ all $ config))
+    Term.(ret (const run_attack $ verbose_arg $ id $ all $ config $ shards))
 
 (* --- list ------------------------------------------------------------- *)
 

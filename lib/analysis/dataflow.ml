@@ -29,6 +29,9 @@ module Make (L : LATTICE) = struct
     df_out : (string, L.t) Hashtbl.t;
         (** per block: state at the block's end (program order) *)
     df_transfer : Sil.Loc.t -> Sil.Instr.t -> L.t -> L.t;
+    df_term : (Sil.Func.block -> L.t -> L.t) option;
+        (** terminator transfer, between the instruction flow and the
+            block boundary on the control-flow side *)
   }
 
   let join_into tbl label state =
@@ -64,8 +67,10 @@ module Make (L : LATTICE) = struct
 
   let run ~(dir : direction) ~(init : L.t)
       ~(transfer : Sil.Loc.t -> Sil.Instr.t -> L.t -> L.t)
+      ?(term : (Sil.Func.block -> L.t -> L.t) option)
       ?(edges : (Sil.Func.block -> L.t -> (string * L.t) list) option)
       (f : Sil.Func.t) : result =
+    let apply_term b s = match term with None -> s | Some t -> t b s in
     let blocks = Sil.Cfg.block_map f in
     let df_in = Hashtbl.create 16 in
     let df_out = Hashtbl.create 16 in
@@ -98,7 +103,7 @@ module Make (L : LATTICE) = struct
       match dir with
       | Forward ->
         let s_in = Hashtbl.find df_in label in
-        let s_out = flow_forward transfer f b s_in in
+        let s_out = apply_term b (flow_forward transfer f b s_in) in
         Hashtbl.replace df_out label s_out;
         let outs =
           match edges with
@@ -111,13 +116,14 @@ module Make (L : LATTICE) = struct
           outs
       | Backward ->
         let s_out = Hashtbl.find df_out label in
-        let s_in = flow_backward transfer f b s_out in
+        let s_in = flow_backward transfer f b (apply_term b s_out) in
         Hashtbl.replace df_in label s_in;
         List.iter
           (fun pred -> if join_into df_out pred s_in then push pred)
           (Option.value ~default:[] (Hashtbl.find_opt (Lazy.force preds) label))
     done;
-    { df_func = f; df_dir = dir; df_in; df_out; df_transfer = transfer }
+    { df_func = f; df_dir = dir; df_in; df_out; df_transfer = transfer;
+      df_term = term }
 
   (** Fixpoint state at a block boundary; [None] when the block was
       never reached (bottom). *)
@@ -153,7 +159,7 @@ module Make (L : LATTICE) = struct
         match Hashtbl.find_opt r.df_out b.label with
         | None -> None
         | Some s ->
-          let s = ref s in
+          let s = ref (match r.df_term with None -> s | Some t -> t b s) in
           for idx = Array.length b.instrs - 1 downto loc.index do
             s :=
               r.df_transfer (Sil.Loc.make r.df_func.fname b.label idx)

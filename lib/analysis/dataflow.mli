@@ -21,17 +21,24 @@ module Make (L : LATTICE) : sig
     df_in : (string, L.t) Hashtbl.t;
     df_out : (string, L.t) Hashtbl.t;
     df_transfer : Sil.Loc.t -> Sil.Instr.t -> L.t -> L.t;
+    df_term : (Sil.Func.block -> L.t -> L.t) option;
   }
 
-  (** Run to fixpoint.  Forward analyses may supply [edges], an
-      edge-sensitive out-function from a block's exit state to
-      per-successor states (how constant propagation folds branches on
-      known conditions); omitted, every successor receives the block's
-      exit state. *)
+  (** Run to fixpoint.  [term] is the terminator transfer — applied
+      between the instruction flow and the block boundary on the
+      control-flow side (forward: after the last instruction, before
+      the successors; backward: to the successor join, before the last
+      instruction).  Liveness needs it: a [Branch] condition or [Ret]
+      operand is a use that no instruction carries.  Forward analyses
+      may supply [edges], an edge-sensitive out-function from a block's
+      exit state to per-successor states (how constant propagation
+      folds branches on known conditions); omitted, every successor
+      receives the block's exit state. *)
   val run :
     dir:direction ->
     init:L.t ->
     transfer:(Sil.Loc.t -> Sil.Instr.t -> L.t -> L.t) ->
+    ?term:(Sil.Func.block -> L.t -> L.t) ->
     ?edges:(Sil.Func.block -> L.t -> (string * L.t) list) ->
     Sil.Func.t ->
     result

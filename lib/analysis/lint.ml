@@ -493,3 +493,10 @@ let check (p : Bastion.Api.protected) : diag list =
   end;
 
   List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* The library gate                                                    *)
+
+let register_api_validator () =
+  Bastion.Api.set_validator
+    (Some (fun p -> List.map (Format.asprintf "%a" pp_diag) (check p)))

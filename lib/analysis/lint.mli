@@ -48,3 +48,9 @@ val pp_diag : Format.formatter -> diag -> unit
 
 (** Run every check; diagnostics come back in deterministic order. *)
 val check : Bastion.Api.protected -> diag list
+
+(** Register {!check} as the validator behind
+    [Bastion.Api.protect ~validate:true]: each diagnostic becomes one
+    rendered message of the raised [Validation_failed].  Idempotent;
+    the workload drivers and the CLI call it at module initialisation. *)
+val register_api_validator : unit -> unit

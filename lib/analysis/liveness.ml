@@ -1,0 +1,87 @@
+(* Backward liveness over a function's block CFG: the third
+   Dataflow.Make instance (after reaching definitions and constant
+   propagation).
+
+   live_before(i) = (live_after(i) - def(i)) ∪ uses(i), joined by union
+   across successors.  Terminators carry uses that no instruction does
+   — a Branch condition, a Ret operand — so this is the analysis that
+   needs the engine's terminator transfer. *)
+
+module SS = Set.Make (String)
+
+module L = struct
+  type t = SS.t
+
+  let equal = SS.equal
+  let join = SS.union
+end
+
+module Df = Dataflow.Make (L)
+
+type t = { lv_func : Sil.Func.t; lv_res : Df.result }
+
+let func (t : t) = t.lv_func
+
+let add_operand_vars acc op =
+  List.fold_left
+    (fun acc (v : Sil.Operand.var) -> SS.add v.vname acc)
+    acc (Sil.Operand.vars op)
+
+let instr_uses (ins : Sil.Instr.t) =
+  List.fold_left add_operand_vars SS.empty (Sil.Instr.operands ins)
+
+let term_uses (term : Sil.Instr.terminator) =
+  match term with
+  | Sil.Instr.Branch (cond, _, _) -> add_operand_vars SS.empty cond
+  | Sil.Instr.Ret (Some op) -> add_operand_vars SS.empty op
+  | Sil.Instr.Ret None | Sil.Instr.Halt | Sil.Instr.Jump _ -> SS.empty
+
+let transfer _loc ins after =
+  let kill =
+    match Sil.Instr.def ins with
+    | Some v -> SS.singleton v.vname
+    | None -> SS.empty
+  in
+  SS.union (SS.diff after kill) (instr_uses ins)
+
+let compute (f : Sil.Func.t) : t =
+  let res =
+    Df.run ~dir:Dataflow.Backward ~init:SS.empty ~transfer
+      ~term:(fun b s -> SS.union s (term_uses b.term))
+      f
+  in
+  { lv_func = f; lv_res = res }
+
+let live_in (t : t) label =
+  Option.value ~default:SS.empty (Df.block_in t.lv_res label)
+
+let live_out (t : t) label =
+  Option.value ~default:SS.empty (Df.block_out t.lv_res label)
+
+let live_before (t : t) loc =
+  Option.value ~default:SS.empty (Df.before t.lv_res loc)
+
+let live_after (t : t) (loc : Sil.Loc.t) =
+  live_before t { loc with index = loc.index + 1 }
+
+(* A def whose value no later use can observe.  Blocks the backward
+   analysis never reached — blocks that cannot reach an exit, where
+   liveness is bottom — are skipped: reporting every def along a
+   non-terminating path as a dead store would drown the signal. *)
+let dead_stores (t : t) : Sil.Loc.t list =
+  List.concat_map
+    (fun (b : Sil.Func.block) ->
+      if Df.block_out t.lv_res b.label = None then []
+      else
+        List.concat
+          (List.mapi
+             (fun idx ins ->
+               match Sil.Instr.def ins with
+               | Some v
+                 when not
+                        (SS.mem v.vname
+                           (live_after t (Sil.Loc.make t.lv_func.fname b.label idx)))
+                 -> [ Sil.Loc.make t.lv_func.fname b.label idx ]
+               | _ -> [])
+             (Array.to_list b.instrs)))
+    t.lv_func.blocks

@@ -1,0 +1,38 @@
+(** Backward liveness over a function's block CFG: the third
+    {!Dataflow.Make} instance.
+
+    live_before(i) = (live_after(i) − def(i)) ∪ uses(i), joined by
+    union across successors.  Terminator operands count as uses: a
+    [Branch] condition and a [Ret] operand keep their variables live
+    even though no instruction reads them — that is what the engine's
+    terminator transfer exists for. *)
+
+module SS : Set.S with type elt = string
+
+type t
+
+val compute : Sil.Func.t -> t
+
+(** The analysed function. *)
+val func : t -> Sil.Func.t
+
+(** Variables live at the block's start / end (program order); empty
+    for blocks the backward analysis never reached. *)
+val live_in : t -> string -> SS.t
+
+val live_out : t -> string -> SS.t
+
+(** Variables live just before / just after the instruction at [loc];
+    the after-point of a block's last instruction already includes the
+    terminator's uses. *)
+val live_before : t -> Sil.Loc.t -> SS.t
+
+val live_after : t -> Sil.Loc.t -> SS.t
+
+(** Defs whose value no later use (instruction or terminator) can
+    observe, in program order.  Blocks that cannot reach an exit
+    (backward-bottom) are skipped rather than reported wholesale. *)
+val dead_stores : t -> Sil.Loc.t list
+
+(** The uses a terminator carries ([Branch] condition, [Ret] operand). *)
+val term_uses : Sil.Instr.terminator -> SS.t

@@ -50,3 +50,12 @@ val matches_expectation : row -> bool
 val evaluate_all :
   ?trap_cache:bool -> ?pre_resolve:bool -> ?recorder:Obs.Recorder.t ->
   unit -> row list
+
+(** The Table 6 matrix with each attack row evaluated as its own tracee
+    on a {!Bastion_mt.Monitor_pool} of [shards] worker domains.  Rows
+    come back in catalog order and must equal {!evaluate_all} verdict
+    for verdict at every shard count (each row builds a fresh session,
+    so no verification state crosses rows or domains). *)
+val evaluate_all_sharded :
+  ?trap_cache:bool -> ?pre_resolve:bool -> shards:int ->
+  unit -> row list * Bastion_mt.Monitor_pool.stats

@@ -26,10 +26,34 @@ type protected = {
           default *)
 }
 
+exception Validation_failed of string list
+
+(* The metadata-soundness validator is registered by the analysis
+   library (Bastion_analysis.Lint lives *above* this one, so the gate
+   is a hook, not a direct call).  [protect ~validate:true] refuses to
+   hand out a bundle the registered validator rejects. *)
+let validator : (protected -> string list) option ref = ref None
+
+let set_validator f = validator := f
+
+let run_validator (p : protected) =
+  match !validator with
+  | None ->
+    invalid_arg
+      "Api.protect: ~validate:true but no metadata validator is registered \
+       (call Bastion_analysis.Lint.register_api_validator, or link a library \
+       that does)"
+  | Some f -> (
+    match f p with [] -> () | msgs -> raise (Validation_failed msgs))
+
 (** Run the full BASTION compiler pass over a program.
     [protect_filesystem] extends the sensitive set with the filesystem
-    syscalls (§11.2). *)
-let protect ?(protect_filesystem = false) (prog : Sil.Prog.t) : protected =
+    syscalls (§11.2).  [validate] runs the registered metadata-soundness
+    validator over the finished bundle and raises {!Validation_failed}
+    on any diagnostic — protected programs are then sound by
+    construction. *)
+let protect ?(protect_filesystem = false) ?(validate = false) (prog : Sil.Prog.t) :
+    protected =
   Sil.Validate.check_exn prog;
   let original_callgraph = Sil.Callgraph.build prog in
   let sensitive_numbers =
@@ -44,8 +68,12 @@ let protect ?(protect_filesystem = false) (prog : Sil.Prog.t) : protected =
   let icg = Sil.Callgraph.build inst.iprog in
   let calltype = Calltype.analyze inst.iprog icg in
   let cfg = Cfg_analysis.analyze inst.iprog icg ~sensitive_numbers in
-  { original = prog; inst; analysis; calltype; cfg; sensitive_numbers;
-    original_callgraph; pre_resolved = Hashtbl.create 1 }
+  let p =
+    { original = prog; inst; analysis; calltype; cfg; sensitive_numbers;
+      original_callgraph; pre_resolved = Hashtbl.create 1 }
+  in
+  if validate then run_validator p;
+  p
 
 type session = {
   machine : Machine.t;

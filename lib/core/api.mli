@@ -30,10 +30,26 @@ type protected = {
           default *)
 }
 
+(** The metadata-soundness gate rejected the bundle; one message per
+    diagnostic, in the validator's deterministic order. *)
+exception Validation_failed of string list
+
+(** Install (or clear) the metadata-soundness validator that
+    [protect ~validate:true] runs.  The linter lives in the analysis
+    library above this one, so it registers itself here:
+    [Bastion_analysis.Lint.register_api_validator] is the canonical
+    caller.  Returning [[]] means sound. *)
+val set_validator : (protected -> string list) option -> unit
+
 (** Run the BASTION compiler pass.  [protect_filesystem] extends the
-    sensitive set with the filesystem syscalls (§11.2).
-    @raise Invalid_argument if the program is malformed. *)
-val protect : ?protect_filesystem:bool -> Sil.Prog.t -> protected
+    sensitive set with the filesystem syscalls (§11.2); [validate]
+    (default off) runs the registered metadata-soundness validator over
+    the finished bundle, so protected programs are sound by
+    construction.
+    @raise Invalid_argument if the program is malformed, or if
+    [validate] is requested with no validator registered.
+    @raise Validation_failed if the validator reports diagnostics. *)
+val protect : ?protect_filesystem:bool -> ?validate:bool -> Sil.Prog.t -> protected
 
 (** A deployed protection: machine + kernel process + runtime library +
     attached monitor. *)

@@ -1,0 +1,218 @@
+(* The sharded multi-tracee monitor pool.
+
+   Layout: one bounded Trap_queue and one worker Domain per shard; the
+   calling domain is the feeder.  A tracee's work always goes to
+   [shard_of_tracee] of its id, so per-tracee order is total (bounded
+   FIFO, single consumer) and no verification state ever crosses a
+   domain: whatever a shard creates for a tracee — monitor, verdict
+   cache, recorder, stream-verifier state — lives and dies on that
+   shard's domain.  The feeder blocks when a queue is full
+   (backpressure, never drops) and merges results in tracee order after
+   joining every worker. *)
+
+type config = { shards : int; queue_capacity : int; batch : int }
+
+let default_queue_capacity = 64
+let default_batch = 8
+
+let config ?(queue_capacity = default_queue_capacity) ?(batch = default_batch)
+    ~shards () =
+  if shards < 1 then invalid_arg "Monitor_pool.config: shards must be >= 1";
+  if queue_capacity < 1 then
+    invalid_arg "Monitor_pool.config: queue_capacity must be >= 1";
+  if batch < 1 then invalid_arg "Monitor_pool.config: batch must be >= 1";
+  { shards; queue_capacity; batch }
+
+let shard_of_tracee ~shards tracee =
+  if shards < 1 then invalid_arg "Monitor_pool.shard_of_tracee: shards < 1";
+  (tracee mod shards + shards) mod shards
+
+type shard_stats = {
+  sh_shard : int;
+  sh_tracees : int;
+  sh_items : int;
+  sh_queue : Trap_queue.stats;
+}
+
+type stats = { p_config : config; p_tracees : int; p_shards : shard_stats array }
+
+(* Feeder/worker skeleton shared by both granularities: spawn one
+   worker per shard over its own queue, push every item to its owning
+   shard, close, join.  [worker] consumes batches until the queue
+   drains; its return value is the shard's result. *)
+let with_pool (cfg : config) ~(items : (int * 'item) Seq.t)
+    ~(worker : shard:int -> (int * 'item) Trap_queue.t -> 'acc) :
+    'acc array * (int -> Trap_queue.stats) =
+  let queues =
+    Array.init cfg.shards (fun _ -> Trap_queue.create ~capacity:cfg.queue_capacity)
+  in
+  let domains =
+    Array.init cfg.shards (fun s -> Domain.spawn (fun () -> worker ~shard:s queues.(s)))
+  in
+  (* Feed on the calling domain; a full shard queue blocks us here —
+     that is the backpressure, not a drop. *)
+  (try
+     Seq.iter
+       (fun ((tracee, _) as item) ->
+         Trap_queue.push queues.(shard_of_tracee ~shards:cfg.shards tracee) item)
+       items
+   with e ->
+     (* Never leave workers running: close and join before re-raising. *)
+     Array.iter Trap_queue.close queues;
+     Array.iter (fun d -> ignore (Domain.join d)) domains;
+     raise e);
+  Array.iter Trap_queue.close queues;
+  let accs = Array.map Domain.join domains in
+  (accs, fun s -> Trap_queue.stats queues.(s))
+
+let drain (queue : 'a Trap_queue.t) ~batch ~f =
+  let rec loop () =
+    match Trap_queue.pop_batch queue ~max:batch with
+    | [] -> ()
+    | items ->
+      List.iter f items;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Whole-tracee jobs                                                   *)
+
+let run_tracees (type r) ~(config : config) (jobs : (unit -> r) array) :
+    r array * stats =
+  let n = Array.length jobs in
+  (* One slot per tracee; each is written by exactly one worker domain
+     and read only after the joins (the join gives the happens-before
+     edge). *)
+  let results : (r, exn) result option array = Array.make n None in
+  let worker ~shard:_ queue =
+    let items = ref 0 in
+    let tracees = ref 0 in
+    drain queue ~batch:config.batch ~f:(fun (tracee, ()) ->
+        incr items;
+        incr tracees;
+        results.(tracee) <-
+          Some (match jobs.(tracee) () with v -> Ok v | exception e -> Error e));
+    (!items, !tracees)
+  in
+  let accs, queue_stats =
+    with_pool config
+      ~items:(Seq.init n (fun i -> (i, ())))
+      ~worker
+  in
+  let shard_stats =
+    Array.mapi
+      (fun s (items, tracees) ->
+        { sh_shard = s; sh_tracees = tracees; sh_items = items;
+          sh_queue = queue_stats s })
+      accs
+  in
+  let stats = { p_config = config; p_tracees = n; p_shards = shard_stats } in
+  (* Deterministic failure: the lowest-numbered failing tracee wins,
+     whatever order the shards actually ran in. *)
+  let values =
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false (* every index was pushed and drained *))
+      results
+  in
+  (values, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Trap-granular stream                                                *)
+
+let process_stream (type s v) ~(config : config) ~tracees
+    ~(init : int -> s) ~(verify : tracee:int -> s -> 'trap -> v)
+    (stream : (int * 'trap) list) : v list array * stats =
+  List.iter
+    (fun (tracee, _) ->
+      if tracee < 0 || tracee >= tracees then
+        invalid_arg
+          (Printf.sprintf "Monitor_pool.process_stream: tracee %d not in [0,%d)"
+             tracee tracees))
+    stream;
+  let worker ~shard:_ queue =
+    let states : (int, s) Hashtbl.t = Hashtbl.create 8 in
+    let verdicts : (int, v list) Hashtbl.t = Hashtbl.create 8 in
+    let items = ref 0 in
+    drain queue ~batch:config.batch ~f:(fun (tracee, trap) ->
+        incr items;
+        let state =
+          match Hashtbl.find_opt states tracee with
+          | Some s -> s
+          | None ->
+            let s = init tracee in
+            Hashtbl.replace states tracee s;
+            s
+        in
+        let v = verify ~tracee state trap in
+        Hashtbl.replace verdicts tracee
+          (v :: Option.value ~default:[] (Hashtbl.find_opt verdicts tracee)));
+    let per_tracee =
+      Hashtbl.fold (fun tracee vs acc -> (tracee, List.rev vs) :: acc) verdicts []
+    in
+    (!items, Hashtbl.length states, per_tracee)
+  in
+  let accs, queue_stats =
+    with_pool config ~items:(List.to_seq stream) ~worker
+  in
+  let merged = Array.make tracees [] in
+  Array.iter
+    (fun (_, _, per_tracee) ->
+      List.iter (fun (tracee, vs) -> merged.(tracee) <- vs) per_tracee)
+    accs;
+  let shard_stats =
+    Array.mapi
+      (fun s (items, tracees, _) ->
+        { sh_shard = s; sh_tracees = tracees; sh_items = items;
+          sh_queue = queue_stats s })
+      accs
+  in
+  (merged, { p_config = config; p_tracees = tracees; p_shards = shard_stats })
+
+let process_stream_serial (type s v) ~tracees ~(init : int -> s)
+    ~(verify : tracee:int -> s -> 'trap -> v) (stream : (int * 'trap) list) :
+    v list array =
+  let states : (int, s) Hashtbl.t = Hashtbl.create 8 in
+  let merged = Array.make tracees [] in
+  List.iter
+    (fun (tracee, trap) ->
+      if tracee < 0 || tracee >= tracees then
+        invalid_arg
+          (Printf.sprintf
+             "Monitor_pool.process_stream_serial: tracee %d not in [0,%d)" tracee
+             tracees);
+      let state =
+        match Hashtbl.find_opt states tracee with
+        | Some s -> s
+        | None ->
+          let s = init tracee in
+          Hashtbl.replace states tracee s;
+          s
+      in
+      merged.(tracee) <- verify ~tracee state trap :: merged.(tracee))
+    stream;
+  Array.map List.rev merged
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let mirror_stats (stats : stats) (reg : Obs.Metrics.t) =
+  let set name v = Obs.Metrics.add (Obs.Metrics.counter reg name) v in
+  set "mt.shards" stats.p_config.shards;
+  set "mt.tracees" stats.p_tracees;
+  Array.iter
+    (fun (sh : shard_stats) ->
+      let p suffix v =
+        set (Printf.sprintf "mt.shard%d.%s" sh.sh_shard suffix) v
+      in
+      p "items" sh.sh_items;
+      p "tracees" sh.sh_tracees;
+      p "queue.pushed" sh.sh_queue.Trap_queue.q_pushed;
+      p "queue.popped" sh.sh_queue.Trap_queue.q_popped;
+      p "queue.max_depth" sh.sh_queue.Trap_queue.q_max_depth;
+      p "queue.blocked_pushes" sh.sh_queue.Trap_queue.q_blocked_pushes;
+      p "queue.batches" sh.sh_queue.Trap_queue.q_batches)
+    stats.p_shards

@@ -1,0 +1,89 @@
+(** The sharded multi-tracee monitor pool.
+
+    The paper's monitor (§7) serially traps and verifies one tracee's
+    syscalls; total verification throughput is therefore capped at one
+    trap at a time no matter how many protected processes exist.  The
+    pool shards *tracees* across OCaml 5 worker domains: every tracee
+    is pinned to one shard ([shard_of_tracee], stable by tracee id), a
+    bounded {!Trap_queue} per shard carries its work with blocking-push
+    backpressure, and each shard's verification state — the per-tracee
+    [Monitor.t], its verdict cache, its recorder — is created and only
+    ever touched on that shard's domain.  Nothing mutable is shared
+    across domains, so a tracee's modelled cycles, verdicts and denials
+    are byte-identical to a serial run regardless of the shard count;
+    results are merged back in tracee order.
+
+    Two granularities:
+    - {!run_tracees}: whole-tracee jobs (boot a session, run the
+      machine, verify its traps in-domain as they stop) — what the
+      multi-tracee workload driver and the attack runner use;
+    - {!process_stream}: an interleaved per-trap stream dispatched to
+      the owning shard — the event-loop shape of a real multi-tracee
+      ptrace monitor, and what the equivalence property tests drive. *)
+
+type config = {
+  shards : int;          (** worker domains; >= 1 *)
+  queue_capacity : int;  (** bound of each shard's trap queue *)
+  batch : int;           (** max items per consumer pop *)
+}
+
+val default_queue_capacity : int
+val default_batch : int
+
+(** [config ~shards ()] with defaulted queue bounds.
+    @raise Invalid_argument on a non-positive field. *)
+val config : ?queue_capacity:int -> ?batch:int -> shards:int -> unit -> config
+
+(** The owning shard of a tracee: stable, so the same tracee always
+    lands on the same shard (per-tracee serialisation). *)
+val shard_of_tracee : shards:int -> int -> int
+
+type shard_stats = {
+  sh_shard : int;
+  sh_tracees : int;             (** distinct tracees this shard served *)
+  sh_items : int;               (** work items it processed *)
+  sh_queue : Trap_queue.stats;  (** its queue's lifetime statistics *)
+}
+
+type stats = {
+  p_config : config;
+  p_tracees : int;
+  p_shards : shard_stats array;
+}
+
+(** Run one job per tracee (index = tracee id), each on its owning
+    shard's domain; within a shard, jobs run serially in queue order.
+    Results come back in tracee order.  If jobs raised, the exception
+    of the lowest-numbered failing tracee is re-raised after every
+    domain has been joined (deterministic, no orphaned domains). *)
+val run_tracees : config:config -> (unit -> 'r) array -> 'r array * stats
+
+(** Dispatch an interleaved trap stream [(tracee, trap); ...] to the
+    owning shards.  [init tracee] creates the tracee's verifier state
+    *on its shard's domain* at its first trap; [verify] folds each trap
+    through that state.  Per-tracee verdict order equals stream order
+    (one bounded FIFO per shard, one consumer).  Tracee ids must lie in
+    [0, tracees).  Returns the per-tracee verdict lists, tracee order. *)
+val process_stream :
+  config:config ->
+  tracees:int ->
+  init:(int -> 's) ->
+  verify:(tracee:int -> 's -> 'trap -> 'v) ->
+  (int * 'trap) list ->
+  'v list array * stats
+
+(** The serial reference: same contract as {!process_stream}, executed
+    inline on the calling domain with no queueing — the baseline the
+    equivalence properties compare against. *)
+val process_stream_serial :
+  tracees:int ->
+  init:(int -> 's) ->
+  verify:(tracee:int -> 's -> 'trap -> 'v) ->
+  (int * 'trap) list ->
+  'v list array
+
+(** Mirror a finished pool's per-shard queue-depth / occupancy counters
+    into a metrics registry ([mt.shards], [mt.tracees], and per shard
+    [mt.shard<i>.items], [.tracees], [.queue.pushed], [.queue.popped],
+    [.queue.max_depth], [.queue.blocked_pushes], [.queue.batches]). *)
+val mirror_stats : stats -> Obs.Metrics.t -> unit

@@ -1,0 +1,130 @@
+(* A bounded MPSC queue on Mutex/Condition.  Two conditions: [not_full]
+   wakes blocked producers, [not_empty] wakes the consumer.  All state,
+   including the statistics, lives under the one mutex — the queue is a
+   coordination point, not a hot loop, and a trap already costs two
+   priced ptrace reads before it gets here. *)
+
+exception Closed
+
+type 'a t = {
+  lock : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  (* statistics *)
+  mutable pushed : int;
+  mutable popped : int;
+  mutable max_depth : int;
+  mutable blocked_pushes : int;
+  mutable batches : int;
+}
+
+type stats = {
+  q_capacity : int;
+  q_pushed : int;
+  q_popped : int;
+  q_max_depth : int;
+  q_blocked_pushes : int;
+  q_batches : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Trap_queue.create: capacity must be >= 1";
+  {
+    lock = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+    pushed = 0;
+    popped = 0;
+    max_depth = 0;
+    blocked_pushes = 0;
+    batches = 0;
+  }
+
+let locked (t : 'a t) f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let enqueue_locked (t : 'a t) x =
+  Queue.push x t.items;
+  t.pushed <- t.pushed + 1;
+  let d = Queue.length t.items in
+  if d > t.max_depth then t.max_depth <- d;
+  Condition.signal t.not_empty
+
+let push (t : 'a t) x =
+  locked t (fun () ->
+      if t.closed then raise Closed;
+      if Queue.length t.items >= t.capacity then begin
+        t.blocked_pushes <- t.blocked_pushes + 1;
+        while Queue.length t.items >= t.capacity && not t.closed do
+          Condition.wait t.not_full t.lock
+        done
+      end;
+      if t.closed then raise Closed;
+      enqueue_locked t x)
+
+let try_push (t : 'a t) x =
+  locked t (fun () ->
+      if t.closed then raise Closed;
+      if Queue.length t.items >= t.capacity then false
+      else begin
+        enqueue_locked t x;
+        true
+      end)
+
+let pop_batch (t : 'a t) ~max =
+  locked t (fun () ->
+      while Queue.is_empty t.items && not t.closed do
+        Condition.wait t.not_empty t.lock
+      done;
+      let n = min max (Queue.length t.items) in
+      let rec take k acc =
+        if k = 0 then List.rev acc else take (k - 1) (Queue.pop t.items :: acc)
+      in
+      let batch = take (Stdlib.max 0 n) [] in
+      if batch <> [] then begin
+        t.popped <- t.popped + List.length batch;
+        t.batches <- t.batches + 1;
+        (* More than one slot may have opened up; wake every waiter. *)
+        Condition.broadcast t.not_full
+      end;
+      batch)
+
+let close (t : 'a t) =
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Condition.broadcast t.not_full;
+        Condition.broadcast t.not_empty
+      end)
+
+let is_closed (t : 'a t) = locked t (fun () -> t.closed)
+
+let depth (t : 'a t) = locked t (fun () -> Queue.length t.items)
+
+let stats (t : 'a t) =
+  locked t (fun () ->
+      {
+        q_capacity = t.capacity;
+        q_pushed = t.pushed;
+        q_popped = t.popped;
+        q_max_depth = t.max_depth;
+        q_blocked_pushes = t.blocked_pushes;
+        q_batches = t.batches;
+      })
+
+let mean_batch (s : stats) =
+  if s.q_batches = 0 then Float.nan
+  else float_of_int s.q_popped /. float_of_int s.q_batches

@@ -23,6 +23,8 @@ let escape_string s =
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
       | c when Char.code c < 0x20 ->
         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
@@ -169,6 +171,8 @@ let parse_string_body c =
       | Some 'n' -> advance c; Buffer.add_char buf '\n'; loop ()
       | Some 'r' -> advance c; Buffer.add_char buf '\r'; loop ()
       | Some 't' -> advance c; Buffer.add_char buf '\t'; loop ()
+      | Some 'b' -> advance c; Buffer.add_char buf '\b'; loop ()
+      | Some 'f' -> advance c; Buffer.add_char buf '\012'; loop ()
       | Some '"' -> advance c; Buffer.add_char buf '"'; loop ()
       | Some '\\' -> advance c; Buffer.add_char buf '\\'; loop ()
       | Some '/' -> advance c; Buffer.add_char buf '/'; loop ()
@@ -177,7 +181,11 @@ let parse_string_body c =
         if c.pos + 4 > String.length c.text then fail c "short \\u escape";
         let hex = String.sub c.text c.pos 4 in
         c.pos <- c.pos + 4;
-        let code = int_of_string ("0x" ^ hex) in
+        let code =
+          match int_of_string_opt ("0x" ^ hex) with
+          | Some code -> code
+          | None -> fail c ("bad \\u escape: " ^ hex)
+        in
         (* Our emitter only writes \u for control chars; anything in the
            Latin-1 range is preserved, the rest degrades to '?'. *)
         Buffer.add_char buf (if code < 256 then Char.chr code else '?');

@@ -110,6 +110,12 @@ let protect_fs_cache : (string, Bastion.Api.protected) Hashtbl.t = Hashtbl.creat
 
 let preresolve_cache : (string, Bastion.Api.protected) Hashtbl.t = Hashtbl.create 8
 
+(* The drivers fail fast on unsound metadata: every protect pass below
+   runs the registered lint validator (ROADMAP "linter as a library
+   gate").  Registration happens here, at module initialisation, so
+   linking the workloads library is enough to arm the gate. *)
+let () = Bastion_analysis.Lint.register_api_validator ()
+
 let protected_of ?(pre_resolve = false) (app : app) ~fs =
   let cache = if fs then protect_fs_cache else protect_cache in
   let base =
@@ -117,7 +123,7 @@ let protected_of ?(pre_resolve = false) (app : app) ~fs =
     | Some p -> p
     | None ->
       let p =
-        Bastion.Api.protect ~protect_filesystem:fs
+        Bastion.Api.protect ~protect_filesystem:fs ~validate:true
           (Lazy.force (if fs then app.prog_fs else app.prog))
       in
       Hashtbl.replace cache app.app_key p;
@@ -208,3 +214,66 @@ let run ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = fals
 let overhead_pct ~(baseline : measurement) (m : measurement) ~higher_is_better =
   if higher_is_better then (baseline.m_metric -. m.m_metric) /. baseline.m_metric *. 100.0
   else (m.m_metric -. baseline.m_metric) /. baseline.m_metric *. 100.0
+
+(* ------------------------------------------------------------------ *)
+(* The multi-tracee driver                                             *)
+
+module Pool = Bastion_mt.Monitor_pool
+
+type multi = {
+  mm_tracees : measurement array;
+  mm_pool : Pool.stats;
+  mm_wall_seconds : float;
+  mm_serial_cycles : int;
+  mm_makespan_cycles : int;
+}
+
+let sum_traps (m : multi) =
+  Array.fold_left (fun acc t -> acc + t.m_traps) 0 m.mm_tracees
+
+(* Group the per-tracee cycle totals by owning shard and take the
+   heaviest shard: the modelled makespan of a deployment where every
+   shard runs on its own core. *)
+let makespan_cycles ~shards (tracees : measurement array) =
+  let per_shard = Array.make shards 0 in
+  Array.iteri
+    (fun i m ->
+      let s = Pool.shard_of_tracee ~shards i in
+      per_shard.(s) <- per_shard.(s) + m.m_cycles)
+    tracees;
+  Array.fold_left max 0 per_shard
+
+let run_multi ?cost ?trap_cache ?pre_resolve ?queue_capacity ?batch
+    ?shard_recorders ~shards ~tracees (app : app) (defense : defense) : multi =
+  if tracees < 1 then invalid_arg "Drivers.run_multi: tracees must be >= 1";
+  (match shard_recorders with
+  | Some rs when Array.length rs <> shards ->
+    invalid_arg "Drivers.run_multi: shard_recorders must have one slot per shard"
+  | _ -> ());
+  (* Warm the shared compile-pass caches on this domain before any
+     worker spawns: afterwards the worker domains only ever *read* the
+     protect caches and the (already forced) lazy programs. *)
+  (match defense with
+  | Vanilla | Llvm_cfi | Cet_only -> ignore (Lazy.force app.prog)
+  | Bastion_ct | Bastion_ct_cf | Bastion_full ->
+    ignore (protected_of ?pre_resolve app ~fs:false)
+  | Bastion_fs _ -> ignore (protected_of ?pre_resolve app ~fs:true));
+  let config = Pool.config ?queue_capacity ?batch ~shards () in
+  let job tracee () =
+    let recorder =
+      match shard_recorders with
+      | None -> None
+      | Some rs -> Some rs.(Pool.shard_of_tracee ~shards tracee)
+    in
+    run ?cost ?trap_cache ?pre_resolve ?recorder app defense
+  in
+  let t0 = Unix.gettimeofday () in
+  let results, pool = Pool.run_tracees ~config (Array.init tracees job) in
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    mm_tracees = results;
+    mm_pool = pool;
+    mm_wall_seconds = wall;
+    mm_serial_cycles = Array.fold_left (fun acc m -> acc + m.m_cycles) 0 results;
+    mm_makespan_cycles = makespan_cycles ~shards results;
+  }

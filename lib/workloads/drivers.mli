@@ -69,3 +69,34 @@ val run :
 (** Relative overhead (%) against a baseline measurement, respecting the
     metric direction. *)
 val overhead_pct : baseline:measurement -> measurement -> higher_is_better:bool -> float
+
+(** A sharded multi-tracee run: [tracees] concurrent instances of one
+    workload model, sharded over the monitor pool's worker domains. *)
+type multi = {
+  mm_tracees : measurement array;   (** per-tracee results, tracee order *)
+  mm_pool : Bastion_mt.Monitor_pool.stats;
+  mm_wall_seconds : float;          (** host wall clock around the pool *)
+  mm_serial_cycles : int;           (** Σ per-tracee modelled cycles *)
+  mm_makespan_cycles : int;
+      (** modelled makespan: the heaviest shard's cycle sum (each shard
+          on its own modelled core) *)
+}
+
+(** Total TRACE stops across the tracees. *)
+val sum_traps : multi -> int
+
+(** Run [tracees] instances of [app] under [defense] across [shards]
+    worker domains.  Every tracee gets its own session (machine,
+    process, runtime, monitor, verdict cache), created and driven
+    entirely on its owning shard's domain; [shard_recorders], when
+    given, supplies each *shard* its own flight recorder (its tracees
+    run serially, so the recorder never crosses a domain).  Per-tracee
+    results are byte-identical to a serial [run] loop for every shard
+    count.  The shared compile-pass caches are warmed before any worker
+    spawns.
+    @raise Benign_run_died if any tracee faults (lowest tracee wins). *)
+val run_multi :
+  ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?pre_resolve:bool ->
+  ?queue_capacity:int -> ?batch:int ->
+  ?shard_recorders:Obs.Recorder.t array ->
+  shards:int -> tracees:int -> app -> defense -> multi

@@ -84,47 +84,77 @@ let test_cfg_successors () =
 
 (* --- the dataflow engine: backward liveness ------------------------ *)
 
-module SS = Set.Make (String)
-
-module Live = Bastion_analysis.Dataflow.Make (struct
-  type t = SS.t
-
-  let equal = SS.equal
-  let join = SS.union
-end)
-
-let liveness f =
-  Live.run ~dir:Bastion_analysis.Dataflow.Backward ~init:SS.empty
-    ~transfer:(fun _ ins after ->
-      let kill =
-        match Sil.Instr.def ins with Some v -> SS.singleton v.vname | None -> SS.empty
-      in
-      let uses =
-        List.fold_left
-          (fun acc op ->
-            List.fold_left (fun acc (v : Sil.Operand.var) -> SS.add v.vname acc)
-              acc (Sil.Operand.vars op))
-          SS.empty (Sil.Instr.operands ins)
-      in
-      SS.union (SS.diff after kill) uses)
-    f
+module Live = Bastion_analysis.Liveness
+module SS = Live.SS
 
 let test_backward_liveness () =
   let f, _ = diamond () in
-  let r = liveness f in
-  let live_in label =
-    Option.value ~default:SS.empty (Live.block_in r label)
-  in
+  let r = Live.compute f in
   (* join reads y, so y is live into join and out of then/else... *)
-  Alcotest.(check bool) "y live into join" true (SS.mem "y" (live_in "join"));
+  Alcotest.(check bool) "y live into join" true (SS.mem "y" (Live.live_in r "join"));
   (* ...but then/else redefine y, killing it on entry. *)
-  Alcotest.(check bool) "y dead into then" false (SS.mem "y" (live_in "then"));
+  Alcotest.(check bool) "y dead into then" false (SS.mem "y" (Live.live_in r "then"));
   (* entry defines y before the branch; nothing upstream needs it. *)
-  Alcotest.(check bool) "y dead into entry" false (SS.mem "y" (live_in "entry"));
+  Alcotest.(check bool) "y dead into entry" false (SS.mem "y" (Live.live_in r "entry"));
   (* the before-point inside join, past the read of y, has y dead *)
-  match Live.before r (Sil.Loc.make "main" "join" 1) with
-  | Some s -> Alcotest.(check bool) "y dead after its last read" false (SS.mem "y" s)
-  | None -> Alcotest.fail "join unreached by backward analysis"
+  Alcotest.(check bool) "y dead after its last read" false
+    (SS.mem "y" (Live.live_before r (Sil.Loc.make "main" "join" 1)))
+
+let test_liveness_terminator_uses () =
+  let f, _ = diamond () in
+  let r = Live.compute f in
+  (* The branch condition x is a use carried by entry's terminator
+     alone: live into the block and right before the terminator, but
+     not *out* of it — live_out is the successors' join, and no
+     successor reads x. *)
+  Alcotest.(check bool) "x live into entry" true
+    (SS.mem "x" (Live.live_in r "entry"));
+  Alcotest.(check bool) "x live just before entry's terminator" true
+    (SS.mem "x" (Live.live_before r (Sil.Loc.make "main" "entry" 1)));
+  Alcotest.(check bool) "x not live out of entry" false
+    (SS.mem "x" (Live.live_out r "entry"));
+  (* x is never used past the branch. *)
+  Alcotest.(check bool) "x dead into join" false
+    (SS.mem "x" (Live.live_in r "join"));
+  (* The ret operand z is a use carried by join's terminator: live
+     after join's last instruction (the def of z). *)
+  Alcotest.(check bool) "z live after its def" true
+    (SS.mem "z" (Live.live_after r (Sil.Loc.make "main" "join" 0)));
+  Alcotest.(check bool) "ret uses z" true
+    (SS.mem "z"
+       (Live.term_uses
+          (Sil.Instr.Ret (Some (Sil.Operand.Var { Sil.Operand.vid = 0; vname = "z" })))))
+
+let test_liveness_dead_stores () =
+  let f, _ = diamond () in
+  let r = Live.compute f in
+  (* Two genuine dead stores: entry's y=0 is clobbered on both paths
+     before join reads y, and the dead block's w is never read (the
+     backward analysis does reach `dead` — it jumps to join, so it can
+     reach an exit). *)
+  let dead = Live.dead_stores r in
+  Alcotest.(check int) "diamond has two dead stores" 2 (List.length dead);
+  Alcotest.(check bool) "entry's clobbered def is dead" true
+    (List.exists
+       (fun (l : Sil.Loc.t) -> l.block = "entry" && l.index = 0)
+       dead);
+  Alcotest.(check bool) "the dead block's unread def is dead" true
+    (List.exists (fun (l : Sil.Loc.t) -> l.block = "dead") dead);
+  (* A straight-line function where the first def of y is clobbered
+     before any read. *)
+  let pb = B.program () in
+  let fb = B.func pb "f" ~params:[] in
+  let y = B.local fb "y" Sil.Types.I64 in
+  B.set fb y (Sil.Operand.const 1);
+  B.set fb y (Sil.Operand.const 2);
+  B.ret fb (Some (Sil.Operand.Var y));
+  B.seal fb;
+  let prog = B.build pb ~entry:"f" in
+  let g = Sil.Prog.find_func prog "f" in
+  let dead = Live.dead_stores (Live.compute g) in
+  Alcotest.(check int) "clobbered def is a dead store" 1 (List.length dead);
+  Alcotest.(check int) "the first set is the dead one" 0
+    (List.hd dead).Sil.Loc.index
 
 (* --- reaching definitions ------------------------------------------ *)
 
@@ -604,6 +634,9 @@ let suites =
     ( "static-dataflow",
       [
         Alcotest.test_case "backward liveness" `Quick test_backward_liveness;
+        Alcotest.test_case "liveness terminator uses" `Quick
+          test_liveness_terminator_uses;
+        Alcotest.test_case "liveness dead stores" `Quick test_liveness_dead_stores;
         Alcotest.test_case "reaching definitions" `Quick test_reaching_defs;
         Alcotest.test_case "constprop branch folding" `Quick
           test_constprop_branch_folding;

@@ -1,0 +1,419 @@
+(* The sharded multi-tracee monitor suite: Trap_queue unit tests and
+   backpressure (a full bounded queue blocks producers, never drops),
+   Monitor_pool determinism (qcheck: any shard count reproduces the
+   serial per-tracee verdict streams), run_multi equivalence against a
+   serial Drivers.run loop, the sharded Table 6 matrix, the
+   Api.protect ~validate lint gate, and the committed
+   BENCH_parallel_monitor.json artifact shape. *)
+
+module Q = Bastion_mt.Trap_queue
+module Pool = Bastion_mt.Monitor_pool
+module D = Workloads.Drivers
+
+(* --- Trap_queue ---------------------------------------------------- *)
+
+let test_queue_fifo_and_stats () =
+  let q = Q.create ~capacity:4 in
+  List.iter (Q.push q) [ 1; 2; 3 ];
+  Alcotest.(check int) "depth 3" 3 (Q.depth q);
+  (* Close first so draining can never block. *)
+  Q.close q;
+  Alcotest.(check bool) "closed" true (Q.is_closed q);
+  Q.close q (* idempotent *);
+  Alcotest.(check (list int)) "first batch, FIFO" [ 1; 2 ] (Q.pop_batch q ~max:2);
+  Alcotest.(check (list int)) "rest" [ 3 ] (Q.pop_batch q ~max:8);
+  Alcotest.(check (list int)) "end-of-stream" [] (Q.pop_batch q ~max:8);
+  let s = Q.stats q in
+  Alcotest.(check int) "pushed" 3 s.Q.q_pushed;
+  Alcotest.(check int) "popped" 3 s.Q.q_popped;
+  Alcotest.(check int) "max depth" 3 s.Q.q_max_depth;
+  Alcotest.(check int) "batches" 2 s.Q.q_batches;
+  Alcotest.(check (float 1e-9)) "mean batch" 1.5 (Q.mean_batch s);
+  Alcotest.(check bool) "no blocked pushes" true (s.Q.q_blocked_pushes = 0)
+
+let test_queue_close_semantics () =
+  let q = Q.create ~capacity:2 in
+  Q.push q 1;
+  Q.close q;
+  Alcotest.check_raises "push after close" Q.Closed (fun () -> Q.push q 2);
+  Alcotest.check_raises "try_push after close" Q.Closed (fun () ->
+      ignore (Q.try_push q 2));
+  (* Pending items survive the close. *)
+  Alcotest.(check (list int)) "drain after close" [ 1 ] (Q.pop_batch q ~max:4);
+  Alcotest.(check (list int)) "then end-of-stream" [] (Q.pop_batch q ~max:4)
+
+let test_queue_try_push_full () =
+  let q = Q.create ~capacity:1 in
+  Alcotest.(check bool) "first fits" true (Q.try_push q 10);
+  Alcotest.(check bool) "second refused" false (Q.try_push q 11);
+  Alcotest.(check int) "depth still 1" 1 (Q.depth q);
+  Q.close q;
+  Alcotest.(check (list int)) "nothing lost" [ 10 ] (Q.pop_batch q ~max:4);
+  Alcotest.check_raises "create capacity 0" (Invalid_argument
+    "Trap_queue.create: capacity must be >= 1") (fun () ->
+      ignore (Q.create ~capacity:0))
+
+(* A producer domain against a tiny queue and a deliberately slow
+   consumer: the producer must block (backpressure) and every item must
+   come through in order — never dropped. *)
+let test_backpressure_blocks_never_drops () =
+  let n = 50 in
+  let q = Q.create ~capacity:2 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          Q.push q i
+        done;
+        Q.close q)
+  in
+  (* Give the producer time to fill the queue and block on it. *)
+  Unix.sleepf 0.02;
+  let received = ref [] in
+  let rec drain () =
+    match Q.pop_batch q ~max:4 with
+    | [] -> ()
+    | items ->
+      received := List.rev_append items !received;
+      drain ()
+  in
+  drain ();
+  Domain.join producer;
+  Alcotest.(check (list int)) "all items, in order" (List.init n Fun.id)
+    (List.rev !received);
+  let s = Q.stats q in
+  Alcotest.(check int) "everything pushed" n s.Q.q_pushed;
+  Alcotest.(check int) "everything popped" n s.Q.q_popped;
+  Alcotest.(check bool) "the producer did block" true (s.Q.q_blocked_pushes > 0);
+  Alcotest.(check bool) "depth never exceeded capacity" true
+    (s.Q.q_max_depth <= 2)
+
+(* --- Monitor_pool: the stream verifier ----------------------------- *)
+
+(* A deterministic stateful per-tracee verifier: each verdict folds the
+   trap into a running per-tracee accumulator, so any reordering or
+   cross-tracee state leak changes the output. *)
+let stream_init tracee = ref (tracee * 7919)
+
+let stream_verify ~tracee state trap =
+  state := ((!state * 31) + trap) land 0xFFFFFF;
+  (tracee, trap, !state)
+
+let test_stream_matches_serial_small () =
+  let stream = [ (0, 5); (1, 9); (0, 2); (2, 1); (1, 4); (0, 8) ] in
+  let serial =
+    Pool.process_stream_serial ~tracees:3 ~init:stream_init
+      ~verify:stream_verify stream
+  in
+  List.iter
+    (fun shards ->
+      let sharded, stats =
+        Pool.process_stream
+          ~config:(Pool.config ~shards ())
+          ~tracees:3 ~init:stream_init ~verify:stream_verify stream
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d shards match serial" shards)
+        true
+        (sharded = serial);
+      Alcotest.(check int) "all items accounted" (List.length stream)
+        (Array.fold_left (fun acc sh -> acc + sh.Pool.sh_items) 0
+           stats.Pool.p_shards))
+    [ 1; 2; 3; 4 ]
+
+let test_stream_rejects_bad_tracee () =
+  Alcotest.check_raises "tracee out of range"
+    (Invalid_argument "Monitor_pool.process_stream: tracee 3 not in [0,3)")
+    (fun () ->
+      ignore
+        (Pool.process_stream
+           ~config:(Pool.config ~shards:2 ())
+           ~tracees:3 ~init:stream_init ~verify:stream_verify [ (3, 1) ]))
+
+(* qcheck: random trap streams, random shard counts — the sharded
+   pipeline reproduces the serial per-tracee verdict streams exactly. *)
+let prop_stream_equivalence =
+  QCheck.Test.make ~count:60
+    ~name:"Monitor_pool.process_stream == serial for any shard count"
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 120) (pair (int_bound 5) (int_bound 1000)))
+        (int_range 1 6))
+    (fun (stream, shards) ->
+      let tracees = 6 in
+      let serial =
+        Pool.process_stream_serial ~tracees ~init:stream_init
+          ~verify:stream_verify stream
+      in
+      let sharded, _ =
+        Pool.process_stream
+          ~config:(Pool.config ~shards ())
+          ~tracees ~init:stream_init ~verify:stream_verify stream
+      in
+      sharded = serial)
+
+(* --- Monitor_pool: whole-tracee jobs ------------------------------- *)
+
+let test_run_tracees_order () =
+  let jobs = Array.init 9 (fun i () -> i * i) in
+  List.iter
+    (fun shards ->
+      let results, stats =
+        Pool.run_tracees ~config:(Pool.config ~shards ()) jobs
+      in
+      Alcotest.(check (array int))
+        (Printf.sprintf "tracee order at %d shards" shards)
+        (Array.init 9 (fun i -> i * i))
+        results;
+      Alcotest.(check int) "stats count tracees" 9 stats.Pool.p_tracees;
+      Alcotest.(check int) "every tracee owned by a shard" 9
+        (Array.fold_left (fun acc sh -> acc + sh.Pool.sh_tracees) 0
+           stats.Pool.p_shards))
+    [ 1; 2; 4 ]
+
+exception Tracee_boom of int
+
+let test_run_tracees_exception () =
+  (* Tracees 1 and 3 both fail; the lowest-numbered one wins whatever
+     order the shards ran in. *)
+  let jobs =
+    Array.init 5 (fun i () ->
+        if i = 1 || i = 3 then raise (Tracee_boom i) else i)
+  in
+  Alcotest.check_raises "lowest failing tracee propagates" (Tracee_boom 1)
+    (fun () -> ignore (Pool.run_tracees ~config:(Pool.config ~shards:3 ()) jobs))
+
+let test_shard_of_tracee_stable () =
+  for t = 0 to 20 do
+    for shards = 1 to 6 do
+      let s = Pool.shard_of_tracee ~shards t in
+      Alcotest.(check bool) "in range" true (s >= 0 && s < shards);
+      Alcotest.(check int) "stable" s (Pool.shard_of_tracee ~shards t)
+    done
+  done;
+  Alcotest.(check int) "round robin" 1 (Pool.shard_of_tracee ~shards:4 5)
+
+let test_mirror_stats () =
+  let _, stats =
+    Pool.run_tracees
+      ~config:(Pool.config ~shards:2 ())
+      (Array.init 5 (fun i () -> i))
+  in
+  let reg = Obs.Metrics.create () in
+  Pool.mirror_stats stats reg;
+  let assoc name = List.assoc name (Obs.Metrics.counter_values reg) in
+  Alcotest.(check (float 1e-9)) "mt.shards" 2.0 (assoc "mt.shards");
+  Alcotest.(check (float 1e-9)) "mt.tracees" 5.0 (assoc "mt.tracees");
+  Alcotest.(check (float 1e-9)) "shard0 owns 0,2,4" 3.0 (assoc "mt.shard0.tracees");
+  Alcotest.(check (float 1e-9)) "shard1 owns 1,3" 2.0 (assoc "mt.shard1.tracees")
+
+(* --- run_multi: equivalence with a serial Drivers.run loop --------- *)
+
+let small_nginx () =
+  D.nginx
+    ~params:
+      { Workloads.Nginx_model.default with connections = 2; requests_per_conn = 12 }
+    ()
+
+let fingerprint (m : D.measurement) =
+  (m.D.m_cycles, m.D.m_traps, m.D.m_syscalls, m.D.m_metric)
+
+let test_run_multi_matches_serial () =
+  let app = small_nginx () in
+  let tracees = 4 in
+  let serial = Array.init tracees (fun _ -> D.run app D.Bastion_full) in
+  let serial_cycles =
+    Array.fold_left (fun acc (m : D.measurement) -> acc + m.D.m_cycles) 0 serial
+  in
+  List.iter
+    (fun shards ->
+      let m = D.run_multi ~shards ~tracees app D.Bastion_full in
+      Alcotest.(check bool)
+        (Printf.sprintf "per-tracee results identical at %d shards" shards)
+        true
+        (Array.for_all2
+           (fun a b -> fingerprint a = fingerprint b)
+           serial m.D.mm_tracees);
+      Alcotest.(check int) "serial cycle total" serial_cycles m.D.mm_serial_cycles;
+      Alcotest.(check bool) "makespan bounded by serial" true
+        (m.D.mm_makespan_cycles <= m.D.mm_serial_cycles);
+      if shards = 1 then
+        Alcotest.(check int) "one shard: makespan == serial" serial_cycles
+          m.D.mm_makespan_cycles)
+    [ 1; 2; 3 ]
+
+let test_run_multi_recorders () =
+  let app = small_nginx () in
+  Alcotest.check_raises "recorder array must match shard count"
+    (Invalid_argument
+       "Drivers.run_multi: shard_recorders must have one slot per shard")
+    (fun () ->
+      ignore
+        (D.run_multi ~shards:2 ~tracees:2
+           ~shard_recorders:[| Obs.Recorder.create () |]
+           app D.Bastion_full));
+  (* With one recorder per shard, observation still changes nothing. *)
+  let serial = D.run app D.Bastion_full in
+  let recorders = Array.init 2 (fun _ -> Obs.Recorder.create ~metrics:true ()) in
+  let m =
+    D.run_multi ~shards:2 ~tracees:3 ~shard_recorders:recorders app
+      D.Bastion_full
+  in
+  Array.iter
+    (fun t ->
+      Alcotest.(check bool) "observed tracee matches unobserved serial" true
+        (fingerprint t = fingerprint serial))
+    m.D.mm_tracees
+
+(* --- the sharded Table 6 matrix ------------------------------------ *)
+
+let outcome_sig = function
+  | Attacks.Runner.Succeeded -> "S"
+  | Attacks.Runner.Inert -> "I"
+  | Attacks.Runner.Blocked f -> "B:" ^ Machine.fault_to_string f
+
+let row_sig (r : Attacks.Runner.row) =
+  ( r.r_attack.a_id,
+    outcome_sig r.r_undefended,
+    outcome_sig r.r_ct,
+    outcome_sig r.r_cf,
+    outcome_sig r.r_ai,
+    outcome_sig r.r_full )
+
+let test_table6_sharded_matches_serial () =
+  let serial = List.map row_sig (Attacks.Runner.evaluate_all ()) in
+  let rows, stats = Attacks.Runner.evaluate_all_sharded ~shards:4 () in
+  let sharded = List.map row_sig rows in
+  Alcotest.(check int) "same row count" (List.length serial) (List.length sharded);
+  List.iter2
+    (fun (id, u, ct, cf, ai, full) (id', u', ct', cf', ai', full') ->
+      Alcotest.(check string) "same attack order" id id';
+      Alcotest.(check string) (id ^ " undefended") u u';
+      Alcotest.(check string) (id ^ " ct") ct ct';
+      Alcotest.(check string) (id ^ " cf") cf cf';
+      Alcotest.(check string) (id ^ " ai") ai ai';
+      Alcotest.(check string) (id ^ " full") full full')
+    serial sharded;
+  Alcotest.(check int) "every row ran on some shard"
+    (List.length serial)
+    (Array.fold_left (fun acc sh -> acc + sh.Pool.sh_tracees) 0
+       stats.Pool.p_shards)
+
+(* --- the Api.protect ~validate lint gate --------------------------- *)
+
+let test_validate_gate () =
+  (* The canonical registration (Drivers arms it at module init; arm it
+     here explicitly so this test stands alone). *)
+  Bastion_analysis.Lint.register_api_validator ();
+  let prog = Test_fastpath.chain_program 3 1 in
+  (* Sound metadata sails through. *)
+  ignore (Bastion.Api.protect ~validate:true prog);
+  (* A failing validator turns into Validation_failed. *)
+  Bastion.Api.set_validator (Some (fun _ -> [ "synthetic diagnostic" ]));
+  (match Bastion.Api.protect ~validate:true prog with
+  | exception Bastion.Api.Validation_failed [ "synthetic diagnostic" ] -> ()
+  | exception Bastion.Api.Validation_failed msgs ->
+    Alcotest.fail ("wrong diagnostics: " ^ String.concat "; " msgs)
+  | _ -> Alcotest.fail "failing validator did not stop protect");
+  (* Default remains off: no validation, no raise. *)
+  ignore (Bastion.Api.protect prog);
+  (* validate:true with no validator registered is a usage error. *)
+  Bastion.Api.set_validator None;
+  (match Bastion.Api.protect ~validate:true prog with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "validate without a validator should be rejected");
+  (* Restore the real gate for the rest of the suite. *)
+  Bastion_analysis.Lint.register_api_validator ()
+
+(* --- the committed bench artifact ---------------------------------- *)
+
+let test_bench_parallel_artifact () =
+  let path = "../BENCH_parallel_monitor.json" in
+  if not (Sys.file_exists path) then
+    Alcotest.fail
+      "BENCH_parallel_monitor.json missing (run bench/main.exe --json-parallel)";
+  let doc = Report.Json.of_file path in
+  let open Report.Json in
+  (match member "schema" doc with
+  | Some (Str "bastion-bench-parallel/1") -> ()
+  | _ -> Alcotest.fail "bad or missing schema field");
+  let results =
+    match Option.bind (member "results" doc) to_list with
+    | Some rs -> rs
+    | None -> Alcotest.fail "missing results list"
+  in
+  Alcotest.(check bool) "at least shard counts 1..4 present" true
+    (List.length results >= 3);
+  let speedup_at shards =
+    List.find_map
+      (fun r ->
+        match member "shards" r with
+        | Some (Num s) when int_of_float s = shards ->
+          Option.bind (member "modelled_speedup" r) to_float
+        | _ -> None)
+      results
+  in
+  List.iter
+    (fun r ->
+      match (member "shards" r, member "matches_serial" r) with
+      | Some (Num s), Some (Bool ok) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "shards=%d matches serial" (int_of_float s))
+          true ok
+      | _ -> Alcotest.fail "result row missing shards/matches_serial")
+    results;
+  (match speedup_at 1 with
+  | Some s ->
+    Alcotest.(check (float 1e-9)) "1 shard is exactly serial" 1.0 s
+  | None -> Alcotest.fail "no shards=1 row");
+  match speedup_at 4 with
+  | Some s ->
+    Alcotest.(check bool)
+      (Printf.sprintf "4 shards >= 2x modelled speedup (got %.2f)" s)
+      true (s >= 2.0)
+  | None -> Alcotest.fail "no shards=4 row"
+
+let suites =
+  [
+    ( "mt-queue",
+      [
+        Alcotest.test_case "FIFO order and statistics" `Quick
+          test_queue_fifo_and_stats;
+        Alcotest.test_case "close semantics" `Quick test_queue_close_semantics;
+        Alcotest.test_case "try_push on a full queue" `Quick
+          test_queue_try_push_full;
+        Alcotest.test_case "backpressure blocks, never drops" `Quick
+          test_backpressure_blocks_never_drops;
+      ] );
+    ( "mt-pool",
+      [
+        Alcotest.test_case "stream matches serial (small)" `Quick
+          test_stream_matches_serial_small;
+        Alcotest.test_case "stream rejects bad tracee ids" `Quick
+          test_stream_rejects_bad_tracee;
+        QCheck_alcotest.to_alcotest prop_stream_equivalence;
+        Alcotest.test_case "run_tracees merges in tracee order" `Quick
+          test_run_tracees_order;
+        Alcotest.test_case "lowest failing tracee propagates" `Quick
+          test_run_tracees_exception;
+        Alcotest.test_case "shard assignment is stable" `Quick
+          test_shard_of_tracee_stable;
+        Alcotest.test_case "stats mirror into the metrics registry" `Quick
+          test_mirror_stats;
+      ] );
+    ( "mt-drivers",
+      [
+        Alcotest.test_case "run_multi matches a serial run loop" `Quick
+          test_run_multi_matches_serial;
+        Alcotest.test_case "per-shard recorders" `Quick test_run_multi_recorders;
+        Alcotest.test_case "sharded Table 6 matches serial" `Slow
+          test_table6_sharded_matches_serial;
+      ] );
+    ( "mt-gate",
+      [ Alcotest.test_case "Api.protect ~validate lint gate" `Quick
+          test_validate_gate ] );
+    ( "mt-bench",
+      [
+        Alcotest.test_case "parallel bench artifact shape" `Quick
+          test_bench_parallel_artifact;
+      ] );
+  ]

@@ -161,6 +161,33 @@ let test_json_compact_single_line () =
     (Alcotest.testable (Fmt.of_to_string J.to_string) ( = ))
     "compact round-trips" doc (J.of_string s)
 
+(* --- control characters in strings (regression) ------------------------ *)
+
+let test_json_control_char_roundtrip () =
+  (* Every control character must survive emit -> parse, in both the
+     pretty and the compact emitter. *)
+  let all_controls = String.init 0x20 Char.chr in
+  let doc = J.Obj [ ("s", J.Str all_controls) ] in
+  let check_emitter name emit =
+    match J.member "s" (J.of_string (emit doc)) with
+    | Some (J.Str back) ->
+      Alcotest.(check string) (name ^ ": all 32 control chars round-trip")
+        all_controls back
+    | _ -> Alcotest.fail (name ^ ": string member lost")
+  in
+  check_emitter "pretty" J.to_string;
+  check_emitter "compact" J.to_compact_string;
+  (* The short escapes emit as themselves, not as \u forms. *)
+  let s = J.to_compact_string (J.Str "\b\012\n\r\t") in
+  Alcotest.(check string) "short escapes preferred" {|"\b\f\n\r\t"|} s;
+  (* Foreign documents may use \b and \f; both parse. *)
+  Alcotest.(check bool) "parses \\b and \\f" true
+    (J.of_string {|"a\bz\fq"|} = J.Str "a\bz\012q");
+  (* A malformed \u escape is a parse error, not a crash. *)
+  match J.of_string {|"\uZZZZ"|} with
+  | exception J.Parse_error _ -> ()
+  | _ -> Alcotest.fail "bad \\u escape accepted"
+
 (* --- recorder arming and the disabled path ---------------------------- *)
 
 let test_recorder_unarmed_counts_only () =
@@ -405,6 +432,8 @@ let suites =
           test_json_nonfinite_emits_null;
         Alcotest.test_case "compact emitter round-trips" `Quick
           test_json_compact_single_line;
+        Alcotest.test_case "control characters round-trip" `Quick
+          test_json_control_char_roundtrip;
       ] );
     ( "obs-recorder",
       [
