@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench trace-demo clean
+.PHONY: all build test lint check bench trace-demo golden replay-golden clean
 
 all: build
 
@@ -27,6 +27,27 @@ bench:
 trace-demo:
 	dune exec bin/bastion_cli.exe -- run --app nginx --trace nginx.trace.json --metrics
 	dune exec bin/bastion_cli.exe -- trace-summary nginx.trace.json
+
+# Regenerate the golden-trace corpus: one small-scale benign run and
+# one attack-matrix run per application, recorded with `--audit`.  The
+# model is deterministic, so regeneration must be byte-identical to
+# the checked-in traces (CI enforces this with `git diff`).
+golden:
+	dune build bin/bastion_cli.exe
+	dune exec bin/bastion_cli.exe -- run --app nginx --scale small --defense full --audit test/golden/nginx-benign.jsonl
+	dune exec bin/bastion_cli.exe -- run --app sqlite --scale small --defense full --audit test/golden/sqlite-benign.jsonl
+	dune exec bin/bastion_cli.exe -- run --app vsftpd --scale small --defense full --audit test/golden/vsftpd-benign.jsonl
+	dune exec bin/bastion_cli.exe -- attack --id cve-2013-2028 --config full --audit test/golden/nginx-attack.jsonl
+	dune exec bin/bastion_cli.exe -- attack --id rop-mprotect-sqlite-1 --config full --audit test/golden/sqlite-attack.jsonl
+	dune exec bin/bastion_cli.exe -- attack --id rop-exec-daemon --config full --audit test/golden/vsftpd-attack.jsonl
+
+# Replay every checked-in golden trace strictly; exits non-zero on any
+# divergence (the offline re-verification gate).
+replay-golden:
+	dune build bin/bastion_cli.exe
+	for t in test/golden/*.jsonl; do \
+	  dune exec bin/bastion_cli.exe -- replay $$t --strict || exit 1; \
+	done
 
 clean:
 	dune clean

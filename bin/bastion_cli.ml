@@ -7,7 +7,12 @@
      bastion run --app nginx --defense full [--trace FILE] [--metrics]
          run a workload under a defense configuration and report the
          paper's metric plus overhead vs the unprotected baseline;
-         --trace/--audit/--metrics arm the flight recorder
+         --trace/--audit/--metrics arm the flight recorder (--audit
+         writes a replayable versioned trace)
+
+     bastion replay TRACE [--strict] [--json REPORT]
+         re-verify a recorded trap stream against the real monitor and
+         exit non-zero on any divergence
 
      bastion lint --app nginx [--fs] [--pre-resolve]
          run the metadata-soundness linter over an application model;
@@ -35,12 +40,6 @@ let verbose_arg =
 (* --- shared argument parsers ----------------------------------------- *)
 
 let app_names = [ "nginx"; "sqlite"; "vsftpd" ]
-
-let app_of_name = function
-  | "nginx" -> Workloads.Drivers.nginx ()
-  | "sqlite" -> Workloads.Drivers.sqlite ()
-  | "vsftpd" -> Workloads.Drivers.vsftpd ()
-  | s -> invalid_arg ("unknown app: " ^ s)
 
 let prog_of_name = function
   | "nginx" -> Workloads.Nginx_model.build Workloads.Nginx_model.default
@@ -202,11 +201,13 @@ let run_workload_sharded a defense ~trap_cache ~pre_resolve ~shards ~tracees met
   end;
   `Ok ()
 
-let run_workload verbose app defense no_trap_cache pre_resolve trace metrics audit
-    shards tracees =
+let run_workload verbose app scale defense no_trap_cache pre_resolve trace metrics
+    audit shards tracees =
   setup_logs verbose;
   let trap_cache = not no_trap_cache in
-  let a = app_of_name app in
+  match Bastion_replay.Engine.app_of ~name:app ~scale with
+  | Error msg -> `Error (false, msg)
+  | Ok a ->
   if shards < 1 then `Error (false, "--shards must be >= 1")
   else if tracees < 0 then `Error (false, "--tracees must be >= 1")
   else if shards > 1 || tracees > 1 then
@@ -219,7 +220,13 @@ let run_workload verbose app defense no_trap_cache pre_resolve trace metrics aud
   let tracing = trace <> None || audit <> None in
   let recorder =
     if tracing || metrics || verbose then
-      Some (Obs.Recorder.create ~tracing ~metrics ())
+      (* An audit sink must hold every trap of the run: a dropped-oldest
+         ring would break the trace's seq contiguity and the replay
+         reader would reject the file. *)
+      let ring_capacity =
+        if audit <> None then 1 lsl 21 else Obs.Recorder.default_ring_capacity
+      in
+      Some (Obs.Recorder.create ~tracing ~metrics ~ring_capacity ())
     else None
   in
   (match recorder with
@@ -266,12 +273,41 @@ let run_workload verbose app defense no_trap_cache pre_resolve trace metrics aud
     | None -> ());
     (match audit with
     | Some path ->
-      Obs.Recorder.write_jsonl r path;
-      Printf.printf "  audit log : %s\n" path
+      let header =
+        {
+          Bastion_replay.Trace.h_version = Bastion_replay.Trace.current_version;
+          h_kind =
+            Bastion_replay.Trace.Run
+              { app; defense = Bastion_replay.Engine.defense_key defense; scale };
+          h_trap_cache = trap_cache;
+          h_pre_resolve = pre_resolve;
+          h_fingerprint =
+            (match m.m_monitor with
+            | Some mon -> Bastion.Metadata.fingerprint mon.Bastion.Monitor.meta
+            | None -> "-");
+          h_traps = List.length (Obs.Recorder.trap_events r);
+          h_cycles = m.m_cycles;
+        }
+      in
+      let dropped = Obs.Recorder.events_dropped r in
+      if dropped > 0 then
+        Logs.warn (fun f ->
+            f "audit ring dropped %d events; %s will not replay" dropped path);
+      Obs.Recorder.write_jsonl
+        ~header:(Bastion_replay.Trace.header_to_json header) r path;
+      Printf.printf "  audit log : %s (%d traps)\n" path header.h_traps
     | None -> ());
     if metrics then print_string (Obs.Recorder.summary_table r));
   `Ok ()
   end
+
+let scale_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun s -> (s, s)) Bastion_replay.Engine.scales)) "default"
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"Workload scale: default (paper-shaped) or small (a few hundred \
+              traps; the golden-trace corpus scale).")
 
 let run_cmd =
   let defense =
@@ -335,8 +371,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a defense configuration")
     Term.(
       ret
-        (const run_workload $ verbose_arg $ app_arg $ defense $ no_trap_cache
-       $ pre_resolve $ trace $ metrics $ audit $ shards $ tracees))
+        (const run_workload $ verbose_arg $ app_arg $ scale_arg $ defense
+       $ no_trap_cache $ pre_resolve $ trace $ metrics $ audit $ shards $ tracees))
 
 (* --- trace-summary ----------------------------------------------------- *)
 
@@ -383,8 +419,31 @@ let print_row (row : Attacks.Runner.row) =
     (if Attacks.Runner.matches_expectation row then "(matches Table 6)"
      else "(MISMATCH vs Table 6)")
 
-let run_attack verbose id all config shards =
+let run_attack verbose id all config shards audit =
   setup_logs verbose;
+  match audit with
+  | Some path -> (
+    (* Recording needs exactly one attack under exactly one monitored
+       configuration: that pair is what the trace header pins down. *)
+    match (id, config) with
+    | Some attack_id, Some cfg when cfg <> Attacks.Runner.Undefended -> (
+      try
+        let outcome =
+          Bastion_replay.Engine.record_attack ~attack_id ~config:cfg ~path ()
+        in
+        Printf.printf "%-22s %-10s %s\n" attack_id
+          (Attacks.Runner.config_name cfg)
+          (Attacks.Runner.outcome_name outcome);
+        Printf.printf "audit log : %s\n" path;
+        `Ok ()
+      with Bastion_replay.Trace.Malformed _ as e ->
+        `Error (false, Option.get (Bastion_replay.Trace.describe_malformed e)))
+    | _ ->
+      `Error
+        ( false,
+          "--audit requires --id ID and --config CONFIG with a monitored \
+           configuration (ct, cf, ai, full)" ))
+  | None ->
   let chosen =
     if all then Attacks.Catalog.all
     else
@@ -441,8 +500,75 @@ let attack_cmd =
           ~doc:"With --all: evaluate the catalog over N worker domains, one \
                 Table 6 row per tracee (results identical to serial).")
   in
+  let audit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"FILE"
+          ~doc:"Record the monitored run (requires --id and a monitored \
+                --config) as a replayable JSONL trace at FILE.")
+  in
   Cmd.v (Cmd.info "attack" ~doc:"Run attacks from the Table 6 catalog")
-    Term.(ret (const run_attack $ verbose_arg $ id $ all $ config $ shards))
+    Term.(ret (const run_attack $ verbose_arg $ id $ all $ config $ shards $ audit))
+
+(* --- replay ------------------------------------------------------------ *)
+
+let replay_trace verbose file strict json =
+  setup_logs verbose;
+  let positioned e =
+    match Bastion_replay.Trace.describe_malformed e with
+    | Some msg -> `Error (false, msg)
+    | None -> raise e
+  in
+  match Bastion_replay.Trace.read_file file with
+  | exception Sys_error e -> `Error (false, e)
+  | exception (Bastion_replay.Trace.Malformed _ as e) -> positioned e
+  | tr -> (
+    match Bastion_replay.Engine.replay ~strict tr with
+    | exception (Bastion_replay.Trace.Malformed _ as e) -> positioned e
+    | report ->
+      (match json with
+      | Some path ->
+        Report.Json.to_file path (Bastion_replay.Engine.report_to_json report)
+      | None -> ());
+      print_string (Bastion_replay.Engine.render report);
+      if Bastion_replay.Engine.ok report then `Ok ()
+      else
+        let n = List.length report.rp_divergences in
+        `Error
+          ( false,
+            Printf.sprintf "%s: %d divergence%s between recorded and replayed runs"
+              file n
+              (if n = 1 then "" else "s") ))
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"JSONL trap trace written by `bastion run --audit` or `bastion \
+                attack --audit`.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Also compare per-phase spans, trap-entry cycles, verdict-cache \
+                disposition and ptrace/shadow traffic counters.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"REPORT"
+          ~doc:"Also write the divergence report as JSON to REPORT.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-verify a recorded trap stream against the real monitor (exit \
+             non-zero on any divergence)")
+    Term.(ret (const replay_trace $ verbose_arg $ file $ strict $ json))
 
 (* --- list ------------------------------------------------------------- *)
 
@@ -470,4 +596,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; lint_cmd; run_cmd; attack_cmd; list_cmd; trace_summary_cmd ]))
+          [
+            analyze_cmd; lint_cmd; run_cmd; replay_cmd; attack_cmd; list_cmd;
+            trace_summary_cmd;
+          ]))

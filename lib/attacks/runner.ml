@@ -37,8 +37,8 @@ let contexts_of = function
    stack garbage; bound the run and end it as soon as the goal fires. *)
 let attack_fuel = 20_000_000
 
-let run ?(trap_cache = true) ?(pre_resolve = false) ?recorder (attack : Attack.t)
-    (config : config) : outcome =
+let run ?(trap_cache = true) ?(pre_resolve = false) ?recorder ?on_session
+    (attack : Attack.t) (config : config) : outcome =
   let prog = attack.a_victim.v_build () in
   let machine_config = { Machine.default_config with fuel = attack_fuel } in
   let machine, process =
@@ -65,6 +65,9 @@ let run ?(trap_cache = true) ?(pre_resolve = false) ?recorder (attack : Attack.t
       let session =
         Bastion.Api.launch ~machine_config ~monitor_config ?recorder protected_prog ()
       in
+      (* Let the replay engine reach in before execution (swap the trap
+         source, wrap the hook); never called for undefended runs. *)
+      (match on_session with Some f -> f session | None -> ());
       (session.machine, session.process)
   in
   attack.a_victim.v_setup process;

@@ -23,9 +23,13 @@ val attack_fuel : int
     [pre_resolve] enables constant-argument pre-resolution (default
     off); the matrix must again be identical either way.  [recorder]
     attaches a flight recorder to the monitored configurations; the
-    matrix must also be identical with and without it. *)
+    matrix must also be identical with and without it.  [on_session]
+    fires once the session is built, before setup and execution — the
+    replay engine's hook for swapping the monitor's trap source (never
+    called for undefended runs, which have no session). *)
 val run :
   ?trap_cache:bool -> ?pre_resolve:bool -> ?recorder:Obs.Recorder.t ->
+  ?on_session:(Bastion.Api.session -> unit) ->
   Attack.t -> config -> outcome
 
 (** One evaluated Table 6 row. *)

@@ -135,3 +135,78 @@ let build ~(calltype : Calltype.t) ~(cfg : Cfg_analysis.t)
     + Cfg_analysis.pair_count cfg + List.length checked_globals
   in
   { calltype; cfg; cs_by_addr; conv_by_addr; func_slots; checked_globals; entry_count }
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprinting.  The replay trace header pins the metadata bundle a
+   stream was recorded against; the replay engine refuses to judge a
+   trace against different metadata (same hard-gate posture as the
+   metadata-file version check).  FNV-1a over a canonical rendering —
+   not [Hashtbl.hash], whose value is not stable across compiler
+   versions and must not leak into checked-in golden traces. *)
+
+let fnv_prime = 0x100000001b3L
+let fnv_basis = 0xcbf29ce484222325L
+
+let fnv1a (acc : int64) (s : string) : int64 =
+  let h = ref acc in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  (* Fold the terminator so "ab"+"c" and "a"+"bc" hash differently. *)
+  Int64.mul (Int64.logxor !h 0xffL) fnv_prime
+
+let sorted_by_addr tbl =
+  List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let spec_string = function
+  | Spec_const c -> Printf.sprintf "c%Lx" c
+  | Spec_mem -> "m"
+
+(** A stable fingerprint of the deployed metadata: callsite entries
+    (including pre-resolved constants), calling conventions, call-type
+    classification, CFG pair count, sensitive slots and globals.  Two
+    bundles that could judge a trap differently fingerprint apart. *)
+let fingerprint (t : t) : string =
+  let h = ref fnv_basis in
+  let add s = h := fnv1a !h s in
+  add (Printf.sprintf "entries=%d;cfg-pairs=%d" t.entry_count
+         (Cfg_analysis.pair_count t.cfg));
+  List.iter
+    (fun (addr, (e : cs_entry)) ->
+      add
+        (Printf.sprintf "cs:%Lx:%d:%s:%s:%s:%s" addr e.e_id e.e_callee
+           (match e.e_sysno with None -> "-" | Some n -> string_of_int n)
+           (String.concat ","
+              (List.map (fun (p, s) -> Printf.sprintf "%d=%s" p (spec_string s))
+                 e.e_specs))
+           (String.concat ","
+              (List.map (fun (p, c) -> Printf.sprintf "%d=%Lx" p c) e.e_pre))))
+    (sorted_by_addr t.cs_by_addr);
+  List.iter
+    (fun (addr, conv) ->
+      add
+        (match conv with
+        | Conv_direct f -> Printf.sprintf "conv:%Lx:d:%s" addr f
+        | Conv_indirect -> Printf.sprintf "conv:%Lx:i" addr))
+    (sorted_by_addr t.conv_by_addr);
+  List.iter
+    (fun (name, nr, _) ->
+      let ct = Calltype.call_type t.calltype nr in
+      if ct.directly || ct.indirectly then
+        add
+          (Printf.sprintf "ct:%s:%b:%b" name ct.directly ct.indirectly))
+    Kernel.Syscalls.table;
+  List.iter
+    (fun (fname, offsets) ->
+      add
+        (Printf.sprintf "slots:%s:%s" fname
+           (String.concat "," (List.map string_of_int offsets))))
+    (List.sort compare
+       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.func_slots []));
+  List.iter
+    (fun (name, addr, words) ->
+      add (Printf.sprintf "g:%s:%Lx:%d" name addr words))
+    t.checked_globals;
+  Printf.sprintf "fnv1a64:%016Lx" !h

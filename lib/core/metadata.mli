@@ -44,3 +44,11 @@ val build :
   ?pre_resolved:(int, (int * int64) list) Hashtbl.t ->
   Machine.t ->
   t
+
+(** A stable fingerprint of the deployed metadata (FNV-1a over a
+    canonical rendering of callsite entries, conventions, call types,
+    CFG pair count, sensitive slots and globals).  The replay trace
+    header pins the bundle a stream was recorded against; two bundles
+    that could judge a trap differently fingerprint apart.  Stable
+    across processes and compiler versions (no [Hashtbl.hash]). *)
+val fingerprint : t -> string

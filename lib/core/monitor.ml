@@ -35,6 +35,23 @@ let default_config =
 
 type denial = { d_sysno : int; d_context : string; d_detail : string }
 
+(** Where a trap's register file and stack snapshot come from.  The
+    live source reads the stopped tracee over ptrace; the replay engine
+    substitutes a source that hands back *recorded* inputs (charging
+    identical modelled costs), so the same verification code re-judges
+    a trace offline. *)
+type trap_source = {
+  ts_regs : Ptrace.t -> Ptrace.regs;
+  ts_snapshot :
+    Ptrace.t -> slot_span:(string -> (int * int) option) -> Ptrace.snapshot;
+}
+
+let live_source =
+  {
+    ts_regs = Ptrace.getregs;
+    ts_snapshot = (fun tracer ~slot_span -> Ptrace.snapshot tracer ~slot_span);
+  }
+
 type t = {
   meta : Metadata.t;
   runtime : Runtime.t;
@@ -42,6 +59,8 @@ type t = {
   machine : Machine.t;
   cache : Verdict_cache.t;
   mutable recorder : Obs.Recorder.t option;
+  mutable source : trap_source;
+      (** trap-input source: live ptrace by default, recorded for replay *)
   mutable traps_checked : int;
   mutable init_cycles : int;
   mutable pre_resolved_hits : int;
@@ -68,6 +87,7 @@ let create ?recorder ~(meta : Metadata.t) ~(runtime : Runtime.t) ~config
     machine;
     cache = Verdict_cache.create ();
     recorder;
+    source = live_source;
     traps_checked = 0;
     init_cycles;
     pre_resolved_hits = 0;
@@ -79,6 +99,7 @@ let create ?recorder ~(meta : Metadata.t) ~(runtime : Runtime.t) ~config
   }
 
 let set_recorder (t : t) r = t.recorder <- r
+let set_source (t : t) s = t.source <- s
 
 let charge_check (t : t) = Machine.charge t.machine t.machine.config.cost.monitor_check
 
@@ -382,7 +403,36 @@ type trap_obs = {
   mutable ob_spans : Obs.Event.span list;  (* reverse execution order *)
   mutable ob_cache : bool option;
   mutable ob_depth : int;
+  mutable ob_input : Obs.Event.input option;
 }
+
+(* Capture the monitor's snapshot inputs into the event, so an audit
+   record carries everything needed to re-derive its verdict offline.
+   Arrays are copied: the machine mutates its register file in place. *)
+let input_of (regs : Ptrace.regs) (snap : Ptrace.snapshot option) : Obs.Event.input
+    =
+  let frames, slots =
+    match snap with
+    | None -> ([], [])
+    | Some snap ->
+      ( List.map
+          (fun (fv : Ptrace.frame_view) ->
+            {
+              Obs.Event.f_func = fv.fv_func;
+              f_callsite = fv.fv_callsite;
+              f_args = Array.copy fv.fv_args;
+              f_ret = fv.fv_ret_token;
+              f_base = fv.fv_base;
+            })
+          snap.sn_frames,
+        List.map
+          (fun ((base, s) : int64 * Ptrace.frame_slots) ->
+            { Obs.Event.sr_base = base; sr_lo = s.sl_lo;
+              sr_span = Array.copy s.sl_span })
+          snap.sn_slots )
+  in
+  { Obs.Event.in_args = Array.copy regs.args; in_frames = frames;
+    in_slots = slots }
 
 let cycles_now (t : t) = t.machine.stats.cycles
 
@@ -399,6 +449,7 @@ let obs_begin (t : t) (tracer : Ptrace.t) : trap_obs option =
         ob_spans = [];
         ob_cache = None;
         ob_depth = 0;
+        ob_input = None;
       }
   | _ -> None
 
@@ -454,20 +505,25 @@ let obs_finish (t : t) (tracer : Ptrace.t) (obs : trap_obs option) ~(rip : int64
           ev_ptrace_calls = tracer.calls_made - ob.ob_calls0;
           ev_ptrace_words = tracer.words_read - ob.ob_words0;
           ev_shadow_probes = Shadow_memory.probe_count t.runtime.shadow - ob.ob_probes0;
+          ev_input = ob.ob_input;
         })
 
 let full_check (t : t) (tracer : Ptrace.t) : Process.verdict =
   t.traps_checked <- t.traps_checked + 1;
   let obs = obs_begin t tracer in
-  let regs = Ptrace.getregs tracer in
+  let regs = t.source.ts_regs tracer in
   try
     if not (t.config.contexts.cf || t.config.contexts.ai) then begin
       (* CT needs no process state beyond the registers. *)
+      (match obs with Some ob -> ob.ob_input <- Some (input_of regs None) | None -> ());
       if t.config.contexts.ct then
         obs_span t obs Obs.Event.Ct (fun () -> check_call_type t regs)
     end
     else begin
-      let snap = Ptrace.snapshot tracer ~slot_span:(slot_span t) in
+      let snap = t.source.ts_snapshot tracer ~slot_span:(slot_span t) in
+      (match obs with
+      | Some ob -> ob.ob_input <- Some (input_of regs (Some snap))
+      | None -> ());
       let frames = snap.sn_frames in
       let depth = List.length frames in
       t.depth_total <- t.depth_total + depth;
@@ -524,10 +580,12 @@ let full_check (t : t) (tracer : Ptrace.t) : Process.verdict =
 let fetch_only (t : t) (tracer : Ptrace.t) : Process.verdict =
   t.traps_checked <- t.traps_checked + 1;
   let obs = obs_begin t tracer in
-  let regs = Ptrace.getregs tracer in
-  let snap = Ptrace.snapshot tracer ~slot_span:(slot_span t) in
+  let regs = t.source.ts_regs tracer in
+  let snap = t.source.ts_snapshot tracer ~slot_span:(slot_span t) in
   (match obs with
-  | Some ob -> ob.ob_depth <- List.length snap.sn_frames
+  | Some ob ->
+    ob.ob_depth <- List.length snap.sn_frames;
+    ob.ob_input <- Some (input_of regs (Some snap))
   | None -> ());
   obs_finish t tracer obs ~rip:regs.rip ~kind:Obs.Event.Fetch_only Obs.Event.Allowed;
   Process.Continue

@@ -36,6 +36,19 @@ val default_config : config
 (** One recorded denial: syscall, violated context, detail. *)
 type denial = { d_sysno : int; d_context : string; d_detail : string }
 
+(** Where a trap's register file and stack snapshot come from.  The
+    {!live_source} reads the stopped tracee over ptrace; the replay
+    engine substitutes a source handing back *recorded* inputs (which
+    charge identical modelled costs via [Ptrace.inject_*]), so the same
+    verification code re-judges a trace offline. *)
+type trap_source = {
+  ts_regs : Ptrace.t -> Ptrace.regs;
+  ts_snapshot :
+    Ptrace.t -> slot_span:(string -> (int * int) option) -> Ptrace.snapshot;
+}
+
+val live_source : trap_source
+
 type t = {
   meta : Metadata.t;
   runtime : Runtime.t;
@@ -44,6 +57,8 @@ type t = {
   cache : Verdict_cache.t;      (** the CT+CF verdict cache *)
   mutable recorder : Obs.Recorder.t option;
       (** the flight recorder; observation never charges cycles *)
+  mutable source : trap_source;
+      (** trap-input source: live ptrace by default, recorded for replay *)
   mutable traps_checked : int;
   mutable init_cycles : int;    (** metadata-loading cost (§9.2) *)
   mutable pre_resolved_hits : int;
@@ -62,6 +77,9 @@ val create :
   meta:Metadata.t -> runtime:Runtime.t -> config:config -> Machine.t -> t
 
 val set_recorder : t -> Obs.Recorder.t option -> unit
+
+(** Swap the trap-input source (replay injection). *)
+val set_source : t -> trap_source -> unit
 
 (** Full verification of one trap (CT, then CF, then AI). *)
 val full_check : t -> Ptrace.t -> Process.verdict

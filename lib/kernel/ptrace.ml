@@ -156,6 +156,49 @@ let snapshot (t : t) ~(slot_span : string -> (int * int) option) : snapshot =
   in
   { sn_frames; sn_slots; sn_calls }
 
+(* ------------------------------------------------------------------ *)
+(* Replay injection.  The replay engine re-drives the monitor against a
+   *recorded* trap stream: the register file and stack snapshot come
+   from the trace, not from the (replayed) tracee.  Fidelity demands
+   the injected fetches charge exactly what the live reads would for
+   the same shape, so a faithful trace replays to bit-identical cycle
+   totals; the counters move the same way for the same reason. *)
+
+(** Charge and count exactly what {!getregs} would, then hand back the
+    recorded register file instead of reading the tracee. *)
+let inject_regs (t : t) (regs : regs) : regs =
+  t.getregs_count <- t.getregs_count + 1;
+  Machine.charge t.machine (cost t).ptrace_getregs;
+  regs
+
+(** Charge and count exactly what {!snapshot} would for a stack of this
+    shape (one batched call for the frame span, one more when any
+    sensitive-slot words were read), then hand back the recorded
+    snapshot.  [sn_calls] is recomputed from the shape, so a corrupted
+    recorded value cannot skew the accounting. *)
+let inject_snapshot (t : t) (snap : snapshot) : snapshot =
+  let nframes = List.length snap.sn_frames in
+  let frame_words = 2 * nframes in
+  t.calls_made <- t.calls_made + 1;
+  t.frames_walked <- t.frames_walked + nframes;
+  t.words_read <- t.words_read + frame_words;
+  Machine.charge t.machine
+    ((cost t).ptrace_call + (frame_words * (cost t).ptrace_read_word));
+  let slot_words =
+    List.fold_left (fun acc (_, s) -> acc + Array.length s.sl_span) 0 snap.sn_slots
+  in
+  let sn_calls =
+    if slot_words = 0 then 1
+    else begin
+      t.calls_made <- t.calls_made + 1;
+      t.words_read <- t.words_read + slot_words;
+      Machine.charge t.machine
+        ((cost t).ptrace_call + (slot_words * (cost t).ptrace_read_word));
+      2
+    end
+  in
+  { snap with sn_calls }
+
 (** Map a memory-resident return token back to the callsite (the call
     instruction immediately preceding the resume point), as an unwinder
     maps return addresses to call instructions.  Returns [None] if the

@@ -72,6 +72,16 @@ val stack_trace : t -> frame_view list
     word-offset range of [f]'s sensitive local slots. *)
 val snapshot : t -> slot_span:(string -> (int * int) option) -> snapshot
 
+(** Replay injection: charge and count exactly what {!getregs} would,
+    then hand back the recorded register file instead of reading the
+    tracee.  A faithful trace replays to bit-identical cycle totals. *)
+val inject_regs : t -> regs -> regs
+
+(** Replay injection: charge and count exactly what {!snapshot} would
+    for a stack of this shape, then hand back the recorded snapshot
+    ([sn_calls] recomputed from the shape). *)
+val inject_snapshot : t -> snapshot -> snapshot
+
 (** Map a memory-resident return token back to the call instruction
     immediately preceding the resume point, as an unwinder maps return
     addresses to callsites.  [None] when the token does not decode. *)

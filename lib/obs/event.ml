@@ -36,6 +36,31 @@ type kind =
 
 let kind_name = function Trap_check -> "trap" | Fetch_only -> "fetch"
 
+(* The snapshot inputs the monitor consumed while judging the trap,
+   captured so the verdict can be re-derived offline (`bastion replay`).
+   These mirror Kernel.Ptrace's regs/frame_view/frame_slots without
+   depending on that library — obs sits below the kernel layer. *)
+
+type frame = {
+  f_func : string;           (** function the frame executes *)
+  f_callsite : int64;        (** code address of the in-flight call *)
+  f_args : int64 array;      (** argument registers spilled there *)
+  f_ret : int64 option;      (** memory-resident return token *)
+  f_base : int64;            (** frame base address *)
+}
+
+type slot_read = {
+  sr_base : int64;           (** owning frame's base address *)
+  sr_lo : int;               (** word offset of the span's first slot *)
+  sr_span : int64 array;     (** the sensitive-slot words as fetched *)
+}
+
+type input = {
+  in_args : int64 array;     (** syscall argument registers (GETREGS) *)
+  in_frames : frame list;    (** unwound stack span, innermost first *)
+  in_slots : slot_read list; (** per-frame sensitive-slot reads *)
+}
+
 type t = {
   ev_seq : int;             (** recorder-assigned sequence number *)
   ev_kind : kind;
@@ -51,6 +76,7 @@ type t = {
   ev_ptrace_calls : int;    (** process_vm_readv-class calls this trap *)
   ev_ptrace_words : int;    (** words fetched from the tracee *)
   ev_shadow_probes : int;   (** shadow-table slots examined *)
+  ev_input : input option;  (** snapshot inputs, for offline replay *)
 }
 
 let verdict_name = function Allowed -> "allowed" | Denied _ -> "denied"
@@ -98,6 +124,42 @@ let span_to_json (sp : span) : Report.Json.t =
       ("dur_cycles", Report.Json.Num (float_of_int sp.sp_dur));
     ]
 
+(* Addresses and register words are full 64-bit values; a JSON number
+   (double) loses bits past 2^53, so they travel as hex strings. *)
+let hex64 (v : int64) : Report.Json.t = Report.Json.Str (Printf.sprintf "0x%Lx" v)
+
+let hex_array (a : int64 array) : Report.Json.t =
+  Report.Json.List (Array.to_list (Array.map hex64 a))
+
+let frame_to_json (f : frame) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    [
+      ("func", Str f.f_func);
+      ("callsite", hex64 f.f_callsite);
+      ("args", hex_array f.f_args);
+      ("ret", (match f.f_ret with None -> Null | Some r -> hex64 r));
+      ("base", hex64 f.f_base);
+    ]
+
+let slot_read_to_json (s : slot_read) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    [
+      ("base", hex64 s.sr_base);
+      ("lo", Num (float_of_int s.sr_lo));
+      ("span", hex_array s.sr_span);
+    ]
+
+let input_to_json (i : input) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    [
+      ("args", hex_array i.in_args);
+      ("frames", List (List.map frame_to_json i.in_frames));
+      ("slots", List (List.map slot_read_to_json i.in_slots));
+    ]
+
 (** One JSONL audit record (an [Obj]; the sink writes it compactly). *)
 let to_json (ev : t) : Report.Json.t =
   let open Report.Json in
@@ -125,4 +187,179 @@ let to_json (ev : t) : Report.Json.t =
         ("ptrace_words", Num (float_of_int ev.ev_ptrace_words));
         ("shadow_probes", Num (float_of_int ev.ev_shadow_probes));
         ("phases", List (List.map span_to_json ev.ev_spans));
-      ])
+      ]
+    @ (match ev.ev_input with
+      | None -> []
+      | Some i -> [ ("input", input_to_json i) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing ([of_json]): the replay reader's inverse of [to_json].
+   Total: every malformed shape comes back as [Error msg], never as an
+   escaping exception — corrupted audit lines must fail cleanly. *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name json =
+  match Report.Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_int name = function
+  | Report.Json.Num f when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "field %S is not an integer" name)
+
+let as_str name = function
+  | Report.Json.Str s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S is not a string" name)
+
+let as_list name = function
+  | Report.Json.List l -> Ok l
+  | _ -> Error (Printf.sprintf "field %S is not a list" name)
+
+let int_field name json =
+  let* v = field name json in
+  as_int name v
+
+let str_field name json =
+  let* v = field name json in
+  as_str name v
+
+let as_hex64 name = function
+  | Report.Json.Str s -> (
+    match Int64.of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "field %S is not a hex address: %S" name s))
+  | _ -> Error (Printf.sprintf "field %S is not a hex-address string" name)
+
+let hex_field name json =
+  let* v = field name json in
+  as_hex64 name v
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let as_hex_array name json =
+  let* items = as_list name json in
+  let* words = map_result (as_hex64 name) items in
+  Ok (Array.of_list words)
+
+let phase_of_name = function
+  | "ct" -> Ok Ct
+  | "cf" -> Ok Cf
+  | "ai" -> Ok Ai
+  | s -> Error (Printf.sprintf "unknown phase %S" s)
+
+let outcome_of_name = function
+  | "passed" -> Ok Passed
+  | "failed" -> Ok Failed
+  | "cached" -> Ok Cached
+  | s -> Error (Printf.sprintf "unknown phase outcome %S" s)
+
+let kind_of_name = function
+  | "trap" -> Ok Trap_check
+  | "fetch" -> Ok Fetch_only
+  | s -> Error (Printf.sprintf "unknown event kind %S" s)
+
+let span_of_json json =
+  let* phase = str_field "phase" json in
+  let* sp_phase = phase_of_name phase in
+  let* outcome = str_field "outcome" json in
+  let* sp_outcome = outcome_of_name outcome in
+  let* sp_start = int_field "start_cycles" json in
+  let* sp_dur = int_field "dur_cycles" json in
+  Ok { sp_phase; sp_outcome; sp_start; sp_dur }
+
+let frame_of_json json =
+  let* f_func = str_field "func" json in
+  let* f_callsite = hex_field "callsite" json in
+  let* args = field "args" json in
+  let* f_args = as_hex_array "args" args in
+  let* ret = field "ret" json in
+  let* f_ret =
+    match ret with
+    | Report.Json.Null -> Ok None
+    | v ->
+      let* r = as_hex64 "ret" v in
+      Ok (Some r)
+  in
+  let* f_base = hex_field "base" json in
+  Ok { f_func; f_callsite; f_args; f_ret; f_base }
+
+let slot_read_of_json json =
+  let* sr_base = hex_field "base" json in
+  let* sr_lo = int_field "lo" json in
+  let* span = field "span" json in
+  let* sr_span = as_hex_array "span" span in
+  Ok { sr_base; sr_lo; sr_span }
+
+let input_of_json json =
+  let* args = field "args" json in
+  let* in_args = as_hex_array "args" args in
+  let* frames = field "frames" json in
+  let* frames = as_list "frames" frames in
+  let* in_frames = map_result frame_of_json frames in
+  let* slots = field "slots" json in
+  let* slots = as_list "slots" slots in
+  let* in_slots = map_result slot_read_of_json slots in
+  Ok { in_args; in_frames; in_slots }
+
+(** Parse one audit record back into the structured event.  Inverse of
+    {!to_json}: [of_json (to_json ev) = Ok ev].  Every malformed shape
+    is an [Error], never an exception. *)
+let of_json (json : Report.Json.t) : (t, string) result =
+  match json with
+  | Report.Json.Obj _ ->
+    let* ev_seq = int_field "seq" json in
+    let* kind = str_field "kind" json in
+    let* ev_kind = kind_of_name kind in
+    let* ev_sysno = int_field "sysno" json in
+    let* ev_sysname = str_field "sysname" json in
+    let* ev_rip = hex_field "rip" json in
+    let* ev_start = int_field "start_cycles" json in
+    let* ev_dur = int_field "dur_cycles" json in
+    let* verdict = str_field "verdict" json in
+    let* ev_verdict =
+      match verdict with
+      | "allowed" -> Ok Allowed
+      | "denied" ->
+        (* Context and detail ride along on denials; tolerate their
+           absence so a truncated-but-parseable record still loads. *)
+        let get name =
+          match Report.Json.member name json with
+          | Some (Report.Json.Str s) -> s
+          | _ -> ""
+        in
+        Ok (Denied { d_context = get "context"; d_detail = get "detail" })
+      | s -> Error (Printf.sprintf "unknown verdict %S" s)
+    in
+    let* ev_cache =
+      match Report.Json.member "cache_hit" json with
+      | None -> Ok None
+      | Some (Report.Json.Bool b) -> Ok (Some b)
+      | Some _ -> Error "field \"cache_hit\" is not a boolean"
+    in
+    let* ev_depth = int_field "depth" json in
+    let* ev_ptrace_calls = int_field "ptrace_calls" json in
+    let* ev_ptrace_words = int_field "ptrace_words" json in
+    let* ev_shadow_probes = int_field "shadow_probes" json in
+    let* phases = field "phases" json in
+    let* phases = as_list "phases" phases in
+    let* ev_spans = map_result span_of_json phases in
+    let* ev_input =
+      match Report.Json.member "input" json with
+      | None -> Ok None
+      | Some i ->
+        let* input = input_of_json i in
+        Ok (Some input)
+    in
+    Ok
+      {
+        ev_seq; ev_kind; ev_sysno; ev_sysname; ev_rip; ev_start; ev_dur;
+        ev_verdict; ev_spans; ev_cache; ev_depth; ev_ptrace_calls;
+        ev_ptrace_words; ev_shadow_probes; ev_input;
+      }
+  | _ -> Error "audit record is not a JSON object"

@@ -28,6 +28,31 @@ type kind =
 
 val kind_name : kind -> string
 
+(** The snapshot inputs the monitor consumed while judging the trap,
+    captured so the verdict can be re-derived offline by the replay
+    engine.  Mirrors [Kernel.Ptrace]'s regs / frame_view / frame_slots
+    without depending on that library. *)
+
+type frame = {
+  f_func : string;           (** function the frame executes *)
+  f_callsite : int64;        (** code address of the in-flight call *)
+  f_args : int64 array;      (** argument registers spilled there *)
+  f_ret : int64 option;      (** memory-resident return token *)
+  f_base : int64;            (** frame base address *)
+}
+
+type slot_read = {
+  sr_base : int64;           (** owning frame's base address *)
+  sr_lo : int;               (** word offset of the span's first slot *)
+  sr_span : int64 array;     (** the sensitive-slot words as fetched *)
+}
+
+type input = {
+  in_args : int64 array;     (** syscall argument registers (GETREGS) *)
+  in_frames : frame list;    (** unwound stack span, innermost first *)
+  in_slots : slot_read list; (** per-frame sensitive-slot reads *)
+}
+
 type t = {
   ev_seq : int;             (** recorder-assigned sequence number *)
   ev_kind : kind;
@@ -43,6 +68,7 @@ type t = {
   ev_ptrace_calls : int;    (** process_vm_readv-class calls this trap *)
   ev_ptrace_words : int;    (** words fetched from the tracee *)
   ev_shadow_probes : int;   (** shadow-table slots examined *)
+  ev_input : input option;  (** snapshot inputs, for offline replay *)
 }
 
 val verdict_name : verdict -> string
@@ -55,3 +81,8 @@ val span_to_json : span -> Report.Json.t
 
 (** One JSONL audit record. *)
 val to_json : t -> Report.Json.t
+
+(** Parse one audit record back into the structured event — the replay
+    reader's inverse of {!to_json}: [of_json (to_json ev) = Ok ev].
+    Malformed shapes come back as [Error msg], never as an exception. *)
+val of_json : Report.Json.t -> (t, string) result

@@ -128,9 +128,17 @@ let item_to_json = function
         ("at_cycles", Report.Json.Num (float_of_int i_at));
       ]
 
-(** The JSONL audit log: one compact JSON object per recorded item. *)
-let write_jsonl t path =
+(** The JSONL audit log: one compact JSON object per recorded item.
+    [header], when given, is written first as its own line — the trace
+    format's self-describing version/workload/fingerprint record, which
+    makes the file replayable by [Bastion_replay]. *)
+let write_jsonl ?header t path =
   let oc = open_out path in
+  (match header with
+  | Some h ->
+    output_string oc (Report.Json.to_compact_string h);
+    output_char oc '\n'
+  | None -> ());
   Ring.iter t.ring (fun item ->
       output_string oc (Report.Json.to_compact_string (item_to_json item));
       output_char oc '\n');

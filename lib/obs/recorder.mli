@@ -49,8 +49,10 @@ val trap_events : t -> Event.t list
 val events_dropped : t -> int
 val item_to_json : item -> Report.Json.t
 
-(** Write the JSONL audit log: one compact JSON object per item. *)
-val write_jsonl : t -> string -> unit
+(** Write the JSONL audit log: one compact JSON object per item.
+    [header], when given, is written first as its own line (the replay
+    trace format's self-describing version/fingerprint record). *)
+val write_jsonl : ?header:Report.Json.t -> t -> string -> unit
 
 (** End-of-run text summary of the registry. *)
 val summary_table : t -> string

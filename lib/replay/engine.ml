@@ -1,0 +1,532 @@
+(* The replay engine: offline re-verification of a recorded trap
+   stream against the real monitor.
+
+   The monitor's verdict is a pure function of the deployed metadata
+   and the per-trap snapshot, and the machine model is deterministic.
+   Replay therefore re-executes the recorded configuration from
+   scratch — same program, same protect bundle, same monitor knobs —
+   but swaps the monitor's trap source so that every register file and
+   stack snapshot is *injected from the trace* (charging identical
+   modelled costs via [Ptrace.inject_*]) instead of read from the
+   tracee.  The monitor re-judges each trap on its real verification
+   path; a wrapped tracer hook compares the fresh event against the
+   recorded one and then returns the *recorded* verdict, so control
+   flow always follows the recorded run and one corrupted record
+   cannot derail the comparison of everything after it. *)
+
+module Drivers = Workloads.Drivers
+module Runner = Attacks.Runner
+module Event = Obs.Event
+module Ptrace = Kernel.Ptrace
+
+(* ------------------------------------------------------------------ *)
+(* Name registries.  The header stores short stable keys; recording
+   and replay resolve them through the same tables, so both sides
+   always build the same run. *)
+
+let defense_table =
+  [
+    ("vanilla", Drivers.Vanilla);
+    ("cfi", Drivers.Llvm_cfi);
+    ("cet", Drivers.Cet_only);
+    ("ct", Drivers.Bastion_ct);
+    ("ct-cf", Drivers.Bastion_ct_cf);
+    ("full", Drivers.Bastion_full);
+    ("fs-off", Drivers.Bastion_fs Bastion.Monitor.Fs_off);
+    ("fs-hook", Drivers.Bastion_fs Bastion.Monitor.Fs_hook_only);
+    ("fs-fetch", Drivers.Bastion_fs Bastion.Monitor.Fs_fetch_only);
+    ("fs-full", Drivers.Bastion_fs Bastion.Monitor.Fs_full);
+  ]
+
+let defense_key (d : Drivers.defense) : string =
+  fst (List.find (fun (_, d') -> d' = d) defense_table)
+
+let defense_of_key key =
+  Option.map snd (List.find_opt (fun (k, _) -> String.equal k key) defense_table)
+
+let config_table =
+  [
+    ("none", Runner.Undefended);
+    ("ct", Runner.Only_ct);
+    ("cf", Runner.Only_cf);
+    ("ai", Runner.Only_ai);
+    ("full", Runner.Full_bastion);
+  ]
+
+let config_key (c : Runner.config) : string =
+  fst (List.find (fun (_, c') -> c' = c) config_table)
+
+let config_of_key key =
+  Option.map snd (List.find_opt (fun (k, _) -> String.equal k key) config_table)
+
+let scales = [ "default"; "small" ]
+
+(* Golden-corpus scale: the same program structure (filler and all, so
+   the metadata fingerprint stays representative) with the dynamic
+   parameters shrunk until a run records a few hundred traps instead
+   of tens of thousands — small enough to check in and to replay in a
+   unit test, large enough to exercise accept/read/write/mprotect and
+   the verdict cache. *)
+let nginx_small =
+  { Workloads.Nginx_model.default with
+    connections = 6; requests_per_conn = 4; workers = 4;
+    init_mmap = 12; init_mprotect = 8 }
+
+let sqlite_small =
+  { Workloads.Sqlite_model.default with
+    connections = 3; txns_per_conn = 8; mprotect_every = 4 }
+
+let vsftpd_small =
+  { Workloads.Vsftpd_model.default with
+    sessions = 3; pasv_transfers = 6; active_transfers = 2;
+    file_words = 16_384; chunk_words = 4_096 }
+
+let app_of ~name ~scale : (Drivers.app, string) result =
+  if not (List.mem scale scales) then
+    Error (Printf.sprintf "unknown scale %S (known: %s)" scale
+             (String.concat ", " scales))
+  else
+    match (name, scale) with
+    | "nginx", "default" -> Ok (Drivers.nginx ())
+    | "nginx", "small" -> Ok (Drivers.nginx ~params:nginx_small ())
+    | "sqlite", "default" -> Ok (Drivers.sqlite ())
+    | "sqlite", "small" -> Ok (Drivers.sqlite ~params:sqlite_small ())
+    | "vsftpd", "default" -> Ok (Drivers.vsftpd ())
+    | "vsftpd", "small" -> Ok (Drivers.vsftpd ~params:vsftpd_small ())
+    | _ -> Error (Printf.sprintf "unknown app %S (known: nginx, sqlite, vsftpd)" name)
+
+let attack_of ~id : (Attacks.Attack.t, string) result =
+  match
+    List.find_opt (fun (a : Attacks.Attack.t) -> String.equal a.a_id id)
+      Attacks.Catalog.all
+  with
+  | Some a -> Ok a
+  | None -> Error (Printf.sprintf "unknown attack id %S (see `bastion list`)" id)
+
+let malformed ~file msg = raise (Trace.Malformed { file; line = 1; msg })
+
+let fingerprint_of (mon : Bastion.Monitor.t) =
+  Bastion.Metadata.fingerprint mon.Bastion.Monitor.meta
+
+(* ------------------------------------------------------------------ *)
+(* Recording *)
+
+(* Default-scale SQLite records ~116k traps; give the audit ring ample
+   headroom so a recorded stream is never silently truncated (a
+   dropped-oldest ring would break seq contiguity and the reader would
+   reject the file). *)
+let recording_ring_capacity = 1 lsl 21
+
+let write_trace ~recorder ~header ~path =
+  let dropped = Obs.Recorder.events_dropped recorder in
+  if dropped > 0 then
+    failwith
+      (Printf.sprintf
+         "recording dropped %d events (ring too small); refusing to write an \
+          unreplayable trace to %s"
+         dropped path);
+  Obs.Recorder.write_jsonl ~header:(Trace.header_to_json header) recorder path
+
+let record_run ?(trap_cache = true) ?(pre_resolve = false) ~app ~scale ~defense
+    ~path () : Drivers.measurement =
+  let a =
+    match app_of ~name:app ~scale with
+    | Ok a -> a
+    | Error msg -> malformed ~file:path msg
+  in
+  let recorder =
+    Obs.Recorder.create ~tracing:true ~ring_capacity:recording_ring_capacity ()
+  in
+  let m = Drivers.run ~trap_cache ~pre_resolve ~recorder a defense in
+  let header =
+    {
+      Trace.h_version = Trace.current_version;
+      h_kind = Trace.Run { app; defense = defense_key defense; scale };
+      h_trap_cache = trap_cache;
+      h_pre_resolve = pre_resolve;
+      h_fingerprint =
+        (match m.Drivers.m_monitor with
+        | Some mon -> fingerprint_of mon
+        | None -> "-");
+      h_traps = List.length (Obs.Recorder.trap_events recorder);
+      h_cycles = m.Drivers.m_cycles;
+    }
+  in
+  write_trace ~recorder ~header ~path;
+  m
+
+let record_attack ?(trap_cache = true) ?(pre_resolve = false) ~attack_id ~config
+    ~path () : Runner.outcome =
+  (match config with
+  | Runner.Undefended ->
+    malformed ~file:path "undefended attack runs have no monitor to record"
+  | _ -> ());
+  let attack =
+    match attack_of ~id:attack_id with
+    | Ok a -> a
+    | Error msg -> malformed ~file:path msg
+  in
+  let recorder =
+    Obs.Recorder.create ~tracing:true ~ring_capacity:recording_ring_capacity ()
+  in
+  let fp = ref "-" in
+  let machine : Machine.t option ref = ref None in
+  let on_session (s : Bastion.Api.session) =
+    fp := fingerprint_of s.Bastion.Api.monitor;
+    machine := Some s.Bastion.Api.machine
+  in
+  let outcome = Runner.run ~trap_cache ~pre_resolve ~recorder ~on_session attack config in
+  let header =
+    {
+      Trace.h_version = Trace.current_version;
+      h_kind = Trace.Attack { attack_id; config = config_key config };
+      h_trap_cache = trap_cache;
+      h_pre_resolve = pre_resolve;
+      h_fingerprint = !fp;
+      h_traps = List.length (Obs.Recorder.trap_events recorder);
+      h_cycles = (match !machine with Some m -> m.stats.cycles | None -> 0);
+    }
+  in
+  write_trace ~recorder ~header ~path;
+  outcome
+
+(* ------------------------------------------------------------------ *)
+(* Replay *)
+
+type divergence = {
+  dv_line : int;
+  dv_seq : int;
+  dv_field : string;
+  dv_recorded : string;
+  dv_replayed : string;
+}
+
+type report = {
+  rp_file : string;
+  rp_header : Trace.header;
+  rp_traps_recorded : int;
+  rp_traps_replayed : int;
+  rp_cycles_replayed : int;
+  rp_divergences : divergence list;
+}
+
+let ok r = r.rp_divergences = []
+
+(* Per-replay comparison state, shared between the injection source
+   and the wrapped tracer hook.  [idx] is the next recorded trap to
+   match; the source peeks at it, the hook advances it. *)
+type state = {
+  expected : (int * Event.t) array;
+  strict : bool;
+  mutable idx : int;
+  mutable extra : int;         (* fresh traps past the recorded stream *)
+  mutable divs : divergence list;  (* reverse discovery order *)
+  last : Event.t option ref;   (* fresh event, delivered via on_event *)
+}
+
+let peek st = if st.idx < Array.length st.expected then Some st.expected.(st.idx) else None
+
+let push st ~line ~seq field recorded replayed =
+  st.divs <-
+    { dv_line = line; dv_seq = seq; dv_field = field; dv_recorded = recorded;
+      dv_replayed = replayed }
+    :: st.divs
+
+let verdict_str = function
+  | Event.Allowed -> "allowed"
+  | Event.Denied { d_context; d_detail } ->
+    Printf.sprintf "denied[%s: %s]" d_context d_detail
+
+let cache_str = function None -> "-" | Some true -> "hit" | Some false -> "miss"
+
+let spans_str spans =
+  String.concat " "
+    (List.map
+       (fun (sp : Event.span) ->
+         Printf.sprintf "%s:%s@%d+%d" (Event.phase_name sp.sp_phase)
+           (Event.outcome_name sp.sp_outcome) sp.sp_start sp.sp_dur)
+       spans)
+
+(* Field-by-field comparison of one trap.  The default set covers what
+   the acceptance gate calls verdict/cycle divergences; [strict] adds
+   every remaining recorded field. *)
+let compare_event st ~line (recorded : Event.t) (fresh : Event.t) =
+  let seq = recorded.ev_seq in
+  let chk field conv a b = if a <> b then push st ~line ~seq field (conv a) (conv b) in
+  chk "kind" Event.kind_name recorded.ev_kind fresh.ev_kind;
+  chk "sysno" string_of_int recorded.ev_sysno fresh.ev_sysno;
+  chk "sysname" Fun.id recorded.ev_sysname fresh.ev_sysname;
+  chk "rip" (Printf.sprintf "0x%Lx") recorded.ev_rip fresh.ev_rip;
+  chk "verdict" verdict_str recorded.ev_verdict fresh.ev_verdict;
+  chk "depth" string_of_int recorded.ev_depth fresh.ev_depth;
+  chk "dur_cycles" string_of_int recorded.ev_dur fresh.ev_dur;
+  if st.strict then begin
+    chk "seq" string_of_int recorded.ev_seq fresh.ev_seq;
+    chk "start_cycles" string_of_int recorded.ev_start fresh.ev_start;
+    chk "cache" cache_str recorded.ev_cache fresh.ev_cache;
+    chk "ptrace_calls" string_of_int recorded.ev_ptrace_calls fresh.ev_ptrace_calls;
+    chk "ptrace_words" string_of_int recorded.ev_ptrace_words fresh.ev_ptrace_words;
+    chk "shadow_probes" string_of_int recorded.ev_shadow_probes fresh.ev_shadow_probes;
+    chk "phases" spans_str recorded.ev_spans fresh.ev_spans
+  end
+
+let snapshot_of_input (i : Event.input) : Ptrace.snapshot =
+  {
+    Ptrace.sn_frames =
+      List.map
+        (fun (f : Event.frame) ->
+          {
+            Ptrace.fv_func = f.f_func;
+            fv_callsite = f.f_callsite;
+            fv_args = Array.copy f.f_args;
+            fv_ret_token = f.f_ret;
+            fv_base = f.f_base;
+          })
+        i.in_frames;
+    sn_slots =
+      List.map
+        (fun (s : Event.slot_read) ->
+          (s.sr_base, { Ptrace.sl_lo = s.sr_lo; sl_span = Array.copy s.sr_span }))
+        i.in_slots;
+    sn_calls = 0;  (* recomputed from the shape by [inject_snapshot] *)
+  }
+
+(* The injected trap source: recorded inputs with live-identical cost
+   accounting.  Falls back to the live reads when the recorded stream
+   is exhausted (extra traps) or a record carries no input. *)
+let source_of st : Bastion.Monitor.trap_source =
+  {
+    Bastion.Monitor.ts_regs =
+      (fun tracer ->
+        match peek st with
+        | Some (_, ev) -> (
+          match ev.Event.ev_input with
+          | Some i ->
+            Ptrace.inject_regs tracer
+              { Ptrace.rip = ev.ev_rip; sysno = ev.ev_sysno;
+                args = Array.copy i.in_args }
+          | None -> Ptrace.getregs tracer)
+        | None -> Ptrace.getregs tracer);
+    ts_snapshot =
+      (fun tracer ~slot_span ->
+        match peek st with
+        | Some (_, ({ Event.ev_input = Some i; _ })) ->
+          Ptrace.inject_snapshot tracer (snapshot_of_input i)
+        | _ -> Ptrace.snapshot tracer ~slot_span);
+  }
+
+(* Wrap the monitor's tracer hook: run the real verification, compare
+   the fresh event against the recorded one, then follow the
+   *recorded* verdict so the machine re-walks the recorded control
+   flow even when the two disagree. *)
+let wrap_hook st (proc : Kernel.Process.t) =
+  match proc.tracer_hook with
+  | None -> ()
+  | Some orig ->
+    proc.tracer_hook <-
+      Some
+        (fun p ~sysno ~args ->
+          st.last := None;
+          let fresh_verdict = orig p ~sysno ~args in
+          match !(st.last) with
+          | None -> fresh_verdict
+          | Some fresh -> (
+            match peek st with
+            | Some (line, recorded) ->
+              compare_event st ~line recorded fresh;
+              st.idx <- st.idx + 1;
+              (match recorded.ev_verdict with
+              | Event.Allowed -> Kernel.Process.Continue
+              | Event.Denied { d_context; d_detail } ->
+                Kernel.Process.Deny { context = d_context; detail = d_detail })
+            | None ->
+              st.extra <- st.extra + 1;
+              if st.extra = 1 then
+                push st ~line:0 ~seq:(-1) "extra-trap" "(end of recorded stream)"
+                  (Printf.sprintf "%s(%d) at cycle %d" fresh.ev_sysname
+                     fresh.ev_sysno fresh.ev_start);
+              fresh_verdict))
+
+let fresh_recorder st =
+  let r = Obs.Recorder.create () in
+  Obs.Recorder.set_on_event r (Some (fun ev -> st.last := Some ev));
+  r
+
+let finish st (tr : Trace.t) ~fresh_cycles : report =
+  let n = Array.length st.expected in
+  if st.idx < n then begin
+    let line, first_missing = st.expected.(st.idx) in
+    push st ~line ~seq:first_missing.Event.ev_seq "missing-traps"
+      (Printf.sprintf "%d traps" n)
+      (Printf.sprintf "%d traps (stream ends at seq %d)" st.idx
+         first_missing.Event.ev_seq)
+  end;
+  if st.extra > 1 then
+    push st ~line:0 ~seq:(-1) "extra-traps" "0"
+      (Printf.sprintf "%d traps past the recorded stream" st.extra);
+  if fresh_cycles <> tr.t_header.h_cycles then
+    push st ~line:0 ~seq:(-1) "total-cycles"
+      (string_of_int tr.t_header.h_cycles)
+      (string_of_int fresh_cycles);
+  {
+    rp_file = tr.t_file;
+    rp_header = tr.t_header;
+    rp_traps_recorded = n;
+    rp_traps_replayed = st.idx + st.extra;
+    rp_cycles_replayed = fresh_cycles;
+    rp_divergences = List.rev st.divs;
+  }
+
+let fingerprint_only_report (tr : Trace.t) ~expected_fp ~actual_fp : report =
+  {
+    rp_file = tr.t_file;
+    rp_header = tr.t_header;
+    rp_traps_recorded = List.length tr.t_events;
+    rp_traps_replayed = 0;
+    rp_cycles_replayed = 0;
+    rp_divergences =
+      [
+        { dv_line = 1; dv_seq = -1; dv_field = "fingerprint";
+          dv_recorded = expected_fp; dv_replayed = actual_fp };
+      ];
+  }
+
+let new_state ~strict (tr : Trace.t) : state =
+  {
+    expected = Array.of_list tr.t_events;
+    strict;
+    idx = 0;
+    extra = 0;
+    divs = [];
+    last = ref None;
+  }
+
+let replay_run ~strict (tr : Trace.t) ~app ~defense ~scale : report =
+  let a =
+    match app_of ~name:app ~scale with
+    | Ok a -> a
+    | Error msg -> malformed ~file:tr.t_file msg
+  in
+  let defense =
+    match defense_of_key defense with
+    | Some d -> d
+    | None -> malformed ~file:tr.t_file (Printf.sprintf "unknown defense %S" defense)
+  in
+  let st = new_state ~strict tr in
+  let recorder = fresh_recorder st in
+  let prepared =
+    Drivers.prepare ~trap_cache:tr.t_header.h_trap_cache
+      ~pre_resolve:tr.t_header.h_pre_resolve ~recorder a defense
+  in
+  let actual_fp =
+    match prepared.Drivers.pr_monitor with
+    | Some mon -> fingerprint_of mon
+    | None -> "-"
+  in
+  if not (String.equal actual_fp tr.t_header.h_fingerprint) then
+    (* The hard gate: never judge a trace against different metadata. *)
+    fingerprint_only_report tr ~expected_fp:tr.t_header.h_fingerprint ~actual_fp
+  else begin
+    (match prepared.Drivers.pr_monitor with
+    | Some mon -> Bastion.Monitor.set_source mon (source_of st)
+    | None -> ());
+    wrap_hook st prepared.Drivers.pr_process;
+    (* Following a corrupted recorded verdict can kill the replayed
+       process; that is itself a divergence, not an engine failure. *)
+    (try ignore (Drivers.execute prepared)
+     with Drivers.Benign_run_died msg ->
+       push st ~line:0 ~seq:(-1) "run-outcome" "clean exit" msg);
+    finish st tr ~fresh_cycles:prepared.Drivers.pr_machine.stats.cycles
+  end
+
+let replay_attack ~strict (tr : Trace.t) ~attack_id ~config : report =
+  let attack =
+    match attack_of ~id:attack_id with
+    | Ok a -> a
+    | Error msg -> malformed ~file:tr.t_file msg
+  in
+  let config =
+    match config_of_key config with
+    | Some c -> c
+    | None ->
+      malformed ~file:tr.t_file (Printf.sprintf "unknown attack config %S" config)
+  in
+  let st = new_state ~strict tr in
+  let recorder = fresh_recorder st in
+  let machine : Machine.t option ref = ref None in
+  let fp_mismatch = ref None in
+  let on_session (s : Bastion.Api.session) =
+    machine := Some s.Bastion.Api.machine;
+    let actual_fp = fingerprint_of s.Bastion.Api.monitor in
+    if String.equal actual_fp tr.t_header.h_fingerprint then begin
+      Bastion.Monitor.set_source s.Bastion.Api.monitor (source_of st);
+      wrap_hook st s.Bastion.Api.process
+    end
+    else fp_mismatch := Some actual_fp
+  in
+  ignore
+    (Runner.run ~trap_cache:tr.t_header.h_trap_cache
+       ~pre_resolve:tr.t_header.h_pre_resolve ~recorder ~on_session attack config);
+  match !fp_mismatch with
+  | Some actual_fp ->
+    fingerprint_only_report tr ~expected_fp:tr.t_header.h_fingerprint ~actual_fp
+  | None ->
+    let fresh_cycles = match !machine with Some m -> m.stats.cycles | None -> 0 in
+    finish st tr ~fresh_cycles
+
+let replay ?(strict = false) (tr : Trace.t) : report =
+  match tr.t_header.h_kind with
+  | Trace.Run { app; defense; scale } -> replay_run ~strict tr ~app ~defense ~scale
+  | Trace.Attack { attack_id; config } -> replay_attack ~strict tr ~attack_id ~config
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let divergence_to_json (d : divergence) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    [
+      ("line", Num (float_of_int d.dv_line));
+      ("seq", Num (float_of_int d.dv_seq));
+      ("field", Str d.dv_field);
+      ("recorded", Str d.dv_recorded);
+      ("replayed", Str d.dv_replayed);
+    ]
+
+let report_to_json (r : report) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    [
+      ("file", Str r.rp_file);
+      ("header", Trace.header_to_json r.rp_header);
+      ("traps_recorded", Num (float_of_int r.rp_traps_recorded));
+      ("traps_replayed", Num (float_of_int r.rp_traps_replayed));
+      ("cycles_recorded", Num (float_of_int r.rp_header.Trace.h_cycles));
+      ("cycles_replayed", Num (float_of_int r.rp_cycles_replayed));
+      ("ok", Bool (ok r));
+      ("divergences", List (List.map divergence_to_json r.rp_divergences));
+    ]
+
+let kind_str = function
+  | Trace.Run { app; defense; scale } -> Printf.sprintf "%s/%s [%s]" app defense scale
+  | Trace.Attack { attack_id; config } -> Printf.sprintf "%s under %s" attack_id config
+
+let render (r : report) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "replay %s: %s — %d traps recorded, %d replayed, %d divergence%s\n"
+       r.rp_file (kind_str r.rp_header.Trace.h_kind) r.rp_traps_recorded
+       r.rp_traps_replayed
+       (List.length r.rp_divergences)
+       (if List.length r.rp_divergences = 1 then "" else "s"));
+  List.iter
+    (fun d ->
+      let where =
+        if d.dv_line = 0 then Printf.sprintf "%s: run" r.rp_file
+        else Printf.sprintf "%s:%d: trap seq %d" r.rp_file d.dv_line d.dv_seq
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %s: recorded %s, replayed %s\n" where d.dv_field
+           d.dv_recorded d.dv_replayed))
+    r.rp_divergences;
+  Buffer.contents buf

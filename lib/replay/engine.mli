@@ -1,0 +1,101 @@
+(** The replay engine: offline re-verification of a recorded trap
+    stream against the real monitor.
+
+    A BASTION verdict is a pure function of the deployed metadata and
+    the per-trap snapshot, and the machine model is deterministic — so
+    replay is a deterministic re-execution of the recorded
+    configuration in which every trap's register file and stack
+    snapshot are *injected from the trace* (via the monitor's
+    {!Bastion.Monitor.trap_source}, charging identical modelled costs)
+    instead of read from the tracee.  The monitor re-judges each trap
+    with its real verification path; the engine compares the fresh
+    event against the recorded one field by field and reports
+    divergences with trace line numbers.  Control flow always follows
+    the *recorded* verdict, so one corrupted record cannot derail the
+    comparison of everything after it.
+
+    The metadata fingerprint is a hard gate: a trace recorded against a
+    different bundle is reported as a single fingerprint divergence and
+    never judged. *)
+
+(** {1 Name registries}
+
+    The header stores workloads, defenses and attack configurations as
+    short stable keys; recording and replay resolve them through the
+    same tables so both sides always build the same run. *)
+
+val defense_key : Workloads.Drivers.defense -> string
+val defense_of_key : string -> Workloads.Drivers.defense option
+val config_key : Attacks.Runner.config -> string
+val config_of_key : string -> Attacks.Runner.config option
+
+(** Known workload scales: ["default"] (the paper-shaped runs) and
+    ["small"] (a few hundred traps — the golden-corpus scale). *)
+val scales : string list
+
+val app_of : name:string -> scale:string -> (Workloads.Drivers.app, string) result
+val attack_of : id:string -> (Attacks.Attack.t, string) result
+
+(** {1 Recording} *)
+
+(** Run a workload with the flight recorder armed and write the trace
+    (header + JSONL stream) to [path]; returns the live measurement.
+    The CLI's [--audit] sink and the in-process tests share this
+    path, so recorded headers always match what {!replay} expects.
+    @raise Trace.Malformed (line 1) on an unknown app/defense/scale key. *)
+val record_run :
+  ?trap_cache:bool -> ?pre_resolve:bool ->
+  app:string -> scale:string -> defense:Workloads.Drivers.defense ->
+  path:string -> unit -> Workloads.Drivers.measurement
+
+(** Run one catalog attack under one configuration, recording to
+    [path]; returns the live outcome.  Undefended runs carry no
+    monitor and cannot be recorded.
+    @raise Trace.Malformed (line 1) on an unknown attack id, or if
+    [config] is [Undefended]. *)
+val record_attack :
+  ?trap_cache:bool -> ?pre_resolve:bool ->
+  attack_id:string -> config:Attacks.Runner.config ->
+  path:string -> unit -> Attacks.Runner.outcome
+
+(** {1 Replay} *)
+
+(** One field-level disagreement between the recorded stream and the
+    fresh replay.  [dv_line] is the trace line (1-based; 0 for
+    run-level divergences such as a missing trap or a cycle-total
+    mismatch), [dv_seq] the trap sequence number (-1 for run-level). *)
+type divergence = {
+  dv_line : int;
+  dv_seq : int;
+  dv_field : string;
+  dv_recorded : string;
+  dv_replayed : string;
+}
+
+type report = {
+  rp_file : string;
+  rp_header : Trace.header;
+  rp_traps_recorded : int;
+  rp_traps_replayed : int;    (** traps the fresh run delivered *)
+  rp_cycles_replayed : int;   (** final modelled cycle total of the replay *)
+  rp_divergences : divergence list;  (** in discovery order *)
+}
+
+val ok : report -> bool
+
+(** Re-run the recorded configuration with recorded snapshots injected
+    and compare trap by trap.  The default comparison covers the
+    verdict-relevant fields and the whole-trap cycle attribution
+    (kind, syscall, rip, verdict + denial context/detail, stack depth,
+    trap cycles) plus the run-level totals (trap count, final cycle
+    total).  [strict] additionally compares every recorded field:
+    sequence number, trap-entry cycles, per-phase spans, verdict-cache
+    disposition and the ptrace/shadow traffic counters.
+    @raise Trace.Malformed (line 1) on unknown header keys. *)
+val replay : ?strict:bool -> Trace.t -> report
+
+val report_to_json : report -> Report.Json.t
+
+(** Human-readable report: a summary line plus one "file:line:" line
+    per divergence. *)
+val render : report -> string

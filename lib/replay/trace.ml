@@ -1,0 +1,180 @@
+(* The versioned JSONL trap-trace format.
+
+   Line 1 is the self-describing header; every following line is one
+   flight-recorder item in execution order.  The reader is a hard gate
+   (mirroring the metadata v2 version check): unknown versions,
+   malformed JSON, trailing garbage, truncated streams and
+   duplicated/reordered trap lines all come back as a positioned
+   [Malformed] — file:line — never as a stray exception. *)
+
+let format_name = "bastion-trace"
+let current_version = 1
+
+type kind =
+  | Run of { app : string; defense : string; scale : string }
+  | Attack of { attack_id : string; config : string }
+
+type header = {
+  h_version : int;
+  h_kind : kind;
+  h_trap_cache : bool;
+  h_pre_resolve : bool;
+  h_fingerprint : string;
+  h_traps : int;
+  h_cycles : int;
+}
+
+exception Malformed of { file : string; line : int; msg : string }
+
+let describe_malformed = function
+  | Malformed { file; line; msg } ->
+    Some (Printf.sprintf "%s:%d: %s" file line msg)
+  | _ -> None
+
+type t = {
+  t_file : string;
+  t_header : header;
+  t_events : (int * Obs.Event.t) list;
+}
+
+(* --- emission --------------------------------------------------------- *)
+
+let header_to_json (h : header) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    ([ ("format", Str format_name); ("version", Num (float_of_int h.h_version)) ]
+    @ (match h.h_kind with
+      | Run { app; defense; scale } ->
+        [ ("kind", Str "run"); ("app", Str app); ("defense", Str defense);
+          ("scale", Str scale) ]
+      | Attack { attack_id; config } ->
+        [ ("kind", Str "attack"); ("attack", Str attack_id);
+          ("config", Str config) ])
+    @ [
+        ("trap_cache", Bool h.h_trap_cache);
+        ("pre_resolve", Bool h.h_pre_resolve);
+        ("fingerprint", Str h.h_fingerprint);
+        ("traps", Num (float_of_int h.h_traps));
+        ("cycles", Num (float_of_int h.h_cycles));
+      ])
+
+(* --- parsing ---------------------------------------------------------- *)
+
+let fail ~file ~line msg = raise (Malformed { file; line; msg })
+
+let str_field ~file ~line name json =
+  match Report.Json.member name json with
+  | Some (Report.Json.Str s) -> s
+  | Some _ -> fail ~file ~line (Printf.sprintf "header field %S is not a string" name)
+  | None -> fail ~file ~line (Printf.sprintf "header is missing field %S" name)
+
+let int_field ~file ~line name json =
+  match Report.Json.member name json with
+  | Some (Report.Json.Num f) when Float.is_integer f -> int_of_float f
+  | Some _ -> fail ~file ~line (Printf.sprintf "header field %S is not an integer" name)
+  | None -> fail ~file ~line (Printf.sprintf "header is missing field %S" name)
+
+let bool_field ~file ~line name json =
+  match Report.Json.member name json with
+  | Some (Report.Json.Bool b) -> b
+  | Some _ -> fail ~file ~line (Printf.sprintf "header field %S is not a boolean" name)
+  | None -> fail ~file ~line (Printf.sprintf "header is missing field %S" name)
+
+let parse_json ~file ~line text =
+  match Report.Json.of_string text with
+  | json -> json
+  | exception Report.Json.Parse_error msg -> fail ~file ~line msg
+
+let parse_header ~file ~line json =
+  let fmt = str_field ~file ~line "format" json in
+  if not (String.equal fmt format_name) then
+    fail ~file ~line
+      (Printf.sprintf "not a %s file (format is %S)" format_name fmt);
+  let h_version = int_field ~file ~line "version" json in
+  if h_version <> current_version then
+    fail ~file ~line
+      (Printf.sprintf "unsupported trace format version %d (this reader supports %d)"
+         h_version current_version);
+  let h_kind =
+    match str_field ~file ~line "kind" json with
+    | "run" ->
+      Run
+        {
+          app = str_field ~file ~line "app" json;
+          defense = str_field ~file ~line "defense" json;
+          scale = str_field ~file ~line "scale" json;
+        }
+    | "attack" ->
+      Attack
+        {
+          attack_id = str_field ~file ~line "attack" json;
+          config = str_field ~file ~line "config" json;
+        }
+    | k -> fail ~file ~line (Printf.sprintf "unknown trace kind %S" k)
+  in
+  {
+    h_version;
+    h_kind;
+    h_trap_cache = bool_field ~file ~line "trap_cache" json;
+    h_pre_resolve = bool_field ~file ~line "pre_resolve" json;
+    h_fingerprint = str_field ~file ~line "fingerprint" json;
+    h_traps = int_field ~file ~line "traps" json;
+    h_cycles = int_field ~file ~line "cycles" json;
+  }
+
+let is_instant json =
+  match Report.Json.member "kind" json with
+  | Some (Report.Json.Str "instant") -> true
+  | _ -> false
+
+let read_string ?(file = "<string>") (text : string) : t =
+  let lines =
+    match String.split_on_char '\n' text with
+    | [] -> []
+    | parts -> (
+      (* A trailing newline leaves one empty final chunk; drop it. *)
+      match List.rev parts with
+      | "" :: rest -> List.rev rest
+      | _ -> parts)
+  in
+  match lines with
+  | [] -> fail ~file ~line:1 "empty trace (no header line)"
+  | header_line :: rest ->
+    let header = parse_header ~file ~line:1 (parse_json ~file ~line:1 header_line) in
+    let events = ref [] in
+    let traps = ref 0 in
+    List.iteri
+      (fun i text ->
+        let line = i + 2 in
+        if String.length text = 0 then fail ~file ~line "empty line inside trace";
+        let json = parse_json ~file ~line text in
+        if not (is_instant json) then begin
+          match Obs.Event.of_json json with
+          | Error msg -> fail ~file ~line msg
+          | Ok ev ->
+            (* Sequence numbers are assigned contiguously from 0 at
+               record time, so the i-th trap line must carry seq i: a
+               duplicated, dropped or reordered line breaks the chain
+               right here, with a line number attached. *)
+            if ev.Obs.Event.ev_seq <> !traps then
+              fail ~file ~line
+                (Printf.sprintf
+                   "trap record out of sequence: expected seq %d, found %d \
+                    (duplicated, dropped or reordered line?)"
+                   !traps ev.Obs.Event.ev_seq);
+            incr traps;
+            events := (line, ev) :: !events
+        end)
+      rest;
+    if !traps <> header.h_traps then
+      fail ~file ~line:(List.length lines)
+        (Printf.sprintf "truncated trace: header promises %d traps, stream has %d"
+           header.h_traps !traps);
+    { t_file = file; t_header = header; t_events = List.rev !events }
+
+let read_file (path : string) : t =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  read_string ~file:path text

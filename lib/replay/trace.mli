@@ -1,0 +1,67 @@
+(** The versioned JSONL trap-trace format (`bastion run --audit`,
+    `bastion attack --audit`).
+
+    Line 1 is a self-describing header: format name, version, what was
+    recorded (workload + defense, or attack + configuration), the
+    monitor knobs (trap cache, pre-resolution), the metadata
+    fingerprint the stream was judged against, and the recorded trap
+    and cycle totals.  Every following line is one flight-recorder item
+    in execution order: a structured trap record (the snapshot inputs
+    the monitor consumed plus its verdict and per-phase cycle
+    attribution) or a runtime-intrinsic instant, which the reader
+    skips.
+
+    The reader is a hard gate, mirroring the metadata v2 version
+    check: unknown versions, malformed JSON, trailing garbage,
+    truncated streams and duplicated/reordered trap lines are all
+    rejected with a positioned {!Malformed} error (file:line), never a
+    stray exception. *)
+
+val format_name : string
+
+(** The version this reader writes and accepts. *)
+val current_version : int
+
+(** What a trace recorded. *)
+type kind =
+  | Run of { app : string; defense : string; scale : string }
+      (** a benign workload run: model name, defense key, scale key *)
+  | Attack of { attack_id : string; config : string }
+      (** one Table 6 catalog attack under one configuration *)
+
+type header = {
+  h_version : int;
+  h_kind : kind;
+  h_trap_cache : bool;      (** CT+CF verdict cache enabled *)
+  h_pre_resolve : bool;     (** constant-argument pre-resolution *)
+  h_fingerprint : string;
+      (** {!Bastion.Metadata.fingerprint} of the deployed bundle; "-"
+          when the configuration carries no monitor *)
+  h_traps : int;            (** trap records that follow *)
+  h_cycles : int;           (** final modelled cycle total of the run *)
+}
+
+(** A positioned reader error: [line] is 1-based within [file]. *)
+exception Malformed of { file : string; line : int; msg : string }
+
+(** "file:line: msg" for a {!Malformed}; [None] for other exceptions. *)
+val describe_malformed : exn -> string option
+
+(** A parsed trace: the header and every trap record, each with the
+    1-based line it came from. *)
+type t = {
+  t_file : string;
+  t_header : header;
+  t_events : (int * Obs.Event.t) list;
+}
+
+val header_to_json : header -> Report.Json.t
+
+(** Parse a whole trace from a string.  [file] labels errors (defaults
+    to ["<string>"]).
+    @raise Malformed on any format violation. *)
+val read_string : ?file:string -> string -> t
+
+(** @raise Malformed on any format violation.
+    @raise Sys_error if the file cannot be read. *)
+val read_file : string -> t

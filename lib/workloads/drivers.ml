@@ -142,8 +142,21 @@ let protected_of ?(pre_resolve = false) (app : app) ~fs =
       p
   end
 
-let run ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = false)
-    ?recorder (app : app) (defense : defense) : measurement =
+(* A session staged up to the brink of execution: everything [run] does
+   before [Machine.run].  Splitting here lets the replay engine reach
+   in between boot and execution — swap the monitor's trap source,
+   wrap the tracer hook — and then drive the identical measurement
+   path. *)
+type prepared = {
+  pr_app : app;
+  pr_defense : defense;
+  pr_machine : Machine.t;
+  pr_process : Kernel.Process.t;
+  pr_monitor : Bastion.Monitor.t option;
+}
+
+let prepare ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = false)
+    ?recorder (app : app) (defense : defense) : prepared =
   let machine_config cet = { Machine.default_config with cet; cost } in
   let machine, process, monitor =
     match defense with
@@ -188,6 +201,12 @@ let run ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = fals
       (session.machine, session.process, Some session.monitor)
   in
   app.setup process;
+  { pr_app = app; pr_defense = defense; pr_machine = machine;
+    pr_process = process; pr_monitor = monitor }
+
+let execute (p : prepared) : measurement =
+  let { pr_app = app; pr_defense = defense; pr_machine = machine;
+        pr_process = process; pr_monitor = monitor } = p in
   (match Machine.run machine with
   | Machine.Exited _ -> ()
   | Machine.Faulted f ->
@@ -208,6 +227,10 @@ let run ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = fals
     m_machine = machine;
     m_monitor = monitor;
   }
+
+let run ?cost ?trap_cache ?pre_resolve ?recorder (app : app) (defense : defense) :
+    measurement =
+  execute (prepare ?cost ?trap_cache ?pre_resolve ?recorder app defense)
 
 (** Relative overhead (in %) of a measurement against a baseline,
     respecting the metric's direction. *)

@@ -53,14 +53,38 @@ exception Benign_run_died of string
     cached one is never mutated). *)
 val protected_of : ?pre_resolve:bool -> app -> fs:bool -> Bastion.Api.protected
 
-(** Run an app under a defense.  [cost] overrides the machine cost
-    table (e.g. {!Machine.Cost.in_kernel_monitor}); [trap_cache]
-    toggles the monitor's CT+CF verdict cache (default on), for the
-    fast-path ablation; [pre_resolve] enables constant-argument
-    pre-resolution (default off), for the static-analysis ablation;
-    [recorder] wires a flight recorder through the monitored
-    configurations (ignored by the unmonitored baselines — observation
-    never changes a run's cycles or verdicts).
+(** A session staged up to the brink of execution: booted, runtime
+    installed, monitor attached, workload setup done — everything
+    {!run} does before [Machine.run].  The replay engine uses the gap
+    to swap the monitor's trap source and wrap the tracer hook before
+    {!execute} drives the identical measurement path. *)
+type prepared = {
+  pr_app : app;
+  pr_defense : defense;
+  pr_machine : Machine.t;
+  pr_process : Kernel.Process.t;
+  pr_monitor : Bastion.Monitor.t option;
+}
+
+(** Stage an app under a defense: boot, wire, attach, setup — stop
+    short of execution.  Same optional arguments as {!run}. *)
+val prepare :
+  ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?pre_resolve:bool ->
+  ?recorder:Obs.Recorder.t -> app -> defense -> prepared
+
+(** Execute a prepared session and measure it.
+    @raise Benign_run_died if the run faults. *)
+val execute : prepared -> measurement
+
+(** Run an app under a defense ([execute] of [prepare]).  [cost]
+    overrides the machine cost table (e.g.
+    {!Machine.Cost.in_kernel_monitor}); [trap_cache] toggles the
+    monitor's CT+CF verdict cache (default on), for the fast-path
+    ablation; [pre_resolve] enables constant-argument pre-resolution
+    (default off), for the static-analysis ablation; [recorder] wires a
+    flight recorder through the monitored configurations (ignored by
+    the unmonitored baselines — observation never changes a run's
+    cycles or verdicts).
     @raise Benign_run_died if the run faults. *)
 val run :
   ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?pre_resolve:bool ->

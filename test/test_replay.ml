@@ -1,0 +1,301 @@
+(* Trace-driven replay: the golden-trace corpus, record→replay
+   equivalence properties, reader fuzzing, and divergence detection on
+   tampered traces. *)
+
+module Trace = Bastion_replay.Trace
+module Engine = Bastion_replay.Engine
+module Drivers = Workloads.Drivers
+
+let read_whole path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let with_temp_trace f =
+  let path = Filename.temp_file "bastion-replay" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* --- golden corpus ---------------------------------------------------- *)
+
+let golden_files =
+  [
+    "golden/nginx-benign.jsonl"; "golden/sqlite-benign.jsonl";
+    "golden/vsftpd-benign.jsonl"; "golden/nginx-attack.jsonl";
+    "golden/sqlite-attack.jsonl"; "golden/vsftpd-attack.jsonl";
+  ]
+
+(* Every checked-in golden trace must replay strictly with zero
+   divergences: identical verdicts, identical per-trap and total cycle
+   attribution.  This is the offline re-verification gate CI runs. *)
+let test_golden_corpus () =
+  List.iter
+    (fun file ->
+      let tr = Trace.read_file file in
+      Alcotest.(check int)
+        (file ^ " trap records match header") tr.t_header.h_traps
+        (List.length tr.t_events);
+      let r = Engine.replay ~strict:true tr in
+      List.iter
+        (fun (d : Engine.divergence) ->
+          Printf.printf "%s:%d: %s: recorded %s, replayed %s\n" file d.dv_line
+            d.dv_field d.dv_recorded d.dv_replayed)
+        r.rp_divergences;
+      Alcotest.(check bool) (file ^ " replays without divergence") true (Engine.ok r);
+      Alcotest.(check int)
+        (file ^ " replays every trap") r.rp_traps_recorded r.rp_traps_replayed;
+      Alcotest.(check int)
+        (file ^ " cycle total matches header") tr.t_header.h_cycles
+        r.rp_cycles_replayed)
+    golden_files
+
+(* --- record→replay equivalence --------------------------------------- *)
+
+let apps = [| "nginx"; "sqlite"; "vsftpd" |]
+
+let replay_defenses =
+  [|
+    Drivers.Bastion_ct; Drivers.Bastion_ct_cf; Drivers.Bastion_full;
+    Drivers.Bastion_fs Bastion.Monitor.Fs_full;
+  |]
+
+(* For any workload/defense/cache/pre-resolve/shard configuration,
+   recording a run and replaying the trace yields identical verdicts,
+   trap counts and monitored cycle totals — strictly, down to
+   per-phase spans and ptrace traffic.  Recording is serial; when the
+   drawn configuration is sharded, the sharded per-tracee run must
+   itself match the replayed trace (sharding never moves a verdict or
+   a cycle, so one serial trace vouches for every shard count). *)
+let prop_record_replay_equivalence =
+  QCheck.Test.make ~count:10 ~name:"record then replay is divergence-free"
+    QCheck.(
+      pair
+        (pair (int_range 0 2) (int_range 0 3))
+        (pair (pair bool bool) (int_range 1 3)))
+    (fun ((ai, di), ((trap_cache, pre_resolve), shards)) ->
+      with_temp_trace (fun path ->
+          let app = apps.(ai) and defense = replay_defenses.(di) in
+          let m =
+            Engine.record_run ~trap_cache ~pre_resolve ~app ~scale:"small"
+              ~defense ~path ()
+          in
+          let tr = Trace.read_file path in
+          let r = Engine.replay ~strict:true tr in
+          let sharded_matches =
+            shards = 1
+            ||
+            let a = Result.get_ok (Engine.app_of ~name:app ~scale:"small") in
+            let mm =
+              Drivers.run_multi ~trap_cache ~pre_resolve ~shards ~tracees:shards
+                a defense
+            in
+            Array.for_all
+              (fun (t : Drivers.measurement) ->
+                t.m_cycles = tr.t_header.h_cycles
+                && t.m_traps = m.Drivers.m_traps)
+              mm.mm_tracees
+          in
+          Engine.ok r
+          && r.rp_traps_replayed = r.rp_traps_recorded
+          && r.rp_traps_recorded = tr.t_header.h_traps
+          && r.rp_cycles_replayed = tr.t_header.h_cycles
+          && tr.t_header.h_cycles = m.Drivers.m_cycles
+          && sharded_matches))
+
+let test_record_replay_attack () =
+  with_temp_trace (fun path ->
+      let outcome =
+        Engine.record_attack ~attack_id:"rop-exec-daemon"
+          ~config:Attacks.Runner.Full_bastion ~path ()
+      in
+      (match outcome with
+      | Attacks.Runner.Blocked _ -> ()
+      | o ->
+        Alcotest.failf "rop-exec-daemon under full should be blocked, got %s"
+          (Attacks.Runner.outcome_name o));
+      let r = Engine.replay ~strict:true (Trace.read_file path) in
+      Alcotest.(check bool) "attack trace replays clean" true (Engine.ok r))
+
+(* A configuration without a monitor records zero traps and a "-"
+   fingerprint, and still round-trips. *)
+let test_record_replay_vanilla () =
+  with_temp_trace (fun path ->
+      ignore
+        (Engine.record_run ~app:"nginx" ~scale:"small" ~defense:Drivers.Vanilla
+           ~path ());
+      let tr = Trace.read_file path in
+      Alcotest.(check int) "no traps recorded" 0 tr.t_header.h_traps;
+      Alcotest.(check string) "no fingerprint" "-" tr.t_header.h_fingerprint;
+      let r = Engine.replay ~strict:true tr in
+      Alcotest.(check bool) "vanilla trace replays clean" true (Engine.ok r))
+
+(* --- reader hard gate -------------------------------------------------- *)
+
+let check_malformed name text =
+  match Trace.read_string text with
+  | _ -> Alcotest.failf "%s: reader accepted a malformed trace" name
+  | exception Trace.Malformed { line; msg; _ } ->
+    Alcotest.(check bool)
+      (name ^ " reports a positive line number") true (line >= 1);
+    Alcotest.(check bool) (name ^ " has a message") true (String.length msg > 0)
+
+let small_trace () = read_whole "golden/vsftpd-attack.jsonl"
+
+let test_reader_rejections () =
+  let text = small_trace () in
+  let lines = String.split_on_char '\n' (String.trim text) in
+  check_malformed "empty trace" "";
+  check_malformed "non-JSON header" "hello world\n";
+  check_malformed "wrong format name"
+    "{\"format\":\"chrome-trace\",\"version\":1}\n";
+  check_malformed "unknown version"
+    "{\"format\":\"bastion-trace\",\"version\":99}\n";
+  check_malformed "unknown kind"
+    "{\"format\":\"bastion-trace\",\"version\":1,\"kind\":\"fuzz\"}\n";
+  (* Drop the last line: the header's trap count no longer matches. *)
+  check_malformed "truncated stream"
+    (String.concat "\n" (List.filteri (fun i _ -> i < List.length lines - 1) lines));
+  (* Cut the file mid-record: unterminated JSON on the final line. *)
+  check_malformed "cut mid-record" (String.sub text 0 (String.length text - 30));
+  (* Duplicate the final trap record: seq contiguity breaks. *)
+  check_malformed "duplicated line"
+    (String.concat "\n" (lines @ [ List.nth lines (List.length lines - 1) ]));
+  (* Swap the first two trap records (instants may sit between them;
+     only trap lines carry the seq chain). *)
+  let is_trap l = Astring.String.is_infix ~affix:"\"seq\":" l in
+  let trap_idx =
+    List.filteri (fun i _ -> is_trap (List.nth lines i))
+      (List.mapi (fun i _ -> i) lines)
+  in
+  (match trap_idx with
+  | i :: j :: _ ->
+    let swapped =
+      List.mapi
+        (fun k l ->
+          if k = i then List.nth lines j
+          else if k = j then List.nth lines i
+          else l)
+        lines
+    in
+    check_malformed "reordered lines" (String.concat "\n" swapped)
+  | _ -> Alcotest.fail "trace has fewer than two trap records");
+  (* Trailing garbage after a well-formed record. *)
+  check_malformed "trailing garbage"
+    (String.concat "\n" (List.mapi (fun i l -> if i = 1 then l ^ " }" else l) lines));
+  (* A malformed \u escape inside a record string. *)
+  check_malformed "bad unicode escape"
+    (String.concat "\n"
+       (List.mapi
+          (fun i l ->
+            if i = 1 then
+              Str.global_replace (Str.regexp_string "\"kind\"") "\"ki\\u00Gd\"" l
+            else l)
+          lines));
+  check_malformed "blank interior line"
+    (String.concat "\n" (List.mapi (fun i l -> if i = 1 then "" else l) lines))
+
+(* Single-bit flips anywhere in the file must produce either a clean
+   parse or a positioned [Malformed] — never any other exception. *)
+let prop_bitflip_total =
+  let text = lazy (small_trace ()) in
+  QCheck.Test.make ~count:300 ~name:"reader is total under single-bit flips"
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 7))
+    (fun (pos, bit) ->
+      let text = Lazy.force text in
+      let pos = pos mod String.length text in
+      let b = Bytes.of_string text in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      match Trace.read_string (Bytes.to_string b) with
+      | _ -> true
+      | exception Trace.Malformed { line; _ } -> line >= 1
+      | exception _ -> false)
+
+(* --- divergence detection on tampered traces -------------------------- *)
+
+let replace_once ~sub ~by text =
+  match Str.bounded_split_delim (Str.regexp_string sub) text 2 with
+  | [ pre; post ] -> pre ^ by ^ post
+  | _ -> Alcotest.failf "substring %S not found in trace" sub
+
+(* Corrupt one recorded verdict: replay must flag exactly that record,
+   by line number, with a verdict divergence — and since the replay
+   follows the recorded (corrupted) deny, the run dies early, which
+   surfaces as further run-level divergences.  Exit is non-zero either
+   way. *)
+let test_corrupted_verdict () =
+  let text = read_whole "golden/nginx-benign.jsonl" in
+  let tampered =
+    replace_once ~sub:"\"verdict\":\"allowed\""
+      ~by:"\"verdict\":\"denied\",\"context\":\"CT\",\"detail\":\"tampered\"" text
+  in
+  (* The corrupted record's 1-based line number. *)
+  let corrupt_line =
+    let lines = String.split_on_char '\n' tampered in
+    1 + Option.get (List.find_index (fun l ->
+        Astring.String.is_infix ~affix:"tampered" l) lines)
+  in
+  let tr = Trace.read_string ~file:"tampered.jsonl" tampered in
+  let r = Engine.replay ~strict:true tr in
+  Alcotest.(check bool) "tampered trace diverges" false (Engine.ok r);
+  match r.rp_divergences with
+  | first :: _ ->
+    Alcotest.(check string) "field is the verdict" "verdict" first.dv_field;
+    Alcotest.(check int) "line points at the corrupted record" corrupt_line
+      first.dv_line;
+    Alcotest.(check bool) "recorded side shows the tampered deny" true
+      (Astring.String.is_infix ~affix:"tampered" first.dv_recorded)
+  | [] -> Alcotest.fail "no divergences reported"
+
+(* Tampering with the header fingerprint must refuse judgement: one
+   fingerprint divergence, no traps replayed. *)
+let test_fingerprint_gate () =
+  let text = read_whole "golden/nginx-benign.jsonl" in
+  let tampered =
+    replace_once ~sub:"\"fingerprint\":\"fnv1a64:"
+      ~by:"\"fingerprint\":\"fnv1a64:0000" text
+  in
+  let tr = Trace.read_string ~file:"tampered.jsonl" tampered in
+  let r = Engine.replay tr in
+  (match r.rp_divergences with
+  | [ d ] ->
+    Alcotest.(check string) "single fingerprint divergence" "fingerprint" d.dv_field;
+    Alcotest.(check int) "reported at the header line" 1 d.dv_line
+  | ds -> Alcotest.failf "expected 1 divergence, got %d" (List.length ds));
+  Alcotest.(check int) "no traps judged" 0 r.rp_traps_replayed
+
+(* Tampering with the header cycle total is a run-level divergence. *)
+let test_cycle_total_divergence () =
+  let text = read_whole "golden/vsftpd-attack.jsonl" in
+  let tr = Trace.read_string ~file:"tampered.jsonl" text in
+  let bumped =
+    { tr with t_header = { tr.t_header with h_cycles = tr.t_header.h_cycles + 1 } }
+  in
+  let r = Engine.replay bumped in
+  Alcotest.(check bool) "bumped cycle total diverges" false (Engine.ok r);
+  match r.rp_divergences with
+  | [ d ] -> Alcotest.(check string) "field" "total-cycles" d.dv_field
+  | ds -> Alcotest.failf "expected 1 divergence, got %d" (List.length ds)
+
+let suites =
+  [
+    ( "replay",
+      [
+        Alcotest.test_case "golden corpus replays divergence-free" `Quick
+          test_golden_corpus;
+        Alcotest.test_case "attack record then replay" `Quick
+          test_record_replay_attack;
+        Alcotest.test_case "vanilla run records and replays" `Quick
+          test_record_replay_vanilla;
+        Alcotest.test_case "reader rejects malformed traces" `Quick
+          test_reader_rejections;
+        Alcotest.test_case "corrupted verdict is flagged with its line" `Quick
+          test_corrupted_verdict;
+        Alcotest.test_case "fingerprint mismatch refuses judgement" `Quick
+          test_fingerprint_gate;
+        Alcotest.test_case "cycle-total tamper is a run divergence" `Quick
+          test_cycle_total_divergence;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [ prop_record_replay_equivalence; prop_bitflip_total ] );
+  ]
