@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench trace-demo golden replay-golden clean
+.PHONY: all build test lint check bench bench-prefilter trace-demo golden replay-golden clean
 
 all: build
 
@@ -21,6 +21,11 @@ check: lint
 
 bench:
 	dune exec bench/main.exe
+
+# The tiered-ablation artifact: off / prefilter-only / tiered on all
+# three workloads plus the per-attack tier split (EXPERIMENTS.md).
+bench-prefilter:
+	dune exec bench/main.exe -- --json-prefilter BENCH_prefilter.json
 
 # Record an NGINX run with the flight recorder and summarise the trace
 # (open nginx.trace.json in Perfetto / chrome://tracing).

@@ -5,16 +5,18 @@
    Usage:  dune exec bench/main.exe [section ...] [--json PATH]
                                     [--json-static PATH]
                                     [--json-parallel PATH] [--parallel-smoke]
+                                    [--json-prefilter PATH]
    Sections: figure3 table3 table4 table5 table6 table7 stats ablations
-             static micro throughput all (default: all)
+             static prefilter micro throughput all (default: all)
 
    --json PATH writes machine-readable cycle totals / overhead % per
    configuration (including the trap-cache on/off ablation pair) to
    PATH; --json-static PATH writes the constant-argument
    pre-resolution ablation; --json-parallel PATH writes the sharded
    multi-tracee monitor throughput bench (--parallel-smoke shrinks it
-   to the CI configuration); any given alone skips the printed
-   sections. *)
+   to the CI configuration); --json-prefilter PATH writes the tiered
+   trap-resolution (syscall-flow pre-filter) ablation; any given alone
+   skips the printed sections. *)
 
 let sections =
   [
@@ -26,6 +28,7 @@ let sections =
     ("stats", fun () -> Stats9.run ());
     ("ablations", fun () -> Ablations.run ());
     ("static", fun () -> Static_preres.run ());
+    ("prefilter", fun () -> Prefilter.run ());
     ("micro", fun () -> Micro.run ());
     ("throughput", fun () -> Throughput.run ());
   ]
@@ -44,12 +47,13 @@ let () =
   let json_path, args = extract_json "--json" [] args in
   let json_static_path, args = extract_json "--json-static" [] args in
   let json_parallel_path, args = extract_json "--json-parallel" [] args in
+  let json_prefilter_path, args = extract_json "--json-prefilter" [] args in
   let parallel_smoke = List.mem "--parallel-smoke" args in
   let args = List.filter (fun a -> a <> "--parallel-smoke") args in
   let wanted =
     match args with
     | [] when json_path <> None || json_static_path <> None
-              || json_parallel_path <> None ->
+              || json_parallel_path <> None || json_prefilter_path <> None ->
       []  (* JSON-only invocation *)
     | [] | [ "all" ] -> List.map fst sections
     | args ->
@@ -75,6 +79,9 @@ let () =
   (match json_static_path with
   | None -> ()
   | Some path -> Static_preres.emit path);
-  match json_parallel_path with
+  (match json_parallel_path with
   | None -> ()
-  | Some path -> Throughput.emit ~smoke:parallel_smoke path
+  | Some path -> Throughput.emit ~smoke:parallel_smoke path);
+  match json_prefilter_path with
+  | None -> ()
+  | Some path -> Prefilter.emit path

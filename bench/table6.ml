@@ -28,13 +28,26 @@ let run () =
           Printf.sprintf "%s(%s)" (outcome_mark r.r_cf) (mark a.a_expected.e_cf);
           Printf.sprintf "%s(%s)" (outcome_mark r.r_ai) (mark a.a_expected.e_ai);
           outcome_mark r.r_full;
+          Attacks.Runner.tier_name (Attacks.Runner.catching_tier r);
           (if Attacks.Runner.matches_expectation r then "agree" else "MISMATCH");
         ])
       rows
   in
   Report.Table.print
-    ~header:[ "Category"; "Attack"; "Ref"; "undef"; "CT"; "CF"; "AI"; "Full"; "vs paper" ]
+    ~header:
+      [ "Category"; "Attack"; "Ref"; "undef"; "CT"; "CF"; "AI"; "Full"; "Tier";
+        "vs paper" ]
     table_rows;
   let agreeing = List.filter Attacks.Runner.matches_expectation rows in
-  Printf.printf "\n%d/%d attacks match the paper's Table 6 verdicts exactly.\n\n"
+  Printf.printf "\n%d/%d attacks match the paper's Table 6 verdicts exactly.\n"
     (List.length agreeing) (List.length rows)
+  ;
+  let cheap =
+    List.filter
+      (fun r -> Attacks.Runner.catching_tier r = Attacks.Runner.Tier_prefilter)
+      rows
+  in
+  Printf.printf
+    "%d/%d are stopped by the seccomp-stage pre-filter alone; the rest need \
+     the full monitor behind it.\n\n"
+    (List.length cheap) (List.length rows)

@@ -8,7 +8,8 @@
          run a workload under a defense configuration and report the
          paper's metric plus overhead vs the unprotected baseline;
          --trace/--audit/--metrics arm the flight recorder (--audit
-         writes a replayable versioned trace)
+         writes a replayable versioned trace); the tiered syscall-flow
+         pre-filter is on by default (--no-prefilter disables it)
 
      bastion replay TRACE [--strict] [--json REPORT]
          re-verify a recorded trap stream against the real monitor and
@@ -173,9 +174,11 @@ let lint_cmd =
 (* Sharded mode: N tracees over a monitor pool of worker domains.  Each
    tracee is a full session run on its owning shard; the report is the
    modelled makespan (heaviest shard) against the serial cycle sum. *)
-let run_workload_sharded a defense ~trap_cache ~pre_resolve ~shards ~tracees metrics =
+let run_workload_sharded a defense ~trap_cache ~pre_resolve ~prefilter ~shards
+    ~tracees metrics =
   let m =
-    Workloads.Drivers.run_multi ~trap_cache ~pre_resolve ~shards ~tracees a defense
+    Workloads.Drivers.run_multi ~trap_cache ~pre_resolve ?prefilter ~shards
+      ~tracees a defense
   in
   let t0 = m.mm_tracees.(0) in
   Printf.printf "%s under %s: %d tracees over %d shard%s\n" a.Workloads.Drivers.app_name
@@ -201,10 +204,16 @@ let run_workload_sharded a defense ~trap_cache ~pre_resolve ~shards ~tracees met
   end;
   `Ok ()
 
-let run_workload verbose app scale defense no_trap_cache pre_resolve trace metrics
-    audit shards tracees =
+let run_workload verbose app scale defense no_trap_cache pre_resolve
+    no_prefilter trace metrics audit shards tracees =
   setup_logs verbose;
   let trap_cache = not no_trap_cache in
+  (* The tiered pre-filter is the deployment default: cheap seccomp-stage
+     resolution in front of the unchanged monitor.  [--no-prefilter]
+     recovers the pure trap-everything configuration. *)
+  let prefilter =
+    if no_prefilter then None else Some Kernel.Seccomp.Flow_tiered
+  in
   match Bastion_replay.Engine.app_of ~name:app ~scale with
   | Error msg -> `Error (false, msg)
   | Ok a ->
@@ -212,7 +221,8 @@ let run_workload verbose app scale defense no_trap_cache pre_resolve trace metri
   else if tracees < 0 then `Error (false, "--tracees must be >= 1")
   else if shards > 1 || tracees > 1 then
     let tracees = if tracees = 0 then 2 * shards else tracees in
-    run_workload_sharded a defense ~trap_cache ~pre_resolve ~shards ~tracees metrics
+    run_workload_sharded a defense ~trap_cache ~pre_resolve ~prefilter ~shards
+      ~tracees metrics
   else begin
   (* The recorder exists only when some sink wants it: the trace or
      audit file needs the ring, --metrics the histograms, -v the live
@@ -238,10 +248,14 @@ let run_workload verbose app scale defense no_trap_cache pre_resolve trace metri
            else Logs.debug (fun m -> m "%s" (Obs.Event.to_string ev))))
   | _ -> ());
   let baseline = Workloads.Drivers.run a Workloads.Drivers.Vanilla in
-  let m = Workloads.Drivers.run ~trap_cache ~pre_resolve ?recorder a defense in
-  Printf.printf "%s under %s%s%s\n" a.app_name (Workloads.Drivers.defense_name defense)
+  let m =
+    Workloads.Drivers.run ~trap_cache ~pre_resolve ?prefilter ?recorder a defense
+  in
+  Printf.printf "%s under %s%s%s%s\n" a.app_name
+    (Workloads.Drivers.defense_name defense)
     (if no_trap_cache then " (trap verdict cache off)" else "")
-    (if pre_resolve then " (constant arguments pre-resolved)" else "");
+    (if pre_resolve then " (constant arguments pre-resolved)" else "")
+    (if no_prefilter then " (syscall-flow pre-filter off)" else "");
   Printf.printf "  metric    : %.2f %s (baseline %.2f)\n" m.m_metric a.metric_name
     baseline.m_metric;
   Printf.printf "  overhead  : %.2f%%\n"
@@ -259,7 +273,18 @@ let run_workload verbose app scale defense no_trap_cache pre_resolve trace metri
       (rate *. 100.0);
     if pre_resolve then
       Printf.printf "  AI slots verified statically: %d\n"
-        (Bastion.Monitor.pre_resolved_hits monitor));
+        (Bastion.Monitor.pre_resolved_hits monitor);
+    (* Per-tier resolution: how much of the trap stream the cheap
+       seccomp-stage tier absorbed before the full monitor saw it. *)
+    match Bastion.Monitor.prefilter monitor with
+    | None -> ()
+    | Some _ ->
+      let resolved, fallthroughs, kills = Bastion.Monitor.prefilter_stats monitor in
+      Printf.printf
+        "  prefilter : %d resolved at seccomp tier, %d fell through to the \
+         full monitor%s\n"
+        resolved fallthroughs
+        (if kills > 0 then Printf.sprintf ", %d killed" kills else ""));
   (match recorder with
   | None -> ()
   | Some r ->
@@ -281,6 +306,7 @@ let run_workload verbose app scale defense no_trap_cache pre_resolve trace metri
               { app; defense = Bastion_replay.Engine.defense_key defense; scale };
           h_trap_cache = trap_cache;
           h_pre_resolve = pre_resolve;
+          h_prefilter = prefilter;
           h_fingerprint =
             (match m.m_monitor with
             | Some mon -> Bastion.Metadata.fingerprint mon.Bastion.Monitor.meta
@@ -332,6 +358,15 @@ let run_cmd =
                 the monitor verifies those AI slots against the stored \
                 constant without probing the shadow.")
   in
+  let no_prefilter =
+    Arg.(
+      value & flag
+      & info [ "no-prefilter" ]
+          ~doc:"Disable the tiered syscall-flow pre-filter (on by default \
+                for monitored defenses): every sensitive syscall then traps \
+                to the full monitor instead of resolving expected flows at \
+                seccomp cost.")
+  in
   let trace =
     Arg.(
       value
@@ -372,7 +407,8 @@ let run_cmd =
     Term.(
       ret
         (const run_workload $ verbose_arg $ app_arg $ scale_arg $ defense
-       $ no_trap_cache $ pre_resolve $ trace $ metrics $ audit $ shards $ tracees))
+       $ no_trap_cache $ pre_resolve $ no_prefilter $ trace $ metrics $ audit
+       $ shards $ tracees))
 
 (* --- trace-summary ----------------------------------------------------- *)
 
@@ -414,10 +450,26 @@ let print_row (row : Attacks.Runner.row) =
     | Attacks.Runner.Succeeded -> "SUCCEEDED"
     | Attacks.Runner.Inert -> "inert"
   in
-  Printf.printf "%-22s undef=%s ct=%s cf=%s ai=%s full=%s %s\n" row.r_attack.a_id
+  Printf.printf "%-22s undef=%s ct=%s cf=%s ai=%s full=%s tier=%s %s\n"
+    row.r_attack.a_id
     (f row.r_undefended) (f row.r_ct) (f row.r_cf) (f row.r_ai) (f row.r_full)
+    (Attacks.Runner.tier_name (Attacks.Runner.catching_tier row))
     (if Attacks.Runner.matches_expectation row then "(matches Table 6)"
      else "(MISMATCH vs Table 6)")
+
+(* Per-tier resolution counts over an evaluated catalog: how many
+   attacks the cheap seccomp-stage tier stops on its own. *)
+let print_tier_summary (rows : Attacks.Runner.row list) =
+  let count t =
+    List.length
+      (List.filter (fun r -> Attacks.Runner.catching_tier r = t) rows)
+  in
+  Printf.printf
+    "tiers: %d stopped by the seccomp-stage pre-filter alone, %d by the full \
+     monitor behind it, %d uncaught\n"
+    (count Attacks.Runner.Tier_prefilter)
+    (count Attacks.Runner.Tier_full)
+    (count Attacks.Runner.Tier_uncaught)
 
 let run_attack verbose id all config shards audit =
   setup_logs verbose;
@@ -461,6 +513,7 @@ let run_attack verbose id all config shards audit =
     (* One Table 6 row per tracee on the monitor pool. *)
     let rows, stats = Attacks.Runner.evaluate_all_sharded ~shards () in
     List.iter print_row rows;
+    print_tier_summary rows;
     Array.iter
       (fun (sh : Bastion_mt.Monitor_pool.shard_stats) ->
         Printf.printf "shard %d: %d rows\n" sh.sh_shard sh.sh_tracees)
@@ -468,6 +521,7 @@ let run_attack verbose id all config shards audit =
     `Ok ()
   end
   else begin
+    let rows = ref [] in
     List.iter
       (fun (attack : Attacks.Attack.t) ->
         match config with
@@ -476,8 +530,12 @@ let run_attack verbose id all config shards audit =
           Printf.printf "%-22s %-10s %s\n" attack.a_id
             (Attacks.Runner.config_name config)
             (Attacks.Runner.outcome_name outcome)
-        | None -> print_row (Attacks.Runner.evaluate attack))
+        | None ->
+          let row = Attacks.Runner.evaluate attack in
+          rows := row :: !rows;
+          print_row row)
       chosen;
+    if all && config = None then print_tier_summary (List.rev !rows);
     `Ok ()
   end
 

@@ -1,0 +1,26 @@
+(** Static extraction of the syscall-flow digraph: which sensitive
+    syscall can trap immediately after which, from which call-site
+    class, on some benign execution — the spec behind the seccomp-stage
+    pre-filter ([Defenses.Flow_prefilter]).
+
+    A grammar-style interprocedural FIRST/FOLLOW computation over the
+    instrumented program: events are sensitive callsites (direct calls
+    to sensitive stubs, plus indirect callsites when a sensitive stub
+    is address-taken), FOLLOW sets become the automaton's edges, and
+    FIRST of the entry function its start states.  Everything
+    over-approximates: extra edges only cost precision, never
+    soundness. *)
+
+val extract : Bastion.Api.protected -> Defenses.Flow_prefilter.spec
+
+(** [attach ?spec ~mode p ~monitor ~process] extracts (or reuses) the
+    spec, resolves it against the session's layout and metadata, and
+    installs the automaton on the monitor and the process's seccomp
+    filter.  Returns the deployed automaton. *)
+val attach :
+  ?spec:Defenses.Flow_prefilter.spec ->
+  mode:Kernel.Seccomp.flow_mode ->
+  Bastion.Api.protected ->
+  monitor:Bastion.Monitor.t ->
+  process:Kernel.Process.t ->
+  Kernel.Seccomp.flow_automaton

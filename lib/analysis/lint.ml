@@ -33,6 +33,7 @@ module A = Bastion.Arg_analysis
 
 type kind =
   | Dead_sensitive_callsite
+  | Dead_flow_node
   | Broken_cf_chain
   | Missing_entry_sync
   | Uncovered_def
@@ -44,6 +45,7 @@ type kind =
 
 let kind_name = function
   | Dead_sensitive_callsite -> "dead-sensitive-callsite"
+  | Dead_flow_node -> "dead-flow-node"
   | Broken_cf_chain -> "broken-cf-chain"
   | Missing_entry_sync -> "missing-entry-sync"
   | Uncovered_def -> "uncovered-def"
@@ -227,6 +229,44 @@ let check (p : Bastion.Api.protected) : diag list =
         add ~loc Overbroad_calltype
           "legitimate-indirect entry does not name an indirect callsite")
     p.calltype.legit_indirect;
+
+  (* --- Syscall-flow digraph connectivity --------------------------- *)
+  (* Every node of the extracted syscall-flow automaton must be
+     reachable from a start node along successor edges.  An orphaned
+     node is metadata the seccomp-stage evaluator can never enter: the
+     callsite it describes either cannot trap (dead weight in the
+     automaton) or — worse — traps without an in-edge, so the tiered
+     pre-filter would desync and fall through on every benign visit. *)
+  (let fspec = Flowgraph.extract p in
+   let freached = Hashtbl.create 16 in
+   let work = Queue.create () in
+   let node_at loc =
+     List.find_opt
+       (fun (n : Defenses.Flow_prefilter.node_spec) ->
+         Sil.Loc.compare n.ns_loc loc = 0)
+       fspec.sp_nodes
+   in
+   let visit loc =
+     if not (Hashtbl.mem freached loc) then begin
+       Hashtbl.replace freached loc ();
+       Queue.push loc work
+     end
+   in
+   Sil.Loc.Set.iter visit fspec.sp_starts;
+   while not (Queue.is_empty work) do
+     let loc = Queue.pop work in
+     match node_at loc with
+     | None -> ()
+     | Some n -> Sil.Loc.Set.iter visit n.ns_succs
+   done;
+   List.iter
+     (fun (n : Defenses.Flow_prefilter.node_spec) ->
+       if not (Hashtbl.mem freached n.ns_loc) then
+         add ~loc:n.ns_loc Dead_flow_node
+           "syscall-flow node for %s is unreachable from the automaton's start \
+            set (the pre-filter could never resolve a trap here)"
+           n.ns_callee)
+     fspec.sp_nodes);
 
   (* --- AI coverage over the instrumented module -------------------- *)
   List.iter

@@ -12,6 +12,10 @@ type kind =
   | Dead_sensitive_callsite
       (** sensitive callsite unreachable from the entry function; it
           inflates the seccomp filter for nothing *)
+  | Dead_flow_node
+      (** a node of the extracted syscall-flow digraph is unreachable
+          from the automaton's start set; the tiered pre-filter could
+          never resolve a trap at that callsite *)
   | Broken_cf_chain
       (** no callee->caller chain reaches the entry function or a
           legitimate indirect-call boundary; a benign trap would be

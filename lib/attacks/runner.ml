@@ -37,8 +37,8 @@ let contexts_of = function
    stack garbage; bound the run and end it as soon as the goal fires. *)
 let attack_fuel = 20_000_000
 
-let run ?(trap_cache = true) ?(pre_resolve = false) ?recorder ?on_session
-    (attack : Attack.t) (config : config) : outcome =
+let run ?(trap_cache = true) ?(pre_resolve = false) ?prefilter ?recorder
+    ?on_session (attack : Attack.t) (config : config) : outcome =
   let prog = attack.a_victim.v_build () in
   let machine_config = { Machine.default_config with fuel = attack_fuel } in
   let machine, process =
@@ -65,6 +65,12 @@ let run ?(trap_cache = true) ?(pre_resolve = false) ?recorder ?on_session
       let session =
         Bastion.Api.launch ~machine_config ~monitor_config ?recorder protected_prog ()
       in
+      (match prefilter with
+      | Some mode ->
+        ignore
+          (Bastion_analysis.Flowgraph.attach ~mode protected_prog
+             ~monitor:session.monitor ~process:session.process)
+      | None -> ());
       (* Let the replay engine reach in before execution (swap the trap
          source, wrap the hook); never called for undefended runs. *)
       (match on_session with Some f -> f session | None -> ());
@@ -97,9 +103,30 @@ type row = {
   r_cf : outcome;
   r_ai : outcome;
   r_full : outcome;
+  r_prefilter : outcome;
+      (** syscall-flow pre-filter standalone (the SFIP baseline): the
+          automaton is the only defense *)
+  r_tiered : outcome;
+      (** full BASTION behind the tiered pre-filter (the deployment
+          configuration of the tiered design) *)
 }
 
 let blocked = function Blocked _ -> true | Succeeded | Inert -> false
+
+(** Which tier of the tiered deployment catches the attack: the cheap
+    seccomp-stage automaton alone, the full monitor behind it, or
+    neither. *)
+type tier = Tier_prefilter | Tier_full | Tier_uncaught
+
+let tier_name = function
+  | Tier_prefilter -> "prefilter"
+  | Tier_full -> "full"
+  | Tier_uncaught -> "uncaught"
+
+let catching_tier (r : row) : tier =
+  if blocked r.r_prefilter then Tier_prefilter
+  else if blocked r.r_tiered then Tier_full
+  else Tier_uncaught
 
 let evaluate ?(trap_cache = true) ?(pre_resolve = false) ?recorder
     (attack : Attack.t) : row =
@@ -110,6 +137,12 @@ let evaluate ?(trap_cache = true) ?(pre_resolve = false) ?recorder
     r_cf = run ~trap_cache ~pre_resolve ?recorder attack Only_cf;
     r_ai = run ~trap_cache ~pre_resolve ?recorder attack Only_ai;
     r_full = run ~trap_cache ~pre_resolve ?recorder attack Full_bastion;
+    r_prefilter =
+      run ~trap_cache ~pre_resolve ~prefilter:Kernel.Seccomp.Flow_standalone
+        ?recorder attack Full_bastion;
+    r_tiered =
+      run ~trap_cache ~pre_resolve ~prefilter:Kernel.Seccomp.Flow_tiered
+        ?recorder attack Full_bastion;
   }
 
 (** Does the row agree with the paper's Table 6 entry?  The attack must

@@ -23,16 +23,22 @@ val attack_fuel : int
     [pre_resolve] enables constant-argument pre-resolution (default
     off); the matrix must again be identical either way.  [recorder]
     attaches a flight recorder to the monitored configurations; the
-    matrix must also be identical with and without it.  [on_session]
-    fires once the session is built, before setup and execution — the
-    replay engine's hook for swapping the monitor's trap source (never
-    called for undefended runs, which have no session). *)
+    matrix must also be identical with and without it.  [prefilter]
+    deploys the syscall-flow pre-filter in the given mode on the
+    monitored configurations (standalone models SFIP as the sole
+    defense; tiered puts it in front of the configured contexts).
+    [on_session] fires once the session is built, before setup and
+    execution — the replay engine's hook for swapping the monitor's
+    trap source (never called for undefended runs, which have no
+    session). *)
 val run :
-  ?trap_cache:bool -> ?pre_resolve:bool -> ?recorder:Obs.Recorder.t ->
+  ?trap_cache:bool -> ?pre_resolve:bool ->
+  ?prefilter:Kernel.Seccomp.flow_mode -> ?recorder:Obs.Recorder.t ->
   ?on_session:(Bastion.Api.session -> unit) ->
   Attack.t -> config -> outcome
 
-(** One evaluated Table 6 row. *)
+(** One evaluated Table 6 row, extended with the tiered deployment's
+    two extra configurations. *)
 type row = {
   r_attack : Attack.t;
   r_undefended : outcome;
@@ -40,9 +46,18 @@ type row = {
   r_cf : outcome;
   r_ai : outcome;
   r_full : outcome;
+  r_prefilter : outcome;  (** pre-filter standalone (the SFIP baseline) *)
+  r_tiered : outcome;     (** full BASTION behind the tiered pre-filter *)
 }
 
 val blocked : outcome -> bool
+
+(** Which tier of the tiered deployment catches the attack. *)
+type tier = Tier_prefilter | Tier_full | Tier_uncaught
+
+val tier_name : tier -> string
+val catching_tier : row -> tier
+
 val evaluate :
   ?trap_cache:bool -> ?pre_resolve:bool -> ?recorder:Obs.Recorder.t ->
   Attack.t -> row

@@ -61,6 +61,9 @@ type t = {
   mutable recorder : Obs.Recorder.t option;
   mutable source : trap_source;
       (** trap-input source: live ptrace by default, recorded for replay *)
+  mutable prefilter : Kernel.Seccomp.flow_automaton option;
+      (** the deployed syscall-flow pre-filter, if any (tiered entry
+          point: resolved calls never reach {!full_check}) *)
   mutable traps_checked : int;
   mutable init_cycles : int;
   mutable pre_resolved_hits : int;
@@ -88,6 +91,7 @@ let create ?recorder ~(meta : Metadata.t) ~(runtime : Runtime.t) ~config
     cache = Verdict_cache.create ();
     recorder;
     source = live_source;
+    prefilter = None;
     traps_checked = 0;
     init_cycles;
     pre_resolved_hits = 0;
@@ -658,6 +662,12 @@ let register_probes (t : t) (tracer : Ptrace.t) (reg : Obs.Metrics.t) =
   p "shadow.mean_insert_probe_length" (fun () ->
       Shadow_memory.mean_insert_probe_length shadow);
   p "shadow.entries" (fi (fun () -> Shadow_memory.entry_count shadow));
+  let pf f = fi (fun () -> match t.prefilter with Some fa -> f fa | None -> 0) in
+  p "prefilter.resolved" (pf (fun fa -> fa.Kernel.Seccomp.fa_resolved));
+  p "prefilter.fallthroughs" (pf (fun fa -> fa.Kernel.Seccomp.fa_fallthroughs));
+  p "prefilter.kills" (pf (fun fa -> fa.Kernel.Seccomp.fa_kills));
+  p "prefilter.nodes" (pf Kernel.Seccomp.flow_node_count);
+  p "prefilter.edges" (pf Kernel.Seccomp.flow_edge_count);
   p "monitor.traps_checked" (fi (fun () -> t.traps_checked));
   p "monitor.preresolved_hits" (fi (fun () -> t.pre_resolved_hits));
   p "monitor.denials" (fi (fun () -> List.length t.denials));
@@ -675,6 +685,77 @@ let attach (t : t) (proc : Process.t) =
   match t.recorder with
   | Some r -> register_probes t proc.tracer (Obs.Recorder.metrics r)
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The tiered entry point: the syscall-flow pre-filter                  *)
+
+(** Deploy-time classification of the AI-checked argument positions of
+    the callsite at [addr], invoking [sysno].  [`Pin c]: the legitimate
+    value is the statically-known constant [c] ([Spec_const] entries
+    and pre-resolved [Spec_mem] slots) and, for pointer-kind positions,
+    it is NULL or aims at write-protected rodata — so a register
+    compare loses nothing against the full check.  [`Scalar]: a
+    dynamic register-visible value (the flowgraph's value analysis
+    decides whether it is checkable or opaque).  [`Pointer]: a checked
+    pointer position the seccomp stage can never dereference.  [None]:
+    the callsite carries no metadata for this syscall, so the
+    pre-filter must not resolve there. *)
+let prefilter_site_info (t : t) ~(addr : int64) ~(sysno : int option) :
+    (int * [ `Pin of int64 | `Scalar | `Pointer ]) list option =
+  match (Hashtbl.find_opt t.meta.cs_by_addr addr, sysno) with
+  | None, _ | _, None -> None
+  | Some entry, Some nr ->
+    if entry.Metadata.e_sysno <> Some nr then None
+    else
+      Some
+        (List.map
+           (fun ((pos, spec) : int * Metadata.arg_spec) ->
+             let pointer =
+               match Arg_rules.kind ~sysno:nr ~pos with
+               | Arg_rules.Direct -> false
+               | Arg_rules.Sockaddr | Arg_rules.Extended -> true
+             in
+             let pin =
+               match spec with
+               | Metadata.Spec_const c -> Some c
+               | Metadata.Spec_mem -> List.assoc_opt pos entry.e_pre
+             in
+             match pin with
+             | Some c when (not pointer) || Int64.equal c 0L || in_rodata c ->
+               (pos, `Pin c)
+             | Some _ | None -> (pos, if pointer then `Pointer else `Scalar))
+           entry.e_specs)
+
+(** Install a deployed automaton: remember it, hand it to the process's
+    seccomp filter, and wire the flight-recorder instant so resolved
+    calls stay visible in traces.  Requires {!attach} first. *)
+let install_prefilter (t : t) (proc : Process.t)
+    (fa : Kernel.Seccomp.flow_automaton) =
+  (match proc.filter with
+  | Some filter -> Kernel.Seccomp.set_flow filter (Some fa)
+  | None ->
+    invalid_arg "Monitor.install_prefilter: process has no filter (attach first)");
+  t.prefilter <- Some fa;
+  fa.Kernel.Seccomp.fa_on_resolve <-
+    Some
+      (fun ~sysno:_ ~rip:_ ->
+        match t.recorder with
+        | Some r when Obs.Recorder.armed r ->
+          Obs.Recorder.record_instant r ~name:"prefilter.resolve" ~at:(cycles_now t)
+        | Some _ | None -> ())
+
+let prefilter (t : t) = t.prefilter
+
+(** Per-tier resolution counters:
+    (resolved at pre-filter, fell through to the full path,
+     standalone-mode kills). *)
+let prefilter_stats (t : t) =
+  match t.prefilter with
+  | Some fa -> Kernel.Seccomp.flow_stats fa
+  | None -> (0, 0, 0)
+
+let prefilter_resolved (t : t) =
+  match t.prefilter with Some fa -> fa.Kernel.Seccomp.fa_resolved | None -> 0
 
 let denials (t : t) = List.rev t.denials
 

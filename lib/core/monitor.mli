@@ -59,6 +59,8 @@ type t = {
       (** the flight recorder; observation never charges cycles *)
   mutable source : trap_source;
       (** trap-input source: live ptrace by default, recorded for replay *)
+  mutable prefilter : Kernel.Seccomp.flow_automaton option;
+      (** the deployed syscall-flow pre-filter, if any *)
   mutable traps_checked : int;
   mutable init_cycles : int;    (** metadata-loading cost (§9.2) *)
   mutable pre_resolved_hits : int;
@@ -101,6 +103,32 @@ val register_probes : t -> Ptrace.t -> Obs.Metrics.t -> unit
 (** Install the filter and TRACE hook on a booted process; with a
     recorder present, also {!register_probes} into its registry. *)
 val attach : t -> Process.t -> unit
+
+(** Deploy-time classification of the AI-checked argument positions of
+    the pre-filter node at [addr] invoking [sysno]: [`Pin c] a
+    statically-known constant (pointer pins must be NULL or rodata),
+    [`Scalar] a dynamic register-visible value, [`Pointer] a checked
+    pointer seccomp can never verify; [None] when no metadata binds
+    that syscall at the callsite. *)
+val prefilter_site_info :
+  t ->
+  addr:int64 ->
+  sysno:int option ->
+  (int * [ `Pin of int64 | `Scalar | `Pointer ]) list option
+
+(** Install a deployed syscall-flow automaton on this monitor and the
+    process's seccomp filter (the tiered entry point: calls the
+    automaton resolves never reach {!full_check}).
+    @raise Invalid_argument if the process has no filter yet. *)
+val install_prefilter : t -> Process.t -> Kernel.Seccomp.flow_automaton -> unit
+
+val prefilter : t -> Kernel.Seccomp.flow_automaton option
+
+(** Per-tier resolution counters: (resolved at the pre-filter tier,
+    fell through to the full path, standalone-mode kills). *)
+val prefilter_stats : t -> int * int * int
+
+val prefilter_resolved : t -> int
 
 (** Denials in chronological order. *)
 val denials : t -> denial list

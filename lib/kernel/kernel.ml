@@ -158,17 +158,47 @@ let dispatch (p : Process.t) (_m : Machine.t) ~sysno ~(args : int64 array) : int
     match Seccomp.evaluate filter sysno with
     | Seccomp.Allow -> ()
     | Seccomp.Kill -> raise (Machine.Killed (Machine.Seccomp_kill { sysno }))
-    | Seccomp.Trace -> (
-      p.trap_count <- p.trap_count + 1;
-      charge p (2 * (cost p).trap_context_switch);
-      match p.tracer_hook with
-      | None -> ()
-      | Some hook -> (
-        p.tracer.cur_sysno <- sysno;
-        match hook p ~sysno ~args with
-        | Process.Continue -> ()
-        | Process.Deny { context; detail } ->
-          raise (Machine.Killed (Machine.Monitor_kill { context; detail }))))));
+    | Seccomp.Trace ->
+      (* Syscall-flow pre-filter (the tiered fast path): an automaton
+         step over the seccomp-visible state — number, callsite
+         address, register arguments.  A resolved call never traps: no
+         context switches, no ptrace, no unwind.  A standalone-mode
+         flow violation kills at seccomp stage, like any filter KILL. *)
+      let rip = p.machine.trap_rip in
+      (* Every TRACE-rule syscall goes through the automaton: the spec
+         is extracted from exactly the event set that traps (including
+         the filesystem syscalls under Bastion+fs), so gating on the
+         sensitive set would both skip resolvable traps and desync the
+         edge relation across the skipped nodes. *)
+      let prefilter = Seccomp.flow filter in
+      let resolved =
+        match prefilter with
+        | None -> false
+        | Some fa -> (
+          charge p (cost p).prefilter_eval;
+          match Seccomp.flow_eval fa ~sysno ~rip ~args with
+          | Seccomp.Flow_resolve -> true
+          | Seccomp.Flow_kill ->
+            raise (Machine.Killed (Machine.Seccomp_kill { sysno }))
+          | Seccomp.Flow_fallthrough -> false)
+      in
+      if not resolved then begin
+        p.trap_count <- p.trap_count + 1;
+        charge p (2 * (cost p).trap_context_switch);
+        (match p.tracer_hook with
+        | None -> ()
+        | Some hook -> (
+          p.tracer.cur_sysno <- sysno;
+          match hook p ~sysno ~args with
+          | Process.Continue -> ()
+          | Process.Deny { context; detail } ->
+            raise (Machine.Killed (Machine.Monitor_kill { context; detail }))));
+        (* The full path allowed the trap: re-synchronise the automaton
+           so the next edge check starts from this callsite. *)
+        match prefilter with
+        | Some fa -> Seccomp.flow_note_allowed fa ~rip
+        | None -> ()
+      end));
   Process.count_syscall p sysno;
   let path =
     match Syscalls.name sysno with

@@ -19,6 +19,7 @@ type t = {
   syscall_base : int;         (** kernel entry/exit for any syscall *)
   io_per_word : int;          (** data movement per 64-bit word of I/O *)
   seccomp_eval : int;         (** BPF filter evaluation per syscall *)
+  prefilter_eval : int;       (** syscall-flow automaton step at seccomp stage *)
   trap_context_switch : int;  (** one direction tracee<->monitor *)
   ptrace_getregs : int;       (** PTRACE_GETREGS *)
   ptrace_call : int;          (** fixed cost of one process_vm_readv call *)
@@ -38,6 +39,7 @@ let default =
     syscall_base = 180;
     io_per_word = 8;
     seccomp_eval = 3;
+    prefilter_eval = 4;
     trap_context_switch = 2600;
     ptrace_getregs = 700;
     ptrace_call = 520;

@@ -127,8 +127,8 @@ let write_trace ~recorder ~header ~path =
          dropped path);
   Obs.Recorder.write_jsonl ~header:(Trace.header_to_json header) recorder path
 
-let record_run ?(trap_cache = true) ?(pre_resolve = false) ~app ~scale ~defense
-    ~path () : Drivers.measurement =
+let record_run ?(trap_cache = true) ?(pre_resolve = false) ?prefilter ~app
+    ~scale ~defense ~path () : Drivers.measurement =
   let a =
     match app_of ~name:app ~scale with
     | Ok a -> a
@@ -137,13 +137,14 @@ let record_run ?(trap_cache = true) ?(pre_resolve = false) ~app ~scale ~defense
   let recorder =
     Obs.Recorder.create ~tracing:true ~ring_capacity:recording_ring_capacity ()
   in
-  let m = Drivers.run ~trap_cache ~pre_resolve ~recorder a defense in
+  let m = Drivers.run ~trap_cache ~pre_resolve ?prefilter ~recorder a defense in
   let header =
     {
       Trace.h_version = Trace.current_version;
       h_kind = Trace.Run { app; defense = defense_key defense; scale };
       h_trap_cache = trap_cache;
       h_pre_resolve = pre_resolve;
+      h_prefilter = prefilter;
       h_fingerprint =
         (match m.Drivers.m_monitor with
         | Some mon -> fingerprint_of mon
@@ -155,8 +156,8 @@ let record_run ?(trap_cache = true) ?(pre_resolve = false) ~app ~scale ~defense
   write_trace ~recorder ~header ~path;
   m
 
-let record_attack ?(trap_cache = true) ?(pre_resolve = false) ~attack_id ~config
-    ~path () : Runner.outcome =
+let record_attack ?(trap_cache = true) ?(pre_resolve = false) ?prefilter
+    ~attack_id ~config ~path () : Runner.outcome =
   (match config with
   | Runner.Undefended ->
     malformed ~file:path "undefended attack runs have no monitor to record"
@@ -175,13 +176,17 @@ let record_attack ?(trap_cache = true) ?(pre_resolve = false) ~attack_id ~config
     fp := fingerprint_of s.Bastion.Api.monitor;
     machine := Some s.Bastion.Api.machine
   in
-  let outcome = Runner.run ~trap_cache ~pre_resolve ~recorder ~on_session attack config in
+  let outcome =
+    Runner.run ~trap_cache ~pre_resolve ?prefilter ~recorder ~on_session attack
+      config
+  in
   let header =
     {
       Trace.h_version = Trace.current_version;
       h_kind = Trace.Attack { attack_id; config = config_key config };
       h_trap_cache = trap_cache;
       h_pre_resolve = pre_resolve;
+      h_prefilter = prefilter;
       h_fingerprint = !fp;
       h_traps = List.length (Obs.Recorder.trap_events recorder);
       h_cycles = (match !machine with Some m -> m.stats.cycles | None -> 0);
@@ -416,7 +421,8 @@ let replay_run ~strict (tr : Trace.t) ~app ~defense ~scale : report =
   let recorder = fresh_recorder st in
   let prepared =
     Drivers.prepare ~trap_cache:tr.t_header.h_trap_cache
-      ~pre_resolve:tr.t_header.h_pre_resolve ~recorder a defense
+      ~pre_resolve:tr.t_header.h_pre_resolve
+      ?prefilter:tr.t_header.h_prefilter ~recorder a defense
   in
   let actual_fp =
     match prepared.Drivers.pr_monitor with
@@ -466,7 +472,8 @@ let replay_attack ~strict (tr : Trace.t) ~attack_id ~config : report =
   in
   ignore
     (Runner.run ~trap_cache:tr.t_header.h_trap_cache
-       ~pre_resolve:tr.t_header.h_pre_resolve ~recorder ~on_session attack config);
+       ~pre_resolve:tr.t_header.h_pre_resolve
+       ?prefilter:tr.t_header.h_prefilter ~recorder ~on_session attack config);
   match !fp_mismatch with
   | Some actual_fp ->
     fingerprint_only_report tr ~expected_fp:tr.t_header.h_fingerprint ~actual_fp

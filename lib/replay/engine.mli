@@ -45,6 +45,7 @@ val attack_of : id:string -> (Attacks.Attack.t, string) result
     @raise Trace.Malformed (line 1) on an unknown app/defense/scale key. *)
 val record_run :
   ?trap_cache:bool -> ?pre_resolve:bool ->
+  ?prefilter:Kernel.Seccomp.flow_mode ->
   app:string -> scale:string -> defense:Workloads.Drivers.defense ->
   path:string -> unit -> Workloads.Drivers.measurement
 
@@ -55,6 +56,7 @@ val record_run :
     [config] is [Undefended]. *)
 val record_attack :
   ?trap_cache:bool -> ?pre_resolve:bool ->
+  ?prefilter:Kernel.Seccomp.flow_mode ->
   attack_id:string -> config:Attacks.Runner.config ->
   path:string -> unit -> Attacks.Runner.outcome
 

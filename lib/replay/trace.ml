@@ -8,7 +8,11 @@
    [Malformed] — file:line — never as a stray exception. *)
 
 let format_name = "bastion-trace"
-let current_version = 1
+
+(* v2 added the "prefilter" knob field: a tiered trace records only the
+   traps that fell through the seccomp-stage automaton, so the reader
+   must know to redeploy it or replay would see extra traps. *)
+let current_version = 2
 
 type kind =
   | Run of { app : string; defense : string; scale : string }
@@ -19,6 +23,7 @@ type header = {
   h_kind : kind;
   h_trap_cache : bool;
   h_pre_resolve : bool;
+  h_prefilter : Kernel.Seccomp.flow_mode option;
   h_fingerprint : string;
   h_traps : int;
   h_cycles : int;
@@ -53,6 +58,11 @@ let header_to_json (h : header) : Report.Json.t =
     @ [
         ("trap_cache", Bool h.h_trap_cache);
         ("pre_resolve", Bool h.h_pre_resolve);
+        ( "prefilter",
+          Str
+            (match h.h_prefilter with
+            | None -> "off"
+            | Some m -> Kernel.Seccomp.flow_mode_name m) );
         ("fingerprint", Str h.h_fingerprint);
         ("traps", Num (float_of_int h.h_traps));
         ("cycles", Num (float_of_int h.h_cycles));
@@ -117,6 +127,12 @@ let parse_header ~file ~line json =
     h_kind;
     h_trap_cache = bool_field ~file ~line "trap_cache" json;
     h_pre_resolve = bool_field ~file ~line "pre_resolve" json;
+    h_prefilter =
+      (match str_field ~file ~line "prefilter" json with
+      | "off" -> None
+      | "tiered" -> Some Kernel.Seccomp.Flow_tiered
+      | "prefilter-only" -> Some Kernel.Seccomp.Flow_standalone
+      | m -> fail ~file ~line (Printf.sprintf "unknown prefilter mode %S" m));
     h_fingerprint = str_field ~file ~line "fingerprint" json;
     h_traps = int_field ~file ~line "traps" json;
     h_cycles = int_field ~file ~line "cycles" json;

@@ -34,6 +34,10 @@ type header = {
   h_kind : kind;
   h_trap_cache : bool;      (** CT+CF verdict cache enabled *)
   h_pre_resolve : bool;     (** constant-argument pre-resolution *)
+  h_prefilter : Kernel.Seccomp.flow_mode option;
+      (** syscall-flow pre-filter deployed during the recorded run; a
+          tiered trace holds only the traps that fell through the
+          automaton, so replay must redeploy the same mode *)
   h_fingerprint : string;
       (** {!Bastion.Metadata.fingerprint} of the deployed bundle; "-"
           when the configuration carries no monitor *)

@@ -142,6 +142,21 @@ let protected_of ?(pre_resolve = false) (app : app) ~fs =
       p
   end
 
+(* The syscall-flow digraph is a pure function of the instrumented
+   program, so it is shared across defense configurations (and across
+   pre-resolution, which only changes deploy-time constants). *)
+let flow_spec_cache : (string, Defenses.Flow_prefilter.spec) Hashtbl.t =
+  Hashtbl.create 8
+
+let flow_spec_of (app : app) ~fs =
+  let key = app.app_key ^ if fs then "+fs" else "" in
+  match Hashtbl.find_opt flow_spec_cache key with
+  | Some s -> s
+  | None ->
+    let s = Bastion_analysis.Flowgraph.extract (protected_of app ~fs) in
+    Hashtbl.replace flow_spec_cache key s;
+    s
+
 (* A session staged up to the brink of execution: everything [run] does
    before [Machine.run].  Splitting here lets the replay engine reach
    in between boot and execution — swap the monitor's trap source,
@@ -156,7 +171,7 @@ type prepared = {
 }
 
 let prepare ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = false)
-    ?recorder (app : app) (defense : defense) : prepared =
+    ?prefilter ?recorder (app : app) (defense : defense) : prepared =
   let machine_config cet = { Machine.default_config with cet; cost } in
   let machine, process, monitor =
     match defense with
@@ -200,6 +215,17 @@ let prepare ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = 
       in
       (session.machine, session.process, Some session.monitor)
   in
+  (* Deploy the syscall-flow pre-filter, if requested, on top of the
+     attached monitor (non-BASTION defenses have no filter to extend:
+     the knob is a no-op there, like on a vanilla run). *)
+  (match (prefilter, monitor) with
+  | Some mode, Some mon ->
+    let fs = match defense with Bastion_fs _ -> true | _ -> false in
+    ignore
+      (Bastion_analysis.Flowgraph.attach ~spec:(flow_spec_of app ~fs) ~mode
+         (protected_of ~pre_resolve app ~fs)
+         ~monitor:mon ~process)
+  | _ -> ());
   app.setup process;
   { pr_app = app; pr_defense = defense; pr_machine = machine;
     pr_process = process; pr_monitor = monitor }
@@ -228,9 +254,9 @@ let execute (p : prepared) : measurement =
     m_monitor = monitor;
   }
 
-let run ?cost ?trap_cache ?pre_resolve ?recorder (app : app) (defense : defense) :
-    measurement =
-  execute (prepare ?cost ?trap_cache ?pre_resolve ?recorder app defense)
+let run ?cost ?trap_cache ?pre_resolve ?prefilter ?recorder (app : app)
+    (defense : defense) : measurement =
+  execute (prepare ?cost ?trap_cache ?pre_resolve ?prefilter ?recorder app defense)
 
 (** Relative overhead (in %) of a measurement against a baseline,
     respecting the metric's direction. *)
@@ -266,7 +292,7 @@ let makespan_cycles ~shards (tracees : measurement array) =
     tracees;
   Array.fold_left max 0 per_shard
 
-let run_multi ?cost ?trap_cache ?pre_resolve ?queue_capacity ?batch
+let run_multi ?cost ?trap_cache ?pre_resolve ?prefilter ?queue_capacity ?batch
     ?shard_recorders ~shards ~tracees (app : app) (defense : defense) : multi =
   if tracees < 1 then invalid_arg "Drivers.run_multi: tracees must be >= 1";
   (match shard_recorders with
@@ -279,8 +305,11 @@ let run_multi ?cost ?trap_cache ?pre_resolve ?queue_capacity ?batch
   (match defense with
   | Vanilla | Llvm_cfi | Cet_only -> ignore (Lazy.force app.prog)
   | Bastion_ct | Bastion_ct_cf | Bastion_full ->
-    ignore (protected_of ?pre_resolve app ~fs:false)
-  | Bastion_fs _ -> ignore (protected_of ?pre_resolve app ~fs:true));
+    ignore (protected_of ?pre_resolve app ~fs:false);
+    if prefilter <> None then ignore (flow_spec_of app ~fs:false)
+  | Bastion_fs _ ->
+    ignore (protected_of ?pre_resolve app ~fs:true);
+    if prefilter <> None then ignore (flow_spec_of app ~fs:true));
   let config = Pool.config ?queue_capacity ?batch ~shards () in
   let job tracee () =
     let recorder =
@@ -288,7 +317,7 @@ let run_multi ?cost ?trap_cache ?pre_resolve ?queue_capacity ?batch
       | None -> None
       | Some rs -> Some rs.(Pool.shard_of_tracee ~shards tracee)
     in
-    run ?cost ?trap_cache ?pre_resolve ?recorder app defense
+    run ?cost ?trap_cache ?pre_resolve ?prefilter ?recorder app defense
   in
   let t0 = Unix.gettimeofday () in
   let results, pool = Pool.run_tracees ~config (Array.init tracees job) in

@@ -53,6 +53,11 @@ exception Benign_run_died of string
     cached one is never mutated). *)
 val protected_of : ?pre_resolve:bool -> app -> fs:bool -> Bastion.Api.protected
 
+(** The (cached) syscall-flow digraph for an app — the deployment spec
+    behind the seccomp-stage pre-filter.  Pure function of the
+    instrumented program, shared across defense configurations. *)
+val flow_spec_of : app -> fs:bool -> Defenses.Flow_prefilter.spec
+
 (** A session staged up to the brink of execution: booted, runtime
     installed, monitor attached, workload setup done — everything
     {!run} does before [Machine.run].  The replay engine uses the gap
@@ -70,6 +75,7 @@ type prepared = {
     short of execution.  Same optional arguments as {!run}. *)
 val prepare :
   ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?pre_resolve:bool ->
+  ?prefilter:Kernel.Seccomp.flow_mode ->
   ?recorder:Obs.Recorder.t -> app -> defense -> prepared
 
 (** Execute a prepared session and measure it.
@@ -81,13 +87,18 @@ val execute : prepared -> measurement
     {!Machine.Cost.in_kernel_monitor}); [trap_cache] toggles the
     monitor's CT+CF verdict cache (default on), for the fast-path
     ablation; [pre_resolve] enables constant-argument pre-resolution
-    (default off), for the static-analysis ablation; [recorder] wires a
+    (default off), for the static-analysis ablation; [prefilter]
+    deploys the syscall-flow pre-filter in the given mode on the
+    monitored configurations (tiered resolves eligible traps at seccomp
+    cost, standalone models the pre-filter as the *only* defense —
+    ignored by the unmonitored baselines); [recorder] wires a
     flight recorder through the monitored configurations (ignored by
     the unmonitored baselines — observation never changes a run's
     cycles or verdicts).
     @raise Benign_run_died if the run faults. *)
 val run :
   ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?pre_resolve:bool ->
+  ?prefilter:Kernel.Seccomp.flow_mode ->
   ?recorder:Obs.Recorder.t -> app -> defense -> measurement
 
 (** Relative overhead (%) against a baseline measurement, respecting the
@@ -121,6 +132,7 @@ val sum_traps : multi -> int
     @raise Benign_run_died if any tracee faults (lowest tracee wins). *)
 val run_multi :
   ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?pre_resolve:bool ->
+  ?prefilter:Kernel.Seccomp.flow_mode ->
   ?queue_capacity:int -> ?batch:int ->
   ?shard_recorders:Obs.Recorder.t array ->
   shards:int -> tracees:int -> app -> defense -> multi

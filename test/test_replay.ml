@@ -60,25 +60,32 @@ let replay_defenses =
     Drivers.Bastion_fs Bastion.Monitor.Fs_full;
   |]
 
-(* For any workload/defense/cache/pre-resolve/shard configuration,
-   recording a run and replaying the trace yields identical verdicts,
-   trap counts and monitored cycle totals — strictly, down to
-   per-phase spans and ptrace traffic.  Recording is serial; when the
-   drawn configuration is sharded, the sharded per-tracee run must
-   itself match the replayed trace (sharding never moves a verdict or
-   a cycle, so one serial trace vouches for every shard count). *)
+(* For any workload/defense/cache/pre-resolve/prefilter/shard
+   configuration, recording a run and replaying the trace yields
+   identical verdicts, trap counts and monitored cycle totals —
+   strictly, down to per-phase spans and ptrace traffic.  A tiered
+   trace holds only the traps that fell through the seccomp-stage
+   automaton; replay redeploys the recorded mode so the same subset
+   reaches the monitor.  Recording is serial; when the drawn
+   configuration is sharded, the sharded per-tracee run must itself
+   match the replayed trace (sharding never moves a verdict or a
+   cycle, so one serial trace vouches for every shard count). *)
+let prefilter_modes =
+  [| None; Some Kernel.Seccomp.Flow_tiered; Some Kernel.Seccomp.Flow_standalone |]
+
 let prop_record_replay_equivalence =
   QCheck.Test.make ~count:10 ~name:"record then replay is divergence-free"
     QCheck.(
       pair
         (pair (int_range 0 2) (int_range 0 3))
-        (pair (pair bool bool) (int_range 1 3)))
-    (fun ((ai, di), ((trap_cache, pre_resolve), shards)) ->
+        (pair (pair bool bool) (pair (int_range 1 3) (int_range 0 2))))
+    (fun ((ai, di), ((trap_cache, pre_resolve), (shards, pfi))) ->
       with_temp_trace (fun path ->
           let app = apps.(ai) and defense = replay_defenses.(di) in
+          let prefilter = prefilter_modes.(pfi) in
           let m =
-            Engine.record_run ~trap_cache ~pre_resolve ~app ~scale:"small"
-              ~defense ~path ()
+            Engine.record_run ~trap_cache ~pre_resolve ?prefilter ~app
+              ~scale:"small" ~defense ~path ()
           in
           let tr = Trace.read_file path in
           let r = Engine.replay ~strict:true tr in
@@ -87,8 +94,8 @@ let prop_record_replay_equivalence =
             ||
             let a = Result.get_ok (Engine.app_of ~name:app ~scale:"small") in
             let mm =
-              Drivers.run_multi ~trap_cache ~pre_resolve ~shards ~tracees:shards
-                a defense
+              Drivers.run_multi ~trap_cache ~pre_resolve ?prefilter ~shards
+                ~tracees:shards a defense
             in
             Array.for_all
               (fun (t : Drivers.measurement) ->
@@ -151,8 +158,15 @@ let test_reader_rejections () =
     "{\"format\":\"chrome-trace\",\"version\":1}\n";
   check_malformed "unknown version"
     "{\"format\":\"bastion-trace\",\"version\":99}\n";
-  check_malformed "unknown kind"
+  check_malformed "outdated version (v1 lacks the prefilter knob)"
     "{\"format\":\"bastion-trace\",\"version\":1,\"kind\":\"fuzz\"}\n";
+  check_malformed "unknown kind"
+    "{\"format\":\"bastion-trace\",\"version\":2,\"kind\":\"fuzz\"}\n";
+  check_malformed "unknown prefilter mode"
+    "{\"format\":\"bastion-trace\",\"version\":2,\"kind\":\"run\",\
+     \"app\":\"nginx\",\"defense\":\"full\",\"scale\":\"small\",\
+     \"trap_cache\":true,\"pre_resolve\":false,\"prefilter\":\"sideways\",\
+     \"fingerprint\":\"-\",\"traps\":0,\"cycles\":0}\n";
   (* Drop the last line: the header's trap count no longer matches. *)
   check_malformed "truncated stream"
     (String.concat "\n" (List.filteri (fun i _ -> i < List.length lines - 1) lines));
