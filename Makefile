@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench bench-prefilter trace-demo golden replay-golden clean
+.PHONY: all build test lint check bench bench-prefilter bench-fleet trace-demo golden replay-golden clean
 
 all: build
 
@@ -26,6 +26,11 @@ bench:
 # three workloads plus the per-attack tier split (EXPERIMENTS.md).
 bench-prefilter:
 	dune exec bench/main.exe -- --json-prefilter BENCH_prefilter.json
+
+# The fleet telemetry artifact: tail latency vs offered load over a
+# heterogeneous 64-tracee fleet on the sharded pool (EXPERIMENTS.md).
+bench-fleet:
+	dune exec bench/main.exe -- --json-fleet BENCH_fleet.json
 
 # Record an NGINX run with the flight recorder and summarise the trace
 # (open nginx.trace.json in Perfetto / chrome://tracing).

@@ -6,8 +6,9 @@
                                     [--json-static PATH]
                                     [--json-parallel PATH] [--parallel-smoke]
                                     [--json-prefilter PATH]
+                                    [--json-fleet PATH] [--fleet-smoke]
    Sections: figure3 table3 table4 table5 table6 table7 stats ablations
-             static prefilter micro throughput all (default: all)
+             static prefilter micro throughput fleet all (default: all)
 
    --json PATH writes machine-readable cycle totals / overhead % per
    configuration (including the trap-cache on/off ablation pair) to
@@ -16,7 +17,9 @@
    multi-tracee monitor throughput bench (--parallel-smoke shrinks it
    to the CI configuration); --json-prefilter PATH writes the tiered
    trap-resolution (syscall-flow pre-filter) ablation; any given alone
-   skips the printed sections. *)
+   skips the printed sections; --json-fleet PATH writes the open-loop
+   fleet tail-latency-vs-load sweep (--fleet-smoke shrinks it to the
+   CI configuration). *)
 
 let sections =
   [
@@ -31,6 +34,7 @@ let sections =
     ("prefilter", fun () -> Prefilter.run ());
     ("micro", fun () -> Micro.run ());
     ("throughput", fun () -> Throughput.run ());
+    ("fleet", fun () -> Fleet_bench.run ());
   ]
 
 let () =
@@ -48,12 +52,17 @@ let () =
   let json_static_path, args = extract_json "--json-static" [] args in
   let json_parallel_path, args = extract_json "--json-parallel" [] args in
   let json_prefilter_path, args = extract_json "--json-prefilter" [] args in
+  let json_fleet_path, args = extract_json "--json-fleet" [] args in
   let parallel_smoke = List.mem "--parallel-smoke" args in
-  let args = List.filter (fun a -> a <> "--parallel-smoke") args in
+  let fleet_smoke = List.mem "--fleet-smoke" args in
+  let args =
+    List.filter (fun a -> a <> "--parallel-smoke" && a <> "--fleet-smoke") args
+  in
   let wanted =
     match args with
     | [] when json_path <> None || json_static_path <> None
-              || json_parallel_path <> None || json_prefilter_path <> None ->
+              || json_parallel_path <> None || json_prefilter_path <> None
+              || json_fleet_path <> None ->
       []  (* JSON-only invocation *)
     | [] | [ "all" ] -> List.map fst sections
     | args ->
@@ -82,6 +91,9 @@ let () =
   (match json_parallel_path with
   | None -> ()
   | Some path -> Throughput.emit ~smoke:parallel_smoke path);
-  match json_prefilter_path with
+  (match json_prefilter_path with
   | None -> ()
-  | Some path -> Prefilter.emit path
+  | Some path -> Prefilter.emit path);
+  match json_fleet_path with
+  | None -> ()
+  | Some path -> Fleet_bench.emit ~smoke:fleet_smoke path

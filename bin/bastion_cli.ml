@@ -22,6 +22,15 @@
      bastion trace-summary FILE
          summarise a Chrome-trace file written by `bastion run --trace`
 
+     bastion fleet [--tracees K] [--shards N] [--points P] [--json FILE]
+         sweep offered load over a heterogeneous fleet through the
+         sharded monitor pool and report queue-wait / end-to-end
+         latency tails plus the saturation knee
+
+     bastion fleet-summary FILE
+         summarise a fleet sweep JSON (BENCH_fleet.json) or a stats
+         JSONL stream written by `--stats`
+
      bastion attack --id coop-chrome [--config ai]
      bastion attack --all
          run attacks from the Table 6 catalog under chosen contexts
@@ -173,12 +182,22 @@ let lint_cmd =
 
 (* Sharded mode: N tracees over a monitor pool of worker domains.  Each
    tracee is a full session run on its owning shard; the report is the
-   modelled makespan (heaviest shard) against the serial cycle sum. *)
+   modelled makespan (heaviest shard) against the serial cycle sum.
+   The per-shard backpressure summary reads the registry's sampled
+   probes (the same names `--metrics` prints), not pool-private
+   counters; [--trace] merges per-shard recorders into one Perfetto
+   document with a lane per shard, and [--stats-interval] derives a
+   time-series JSONL from the recorded trap stream. *)
 let run_workload_sharded a defense ~trap_cache ~pre_resolve ~prefilter ~shards
-    ~tracees metrics =
+    ~tracees ~trace ~stats ~stats_interval metrics =
+  let shard_recorders =
+    if trace <> None || stats_interval <> None then
+      Some (Array.init shards (fun _ -> Obs.Recorder.create ~tracing:true ()))
+    else None
+  in
   let m =
-    Workloads.Drivers.run_multi ~trap_cache ~pre_resolve ?prefilter ~shards
-      ~tracees a defense
+    Workloads.Drivers.run_multi ~trap_cache ~pre_resolve ?prefilter
+      ?shard_recorders ~shards ~tracees a defense
   in
   let t0 = m.mm_tracees.(0) in
   Printf.printf "%s under %s: %d tracees over %d shard%s\n" a.Workloads.Drivers.app_name
@@ -191,21 +210,51 @@ let run_workload_sharded a defense ~trap_cache ~pre_resolve ~prefilter ~shards
   Printf.printf "  makespan cycles  : %d (modelled speedup %.2fx)\n" m.mm_makespan_cycles
     (float_of_int m.mm_serial_cycles /. float_of_int m.mm_makespan_cycles);
   Printf.printf "  host wall clock  : %.3f s\n" m.mm_wall_seconds;
-  Array.iter
-    (fun (sh : Bastion_mt.Monitor_pool.shard_stats) ->
-      Printf.printf "  shard %d          : %d tracees, queue max depth %d, %d blocked pushes\n"
-        sh.sh_shard sh.sh_tracees sh.sh_queue.Bastion_mt.Trap_queue.q_max_depth
-        sh.sh_queue.Bastion_mt.Trap_queue.q_blocked_pushes)
-    m.mm_pool.p_shards;
-  if metrics then begin
-    let reg = Obs.Metrics.create () in
-    Bastion_mt.Monitor_pool.mirror_stats m.mm_pool reg;
-    print_string (Obs.Metrics.summary_table reg)
-  end;
+  let reg = Obs.Metrics.create () in
+  Bastion_mt.Monitor_pool.mirror_stats m.mm_pool reg;
+  let probes = Obs.Metrics.counter_values reg in
+  let probe name = Option.value ~default:0.0 (List.assoc_opt name probes) in
+  for shard = 0 to shards - 1 do
+    let p suffix = probe (Printf.sprintf "mt.shard%d.%s" shard suffix) in
+    Printf.printf
+      "  shard %d          : %.0f tracees, queue max depth %.0f / %.0f, %.0f \
+       blocked pushes, mean batch %.1f\n"
+      shard (p "tracees") (p "queue.max_depth") (p "queue.capacity")
+      (p "queue.blocked_pushes") (p "queue.mean_batch")
+  done;
+  if metrics then print_string (Obs.Metrics.summary_table reg);
+  (match (shard_recorders, trace) with
+  | Some rs, Some path ->
+    Obs.Chrome.write_pool (Array.to_list rs) path;
+    Printf.printf "  trace     : %s (%d events over %d shard lanes)\n" path
+      (Array.fold_left
+         (fun acc r -> acc + List.length (Obs.Recorder.items r))
+         0 rs)
+      shards
+  | _ -> ());
+  (match (shard_recorders, stats_interval) with
+  | Some rs, Some interval ->
+    let events =
+      List.concat_map Obs.Recorder.trap_events (Array.to_list rs)
+    in
+    let rows = Obs.Timeseries.of_events ~interval events in
+    (match stats with
+    | Some path ->
+      Obs.Timeseries.write_jsonl
+        ~meta:
+          [
+            ("app", Report.Json.Str a.Workloads.Drivers.app_name);
+            ("shards", Report.Json.Num (float_of_int shards));
+            ("interval_cycles", Report.Json.Num (float_of_int interval));
+          ]
+        rows path;
+      Printf.printf "  stats     : %s (%d rows)\n" path (List.length rows)
+    | None -> print_string (Obs.Timeseries.render rows))
+  | _ -> ());
   `Ok ()
 
 let run_workload verbose app scale defense no_trap_cache pre_resolve
-    no_prefilter trace metrics audit shards tracees =
+    no_prefilter trace metrics audit shards tracees stats stats_interval =
   setup_logs verbose;
   let trap_cache = not no_trap_cache in
   (* The tiered pre-filter is the deployment default: cheap seccomp-stage
@@ -219,15 +268,20 @@ let run_workload verbose app scale defense no_trap_cache pre_resolve
   | Ok a ->
   if shards < 1 then `Error (false, "--shards must be >= 1")
   else if tracees < 0 then `Error (false, "--tracees must be >= 1")
+  else if stats <> None && stats_interval = None then
+    `Error (false, "--stats FILE needs --stats-interval CYCLES")
+  else if (match stats_interval with Some iv -> iv <= 0 | None -> false) then
+    `Error (false, "--stats-interval must be a positive cycle count")
   else if shards > 1 || tracees > 1 then
     let tracees = if tracees = 0 then 2 * shards else tracees in
     run_workload_sharded a defense ~trap_cache ~pre_resolve ~prefilter ~shards
-      ~tracees metrics
+      ~tracees ~trace ~stats ~stats_interval metrics
   else begin
   (* The recorder exists only when some sink wants it: the trace or
      audit file needs the ring, --metrics the histograms, -v the live
-     callback.  Otherwise runs stay on the counter-bump path. *)
-  let tracing = trace <> None || audit <> None in
+     callback, --stats-interval the event stream.  Otherwise runs stay
+     on the counter-bump path. *)
+  let tracing = trace <> None || audit <> None || stats_interval <> None in
   let recorder =
     if tracing || metrics || verbose then
       (* An audit sink must hold every trap of the run: a dropped-oldest
@@ -323,6 +377,24 @@ let run_workload verbose app scale defense no_trap_cache pre_resolve
         ~header:(Bastion_replay.Trace.header_to_json header) r path;
       Printf.printf "  audit log : %s (%d traps)\n" path header.h_traps
     | None -> ());
+    (match stats_interval with
+    | Some interval ->
+      let rows =
+        Obs.Timeseries.of_events ~interval (Obs.Recorder.trap_events r)
+      in
+      (match stats with
+      | Some path ->
+        Obs.Timeseries.write_jsonl
+          ~meta:
+            [
+              ("app", Report.Json.Str app);
+              ("defense", Report.Json.Str (Workloads.Drivers.defense_name defense));
+              ("interval_cycles", Report.Json.Num (float_of_int interval));
+            ]
+          rows path;
+        Printf.printf "  stats     : %s (%d rows)\n" path (List.length rows)
+      | None -> print_string (Obs.Timeseries.render rows))
+    | None -> ());
     if metrics then print_string (Obs.Recorder.summary_table r));
   `Ok ()
   end
@@ -403,12 +475,29 @@ let run_cmd =
           ~doc:"Number of concurrent tracees in sharded mode (default: 2x \
                 the shard count).")
   in
+  let stats =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:"Write the --stats-interval time series as JSONL to FILE \
+                (readable offline with `bastion fleet-summary FILE`).")
+  in
+  let stats_interval =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stats-interval" ] ~docv:"CYCLES"
+          ~doc:"Sample a per-shard time-series row every CYCLES modelled \
+                cycles (trap count, denials, monitor cycles); printed as a \
+                table, or written as JSONL with --stats FILE.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a defense configuration")
     Term.(
       ret
         (const run_workload $ verbose_arg $ app_arg $ scale_arg $ defense
        $ no_trap_cache $ pre_resolve $ no_prefilter $ trace $ metrics $ audit
-       $ shards $ tracees))
+       $ shards $ tracees $ stats $ stats_interval))
 
 (* --- trace-summary ----------------------------------------------------- *)
 
@@ -432,6 +521,203 @@ let trace_summary_cmd =
     (Cmd.info "trace-summary"
        ~doc:"Summarise a Chrome-trace file written by `bastion run --trace`")
     Term.(ret (const trace_summary $ file))
+
+(* --- fleet ------------------------------------------------------------ *)
+
+module Fleet = Workloads.Fleet
+
+let run_fleet verbose tracees shards arrivals points json stats stats_interval =
+  setup_logs verbose;
+  if tracees < 1 then `Error (false, "--tracees must be >= 1")
+  else if shards < 1 then `Error (false, "--shards must be >= 1")
+  else if arrivals < 1 then `Error (false, "--arrivals must be >= 1")
+  else if points < 2 then `Error (false, "--points must be >= 2")
+  else if stats <> None && stats_interval = None then
+    `Error (false, "--stats FILE needs --stats-interval CYCLES")
+  else if (match stats_interval with Some iv -> iv <= 0 | None -> false) then
+    `Error (false, "--stats-interval must be a positive cycle count")
+  else begin
+    let s = Fleet.sweep ?stats_interval ~tracees ~shards ~arrivals ~points () in
+    print_string (Fleet.render_sweep s);
+    (match json with
+    | Some path ->
+      Report.Json.to_file path (Fleet.sweep_json s);
+      Printf.printf "json  : %s\n" path
+    | None -> ());
+    (match stats_interval with
+    | Some interval -> (
+      (* The time series of the highest-load point: the one whose
+         queue-depth excursions the sweep table can't show. *)
+      let last = List.nth s.Fleet.sw_points (List.length s.Fleet.sw_points - 1) in
+      let rows = last.Fleet.pt_result.Fleet.rr_stats in
+      match stats with
+      | Some path ->
+        Obs.Timeseries.write_jsonl
+          ~meta:
+            [
+              ("tracees", Report.Json.Num (float_of_int tracees));
+              ("shards", Report.Json.Num (float_of_int shards));
+              ("load_fraction", Report.Json.Num last.Fleet.pt_fraction);
+              ("interval_cycles", Report.Json.Num (float_of_int interval));
+            ]
+          rows path;
+        Printf.printf "stats : %s (%d rows, highest-load point)\n" path
+          (List.length rows)
+      | None -> print_string (Obs.Timeseries.render rows))
+    | None -> ());
+    `Ok ()
+  end
+
+let fleet_cmd =
+  let tracees =
+    Arg.(
+      value & opt int 64
+      & info [ "tracees" ] ~docv:"K"
+          ~doc:"Fleet size: K heterogeneous tracees (mixed nginx/sqlite/\
+                vsftpd, skewed trap rates).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N" ~doc:"Monitor pool worker domains.")
+  in
+  let arrivals =
+    Arg.(
+      value & opt int 6000
+      & info [ "arrivals" ] ~docv:"A"
+          ~doc:"Traps offered per load point (the open-loop arrival count).")
+  in
+  let points =
+    Arg.(
+      value & opt int 6
+      & info [ "points" ] ~docv:"P"
+          ~doc:"Number of offered-load points swept from 0.2x to 1.15x of \
+                the modelled capacity.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the sweep as a BENCH_fleet-style JSON document.")
+  in
+  let stats =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:"Write the highest-load point's time series as JSONL to FILE.")
+  in
+  let stats_interval =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stats-interval" ] ~docv:"CYCLES"
+          ~doc:"Sample per-shard time-series rows every CYCLES modelled \
+                cycles during each load point.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Sweep offered load over a heterogeneous tracee fleet and report \
+             tail latency vs load with the saturation knee")
+    Term.(
+      ret
+        (const run_fleet $ verbose_arg $ tracees $ shards $ arrivals $ points
+       $ json $ stats $ stats_interval))
+
+(* --- fleet-summary ----------------------------------------------------- *)
+
+(* Offline reader for both telemetry artifacts: the fleet sweep JSON
+   (schema bastion-fleet/1) and the stats JSONL stream (bastion-stats/1),
+   told apart by the schema tag. *)
+
+let render_fleet_doc doc =
+  let open Report.Json in
+  let num ?(default = 0.0) name j =
+    match member name j with Some (Num f) -> f | _ -> default
+  in
+  let str name j = match member name j with Some (Str s) -> Some s | _ -> None in
+  let config = Option.value ~default:Null (member "config" doc) in
+  Printf.printf
+    "fleet sweep: %.0f tracees, %.0f shards, %.0f arrivals/point\n\
+     capacity (bottleneck shard util = 1): %.0f traps/sec\n\n"
+    (num "tracees" config) (num "shards" config) (num "arrivals" config)
+    (num "capacity_traps_per_sec" doc);
+  let results =
+    match member "results" doc with Some (List l) -> l | _ -> []
+  in
+  let cell p name j = Printf.sprintf "%.0f" (num p (Option.value ~default:Null (member name j))) in
+  print_string
+    (Report.Table.render
+       ~align:Report.Table.[ R; R; R; R; R; R; R; R; L ]
+       ~header:
+         [ "load"; "traps/sec"; "util"; "wait p50"; "wait p99"; "wait p99.9";
+           "e2e p99"; "e2e p99.9"; "serial" ]
+       (List.map
+          (fun r ->
+            [
+              Printf.sprintf "%.2f" (num "load_fraction" r);
+              Printf.sprintf "%.0f" (num "offered_traps_per_sec" r);
+              Printf.sprintf "%.2f" (num "util_max" r);
+              cell "p50" "queue_wait" r;
+              cell "p99" "queue_wait" r;
+              cell "p999" "queue_wait" r;
+              cell "p99" "e2e" r;
+              cell "p999" "e2e" r;
+              (match member "matches_serial" r with
+              | Some (Bool true) -> "ok"
+              | Some (Bool false) -> "DIVERGED"
+              | _ -> "-");
+            ])
+          results));
+  (match member "knee" doc with
+  | Some (Obj _ as k) ->
+    Printf.printf
+      "\n\nsaturation knee: point %.0f (%.2fx capacity, %.0f traps/sec) — %s\n"
+      (num "index" k) (num "load_fraction" k) (num "offered_traps_per_sec" k)
+      (Option.value ~default:"-" (str "reason" k))
+  | _ -> print_string "\n\nsaturation knee: not reached in this sweep\n");
+  `Ok ()
+
+let render_stats_file file =
+  match Obs.Timeseries.read file with
+  | Ok (_header, rows) ->
+    print_string (Obs.Timeseries.render rows);
+    `Ok ()
+  | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+
+let fleet_summary file =
+  match Report.Json.of_file file with
+  | exception Sys_error e -> `Error (false, e)
+  (* Not one JSON document — a stats stream's rows are trailing values. *)
+  | exception Report.Json.Parse_error _ -> render_stats_file file
+  | doc -> (
+    match Report.Json.member "schema" doc with
+    | Some (Report.Json.Str "bastion-fleet/1") -> render_fleet_doc doc
+    | Some (Report.Json.Str s) when String.equal s Obs.Timeseries.schema ->
+      render_stats_file file
+    | Some (Report.Json.Str s) ->
+      `Error (false, Printf.sprintf "%s: unknown schema %S" file s)
+    | _ ->
+      `Error
+        ( false,
+          Printf.sprintf
+            "%s: no schema tag (want \"bastion-fleet/1\" or %S)" file
+            Obs.Timeseries.schema ))
+
+let fleet_summary_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"A fleet sweep JSON (`bastion fleet --json`, BENCH_fleet.json) \
+                or a stats JSONL stream (`--stats`).")
+  in
+  Cmd.v
+    (Cmd.info "fleet-summary"
+       ~doc:"Summarise a fleet sweep JSON or a --stats time-series stream")
+    Term.(ret (const fleet_summary $ file))
 
 (* --- attack ----------------------------------------------------------- *)
 
@@ -656,5 +942,5 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; lint_cmd; run_cmd; replay_cmd; attack_cmd; list_cmd;
-            trace_summary_cmd;
+            trace_summary_cmd; fleet_cmd; fleet_summary_cmd;
           ]))

@@ -509,6 +509,8 @@ let obs_finish (t : t) (tracer : Ptrace.t) (obs : trap_obs option) ~(rip : int64
           ev_ptrace_calls = tracer.calls_made - ob.ob_calls0;
           ev_ptrace_words = tracer.words_read - ob.ob_words0;
           ev_shadow_probes = Shadow_memory.probe_count t.runtime.shadow - ob.ob_probes0;
+          ev_shard = 0;
+          ev_tracee = 0;
           ev_input = ob.ob_input;
         })
 

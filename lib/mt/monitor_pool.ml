@@ -39,8 +39,11 @@ type stats = { p_config : config; p_tracees : int; p_shards : shard_stats array 
 (* Feeder/worker skeleton shared by both granularities: spawn one
    worker per shard over its own queue, push every item to its owning
    shard, close, join.  [worker] consumes batches until the queue
-   drains; its return value is the shard's result. *)
-let with_pool (cfg : config) ~(items : (int * 'item) Seq.t)
+   drains; its return value is the shard's result.  [arrival], when
+   given, stamps each item with its modelled-cycle arrival time (the
+   open-loop load driver's clock) so workers can pop stamped batches
+   and price queue wait into end-to-end latency. *)
+let with_pool ?arrival (cfg : config) ~(items : (int * 'item) Seq.t)
     ~(worker : shard:int -> (int * 'item) Trap_queue.t -> 'acc) :
     'acc array * (int -> Trap_queue.stats) =
   let queues =
@@ -49,12 +52,15 @@ let with_pool (cfg : config) ~(items : (int * 'item) Seq.t)
   let domains =
     Array.init cfg.shards (fun s -> Domain.spawn (fun () -> worker ~shard:s queues.(s)))
   in
+  let at = match arrival with None -> fun _ -> 0 | Some f -> f in
   (* Feed on the calling domain; a full shard queue blocks us here —
      that is the backpressure, not a drop. *)
   (try
      Seq.iter
        (fun ((tracee, _) as item) ->
-         Trap_queue.push queues.(shard_of_tracee ~shards:cfg.shards tracee) item)
+         Trap_queue.push_at ~at:(at item)
+           queues.(shard_of_tracee ~shards:cfg.shards tracee)
+           item)
        items
    with e ->
      (* Never leave workers running: close and join before re-raising. *)
@@ -199,20 +205,35 @@ let process_stream_serial (type s v) ~tracees ~(init : int -> s)
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 
+(* A finished pool's accounting is exposed as sampled *probes* over
+   the stats snapshot, not copied into owned counters: the snapshot
+   stays authoritative (re-registering after another run replaces the
+   probe rather than double counting), and the registry read is the
+   same [counter_values] path either way. *)
 let mirror_stats (stats : stats) (reg : Obs.Metrics.t) =
-  let set name v = Obs.Metrics.add (Obs.Metrics.counter reg name) v in
-  set "mt.shards" stats.p_config.shards;
-  set "mt.tracees" stats.p_tracees;
+  let probe name v =
+    Obs.Metrics.register_probe reg name (fun () -> float_of_int v)
+  in
+  probe "mt.shards" stats.p_config.shards;
+  probe "mt.tracees" stats.p_tracees;
   Array.iter
     (fun (sh : shard_stats) ->
       let p suffix v =
-        set (Printf.sprintf "mt.shard%d.%s" sh.sh_shard suffix) v
+        probe (Printf.sprintf "mt.shard%d.%s" sh.sh_shard suffix) v
       in
       p "items" sh.sh_items;
       p "tracees" sh.sh_tracees;
+      p "queue.capacity" sh.sh_queue.Trap_queue.q_capacity;
       p "queue.pushed" sh.sh_queue.Trap_queue.q_pushed;
       p "queue.popped" sh.sh_queue.Trap_queue.q_popped;
       p "queue.max_depth" sh.sh_queue.Trap_queue.q_max_depth;
       p "queue.blocked_pushes" sh.sh_queue.Trap_queue.q_blocked_pushes;
-      p "queue.batches" sh.sh_queue.Trap_queue.q_batches)
+      p "queue.batches" sh.sh_queue.Trap_queue.q_batches;
+      Obs.Metrics.register_probe reg
+        (Printf.sprintf "mt.shard%d.queue.mean_batch" sh.sh_shard)
+        (fun () ->
+          if sh.sh_queue.Trap_queue.q_batches = 0 then 0.0
+          else
+            float_of_int sh.sh_queue.Trap_queue.q_popped
+            /. float_of_int sh.sh_queue.Trap_queue.q_batches))
     stats.p_shards

@@ -51,6 +51,21 @@ type stats = {
   p_shards : shard_stats array;
 }
 
+(** The feeder/worker skeleton under both granularities, exposed for
+    harnesses that need raw shard workers (the open-loop fleet driver):
+    one worker domain and one bounded queue per shard; every item is
+    pushed to its tracee's owning shard ([arrival], when given, stamps
+    it with the modelled-cycle arrival time for
+    {!Trap_queue.pop_batch_stamped}); queues close when the item
+    sequence ends and workers' results come back in shard order, with
+    a post-join accessor for each queue's lifetime stats. *)
+val with_pool :
+  ?arrival:(int * 'item -> int) ->
+  config ->
+  items:(int * 'item) Seq.t ->
+  worker:(shard:int -> (int * 'item) Trap_queue.t -> 'acc) ->
+  'acc array * (int -> Trap_queue.stats)
+
 (** Run one job per tracee (index = tracee id), each on its owning
     shard's domain; within a shard, jobs run serially in queue order.
     Results come back in tracee order.  If jobs raised, the exception
@@ -82,8 +97,12 @@ val process_stream_serial :
   (int * 'trap) list ->
   'v list array
 
-(** Mirror a finished pool's per-shard queue-depth / occupancy counters
-    into a metrics registry ([mt.shards], [mt.tracees], and per shard
-    [mt.shard<i>.items], [.tracees], [.queue.pushed], [.queue.popped],
-    [.queue.max_depth], [.queue.blocked_pushes], [.queue.batches]). *)
+(** Expose a finished pool's per-shard occupancy and queue
+    backpressure accounting as sampled probes on a metrics registry
+    ([mt.shards], [mt.tracees], and per shard [mt.shard<i>.items],
+    [.tracees], [.queue.capacity], [.queue.pushed], [.queue.popped],
+    [.queue.max_depth], [.queue.blocked_pushes], [.queue.batches],
+    [.queue.mean_batch]).  Probes, not counters: the stats snapshot
+    stays authoritative and re-registration replaces rather than
+    double counts. *)
 val mirror_stats : stats -> Obs.Metrics.t -> unit

@@ -10,7 +10,10 @@ type 'a t = {
   lock : Mutex.t;
   not_full : Condition.t;
   not_empty : Condition.t;
-  items : 'a Queue.t;
+  (* Each slot carries its arrival stamp (modelled cycles at enqueue,
+     0 when the producer does not track time) so the consumer can
+     price queue wait into the trap's end-to-end latency. *)
+  items : (int * 'a) Queue.t;
   capacity : int;
   mutable closed : bool;
   (* statistics *)
@@ -56,14 +59,14 @@ let locked (t : 'a t) f =
     Mutex.unlock t.lock;
     raise e
 
-let enqueue_locked (t : 'a t) x =
-  Queue.push x t.items;
+let enqueue_locked (t : 'a t) ~at x =
+  Queue.push (at, x) t.items;
   t.pushed <- t.pushed + 1;
   let d = Queue.length t.items in
   if d > t.max_depth then t.max_depth <- d;
   Condition.signal t.not_empty
 
-let push (t : 'a t) x =
+let push_at (t : 'a t) ~at x =
   locked t (fun () ->
       if t.closed then raise Closed;
       if Queue.length t.items >= t.capacity then begin
@@ -73,18 +76,20 @@ let push (t : 'a t) x =
         done
       end;
       if t.closed then raise Closed;
-      enqueue_locked t x)
+      enqueue_locked t ~at x)
+
+let push (t : 'a t) x = push_at t ~at:0 x
 
 let try_push (t : 'a t) x =
   locked t (fun () ->
       if t.closed then raise Closed;
       if Queue.length t.items >= t.capacity then false
       else begin
-        enqueue_locked t x;
+        enqueue_locked t ~at:0 x;
         true
       end)
 
-let pop_batch (t : 'a t) ~max =
+let pop_batch_stamped (t : 'a t) ~max =
   locked t (fun () ->
       while Queue.is_empty t.items && not t.closed do
         Condition.wait t.not_empty t.lock
@@ -101,6 +106,8 @@ let pop_batch (t : 'a t) ~max =
         Condition.broadcast t.not_full
       end;
       batch)
+
+let pop_batch (t : 'a t) ~max = List.map snd (pop_batch_stamped t ~max)
 
 let close (t : 'a t) =
   locked t (fun () ->
@@ -128,3 +135,22 @@ let stats (t : 'a t) =
 let mean_batch (s : stats) =
   if s.q_batches = 0 then Float.nan
   else float_of_int s.q_popped /. float_of_int s.q_batches
+
+(** Register this queue's backpressure accounting as sampled probes on
+    [reg] under [prefix] (e.g. ["mt.shard0.queue"]): live depth plus
+    the lifetime counters.  Probes read under the queue's lock at
+    snapshot time, so the registry and {!stats} can never disagree. *)
+let register_probes (t : 'a t) reg ~prefix =
+  let probe name read =
+    Obs.Metrics.register_probe reg (prefix ^ "." ^ name) (fun () ->
+        locked t (fun () -> read ()))
+  in
+  probe "depth" (fun () -> float_of_int (Queue.length t.items));
+  probe "pushed" (fun () -> float_of_int t.pushed);
+  probe "popped" (fun () -> float_of_int t.popped);
+  probe "max_depth" (fun () -> float_of_int t.max_depth);
+  probe "blocked_pushes" (fun () -> float_of_int t.blocked_pushes);
+  probe "batches" (fun () -> float_of_int t.batches);
+  probe "mean_batch" (fun () ->
+      if t.batches = 0 then 0.0
+      else float_of_int t.popped /. float_of_int t.batches)

@@ -20,6 +20,11 @@ val push : 'a t -> 'a -> unit
 (** Enqueue, blocking while the queue is full.
     @raise Closed if the queue is (or becomes, while waiting) closed. *)
 
+val push_at : 'a t -> at:int -> 'a -> unit
+(** {!push} with an arrival stamp ([at]: modelled cycles at enqueue),
+    recoverable via {!pop_batch_stamped} so the consumer can price
+    queue wait.  [push] is [push_at ~at:0]. *)
+
 val try_push : 'a t -> 'a -> bool
 (** Non-blocking enqueue; [false] when full.
     @raise Closed if the queue is closed. *)
@@ -28,6 +33,9 @@ val pop_batch : 'a t -> max:int -> 'a list
 (** Dequeue up to [max] items in FIFO order, blocking while the queue
     is empty and still open.  Returns [[]] only when the queue is
     closed and fully drained. *)
+
+val pop_batch_stamped : 'a t -> max:int -> (int * 'a) list
+(** {!pop_batch}, with each item's arrival stamp. *)
 
 val close : 'a t -> unit
 (** Idempotent.  Pending items remain poppable. *)
@@ -51,3 +59,9 @@ val stats : 'a t -> stats
 
 val mean_batch : stats -> float
 (** Mean items per non-empty batch; [nan] before the first batch. *)
+
+val register_probes : 'a t -> Obs.Metrics.t -> prefix:string -> unit
+(** Register the queue's backpressure accounting (live depth, pushed,
+    popped, max_depth, blocked_pushes, batches, mean_batch) as sampled
+    probes named [prefix ^ "." ^ field].  Probes read under the
+    queue's lock, so they never disagree with {!stats}. *)

@@ -15,10 +15,14 @@
 
 let schema = "bastion-trace/1"
 
+(* The solo lane: shard 0 renders as pid 1, tracee 0 as tid 1, so a
+   single-shard trace is byte-for-byte what the pre-fleet sink wrote.
+   Sharded runs map each shard to its own pid (one Perfetto lane per
+   shard) and each tracee to a tid within it. *)
 let trap_pid = 1
 let trap_tid = 1
 
-let common ~name ~cat ~ph ~ts rest : Report.Json.t =
+let common ?(pid = trap_pid) ?(tid = trap_tid) ~name ~cat ~ph ~ts rest : Report.Json.t =
   let open Report.Json in
   Obj
     ([
@@ -26,10 +30,13 @@ let common ~name ~cat ~ph ~ts rest : Report.Json.t =
        ("cat", Str cat);
        ("ph", Str ph);
        ("ts", Num (float_of_int ts));
-       ("pid", Num (float_of_int trap_pid));
-       ("tid", Num (float_of_int trap_tid));
+       ("pid", Num (float_of_int pid));
+       ("tid", Num (float_of_int tid));
      ]
     @ rest)
+
+let lane_pid (ev : Event.t) = ev.ev_shard + 1
+let lane_tid (ev : Event.t) = ev.ev_tracee + 1
 
 let span_events (ev : Event.t) (sp : Event.span) =
   let open Report.Json in
@@ -43,9 +50,10 @@ let span_events (ev : Event.t) (sp : Event.span) =
           ("trap_seq", Num (float_of_int ev.ev_seq));
         ] )
   in
+  let pid = lane_pid ev and tid = lane_tid ev in
   [
-    common ~name ~cat:"phase" ~ph:"B" ~ts:sp.sp_start [ args ];
-    common ~name ~cat:"phase" ~ph:"E" ~ts:(sp.sp_start + sp.sp_dur) [];
+    common ~pid ~tid ~name ~cat:"phase" ~ph:"B" ~ts:sp.sp_start [ args ];
+    common ~pid ~tid ~name ~cat:"phase" ~ph:"E" ~ts:(sp.sp_start + sp.sp_dur) [];
   ]
 
 let trap_events (ev : Event.t) =
@@ -74,38 +82,95 @@ let trap_events (ev : Event.t) =
         | Event.Denied { d_context; d_detail } ->
           [ ("context", Str d_context); ("detail", Str d_detail) ]) )
   in
-  (common ~name ~cat:"trap" ~ph:"B" ~ts:ev.ev_start [ args ]
+  let pid = lane_pid ev and tid = lane_tid ev in
+  (common ~pid ~tid ~name ~cat:"trap" ~ph:"B" ~ts:ev.ev_start [ args ]
   :: List.concat_map (span_events ev) ev.ev_spans)
-  @ [ common ~name ~cat:"trap" ~ph:"E" ~ts:(ev.ev_start + ev.ev_dur) [] ]
+  @ [ common ~pid ~tid ~name ~cat:"trap" ~ph:"E" ~ts:(ev.ev_start + ev.ev_dur) [] ]
 
-let instant_event ~name ~at =
-  common ~name ~cat:"runtime" ~ph:"i" ~ts:at [ ("s", Report.Json.Str "t") ]
+let instant_event ?(shard = 0) ?(tracee = 0) ~name ~at () =
+  common ~pid:(shard + 1) ~tid:(tracee + 1) ~name ~cat:"runtime" ~ph:"i" ~ts:at
+    [ ("s", Report.Json.Str "t") ]
 
-(** The full trace document for one recorder. *)
-let document (r : Recorder.t) : Report.Json.t =
+(* Perfetto renders pid/tid as "shard N" / "tracee K" via process/thread
+   name metadata events — emitted only when a nonzero lane appears, so
+   solo traces are untouched. *)
+let lane_metadata items =
+  let open Report.Json in
+  let lanes =
+    List.sort_uniq compare
+      (List.filter_map
+         (function
+           | Recorder.Trap (ev : Event.t) when ev.ev_shard <> 0 || ev.ev_tracee <> 0 ->
+             Some (ev.ev_shard, ev.ev_tracee)
+           | Recorder.Instant { i_shard; i_tracee; _ }
+             when i_shard <> 0 || i_tracee <> 0 ->
+             Some (i_shard, i_tracee)
+           | _ -> None)
+         items)
+  in
+  let shards = List.sort_uniq compare (List.map fst lanes) in
+  List.map
+    (fun shard ->
+      common ~pid:(shard + 1) ~tid:0 ~name:"process_name" ~cat:"__metadata" ~ph:"M"
+        ~ts:0
+        [ ("args", Obj [ ("name", Str (Printf.sprintf "shard %d" shard)) ]) ])
+    shards
+  @ List.map
+      (fun (shard, tracee) ->
+        common ~pid:(shard + 1) ~tid:(tracee + 1) ~name:"thread_name"
+          ~cat:"__metadata" ~ph:"M" ~ts:0
+          [ ("args", Obj [ ("name", Str (Printf.sprintf "tracee %d" tracee)) ]) ])
+      lanes
+
+let items_document ~(metrics : Metrics.t) ~(dropped : int) items : Report.Json.t =
   let open Report.Json in
   let trace_events =
-    List.concat_map
-      (function
-        | Recorder.Trap ev -> trap_events ev
-        | Recorder.Instant { i_name; i_at } -> [ instant_event ~name:i_name ~at:i_at ])
-      (Recorder.items r)
+    lane_metadata items
+    @ List.concat_map
+        (function
+          | Recorder.Trap ev -> trap_events ev
+          | Recorder.Instant { i_name; i_at; i_shard; i_tracee } ->
+            [ instant_event ~shard:i_shard ~tracee:i_tracee ~name:i_name ~at:i_at () ])
+        items
   in
   Obj
     [
       ("schema", Str schema);
       ("displayTimeUnit", Str "ms");
       ("traceEvents", List trace_events);
-      ("metrics", Metrics.to_json (Recorder.metrics r));
+      ("metrics", Metrics.to_json metrics);
       ( "otherData",
         Obj
           [
             ("clock", Str "modelled machine cycles (1 cycle = 1 trace us)");
-            ("events_dropped", Num (float_of_int (Recorder.events_dropped r)));
+            ("events_dropped", Num (float_of_int dropped));
           ] );
     ]
 
+(** The full trace document for one recorder. *)
+let document (r : Recorder.t) : Report.Json.t =
+  items_document ~metrics:(Recorder.metrics r) ~dropped:(Recorder.events_dropped r)
+    (Recorder.items r)
+
+(** One merged trace document for a sharded run: the per-shard
+    recorders' items interleaved on the shared modelled clock (one
+    Perfetto lane per shard — events carry their own pid/tid) over the
+    shards' merged registry. *)
+let pool_document (rs : Recorder.t list) : Report.Json.t =
+  let items = List.concat_map Recorder.items rs in
+  let at = function
+    | Recorder.Trap (ev : Event.t) -> ev.ev_start
+    | Recorder.Instant { i_at; _ } -> i_at
+  in
+  let items = List.stable_sort (fun a b -> compare (at a) (at b)) items in
+  let metrics = Metrics.merge (List.map Recorder.metrics rs) in
+  let dropped = List.fold_left (fun acc r -> acc + Recorder.events_dropped r) 0 rs in
+  items_document ~metrics ~dropped items
+
 let write r path = Report.Json.to_file path (document r)
+
+(** [write_pool rs path] emits {!pool_document} to [path]. *)
+let write_pool rs path = Report.Json.to_file path (pool_document rs)
 
 (* --- reading a trace back (the trace-summary subcommand) -------------- *)
 

@@ -76,6 +76,8 @@ type t = {
   ev_ptrace_calls : int;    (** process_vm_readv-class calls this trap *)
   ev_ptrace_words : int;    (** words fetched from the tracee *)
   ev_shadow_probes : int;   (** shadow-table slots examined *)
+  ev_shard : int;           (** monitor shard lane (0: single-shard run) *)
+  ev_tracee : int;          (** tracee lane within the fleet (0: solo run) *)
   ev_input : input option;  (** snapshot inputs, for offline replay *)
 }
 
@@ -186,8 +188,17 @@ let to_json (ev : t) : Report.Json.t =
         ("ptrace_calls", Num (float_of_int ev.ev_ptrace_calls));
         ("ptrace_words", Num (float_of_int ev.ev_ptrace_words));
         ("shadow_probes", Num (float_of_int ev.ev_shadow_probes));
-        ("phases", List (List.map span_to_json ev.ev_spans));
       ]
+    (* Lane tags are emitted sparsely: a solo single-shard run (lane
+       0/0) writes exactly the pre-fleet record, so the golden trace
+       corpus stays byte-identical. *)
+    @ (if ev.ev_shard = 0 && ev.ev_tracee = 0 then []
+       else
+         [
+           ("shard", Num (float_of_int ev.ev_shard));
+           ("tracee", Num (float_of_int ev.ev_tracee));
+         ])
+    @ [ ("phases", List (List.map span_to_json ev.ev_spans)) ]
     @ (match ev.ev_input with
       | None -> []
       | Some i -> [ ("input", input_to_json i) ]))
@@ -223,6 +234,13 @@ let int_field name json =
 let str_field name json =
   let* v = field name json in
   as_str name v
+
+(* An optional integer field: absent means [default] (the sparse lane
+   tags above rely on this to round-trip). *)
+let opt_int_field name ~default json =
+  match Report.Json.member name json with
+  | None -> Ok default
+  | Some v -> as_int name v
 
 let as_hex64 name = function
   | Report.Json.Str s -> (
@@ -346,6 +364,8 @@ let of_json (json : Report.Json.t) : (t, string) result =
     let* ev_ptrace_calls = int_field "ptrace_calls" json in
     let* ev_ptrace_words = int_field "ptrace_words" json in
     let* ev_shadow_probes = int_field "shadow_probes" json in
+    let* ev_shard = opt_int_field "shard" ~default:0 json in
+    let* ev_tracee = opt_int_field "tracee" ~default:0 json in
     let* phases = field "phases" json in
     let* phases = as_list "phases" phases in
     let* ev_spans = map_result span_of_json phases in
@@ -360,6 +380,6 @@ let of_json (json : Report.Json.t) : (t, string) result =
       {
         ev_seq; ev_kind; ev_sysno; ev_sysname; ev_rip; ev_start; ev_dur;
         ev_verdict; ev_spans; ev_cache; ev_depth; ev_ptrace_calls;
-        ev_ptrace_words; ev_shadow_probes; ev_input;
+        ev_ptrace_words; ev_shadow_probes; ev_shard; ev_tracee; ev_input;
       }
   | _ -> Error "audit record is not a JSON object"

@@ -68,6 +68,8 @@ type t = {
   ev_ptrace_calls : int;    (** process_vm_readv-class calls this trap *)
   ev_ptrace_words : int;    (** words fetched from the tracee *)
   ev_shadow_probes : int;   (** shadow-table slots examined *)
+  ev_shard : int;           (** monitor shard lane (0: single-shard run) *)
+  ev_tracee : int;          (** tracee lane within the fleet (0: solo run) *)
   ev_input : input option;  (** snapshot inputs, for offline replay *)
 }
 

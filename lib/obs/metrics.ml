@@ -13,7 +13,14 @@
      snapshot time, so the two can never disagree;
    - histograms: power-of-two buckets over non-negative integer
      observations (modelled cycles, words, depths), summarised as
-     count/min/max/mean and interpolated p50/p90/p99. *)
+     count/min/max/mean and interpolated p50/p90/p99/p99.9.
+
+   Domain safety: a registry is single-owner — nothing here takes a
+   lock, so two domains must never mutate the same registry.  The
+   {!Shards} wrapper below hands each domain its own registry and
+   {!merge} combines them deterministically at join (all state is
+   integer-valued, so merging is exact, associative and commutative;
+   the qcheck suite states these as laws). *)
 
 type counter = { c_name : string; mutable c_value : int }
 
@@ -29,7 +36,7 @@ type histogram = {
   h_name : string;
   h_counts : int array;
   mutable h_count : int;
-  mutable h_sum : float;
+  mutable h_sum : int;
   mutable h_min : int;
   mutable h_max : int;
 }
@@ -45,22 +52,29 @@ let observe h v =
   let v = max 0 v in
   h.h_counts.(bucket_of v) <- h.h_counts.(bucket_of v) + 1;
   h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. float_of_int v;
+  h.h_sum <- h.h_sum + v;
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v
 
 let histogram_count h = h.h_count
 let histogram_min h = if h.h_count = 0 then 0 else h.h_min
 let histogram_max h = if h.h_count = 0 then 0 else h.h_max
-let histogram_mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+let histogram_mean h =
+  if h.h_count = 0 then 0.0 else float_of_int h.h_sum /. float_of_int h.h_count
 
 (** Interpolated percentile [p] (in [0,1]) of the observations.
 
     The rank is monotone in [p] and the estimate is monotone in the
-    rank (bucket order, then linear within the bucket), so
-    p50 ≤ p90 ≤ p99 always holds; the final clamp to the observed
-    [min, max] preserves that while keeping the estimate bounded by
-    what was actually seen (the qcheck suite asserts both). *)
+    rank: bucket order first, then linear interpolation *within* the
+    located bucket.  The interpolation range is the bucket's span
+    tightened by the observed min/max — a no-op for interior buckets,
+    but in the top (bottom) occupied bucket it pulls the upper (lower)
+    edge in to the largest (smallest) value actually seen, so a p99.9
+    that lands mid-bucket is estimated inside the tail instead of being
+    clamped flat to the global max.  Monotonicity across buckets holds
+    because a bucket's tightened upper edge (≤ 2^b − 1) stays below the
+    next occupied bucket's tightened lower edge (≥ 2^b). *)
 let percentile h p =
   if h.h_count = 0 then 0.0
   else begin
@@ -73,12 +87,13 @@ let percentile h p =
         if float_of_int cum' >= rank then (b, cum) else locate (b + 1) cum'
     in
     let b, before = locate 0 0 in
-    let lo = if b = 0 then 0.0 else Float.of_int (1 lsl (b - 1)) in
-    let hi = if b = 0 then 0.0 else (2.0 *. lo) -. 1.0 in
+    let bucket_lo = if b = 0 then 0 else 1 lsl (b - 1) in
+    let bucket_hi = if b = 0 then 0 else (1 lsl b) - 1 in
+    let lo = Float.of_int (max bucket_lo (histogram_min h)) in
+    let hi = Float.of_int (min bucket_hi (histogram_max h)) in
     let in_bucket = float_of_int h.h_counts.(b) in
     let frac = if in_bucket <= 1.0 then 1.0 else (rank -. float_of_int before) /. in_bucket in
-    let est = lo +. (frac *. (hi -. lo)) in
-    Float.max (float_of_int (histogram_min h)) (Float.min (float_of_int (histogram_max h)) est)
+    lo +. (frac *. (hi -. lo))
   end
 
 type summary = {
@@ -89,6 +104,7 @@ type summary = {
   s_p50 : float;
   s_p90 : float;
   s_p99 : float;
+  s_p999 : float;
 }
 
 let summarize h =
@@ -100,6 +116,7 @@ let summarize h =
     s_p50 = percentile h 0.50;
     s_p90 = percentile h 0.90;
     s_p99 = percentile h 0.99;
+    s_p999 = percentile h 0.999;
   }
 
 (* --- the registry ----------------------------------------------------- *)
@@ -130,7 +147,7 @@ let histogram t name =
   | None ->
     let h =
       { h_name = name; h_counts = Array.make histogram_buckets 0; h_count = 0;
-        h_sum = 0.0; h_min = max_int; h_max = 0 }
+        h_sum = 0; h_min = max_int; h_max = 0 }
     in
     Hashtbl.replace t.histograms name h;
     h
@@ -138,6 +155,93 @@ let histogram t name =
 let sorted_bindings tbl =
   List.sort (fun (a, _) (b, _) -> String.compare a b)
     (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* --- merging shard registries ----------------------------------------- *)
+
+(** Fold [src]'s histogram into [dst] bucket-wise.  All fields are
+    integer-valued, so the fold is exact: order of merging never
+    changes the result. *)
+let merge_histogram_into dst src =
+  Array.iteri (fun b n -> dst.h_counts.(b) <- dst.h_counts.(b) + n) src.h_counts;
+  dst.h_count <- dst.h_count + src.h_count;
+  dst.h_sum <- dst.h_sum + src.h_sum;
+  if src.h_count > 0 then begin
+    if src.h_min < dst.h_min then dst.h_min <- src.h_min;
+    if src.h_max > dst.h_max then dst.h_max <- src.h_max
+  end
+
+(** Add every owned counter and histogram of [src] into [into].
+    Probes are deliberately *not* merged: they sample process-global
+    legacy accessors, so copying them across registries would double
+    count.  Register probes on the merged registry explicitly if they
+    are wanted there. *)
+let merge_into ~into src =
+  List.iter (fun (name, c) -> add (counter into name) c.c_value)
+    (sorted_bindings src.counters);
+  List.iter (fun (name, h) -> merge_histogram_into (histogram into name) h)
+    (sorted_bindings src.histograms)
+
+(** Merge shard registries into a fresh registry.  Deterministic:
+    integer sums and bucket-wise adds make the result independent of
+    list order (the qcheck laws assert commutativity/associativity). *)
+let merge regs =
+  let out = create () in
+  List.iter (fun r -> merge_into ~into:out r) regs;
+  out
+
+(** Structural equality over owned state: counter values and full
+    histogram state (bucket counts, count, sum, min, max).  Probes are
+    excluded — they are callbacks, not state. *)
+let equal a b =
+  let counters r =
+    List.map (fun (k, c) -> (k, c.c_value)) (sorted_bindings r.counters)
+  in
+  let histos r =
+    List.map
+      (fun (k, h) ->
+        (k, (Array.to_list h.h_counts, h.h_count, h.h_sum, h.h_min, h.h_max)))
+      (sorted_bindings r.histograms)
+  in
+  counters a = counters b && histos a = histos b
+
+(* --- per-domain shard registries -------------------------------------- *)
+
+(** One registry per recording domain.  [my] hands the calling domain
+    its own registry (creating it under the lock on first call — cache
+    the result in the worker loop rather than calling per-event);
+    mutation is then lock-free and single-owner.  [merged] combines all
+    shards with {!merge}. *)
+module Shards = struct
+  type registry = t
+
+  let create_registry : unit -> registry = create
+
+  type t = {
+    lock : Mutex.t;
+    mutable shards : (int * registry) list;  (* domain id -> registry *)
+  }
+
+  let create () = { lock = Mutex.create (); shards = [] }
+
+  (** The calling domain's registry (created on first call). *)
+  let my t =
+    let id = (Domain.self () :> int) in
+    Mutex.protect t.lock (fun () ->
+        match List.assoc_opt id t.shards with
+        | Some r -> r
+        | None ->
+          let r = create_registry () in
+          t.shards <- (id, r) :: t.shards;
+          r)
+
+  (** All shard registries, sorted by domain id (deterministic order). *)
+  let registries t =
+    Mutex.protect t.lock (fun () ->
+        List.map snd
+          (List.sort (fun (a, _) (b, _) -> compare a b) t.shards))
+
+  let merged t = merge (registries t)
+end
 
 (** All counter values, owned and probed, sorted by name. *)
 let counter_values t : (string * float) list =
@@ -165,6 +269,7 @@ let to_json t : Report.Json.t =
               ("p50", Num s.s_p50);
               ("p90", Num s.s_p90);
               ("p99", Num s.s_p99);
+              ("p999", Num s.s_p999);
             ] ))
       (histogram_summaries t)
   in
@@ -186,8 +291,8 @@ let summary_table t : string =
   | histos ->
     let h =
       Report.Table.render
-        ~align:Report.Table.[ L; R; R; R; R; R; R; R ]
-        ~header:[ "histogram"; "count"; "min"; "p50"; "p90"; "p99"; "max"; "mean" ]
+        ~align:Report.Table.[ L; R; R; R; R; R; R; R; R ]
+        ~header:[ "histogram"; "count"; "min"; "p50"; "p90"; "p99"; "p99.9"; "max"; "mean" ]
         (List.map
            (fun (k, s) ->
              [
@@ -197,6 +302,7 @@ let summary_table t : string =
                Printf.sprintf "%.0f" s.s_p50;
                Printf.sprintf "%.0f" s.s_p90;
                Printf.sprintf "%.0f" s.s_p99;
+               Printf.sprintf "%.0f" s.s_p999;
                string_of_int s.s_max;
                Printf.sprintf "%.1f" s.s_mean;
              ])

@@ -2,7 +2,13 @@
     path), sampled probes (read-only callbacks over counters that live
     elsewhere — the legacy accessors stay authoritative and the
     registry samples them at snapshot time), and log-scaled histograms
-    with p50/p90/p99 summaries. *)
+    with p50/p90/p99/p99.9 summaries.
+
+    A registry is single-owner: nothing here locks, so two domains
+    must never mutate the same registry.  {!Shards} hands each domain
+    its own registry; {!merge} combines them exactly (all histogram
+    state is integer-valued, so merging is deterministic, associative
+    and commutative). *)
 
 type counter
 
@@ -23,8 +29,11 @@ val histogram_min : histogram -> int
 val histogram_max : histogram -> int
 val histogram_mean : histogram -> float
 
-(** Interpolated percentile of [p] in [0,1]: monotone in [p] and
-    clamped to the observed [min, max]. *)
+(** Interpolated percentile of [p] in [0,1]: monotone in [p], bounded
+    by the observed [min, max], and interpolated *within* the located
+    bucket (the bucket span tightened by the observed extrema), so
+    tail percentiles are estimated inside the top occupied bucket
+    instead of clamping flat to the max. *)
 val percentile : histogram -> float -> float
 
 type summary = {
@@ -35,6 +44,7 @@ type summary = {
   s_p50 : float;
   s_p90 : float;
   s_p99 : float;
+  s_p999 : float;
 }
 
 val summarize : histogram -> summary
@@ -51,6 +61,38 @@ val register_probe : t -> string -> (unit -> float) -> unit
 
 (** Find-or-create the named histogram. *)
 val histogram : t -> string -> histogram
+
+(** Add every owned counter and histogram of [src] into [into].
+    Probes are deliberately not merged — they sample process-global
+    accessors, so copying them across registries would double count. *)
+val merge_into : into:t -> t -> unit
+
+(** Merge shard registries into a fresh registry.  Exact and
+    order-independent: integer sums and bucket-wise adds only. *)
+val merge : t list -> t
+
+(** Structural equality over owned state (counter values and full
+    histogram state); probes are excluded. *)
+val equal : t -> t -> bool
+
+(** One registry per recording domain: [my] hands the calling domain
+    its own registry (created under a lock on first call — cache the
+    result in the worker loop), after which mutation is lock-free and
+    single-owner.  [merged] combines all shards with {!merge}. *)
+module Shards : sig
+  type registry = t
+  type t
+
+  val create : unit -> t
+
+  (** The calling domain's registry (created on first call). *)
+  val my : t -> registry
+
+  (** All shard registries, sorted by domain id (deterministic). *)
+  val registries : t -> registry list
+
+  val merged : t -> registry
+end
 
 (** All counter values (owned and probed), sorted by name; probes are
     sampled at call time. *)

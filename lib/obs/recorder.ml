@@ -18,7 +18,7 @@
 
 type item =
   | Trap of Event.t
-  | Instant of { i_name : string; i_at : int }
+  | Instant of { i_name : string; i_at : int; i_shard : int; i_tracee : int }
         (** a point event: one ctx_* runtime-library intrinsic *)
 
 type t = {
@@ -28,6 +28,12 @@ type t = {
   registry : Metrics.t;
   mutable on_event : (Event.t -> unit) option;
   mutable seq : int;
+  (* The lane this recorder records for: sharded runs give each worker
+     its own recorder and stamp (shard, tracee) here so every event it
+     emits carries its lane.  (0, 0) — the default — is the solo
+     single-shard lane and keeps the audit format byte-identical. *)
+  mutable lane_shard : int;
+  mutable lane_tracee : int;
   c_traps : Metrics.counter;
   c_allowed : Metrics.counter;
   c_denied : Metrics.counter;
@@ -47,6 +53,8 @@ let create ?(tracing = false) ?(metrics = false) ?(ring_capacity = default_ring_
       registry;
       on_event = None;
       seq = 0;
+      lane_shard = 0;
+      lane_tracee = 0;
       c_traps = Metrics.counter registry "obs.traps";
       c_allowed = Metrics.counter registry "obs.allowed";
       c_denied = Metrics.counter registry "obs.denied";
@@ -61,6 +69,14 @@ let create ?(tracing = false) ?(metrics = false) ?(ring_capacity = default_ring_
   t
 
 let tracing t = t.tracing
+
+(** Stamp the lane every subsequent event records under (sharded runs
+    call this from the worker before processing a tracee). *)
+let set_lane t ~shard ~tracee =
+  t.lane_shard <- shard;
+  t.lane_tracee <- tracee
+
+let lane t = (t.lane_shard, t.lane_tracee)
 let metrics_enabled t = t.metrics_on
 let metrics t = t.registry
 let set_on_event t fn = t.on_event <- fn
@@ -98,6 +114,14 @@ let observe_event t (ev : Event.t) =
 (** Record one fully built trap event: counters always, histograms when
     metrics are on, the ring when tracing, the live callback if set. *)
 let record_trap t (ev : Event.t) =
+  (* Stamp the recorder's lane onto events the monitor built lane-less;
+     an event that already carries a lane keeps it. *)
+  let ev =
+    if (t.lane_shard <> 0 || t.lane_tracee <> 0)
+       && ev.Event.ev_shard = 0 && ev.Event.ev_tracee = 0
+    then { ev with Event.ev_shard = t.lane_shard; ev_tracee = t.lane_tracee }
+    else ev
+  in
   (match ev.ev_kind with
   | Event.Fetch_only -> Metrics.incr t.c_fetches
   | Event.Trap_check -> ());
@@ -109,7 +133,10 @@ let record_trap t (ev : Event.t) =
 (** Record one runtime-library intrinsic as a point event. *)
 let record_instant t ~name ~at =
   Metrics.incr t.c_intrinsics;
-  if t.tracing then Ring.push t.ring (Instant { i_name = name; i_at = at })
+  if t.tracing then
+    Ring.push t.ring
+      (Instant
+         { i_name = name; i_at = at; i_shard = t.lane_shard; i_tracee = t.lane_tracee })
 
 let items t = Ring.to_list t.ring
 
@@ -120,13 +147,22 @@ let events_dropped t = Ring.dropped t.ring
 
 let item_to_json = function
   | Trap ev -> Event.to_json ev
-  | Instant { i_name; i_at } ->
+  | Instant { i_name; i_at; i_shard; i_tracee } ->
     Report.Json.Obj
-      [
-        ("kind", Report.Json.Str "instant");
-        ("name", Report.Json.Str i_name);
-        ("at_cycles", Report.Json.Num (float_of_int i_at));
-      ]
+      ([
+         ("kind", Report.Json.Str "instant");
+         ("name", Report.Json.Str i_name);
+         ("at_cycles", Report.Json.Num (float_of_int i_at));
+       ]
+      @
+      (* Sparse, like the trap lane tags: lane 0/0 writes the
+         pre-fleet record. *)
+      if i_shard = 0 && i_tracee = 0 then []
+      else
+        [
+          ("shard", Report.Json.Num (float_of_int i_shard));
+          ("tracee", Report.Json.Num (float_of_int i_tracee));
+        ])
 
 (** The JSONL audit log: one compact JSON object per recorded item.
     [header], when given, is written first as its own line — the trace

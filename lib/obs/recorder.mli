@@ -6,7 +6,7 @@
 
 type item =
   | Trap of Event.t
-  | Instant of { i_name : string; i_at : int }
+  | Instant of { i_name : string; i_at : int; i_shard : int; i_tracee : int }
         (** a point event: one ctx_* runtime-library intrinsic *)
 
 type t
@@ -19,6 +19,13 @@ val default_ring_capacity : int
 val create : ?tracing:bool -> ?metrics:bool -> ?ring_capacity:int -> unit -> t
 
 val tracing : t -> bool
+
+(** Stamp the (shard, tracee) lane every subsequent event records
+    under.  The default lane (0, 0) is the solo single-shard lane and
+    emits exactly the pre-fleet audit records. *)
+val set_lane : t -> shard:int -> tracee:int -> unit
+
+val lane : t -> int * int
 val metrics_enabled : t -> bool
 val metrics : t -> Metrics.t
 

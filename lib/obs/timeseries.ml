@@ -1,0 +1,197 @@
+(* The time-series sink: periodic stats snapshots as JSONL.
+
+   A sharded run wants to see itself *over time* — per-shard
+   throughput, queue depth, backpressure, latency percentiles — not
+   just the end-of-run registry.  Each snapshot is one [row]: the
+   modelled-cycle timestamp, the shard lane it describes, and a flat
+   bag of named float fields (whatever the emitter samples).
+
+   Ownership mirrors {!Metrics}: a collector is single-owner (the
+   worker domain that samples it), nothing locks, and per-shard
+   collectors are [merge]d at join into one stream sorted by
+   (timestamp, shard) — deterministic because timestamps are modelled
+   cycles, not host time.
+
+   The file format is one JSON object per line, first line a
+   self-describing header ([schema] = "bastion-stats/1"), so the
+   offline reader ([bastion fleet-summary]) can reject foreign files
+   cleanly. *)
+
+let schema = "bastion-stats/1"
+
+type row = {
+  r_t : int;                        (** modelled cycles at snapshot *)
+  r_shard : int;                    (** shard lane (0: whole run) *)
+  r_fields : (string * float) list; (** sampled fields, emitter-defined *)
+}
+
+(** A single-owner snapshot collector (one per recording domain). *)
+type t = { mutable rows : row list (* newest first *) }
+
+let create () = { rows = [] }
+
+let push t ~at ~shard fields = t.rows <- { r_t = at; r_shard = shard; r_fields = fields } :: t.rows
+
+let count t = List.length t.rows
+
+(** This collector's rows, oldest first. *)
+let rows t = List.rev t.rows
+
+(** Merge per-shard collectors into one stream sorted by
+    (timestamp, shard) — deterministic on the modelled clock. *)
+let merge ts =
+  List.stable_sort
+    (fun a b ->
+      match compare a.r_t b.r_t with 0 -> compare a.r_shard b.r_shard | c -> c)
+    (List.concat_map rows ts)
+
+(** Bucket recorded trap events into fixed [interval]-cycle windows:
+    one row per (window, shard lane) with the trap count, denials and
+    monitor cycles charged in that window.  This is the post-hoc
+    emitter behind [bastion run --stats-interval] — the recorder keeps
+    the full event stream, and the time-series view is derived at the
+    end of the run on the modelled clock. *)
+let of_events ~interval (events : Event.t list) : row list =
+  if interval <= 0 then
+    invalid_arg "Timeseries.of_events: interval must be positive";
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Event.t) ->
+      let key = (ev.Event.ev_start / interval, ev.Event.ev_shard) in
+      let traps, denied, cycles =
+        match Hashtbl.find_opt tbl key with Some x -> x | None -> (0, 0, 0)
+      in
+      Hashtbl.replace tbl key
+        ( traps + 1,
+          (if Event.denied ev then denied + 1 else denied),
+          cycles + ev.Event.ev_dur ))
+    events;
+  Hashtbl.fold
+    (fun (window, shard) (traps, denied, cycles) acc ->
+      {
+        r_t = (window + 1) * interval;
+        r_shard = shard;
+        r_fields =
+          [
+            ("traps", float_of_int traps);
+            ("denied", float_of_int denied);
+            ("monitor_cycles", float_of_int cycles);
+          ];
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare (a.r_t, a.r_shard) (b.r_t, b.r_shard))
+
+let row_to_json r : Report.Json.t =
+  let open Report.Json in
+  Obj
+    ([ ("t_cycles", Num (float_of_int r.r_t)); ("shard", Num (float_of_int r.r_shard)) ]
+    @ List.map (fun (k, v) -> (k, Num v)) r.r_fields)
+
+(** Write rows as JSONL behind a self-describing header line.
+    [meta] extends the header (run parameters and the like). *)
+let write_jsonl ?(meta = []) rows path =
+  let oc = open_out path in
+  let header =
+    Report.Json.Obj (("schema", Report.Json.Str schema) :: meta)
+  in
+  output_string oc (Report.Json.to_compact_string header);
+  output_char oc '\n';
+  List.iter
+    (fun r ->
+      output_string oc (Report.Json.to_compact_string (row_to_json r));
+      output_char oc '\n')
+    rows;
+  close_out oc
+
+(* --- reading a stats stream back (fleet-summary) ---------------------- *)
+
+let row_of_json json : (row, string) result =
+  let int_of name =
+    match Report.Json.member name json with
+    | Some (Report.Json.Num f) when Float.is_integer f -> Ok (int_of_float f)
+    | _ -> Error (Printf.sprintf "stats row: missing integer field %S" name)
+  in
+  match (int_of "t_cycles", int_of "shard") with
+  | Ok r_t, Ok r_shard ->
+    let r_fields =
+      match json with
+      | Report.Json.Obj fields ->
+        List.filter_map
+          (fun (k, v) ->
+            if String.equal k "t_cycles" || String.equal k "shard" then None
+            else Option.map (fun f -> (k, f)) (Report.Json.to_float v))
+          fields
+      | _ -> []
+    in
+    Ok { r_t; r_shard; r_fields }
+  | Error e, _ | _, Error e -> Error e
+
+(** Parse a stats JSONL file: the header (checked against {!schema})
+    and the rows, in file order. *)
+let read path : (Report.Json.t * row list, string) result =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then lines := line :: !lines
+     done
+   with End_of_file -> close_in ic);
+  match List.rev !lines with
+  | [] -> Error "empty stats file"
+  | header_line :: rest -> (
+    match Report.Json.of_string header_line with
+    | exception Report.Json.Parse_error e -> Error ("bad stats header: " ^ e)
+    | header -> (
+      match Report.Json.member "schema" header with
+      | Some (Report.Json.Str s) when String.equal s schema ->
+        let rec parse acc = function
+          | [] -> Ok (header, List.rev acc)
+          | line :: rest -> (
+            match Report.Json.of_string line with
+            | exception Report.Json.Parse_error e -> Error ("bad stats row: " ^ e)
+            | json -> (
+              match row_of_json json with
+              | Ok r -> parse (r :: acc) rest
+              | Error e -> Error e))
+        in
+        parse [] rest
+      | Some (Report.Json.Str s) ->
+        Error (Printf.sprintf "not a stats stream: schema %S (want %S)" s schema)
+      | _ -> Error "not a stats stream: header has no schema"))
+
+(** Render a parsed stream as one table per shard (the offline
+    [fleet-summary] view): rows in time order, the union of sampled
+    field names as columns. *)
+let render rows : string =
+  let shards = List.sort_uniq compare (List.map (fun r -> r.r_shard) rows) in
+  let fields =
+    List.sort_uniq String.compare
+      (List.concat_map (fun r -> List.map fst r.r_fields) rows)
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun shard ->
+      let mine = List.filter (fun r -> r.r_shard = shard) rows in
+      Buffer.add_string buf
+        (Printf.sprintf "shard %d: %d snapshots\n" shard (List.length mine));
+      Buffer.add_string buf
+        (Report.Table.render
+           ~align:(Report.Table.R :: List.map (fun _ -> Report.Table.R) fields)
+           ~header:("t_cycles" :: fields)
+           (List.map
+              (fun r ->
+                string_of_int r.r_t
+                :: List.map
+                     (fun f ->
+                       match List.assoc_opt f r.r_fields with
+                       | None -> "-"
+                       | Some v ->
+                         if Float.is_integer v then Printf.sprintf "%.0f" v
+                         else Printf.sprintf "%.1f" v)
+                     fields)
+              mine));
+      Buffer.add_string buf "\n\n")
+    shards;
+  Buffer.contents buf

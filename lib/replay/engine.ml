@@ -61,25 +61,14 @@ let config_of_key key =
 
 let scales = [ "default"; "small" ]
 
-(* Golden-corpus scale: the same program structure (filler and all, so
-   the metadata fingerprint stays representative) with the dynamic
-   parameters shrunk until a run records a few hundred traps instead
-   of tens of thousands — small enough to check in and to replay in a
-   unit test, large enough to exercise accept/read/write/mprotect and
-   the verdict cache. *)
-let nginx_small =
-  { Workloads.Nginx_model.default with
-    connections = 6; requests_per_conn = 4; workers = 4;
-    init_mmap = 12; init_mprotect = 8 }
-
-let sqlite_small =
-  { Workloads.Sqlite_model.default with
-    connections = 3; txns_per_conn = 8; mprotect_every = 4 }
-
-let vsftpd_small =
-  { Workloads.Vsftpd_model.default with
-    sessions = 3; pasv_transfers = 6; active_transfers = 2;
-    file_words = 16_384; chunk_words = 4_096 }
+(* Golden-corpus scale: the models' [small] parameter sets — small
+   enough to check in and to replay in a unit test, large enough to
+   exercise accept/read/write/mprotect and the verdict cache.  Shared
+   with the fleet harness, which harvests its per-trap service
+   profiles from the same runs. *)
+let nginx_small = Workloads.Nginx_model.small
+let sqlite_small = Workloads.Sqlite_model.small
+let vsftpd_small = Workloads.Vsftpd_model.small
 
 let app_of ~name ~scale : (Drivers.app, string) result =
   if not (List.mem scale scales) then

@@ -315,7 +315,14 @@ let run_multi ?cost ?trap_cache ?pre_resolve ?prefilter ?queue_capacity ?batch
     let recorder =
       match shard_recorders with
       | None -> None
-      | Some rs -> Some rs.(Pool.shard_of_tracee ~shards tracee)
+      | Some rs ->
+        let shard = Pool.shard_of_tracee ~shards tracee in
+        let r = rs.(shard) in
+        (* The job runs on its shard's own domain and jobs within a
+           shard are serial, so stamping the shared shard recorder's
+           lane per tracee is race-free. *)
+        Obs.Recorder.set_lane r ~shard ~tracee;
+        Some r
     in
     run ?cost ?trap_cache ?pre_resolve ?prefilter ?recorder app defense
   in

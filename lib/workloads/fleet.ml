@@ -1,0 +1,541 @@
+(* The open-loop fleet driver: a constant-rate arrival process over K
+   heterogeneous modelled tracees, served by the sharded monitor pool.
+
+   Closed-loop benches (run_multi, the throughput bench) measure how
+   fast the monitor *can* go: the next trap arrives when the previous
+   one finishes, so queues never build and tails never show.  A fleet
+   serving real traffic is open-loop — traps arrive when tracees make
+   syscalls, at a rate the monitor does not control — and the quantity
+   that matters is what a trap *experiences* end-to-end: queue wait
+   plus service, against offered load.  This module builds that
+   measurement:
+
+   - service profiles are harvested from real monitored runs (the
+     models' [small] parameter sets under CET+CT+CF+AI), one recorded
+     event per trap decomposed into snapshot / CT / CF / AI modelled
+     cycles, plus the seccomp-stage pre-filter evaluation every trap
+     pays before reaching the monitor;
+   - the fleet mixes the three applications round-robin with skewed
+     per-tracee trap rates (smooth weighted round-robin over 16:8:5:
+     4:3:2:2:2 weights), so shards are genuinely unequal;
+   - arrivals are deterministic on the modelled clock: arrival [i]
+     lands at [i * cps/rate] cycles, independent of service rate —
+     offered load is a knob, not an outcome;
+   - the sharded run drives real worker domains through the real
+     bounded trap queues (arrival stamps via [Trap_queue.push_at]),
+     but all latency math runs on per-shard *virtual clocks* in
+     modelled cycles, so the measured waits are deterministic and a
+     serial reference simulation must agree exactly: the per-domain
+     shard registries ([Metrics.Shards]) merged at join are required
+     to [Metrics.equal] the serial registry (asserted per sweep point
+     and by the qcheck laws).
+
+   The sweep fixes the arrival *schedule* (rate only scales spacing),
+   so per-shard busy cycles are load-independent and the saturation
+   point is computable: [capacity] is the rate at which the busiest
+   shard's utilisation reaches 1.  Points above it let queues grow
+   without bound — the p99/p99.9 blow-up the knee detector looks
+   for. *)
+
+module Pool = Bastion_mt.Monitor_pool
+module Queue_ = Bastion_mt.Trap_queue
+
+(* ------------------------------------------------------------------ *)
+(* Service profiles                                                    *)
+
+(** One trap's service decomposition, modelled cycles per span. *)
+type trap_profile = {
+  tp_prefilter : int;  (** seccomp-stage flow-automaton evaluation *)
+  tp_snapshot : int;   (** state fetch: trap dur minus the phase spans *)
+  tp_ct : int;
+  tp_cf : int;
+  tp_ai : int;
+}
+
+let service tp = tp.tp_prefilter + tp.tp_snapshot + tp.tp_ct + tp.tp_cf + tp.tp_ai
+
+(** The fleet's application mix: the three models at their [small]
+    scale (the golden-corpus parameter sets). *)
+let small_apps () =
+  [
+    ("nginx", Drivers.nginx ~params:Nginx_model.small ());
+    ("sqlite", Drivers.sqlite ~params:Sqlite_model.small ());
+    ("vsftpd", Drivers.vsftpd ~params:Vsftpd_model.small ());
+  ]
+
+(** Harvest an app's per-trap service profile from one recorded run
+    under the full defense: each event's duration decomposed into its
+    phase spans (cached phases charged 0, like the monitor), the
+    remainder attributed to the snapshot fetch, plus the constant
+    pre-filter evaluation every trap pays at the seccomp stage. *)
+let harvest_profile (app : Drivers.app) : trap_profile array =
+  let recorder = Obs.Recorder.create ~tracing:true () in
+  ignore (Drivers.run ~recorder app Drivers.Bastion_full);
+  let prefilter = Machine.Cost.default.Machine.Cost.prefilter_eval in
+  let events = Obs.Recorder.trap_events recorder in
+  let profiles =
+    List.map
+      (fun (ev : Obs.Event.t) ->
+        let phase p =
+          List.fold_left
+            (fun acc (sp : Obs.Event.span) ->
+              if sp.sp_phase = p then acc + sp.sp_dur else acc)
+            0 ev.ev_spans
+        in
+        let ct = phase Obs.Event.Ct in
+        let cf = phase Obs.Event.Cf in
+        let ai = phase Obs.Event.Ai in
+        {
+          tp_prefilter = prefilter;
+          tp_snapshot = max 0 (ev.ev_dur - ct - cf - ai);
+          tp_ct = ct;
+          tp_cf = cf;
+          tp_ai = ai;
+        })
+      events
+  in
+  match profiles with
+  | [] -> invalid_arg "Fleet.harvest_profile: run recorded no traps"
+  | ps -> Array.of_list ps
+
+(* ------------------------------------------------------------------ *)
+(* The fleet                                                           *)
+
+type tracee_spec = {
+  ts_id : int;
+  ts_app : string;
+  ts_weight : int;          (** relative trap rate (SWRR weight) *)
+  ts_profile : trap_profile array;
+  ts_offset : int;          (** starting cursor into the profile *)
+}
+
+type t = { f_tracees : tracee_spec array; f_shards : int }
+
+(* Skewed trap rates: tracee k mod 8 = 0 fires 16/2 = 8x as often as
+   the quietest — heavy hitters land on every shard, but unevenly. *)
+let weight_of k = max 1 (16 / (1 + (k mod 8)))
+
+(** Assemble a fleet: [tracees] heterogeneous tracees cycling through
+    the application mix, each with a skewed weight and its own phase
+    offset into its app's service profile. *)
+let build ~tracees ~shards =
+  if tracees < 1 then invalid_arg "Fleet.build: tracees must be >= 1";
+  if shards < 1 then invalid_arg "Fleet.build: shards must be >= 1";
+  let apps = small_apps () in
+  let profiles =
+    List.map (fun (name, app) -> (name, harvest_profile app)) apps
+  in
+  let f_tracees =
+    Array.init tracees (fun k ->
+        let name, profile = List.nth profiles (k mod List.length profiles) in
+        {
+          ts_id = k;
+          ts_app = name;
+          ts_weight = weight_of k;
+          ts_profile = profile;
+          ts_offset = k * 13 mod Array.length profile;
+        })
+  in
+  { f_tracees; f_shards = shards }
+
+(* ------------------------------------------------------------------ *)
+(* The arrival schedule                                                *)
+
+(* Smooth weighted round-robin: deterministic, and spreads each
+   tracee's arrivals evenly through the stream (no bursts the weights
+   don't call for).  The schedule — which tracee fires trap [i], and
+   with which service profile entry — depends only on the fleet, never
+   on the offered rate: rate scales arrival *spacing* alone. *)
+let schedule (t : t) ~arrivals =
+  let n = Array.length t.f_tracees in
+  let current = Array.make n 0 in
+  let total = Array.fold_left (fun acc ts -> acc + ts.ts_weight) 0 t.f_tracees in
+  let fired = Array.make n 0 in
+  Array.init arrivals (fun _ ->
+      Array.iteri (fun k ts -> current.(k) <- current.(k) + ts.ts_weight) t.f_tracees;
+      let best = ref 0 in
+      for k = 1 to n - 1 do
+        if current.(k) > current.(!best) then best := k
+      done;
+      current.(!best) <- current.(!best) - total;
+      let ts = t.f_tracees.(!best) in
+      let idx = (ts.ts_offset + fired.(!best)) mod Array.length ts.ts_profile in
+      fired.(!best) <- fired.(!best) + 1;
+      (ts.ts_id, ts.ts_profile.(idx)))
+
+(** Per-shard busy cycles of a schedule: load-independent, so the
+    saturation rate is computable before any simulation. *)
+let busy_cycles (t : t) sched =
+  let busy = Array.make t.f_shards 0 in
+  Array.iter
+    (fun (tracee, tp) ->
+      let s = Pool.shard_of_tracee ~shards:t.f_shards tracee in
+      busy.(s) <- busy.(s) + service tp)
+    sched;
+  busy
+
+(** The offered rate (traps/second on the modelled clock) at which the
+    busiest shard's utilisation reaches 1.0 — the analytic saturation
+    point of this fleet and schedule. *)
+let capacity (t : t) ~arrivals =
+  let sched = schedule t ~arrivals in
+  let max_busy = Array.fold_left max 1 (busy_cycles t sched) in
+  float_of_int arrivals *. Drivers_config.cycles_per_second /. float_of_int max_busy
+
+(* ------------------------------------------------------------------ *)
+(* Simulation                                                          *)
+
+(* One trap through one shard's virtual clock; every observation is an
+   integer in modelled cycles, so the sharded and serial paths cannot
+   diverge by rounding. *)
+let observe_trap reg ~shard ~tracee ~at ~clock tp =
+  let svc = service tp in
+  let start = max at clock in
+  let wait = start - at in
+  let finish = start + svc in
+  let e2e = finish - at in
+  let h name = Obs.Metrics.histogram reg name in
+  let c name = Obs.Metrics.counter reg name in
+  Obs.Metrics.observe (h "fleet.queue_wait") wait;
+  Obs.Metrics.observe (h "fleet.service") svc;
+  Obs.Metrics.observe (h "fleet.e2e") e2e;
+  Obs.Metrics.observe (h "fleet.phase.prefilter") tp.tp_prefilter;
+  Obs.Metrics.observe (h "fleet.phase.snapshot") tp.tp_snapshot;
+  Obs.Metrics.observe (h "fleet.phase.ct") tp.tp_ct;
+  Obs.Metrics.observe (h "fleet.phase.cf") tp.tp_cf;
+  Obs.Metrics.observe (h "fleet.phase.ai") tp.tp_ai;
+  Obs.Metrics.observe (h (Printf.sprintf "fleet.shard%d.queue_wait" shard)) wait;
+  Obs.Metrics.observe (h (Printf.sprintf "fleet.shard%d.e2e" shard)) e2e;
+  Obs.Metrics.observe (h (Printf.sprintf "fleet.tracee%d.e2e" tracee)) e2e;
+  Obs.Metrics.incr (c "fleet.traps");
+  Obs.Metrics.incr (c (Printf.sprintf "fleet.shard%d.traps" shard));
+  Obs.Metrics.add (c (Printf.sprintf "fleet.shard%d.busy_cycles" shard)) svc;
+  finish
+
+(* Arrival times: trap [i] lands at [i * cps/rate] cycles.  The float
+   product is exact enough (< 2^53) and identical on both paths. *)
+let arrival_time ~spacing i = int_of_float (float_of_int i *. spacing)
+
+(** The serial reference: the same per-shard virtual-clock math run
+    inline over one registry, in arrival order. *)
+let simulate_serial (t : t) sched ~spacing : Obs.Metrics.t =
+  let reg = Obs.Metrics.create () in
+  let clocks = Array.make t.f_shards 0 in
+  Array.iteri
+    (fun i (tracee, tp) ->
+      let shard = Pool.shard_of_tracee ~shards:t.f_shards tracee in
+      let at = arrival_time ~spacing i in
+      clocks.(shard) <-
+        observe_trap reg ~shard ~tracee ~at ~clock:clocks.(shard) tp)
+    sched;
+  reg
+
+type run_result = {
+  rr_rate : float;            (** offered traps/second *)
+  rr_horizon : int;           (** cycles spanned by the arrival process *)
+  rr_merged : Obs.Metrics.t;  (** shard registries, merged at join *)
+  rr_matches_serial : bool;   (** merged = serial reference, exactly *)
+  rr_shard_util : float array;   (** busy / horizon per shard *)
+  rr_stats : Obs.Timeseries.row list;  (** when sampling was on *)
+}
+
+(** Drive the schedule through the real sharded pool at [rate] traps
+    per second.  Workers record into their domain's registry
+    ([Metrics.Shards]); [stats_interval] (cycles) additionally samples
+    a per-shard time-series row at every virtual-clock boundary. *)
+let run_at ?stats_interval (t : t) ~arrivals ~rate : run_result =
+  if rate <= 0.0 then invalid_arg "Fleet.run_at: rate must be positive";
+  let sched = schedule t ~arrivals in
+  let spacing = Drivers_config.cycles_per_second /. rate in
+  let horizon = max 1 (arrival_time ~spacing (arrivals - 1)) in
+  let shards_reg = Obs.Metrics.Shards.create () in
+  let config = Pool.config ~shards:t.f_shards () in
+  let items =
+    Seq.map (fun (tracee, tp) -> (tracee, tp)) (Array.to_seq sched)
+  in
+  (* Stamp arrivals with the open-loop clock, not the service clock:
+     item [i]'s stamp is its scheduled arrival time. *)
+  let next_arrival = ref 0 in
+  let arrival _ =
+    let at = arrival_time ~spacing !next_arrival in
+    incr next_arrival;
+    at
+  in
+  let worker ~shard queue =
+    let reg = Obs.Metrics.Shards.my shards_reg in
+    let stats = Obs.Timeseries.create () in
+    let clock = ref 0 in
+    let next_sample = ref (match stats_interval with Some iv -> iv | None -> max_int) in
+    let sample upto =
+      match stats_interval with
+      | None -> ()
+      | Some iv ->
+        while !next_sample <= upto do
+          let s name =
+            Obs.Metrics.summarize (Obs.Metrics.histogram reg name)
+          in
+          let wait = s (Printf.sprintf "fleet.shard%d.queue_wait" shard) in
+          let e2e = s (Printf.sprintf "fleet.shard%d.e2e" shard) in
+          let traps =
+            Obs.Metrics.value
+              (Obs.Metrics.counter reg (Printf.sprintf "fleet.shard%d.traps" shard))
+          in
+          let busy =
+            Obs.Metrics.value
+              (Obs.Metrics.counter reg
+                 (Printf.sprintf "fleet.shard%d.busy_cycles" shard))
+          in
+          Obs.Timeseries.push stats ~at:!next_sample ~shard
+            [
+              ("traps", float_of_int traps);
+              ("busy_cycles", float_of_int busy);
+              ("queue_wait_p50", wait.Obs.Metrics.s_p50);
+              ("queue_wait_p99", wait.Obs.Metrics.s_p99);
+              ("queue_wait_p999", wait.Obs.Metrics.s_p999);
+              ("e2e_p99", e2e.Obs.Metrics.s_p99);
+            ];
+          next_sample := !next_sample + iv
+        done
+    in
+    let rec drain () =
+      match Queue_.pop_batch_stamped queue ~max:config.Pool.batch with
+      | [] -> sample (max !clock horizon)
+      | batch ->
+        List.iter
+          (fun (at, (tracee, tp)) ->
+            clock := observe_trap reg ~shard ~tracee ~at ~clock:!clock tp;
+            sample !clock)
+          batch;
+        drain ()
+    in
+    drain ();
+    stats
+  in
+  let stats_accs, _queue_stats = Pool.with_pool ~arrival config ~items ~worker in
+  let merged = Obs.Metrics.Shards.merged shards_reg in
+  let serial = simulate_serial t sched ~spacing in
+  let busy = busy_cycles t sched in
+  {
+    rr_rate = rate;
+    rr_horizon = horizon;
+    rr_merged = merged;
+    rr_matches_serial = Obs.Metrics.equal merged serial;
+    rr_shard_util =
+      Array.map (fun b -> float_of_int b /. float_of_int horizon) busy;
+    rr_stats = Obs.Timeseries.merge (Array.to_list stats_accs);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The load sweep and its saturation knee                              *)
+
+type point = {
+  pt_fraction : float;  (** offered load as a fraction of capacity *)
+  pt_result : run_result;
+}
+
+type sweep = {
+  sw_tracees : int;
+  sw_shards : int;
+  sw_arrivals : int;
+  sw_capacity : float;  (** traps/second at bottleneck-shard util 1.0 *)
+  sw_points : point list;
+  sw_knee : int option;  (** index of the first saturated point *)
+  sw_knee_reason : string option;
+}
+
+(** The saturation knee over per-point (max shard utilisation, p99
+    queue wait, mean service time): the first point whose bottleneck
+    shard is saturated (util >= 1), or — for fleets that degrade
+    before the analytic limit — the first whose p99 queue wait blows
+    past 8x the lightest-load baseline.  The baseline is floored at
+    one mean service time: a queue-wait tail shorter than a handful of
+    traps' service is normal bursting, not a knee, even when the
+    lightest load waited 0. *)
+let detect_knee (points : (float * float * float) list) : (int * string) option =
+  match points with
+  | [] -> None
+  | (_, base_p99, base_service) :: _ ->
+    let tail_limit = 8.0 *. Float.max base_p99 base_service in
+    let rec go i = function
+      | [] -> None
+      | (util, p99, _) :: rest ->
+        if util >= 1.0 then
+          Some (i, "bottleneck shard utilisation reached 1.0")
+        else if p99 > tail_limit then
+          Some (i, "p99 queue wait exceeded 8x the lightest-load baseline")
+        else go (i + 1) rest
+    in
+    go 0 points
+
+(* Load fractions for an n-point sweep: evenly spaced from a fifth of
+   capacity to 15% past it, so the knee is always inside the sweep. *)
+let fractions ~points =
+  if points < 2 then invalid_arg "Fleet.sweep: points must be >= 2";
+  List.init points (fun i ->
+      0.2 +. (0.95 *. float_of_int i /. float_of_int (points - 1)))
+
+let wait_p99 (r : run_result) =
+  (Obs.Metrics.summarize (Obs.Metrics.histogram r.rr_merged "fleet.queue_wait"))
+    .Obs.Metrics.s_p99
+
+let service_mean (r : run_result) =
+  (Obs.Metrics.summarize (Obs.Metrics.histogram r.rr_merged "fleet.service"))
+    .Obs.Metrics.s_mean
+
+let max_util (r : run_result) = Array.fold_left Float.max 0.0 r.rr_shard_util
+
+(** Sweep offered load across [points] fractions of {!capacity}. *)
+let sweep ?stats_interval ~tracees ~shards ~arrivals ~points () : sweep =
+  let t = build ~tracees ~shards in
+  let cap = capacity t ~arrivals in
+  let pts =
+    List.map
+      (fun f ->
+        { pt_fraction = f;
+          pt_result = run_at ?stats_interval t ~arrivals ~rate:(f *. cap) })
+      (fractions ~points)
+  in
+  let knee =
+    detect_knee
+      (List.map
+         (fun p ->
+           (max_util p.pt_result, wait_p99 p.pt_result, service_mean p.pt_result))
+         pts)
+  in
+  {
+    sw_tracees = tracees;
+    sw_shards = shards;
+    sw_arrivals = arrivals;
+    sw_capacity = cap;
+    sw_points = pts;
+    sw_knee = Option.map fst knee;
+    sw_knee_reason = Option.map snd knee;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let summary_json (s : Obs.Metrics.summary) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    [
+      ("count", Num (float_of_int s.Obs.Metrics.s_count));
+      ("p50", Num s.Obs.Metrics.s_p50);
+      ("p99", Num s.Obs.Metrics.s_p99);
+      ("p999", Num s.Obs.Metrics.s_p999);
+      ("max", Num (float_of_int s.Obs.Metrics.s_max));
+      ("mean", Num s.Obs.Metrics.s_mean);
+    ]
+
+let point_json (t_shards : int) (p : point) : Report.Json.t =
+  let open Report.Json in
+  let r = p.pt_result in
+  let s name = Obs.Metrics.summarize (Obs.Metrics.histogram r.rr_merged name) in
+  Obj
+    [
+      ("offered_traps_per_sec", Num r.rr_rate);
+      ("load_fraction", Num p.pt_fraction);
+      ("horizon_cycles", Num (float_of_int r.rr_horizon));
+      ("util_max", Num (max_util r));
+      ("matches_serial", Bool r.rr_matches_serial);
+      ("queue_wait", summary_json (s "fleet.queue_wait"));
+      ("e2e", summary_json (s "fleet.e2e"));
+      ("service", summary_json (s "fleet.service"));
+      ( "shards",
+        List
+          (List.init t_shards (fun shard ->
+               Obj
+                 [
+                   ("shard", Num (float_of_int shard));
+                   ("util", Num r.rr_shard_util.(shard));
+                   ( "queue_wait",
+                     summary_json
+                       (s (Printf.sprintf "fleet.shard%d.queue_wait" shard)) );
+                 ])) );
+    ]
+
+(** The BENCH_fleet.json document: offered load vs latency tails plus
+    the detected knee.  Everything in it derives from the modelled
+    clock, so regeneration is byte-identical. *)
+let sweep_json (s : sweep) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    [
+      ("schema", Str "bastion-fleet/1");
+      ( "config",
+        Obj
+          [
+            ("tracees", Num (float_of_int s.sw_tracees));
+            ("shards", Num (float_of_int s.sw_shards));
+            ("arrivals", Num (float_of_int s.sw_arrivals));
+            ( "apps",
+              List (List.map (fun (name, _) -> Str name) (small_apps ())) );
+          ] );
+      ("capacity_traps_per_sec", Num s.sw_capacity);
+      ("results", List (List.map (point_json s.sw_shards) s.sw_points));
+      ( "knee",
+        match (s.sw_knee, s.sw_knee_reason) with
+        | Some i, Some reason ->
+          let p = List.nth s.sw_points i in
+          Obj
+            [
+              ("index", Num (float_of_int i));
+              ("offered_traps_per_sec", Num p.pt_result.rr_rate);
+              ("load_fraction", Num p.pt_fraction);
+              ("reason", Str reason);
+            ]
+        | _ -> Null );
+    ]
+
+(** Render a sweep for the terminal ([bastion fleet]). *)
+let render_sweep (s : sweep) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "fleet: %d tracees (%s mix), %d shards, %d arrivals/point\n\
+        capacity (bottleneck shard util = 1): %.0f traps/sec\n\n"
+       s.sw_tracees
+       (String.concat "/" (List.map fst (small_apps ())))
+       s.sw_shards s.sw_arrivals s.sw_capacity);
+  Buffer.add_string buf
+    (Report.Table.render
+       ~align:Report.Table.[ R; R; R; R; R; R; R; R; R ]
+       ~header:
+         [ "load"; "traps/sec"; "util"; "wait p50"; "wait p99"; "wait p99.9";
+           "e2e p50"; "e2e p99"; "e2e p99.9" ]
+       (List.map
+          (fun p ->
+            let r = p.pt_result in
+            let s name =
+              Obs.Metrics.summarize (Obs.Metrics.histogram r.rr_merged name)
+            in
+            let w = s "fleet.queue_wait" and e = s "fleet.e2e" in
+            [
+              Printf.sprintf "%.2f" p.pt_fraction;
+              Printf.sprintf "%.0f" r.rr_rate;
+              Printf.sprintf "%.2f" (max_util r);
+              Printf.sprintf "%.0f" w.Obs.Metrics.s_p50;
+              Printf.sprintf "%.0f" w.Obs.Metrics.s_p99;
+              Printf.sprintf "%.0f" w.Obs.Metrics.s_p999;
+              Printf.sprintf "%.0f" e.Obs.Metrics.s_p50;
+              Printf.sprintf "%.0f" e.Obs.Metrics.s_p99;
+              Printf.sprintf "%.0f" e.Obs.Metrics.s_p999;
+            ])
+          s.sw_points));
+  Buffer.add_string buf "\n\n";
+  (match (s.sw_knee, s.sw_knee_reason) with
+  | Some i, Some reason ->
+    let p = List.nth s.sw_points i in
+    Buffer.add_string buf
+      (Printf.sprintf "saturation knee: point %d (%.2fx capacity, %.0f traps/sec) — %s\n"
+         i p.pt_fraction p.pt_result.rr_rate reason)
+  | _ -> Buffer.add_string buf "saturation knee: not reached in this sweep\n");
+  let bad =
+    List.filter (fun p -> not p.pt_result.rr_matches_serial) s.sw_points
+  in
+  if bad <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "WARNING: %d point(s) diverged from the serial reference\n"
+         (List.length bad));
+  Buffer.contents buf

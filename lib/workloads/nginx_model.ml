@@ -39,6 +39,14 @@ let default =
     filler = true;
   }
 
+(* Golden-corpus / fleet scale: the same program structure (filler and
+   all, so the metadata fingerprint stays representative) with the
+   dynamic parameters shrunk to a few hundred traps per run. *)
+let small =
+  { default with
+    connections = 6; requests_per_conn = 4; workers = 4;
+    init_mmap = 12; init_mprotect = 8 }
+
 (** Parameters matching the paper's benchmark run exactly (Table 4). *)
 let paper_scale = { default with connections = 5664; requests_per_conn = 4 }
 

@@ -17,6 +17,10 @@ type params = {
 
 val default : params
 
+(** Golden-corpus / fleet scale: the same program structure with the
+    dynamic parameters shrunk to a few hundred traps per run. *)
+val small : params
+
 (** Parameters matching the paper's Table 4 run. *)
 val paper_scale : params
 

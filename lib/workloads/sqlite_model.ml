@@ -40,6 +40,9 @@ let default =
     filler = true;
   }
 
+(* Golden-corpus / fleet scale: see Nginx_model.small. *)
+let small = { default with connections = 3; txns_per_conn = 8; mprotect_every = 4 }
+
 (** Matches Table 4 exactly: 11 connections, 501 runtime mprotect. *)
 let paper_scale = { default with connections = 10; txns_per_conn = 501; mprotect_every = 10 }
 

@@ -18,6 +18,10 @@ type params = {
 
 val default : params
 
+(** Golden-corpus / fleet scale: the same program structure with the
+    dynamic parameters shrunk to a few hundred traps per run. *)
+val small : params
+
 (** Matches Table 4: 11 accepts, 501 runtime mprotects. *)
 val paper_scale : params
 

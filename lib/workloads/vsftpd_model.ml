@@ -43,6 +43,12 @@ let default =
     filler = true;
   }
 
+(* Golden-corpus / fleet scale: see Nginx_model.small. *)
+let small =
+  { default with
+    sessions = 3; pasv_transfers = 6; active_transfers = 2;
+    file_words = 16_384; chunk_words = 4_096 }
+
 (** Table 4-matching run: 10 sessions plus the final empty accept
     reproduce the paper's 87 accepts, 36 clones, 12 setuid/setgid. *)
 let paper_scale = { default with sessions = 10; init_clone = 16 }

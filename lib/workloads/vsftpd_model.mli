@@ -20,6 +20,10 @@ type params = {
 
 val default : params
 
+(** Golden-corpus / fleet scale: the same program structure with the
+    dynamic parameters shrunk to a few hundred traps per run. *)
+val small : params
+
 (** Matches Table 4: 87 accepts, 36 clones, 12 setuid/setgid. *)
 val paper_scale : params
 

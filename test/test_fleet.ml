@@ -1,0 +1,272 @@
+(* Tests for the fleet telemetry plane: domain-safe metric shards and
+   their merge laws (exactness, commutativity, associativity), the
+   open-loop fleet engine's sharded-vs-serial equivalence, the
+   saturation-knee detector, and the shape of the committed
+   BENCH_fleet.json artifact. *)
+
+module F = Workloads.Fleet
+module M = Obs.Metrics
+module J = Report.Json
+
+(* --- domain-safe metric shards ---------------------------------------- *)
+
+(* Four domains hammer their own shard registries concurrently; the
+   merge at join must recover the exact serial totals — integer
+   counters and histogram state make the merge exact, not approximate. *)
+let test_shards_domain_stress () =
+  let sh = M.Shards.create () in
+  let domains = 4 and per_domain = 5_000 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let reg = M.Shards.my sh in
+            let c = M.counter reg "stress.traps" in
+            let h = M.histogram reg "stress.lat" in
+            for i = 1 to per_domain do
+              M.incr c;
+              M.observe h ((d * per_domain) + i)
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "one registry per domain" domains
+    (List.length (M.Shards.registries sh));
+  let merged = M.Shards.merged sh in
+  let total = domains * per_domain in
+  Alcotest.(check (float 1e-9)) "counter total exact" (float_of_int total)
+    (List.assoc "stress.traps" (M.counter_values merged));
+  let s = M.summarize (M.histogram merged "stress.lat") in
+  Alcotest.(check int) "every observation merged" total s.M.s_count;
+  Alcotest.(check int) "global min survives" 1 s.M.s_min;
+  Alcotest.(check int) "global max survives" total s.M.s_max;
+  (* Σ 1..20000 = 200_010_000: the integer sum merges exactly. *)
+  Alcotest.(check (float 1e-9)) "mean exact after merge"
+    (float_of_int (total * (total + 1) / 2) /. float_of_int total)
+    s.M.s_mean
+
+(* --- merge laws (qcheck) ---------------------------------------------- *)
+
+(* A registry is modelled by the op list that built it: each op bumps
+   a named counter and observes the same value into a named histogram. *)
+let apply_ops reg ops =
+  List.iter
+    (fun (i, v) ->
+      let name = Printf.sprintf "m%d" i in
+      M.add (M.counter reg ("c." ^ name)) v;
+      M.observe (M.histogram reg ("h." ^ name)) v)
+    ops
+
+let registry_of ops =
+  let reg = M.create () in
+  apply_ops reg ops;
+  reg
+
+let ops_gen =
+  QCheck.(list_of_size (Gen.int_range 0 60) (pair (int_bound 3) (int_bound 100_000)))
+
+let prop_merge_matches_serial =
+  QCheck.Test.make ~count:100 ~name:"merged shards = one serial registry"
+    QCheck.(triple ops_gen ops_gen ops_gen)
+    (fun (a, b, c) ->
+      let merged = M.merge [ registry_of a; registry_of b; registry_of c ] in
+      let serial = registry_of (a @ b @ c) in
+      M.equal merged serial)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:100 ~name:"merge is commutative"
+    QCheck.(pair ops_gen ops_gen)
+    (fun (a, b) ->
+      M.equal
+        (M.merge [ registry_of a; registry_of b ])
+        (M.merge [ registry_of b; registry_of a ]))
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:100 ~name:"merge is associative"
+    QCheck.(triple ops_gen ops_gen ops_gen)
+    (fun (a, b, c) ->
+      let ra () = registry_of a and rb () = registry_of b and rc () = registry_of c in
+      M.equal
+        (M.merge [ M.merge [ ra (); rb () ]; rc () ])
+        (M.merge [ ra (); M.merge [ rb (); rc () ] ]))
+
+let prop_merge_identity =
+  QCheck.Test.make ~count:100 ~name:"empty registry is the merge identity"
+    ops_gen
+    (fun a ->
+      let reg = registry_of a in
+      M.equal reg (M.merge [ registry_of a; M.create () ])
+      && M.equal reg (M.merge [ M.create (); registry_of a ]))
+
+(* --- the open-loop fleet engine --------------------------------------- *)
+
+(* The real sharded pool at sub- and super-saturation load: the merged
+   shard registries must equal the serial reference simulation exactly
+   at every rate, and the latency summaries must be internally
+   consistent. *)
+let test_fleet_matches_serial () =
+  let arrivals = 300 in
+  let t = F.build ~tracees:8 ~shards:4 in
+  let cap = F.capacity t ~arrivals in
+  List.iter
+    (fun fraction ->
+      let r = F.run_at t ~arrivals ~rate:(fraction *. cap) in
+      Alcotest.(check bool)
+        (Printf.sprintf "merged = serial at %.2fx capacity" fraction)
+        true r.F.rr_matches_serial;
+      let s = M.summarize (M.histogram r.F.rr_merged "fleet.e2e") in
+      Alcotest.(check int)
+        (Printf.sprintf "every arrival observed at %.2fx" fraction)
+        arrivals s.M.s_count;
+      Alcotest.(check bool) "p50 <= p99 <= p99.9 <= max" true
+        (s.M.s_p50 <= s.M.s_p99
+        && s.M.s_p99 <= s.M.s_p999
+        && s.M.s_p999 <= float_of_int s.M.s_max))
+    [ 0.25; 0.9; 1.2 ]
+
+(* Queue waits must grow with offered load: the tail at 1.2x capacity
+   dominates the tail at a quarter of it. *)
+let test_fleet_wait_grows_with_load () =
+  let arrivals = 400 in
+  let t = F.build ~tracees:8 ~shards:2 in
+  let cap = F.capacity t ~arrivals in
+  let wait f =
+    let r = F.run_at t ~arrivals ~rate:(f *. cap) in
+    (M.summarize (M.histogram r.F.rr_merged "fleet.queue_wait")).M.s_p99
+  in
+  let light = wait 0.25 and heavy = wait 1.2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 wait grows toward saturation (%.0f -> %.0f)" light heavy)
+    true (heavy > light)
+
+(* The phase decomposition: per-trap service = prefilter + snapshot +
+   CT + CF + AI, so the merged phase histogram means must sum to the
+   service mean. *)
+let test_fleet_phase_decomposition () =
+  let arrivals = 200 in
+  let t = F.build ~tracees:6 ~shards:2 in
+  let cap = F.capacity t ~arrivals in
+  let r = F.run_at t ~arrivals ~rate:(0.5 *. cap) in
+  let mean name = (M.summarize (M.histogram r.F.rr_merged name)).M.s_mean in
+  let parts =
+    List.fold_left ( +. ) 0.0
+      (List.map
+         (fun p -> mean (Printf.sprintf "fleet.phase.%s" p))
+         [ "prefilter"; "snapshot"; "ct"; "cf"; "ai" ])
+  in
+  Alcotest.(check (float 1e-6)) "phase means sum to the service mean"
+    (mean "fleet.service") parts
+
+(* --- the knee detector ------------------------------------------------ *)
+
+let knee = Alcotest.(option (pair int string))
+
+let test_detect_knee () =
+  (* Utilisation crossing 1.0 wins at the first saturated point. *)
+  Alcotest.check knee "util knee"
+    (Some (2, "bottleneck shard utilisation reached 1.0"))
+    (F.detect_knee [ (0.2, 0.0, 100.0); (0.6, 50.0, 100.0); (1.05, 400.0, 100.0) ]);
+  (* Tail blow-up before the analytic limit: baseline p99 10 is floored
+     at the 100-cycle mean service, so the limit is 800. *)
+  Alcotest.check knee "tail knee"
+    (Some (2, "p99 queue wait exceeded 8x the lightest-load baseline"))
+    (F.detect_knee [ (0.2, 10.0, 100.0); (0.5, 20.0, 100.0); (0.9, 5000.0, 100.0) ]);
+  (* The service floor: a 700-cycle wait under an 800-cycle limit is
+     bursting, not saturation, even though the baseline p99 was 0. *)
+  Alcotest.check knee "no knee under the service floor" None
+    (F.detect_knee [ (0.2, 0.0, 100.0); (0.5, 300.0, 100.0); (0.9, 700.0, 100.0) ]);
+  Alcotest.check knee "empty sweep" None (F.detect_knee [])
+
+(* --- the committed artifact ------------------------------------------- *)
+
+let summary_floats name j =
+  match J.member name j with
+  | Some s -> (
+    match (J.member "p50" s, J.member "p99" s, J.member "p999" s) with
+    | Some (J.Num p50), Some (J.Num p99), Some (J.Num p999) -> (p50, p99, p999)
+    | _ -> Alcotest.fail (Printf.sprintf "summary %s missing percentiles" name))
+  | None -> Alcotest.fail (Printf.sprintf "missing summary %s" name)
+
+let test_bench_fleet_artifact () =
+  let path = "../BENCH_fleet.json" in
+  if not (Sys.file_exists path) then
+    Alcotest.fail "BENCH_fleet.json missing (run bench/main.exe --json-fleet)";
+  let doc = J.of_file path in
+  (match J.member "schema" doc with
+  | Some (J.Str "bastion-fleet/1") -> ()
+  | _ -> Alcotest.fail "bad or missing schema field");
+  let config = Option.get (J.member "config" doc) in
+  let cfg name =
+    match J.member name config with
+    | Some (J.Num f) -> int_of_float f
+    | _ -> Alcotest.fail (Printf.sprintf "config missing %s" name)
+  in
+  Alcotest.(check bool) "fleet of at least 64 tracees" true (cfg "tracees" >= 64);
+  Alcotest.(check bool) "at least 4 shards" true (cfg "shards" >= 4);
+  (match J.member "capacity_traps_per_sec" doc with
+  | Some (J.Num c) -> Alcotest.(check bool) "positive capacity" true (c > 0.0)
+  | _ -> Alcotest.fail "missing capacity_traps_per_sec");
+  let results =
+    match Option.bind (J.member "results" doc) J.to_list with
+    | Some rs -> rs
+    | None -> Alcotest.fail "missing results list"
+  in
+  Alcotest.(check bool) "at least 5 load points" true (List.length results >= 5);
+  let loads =
+    List.map
+      (fun r ->
+        match J.member "offered_traps_per_sec" r with
+        | Some (J.Num f) -> f
+        | _ -> Alcotest.fail "point missing offered_traps_per_sec")
+      results
+  in
+  Alcotest.(check bool) "offered loads strictly increase" true
+    (List.for_all2 (fun a b -> a < b) loads (List.tl loads @ [ infinity ]));
+  List.iter
+    (fun r ->
+      (match J.member "matches_serial" r with
+      | Some (J.Bool true) -> ()
+      | _ -> Alcotest.fail "point diverged from the serial reference");
+      List.iter
+        (fun name ->
+          let p50, p99, p999 = summary_floats name r in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s tail ordering p50 <= p99 <= p99.9" name)
+            true
+            (p50 <= p99 && p99 <= p999))
+        [ "queue_wait"; "e2e"; "service" ])
+    results;
+  match J.member "knee" doc with
+  | Some (J.Obj _ as k) -> (
+    match (J.member "index" k, J.member "reason" k) with
+    | Some (J.Num i), Some (J.Str _) ->
+      Alcotest.(check bool) "knee index inside the sweep" true
+        (int_of_float i >= 0 && int_of_float i < List.length results)
+    | _ -> Alcotest.fail "knee missing index/reason")
+  | _ -> Alcotest.fail "committed sweep must detect a knee"
+
+let suites =
+  [
+    ( "fleet-shards",
+      [
+        Alcotest.test_case "4-domain stress merges exactly" `Quick
+          test_shards_domain_stress;
+        QCheck_alcotest.to_alcotest prop_merge_matches_serial;
+        QCheck_alcotest.to_alcotest prop_merge_commutative;
+        QCheck_alcotest.to_alcotest prop_merge_associative;
+        QCheck_alcotest.to_alcotest prop_merge_identity;
+      ] );
+    ( "fleet-engine",
+      [
+        Alcotest.test_case "sharded run matches serial reference" `Quick
+          test_fleet_matches_serial;
+        Alcotest.test_case "queue wait grows with offered load" `Quick
+          test_fleet_wait_grows_with_load;
+        Alcotest.test_case "phase means sum to service mean" `Quick
+          test_fleet_phase_decomposition;
+        Alcotest.test_case "knee detector" `Quick test_detect_knee;
+      ] );
+    ( "fleet-artifact",
+      [
+        Alcotest.test_case "BENCH_fleet.json shape" `Quick
+          test_bench_fleet_artifact;
+      ] );
+  ]

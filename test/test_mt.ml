@@ -53,6 +53,45 @@ let test_queue_try_push_full () =
     "Trap_queue.create: capacity must be >= 1") (fun () ->
       ignore (Q.create ~capacity:0))
 
+(* Arrival stamps ride alongside items: push_at records the open-loop
+   arrival time, pop_batch_stamped hands it back in FIFO order, and
+   the unstamped API still sees plain items (stamp 0). *)
+let test_queue_arrival_stamps () =
+  let q = Q.create ~capacity:8 in
+  Q.push_at q ~at:100 "a";
+  Q.push_at q ~at:250 "b";
+  Q.push q "c";
+  Q.close q;
+  Alcotest.(check (list (pair int string)))
+    "stamps preserved in FIFO order"
+    [ (100, "a"); (250, "b"); (0, "c") ]
+    (Q.pop_batch_stamped q ~max:8);
+  let q2 = Q.create ~capacity:8 in
+  Q.push_at q2 ~at:7 1;
+  Q.close q2;
+  Alcotest.(check (list int)) "unstamped pop drops the stamp" [ 1 ]
+    (Q.pop_batch q2 ~max:8)
+
+(* Queue telemetry as registry probes: the same counters the stats
+   snapshot reports, sampled live at read time under the queue lock. *)
+let test_queue_register_probes () =
+  let q = Q.create ~capacity:4 in
+  let reg = Obs.Metrics.create () in
+  Q.register_probes q reg ~prefix:"q0";
+  let probe name = List.assoc ("q0." ^ name) (Obs.Metrics.counter_values reg) in
+  Alcotest.(check (float 1e-9)) "depth before pushes" 0.0 (probe "depth");
+  List.iter (Q.push q) [ 1; 2; 3 ];
+  Alcotest.(check (float 1e-9)) "depth sampled live" 3.0 (probe "depth");
+  Alcotest.(check (float 1e-9)) "pushed" 3.0 (probe "pushed");
+  Q.close q;
+  ignore (Q.pop_batch q ~max:2);
+  ignore (Q.pop_batch q ~max:8);
+  Alcotest.(check (float 1e-9)) "popped" 3.0 (probe "popped");
+  Alcotest.(check (float 1e-9)) "max depth" 3.0 (probe "max_depth");
+  Alcotest.(check (float 1e-9)) "batches" 2.0 (probe "batches");
+  Alcotest.(check (float 1e-9)) "mean batch" 1.5 (probe "mean_batch");
+  Alcotest.(check (float 1e-9)) "blocked pushes" 0.0 (probe "blocked_pushes")
+
 (* A producer domain against a tiny queue and a deliberately slow
    consumer: the producer must block (backpressure) and every item must
    come through in order — never dropped. *)
@@ -379,6 +418,10 @@ let suites =
         Alcotest.test_case "FIFO order and statistics" `Quick
           test_queue_fifo_and_stats;
         Alcotest.test_case "close semantics" `Quick test_queue_close_semantics;
+        Alcotest.test_case "arrival stamps ride the queue" `Quick
+          test_queue_arrival_stamps;
+        Alcotest.test_case "queue telemetry as registry probes" `Quick
+          test_queue_register_probes;
         Alcotest.test_case "try_push on a full queue" `Quick
           test_queue_try_push_full;
         Alcotest.test_case "backpressure blocks, never drops" `Quick

@@ -98,6 +98,94 @@ let prop_percentiles_monotone_bounded =
       && s.Obs.Metrics.s_p99 <= fmax
       && Obs.Metrics.percentile h lo <= Obs.Metrics.percentile h hi)
 
+(* p99.9 with a heavy tail: 990 fast traps, 9 in the ~1000-cycle
+   bucket, one 10^6 outlier.  Rank 0.999 lands among the 1000s, so
+   sub-bucket interpolation must report a value inside that bucket —
+   not clamp flat to the outlier max the way a bucket-ceiling estimate
+   would. *)
+let test_p999_heavy_tail () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg "tail" in
+  for _ = 1 to 990 do
+    Obs.Metrics.observe h 8
+  done;
+  for _ = 1 to 9 do
+    Obs.Metrics.observe h 1000
+  done;
+  Obs.Metrics.observe h 1_000_000;
+  let s = Obs.Metrics.summarize h in
+  Alcotest.(check int) "count" 1000 s.Obs.Metrics.s_count;
+  Alcotest.(check bool) "p99 in the fast bucket" true (s.Obs.Metrics.s_p99 <= 15.0);
+  Alcotest.(check bool) "p999 above p99" true
+    (s.Obs.Metrics.s_p999 > s.Obs.Metrics.s_p99);
+  Alcotest.(check bool) "p999 inside the 1000s bucket" true
+    (s.Obs.Metrics.s_p999 >= 512.0 && s.Obs.Metrics.s_p999 <= 1023.0);
+  Alcotest.(check bool) "p999 is not the outlier max" true
+    (s.Obs.Metrics.s_p999 < float_of_int s.Obs.Metrics.s_max)
+
+(* --- shard/tracee lanes on events ------------------------------------- *)
+
+let test_event_lane_roundtrip () =
+  let r = Obs.Recorder.create ~tracing:true () in
+  let _ =
+    D.run ~recorder:r (D.nginx ~params:Workloads.Nginx_model.small ()) D.Bastion_full
+  in
+  match Obs.Recorder.trap_events r with
+  | [] -> Alcotest.fail "no trap events recorded"
+  | ev :: _ -> (
+    (* Solo runs keep lane 0/0, and zero lanes are not emitted: the
+       audit-log byte format predating lanes is preserved. *)
+    Alcotest.(check int) "solo shard lane" 0 ev.Obs.Event.ev_shard;
+    Alcotest.(check int) "solo tracee lane" 0 ev.Obs.Event.ev_tracee;
+    Alcotest.(check bool) "zero lanes stay off the wire" true
+      (J.member "shard" (Obs.Event.to_json ev) = None
+      && J.member "tracee" (Obs.Event.to_json ev) = None);
+    (match Obs.Event.of_json (Obs.Event.to_json ev) with
+    | Error e -> Alcotest.fail e
+    | Ok ev' ->
+      Alcotest.(check int) "lane-less record parses as lane 0" 0
+        ev'.Obs.Event.ev_shard);
+    let tagged = { ev with Obs.Event.ev_shard = 3; ev_tracee = 17 } in
+    let json = Obs.Event.to_json tagged in
+    Alcotest.(check bool) "nonzero lanes emitted" true
+      (J.member "shard" json <> None && J.member "tracee" json <> None);
+    match Obs.Event.of_json json with
+    | Error e -> Alcotest.fail e
+    | Ok ev' ->
+      Alcotest.(check int) "shard survives the round trip" 3
+        ev'.Obs.Event.ev_shard;
+      Alcotest.(check int) "tracee survives the round trip" 17
+        ev'.Obs.Event.ev_tracee)
+
+(* --- time-series emitter ---------------------------------------------- *)
+
+let test_timeseries_of_events () =
+  let r = Obs.Recorder.create ~tracing:true () in
+  let _ =
+    D.run ~recorder:r (D.sqlite ~params:Workloads.Sqlite_model.small ()) D.Bastion_full
+  in
+  let events = Obs.Recorder.trap_events r in
+  Alcotest.(check bool) "workload recorded traps" true (events <> []);
+  let rows = Obs.Timeseries.of_events ~interval:50_000 events in
+  let traps =
+    List.fold_left
+      (fun acc row ->
+        acc + int_of_float (List.assoc "traps" row.Obs.Timeseries.r_fields))
+      0 rows
+  in
+  Alcotest.(check int) "every trap lands in exactly one window"
+    (List.length events) traps;
+  let ts = List.map (fun row -> row.Obs.Timeseries.r_t) rows in
+  Alcotest.(check bool) "rows in time order" true (List.sort compare ts = ts);
+  let path = Filename.temp_file "bastion_stats" ".jsonl" in
+  Obs.Timeseries.write_jsonl rows path;
+  (match Obs.Timeseries.read path with
+  | Error e -> Alcotest.fail e
+  | Ok (_header, rows') ->
+    Alcotest.(check int) "JSONL round-trips every row" (List.length rows)
+      (List.length rows'));
+  Sys.remove path
+
 (* --- monitor stats accessors ------------------------------------------ *)
 
 let test_monitor_cache_and_depth_stats () =
@@ -417,6 +505,12 @@ let suites =
       [
         Alcotest.test_case "counters and probes" `Quick test_counters_and_probes;
         Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+        Alcotest.test_case "p99.9 interpolates inside the tail bucket" `Quick
+          test_p999_heavy_tail;
+        Alcotest.test_case "event lanes round-trip, zero lanes sparse" `Slow
+          test_event_lane_roundtrip;
+        Alcotest.test_case "time-series emitter buckets the trap stream" `Slow
+          test_timeseries_of_events;
         QCheck_alcotest.to_alcotest prop_percentiles_monotone_bounded;
       ] );
     ( "obs-monitor-stats",
