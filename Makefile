@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench bench-prefilter bench-fleet trace-demo golden replay-golden clean
+.PHONY: all build test lint check bench bench-prefilter bench-static bench-fleet trace-demo golden replay-golden clean
 
 all: build
 
@@ -26,6 +26,11 @@ bench:
 # three workloads plus the per-attack tier split (EXPERIMENTS.md).
 bench-prefilter:
 	dune exec bench/main.exe -- --json-prefilter BENCH_prefilter.json
+
+# The static pre-resolution artifact: off / rank-only / full ablation
+# with the SCCP + taint slot breakdown per workload (EXPERIMENTS.md).
+bench-static:
+	dune exec bench/main.exe -- --json-static BENCH_static_pre_resolution.json
 
 # The fleet telemetry artifact: tail latency vs offered load over a
 # heterogeneous 64-tracee fleet on the sharded pool (EXPERIMENTS.md).

@@ -1,29 +1,47 @@
-(* The constant-argument pre-resolution ablation
+(* The static pre-resolution ablation
    (`bench/main.exe --json-static PATH`): full BASTION per app, trap
-   cache on, with pre-resolution off and on.  The off-configuration
-   numbers must be byte-identical to the corresponding
-   BENCH_trap_fastpath.json records — pre-resolution only ever REPLACES
-   shadow probes, it never changes what a run executes.  The on-record
-   adds the count of AI slots verified against the static constant. *)
+   cache on, in three configurations —
+
+     off          no static results at all
+     rank-only    pre-resolution on but the taint cheap path disabled
+                  (plain/ctx/dead records active, rank-untainted slots
+                  still pay the full binding+shadow check)
+     full         everything on, untainted slots verified by the
+                  single-probe cheap path
+
+   The off-configuration numbers must be byte-identical to the
+   corresponding BENCH_trap_fastpath.json records — static results only
+   ever REPLACE shadow probes, they never change what a run executes.
+   The on-records add the per-mechanism hit counters and the slot
+   breakdown (plain / per-context / dead-site) with taint-rank counts;
+   a tainted slot is never pre-resolved, which the emitting code
+   asserts. *)
 
 module D = Workloads.Drivers
+module P = Bastion_analysis.Preresolve
 module J = Report.Json
 
-let record ~(app : D.app) ~(baseline : D.measurement) ~pre_resolve
-    (m : D.measurement) : J.t =
+let record ~(app : D.app) ~(baseline : D.measurement) ~config
+    ~(pre_resolve : bool) (m : D.measurement) : J.t =
   let preres_fields =
     match m.D.m_monitor with
     | None -> []
     | Some monitor ->
+      let ai_tainted, ai_untainted = Bastion.Monitor.ai_rank_stats monitor in
       [
         ( "pre_resolved_hits",
           J.Num (float_of_int (Bastion.Monitor.pre_resolved_hits monitor)) );
+        ( "ctx_resolved_hits",
+          J.Num (float_of_int (Bastion.Monitor.ctx_resolved_hits monitor)) );
+        ("ai_tainted_checks", J.Num (float_of_int ai_tainted));
+        ("ai_untainted_checks", J.Num (float_of_int ai_untainted));
       ]
   in
   J.Obj
     ([
        ("app", J.Str app.D.app_name);
        ("defense", J.Str (D.defense_name m.D.m_defense));
+       ("config", J.Str config);
        ("pre_resolve", J.Bool pre_resolve);
        ("metric", J.Num m.D.m_metric);
        ("metric_name", J.Str app.D.metric_name);
@@ -37,9 +55,44 @@ let record ~(app : D.app) ~(baseline : D.measurement) ~pre_resolve
      ]
     @ preres_fields)
 
-let resolved_slots (app : D.app) =
-  Bastion_analysis.Preresolve.resolved_slots
-    (D.protected_of ~pre_resolve:true app ~fs:false)
+let enriched (app : D.app) = D.protected_of ~pre_resolve:true app ~fs:false
+
+(* The taint veto, recorded in the artifact (CI asserts it is zero): a
+   slot ranked tainted must appear in no pre-resolution table. *)
+let tainted_pre_resolved (p : Bastion.Api.protected) : int =
+  Hashtbl.fold
+    (fun id ranks acc ->
+      acc
+      + List.length
+          (List.filter
+             (fun ((pos, tainted) : int * bool) ->
+               tainted
+               && ((match Hashtbl.find_opt p.Bastion.Api.pre_resolved id with
+                   | Some l -> List.mem_assoc pos l
+                   | None -> false)
+                  ||
+                  match Hashtbl.find_opt p.Bastion.Api.pre_resolved_ctx id with
+                  | Some l ->
+                    List.exists
+                      (fun ((q, _, _) : int * int * int64) -> q = pos)
+                      l
+                  | None -> false))
+             ranks))
+    p.Bastion.Api.slot_ranks 0
+
+let slots_json (app : D.app) : J.t =
+  let p = enriched app in
+  let b = P.breakdown p in
+  J.Obj
+    [
+      ("resolved", J.Num (float_of_int (P.resolved_slots p)));
+      ("plain", J.Num (float_of_int b.P.bk_plain));
+      ("per_context", J.Num (float_of_int b.P.bk_ctx));
+      ("dead_site", J.Num (float_of_int b.P.bk_dead));
+      ("ranked_tainted", J.Num (float_of_int b.P.bk_tainted));
+      ("ranked_untainted", J.Num (float_of_int b.P.bk_untainted));
+      ("tainted_pre_resolved", J.Num (float_of_int (tainted_pre_resolved p)));
+    ]
 
 let document () : J.t =
   let apps = [ D.nginx (); D.sqlite (); D.vsftpd () ] in
@@ -47,29 +100,30 @@ let document () : J.t =
     List.concat_map
       (fun (app : D.app) ->
         let baseline = D.run app D.Vanilla in
-        List.map
-          (fun pre_resolve ->
-            record ~app ~baseline ~pre_resolve
-              (D.run ~pre_resolve app D.Bastion_full))
-          [ false; true ])
+        [
+          record ~app ~baseline ~config:"off" ~pre_resolve:false
+            (D.run app D.Bastion_full);
+          record ~app ~baseline ~config:"rank-only" ~pre_resolve:true
+            (D.run ~pre_resolve:true ~taint_cheap_path:false app D.Bastion_full);
+          record ~app ~baseline ~config:"full" ~pre_resolve:true
+            (D.run ~pre_resolve:true app D.Bastion_full);
+        ])
       apps
   in
   let slots =
-    J.Obj
-      (List.map
-         (fun (app : D.app) ->
-           (app.D.app_name, J.Num (float_of_int (resolved_slots app))))
-         apps)
+    J.Obj (List.map (fun (app : D.app) -> (app.D.app_name, slots_json app)) apps)
   in
   J.Obj
     [
-      ("schema", J.Str "bastion-bench-static/1");
+      ("schema", J.Str "bastion-bench-static/2");
       ( "note",
         J.Str
-          "constant-argument pre-resolution ablation: full BASTION, trap \
-           cache on; pre_resolve toggles static verification of \
-           provably-constant AI slots (the off-records match \
-           BENCH_trap_fastpath.json)" );
+          "static pre-resolution ablation: full BASTION, trap cache on; \
+           'off' has no static results (records match \
+           BENCH_trap_fastpath.json), 'rank-only' adds plain/per-context/\
+           dead-site pre-resolution with the taint cheap path disabled, \
+           'full' also verifies rank-untainted slots through the \
+           single-probe cheap path; tainted slots are never pre-resolved" );
       ("pre_resolved_slots", slots);
       ("results", J.List results);
     ]
@@ -81,22 +135,29 @@ let emit path =
 
 (* Printed section (`bench/main.exe static`). *)
 let run () =
-  print_endline "Constant-argument pre-resolution (static analysis ablation)";
-  print_endline "-----------------------------------------------------------";
+  print_endline "Static pre-resolution (SCCP + taint ablation)";
+  print_endline "---------------------------------------------";
   let apps = [ D.nginx (); D.sqlite (); D.vsftpd () ] in
   List.iter
     (fun (app : D.app) ->
+      let p = enriched app in
+      let b = P.breakdown p in
       let off = D.run app D.Bastion_full in
       let on = D.run ~pre_resolve:true app D.Bastion_full in
-      let hits =
+      let hits, ctx_hits, untainted =
         match on.D.m_monitor with
-        | Some m -> Bastion.Monitor.pre_resolved_hits m
-        | None -> 0
+        | Some m ->
+          ( Bastion.Monitor.pre_resolved_hits m,
+            Bastion.Monitor.ctx_resolved_hits m,
+            snd (Bastion.Monitor.ai_rank_stats m) )
+        | None -> (0, 0, 0)
       in
       Printf.printf
-        "  %-8s slots=%d  cycles off=%d on=%d  saved=%d  static AI hits=%d\n"
-        app.D.app_name (resolved_slots app) off.D.m_cycles on.D.m_cycles
+        "  %-8s slots=%d (plain=%d ctx=%d dead=%d) ranks t/u=%d/%d  cycles \
+         off=%d on=%d saved=%d  hits=%d ctx=%d cheap=%d\n"
+        app.D.app_name (P.resolved_slots p) b.P.bk_plain b.P.bk_ctx b.P.bk_dead
+        b.P.bk_tainted b.P.bk_untainted off.D.m_cycles on.D.m_cycles
         (off.D.m_cycles - on.D.m_cycles)
-        hits)
+        hits ctx_hits untainted)
     apps;
   print_newline ()

@@ -17,7 +17,8 @@
 
      bastion lint --app nginx [--fs] [--pre-resolve]
          run the metadata-soundness linter over an application model;
-         exits non-zero if any diagnostic fires
+         exits non-zero if any error-severity diagnostic fires
+         (warnings are printed but never fail the run)
 
      bastion trace-summary FILE
          summarise a Chrome-trace file written by `bastion run --trace`
@@ -108,12 +109,20 @@ let analyze verbose app fs dump_ir emit_metadata =
           (if ct.indirectly then "indirect" else ""))
     Kernel.Syscalls.table;
   let diags = Bastion_analysis.Lint.check protected_prog in
+  let errs = Bastion_analysis.Lint.errors diags in
   let enriched = Bastion_analysis.Preresolve.enrich protected_prog in
+  let bk = Bastion_analysis.Preresolve.breakdown enriched in
   print_endline "\nStatic soundness:";
-  Printf.printf "  linter diagnostics        : %d\n" (List.length diags);
-  Printf.printf "  pre-resolvable AI slots   : %d (over %d callsites)\n"
+  Printf.printf "  linter errors / warnings  : %d / %d\n" (List.length errs)
+    (List.length diags - List.length errs);
+  Printf.printf
+    "  pre-resolvable AI slots   : %d (plain %d, per-context %d, dead-site %d)\n"
     (Bastion_analysis.Preresolve.resolved_slots enriched)
-    (Hashtbl.length enriched.pre_resolved);
+    bk.Bastion_analysis.Preresolve.bk_plain bk.Bastion_analysis.Preresolve.bk_ctx
+    bk.Bastion_analysis.Preresolve.bk_dead;
+  Printf.printf "  remaining slots by taint  : %d tainted, %d untainted\n"
+    bk.Bastion_analysis.Preresolve.bk_tainted
+    bk.Bastion_analysis.Preresolve.bk_untainted;
   `Ok ()
 
 let analyze_cmd =
@@ -142,20 +151,24 @@ let lint verbose app fs pre_resolve =
     if pre_resolve then Bastion_analysis.Preresolve.enrich protected_prog
     else protected_prog
   in
-  match Bastion_analysis.Lint.check protected_prog with
+  let diags = Bastion_analysis.Lint.check protected_prog in
+  List.iter
+    (fun (d : Bastion_analysis.Lint.diag) ->
+      Format.printf "%s: %a@."
+        (Bastion_analysis.Lint.severity_name d.d_sev)
+        Bastion_analysis.Lint.pp_diag d)
+    diags;
+  match Bastion_analysis.Lint.errors diags with
   | [] ->
-    Printf.printf "%s%s: metadata sound, 0 diagnostics\n" app
-      (if fs then " (+ filesystem syscalls)" else "");
+    Printf.printf "%s%s: metadata sound, %d error(s), %d warning(s)\n" app
+      (if fs then " (+ filesystem syscalls)" else "")
+      0 (List.length diags);
     `Ok ()
-  | diags ->
-    List.iter
-      (fun d -> Format.printf "%a@." Bastion_analysis.Lint.pp_diag d)
-      diags;
+  | errs ->
     `Error
       ( false,
-        Printf.sprintf "%d metadata-soundness diagnostic%s for %s"
-          (List.length diags)
-          (if List.length diags = 1 then "" else "s")
+        Printf.sprintf "%d metadata-soundness error%s for %s" (List.length errs)
+          (if List.length errs = 1 then "" else "s")
           app )
 
 let lint_cmd =
@@ -175,7 +188,7 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Cross-check the emitted metadata against the program (exit \
-             non-zero on any diagnostic)")
+             non-zero on any error-severity diagnostic; warnings only print)")
     Term.(ret (const lint $ verbose_arg $ app_arg $ fs $ pre_resolve))
 
 (* --- run -------------------------------------------------------------- *)
@@ -308,7 +321,7 @@ let run_workload verbose app scale defense no_trap_cache pre_resolve
   Printf.printf "%s under %s%s%s%s\n" a.app_name
     (Workloads.Drivers.defense_name defense)
     (if no_trap_cache then " (trap verdict cache off)" else "")
-    (if pre_resolve then " (constant arguments pre-resolved)" else "")
+    (if pre_resolve then " (AI slots statically pre-resolved)" else "")
     (if no_prefilter then " (syscall-flow pre-filter off)" else "");
   Printf.printf "  metric    : %.2f %s (baseline %.2f)\n" m.m_metric a.metric_name
     baseline.m_metric;
@@ -325,9 +338,17 @@ let run_workload verbose app scale defense no_trap_cache pre_resolve
     let hits, misses, rate = Bastion.Monitor.cache_stats monitor in
     Printf.printf "  trap cache: %d hits, %d misses (%.1f%% hit rate)\n" hits misses
       (rate *. 100.0);
-    if pre_resolve then
-      Printf.printf "  AI slots verified statically: %d\n"
-        (Bastion.Monitor.pre_resolved_hits monitor);
+    if pre_resolve then begin
+      let ai_tainted, ai_untainted = Bastion.Monitor.ai_rank_stats monitor in
+      Printf.printf
+        "  AI slots verified statically: %d plain, %d per-context\n"
+        (Bastion.Monitor.pre_resolved_hits monitor)
+        (Bastion.Monitor.ctx_resolved_hits monitor);
+      Printf.printf
+        "  ranked slot checks: %d untainted (cheap path), %d tainted (full \
+         path)\n"
+        ai_untainted ai_tainted
+    end;
     (* Per-tier resolution: how much of the trap stream the cheap
        seccomp-stage tier absorbed before the full monitor saw it. *)
     match Bastion.Monitor.prefilter monitor with

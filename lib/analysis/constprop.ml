@@ -276,5 +276,13 @@ let frozen_global (t : t) g = Hashtbl.find_opt t.cp_frozen g
 (** Was the function reached (analysed) at all? *)
 let reached (t : t) fname = Hashtbl.mem t.cp_results fname
 
+(** Was the program point reached along any analysed path?  [false]
+    both for unanalysed functions and for blocks every incoming edge of
+    which was folded away by a constant condition. *)
+let site_reached (t : t) (loc : Sil.Loc.t) : bool =
+  match Hashtbl.find_opt t.cp_results loc.func with
+  | None -> false
+  | Some res -> Df.before res loc <> None
+
 (** Per-function parameter summary, when the function was reached. *)
 let summary (t : t) fname = Hashtbl.find_opt t.cp_summaries fname

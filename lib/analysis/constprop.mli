@@ -30,5 +30,10 @@ val frozen_global : t -> string -> int64 option
 (** Was the function reached (analysed) at all? *)
 val reached : t -> string -> bool
 
+(** Was the program point reached along any analysed path?  [false]
+    both for unanalysed functions and for blocks whose every incoming
+    edge was folded away by a constant branch condition. *)
+val site_reached : t -> Sil.Loc.t -> bool
+
 (** Per-function parameter summary, when the function was reached. *)
 val summary : t -> string -> value array option

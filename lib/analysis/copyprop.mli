@@ -1,0 +1,39 @@
+(** Interprocedural copy/value propagation over the pre-filter's
+    argument facts — the value engine behind {!Flowgraph}'s seccomp-stage
+    argument classification and the copy-fed half of {!Sccp}.
+
+    A variable's fact is the join over every definition and every
+    reachable caller's matching argument (flow-insensitive, demand
+    driven, memoised): a finite set of benign constants, a
+    kernel-derived dynamic value, or an opaque memory-dependent value.
+    Joins over-approximate the benign values, so an emitted check never
+    kills a benign run — and a singleton [Fact_set [c]] means every
+    analysed producer of the value agrees on the constant [c]. *)
+
+type fact = Defenses.Flow_prefilter.arg_fact =
+  | Fact_set of int64 list
+  | Fact_free
+  | Fact_opaque
+
+(** Constant sets larger than this collapse to [Fact_opaque]. *)
+val set_cap : int
+
+(** The fact-lattice join (opaque absorbs, free beats sets, sets union
+    capped at {!set_cap}). *)
+val join : fact -> fact -> fact
+
+type t
+
+(** Index the reachable app functions and their callsite arguments.
+    Evaluation is demand-driven; the returned handle memoises. *)
+val analyze : Sil.Prog.t -> t
+
+(** Is [fname] a reachable app function (from the program entry,
+    through direct calls and arity-matching indirect candidates)? *)
+val reachable : t -> string -> bool
+
+(** The fact of an operand evaluated in function [fname]. *)
+val fact_of_operand : t -> string -> Sil.Operand.t -> fact
+
+(** Per-position facts of the call at [loc]; empty for non-calls. *)
+val facts_of_call : t -> Sil.Loc.t -> (int * fact) list

@@ -216,181 +216,65 @@ let extract (p : Bastion.Api.protected) : Defenses.Flow_prefilter.spec =
         end)
       funcs
   done;
-  (* --- interprocedural argument value analysis ----------------------- *)
-  (* Classifies each argument of a sensitive callsite for the seccomp
-     stage: a finite set of benign constants (register-checkable), a
-     kernel-derived dynamic value (syscall results flowing through
-     locals and parameters only), or an opaque memory-dependent value
-     (loads, globals, indirect results) that only the full monitor's
-     shadow check can judge.  Joins over-approximate the benign values,
-     so an emitted check never kills a benign run. *)
-  let set_cap = 16 in
-  let join a b =
-    match (a, b) with
-    | Defenses.Flow_prefilter.Fact_opaque, _ | _, Defenses.Flow_prefilter.Fact_opaque ->
-      Defenses.Flow_prefilter.Fact_opaque
-    | Defenses.Flow_prefilter.Fact_free, _ | _, Defenses.Flow_prefilter.Fact_free ->
-      Defenses.Flow_prefilter.Fact_free
-    | Defenses.Flow_prefilter.Fact_set xs, Defenses.Flow_prefilter.Fact_set ys ->
-      let u = List.sort_uniq Int64.compare (List.rev_append xs ys) in
-      if List.length u > set_cap then Defenses.Flow_prefilter.Fact_opaque
-      else Defenses.Flow_prefilter.Fact_set u
-  in
-  let is_stub fname =
-    match Hashtbl.find_opt prog.funcs fname with
-    | Some f -> Sil.Func.is_syscall_stub f
-    | None -> false
-  in
-  (* Direct/indirect callsite argument index over the reachable app
-     functions (the only callers that can benignly execute). *)
-  let direct_args : (string, (string * Sil.Operand.t list) list) Hashtbl.t =
+  (* --- seccomp-stage argument facts ---------------------------------- *)
+  (* The flow-insensitive value engine lives in {!Copyprop} (one
+     implementation, shared with the {!Sccp} refinement).  On top of the
+     copy facts we layer the sparse-conditional upgrade: a register
+     argument whose binding {!Sccp} proves a single benign constant in
+     the original program becomes a checkable singleton even where the
+     flow-insensitive join gave up.  Only [Arg_rules.Direct] positions
+     qualify — for pointer arguments the register carries an address,
+     not the value the binding describes.  Benign completeness is
+     preserved: [Known c] means the argument is [c] on every benign
+     execution reaching the site, so the emitted equality check never
+     fires on a benign run (and in tiered mode a mismatch only falls
+     through to the full monitor). *)
+  let copyprop = Copyprop.analyze prog in
+  let sccp = lazy (Sccp.analyze p.original) in
+  let meta_by_loc : (Sil.Loc.t, Bastion.Instrument.callsite_meta) Hashtbl.t =
     Hashtbl.create 32
   in
-  let indirect_args : (int, (string * Sil.Operand.t list) list) Hashtbl.t =
-    Hashtbl.create 8
+  List.iter
+    (fun (cm : Bastion.Instrument.callsite_meta) ->
+      Hashtbl.replace meta_by_loc cm.cm_loc cm)
+    p.inst.callsites;
+  let sccp_constant (loc : Sil.Loc.t) ~(sysno : int) ~(pos : int) : int64 option =
+    match Bastion.Arg_rules.kind ~sysno ~pos with
+    | Bastion.Arg_rules.Sockaddr | Bastion.Arg_rules.Extended -> None
+    | Bastion.Arg_rules.Direct -> (
+      match Hashtbl.find_opt meta_by_loc loc with
+      | None -> None
+      | Some cm -> (
+        match List.assoc_opt pos cm.cm_specs with
+        | Some (Bastion.Arg_analysis.Bind_var v) -> (
+          match
+            Sccp.value_of_operand (Lazy.force sccp) cm.cm_orig (Sil.Operand.Var v)
+          with
+          | Sccp.Known c -> Some c
+          | Sccp.Top -> None)
+        | Some (Bastion.Arg_analysis.Bind_global g) ->
+          Sccp.frozen_global (Lazy.force sccp) g
+        | Some
+            ( Bastion.Arg_analysis.Bind_const _ | Bastion.Arg_analysis.Bind_cstr _
+            | Bastion.Arg_analysis.Bind_faddr _ )
+        | None -> None))
   in
-  Hashtbl.iter
-    (fun fname _ ->
-      let f = Hashtbl.find prog.funcs fname in
-      let reach = Sil.Cfg.reachable_blocks f in
-      List.iter
-        (fun (b : Sil.Func.block) ->
-          if Sil.Cfg.Sset.mem b.label reach then
-            Array.iter
-              (fun (ins : Sil.Instr.t) ->
-                match ins with
-                | Sil.Instr.Call { target = Sil.Instr.Direct g; args; _ }
-                  when is_app g ->
-                  let cur = Option.value ~default:[] (Hashtbl.find_opt direct_args g) in
-                  Hashtbl.replace direct_args g ((fname, args) :: cur)
-                | Sil.Instr.Call { target = Sil.Instr.Indirect _; args; _ } ->
-                  let n = List.length args in
-                  let cur = Option.value ~default:[] (Hashtbl.find_opt indirect_args n) in
-                  Hashtbl.replace indirect_args n ((fname, args) :: cur)
-                | Sil.Instr.Call _ | Sil.Instr.Assign _ | Sil.Instr.Store _ -> ())
-              b.instrs)
-        f.blocks)
-    funcs;
-  let memo : (string, Defenses.Flow_prefilter.arg_fact) Hashtbl.t = Hashtbl.create 64 in
-  let rec eval_operand fname (op : Sil.Operand.t) stack =
-    match op with
-    | Sil.Operand.Const c -> Defenses.Flow_prefilter.Fact_set [ c ]
-    | Sil.Operand.Null -> Defenses.Flow_prefilter.Fact_set [ 0L ]
-    | Sil.Operand.Var v -> eval_var fname v stack
-    | Sil.Operand.Cstr _ | Sil.Operand.Global _ | Sil.Operand.Func_addr _ ->
-      Defenses.Flow_prefilter.Fact_opaque
-  and eval_rvalue fname (rv : Sil.Instr.rvalue) stack =
-    match rv with
-    | Sil.Instr.Use op -> eval_operand fname op stack
-    | Sil.Instr.Load _ | Sil.Instr.Addr_of _ -> Defenses.Flow_prefilter.Fact_opaque
-    | Sil.Instr.Binop (bop, a, b) -> (
-      match (eval_operand fname a stack, eval_operand fname b stack) with
-      | Defenses.Flow_prefilter.Fact_opaque, _ | _, Defenses.Flow_prefilter.Fact_opaque ->
-        Defenses.Flow_prefilter.Fact_opaque
-      | Defenses.Flow_prefilter.Fact_set xs, Defenses.Flow_prefilter.Fact_set ys ->
-        let u =
-          List.concat_map (fun x -> List.map (Sil.Instr.eval_binop bop x) ys) xs
-          |> List.sort_uniq Int64.compare
-        in
-        if List.length u > set_cap then Defenses.Flow_prefilter.Fact_opaque
-        else Defenses.Flow_prefilter.Fact_set u
-      | _, _ -> Defenses.Flow_prefilter.Fact_free)
-  and eval_return gname stack =
-    if not (Hashtbl.mem funcs gname) then Defenses.Flow_prefilter.Fact_opaque
-    else begin
-      let key = "r:" ^ gname in
-      match Hashtbl.find_opt memo key with
-      | Some f -> f
-      | None ->
-        if List.mem key stack then Defenses.Flow_prefilter.Fact_opaque
-        else begin
-          let stack = key :: stack in
-          let g = Hashtbl.find prog.funcs gname in
-          let reach = Sil.Cfg.reachable_blocks g in
-          let facts = ref [] in
-          List.iter
-            (fun (b : Sil.Func.block) ->
-              if Sil.Cfg.Sset.mem b.label reach then
-                match b.term with
-                | Sil.Instr.Ret (Some op) -> facts := eval_operand gname op stack :: !facts
-                | Sil.Instr.Ret None | Sil.Instr.Halt | Sil.Instr.Jump _
-                | Sil.Instr.Branch _ -> ())
-            g.blocks;
-          let r =
-            match !facts with
-            | [] -> Defenses.Flow_prefilter.Fact_opaque
-            | f :: rest -> List.fold_left join f rest
-          in
-          Hashtbl.replace memo key r;
-          r
-        end
-    end
-  and eval_var fname (v : Sil.Operand.var) stack =
-    let key = Printf.sprintf "v:%s:%d" fname v.vid in
-    match Hashtbl.find_opt memo key with
-    | Some f -> f
-    | None ->
-      if List.mem key stack then Defenses.Flow_prefilter.Fact_opaque
-      else begin
-        let stack = key :: stack in
-        let f = Hashtbl.find prog.funcs fname in
-        let facts = ref [] in
-        List.iter
-          (fun ((_, ins) : Sil.Loc.t * Sil.Instr.t) ->
-            match ins with
-            | Sil.Instr.Assign (d, rv) when d.vid = v.vid ->
-              facts := eval_rvalue fname rv stack :: !facts
-            | Sil.Instr.Call { dst = Some d; target; _ } when d.vid = v.vid -> (
-              match target with
-              | Sil.Instr.Direct g ->
-                if is_stub g then
-                  (* A syscall result: kernel-derived, not forgeable
-                     through tracee memory writes. *)
-                  facts := Defenses.Flow_prefilter.Fact_free :: !facts
-                else if is_app g then facts := eval_return g stack :: !facts
-                else facts := Defenses.Flow_prefilter.Fact_opaque :: !facts
-              | Sil.Instr.Indirect _ ->
-                facts := Defenses.Flow_prefilter.Fact_opaque :: !facts)
-            | Sil.Instr.Assign _ | Sil.Instr.Call _ | Sil.Instr.Store _ -> ())
-          (Sil.Func.instrs f);
-        (* Parameter inflow: join the matching argument of every
-           reachable callsite (direct, plus indirect when the function
-           is address-taken with matching arity). *)
-        (match
-           List.find_index
-             (fun ((p, _) : Sil.Operand.var * _) -> p.vid = v.vid)
-             f.params
-         with
-        | None -> ()
-        | Some i ->
-          let arity = List.length f.params in
-          let callers =
-            Option.value ~default:[] (Hashtbl.find_opt direct_args fname)
-            @
-            if Sil.Callgraph.Sset.mem fname cg.address_taken then
-              Option.value ~default:[] (Hashtbl.find_opt indirect_args arity)
-            else []
-          in
-          List.iter
-            (fun (caller, args) ->
-              match List.nth_opt args i with
-              | Some op -> facts := eval_operand caller op stack :: !facts
-              | None -> facts := Defenses.Flow_prefilter.Fact_opaque :: !facts)
-            callers);
-        let r =
-          match !facts with
-          | [] -> Defenses.Flow_prefilter.Fact_opaque
-          | f0 :: rest -> List.fold_left join f0 rest
-        in
-        Hashtbl.replace memo key r;
-        r
-      end
-  in
-  let facts_of fname (loc : Sil.Loc.t) =
-    match Sil.Prog.instr_at prog loc with
-    | Sil.Instr.Call { args; _ } ->
-      List.mapi (fun i op -> (i, eval_operand fname op [])) args
-    | Sil.Instr.Assign _ | Sil.Instr.Store _ -> []
+  let facts_of (loc : Sil.Loc.t) (sysno : int option) =
+    let base = Copyprop.facts_of_call copyprop loc in
+    match sysno with
+    | None -> base
+    | Some sysno ->
+      List.map
+        (fun ((pos, f) : int * Defenses.Flow_prefilter.arg_fact) ->
+          match f with
+          | Defenses.Flow_prefilter.Fact_opaque -> (
+            match sccp_constant loc ~sysno ~pos with
+            | Some c -> (pos, Defenses.Flow_prefilter.Fact_set [ c ])
+            | None -> (pos, f))
+          | Defenses.Flow_prefilter.Fact_set _ | Defenses.Flow_prefilter.Fact_free
+            ->
+            (pos, f))
+        base
   in
   (* --- per-item "what traps next inside this function" -------------- *)
   (* after.(j) = (FIRST of the remainder past item j, remainder can
@@ -469,7 +353,7 @@ let extract (p : Bastion.Api.protected) : Defenses.Flow_prefilter.spec =
             in
             nodes :=
               { Defenses.Flow_prefilter.ns_loc = it.it_loc; ns_callee = callee;
-                ns_sysno = it.it_sysno; ns_facts = facts_of fname it.it_loc;
+                ns_sysno = it.it_sysno; ns_facts = facts_of it.it_loc it.it_sysno;
                 ns_succs = succs }
               :: !nodes
           end)

@@ -25,8 +25,12 @@
    - Call types: no address-taken function classified not-callable, no
      directly-called stub without the directly-callable bit — and the
      converse overbreadth directions, which weaken the filter.
-   - Pre-resolution: stored constant-argument results must agree with a
-     fresh constant-propagation run. *)
+   - Static AI results: stored pre-resolution records (plain, per-caller
+     context, dead-site) and taint ranks must agree with a fresh
+     {!Sccp} + {!Taint} run; a tainted slot must never be pre-resolved.
+   - Dead sensitive stores (warning only): a definition of a sensitive
+     variable no later use observes pays shadow-sync traffic for
+     nothing — hygiene, not a soundness hole. *)
 
 module I = Bastion.Instrument
 module A = Bastion.Arg_analysis
@@ -42,6 +46,7 @@ type kind =
   | Not_callable_misclass
   | Overbroad_calltype
   | Stale_pre_resolution
+  | Dead_sensitive_store
 
 let kind_name = function
   | Dead_sensitive_callsite -> "dead-sensitive-callsite"
@@ -54,8 +59,29 @@ let kind_name = function
   | Not_callable_misclass -> "not-callable-misclass"
   | Overbroad_calltype -> "overbroad-calltype"
   | Stale_pre_resolution -> "stale-pre-resolution"
+  | Dead_sensitive_store -> "dead-sensitive-store"
 
-type diag = { d_kind : kind; d_loc : Sil.Loc.t option; d_msg : string }
+type severity = Warning | Error
+
+(* Every soundness invariant is an error; the dead-store check is the
+   one pure-hygiene rule (extra shadow syncs never deny a benign run). *)
+let severity_of = function
+  | Dead_sensitive_store -> Warning
+  | Dead_sensitive_callsite | Dead_flow_node | Broken_cf_chain
+  | Missing_entry_sync | Uncovered_def | Untracked_source | Unbound_argument
+  | Not_callable_misclass | Overbroad_calltype | Stale_pre_resolution ->
+    Error
+
+let severity_name = function Warning -> "warning" | Error -> "error"
+
+type diag = {
+  d_kind : kind;
+  d_sev : severity;
+  d_loc : Sil.Loc.t option;
+  d_msg : string;
+}
+
+let errors (ds : diag list) = List.filter (fun d -> d.d_sev = Error) ds
 
 let pp_diag fmt (d : diag) =
   match d.d_loc with
@@ -133,7 +159,10 @@ let check (p : Bastion.Api.protected) : diag list =
   let diags = ref [] in
   let add ?loc kind fmt =
     Printf.ksprintf
-      (fun msg -> diags := { d_kind = kind; d_loc = loc; d_msg = msg } :: !diags)
+      (fun msg ->
+        diags :=
+          { d_kind = kind; d_sev = severity_of kind; d_loc = loc; d_msg = msg }
+          :: !diags)
       fmt
   in
   let iprog = p.inst.iprog in
@@ -485,38 +514,64 @@ let check (p : Bastion.Api.protected) : diag list =
           fname)
     p.calltype.indirect_targets;
 
-  (* --- Stored pre-resolution results ------------------------------- *)
-  if Hashtbl.length p.pre_resolved > 0 then begin
-    let cp = Constprop.analyze p.original in
+  (* --- Stored static AI results ------------------------------------ *)
+  (* Plain, per-caller-context and dead-site pre-resolution plus taint
+     ranks, validated against a fresh {!Sccp} + {!Taint} run.  Sccp
+     refines plain constant propagation, so everything the old check
+     accepted stays accepted; the taint cross-check is the veto's
+     enforcement point — a record pre-resolving an attacker-reachable
+     slot is a soundness hole, not a staleness nit. *)
+  let has_static =
+    Hashtbl.length p.pre_resolved > 0
+    || Hashtbl.length p.pre_resolved_ctx > 0
+    || Hashtbl.length p.slot_ranks > 0
+    || Hashtbl.length p.dead_sites > 0
+  in
+  if has_static then begin
+    let sccp = Sccp.analyze p.original in
+    let taint = lazy (Taint.analyze p.original) in
+    let meta_of id =
+      List.find_opt (fun (cm : I.callsite_meta) -> cm.cm_id = id) p.inst.callsites
+    in
+    let slot_tainted (cm : I.callsite_meta) pos =
+      match List.assoc_opt pos cm.cm_specs with
+      | Some (A.Bind_var v) ->
+        Taint.var_tainted_at (Lazy.force taint) cm.cm_orig v
+      | Some (A.Bind_global g) -> Taint.global_tainted (Lazy.force taint) g
+      | Some (A.Bind_const _ | A.Bind_cstr _ | A.Bind_faddr _) | None -> false
+    in
     Hashtbl.iter
       (fun id pres ->
-        match
-          List.find_opt (fun (cm : I.callsite_meta) -> cm.cm_id = id) p.inst.callsites
-        with
+        match meta_of id with
         | None ->
           add Stale_pre_resolution "pre-resolved entry for unknown callsite id %d" id
         | Some cm ->
           List.iter
             (fun ((pos, c) : int * int64) ->
               let stale fmt = add ~loc:cm.cm_orig Stale_pre_resolution fmt in
+              if slot_tainted cm pos then
+                stale
+                  "position %d of %s is pre-resolved but carries user-controlled \
+                   data (the taint veto must keep it on the full path)"
+                  pos cm.cm_callee;
               match List.assoc_opt pos cm.cm_specs with
               | None -> stale "pre-resolved position %d of %s has no binding" pos
                           cm.cm_callee
               | Some (A.Bind_var v) -> (
-                match Constprop.value_of_operand cp cm.cm_orig (Var v) with
-                | Constprop.Known c' when Int64.equal c c' -> ()
-                | Constprop.Known c' ->
+                match Sccp.value_of_operand sccp cm.cm_orig (Var v) with
+                | Sccp.Known c' when Int64.equal c c' -> ()
+                | Sccp.Known c' ->
                   stale
                     "pre-resolved constant %Ld for position %d of %s disagrees \
                      with the analysis (%Ld)"
                     c pos cm.cm_callee c'
-                | Constprop.Top ->
+                | Sccp.Top ->
                   stale
                     "position %d of %s is pre-resolved to %Ld but is not provably \
                      constant"
                     pos cm.cm_callee c)
               | Some (A.Bind_global g) -> (
-                match Constprop.frozen_global cp g with
+                match Sccp.frozen_global sccp g with
                 | Some c' when Int64.equal c c' -> ()
                 | Some _ | None ->
                   stale
@@ -529,14 +584,192 @@ let check (p : Bastion.Api.protected) : diag list =
                    constant spec"
                   pos cm.cm_callee)
             pres)
-      p.pre_resolved
+      p.pre_resolved;
+    (* Context records: the binding variable must still be the wrapper's
+       untouched parameter, the wrapper must not be enterable
+       indirectly, and each recorded caller must still pass the stored
+       constant at a live callsite of its own. *)
+    Hashtbl.iter
+      (fun id triples ->
+        match meta_of id with
+        | None ->
+          add Stale_pre_resolution
+            "context pre-resolved entry for unknown callsite id %d" id
+        | Some cm ->
+          List.iter
+            (fun ((pos, caller_id, c) : int * int * int64) ->
+              let stale fmt = add ~loc:cm.cm_orig Stale_pre_resolution fmt in
+              if slot_tainted cm pos then
+                stale
+                  "position %d of %s is context-pre-resolved but carries \
+                   user-controlled data (the taint veto must keep it on the \
+                   full path)"
+                  pos cm.cm_callee;
+              match List.assoc_opt pos cm.cm_specs with
+              | Some (A.Bind_var v) -> (
+                let fname = cm.cm_orig.func in
+                let param_index =
+                  match Hashtbl.find_opt p.original.funcs fname with
+                  | None -> None
+                  | Some f ->
+                    List.find_index
+                      (fun ((q, _) : Sil.Operand.var * _) -> q.vid = v.vid)
+                      f.params
+                in
+                match param_index with
+                | None ->
+                  stale
+                    "position %d of %s is context-pre-resolved but %s#%d is not \
+                     a parameter of %s"
+                    pos cm.cm_callee v.vname v.vid fname
+                | Some i ->
+                  if Sil.Callgraph.Sset.mem fname p.original_callgraph.address_taken
+                  then
+                    stale
+                      "context pre-resolution of %s, but %s can be entered \
+                       through an indirect call (the caller frame is not \
+                       trustworthy)"
+                      cm.cm_callee fname;
+                  if Sccp.var_address_taken sccp ~fname ~vid:v.vid then
+                    stale
+                      "context pre-resolution over %s#%d, whose address is taken"
+                      v.vname v.vid;
+                  if not (Sccp.only_entry_def_reaches sccp cm.cm_orig v) then
+                    stale
+                      "context pre-resolution over %s#%d, which is redefined \
+                       between entry and the callsite"
+                      v.vname v.vid;
+                  (match meta_of caller_id with
+                  | None ->
+                    stale "context caller id %d has no callsite metadata" caller_id
+                  | Some caller_cm -> (
+                    match Sil.Prog.instr_at p.original caller_cm.cm_orig with
+                    | exception Invalid_argument _ ->
+                      stale
+                        "context caller id %d does not point at an instruction \
+                         of the original program"
+                        caller_id
+                    | Sil.Instr.Call { target = Direct callee; args; _ }
+                      when String.equal callee fname -> (
+                      match List.nth_opt args i with
+                      | None ->
+                        stale
+                          "context caller id %d passes no argument at position \
+                           %d of %s"
+                          caller_id i fname
+                      | Some arg -> (
+                        match
+                          Sccp.value_of_operand sccp caller_cm.cm_orig arg
+                        with
+                        | Sccp.Known c' when Int64.equal c c' -> ()
+                        | Sccp.Known c' ->
+                          stale
+                            "context constant %Ld for position %d of %s \
+                             disagrees with caller id %d's argument (%Ld)"
+                            c pos cm.cm_callee caller_id c'
+                        | Sccp.Top ->
+                          stale
+                            "context constant %Ld for position %d of %s, but \
+                             caller id %d's argument is not provably constant"
+                            c pos cm.cm_callee caller_id))
+                    | _ ->
+                      stale
+                        "context caller id %d is not a direct call to %s"
+                        caller_id fname)))
+              | Some (A.Bind_global _ | A.Bind_const _ | A.Bind_cstr _
+                     | A.Bind_faddr _)
+              | None ->
+                stale
+                  "context-pre-resolved position %d of %s has no variable \
+                   binding"
+                  pos cm.cm_callee)
+            triples)
+      p.pre_resolved_ctx;
+    (* Dead-site records: the monitor denies ANY trap at these
+       callsites, so a record over a feasibly-reachable site would kill
+       a benign run — the strictest staleness there is. *)
+    Hashtbl.iter
+      (fun id () ->
+        match meta_of id with
+        | None ->
+          add Stale_pre_resolution "dead-site entry for unknown callsite id %d" id
+        | Some cm ->
+          if not (Sccp.site_dead sccp cm.cm_orig) then
+            add ~loc:cm.cm_orig Stale_pre_resolution
+              "callsite recorded dead is reachable along a feasible path (a \
+               benign trap here would be denied)")
+      p.dead_sites;
+    (* Taint ranks: a slot marked untainted rides the monitor's
+       single-probe cheap path, so the fresh analysis must agree; and a
+       tainted rank must never coexist with a pre-resolution of the
+       same slot. *)
+    Hashtbl.iter
+      (fun id ranks ->
+        match meta_of id with
+        | None ->
+          add Stale_pre_resolution "slot-rank entry for unknown callsite id %d" id
+        | Some cm ->
+          List.iter
+            (fun ((pos, tainted) : int * bool) ->
+              let stale fmt = add ~loc:cm.cm_orig Stale_pre_resolution fmt in
+              if tainted then begin
+                let plain =
+                  match Hashtbl.find_opt p.pre_resolved id with
+                  | Some l -> List.mem_assoc pos l
+                  | None -> false
+                in
+                let ctx =
+                  match Hashtbl.find_opt p.pre_resolved_ctx id with
+                  | Some l ->
+                    List.exists (fun ((q, _, _) : int * int * int64) -> q = pos) l
+                  | None -> false
+                in
+                if plain || ctx then
+                  stale
+                    "position %d of %s is ranked tainted yet pre-resolved (the \
+                     taint veto is broken)"
+                    pos cm.cm_callee
+              end
+              else if slot_tainted cm pos then
+                stale
+                  "position %d of %s is ranked untainted but carries \
+                   user-controlled data (the cheap path would under-check it)"
+                  pos cm.cm_callee)
+            ranks)
+      p.slot_ranks
   end;
+
+  (* --- Dead sensitive stores (hygiene, warning-level) --------------- *)
+  (* A definition of a sensitive variable that no later use can observe
+     still drags a ctx_write_mem pair through the instrumenter: shadow
+     traffic, metadata bytes and attack surface for a value the program
+     itself has already abandoned.  Never a soundness hole — the shadow
+     merely tracks a dead value — hence the only warning-level rule. *)
+  List.iter
+    (fun (f : Sil.Func.t) ->
+      if is_app f then
+        List.iter
+          (fun (loc : Sil.Loc.t) ->
+            match Sil.Prog.instr_at p.original loc with
+            | exception Invalid_argument _ -> ()
+            | ins -> (
+              match Sil.Instr.def ins with
+              | Some v when A.is_sensitive_local p.analysis f.fname v ->
+                add ~loc Dead_sensitive_store
+                  "store to sensitive %s#%d is never read before being \
+                   clobbered or dropped (its shadow sync buys nothing)"
+                  v.vname v.vid
+              | Some _ | None -> ()))
+          (Liveness.dead_stores (Liveness.compute f)))
+    (Sil.Prog.functions p.original);
 
   List.rev !diags
 
 (* ------------------------------------------------------------------ *)
 (* The library gate                                                    *)
 
+(* Warnings (hygiene) never block [protect ~validate:true]; only a
+   soundness error does. *)
 let register_api_validator () =
   Bastion.Api.set_validator
-    (Some (fun p -> List.map (Format.asprintf "%a" pp_diag) (check p)))
+    (Some (fun p -> List.map (Format.asprintf "%a" pp_diag) (errors (check p))))

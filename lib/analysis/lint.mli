@@ -37,16 +37,34 @@ type kind =
       (** classification too permissive: the filter or the CF
           termination check is weaker than the program requires *)
   | Stale_pre_resolution
-      (** a stored constant-argument result disagrees with a fresh
-          constant-propagation run *)
+      (** a stored static AI record — plain, per-caller-context or
+          dead-site pre-resolution, or a taint rank — disagrees with a
+          fresh {!Sccp} + {!Taint} run; includes any pre-resolution of
+          an attacker-tainted slot *)
+  | Dead_sensitive_store
+      (** warning: a definition of a sensitive variable no later use
+          observes — its shadow sync is pure overhead, never a
+          soundness hole *)
 
 val kind_name : kind -> string
 
+type severity = Warning | Error
+
+(** {!Dead_sensitive_store} is the only warning; every other kind marks
+    a soundness invariant and is an error. *)
+val severity_of : kind -> severity
+
+val severity_name : severity -> string
+
 type diag = {
   d_kind : kind;
+  d_sev : severity;          (** [severity_of d_kind] *)
   d_loc : Sil.Loc.t option;  (** anchor position, when one exists *)
   d_msg : string;
 }
+
+(** The error-severity subset, in order. *)
+val errors : diag list -> diag list
 
 val pp_diag : Format.formatter -> diag -> unit
 
@@ -54,7 +72,8 @@ val pp_diag : Format.formatter -> diag -> unit
 val check : Bastion.Api.protected -> diag list
 
 (** Register {!check} as the validator behind
-    [Bastion.Api.protect ~validate:true]: each diagnostic becomes one
-    rendered message of the raised [Validation_failed].  Idempotent;
-    the workload drivers and the CLI call it at module initialisation. *)
+    [Bastion.Api.protect ~validate:true]: each error-severity
+    diagnostic becomes one rendered message of the raised
+    [Validation_failed] (warnings never block).  Idempotent; the
+    workload drivers and the CLI call it at module initialisation. *)
 val register_api_validator : unit -> unit

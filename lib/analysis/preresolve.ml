@@ -1,40 +1,206 @@
-(* Constant-argument pre-resolution: run interprocedural constant
-   propagation over the ORIGINAL program and record, per instrumented
-   callsite, the argument positions whose value is provably the same
-   constant along every path.  The monitor verifies those AI slots by
-   comparing against the stored constant directly — same denial
-   semantics, no binding-table or shadow-memory probe. *)
+(* Static pre-resolution of AI slots: run the sparse conditional
+   constant analysis ({!Sccp}) and the taint analysis ({!Taint}) over
+   the ORIGINAL program and record, per instrumented callsite, what the
+   monitor can verify without shadow probes:
+
+   - plain pre-resolution: the argument is provably the same constant
+     along every benign path — compare against the stored constant;
+   - context (1-CFA) pre-resolution: the argument is the enclosing
+     wrapper's parameter, unmodified since entry, and every live direct
+     caller passes a provable constant — store one constant per caller
+     callsite, matched at trap time against the caller frame;
+   - dead sites: the callsite is provably unreachable on benign
+     executions — any trap there is denied outright;
+   - taint ranks: every remaining memory slot is ranked by attacker
+     reach; untainted slots verify through the single-probe cheap path.
+
+   The taint veto is unconditional: a slot whose value may carry
+   user-controlled data is never pre-resolved, even if the constant
+   judgement would allow it — the two analyses agreeing is the
+   criterion, not either alone. *)
 
 module I = Bastion.Instrument
 module A = Bastion.Arg_analysis
 
-let resolve_spec cp (cm : I.callsite_meta) ((pos, b) : int * A.binding) :
-    (int * int64) option =
-  match b with
-  | A.Bind_var v -> (
-    match Constprop.value_of_operand cp cm.cm_orig (Sil.Operand.Var v) with
-    | Constprop.Known c -> Some (pos, c)
-    | Constprop.Top -> None)
-  | A.Bind_global g -> (
-    match Constprop.frozen_global cp g with
-    | Some c -> Some (pos, c)
-    | None -> None)
-  (* Constant specs are already verified without a probe. *)
-  | A.Bind_const _ | A.Bind_cstr _ | A.Bind_faddr _ -> None
+(* Per-caller constants for a parameter-bound slot.  The binding
+   variable must be parameter [i] still holding the incoming value
+   (only the entry pseudo-def reaches, address never taken), the
+   wrapper must not be callable indirectly, and every live direct
+   caller must both resolve the matching argument to a constant and
+   carry callsite metadata of its own (the runtime matches the caller
+   frame's metadata entry).  Dead callers are ignored: no benign trap
+   has them on the stack, and an attacker forging one falls back to the
+   full dynamic path. *)
+let resolve_ctx (sccp : Sccp.t) (id_of_orig : (Sil.Loc.t, int) Hashtbl.t)
+    (prog : Sil.Prog.t) (cg : Sil.Callgraph.t) (cm : I.callsite_meta)
+    ~(pos : int) (v : Sil.Operand.var) : (int * int * int64) list option =
+  let fname = cm.cm_orig.func in
+  match Hashtbl.find_opt prog.funcs fname with
+  | None -> None
+  | Some f -> (
+    match
+      List.find_index
+        (fun ((p, _) : Sil.Operand.var * _) -> p.vid = v.vid)
+        f.params
+    with
+    | None -> None
+    | Some i ->
+      if Sil.Callgraph.Sset.mem fname cg.address_taken then None
+      else if Sccp.var_address_taken sccp ~fname ~vid:v.vid then None
+      else if not (Sccp.only_entry_def_reaches sccp cm.cm_orig v) then None
+      else begin
+        let live_callers =
+          List.filter_map
+            (fun ((loc, _dst, target, args) :
+                   Sil.Loc.t * _ * Sil.Instr.call_target * Sil.Operand.t list) ->
+              match target with
+              | Sil.Instr.Direct callee when String.equal callee fname ->
+                if Sccp.site_dead sccp loc then None else Some (loc, args)
+              | Sil.Instr.Direct _ | Sil.Instr.Indirect _ -> None)
+            (Sil.Prog.calls prog)
+        in
+        if live_callers = [] then None
+        else
+          let resolve_one (loc, args) =
+            match List.nth_opt args i with
+            | None -> None
+            | Some arg -> (
+              match Sccp.value_of_operand sccp loc arg with
+              | Sccp.Top -> None
+              | Sccp.Known c -> (
+                match Hashtbl.find_opt id_of_orig loc with
+                | None -> None
+                | Some caller_id -> Some (pos, caller_id, c)))
+          in
+          let resolved = List.map resolve_one live_callers in
+          if List.exists Option.is_none resolved then None
+          else Some (List.filter_map Fun.id resolved)
+      end)
 
+(** Enrich a protected bundle with every static AI judgement.  Returns
+    a fresh record: [protect] results are shared through caches, so the
+    default bundle must never be mutated in place. *)
 let enrich (p : Bastion.Api.protected) : Bastion.Api.protected =
-  let cp = Constprop.analyze p.original in
-  let tbl = Hashtbl.create 16 in
+  let sccp = Sccp.analyze p.original in
+  let taint = Taint.analyze p.original in
+  let id_of_orig = Hashtbl.create 64 in
+  List.iter
+    (fun (cm : I.callsite_meta) ->
+      Hashtbl.replace id_of_orig cm.cm_orig cm.cm_id)
+    p.inst.callsites;
+  let pre = Hashtbl.create 16 in
+  let pre_ctx = Hashtbl.create 16 in
+  let ranks = Hashtbl.create 16 in
+  let dead = Hashtbl.create 16 in
   List.iter
     (fun (cm : I.callsite_meta) ->
       if cm.cm_sysno <> None then
-        match List.filter_map (resolve_spec cp cm) cm.cm_specs with
-        | [] -> ()
-        | resolved -> Hashtbl.replace tbl cm.cm_id resolved)
+        if Sccp.site_dead sccp cm.cm_orig then Hashtbl.replace dead cm.cm_id ()
+        else begin
+          let plain = ref [] in
+          let ctx = ref [] in
+          let ranked = ref [] in
+          List.iter
+            (fun ((pos, b) : int * A.binding) ->
+              match b with
+              | A.Bind_const _ | A.Bind_cstr _ | A.Bind_faddr _ -> ()
+              | A.Bind_var v -> (
+                let tainted = Taint.var_tainted_at taint cm.cm_orig v in
+                let resolved =
+                  (not tainted)
+                  &&
+                  match
+                    Sccp.value_of_operand sccp cm.cm_orig (Sil.Operand.Var v)
+                  with
+                  | Sccp.Known c ->
+                    plain := (pos, c) :: !plain;
+                    true
+                  | Sccp.Top -> false
+                in
+                if not resolved then
+                  match
+                    if tainted then None
+                    else
+                      resolve_ctx sccp id_of_orig p.original
+                        p.original_callgraph cm ~pos v
+                  with
+                  | Some triples -> ctx := triples @ !ctx
+                  | None -> ranked := (pos, tainted) :: !ranked)
+              | A.Bind_global g ->
+                let tainted = Taint.global_tainted taint g in
+                let resolved =
+                  (not tainted)
+                  &&
+                  match Sccp.frozen_global sccp g with
+                  | Some c ->
+                    plain := (pos, c) :: !plain;
+                    true
+                  | None -> false
+                in
+                if not resolved then ranked := (pos, tainted) :: !ranked)
+            cm.cm_specs;
+          if !plain <> [] then Hashtbl.replace pre cm.cm_id (List.rev !plain);
+          if !ctx <> [] then Hashtbl.replace pre_ctx cm.cm_id (List.rev !ctx);
+          if !ranked <> [] then Hashtbl.replace ranks cm.cm_id (List.rev !ranked)
+        end)
     p.inst.callsites;
-  (* Fresh record: [protect] results are shared through caches, so the
-     default bundle must never be mutated in place. *)
-  { p with pre_resolved = tbl }
+  { p with pre_resolved = pre; pre_resolved_ctx = pre_ctx; slot_ranks = ranks;
+    dead_sites = dead }
 
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+type breakdown = {
+  bk_plain : int;     (** slots pre-resolved to one program-wide constant *)
+  bk_ctx : int;       (** slots pre-resolved per calling context *)
+  bk_dead : int;      (** memory slots at provably-dead callsites *)
+  bk_tainted : int;   (** ranked slots that stay on the full path *)
+  bk_untainted : int; (** ranked slots eligible for the cheap path *)
+}
+
+let mem_slot_count (cm : I.callsite_meta) : int =
+  List.length
+    (List.filter
+       (fun ((_, b) : int * A.binding) ->
+         match b with
+         | A.Bind_var _ | A.Bind_global _ -> true
+         | A.Bind_const _ | A.Bind_cstr _ | A.Bind_faddr _ -> false)
+       cm.cm_specs)
+
+let breakdown (p : Bastion.Api.protected) : breakdown =
+  let bk_plain =
+    Hashtbl.fold (fun _ l acc -> acc + List.length l) p.pre_resolved 0
+  in
+  let bk_ctx =
+    (* Context triples are per caller; a slot is one position. *)
+    Hashtbl.fold
+      (fun _ triples acc ->
+        acc
+        + List.length
+            (List.sort_uniq compare
+               (List.map (fun ((pos, _, _) : int * int * int64) -> pos) triples)))
+      p.pre_resolved_ctx 0
+  in
+  let bk_dead =
+    List.fold_left
+      (fun acc (cm : I.callsite_meta) ->
+        if Hashtbl.mem p.dead_sites cm.cm_id then acc + mem_slot_count cm
+        else acc)
+      0 p.inst.callsites
+  in
+  let bk_tainted, bk_untainted =
+    Hashtbl.fold
+      (fun _ l (t, u) ->
+        List.fold_left
+          (fun (t, u) ((_, tainted) : int * bool) ->
+            if tainted then (t + 1, u) else (t, u + 1))
+          (t, u) l)
+      p.slot_ranks (0, 0)
+  in
+  { bk_plain; bk_ctx; bk_dead; bk_tainted; bk_untainted }
+
+(** Memory slots the monitor verifies without any dynamic lookup:
+    plain-constant, per-context and dead-site resolutions together. *)
 let resolved_slots (p : Bastion.Api.protected) : int =
-  Hashtbl.fold (fun _ l acc -> acc + List.length l) p.pre_resolved 0
+  let b = breakdown p in
+  b.bk_plain + b.bk_ctx + b.bk_dead

@@ -1,12 +1,29 @@
-(** Constant-argument pre-resolution: mark the syscall-argument
-    positions whose value is provably constant along all paths (per
-    interprocedural constant propagation over the original program),
-    so the monitor can verify those AI slots against the static
-    constant without a shadow-memory probe. *)
+(** Static pre-resolution of AI slots, driven by {!Sccp} and {!Taint}
+    over the original program: plain constants (verified against the
+    stored value, no probes), per-caller (1-CFA context) constants,
+    provably-dead callsites (any trap there is denied outright) and
+    taint ranks for everything left (untainted slots verify through the
+    monitor's single-probe cheap path).
 
-(** Returns a copy of the bundle with [pre_resolved] populated; the
+    A slot the taint analysis marks attacker-reachable is never
+    pre-resolved, whatever the constant judgement says. *)
+
+(** Returns a copy of the bundle with [pre_resolved],
+    [pre_resolved_ctx], [slot_ranks] and [dead_sites] populated; the
     input (possibly shared through a cache) is never mutated. *)
 val enrich : Bastion.Api.protected -> Bastion.Api.protected
 
-(** Total pre-resolved (callsite, position) slots in a bundle. *)
+(** Per-judgement slot counts of an enriched bundle. *)
+type breakdown = {
+  bk_plain : int;     (** slots pre-resolved to one program-wide constant *)
+  bk_ctx : int;       (** slots pre-resolved per calling context *)
+  bk_dead : int;      (** memory slots at provably-dead callsites *)
+  bk_tainted : int;   (** ranked slots that stay on the full path *)
+  bk_untainted : int; (** ranked slots eligible for the cheap path *)
+}
+
+val breakdown : Bastion.Api.protected -> breakdown
+
+(** Memory slots verified without any dynamic lookup:
+    plain + context + dead. *)
 val resolved_slots : Bastion.Api.protected -> int

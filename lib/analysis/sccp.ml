@@ -1,0 +1,132 @@
+(* Sparse conditional constant propagation: {!Constprop}'s
+   edge-feasibility lattice (constant branch conditions fold, so blocks
+   behind dead arms are never analysed and constants killed on dead
+   paths survive) refined with {!Copyprop}'s interprocedural copy
+   facts.
+
+   Plain constant propagation loses a constant whenever any single
+   producer is not syntactically constant at the site — e.g. a value
+   threaded through a helper's return or copied between locals across
+   a join.  The copy engine evaluates a variable as the join over
+   every definition and every reachable caller's matching argument;
+   when that join is the singleton set [{c}], every analysed producer
+   of the value agrees on [c].  The refinement upgrades [Top] to
+   [Known c] exactly when the singleton judgement is also *sound at
+   the use site*:
+
+   - the variable's address is never taken in the function (no store
+     through a pointer can produce a value the copy engine missed);
+   - the site is reached by the conditional-constant analysis (dead
+     sites have no value — {!site_dead} is the judgement there);
+   - per reaching definitions, only real definitions reach the use —
+     the entry pseudo-definition reaching means the value may be the
+     incoming parameter or stack garbage, producers the per-function
+     copy join does not pin to the use site.
+
+   A [Known c] result therefore keeps constant propagation's contract:
+   the operand evaluates to [c] in every benign execution reaching the
+   point. *)
+
+type value = Constprop.value = Top | Known of int64
+
+module Iset = Set.Make (Int)
+
+type t = {
+  sc_prog : Sil.Prog.t;
+  sc_cp : Constprop.t;
+  sc_copy : Copyprop.t;
+  sc_rd : (string, Reaching_defs.t) Hashtbl.t;
+  sc_addr_taken : (string, Iset.t) Hashtbl.t;
+}
+
+let analyze (prog : Sil.Prog.t) : t =
+  {
+    sc_prog = prog;
+    sc_cp = Constprop.analyze prog;
+    sc_copy = Copyprop.analyze prog;
+    sc_rd = Hashtbl.create 8;
+    sc_addr_taken = Hashtbl.create 8;
+  }
+
+let rd_of (t : t) (f : Sil.Func.t) : Reaching_defs.t =
+  match Hashtbl.find_opt t.sc_rd f.fname with
+  | Some rd -> rd
+  | None ->
+    let rd = Reaching_defs.compute f in
+    Hashtbl.replace t.sc_rd f.fname rd;
+    rd
+
+let addr_taken (t : t) (f : Sil.Func.t) : Iset.t =
+  match Hashtbl.find_opt t.sc_addr_taken f.fname with
+  | Some s -> s
+  | None ->
+    let s =
+      List.fold_left
+        (fun acc ((_ : Sil.Loc.t), ins) ->
+          match (ins : Sil.Instr.t) with
+          | Assign (_, Addr_of (Lvar v)) -> Iset.add v.vid acc
+          | _ -> acc)
+        Iset.empty (Sil.Func.instrs f)
+    in
+    Hashtbl.replace t.sc_addr_taken f.fname s;
+    s
+
+(* The copy-fact refinement guard: see the module comment. *)
+let refine_var (t : t) (loc : Sil.Loc.t) (v : Sil.Operand.var) : value =
+  match Hashtbl.find_opt t.sc_prog.funcs loc.func with
+  | None -> Top
+  | Some f ->
+    if Iset.mem v.vid (addr_taken t f) then Top
+    else if not (Constprop.site_reached t.sc_cp loc) then Top
+    else if not (Copyprop.reachable t.sc_copy loc.func) then Top
+    else begin
+      let reaching = Reaching_defs.reaching (rd_of t f) loc v in
+      if
+        Sil.Loc.Set.is_empty reaching
+        || Sil.Loc.Set.exists Reaching_defs.is_entry_def reaching
+      then Top
+      else
+        match Copyprop.fact_of_operand t.sc_copy loc.func (Sil.Operand.Var v) with
+        | Copyprop.Fact_set [ c ] -> Known c
+        | Copyprop.Fact_set _ | Copyprop.Fact_free | Copyprop.Fact_opaque -> Top
+    end
+
+(** Abstract value of an operand just before the instruction at [loc]:
+    {!Constprop.value_of_operand}, upgraded with the copy-fact
+    singleton refinement when plain constant propagation says [Top].
+    Refines the plain judgement — a [Known] never changes, only [Top]
+    can become [Known]. *)
+let value_of_operand (t : t) (loc : Sil.Loc.t) (op : Sil.Operand.t) : value =
+  match Constprop.value_of_operand t.sc_cp loc op with
+  | Known _ as k -> k
+  | Top -> ( match op with Sil.Operand.Var v -> refine_var t loc v | _ -> Top)
+
+let frozen_global (t : t) g = Constprop.frozen_global t.sc_cp g
+let reached (t : t) fname = Constprop.reached t.sc_cp fname
+let site_reached (t : t) loc = Constprop.site_reached t.sc_cp loc
+
+(** A site the conditional-constant analysis proves no benign execution
+    can reach: the enclosing function is never called from a live
+    callsite, or every path into the block is behind a branch folded
+    the other way.  (Call-graph reachability alone would say "live" —
+    this is the strictly sharper edge-feasibility judgement.) *)
+let site_dead (t : t) (loc : Sil.Loc.t) : bool = not (site_reached t loc)
+
+let constprop (t : t) = t.sc_cp
+let copyprop (t : t) = t.sc_copy
+
+let var_address_taken (t : t) ~(fname : string) ~(vid : int) : bool =
+  match Hashtbl.find_opt t.sc_prog.funcs fname with
+  | None -> false
+  | Some f -> Iset.mem vid (addr_taken t f)
+
+(** Only the entry pseudo-definition reaches the use: the variable still
+    holds the incoming parameter value at [loc] on every path (the
+    soundness condition for per-caller context resolution). *)
+let only_entry_def_reaches (t : t) (loc : Sil.Loc.t) (v : Sil.Operand.var) : bool =
+  match Hashtbl.find_opt t.sc_prog.funcs loc.func with
+  | None -> false
+  | Some f ->
+    let reaching = Reaching_defs.reaching (rd_of t f) loc v in
+    (not (Sil.Loc.Set.is_empty reaching))
+    && Sil.Loc.Set.for_all Reaching_defs.is_entry_def reaching

@@ -1,0 +1,46 @@
+(** Sparse conditional constant propagation: {!Constprop}'s
+    edge-feasibility lattice (constant conditions fold, dead arms are
+    never analysed) refined with {!Copyprop} singleton facts at sites
+    where the copy judgement is sound (address never taken, site live,
+    only real definitions reaching).
+
+    Refinement law: for every location and operand, a [Known c] from
+    plain {!Constprop} is returned unchanged; only [Top] can be
+    upgraded, and an upgrade keeps the contract that the operand
+    evaluates to [c] in every benign execution reaching the point. *)
+
+type value = Constprop.value = Top | Known of int64
+
+type t
+
+val analyze : Sil.Prog.t -> t
+
+(** Abstract value of an operand just before the instruction at the
+    location; refines {!Constprop.value_of_operand}. *)
+val value_of_operand : t -> Sil.Loc.t -> Sil.Operand.t -> value
+
+val frozen_global : t -> string -> int64 option
+
+(** Was the function analysed at all (reachable through live calls)? *)
+val reached : t -> string -> bool
+
+(** Was the program point reached along any feasible path? *)
+val site_reached : t -> Sil.Loc.t -> bool
+
+(** The site is provably unreachable on benign executions — strictly
+    sharper than call-graph reachability (a call behind a branch whose
+    frozen-flag condition folds false is dead here, live there). *)
+val site_dead : t -> Sil.Loc.t -> bool
+
+(** The underlying passes (shared by the linter's stale checks). *)
+val constprop : t -> Constprop.t
+
+val copyprop : t -> Copyprop.t
+
+(** Is the variable's address ever taken in its function? *)
+val var_address_taken : t -> fname:string -> vid:int -> bool
+
+(** Only the entry pseudo-definition reaches the use: the variable
+    still holds the incoming parameter value at [loc] on every path
+    (the soundness condition for per-caller context resolution). *)
+val only_entry_def_reaches : t -> Sil.Loc.t -> Sil.Operand.var -> bool

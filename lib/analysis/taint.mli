@@ -1,0 +1,32 @@
+(** Interprocedural may-taint analysis from user-controlled sources
+    (the buffers filled by [read]/[recvfrom]) to variables and
+    memory objects — the fourth {!Dataflow.Make} instance.
+
+    Syscall results (file descriptors, byte counts) are kernel-derived
+    and stay untainted; pointee contents of input buffers, values
+    copied or computed from them, loads from tainted objects and
+    address-taken functions' parameters are tainted.  The judgement is
+    may-taint: "untainted" is the strong claim (no analysed flow from
+    any source), and consumers use it only to pick cheaper verification
+    paths with identical denial semantics — imprecision costs probes,
+    never security. *)
+
+type t
+
+val analyze : Sil.Prog.t -> t
+
+(** May the variable hold attacker-influenced data just before the
+    instruction at [loc]? *)
+val var_tainted_at : t -> Sil.Loc.t -> Sil.Operand.var -> bool
+
+(** May the global's memory hold attacker-influenced data? *)
+val global_tainted : t -> string -> bool
+
+(** May the local's stack slot hold attacker-influenced data? *)
+val local_tainted : t -> fname:string -> vid:int -> bool
+
+(** Did an unresolvable tainted store force the all-tainted fallback? *)
+val tainted_everything : t -> bool
+
+(** Number of distinct tainted abstract objects (reporting). *)
+val tainted_objects : t -> int

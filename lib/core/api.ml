@@ -24,6 +24,19 @@ type protected = {
       (** callsite id -> (position, provably constant value); filled by
           the static pre-resolution pass (lib/analysis), empty by
           default *)
+  pre_resolved_ctx : (int, (int * int * int64) list) Hashtbl.t;
+      (** callsite id -> (position, caller callsite id, value):
+          1-context pre-resolution — the argument is a parameter whose
+          value is a different provable constant per caller, matched at
+          trap time against the next frame's callsite *)
+  slot_ranks : (int, (int * bool) list) Hashtbl.t;
+      (** callsite id -> (position, tainted): per-slot attacker-reach
+          rank from the taint analysis; untainted AI slots may verify
+          through the cheap single-probe path *)
+  dead_sites : (int, unit) Hashtbl.t;
+      (** callsite ids the conditional-constant analysis proves no
+          benign execution can reach: the monitor denies any trap
+          there outright *)
 }
 
 exception Validation_failed of string list
@@ -70,7 +83,9 @@ let protect ?(protect_filesystem = false) ?(validate = false) (prog : Sil.Prog.t
   let cfg = Cfg_analysis.analyze inst.iprog icg ~sensitive_numbers in
   let p =
     { original = prog; inst; analysis; calltype; cfg; sensitive_numbers;
-      original_callgraph; pre_resolved = Hashtbl.create 1 }
+      original_callgraph; pre_resolved = Hashtbl.create 1;
+      pre_resolved_ctx = Hashtbl.create 1; slot_ranks = Hashtbl.create 1;
+      dead_sites = Hashtbl.create 1 }
   in
   if validate then run_validator p;
   p
@@ -99,7 +114,8 @@ let launch ?(machine_config = Machine.default_config)
   | None -> ());
   let meta =
     Metadata.build ~calltype:p.calltype ~cfg:p.cfg ~analysis:p.analysis ~inst:p.inst
-      ~pre_resolved:p.pre_resolved machine
+      ~pre_resolved:p.pre_resolved ~pre_resolved_ctx:p.pre_resolved_ctx
+      ~slot_ranks:p.slot_ranks ~dead_sites:p.dead_sites machine
   in
   let monitor = Monitor.create ?recorder ~meta ~runtime ~config:monitor_config machine in
   Monitor.attach monitor process;

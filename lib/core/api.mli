@@ -28,6 +28,16 @@ type protected = {
       (** callsite id -> (position, provably constant value); filled by
           the static pre-resolution pass (lib/analysis), empty by
           default *)
+  pre_resolved_ctx : (int, (int * int * int64) list) Hashtbl.t;
+      (** callsite id -> (position, caller callsite id, value):
+          1-context pre-resolution, matched at trap time against the
+          caller frame's callsite; empty by default *)
+  slot_ranks : (int, (int * bool) list) Hashtbl.t;
+      (** callsite id -> (position, tainted): per-slot attacker-reach
+          rank from the taint analysis; empty by default *)
+  dead_sites : (int, unit) Hashtbl.t;
+      (** callsite ids provably unreachable on benign executions; the
+          monitor denies any trap there; empty by default *)
 }
 
 (** The metadata-soundness gate rejected the bundle; one message per

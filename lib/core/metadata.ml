@@ -4,6 +4,8 @@
 
 type arg_spec = Spec_const of int64 | Spec_mem
 
+type cheap_recipe = Cheap_frame of int | Cheap_global of int64
+
 type cs_entry = {
   e_id : int;
   e_loc : Sil.Loc.t;
@@ -15,6 +17,23 @@ type cs_entry = {
       (** positions pre-resolved to a provably constant value: the
           monitor verifies these against the constant, skipping the
           shadow probes *)
+  e_pre_ctx : (int * (int * int64) list) list;
+      (** positions pre-resolved per calling context: for each position
+          the admissible (caller callsite id, value) pairs; a trap whose
+          caller frame matches one of the ids verifies against that
+          value with no probes, any other caller falls back to the
+          dynamic path *)
+  e_dead : bool;
+      (** the site is provably unreachable on benign executions: the
+          monitor denies any trap here outright *)
+  e_ranks : (int * bool) list;
+      (** per-position taint rank ([true] = attacker-reachable);
+          untainted positions may verify through the cheap recipe *)
+  e_cheap : (int * cheap_recipe) list;
+      (** for untainted [Spec_mem] positions: where the bound object
+          lives, so the expected value is a single shadow probe away
+          (frame word offset for locals, absolute address for
+          globals) *)
 }
 
 type conv = Conv_direct of string | Conv_indirect
@@ -39,11 +58,50 @@ let resolve_spec (m : Machine.t) (binding : Arg_analysis.binding) : arg_spec =
 let build ~(calltype : Calltype.t) ~(cfg : Cfg_analysis.t)
     ~(analysis : Arg_analysis.t) ~(inst : Instrument.t)
     ?(pre_resolved : (int, (int * int64) list) Hashtbl.t = Hashtbl.create 1)
+    ?(pre_resolved_ctx : (int, (int * int * int64) list) Hashtbl.t = Hashtbl.create 1)
+    ?(slot_ranks : (int, (int * bool) list) Hashtbl.t = Hashtbl.create 1)
+    ?(dead_sites : (int, unit) Hashtbl.t = Hashtbl.create 1)
     (m : Machine.t) : t =
   let cs_by_addr = Hashtbl.create 64 in
   List.iter
     (fun (cm : Instrument.callsite_meta) ->
       let e_addr = Machine.Layout.addr_of_loc m.layout cm.cm_loc in
+      let e_ranks =
+        Option.value ~default:[] (Hashtbl.find_opt slot_ranks cm.cm_id)
+      in
+      let e_pre_ctx =
+        (* Group the flat (pos, caller, value) triples per position,
+           keeping caller order; sorted by position for determinism. *)
+        List.sort compare
+          (List.fold_left
+             (fun acc (pos, caller, v) ->
+               let cur = Option.value ~default:[] (List.assoc_opt pos acc) in
+               (pos, cur @ [ (caller, v) ]) :: List.remove_assoc pos acc)
+             []
+             (Option.value ~default:[]
+                (Hashtbl.find_opt pre_resolved_ctx cm.cm_id)))
+      in
+      let e_cheap =
+        (* A single-probe recipe exists only for ranked-untainted
+           positions bound to an addressable object; everything else
+           keeps the full binding+shadow path. *)
+        List.filter_map
+          (fun (pos, tainted) ->
+            if tainted then None
+            else
+              match List.assoc_opt pos cm.cm_specs with
+              | Some (Arg_analysis.Bind_var v) -> (
+                try
+                  Some
+                    ( pos,
+                      Cheap_frame
+                        (Machine.Layout.var_offset m.layout cm.cm_loc.func v.vid) )
+                with Invalid_argument _ -> None)
+              | Some (Arg_analysis.Bind_global g) ->
+                Some (pos, Cheap_global (Machine.Layout.global_addr m.layout g))
+              | Some (Bind_const _ | Bind_cstr _ | Bind_faddr _) | None -> None)
+          e_ranks
+      in
       Hashtbl.replace cs_by_addr e_addr
         {
           e_id = cm.cm_id;
@@ -54,6 +112,10 @@ let build ~(calltype : Calltype.t) ~(cfg : Cfg_analysis.t)
           e_specs = List.map (fun (pos, b) -> (pos, resolve_spec m b)) cm.cm_specs;
           e_pre =
             Option.value ~default:[] (Hashtbl.find_opt pre_resolved cm.cm_id);
+          e_pre_ctx;
+          e_dead = Hashtbl.mem dead_sites cm.cm_id;
+          e_ranks;
+          e_cheap;
         })
     inst.callsites;
   let conv_by_addr = Hashtbl.create 256 in
@@ -175,14 +237,44 @@ let fingerprint (t : t) : string =
          (Cfg_analysis.pair_count t.cfg));
   List.iter
     (fun (addr, (e : cs_entry)) ->
+      (* Context records, ranks and dead flags join the rendering only
+         when present, so bundles without the new judgements keep their
+         historical fingerprints (checked-in golden traces stay valid). *)
+      let extras =
+        (if e.e_dead then [ "dead" ] else [])
+        @ (match e.e_pre_ctx with
+          | [] -> []
+          | ctx ->
+            [ "ctx="
+              ^ String.concat ","
+                  (List.map
+                     (fun (p, alts) ->
+                       Printf.sprintf "%d=%s" p
+                         (String.concat "/"
+                            (List.map
+                               (fun (caller, v) -> Printf.sprintf "%d:%Lx" caller v)
+                               alts)))
+                     ctx) ])
+        @
+        match e.e_ranks with
+        | [] -> []
+        | ranks ->
+          [ "rank="
+            ^ String.concat ","
+                (List.map
+                   (fun (p, tainted) ->
+                     Printf.sprintf "%d=%c" p (if tainted then 't' else 'u'))
+                   ranks) ]
+      in
       add
-        (Printf.sprintf "cs:%Lx:%d:%s:%s:%s:%s" addr e.e_id e.e_callee
+        (Printf.sprintf "cs:%Lx:%d:%s:%s:%s:%s%s" addr e.e_id e.e_callee
            (match e.e_sysno with None -> "-" | Some n -> string_of_int n)
            (String.concat ","
               (List.map (fun (p, s) -> Printf.sprintf "%d=%s" p (spec_string s))
                  e.e_specs))
            (String.concat ","
-              (List.map (fun (p, c) -> Printf.sprintf "%d=%Lx" p c) e.e_pre))))
+              (List.map (fun (p, c) -> Printf.sprintf "%d=%Lx" p c) e.e_pre))
+           (match extras with [] -> "" | l -> ":" ^ String.concat ":" l)))
     (sorted_by_addr t.cs_by_addr);
   List.iter
     (fun (addr, conv) ->

@@ -5,6 +5,12 @@
 (** How one argument position is verified. *)
 type arg_spec = Spec_const of int64 | Spec_mem
 
+(** Where an untainted [Spec_mem] slot's bound object lives: a frame
+    word offset for locals, an absolute address for globals.  Lets the
+    monitor fetch the expected value with a single shadow probe instead
+    of the binding+shadow pair. *)
+type cheap_recipe = Cheap_frame of int | Cheap_global of int64
+
 (** One traced callsite. *)
 type cs_entry = {
   e_id : int;
@@ -16,6 +22,17 @@ type cs_entry = {
   e_pre : (int * int64) list;
       (** positions pre-resolved to a provably constant value: verified
           against the constant, skipping the shadow probes *)
+  e_pre_ctx : (int * (int * int64) list) list;
+      (** per position the admissible (caller callsite id, value) pairs;
+          a trap whose caller frame matches verifies against the value
+          with no probes, other callers fall back to the dynamic path *)
+  e_dead : bool;
+      (** provably unreachable on benign executions: any trap here is
+          denied outright *)
+  e_ranks : (int * bool) list;
+      (** per-position taint rank ([true] = attacker-reachable) *)
+  e_cheap : (int * cheap_recipe) list;
+      (** single-probe recipes for ranked-untainted positions *)
 }
 
 (** Calling convention of a callsite (what decoding the call instruction
@@ -42,6 +59,9 @@ val build :
   analysis:Arg_analysis.t ->
   inst:Instrument.t ->
   ?pre_resolved:(int, (int * int64) list) Hashtbl.t ->
+  ?pre_resolved_ctx:(int, (int * int * int64) list) Hashtbl.t ->
+  ?slot_ranks:(int, (int * bool) list) Hashtbl.t ->
+  ?dead_sites:(int, unit) Hashtbl.t ->
   Machine.t ->
   t
 

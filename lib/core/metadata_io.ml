@@ -26,6 +26,9 @@
      arg <id> <pos> var <func> <vid> "<name>"
      arg <id> <pos> global <gname>
      pre-resolved <id> <pos> <int64>
+     pre-resolved-ctx <id> <pos> <caller-id> <int64>
+     slot-rank <id> <pos> <t|u>
+     dead-site <id>
      sensitive-local <func> <vid> "<name>"
      sensitive-global <gname>
      sensitive-field <struct> <field>
@@ -34,7 +37,11 @@
    ORIGINAL program as well (same function, so only block and index are
    repeated), and the pre-resolved record stores the constant-argument
    pre-resolution results.  v1 files are rejected with a clear
-   unsupported-version error rather than a field-level parse failure. *)
+   unsupported-version error rather than a field-level parse failure.
+   The pre-resolved-ctx (per-caller constants), slot-rank (taint ranks,
+   t = tainted, u = untainted) and dead-site (benign-unreachable
+   callsites) records are additive v2 extensions: files without them
+   parse unchanged. *)
 
 let header = "BASTION-METADATA v2"
 
@@ -107,6 +114,21 @@ let write (p : Api.protected) : string =
         (fun (pos, c) -> Printf.bprintf buf "pre-resolved %d %d %Ld\n" id pos c)
         pres)
     p.pre_resolved;
+  Hashtbl.iter
+    (fun id triples ->
+      List.iter
+        (fun (pos, caller, c) ->
+          Printf.bprintf buf "pre-resolved-ctx %d %d %d %Ld\n" id pos caller c)
+        triples)
+    p.pre_resolved_ctx;
+  Hashtbl.iter
+    (fun id ranks ->
+      List.iter
+        (fun (pos, tainted) ->
+          Printf.bprintf buf "slot-rank %d %d %c\n" id pos (if tainted then 't' else 'u'))
+        ranks)
+    p.slot_ranks;
+  Hashtbl.iter (fun id () -> Printf.bprintf buf "dead-site %d\n" id) p.dead_sites;
   (* Sensitive items (drive the monitor's sweeps). *)
   Arg_analysis.Item_set.iter
     (fun item ->
@@ -137,6 +159,10 @@ type parsed = {
   pr_callsites : Instrument.callsite_meta list;  (** specs filled from arg lines *)
   pr_items : Arg_analysis.item list;
   pr_pre_resolved : (int * int * int64) list;  (** id, pos, constant *)
+  pr_pre_resolved_ctx : (int * int * int * int64) list;
+      (** id, pos, caller id, constant *)
+  pr_slot_ranks : (int * int * bool) list;  (** id, pos, tainted *)
+  pr_dead_sites : int list;
 }
 
 let parse (text : string) : parsed =
@@ -166,6 +192,9 @@ let parse (text : string) : parsed =
   let args : (int, (int * Arg_analysis.binding) list ref) Hashtbl.t = Hashtbl.create 32 in
   let items = ref [] in
   let pre_resolved = ref [] in
+  let pre_resolved_ctx = ref [] in
+  let slot_ranks = ref [] in
+  let dead_sites = ref [] in
   let fail ln msg = raise (Parse_error (ln, msg)) in
   List.iteri
     (fun i line ->
@@ -238,6 +267,20 @@ let parse (text : string) : parsed =
               | "pre-resolved" ->
                 Scanf.sscanf rest "%d %d %Ld" (fun id pos c ->
                     pre_resolved := (id, pos, c) :: !pre_resolved)
+              | "pre-resolved-ctx" ->
+                Scanf.sscanf rest "%d %d %d %Ld" (fun id pos caller c ->
+                    pre_resolved_ctx := (id, pos, caller, c) :: !pre_resolved_ctx)
+              | "slot-rank" ->
+                Scanf.sscanf rest "%d %d %c" (fun id pos flag ->
+                    let tainted =
+                      match flag with
+                      | 't' -> true
+                      | 'u' -> false
+                      | other -> fail ln (Printf.sprintf "bad taint rank %c" other)
+                    in
+                    slot_ranks := (id, pos, tainted) :: !slot_ranks)
+              | "dead-site" ->
+                Scanf.sscanf rest "%d" (fun id -> dead_sites := id :: !dead_sites)
               | "sensitive-local" ->
                 Scanf.sscanf rest "%s %d %S" (fun f vid vname ->
                     items := Arg_analysis.S_local (f, { Sil.Operand.vid; vname }) :: !items)
@@ -275,6 +318,9 @@ let parse (text : string) : parsed =
     pr_callsites;
     pr_items = !items;
     pr_pre_resolved = !pre_resolved;
+    pr_pre_resolved_ctx = !pre_resolved_ctx;
+    pr_slot_ranks = !slot_ranks;
+    pr_dead_sites = !dead_sites;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -335,6 +381,24 @@ let restore (iprog : Sil.Prog.t) (pr : parsed) : Api.protected =
       let existing = Option.value ~default:[] (Hashtbl.find_opt pre_resolved id) in
       Hashtbl.replace pre_resolved id ((pos, c) :: existing))
     pr.pr_pre_resolved;
+  let pre_resolved_ctx =
+    Hashtbl.create (max 1 (List.length pr.pr_pre_resolved_ctx))
+  in
+  List.iter
+    (fun (id, pos, caller, c) ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt pre_resolved_ctx id)
+      in
+      Hashtbl.replace pre_resolved_ctx id ((pos, caller, c) :: existing))
+    pr.pr_pre_resolved_ctx;
+  let slot_ranks = Hashtbl.create (max 1 (List.length pr.pr_slot_ranks)) in
+  List.iter
+    (fun (id, pos, tainted) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt slot_ranks id) in
+      Hashtbl.replace slot_ranks id ((pos, tainted) :: existing))
+    pr.pr_slot_ranks;
+  let dead_sites = Hashtbl.create (max 1 (List.length pr.pr_dead_sites)) in
+  List.iter (fun id -> Hashtbl.replace dead_sites id ()) pr.pr_dead_sites;
   let w, bm, bc = pr.pr_counts in
   let inst =
     {
@@ -352,6 +416,9 @@ let restore (iprog : Sil.Prog.t) (pr : parsed) : Api.protected =
     sensitive_numbers = Kernel.Syscalls.sensitive_numbers;
     original_callgraph = Sil.Callgraph.build iprog;
     pre_resolved;
+    pre_resolved_ctx;
+    slot_ranks;
+    dead_sites;
   }
 
 let load ~file (iprog : Sil.Prog.t) : Api.protected =

@@ -25,6 +25,10 @@ type parsed = {
   pr_callsites : Instrument.callsite_meta list;
   pr_items : Arg_analysis.item list;
   pr_pre_resolved : (int * int * int64) list;  (** id, pos, constant *)
+  pr_pre_resolved_ctx : (int * int * int * int64) list;
+      (** id, pos, caller id, constant *)
+  pr_slot_ranks : (int * int * bool) list;  (** id, pos, tainted *)
+  pr_dead_sites : int list;
 }
 
 (** @raise Parse_error on malformed input. *)

@@ -27,11 +27,15 @@ type config = {
   fs_mode : fs_mode;
   sockaddr_fastpath : bool;
   trap_cache : bool;
+  taint_cheap_path : bool;
+      (** verify ranked-untainted AI slots through the single-probe
+          cheap recipe instead of the binding+shadow pair; inert on
+          bundles without slot ranks *)
 }
 
 let default_config =
   { contexts = all_contexts; fs_mode = Fs_off; sockaddr_fastpath = true;
-    trap_cache = true }
+    trap_cache = true; taint_cheap_path = true }
 
 type denial = { d_sysno : int; d_context : string; d_detail : string }
 
@@ -68,6 +72,12 @@ type t = {
   mutable init_cycles : int;
   mutable pre_resolved_hits : int;
       (** AI slots verified against a static constant (no shadow probe) *)
+  mutable ctx_hits : int;
+      (** AI slots verified against a per-caller constant (no probe) *)
+  mutable ai_tainted : int;
+      (** ranked slot verifications that took the full path (tainted) *)
+  mutable ai_untainted : int;
+      (** ranked slot verifications eligible for the cheap path *)
   mutable denials : denial list;
   (* §9.2 statistics: call-stack depth observed at each verified trap. *)
   mutable depth_total : int;
@@ -95,6 +105,9 @@ let create ?recorder ~(meta : Metadata.t) ~(runtime : Runtime.t) ~config
     traps_checked = 0;
     init_cycles;
     pre_resolved_hits = 0;
+    ctx_hits = 0;
+    ai_tainted = 0;
+    ai_untainted = 0;
     denials = [];
     depth_total = 0;
     depth_min = max_int;
@@ -257,7 +270,44 @@ let check_extended (t : t) (tracer : Ptrace.t) ~(ptr : int64) =
   end
 
 let check_callsite_args (t : t) (tracer : Ptrace.t) (entry : Metadata.cs_entry)
-    (frame : Ptrace.frame_view) =
+    (frame : Ptrace.frame_view) ~(caller : Ptrace.frame_view option) =
+  (* Dynamic verification of one Spec_mem slot, the full two-lookup
+     path: binding table, then shadow. *)
+  let full_mem_check pos actual =
+    match binding_lookup t ~id:entry.e_id ~pos with
+    | None ->
+      raise
+        (Deny
+           ( "argument-integrity",
+             Printf.sprintf "argument %d of %s was never bound" pos entry.e_callee ))
+    | Some addr -> (
+      match shadow_lookup t addr with
+      | None ->
+        raise
+          (Deny
+             ( "argument-integrity",
+               Printf.sprintf "argument %d of %s is untraced" pos entry.e_callee ))
+      | Some legit ->
+        if not (Int64.equal legit actual) then
+          raise
+            (Deny
+               ( "argument-integrity",
+                 Printf.sprintf "argument %d of %s corrupted (expected %Ld, got %Ld)"
+                   pos entry.e_callee legit actual )))
+  in
+  (* The per-caller constant for this position, if the trap's caller
+     frame maps to a callsite with a context record.  An unknown or
+     unlisted caller is not a violation by itself — the slot just falls
+     back to the dynamic path (and the CF context has already judged
+     the stack). *)
+  let ctx_constant pos =
+    match (List.assoc_opt pos entry.e_pre_ctx, caller) with
+    | Some alts, Some c -> (
+      match Hashtbl.find_opt t.meta.cs_by_addr c.fv_callsite with
+      | Some caller_entry -> List.assoc_opt caller_entry.Metadata.e_id alts
+      | None -> None)
+    | _ -> None
+  in
   List.iter
     (fun ((pos, spec) : int * Metadata.arg_spec) ->
       charge_check t;
@@ -284,26 +334,56 @@ let check_callsite_args (t : t) (tracer : Ptrace.t) (entry : Metadata.cs_entry)
                  Printf.sprintf "argument %d of %s corrupted (expected %Ld, got %Ld)"
                    pos entry.e_callee legit actual ))
       | Metadata.Spec_mem -> (
-        match binding_lookup t ~id:entry.e_id ~pos with
-        | None ->
-          raise
-            (Deny
-               ( "argument-integrity",
-                 Printf.sprintf "argument %d of %s was never bound" pos entry.e_callee ))
-        | Some addr -> (
-          match shadow_lookup t addr with
-          | None ->
+        match ctx_constant pos with
+        | Some legit ->
+          (* 1-context pre-resolved slot: constant per caller, matched
+             against the caller frame's callsite — still no probes. *)
+          t.ctx_hits <- t.ctx_hits + 1;
+          if not (Int64.equal legit actual) then
             raise
               (Deny
                  ( "argument-integrity",
-                   Printf.sprintf "argument %d of %s is untraced" pos entry.e_callee ))
-          | Some legit ->
-            if not (Int64.equal legit actual) then
+                   Printf.sprintf "argument %d of %s corrupted (expected %Ld, got %Ld)"
+                     pos entry.e_callee legit actual ))
+        | None -> (
+          let rank = List.assoc_opt pos entry.e_ranks in
+          (match rank with
+          | Some true -> t.ai_tainted <- t.ai_tainted + 1
+          | Some false -> t.ai_untainted <- t.ai_untainted + 1
+          | None -> ());
+          let cheap =
+            match rank with
+            | Some false when t.config.taint_cheap_path ->
+              List.assoc_opt pos entry.e_cheap
+            | _ -> None
+          in
+          match cheap with
+          | Some recipe -> (
+            (* Untainted slot: the bound object's address is statically
+               known, so the expected value is one shadow probe away —
+               the binding-table lookup is skipped.  Denial semantics
+               are identical to the full path: a missing shadow entry
+               still means untraced, a mismatch still means corrupted. *)
+            let a =
+              match recipe with
+              | Metadata.Cheap_frame off -> Machine.Memory.addr_add frame.fv_base off
+              | Metadata.Cheap_global g -> g
+            in
+            match shadow_lookup t a with
+            | None ->
               raise
                 (Deny
                    ( "argument-integrity",
-                     Printf.sprintf "argument %d of %s corrupted (expected %Ld, got %Ld)"
-                       pos entry.e_callee legit actual )))));
+                     Printf.sprintf "argument %d of %s is untraced" pos entry.e_callee ))
+            | Some legit ->
+              if not (Int64.equal legit actual) then
+                raise
+                  (Deny
+                     ( "argument-integrity",
+                       Printf.sprintf
+                         "argument %d of %s corrupted (expected %Ld, got %Ld)" pos
+                         entry.e_callee legit actual )))
+          | None -> full_mem_check pos actual)));
       (* Direct vs extended handling is recovered from the syscall
          identity (§6.3.2), not from instrumentation. *)
       match entry.e_sysno with
@@ -325,18 +405,30 @@ let check_argument_integrity (t : t) (tracer : Ptrace.t) (regs : Ptrace.regs)
      compiler never bound for it has, by definition, untraced arguments
      (§10.2). *)
   (match Hashtbl.find_opt t.meta.cs_by_addr regs.rip with
-  | Some entry when entry.e_sysno = Some regs.sysno -> ()
+  | Some entry when entry.e_sysno = Some regs.sysno ->
+    (* Dead-site record: the conditional-constant analysis proved no
+       benign execution reaches this callsite, so *any* trap here is an
+       attack — denied before a single probe is spent. *)
+    if entry.e_dead then
+      raise
+        (Deny
+           ( "argument-integrity",
+             "syscall invoked at a callsite no benign execution reaches" ))
   | Some _ | None ->
     raise (Deny ("argument-integrity", "syscall arguments are untraced at this callsite")));
   (* Per-frame: verify the bound arguments of the call each frame has in
      flight, then sweep the frame's sensitive locals.  The slot spans
-     were prefetched by the snapshot's coalesced read. *)
-  List.iter
-    (fun (frame : Ptrace.frame_view) ->
+     were prefetched by the snapshot's coalesced read.  Frames are
+     innermost-first, so the next list element is the frame's caller —
+     context pre-resolution matches its callsite. *)
+  let rec walk_frames = function
+    | [] -> ()
+    | (frame : Ptrace.frame_view) :: rest ->
+      let caller = match rest with c :: _ -> Some c | [] -> None in
       (match Hashtbl.find_opt t.meta.cs_by_addr frame.fv_callsite with
-      | Some entry -> check_callsite_args t tracer entry frame
+      | Some entry -> check_callsite_args t tracer entry frame ~caller
       | None -> ());
-      match Hashtbl.find_opt t.meta.func_slots frame.fv_func with
+      (match Hashtbl.find_opt t.meta.func_slots frame.fv_func with
       | None | Some [] -> ()
       | Some offsets -> (
         match List.assoc_opt frame.fv_base snap.sn_slots with
@@ -355,8 +447,10 @@ let check_argument_integrity (t : t) (tracer : Ptrace.t) (regs : Ptrace.regs)
                        Printf.sprintf "sensitive variable at %s+%d corrupted"
                          frame.fv_func off ))
               | Some _ | None -> ())
-            offsets))
-    snap.sn_frames;
+            offsets));
+      walk_frames rest
+  in
+  walk_frames snap.sn_frames;
   (* Whole-trap sweep of sensitive globals (and global struct fields),
      one batched read per region. *)
   List.iter
@@ -672,6 +766,9 @@ let register_probes (t : t) (tracer : Ptrace.t) (reg : Obs.Metrics.t) =
   p "prefilter.edges" (pf Kernel.Seccomp.flow_edge_count);
   p "monitor.traps_checked" (fi (fun () -> t.traps_checked));
   p "monitor.preresolved_hits" (fi (fun () -> t.pre_resolved_hits));
+  p "monitor.preresolved_ctx_hits" (fi (fun () -> t.ctx_hits));
+  p "monitor.ai.tainted" (fi (fun () -> t.ai_tainted));
+  p "monitor.ai.untainted" (fi (fun () -> t.ai_untainted));
   p "monitor.denials" (fi (fun () -> List.length t.denials));
   p "monitor.init_cycles" (fi (fun () -> t.init_cycles));
   p "machine.cycles" (fi (fun () -> t.machine.stats.cycles));
@@ -770,6 +867,13 @@ let cache_stats (t : t) =
 (** AI slots verified against a pre-resolved static constant (no shadow
     probe charged). *)
 let pre_resolved_hits (t : t) = t.pre_resolved_hits
+
+(** AI slots verified against a per-caller (1-context) constant. *)
+let ctx_resolved_hits (t : t) = t.ctx_hits
+
+(** Ranked-slot verification counts: (tainted — full path, untainted —
+    cheap-path eligible). *)
+let ai_rank_stats (t : t) = (t.ai_tainted, t.ai_untainted)
 
 (** §9.2 call-depth statistics over all verified traps:
     (min, mean, max); [None] before the first stack walk. *)

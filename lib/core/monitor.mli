@@ -29,6 +29,10 @@ type config = {
       (** the specialised accept/accept4 sockaddr verification (§9.2) *)
   trap_cache : bool;
       (** the trap fast path's CT+CF verdict cache; AI always re-runs *)
+  taint_cheap_path : bool;
+      (** verify ranked-untainted AI slots through the single-probe
+          cheap recipe (identical denial semantics, half the lookups);
+          inert on bundles without slot ranks *)
 }
 
 val default_config : config
@@ -65,6 +69,12 @@ type t = {
   mutable init_cycles : int;    (** metadata-loading cost (§9.2) *)
   mutable pre_resolved_hits : int;
       (** AI slots verified against a static constant (no shadow probe) *)
+  mutable ctx_hits : int;
+      (** AI slots verified against a per-caller constant (no probe) *)
+  mutable ai_tainted : int;
+      (** ranked slot verifications that took the full path (tainted) *)
+  mutable ai_untainted : int;
+      (** ranked slot verifications eligible for the cheap path *)
   mutable denials : denial list;
   mutable depth_total : int;
   mutable depth_min : int;
@@ -140,6 +150,13 @@ val cache_stats : t -> int * int * float
 (** AI slots verified against a pre-resolved static constant (the
     shadow probes those slots would have cost are skipped). *)
 val pre_resolved_hits : t -> int
+
+(** AI slots verified against a per-caller (1-context) constant. *)
+val ctx_resolved_hits : t -> int
+
+(** Ranked-slot verification counts: (tainted — full binding+shadow
+    path, untainted — cheap-path eligible). *)
+val ai_rank_stats : t -> int * int
 
 (** §9.2 call-depth statistics over verified traps: (min, mean, max). *)
 val depth_stats : t -> (int * float * int) option

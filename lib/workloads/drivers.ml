@@ -171,7 +171,8 @@ type prepared = {
 }
 
 let prepare ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = false)
-    ?prefilter ?recorder (app : app) (defense : defense) : prepared =
+    ?(taint_cheap_path = true) ?prefilter ?recorder (app : app)
+    (defense : defense) : prepared =
   let machine_config cet = { Machine.default_config with cet; cost } in
   let machine, process, monitor =
     match defense with
@@ -203,14 +204,18 @@ let prepare ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = 
       in
       let session =
         Bastion.Api.launch ~machine_config:(machine_config true)
-          ~monitor_config:{ Bastion.Monitor.default_config with contexts; trap_cache }
+          ~monitor_config:
+            { Bastion.Monitor.default_config with contexts; trap_cache;
+              taint_cheap_path }
           ?recorder (protected_of ~pre_resolve app ~fs:false) ()
       in
       (session.machine, session.process, Some session.monitor)
     | Bastion_fs mode ->
       let session =
         Bastion.Api.launch ~machine_config:(machine_config true)
-          ~monitor_config:{ Bastion.Monitor.default_config with fs_mode = mode; trap_cache }
+          ~monitor_config:
+            { Bastion.Monitor.default_config with fs_mode = mode; trap_cache;
+              taint_cheap_path }
           ?recorder (protected_of ~pre_resolve app ~fs:true) ()
       in
       (session.machine, session.process, Some session.monitor)
@@ -254,9 +259,11 @@ let execute (p : prepared) : measurement =
     m_monitor = monitor;
   }
 
-let run ?cost ?trap_cache ?pre_resolve ?prefilter ?recorder (app : app)
-    (defense : defense) : measurement =
-  execute (prepare ?cost ?trap_cache ?pre_resolve ?prefilter ?recorder app defense)
+let run ?cost ?trap_cache ?pre_resolve ?taint_cheap_path ?prefilter ?recorder
+    (app : app) (defense : defense) : measurement =
+  execute
+    (prepare ?cost ?trap_cache ?pre_resolve ?taint_cheap_path ?prefilter
+       ?recorder app defense)
 
 (** Relative overhead (in %) of a measurement against a baseline,
     respecting the metric's direction. *)

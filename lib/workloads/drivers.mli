@@ -75,7 +75,7 @@ type prepared = {
     short of execution.  Same optional arguments as {!run}. *)
 val prepare :
   ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?pre_resolve:bool ->
-  ?prefilter:Kernel.Seccomp.flow_mode ->
+  ?taint_cheap_path:bool -> ?prefilter:Kernel.Seccomp.flow_mode ->
   ?recorder:Obs.Recorder.t -> app -> defense -> prepared
 
 (** Execute a prepared session and measure it.
@@ -86,8 +86,11 @@ val execute : prepared -> measurement
     overrides the machine cost table (e.g.
     {!Machine.Cost.in_kernel_monitor}); [trap_cache] toggles the
     monitor's CT+CF verdict cache (default on), for the fast-path
-    ablation; [pre_resolve] enables constant-argument pre-resolution
-    (default off), for the static-analysis ablation; [prefilter]
+    ablation; [pre_resolve] enables static pre-resolution of AI slots
+    (default off), for the static-analysis ablation; [taint_cheap_path]
+    toggles the single-probe verification of rank-untainted slots
+    (default on; only observable with [pre_resolve], for the taint-rank
+    ablation); [prefilter]
     deploys the syscall-flow pre-filter in the given mode on the
     monitored configurations (tiered resolves eligible traps at seccomp
     cost, standalone models the pre-filter as the *only* defense —
@@ -98,7 +101,7 @@ val execute : prepared -> measurement
     @raise Benign_run_died if the run faults. *)
 val run :
   ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?pre_resolve:bool ->
-  ?prefilter:Kernel.Seccomp.flow_mode ->
+  ?taint_cheap_path:bool -> ?prefilter:Kernel.Seccomp.flow_mode ->
   ?recorder:Obs.Recorder.t -> app -> defense -> measurement
 
 (** Relative overhead (%) against a baseline measurement, respecting the

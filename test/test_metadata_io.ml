@@ -85,7 +85,10 @@ let test_parse_errors () =
   expect_error "not a metadata file";
   expect_error "BASTION-METADATA v2\nfrobnicate 1 2 3";
   expect_error "BASTION-METADATA v2\ncalltype 59 z";
-  expect_error "BASTION-METADATA v2\npre-resolved 1 z 3"
+  expect_error "BASTION-METADATA v2\npre-resolved 1 z 3";
+  expect_error "BASTION-METADATA v2\npre-resolved-ctx 1 2 3";
+  expect_error "BASTION-METADATA v2\nslot-rank 1 2 x";
+  expect_error "BASTION-METADATA v2\ndead-site z"
 
 let test_old_version_rejected () =
   (* A v1 file must be rejected with a clear version message, not a
@@ -153,6 +156,67 @@ let preres_qcheck =
       in
       dump p.pre_resolved = dump restored.pre_resolved)
 
+let test_v2_record_families_roundtrip () =
+  (* The three record families the v2 static suite added: per-context
+     constants, taint ranks and dead sites all survive the text trip. *)
+  let p = Bastion.Api.protect (Testlib.exec_program ()) in
+  let ids =
+    List.map
+      (fun (cm : Bastion.Instrument.callsite_meta) -> cm.cm_id)
+      p.inst.callsites
+  in
+  let id0 = List.nth ids 0 and id1 = List.nth ids (List.length ids - 1) in
+  let pre_ctx = Hashtbl.copy p.pre_resolved_ctx in
+  Hashtbl.replace pre_ctx id0 [ (0, id1, 42L); (1, id0, -7L) ];
+  let ranks = Hashtbl.copy p.slot_ranks in
+  Hashtbl.replace ranks id1 [ (0, true); (2, false) ];
+  let dead = Hashtbl.copy p.dead_sites in
+  Hashtbl.replace dead id0 ();
+  let p = { p with pre_resolved_ctx = pre_ctx; slot_ranks = ranks;
+            dead_sites = dead } in
+  let restored =
+    Bastion.Metadata_io.restore p.inst.iprog
+      (Bastion.Metadata_io.parse (Bastion.Metadata_io.write p))
+  in
+  let dump tbl =
+    Hashtbl.fold (fun id l acc -> (id, List.sort compare l) :: acc) tbl []
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "pre-resolved-ctx records survive" true
+    (dump p.pre_resolved_ctx = dump restored.pre_resolved_ctx);
+  Alcotest.(check bool) "slot-rank records survive" true
+    (dump p.slot_ranks = dump restored.slot_ranks);
+  Alcotest.(check bool) "dead-site records survive" true
+    (Hashtbl.fold (fun id () acc -> id :: acc) p.dead_sites []
+     |> List.sort compare
+    = (Hashtbl.fold (fun id () acc -> id :: acc) restored.dead_sites []
+      |> List.sort compare))
+
+let test_enriched_workload_roundtrip () =
+  (* A real enriched bundle (vsftpd carries per-context records) dumps
+     and restores with every table intact. *)
+  let app = Workloads.Drivers.vsftpd () in
+  let p =
+    Bastion_analysis.Preresolve.enrich
+      (Bastion.Api.protect (Lazy.force app.prog))
+  in
+  Alcotest.(check bool) "vsftpd has per-context records" true
+    (Hashtbl.length p.pre_resolved_ctx > 0);
+  Alcotest.(check bool) "vsftpd has ranked slots" true
+    (Hashtbl.length p.slot_ranks > 0);
+  let restored =
+    Bastion.Metadata_io.restore p.inst.iprog
+      (Bastion.Metadata_io.parse (Bastion.Metadata_io.write p))
+  in
+  let dump tbl =
+    Hashtbl.fold (fun id l acc -> (id, List.sort compare l) :: acc) tbl []
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "ctx table identical" true
+    (dump p.pre_resolved_ctx = dump restored.pre_resolved_ctx);
+  Alcotest.(check bool) "rank table identical" true
+    (dump p.slot_ranks = dump restored.slot_ranks)
+
 let test_restored_pre_resolved_still_checks () =
   (* A restored enriched bundle still verifies pre-resolved slots
      statically at run time. *)
@@ -207,6 +271,10 @@ let suites =
         Alcotest.test_case "pre-resolved records roundtrip" `Quick
           test_pre_resolved_roundtrip;
         QCheck_alcotest.to_alcotest preres_qcheck;
+        Alcotest.test_case "v2 record families roundtrip" `Quick
+          test_v2_record_families_roundtrip;
+        Alcotest.test_case "enriched workload bundle roundtrips" `Quick
+          test_enriched_workload_roundtrip;
         Alcotest.test_case "restored pre-resolved bundle checks statically" `Slow
           test_restored_pre_resolved_still_checks;
         Alcotest.test_case "workload-scale roundtrip" `Quick test_workload_scale_roundtrip;

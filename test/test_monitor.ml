@@ -12,7 +12,9 @@ let launch ?(contexts = Bastion.Monitor.all_contexts) ?(fs_mode = Bastion.Monito
     ?(sockaddr_fastpath = true) ?(protect_filesystem = false) ?(trap_cache = true) prog =
   let protected_prog = Bastion.Api.protect ~protect_filesystem prog in
   Bastion.Api.launch
-    ~monitor_config:{ Bastion.Monitor.contexts; fs_mode; sockaddr_fastpath; trap_cache }
+    ~monitor_config:
+      { Bastion.Monitor.default_config with contexts; fs_mode; sockaddr_fastpath;
+        trap_cache }
     protected_prog ()
 
 (* Fixture: main stores a prot value, helper mprotects with it; also a
