@@ -3,13 +3,15 @@
 
    A heterogeneous fleet (mixed NGINX/SQLite/vsftpd small-scale
    tracees, skewed trap rates) is swept across offered-load points
-   through the sharded monitor pool; every point reports p50/p99/p99.9
+   through the sharded monitor pool under each scheduler policy
+   (static / least-loaded / steal); every point reports p50/p99/p99.9
    queue-wait and end-to-end latency in modelled cycles plus the
-   bottleneck-shard utilisation, and the sweep reports the detected
-   saturation knee.  Everything derives from the modelled clock —
-   regenerating the committed BENCH_fleet.json is byte-identical —
-   and every point is checked against the serial reference simulation
-   ([matches_serial], asserted in CI). *)
+   per-shard utilisation spread and steal/migration counts, and each
+   policy arm reports its detected saturation knee against the same
+   ideal-aggregate capacity.  Everything derives from the modelled
+   clock — regenerating the committed BENCH_fleet.json is
+   byte-identical — and every point is checked against the serial
+   reference simulation ([matches_serial], asserted in CI). *)
 
 module F = Workloads.Fleet
 module J = Report.Json
@@ -26,26 +28,28 @@ let smoke_shards = 4
 let smoke_arrivals = 1200
 let smoke_points = 5
 
-let run_sweep ~smoke =
+let run_ablation ~smoke =
   if smoke then
-    F.sweep ~tracees:smoke_tracees ~shards:smoke_shards
+    F.ablation ~tracees:smoke_tracees ~shards:smoke_shards
       ~arrivals:smoke_arrivals ~points:smoke_points ()
   else
-    F.sweep ~tracees:default_tracees ~shards:default_shards
+    F.ablation ~tracees:default_tracees ~shards:default_shards
       ~arrivals:default_arrivals ~points:default_points ()
 
 let run () =
   print_endline "== Fleet: open-loop tail latency vs offered load ==";
   print_endline "";
-  let s = run_sweep ~smoke:false in
-  print_string (F.render_sweep s);
+  let a = run_ablation ~smoke:false in
+  print_string (F.render_ablation a);
   print_endline ""
 
 let emit ?(smoke = false) path =
-  let s = run_sweep ~smoke in
-  J.to_file path (F.sweep_json s);
-  Printf.printf "fleet sweep (%d tracees, %d shards, %d points%s) written to %s\n"
-    s.F.sw_tracees s.F.sw_shards
-    (List.length s.F.sw_points)
+  let a = run_ablation ~smoke in
+  J.to_file path (F.ablation_json a);
+  Printf.printf
+    "fleet ablation (%d tracees, %d shards, %d policies x %d points%s) written to %s\n"
+    a.F.ab_tracees a.F.ab_shards
+    (List.length a.F.ab_sweeps)
+    (match a.F.ab_sweeps with [] -> 0 | s :: _ -> List.length s.F.sw_points)
     (if smoke then ", smoke" else "")
     path

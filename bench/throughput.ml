@@ -150,4 +150,27 @@ let run () =
         (float_of_int m.D.mm_serial_cycles /. float_of_int m.D.mm_makespan_cycles)
         matches)
     shard_counts;
+  print_newline ();
+  (* Scheduler ablation at a fixed shard count: identical tracees are
+     the balanced best case for static hashing, so this is the floor of
+     what stealing can buy — the open-loop fleet bench (heterogeneous
+     rates and services) is where the gap opens. *)
+  let shards = 4 in
+  Printf.printf
+    "Scheduler ablation (%d shards): modelled makespan per placement policy\n\n"
+    shards;
+  Printf.printf "  %-14s %-16s %-10s %-8s %-12s %s\n" "scheduler"
+    "makespan cycles" "speedup" "steals" "migrations" "matches serial";
+  List.iter
+    (fun policy ->
+      let m = D.run_multi ~scheduler:policy ~shards ~tracees app D.Bastion_full in
+      let matches =
+        Array.for_all2 (fun a b -> fingerprint a = fingerprint b) serial
+          m.D.mm_tracees
+      in
+      Printf.printf "  %-14s %-16d %-10.2f %-8d %-12d %b\n"
+        (Pool.policy_name policy) m.D.mm_makespan_cycles
+        (float_of_int m.D.mm_serial_cycles /. float_of_int m.D.mm_makespan_cycles)
+        m.D.mm_plan.Pool.jp_steals m.D.mm_plan.Pool.jp_migrations matches)
+    Pool.all_policies;
   print_newline ()

@@ -193,6 +193,21 @@ let lint_cmd =
 
 (* --- run -------------------------------------------------------------- *)
 
+(* The --scheduler option, shared by `run` and `fleet`. *)
+let scheduler_conv =
+  let parse s =
+    match Bastion_mt.Monitor_pool.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown scheduler %S (static|least-loaded|steal)" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Bastion_mt.Monitor_pool.policy_name p)
+  in
+  Cmdliner.Arg.conv (parse, print)
+
 (* Sharded mode: N tracees over a monitor pool of worker domains.  Each
    tracee is a full session run on its owning shard; the report is the
    modelled makespan (heaviest shard) against the serial cycle sum.
@@ -201,8 +216,8 @@ let lint_cmd =
    counters; [--trace] merges per-shard recorders into one Perfetto
    document with a lane per shard, and [--stats-interval] derives a
    time-series JSONL from the recorded trap stream. *)
-let run_workload_sharded a defense ~trap_cache ~pre_resolve ~prefilter ~shards
-    ~tracees ~trace ~stats ~stats_interval metrics =
+let run_workload_sharded a defense ~trap_cache ~pre_resolve ~prefilter
+    ~scheduler ~shards ~tracees ~trace ~stats ~stats_interval metrics =
   let shard_recorders =
     if trace <> None || stats_interval <> None then
       Some (Array.init shards (fun _ -> Obs.Recorder.create ~tracing:true ()))
@@ -210,12 +225,14 @@ let run_workload_sharded a defense ~trap_cache ~pre_resolve ~prefilter ~shards
   in
   let m =
     Workloads.Drivers.run_multi ~trap_cache ~pre_resolve ?prefilter
-      ?shard_recorders ~shards ~tracees a defense
+      ~scheduler ?shard_recorders ~shards ~tracees a defense
   in
   let t0 = m.mm_tracees.(0) in
-  Printf.printf "%s under %s: %d tracees over %d shard%s\n" a.Workloads.Drivers.app_name
+  Printf.printf "%s under %s: %d tracees over %d shard%s (%s scheduler)\n"
+    a.Workloads.Drivers.app_name
     (Workloads.Drivers.defense_name defense) tracees shards
-    (if shards = 1 then "" else "s");
+    (if shards = 1 then "" else "s")
+    (Bastion_mt.Monitor_pool.policy_name scheduler);
   Printf.printf "  per tracee       : %.2f %s, %d traps, %d cycles\n" t0.m_metric
     a.Workloads.Drivers.metric_name t0.m_traps t0.m_cycles;
   Printf.printf "  total traps      : %d\n" (Workloads.Drivers.sum_traps m);
@@ -235,6 +252,10 @@ let run_workload_sharded a defense ~trap_cache ~pre_resolve ~prefilter ~shards
       shard (p "tracees") (p "queue.max_depth") (p "queue.capacity")
       (p "queue.blocked_pushes") (p "queue.mean_batch")
   done;
+  Printf.printf
+    "  balance          : util spread %.2f (max/mean shard items), %.0f \
+     steals, %.0f migrations\n"
+    (probe "mt.util_spread") (probe "mt.steals") (probe "mt.migrations");
   if metrics then print_string (Obs.Metrics.summary_table reg);
   (match (shard_recorders, trace) with
   | Some rs, Some path ->
@@ -267,7 +288,8 @@ let run_workload_sharded a defense ~trap_cache ~pre_resolve ~prefilter ~shards
   `Ok ()
 
 let run_workload verbose app scale defense no_trap_cache pre_resolve
-    no_prefilter trace metrics audit shards tracees stats stats_interval =
+    no_prefilter trace metrics audit scheduler shards tracees stats
+    stats_interval =
   setup_logs verbose;
   let trap_cache = not no_trap_cache in
   (* The tiered pre-filter is the deployment default: cheap seccomp-stage
@@ -285,10 +307,18 @@ let run_workload verbose app scale defense no_trap_cache pre_resolve
     `Error (false, "--stats FILE needs --stats-interval CYCLES")
   else if (match stats_interval with Some iv -> iv <= 0 | None -> false) then
     `Error (false, "--stats-interval must be a positive cycle count")
+  else if
+    scheduler <> Bastion_mt.Monitor_pool.Static
+    && (trace <> None || stats_interval <> None)
+  then
+    (* Shard recorders stamp lanes assuming the static pin; a stealing
+       pool would race them, so the driver rejects the combination. *)
+    `Error
+      (false, "--trace/--stats-interval require the static --scheduler")
   else if shards > 1 || tracees > 1 then
     let tracees = if tracees = 0 then 2 * shards else tracees in
-    run_workload_sharded a defense ~trap_cache ~pre_resolve ~prefilter ~shards
-      ~tracees ~trace ~stats ~stats_interval metrics
+    run_workload_sharded a defense ~trap_cache ~pre_resolve ~prefilter
+      ~scheduler ~shards ~tracees ~trace ~stats ~stats_interval metrics
   else begin
   (* The recorder exists only when some sink wants it: the trace or
      audit file needs the ring, --metrics the histograms, -v the live
@@ -513,12 +543,22 @@ let run_cmd =
                 cycles (trap count, denials, monitor cycles); printed as a \
                 table, or written as JSONL with --stats FILE.")
   in
+  let scheduler =
+    Arg.(
+      value
+      & opt scheduler_conv Bastion_mt.Monitor_pool.Static
+      & info [ "scheduler" ] ~docv:"POLICY"
+          ~doc:"Placement policy for sharded mode: $(b,static) (pin tracees \
+                to their home shard), $(b,least-loaded), or $(b,steal) (idle \
+                shards steal whole-tracee claims).  Verdicts and modelled \
+                cycles are identical under every policy.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a defense configuration")
     Term.(
       ret
         (const run_workload $ verbose_arg $ app_arg $ scale_arg $ defense
        $ no_trap_cache $ pre_resolve $ no_prefilter $ trace $ metrics $ audit
-       $ shards $ tracees $ stats $ stats_interval))
+       $ scheduler $ shards $ tracees $ stats $ stats_interval))
 
 (* --- trace-summary ----------------------------------------------------- *)
 
@@ -547,7 +587,8 @@ let trace_summary_cmd =
 
 module Fleet = Workloads.Fleet
 
-let run_fleet verbose tracees shards arrivals points json stats stats_interval =
+let run_fleet verbose tracees shards arrivals points scheduler json stats
+    stats_interval =
   setup_logs verbose;
   if tracees < 1 then `Error (false, "--tracees must be >= 1")
   else if shards < 1 then `Error (false, "--shards must be >= 1")
@@ -558,17 +599,40 @@ let run_fleet verbose tracees shards arrivals points json stats stats_interval =
   else if (match stats_interval with Some iv -> iv <= 0 | None -> false) then
     `Error (false, "--stats-interval must be a positive cycle count")
   else begin
-    let s = Fleet.sweep ?stats_interval ~tracees ~shards ~arrivals ~points () in
-    print_string (Fleet.render_sweep s);
+    (* --scheduler all sweeps every policy over one fleet; a single
+       policy keeps the old one-sweep shape.  Either way the JSON is a
+       schema-v2 document (`policies` array). *)
+    let a =
+      match scheduler with
+      | `All ->
+        Fleet.ablation ?stats_interval ~tracees ~shards ~arrivals ~points ()
+      | `One policy ->
+        let s =
+          Fleet.sweep ?stats_interval ~policy ~tracees ~shards ~arrivals
+            ~points ()
+        in
+        {
+          Fleet.ab_tracees = tracees;
+          ab_shards = shards;
+          ab_arrivals = arrivals;
+          ab_capacity = s.Fleet.sw_capacity;
+          ab_capacity_bottleneck = s.Fleet.sw_capacity_bottleneck;
+          ab_sweeps = [ s ];
+        }
+    in
+    (match a.Fleet.ab_sweeps with
+    | [ s ] -> print_string (Fleet.render_sweep s)
+    | _ -> print_string (Fleet.render_ablation a));
     (match json with
     | Some path ->
-      Report.Json.to_file path (Fleet.sweep_json s);
+      Report.Json.to_file path (Fleet.ablation_json a);
       Printf.printf "json  : %s\n" path
     | None -> ());
     (match stats_interval with
     | Some interval -> (
-      (* The time series of the highest-load point: the one whose
-         queue-depth excursions the sweep table can't show. *)
+      (* The time series of the last sweep's highest-load point: the
+         one whose queue-depth excursions the sweep table can't show. *)
+      let s = List.nth a.Fleet.ab_sweeps (List.length a.Fleet.ab_sweeps - 1) in
       let last = List.nth s.Fleet.sw_points (List.length s.Fleet.sw_points - 1) in
       let rows = last.Fleet.pt_result.Fleet.rr_stats in
       match stats with
@@ -615,12 +679,41 @@ let fleet_cmd =
           ~doc:"Number of offered-load points swept from 0.2x to 1.15x of \
                 the modelled capacity.")
   in
+  let scheduler =
+    let sched_conv =
+      let parse s =
+        if String.equal s "all" then Ok `All
+        else
+          match Bastion_mt.Monitor_pool.policy_of_string s with
+          | Some p -> Ok (`One p)
+          | None ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown scheduler %S (static|least-loaded|steal|all)" s))
+      in
+      let print ppf = function
+        | `All -> Format.pp_print_string ppf "all"
+        | `One p ->
+          Format.pp_print_string ppf (Bastion_mt.Monitor_pool.policy_name p)
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt sched_conv (`One Bastion_mt.Monitor_pool.Static)
+      & info [ "scheduler" ] ~docv:"POLICY"
+          ~doc:"Placement policy for the sweep: $(b,static), \
+                $(b,least-loaded), $(b,steal), or $(b,all) for the full \
+                ablation (every policy over the same fleet and capacity).")
+  in
   let json =
     Arg.(
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
-          ~doc:"Also write the sweep as a BENCH_fleet-style JSON document.")
+          ~doc:"Also write the sweep as a BENCH_fleet-style JSON document \
+                (schema bastion-fleet/2).")
   in
   let stats =
     Arg.(
@@ -644,35 +737,31 @@ let fleet_cmd =
     Term.(
       ret
         (const run_fleet $ verbose_arg $ tracees $ shards $ arrivals $ points
-       $ json $ stats $ stats_interval))
+       $ scheduler $ json $ stats $ stats_interval))
 
 (* --- fleet-summary ----------------------------------------------------- *)
 
-(* Offline reader for both telemetry artifacts: the fleet sweep JSON
-   (schema bastion-fleet/1) and the stats JSONL stream (bastion-stats/1),
-   told apart by the schema tag. *)
+(* Offline reader for the telemetry artifacts: the fleet sweep JSON
+   (schema bastion-fleet/1 or the per-policy /2) and the stats JSONL
+   stream (bastion-stats/1), told apart by the schema tag. *)
 
-let render_fleet_doc doc =
+let fleet_num ?(default = 0.0) name j =
+  match Report.Json.member name j with
+  | Some (Report.Json.Num f) -> f
+  | _ -> default
+
+let render_fleet_results results =
   let open Report.Json in
-  let num ?(default = 0.0) name j =
-    match member name j with Some (Num f) -> f | _ -> default
+  let num = fleet_num in
+  let cell p name j =
+    Printf.sprintf "%.0f" (num p (Option.value ~default:Null (member name j)))
   in
-  let str name j = match member name j with Some (Str s) -> Some s | _ -> None in
-  let config = Option.value ~default:Null (member "config" doc) in
-  Printf.printf
-    "fleet sweep: %.0f tracees, %.0f shards, %.0f arrivals/point\n\
-     capacity (bottleneck shard util = 1): %.0f traps/sec\n\n"
-    (num "tracees" config) (num "shards" config) (num "arrivals" config)
-    (num "capacity_traps_per_sec" doc);
-  let results =
-    match member "results" doc with Some (List l) -> l | _ -> []
-  in
-  let cell p name j = Printf.sprintf "%.0f" (num p (Option.value ~default:Null (member name j))) in
   print_string
     (Report.Table.render
-       ~align:Report.Table.[ R; R; R; R; R; R; R; R; L ]
+       ~align:Report.Table.[ R; R; R; R; R; R; R; R; R; R; L ]
        ~header:
-         [ "load"; "traps/sec"; "util"; "wait p50"; "wait p99"; "wait p99.9";
+         [ "load"; "traps/sec"; "util"; "spread"; "steals";
+           "wait p50"; "wait p99"; "wait p99.9";
            "e2e p99"; "e2e p99.9"; "serial" ]
        (List.map
           (fun r ->
@@ -680,6 +769,12 @@ let render_fleet_doc doc =
               Printf.sprintf "%.2f" (num "load_fraction" r);
               Printf.sprintf "%.0f" (num "offered_traps_per_sec" r);
               Printf.sprintf "%.2f" (num "util_max" r);
+              (match member "util_spread" r with
+              | Some (Num f) -> Printf.sprintf "%.2f" f
+              | _ -> "-");
+              (match member "steals" r with
+              | Some (Num f) -> Printf.sprintf "%.0f" f
+              | _ -> "-");
               cell "p50" "queue_wait" r;
               cell "p99" "queue_wait" r;
               cell "p999" "queue_wait" r;
@@ -690,14 +785,63 @@ let render_fleet_doc doc =
               | Some (Bool false) -> "DIVERGED"
               | _ -> "-");
             ])
-          results));
-  (match member "knee" doc with
+          results))
+
+let render_fleet_knee knee =
+  let open Report.Json in
+  let num = fleet_num in
+  let str name j = match member name j with Some (Str s) -> Some s | _ -> None in
+  match knee with
   | Some (Obj _ as k) ->
     Printf.printf
-      "\n\nsaturation knee: point %.0f (%.2fx capacity, %.0f traps/sec) — %s\n"
+      "\nsaturation knee: point %.0f (%.2fx capacity, %.0f traps/sec) — %s\n"
       (num "index" k) (num "load_fraction" k) (num "offered_traps_per_sec" k)
       (Option.value ~default:"-" (str "reason" k))
-  | _ -> print_string "\n\nsaturation knee: not reached in this sweep\n");
+  | _ -> print_string "\nsaturation knee: not reached in this sweep\n"
+
+let render_fleet_doc doc =
+  let open Report.Json in
+  let num = fleet_num in
+  let config = Option.value ~default:Null (member "config" doc) in
+  Printf.printf
+    "fleet sweep: %.0f tracees, %.0f shards, %.0f arrivals/point\n\
+     capacity (bottleneck shard util = 1): %.0f traps/sec\n\n"
+    (num "tracees" config) (num "shards" config) (num "arrivals" config)
+    (num "capacity_traps_per_sec" doc);
+  let results =
+    match member "results" doc with Some (List l) -> l | _ -> []
+  in
+  render_fleet_results results;
+  print_newline ();
+  render_fleet_knee (member "knee" doc);
+  `Ok ()
+
+let render_fleet_doc_v2 doc =
+  let open Report.Json in
+  let num = fleet_num in
+  let config = Option.value ~default:Null (member "config" doc) in
+  Printf.printf
+    "fleet ablation: %.0f tracees, %.0f shards, %.0f arrivals/point\n\
+     capacity (mean shard util = 1): %.0f traps/sec (static bottleneck: %.0f)\n"
+    (num "tracees" config) (num "shards" config) (num "arrivals" config)
+    (num "capacity_traps_per_sec" doc)
+    (num "capacity_bottleneck_traps_per_sec" doc);
+  let policies =
+    match member "policies" doc with Some (List l) -> l | _ -> []
+  in
+  List.iter
+    (fun p ->
+      let name =
+        match member "policy" p with Some (Str s) -> s | _ -> "?"
+      in
+      Printf.printf "\n-- %s --\n" name;
+      let results =
+        match member "results" p with Some (List l) -> l | _ -> []
+      in
+      render_fleet_results results;
+      print_newline ();
+      render_fleet_knee (member "knee" p))
+    policies;
   `Ok ()
 
 let render_stats_file file =
@@ -715,6 +859,7 @@ let fleet_summary file =
   | doc -> (
     match Report.Json.member "schema" doc with
     | Some (Report.Json.Str "bastion-fleet/1") -> render_fleet_doc doc
+    | Some (Report.Json.Str "bastion-fleet/2") -> render_fleet_doc_v2 doc
     | Some (Report.Json.Str s) when String.equal s Obs.Timeseries.schema ->
       render_stats_file file
     | Some (Report.Json.Str s) ->
@@ -723,7 +868,7 @@ let fleet_summary file =
       `Error
         ( false,
           Printf.sprintf
-            "%s: no schema tag (want \"bastion-fleet/1\" or %S)" file
+            "%s: no schema tag (want \"bastion-fleet/2\" or %S)" file
             Obs.Timeseries.schema ))
 
 let fleet_summary_cmd =

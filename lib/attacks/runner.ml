@@ -162,9 +162,10 @@ let evaluate_all ?(trap_cache = true) ?(pre_resolve = false) ?recorder () =
 (* Each attack row is a self-contained tracee (fresh protect + session
    per configuration inside [run]), so the matrix shards cleanly: one
    row per tracee on the monitor pool, merged back in catalog order. *)
-let evaluate_all_sharded ?(trap_cache = true) ?(pre_resolve = false) ~shards () =
+let evaluate_all_sharded ?(trap_cache = true) ?(pre_resolve = false) ?policy
+    ~shards () =
   let attacks = Array.of_list Catalog.all in
-  let config = Bastion_mt.Monitor_pool.config ~shards () in
+  let config = Bastion_mt.Monitor_pool.config ?policy ~shards () in
   let jobs =
     Array.map (fun a () -> evaluate ~trap_cache ~pre_resolve a) attacks
   in

@@ -73,8 +73,10 @@ val evaluate_all :
 (** The Table 6 matrix with each attack row evaluated as its own tracee
     on a {!Bastion_mt.Monitor_pool} of [shards] worker domains.  Rows
     come back in catalog order and must equal {!evaluate_all} verdict
-    for verdict at every shard count (each row builds a fresh session,
-    so no verification state crosses rows or domains). *)
+    for verdict at every shard count and under every scheduler
+    [policy] (each row builds a fresh session, so no verification
+    state crosses rows or domains, wherever a row executes). *)
 val evaluate_all_sharded :
-  ?trap_cache:bool -> ?pre_resolve:bool -> shards:int ->
+  ?trap_cache:bool -> ?pre_resolve:bool ->
+  ?policy:Bastion_mt.Monitor_pool.policy -> shards:int ->
   unit -> row list * Bastion_mt.Monitor_pool.stats

@@ -1,31 +1,280 @@
 (* The sharded multi-tracee monitor pool.
 
    Layout: one bounded Trap_queue and one worker Domain per shard; the
-   calling domain is the feeder.  A tracee's work always goes to
-   [shard_of_tracee] of its id, so per-tracee order is total (bounded
-   FIFO, single consumer) and no verification state ever crosses a
-   domain: whatever a shard creates for a tracee — monitor, verdict
-   cache, recorder, stream-verifier state — lives and dies on that
-   shard's domain.  The feeder blocks when a queue is full
-   (backpressure, never drops) and merges results in tracee order after
-   joining every worker. *)
+   calling domain is the feeder.  Under the default [Static] policy a
+   tracee's work always goes to [shard_of_tracee] of its id; under
+   [Least_loaded] and [Steal] the deterministic virtual-clock {!Plan}
+   below decides placement per tracee batch.  Whatever the policy,
+   per-tracee order stays total: a tracee's batch is owned by exactly
+   one shard at a time (the claim), migration happens only at batch
+   boundaries (the tracee is quiescent on the virtual clock), and for
+   stateful stream verification the claim handoff carries the tracee's
+   state through a blocking {!Trap_queue.Cell} so the acquiring shard
+   cannot run ahead of the releasing one.  The feeder blocks when a
+   queue is full (backpressure, never drops) and merges results in
+   tracee order after joining every worker. *)
 
-type config = { shards : int; queue_capacity : int; batch : int }
+type policy = Static | Least_loaded | Steal
+
+let policy_name = function
+  | Static -> "static"
+  | Least_loaded -> "least-loaded"
+  | Steal -> "steal"
+
+let policy_of_string = function
+  | "static" -> Some Static
+  | "least-loaded" | "least_loaded" -> Some Least_loaded
+  | "steal" -> Some Steal
+  | _ -> None
+
+let all_policies = [ Static; Least_loaded; Steal ]
+
+type config = {
+  shards : int;
+  queue_capacity : int;
+  batch : int;
+  policy : policy;
+}
 
 let default_queue_capacity = 64
 let default_batch = 8
 
 let config ?(queue_capacity = default_queue_capacity) ?(batch = default_batch)
-    ~shards () =
+    ?(policy = Static) ~shards () =
   if shards < 1 then invalid_arg "Monitor_pool.config: shards must be >= 1";
   if queue_capacity < 1 then
     invalid_arg "Monitor_pool.config: queue_capacity must be >= 1";
   if batch < 1 then invalid_arg "Monitor_pool.config: batch must be >= 1";
-  { shards; queue_capacity; batch }
+  { shards; queue_capacity; batch; policy }
 
 let shard_of_tracee ~shards tracee =
   if shards < 1 then invalid_arg "Monitor_pool.shard_of_tracee: shards < 1";
   (tracee mod shards + shards) mod shards
+
+(* ------------------------------------------------------------------ *)
+(* The deterministic trap-stream scheduler                             *)
+
+(* Placement runs entirely on the modelled clock, never on host timing:
+   the feeder routes every item through one [Plan] in feed order, and a
+   serial replay of the same stream routes identically — which is what
+   lets the fleet driver's sharded runs stay [Metrics.equal] to the
+   serial reference under every policy.
+
+   The claim rule: a tracee's claim may move only when the tracee is
+   *quiescent* — its last trap has (virtually) finished before the new
+   one arrives — so there is never pending work on two shards at once
+   and per-tracee FIFO order stays total.
+
+   - [Static]       : claim = shard_of_tracee, forever.
+   - [Least_loaded] : a quiescent tracee's next batch is placed on the
+                      shard whose virtual clock is smallest (ties keep
+                      the current claim, then the lowest shard id).
+   - [Steal]        : claims start static; when a quiescent tracee's
+                      next trap would *wait* (its claim shard's clock
+                      is past the arrival) and a less-loaded shard
+                      would start it earlier, that shard steals the
+                      batch.  Idle thieves, loaded victims — and no
+                      movement at all while nothing queues. *)
+module Plan = struct
+  type t = {
+    pl_policy : policy;
+    pl_shards : int;
+    pl_clock : int array;  (* per-shard virtual completion time *)
+    pl_claim : (int, int) Hashtbl.t;  (* tracee -> owning shard *)
+    pl_done : (int, int) Hashtbl.t;  (* tracee -> last trap's finish *)
+    pl_items : int array;  (* per-shard items routed *)
+    pl_busy : int array;  (* per-shard service cycles routed *)
+    mutable pl_steals : int;
+    mutable pl_migrations : int;
+  }
+
+  type decision = {
+    d_shard : int;  (** where this trap goes *)
+    d_from : int option;  (** previous claim when the batch migrated *)
+  }
+
+  let create ?(policy = Static) ~shards () =
+    if shards < 1 then invalid_arg "Monitor_pool.Plan.create: shards < 1";
+    {
+      pl_policy = policy;
+      pl_shards = shards;
+      pl_clock = Array.make shards 0;
+      pl_claim = Hashtbl.create 32;
+      pl_done = Hashtbl.create 32;
+      pl_items = Array.make shards 0;
+      pl_busy = Array.make shards 0;
+      pl_steals = 0;
+      pl_migrations = 0;
+    }
+
+  (* Least-loaded shard by virtual clock; ties prefer [prefer], then
+     the lowest shard id. *)
+  let least_loaded t ~prefer =
+    let best = ref prefer in
+    for s = 0 to t.pl_shards - 1 do
+      if t.pl_clock.(s) < t.pl_clock.(!best) then best := s
+    done;
+    !best
+
+  let route t ~tracee ~at ~service =
+    if service < 0 then invalid_arg "Monitor_pool.Plan.route: negative service";
+    let current =
+      match Hashtbl.find_opt t.pl_claim tracee with
+      | Some s -> s
+      | None -> shard_of_tracee ~shards:t.pl_shards tracee
+    in
+    let had_claim = Hashtbl.mem t.pl_done tracee in
+    let quiescent =
+      match Hashtbl.find_opt t.pl_done tracee with
+      | None -> true
+      | Some d -> d <= at
+    in
+    let target =
+      match t.pl_policy with
+      | Static -> current
+      | Least_loaded ->
+        if quiescent then least_loaded t ~prefer:current else current
+      | Steal ->
+        if quiescent && t.pl_clock.(current) > at then begin
+          let thief = least_loaded t ~prefer:current in
+          if t.pl_clock.(thief) < t.pl_clock.(current) then thief else current
+        end
+        else current
+    in
+    let migrated = had_claim && target <> current in
+    if migrated then begin
+      t.pl_migrations <- t.pl_migrations + 1;
+      if t.pl_policy = Steal then t.pl_steals <- t.pl_steals + 1
+    end;
+    Hashtbl.replace t.pl_claim tracee target;
+    let start = max at t.pl_clock.(target) in
+    t.pl_clock.(target) <- start + service;
+    Hashtbl.replace t.pl_done tracee t.pl_clock.(target);
+    t.pl_items.(target) <- t.pl_items.(target) + 1;
+    t.pl_busy.(target) <- t.pl_busy.(target) + service;
+    { d_shard = target; d_from = (if migrated then Some current else None) }
+
+  let steals t = t.pl_steals
+  let migrations t = t.pl_migrations
+  let items_per_shard t = Array.copy t.pl_items
+  let busy_per_shard t = Array.copy t.pl_busy
+end
+
+(* ------------------------------------------------------------------ *)
+(* The deterministic whole-job scheduler                               *)
+
+(* The modelled-deployment counterpart for whole-tracee jobs, where
+   every job is available at virtual time 0 and its cost is known (the
+   driver measures per-tracee cycles first; placement is accounting,
+   not execution).  [Steal] seeds each shard's FIFO with its static
+   tracees and replays the work-stealing discipline on virtual clocks:
+   the shard that goes idle earliest acts next, popping its own front
+   or stealing the *back* of the victim with the most pending cycles.
+   [Least_loaded] is greedy earliest-finish placement in tracee
+   order. *)
+type job_plan = {
+  jp_policy : policy;
+  jp_assignment : int array;  (* tracee -> shard *)
+  jp_shard_cycles : int array;
+  jp_makespan : int;
+  jp_steals : int;
+  jp_migrations : int;
+}
+
+let plan_jobs ~policy ~shards (costs : int array) : job_plan =
+  if shards < 1 then invalid_arg "Monitor_pool.plan_jobs: shards < 1";
+  let n = Array.length costs in
+  let assignment = Array.make n (-1) in
+  let cycles = Array.make shards 0 in
+  let steals = ref 0 in
+  (match policy with
+  | Static ->
+    Array.iteri
+      (fun t c ->
+        let s = shard_of_tracee ~shards t in
+        assignment.(t) <- s;
+        cycles.(s) <- cycles.(s) + c)
+      costs
+  | Least_loaded ->
+    Array.iteri
+      (fun t c ->
+        let home = shard_of_tracee ~shards t in
+        let best = ref home in
+        for s = 0 to shards - 1 do
+          if cycles.(s) < cycles.(!best) then best := s
+        done;
+        assignment.(t) <- !best;
+        cycles.(!best) <- cycles.(!best) + c)
+      costs
+  | Steal ->
+    (* Per-shard pending FIFOs, seeded statically in tracee order. *)
+    let pending = Array.make shards [] in
+    for t = n - 1 downto 0 do
+      let s = shard_of_tracee ~shards t in
+      pending.(s) <- t :: pending.(s)
+    done;
+    let pending_cycles s = List.fold_left (fun a t -> a + costs.(t)) 0 pending.(s) in
+    let remaining = ref n in
+    while !remaining > 0 do
+      (* The shard idle earliest acts next; ties go to the lowest id. *)
+      let actor = ref 0 in
+      for s = 1 to shards - 1 do
+        if cycles.(s) < cycles.(!actor) then actor := s
+      done;
+      let s = !actor in
+      let take tracee ~stolen =
+        assignment.(tracee) <- s;
+        cycles.(s) <- cycles.(s) + costs.(tracee);
+        if stolen then incr steals;
+        decr remaining
+      in
+      (match pending.(s) with
+      | t :: rest ->
+        pending.(s) <- rest;
+        take t ~stolen:false
+      | [] ->
+        (* Steal from the back of the victim with the most pending
+           work (ties and all-zero-cost tails fall to the lowest
+           non-empty victim). *)
+        let victim = ref (-1) and best = ref (-1) in
+        for v = shards - 1 downto 0 do
+          if pending.(v) <> [] then begin
+            let pc = pending_cycles v in
+            if pc >= !best then begin
+              victim := v;
+              best := pc
+            end
+          end
+        done;
+        if !victim < 0 then
+          (* Nothing pending anywhere but remaining > 0: impossible. *)
+          assert false
+        else begin
+          match List.rev pending.(!victim) with
+          | [] -> assert false
+          | t :: rest_rev ->
+            pending.(!victim) <- List.rev rest_rev;
+            take t ~stolen:true
+        end)
+    done);
+  let migrations =
+    let m = ref 0 in
+    Array.iteri
+      (fun t s -> if s <> shard_of_tracee ~shards t then incr m)
+      assignment;
+    !m
+  in
+  {
+    jp_policy = policy;
+    jp_assignment = assignment;
+    jp_shard_cycles = cycles;
+    jp_makespan = Array.fold_left max 0 cycles;
+    jp_steals = !steals;
+    jp_migrations = migrations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pool runtime                                                        *)
 
 type shard_stats = {
   sh_shard : int;
@@ -34,16 +283,24 @@ type shard_stats = {
   sh_queue : Trap_queue.stats;
 }
 
-type stats = { p_config : config; p_tracees : int; p_shards : shard_stats array }
+type stats = {
+  p_config : config;
+  p_tracees : int;
+  p_shards : shard_stats array;
+  p_steals : int;
+  p_migrations : int;
+}
 
 (* Feeder/worker skeleton shared by both granularities: spawn one
-   worker per shard over its own queue, push every item to its owning
-   shard, close, join.  [worker] consumes batches until the queue
-   drains; its return value is the shard's result.  [arrival], when
-   given, stamps each item with its modelled-cycle arrival time (the
-   open-loop load driver's clock) so workers can pop stamped batches
-   and price queue wait into end-to-end latency. *)
-let with_pool ?arrival (cfg : config) ~(items : (int * 'item) Seq.t)
+   worker per shard over its own queue, push every item to its shard,
+   close, join.  [worker] consumes batches until the queue drains; its
+   return value is the shard's result.  [arrival], when given, stamps
+   each item with its modelled-cycle arrival time (the open-loop load
+   driver's clock) so workers can pop stamped batches and price queue
+   wait into end-to-end latency.  [route], when given, overrides the
+   static [shard_of_tracee] placement — this is how the {!Plan}'s
+   decisions reach the queues. *)
+let with_pool ?arrival ?route (cfg : config) ~(items : (int * 'item) Seq.t)
     ~(worker : shard:int -> (int * 'item) Trap_queue.t -> 'acc) :
     'acc array * (int -> Trap_queue.stats) =
   let queues =
@@ -53,22 +310,38 @@ let with_pool ?arrival (cfg : config) ~(items : (int * 'item) Seq.t)
     Array.init cfg.shards (fun s -> Domain.spawn (fun () -> worker ~shard:s queues.(s)))
   in
   let at = match arrival with None -> fun _ -> 0 | Some f -> f in
+  let dest =
+    match route with
+    | Some f -> f
+    | None ->
+      fun ((tracee, _) : int * 'item) -> shard_of_tracee ~shards:cfg.shards tracee
+  in
   (* Feed on the calling domain; a full shard queue blocks us here —
      that is the backpressure, not a drop. *)
   (try
      Seq.iter
-       (fun ((tracee, _) as item) ->
-         Trap_queue.push_at ~at:(at item)
-           queues.(shard_of_tracee ~shards:cfg.shards tracee)
-           item)
+       (fun item -> Trap_queue.push_at ~at:(at item) queues.(dest item) item)
        items
    with e ->
-     (* Never leave workers running: close and join before re-raising. *)
+     (* Never leave workers running: close and join before re-raising.
+        A worker that *also* raised must not shadow the feeder's
+        exception — the first failure wins, so join errors are
+        discarded here. *)
      Array.iter Trap_queue.close queues;
-     Array.iter (fun d -> ignore (Domain.join d)) domains;
+     Array.iter (fun d -> try ignore (Domain.join d) with _ -> ()) domains;
      raise e);
   Array.iter Trap_queue.close queues;
-  let accs = Array.map Domain.join domains in
+  (* Join every domain before raising anything, so a failure on shard 0
+     cannot leak shards 1..n-1; when several workers failed, the
+     lowest-numbered shard's exception wins deterministically. *)
+  let joined =
+    Array.map
+      (fun d -> match Domain.join d with v -> Ok v | exception e -> Error e)
+      domains
+  in
+  let accs =
+    Array.map (function Ok v -> v | Error e -> raise e) joined
+  in
   (accs, fun s -> Trap_queue.stats queues.(s))
 
 let drain (queue : 'a Trap_queue.t) ~batch ~f =
@@ -84,53 +357,173 @@ let drain (queue : 'a Trap_queue.t) ~batch ~f =
 (* ------------------------------------------------------------------ *)
 (* Whole-tracee jobs                                                   *)
 
+(* The static path feeds each job through its home shard's bounded
+   queue.  Under [Least_loaded] and [Steal] the pool switches to real
+   work stealing over {!Trap_queue.Deque}s: every deque is seeded with
+   its shard's static tracees, owners pop from the front, and a worker
+   whose deque runs dry steals whole-tracee claims from the *back* of
+   the longest victim.  (At whole-job granularity the two non-static
+   policies share this execution — job costs are unknown until the job
+   runs, so there is nothing for least-loaded placement to weigh; the
+   deterministic cost-aware split between them lives in {!plan_jobs},
+   which the drivers use for modelled accounting.)  Each result slot is
+   written by exactly one domain and read only after the joins. *)
 let run_tracees (type r) ~(config : config) (jobs : (unit -> r) array) :
     r array * stats =
   let n = Array.length jobs in
-  (* One slot per tracee; each is written by exactly one worker domain
-     and read only after the joins (the join gives the happens-before
-     edge). *)
   let results : (r, exn) result option array = Array.make n None in
-  let worker ~shard:_ queue =
-    let items = ref 0 in
-    let tracees = ref 0 in
-    drain queue ~batch:config.batch ~f:(fun (tracee, ()) ->
-        incr items;
-        incr tracees;
-        results.(tracee) <-
-          Some (match jobs.(tracee) () with v -> Ok v | exception e -> Error e));
-    (!items, !tracees)
-  in
-  let accs, queue_stats =
-    with_pool config
-      ~items:(Seq.init n (fun i -> (i, ())))
-      ~worker
-  in
-  let shard_stats =
-    Array.mapi
-      (fun s (items, tracees) ->
-        { sh_shard = s; sh_tracees = tracees; sh_items = items;
-          sh_queue = queue_stats s })
-      accs
-  in
-  let stats = { p_config = config; p_tracees = n; p_shards = shard_stats } in
-  (* Deterministic failure: the lowest-numbered failing tracee wins,
-     whatever order the shards actually ran in. *)
-  let values =
-    Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error e) -> raise e
-        | None -> assert false (* every index was pushed and drained *))
-      results
-  in
-  (values, stats)
+  if config.policy = Static then begin
+    let worker ~shard:_ queue =
+      let items = ref 0 in
+      let tracees = ref 0 in
+      drain queue ~batch:config.batch ~f:(fun (tracee, ()) ->
+          incr items;
+          incr tracees;
+          results.(tracee) <-
+            Some (match jobs.(tracee) () with v -> Ok v | exception e -> Error e));
+      (!items, !tracees)
+    in
+    let accs, queue_stats =
+      with_pool config
+        ~items:(Seq.init n (fun i -> (i, ())))
+        ~worker
+    in
+    let shard_stats =
+      Array.mapi
+        (fun s (items, tracees) ->
+          { sh_shard = s; sh_tracees = tracees; sh_items = items;
+            sh_queue = queue_stats s })
+        accs
+    in
+    let stats =
+      { p_config = config; p_tracees = n; p_shards = shard_stats;
+        p_steals = 0; p_migrations = 0 }
+    in
+    let values =
+      Array.map
+        (function
+          | Some (Ok v) -> v
+          | Some (Error e) -> raise e
+          | None -> assert false (* every index was pushed and drained *))
+        results
+    in
+    (values, stats)
+  end
+  else begin
+    let shards = config.shards in
+    let deques = Array.init shards (fun _ -> Trap_queue.Deque.create ()) in
+    for t = 0 to n - 1 do
+      Trap_queue.Deque.push_back deques.(shard_of_tracee ~shards t) t
+    done;
+    (* Which shard ran each tracee; single writer per slot, read after
+       the joins. *)
+    let executed = Array.make n (-1) in
+    let worker shard () =
+      let items = ref 0 in
+      (* Own front first; otherwise steal the back of the longest
+         victim.  A lost steal race just rescans — deques are never
+         refilled, so an all-empty scan means the work is done. *)
+      let rec acquire () =
+        match Trap_queue.Deque.pop_front deques.(shard) with
+        | Some t -> Some t
+        | None ->
+          let victim = ref (-1) and best = ref 0 in
+          for v = 0 to shards - 1 do
+            let len = Trap_queue.Deque.length deques.(v) in
+            if len > !best then begin
+              victim := v;
+              best := len
+            end
+          done;
+          if !victim < 0 then None
+          else begin
+            match Trap_queue.Deque.steal_back deques.(!victim) with
+            | Some t -> Some t
+            | None -> acquire ()
+          end
+      in
+      let rec loop () =
+        match acquire () with
+        | None -> !items
+        | Some tracee ->
+          incr items;
+          executed.(tracee) <- shard;
+          results.(tracee) <-
+            Some
+              (match jobs.(tracee) () with v -> Ok v | exception e -> Error e);
+          loop ()
+      in
+      loop ()
+    in
+    let domains = Array.init shards (fun s -> Domain.spawn (worker s)) in
+    let counts =
+      Array.map
+        (fun d -> match Domain.join d with v -> Ok v | exception e -> Error e)
+        domains
+    in
+    let counts = Array.map (function Ok v -> v | Error e -> raise e) counts in
+    let shard_stats =
+      Array.mapi
+        (fun s items ->
+          let dq = Trap_queue.Deque.stats deques.(s) in
+          (* The deque plays the queue's role here; its accounting maps
+             onto the queue-stats shape so probes stay uniform.
+             [popped] counts claims that left this deque either way. *)
+          { sh_shard = s;
+            sh_tracees = items;
+            sh_items = items;
+            sh_queue =
+              {
+                Trap_queue.q_capacity = config.queue_capacity;
+                q_pushed = dq.Trap_queue.Deque.dq_pushed;
+                q_popped =
+                  dq.Trap_queue.Deque.dq_popped + dq.Trap_queue.Deque.dq_stolen;
+                q_max_depth = dq.Trap_queue.Deque.dq_max_len;
+                q_blocked_pushes = 0;
+                q_batches =
+                  dq.Trap_queue.Deque.dq_popped + dq.Trap_queue.Deque.dq_stolen;
+              } })
+        counts
+    in
+    let steals =
+      Array.fold_left
+        (fun acc d -> acc + (Trap_queue.Deque.stats d).Trap_queue.Deque.dq_stolen)
+        0 deques
+    in
+    let migrations = ref 0 in
+    Array.iteri
+      (fun t s -> if s <> shard_of_tracee ~shards t then incr migrations)
+      executed;
+    let stats =
+      { p_config = config; p_tracees = n; p_shards = shard_stats;
+        p_steals = steals; p_migrations = !migrations }
+    in
+    let values =
+      Array.map
+        (function
+          | Some (Ok v) -> v
+          | Some (Error e) -> raise e
+          | None -> assert false (* every claim was seeded and consumed *))
+        results
+    in
+    (values, stats)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Trap-granular stream                                                *)
 
-let process_stream (type s v) ~(config : config) ~tracees
-    ~(init : int -> s) ~(verify : tracee:int -> s -> 'trap -> v)
+(* Worker commands.  [Work] carries the trap's global feed sequence
+   (for the order-restoring merge) and, when the trap is the first on
+   a new claim shard, the handoff cell to adopt the tracee's state
+   from.  [Release] tells the old claim shard to surrender the state
+   into the cell after it has processed everything before it — queue
+   FIFO gives exactly that. *)
+type ('s, 'trap) stream_cmd =
+  | Work of int * 'trap * 's Trap_queue.Cell.t option
+  | Release of 's Trap_queue.Cell.t
+
+let process_stream (type s v) ?(service = fun _ -> 1) ~(config : config)
+    ~tracees ~(init : int -> s) ~(verify : tracee:int -> s -> 'trap -> v)
     (stream : (int * 'trap) list) : v list array * stats =
   List.iter
     (fun (tracee, _) ->
@@ -139,36 +532,99 @@ let process_stream (type s v) ~(config : config) ~tracees
           (Printf.sprintf "Monitor_pool.process_stream: tracee %d not in [0,%d)"
              tracee tracees))
     stream;
+  (* Route the whole stream through one deterministic plan, in feed
+     order.  With no arrival process of its own, a trap's virtual
+     arrival is the ideal-balance completion time of everything before
+     it: cumulative service over the shard count.  Under [Static] the
+     plan degenerates to [shard_of_tracee] and no Release is ever
+     emitted. *)
+  let plan = Plan.create ~policy:config.policy ~shards:config.shards () in
+  let cum = ref 0 in
+  let seq = ref 0 in
+  let routed =
+    List.concat_map
+      (fun (tracee, trap) ->
+        let sv = service trap in
+        if sv < 0 then
+          invalid_arg "Monitor_pool.process_stream: negative service";
+        let at = !cum / config.shards in
+        cum := !cum + sv;
+        let d = Plan.route plan ~tracee ~at ~service:sv in
+        let i = !seq in
+        incr seq;
+        match d.Plan.d_from with
+        | None -> [ (tracee, (d.Plan.d_shard, Work (i, trap, None))) ]
+        | Some old ->
+          (* Release strictly before the acquiring Work: the feed-order
+             edge the deadlock-freedom argument leans on (DESIGN §13). *)
+          let cell = Trap_queue.Cell.create () in
+          [
+            (tracee, (old, Release cell));
+            (tracee, (d.Plan.d_shard, Work (i, trap, Some cell)));
+          ])
+      stream
+  in
   let worker ~shard:_ queue =
     let states : (int, s) Hashtbl.t = Hashtbl.create 8 in
-    let verdicts : (int, v list) Hashtbl.t = Hashtbl.create 8 in
+    let seen : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    let verdicts : (int, (int * v) list) Hashtbl.t = Hashtbl.create 8 in
     let items = ref 0 in
-    drain queue ~batch:config.batch ~f:(fun (tracee, trap) ->
-        incr items;
-        let state =
-          match Hashtbl.find_opt states tracee with
-          | Some s -> s
-          | None ->
-            let s = init tracee in
-            Hashtbl.replace states tracee s;
-            s
-        in
-        let v = verify ~tracee state trap in
-        Hashtbl.replace verdicts tracee
-          (v :: Option.value ~default:[] (Hashtbl.find_opt verdicts tracee)));
+    drain queue ~batch:config.batch ~f:(fun (tracee, (_, cmd)) ->
+        match cmd with
+        | Release cell ->
+          let state =
+            match Hashtbl.find_opt states tracee with
+            | Some s -> s
+            | None -> assert false (* claim discipline: state is here *)
+          in
+          Hashtbl.remove states tracee;
+          Trap_queue.Cell.fill cell state
+        | Work (i, trap, adopt) ->
+          incr items;
+          Hashtbl.replace seen tracee ();
+          let state =
+            match adopt with
+            | Some cell ->
+              let s = Trap_queue.Cell.take cell in
+              Hashtbl.replace states tracee s;
+              s
+            | None -> (
+              match Hashtbl.find_opt states tracee with
+              | Some s -> s
+              | None ->
+                let s = init tracee in
+                Hashtbl.replace states tracee s;
+                s)
+          in
+          let v = verify ~tracee state trap in
+          Hashtbl.replace verdicts tracee
+            ((i, v)
+            :: Option.value ~default:[] (Hashtbl.find_opt verdicts tracee)));
     let per_tracee =
-      Hashtbl.fold (fun tracee vs acc -> (tracee, List.rev vs) :: acc) verdicts []
+      Hashtbl.fold (fun tracee vs acc -> (tracee, vs) :: acc) verdicts []
     in
-    (!items, Hashtbl.length states, per_tracee)
+    (!items, Hashtbl.length seen, per_tracee)
   in
   let accs, queue_stats =
-    with_pool config ~items:(List.to_seq stream) ~worker
+    with_pool config
+      ~route:(fun (_, (shard, _)) -> shard)
+      ~items:(List.to_seq routed) ~worker
   in
-  let merged = Array.make tracees [] in
+  (* A migrated tracee's verdicts are spread over several shards; the
+     feed-sequence tags restore the per-tracee total order exactly. *)
+  let tagged = Array.make tracees [] in
   Array.iter
     (fun (_, _, per_tracee) ->
-      List.iter (fun (tracee, vs) -> merged.(tracee) <- vs) per_tracee)
+      List.iter
+        (fun (tracee, vs) -> tagged.(tracee) <- List.rev_append vs tagged.(tracee))
+        per_tracee)
     accs;
+  let merged =
+    Array.map
+      (fun vs ->
+        List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) vs))
+      tagged
+  in
   let shard_stats =
     Array.mapi
       (fun s (items, tracees, _) ->
@@ -176,7 +632,9 @@ let process_stream (type s v) ~(config : config) ~tracees
           sh_queue = queue_stats s })
       accs
   in
-  (merged, { p_config = config; p_tracees = tracees; p_shards = shard_stats })
+  ( merged,
+    { p_config = config; p_tracees = tracees; p_shards = shard_stats;
+      p_steals = Plan.steals plan; p_migrations = Plan.migrations plan } )
 
 let process_stream_serial (type s v) ~tracees ~(init : int -> s)
     ~(verify : tracee:int -> s -> 'trap -> v) (stream : (int * 'trap) list) :
@@ -210,12 +668,29 @@ let process_stream_serial (type s v) ~tracees ~(init : int -> s)
    stays authoritative (re-registering after another run replaces the
    probe rather than double counting), and the registry read is the
    same [counter_values] path either way. *)
+let util_spread (stats : stats) =
+  let n = Array.length stats.p_shards in
+  if n = 0 then 0.0
+  else begin
+    let items = Array.map (fun sh -> sh.sh_items) stats.p_shards in
+    let total = Array.fold_left ( + ) 0 items in
+    if total = 0 then 0.0
+    else
+      float_of_int (Array.fold_left max 0 items)
+      /. (float_of_int total /. float_of_int n)
+  end
+
 let mirror_stats (stats : stats) (reg : Obs.Metrics.t) =
   let probe name v =
     Obs.Metrics.register_probe reg name (fun () -> float_of_int v)
   in
   probe "mt.shards" stats.p_config.shards;
   probe "mt.tracees" stats.p_tracees;
+  probe "mt.steals" stats.p_steals;
+  probe "mt.migrations" stats.p_migrations;
+  (* Imbalance in one number: hottest shard's items over the mean.
+     1.0 is a perfectly level pool; shards/1 is everything on one. *)
+  Obs.Metrics.register_probe reg "mt.util_spread" (fun () -> util_spread stats);
   Array.iter
     (fun (sh : shard_stats) ->
       let p suffix v =

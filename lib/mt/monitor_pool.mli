@@ -3,40 +3,130 @@
     The paper's monitor (§7) serially traps and verifies one tracee's
     syscalls; total verification throughput is therefore capped at one
     trap at a time no matter how many protected processes exist.  The
-    pool shards *tracees* across OCaml 5 worker domains: every tracee
-    is pinned to one shard ([shard_of_tracee], stable by tracee id), a
-    bounded {!Trap_queue} per shard carries its work with blocking-push
+    pool shards *tracees* across OCaml 5 worker domains: a bounded
+    {!Trap_queue} per shard carries its work with blocking-push
     backpressure, and each shard's verification state — the per-tracee
     [Monitor.t], its verdict cache, its recorder — is created and only
-    ever touched on that shard's domain.  Nothing mutable is shared
-    across domains, so a tracee's modelled cycles, verdicts and denials
-    are byte-identical to a serial run regardless of the shard count;
-    results are merged back in tracee order.
+    ever touched on that shard's domain *while the shard owns the
+    tracee's claim*.
+
+    Placement is a {!policy}.  Under the default {!Static} every tracee
+    is pinned to [shard_of_tracee] of its id forever.  Under
+    {!Least_loaded} and {!Steal} the deterministic virtual-clock
+    {!Plan} may migrate a tracee's claim between shards — but only at
+    batch boundaries when the tracee is quiescent, and the handoff
+    moves the verifier state through a blocking {!Trap_queue.Cell}, so
+    a tracee's work is still owned by exactly one shard at a time and
+    per-tracee trap order stays total (DESIGN §13).  Verdicts, modelled
+    cycles and denials are byte-identical to a serial run under every
+    policy; results are merged back in tracee order.
 
     Two granularities:
     - {!run_tracees}: whole-tracee jobs (boot a session, run the
       machine, verify its traps in-domain as they stop) — what the
       multi-tracee workload driver and the attack runner use;
     - {!process_stream}: an interleaved per-trap stream dispatched to
-      the owning shard — the event-loop shape of a real multi-tracee
-      ptrace monitor, and what the equivalence property tests drive. *)
+      the claim-owning shard — the event-loop shape of a real
+      multi-tracee ptrace monitor, and what the equivalence property
+      tests drive. *)
+
+(** How tracee work is placed on shards. *)
+type policy =
+  | Static  (** pin to [shard_of_tracee], never move — the baseline *)
+  | Least_loaded
+      (** place each quiescent batch on the least-loaded shard
+          (virtual clock); the simpler ablation arm *)
+  | Steal
+      (** static homes, but an idle shard steals a quiescent tracee's
+          next batch when its claim shard would make it wait *)
+
+val policy_name : policy -> string
+(** ["static"], ["least-loaded"], ["steal"] — the CLI spelling. *)
+
+val policy_of_string : string -> policy option
+(** Inverse of {!policy_name} (also accepts ["least_loaded"]). *)
+
+val all_policies : policy list
+(** [[Static; Least_loaded; Steal]] — ablation sweep order. *)
 
 type config = {
   shards : int;          (** worker domains; >= 1 *)
   queue_capacity : int;  (** bound of each shard's trap queue *)
   batch : int;           (** max items per consumer pop *)
+  policy : policy;       (** placement policy; {!Static} by default *)
 }
 
 val default_queue_capacity : int
 val default_batch : int
 
-(** [config ~shards ()] with defaulted queue bounds.
-    @raise Invalid_argument on a non-positive field. *)
-val config : ?queue_capacity:int -> ?batch:int -> shards:int -> unit -> config
+(** [config ~shards ()] with defaulted queue bounds and the {!Static}
+    policy.  @raise Invalid_argument on a non-positive field. *)
+val config :
+  ?queue_capacity:int -> ?batch:int -> ?policy:policy -> shards:int -> unit ->
+  config
 
-(** The owning shard of a tracee: stable, so the same tracee always
-    lands on the same shard (per-tracee serialisation). *)
+(** The *home* shard of a tracee: stable by id.  Under {!Static} this
+    is final; under the other policies it seeds the claim. *)
 val shard_of_tracee : shards:int -> int -> int
+
+(** The deterministic trap-stream scheduler.  One plan routes a whole
+    stream in feed order on modelled virtual clocks — never host
+    timing — so a sharded run and a serial replay of the same stream
+    place every trap identically, which is what keeps sharded metrics
+    [Metrics.equal] to the serial reference under every policy.  A
+    tracee's claim may move only when the tracee is quiescent (its
+    previous trap's virtual finish is at or before the new arrival), so
+    there is never pending work on two shards at once. *)
+module Plan : sig
+  type t
+
+  type decision = {
+    d_shard : int;  (** where this trap goes *)
+    d_from : int option;  (** previous claim when the batch migrated *)
+  }
+
+  val create : ?policy:policy -> shards:int -> unit -> t
+  (** Fresh plan, all clocks zero.  @raise Invalid_argument on
+      [shards < 1]. *)
+
+  val route : t -> tracee:int -> at:int -> service:int -> decision
+  (** Route one trap arriving at modelled cycle [at] costing [service]
+      cycles, advancing the target shard's clock.  Must be called in
+      feed order.  @raise Invalid_argument on negative [service]. *)
+
+  val steals : t -> int
+  (** Migrations performed by the {!Steal} policy so far. *)
+
+  val migrations : t -> int
+  (** Claim moves under any policy so far (= {!steals} for [Steal]). *)
+
+  val items_per_shard : t -> int array
+
+  val busy_per_shard : t -> int array
+  (** Routed items / service cycles per shard — the modelled load the
+      fleet driver turns into per-shard utilisation. *)
+end
+
+(** Deterministic placement of whole-tracee jobs with known costs:
+    the modelled-deployment counterpart of {!run_tracees}' real
+    stealing, used by the drivers for makespan accounting.  [Static]
+    groups by home shard; [Least_loaded] greedily places each tracee
+    (in id order) on the shard with the least accumulated cycles;
+    [Steal] replays the stealing discipline on virtual clocks — the
+    earliest-idle shard pops its own FIFO front or steals the back of
+    the victim with the most pending cycles. *)
+type job_plan = {
+  jp_policy : policy;
+  jp_assignment : int array;   (** tracee -> shard *)
+  jp_shard_cycles : int array; (** accumulated cycles per shard *)
+  jp_makespan : int;           (** max over shards *)
+  jp_steals : int;             (** [Steal]-policy steals (else 0) *)
+  jp_migrations : int;         (** tracees not on their home shard *)
+}
+
+val plan_jobs : policy:policy -> shards:int -> int array -> job_plan
+(** [plan_jobs ~policy ~shards costs] where [costs.(t)] is tracee
+    [t]'s measured cycles.  @raise Invalid_argument on [shards < 1]. *)
 
 type shard_stats = {
   sh_shard : int;
@@ -49,37 +139,60 @@ type stats = {
   p_config : config;
   p_tracees : int;
   p_shards : shard_stats array;
+  p_steals : int;      (** claims/batches moved by stealing *)
+  p_migrations : int;  (** claim moves under any non-static policy *)
 }
 
 (** The feeder/worker skeleton under both granularities, exposed for
     harnesses that need raw shard workers (the open-loop fleet driver):
     one worker domain and one bounded queue per shard; every item is
-    pushed to its tracee's owning shard ([arrival], when given, stamps
-    it with the modelled-cycle arrival time for
-    {!Trap_queue.pop_batch_stamped}); queues close when the item
+    pushed to its tracee's home shard, or to [route item] when [route]
+    is given — how a {!Plan}'s decisions reach the queues.  [arrival],
+    when given, stamps each item with the modelled-cycle arrival time
+    for {!Trap_queue.pop_batch_stamped}.  Queues close when the item
     sequence ends and workers' results come back in shard order, with
-    a post-join accessor for each queue's lifetime stats. *)
+    a post-join accessor for each queue's lifetime stats.
+
+    Failure semantics: if the feeder raises, queues are closed and all
+    workers joined (join errors discarded) before the feeder's
+    exception — the first failure — is re-raised.  If only workers
+    raise, every domain is joined first and the lowest-numbered
+    shard's exception wins deterministically. *)
 val with_pool :
   ?arrival:(int * 'item -> int) ->
+  ?route:(int * 'item -> int) ->
   config ->
   items:(int * 'item) Seq.t ->
   worker:(shard:int -> (int * 'item) Trap_queue.t -> 'acc) ->
   'acc array * (int -> Trap_queue.stats)
 
-(** Run one job per tracee (index = tracee id), each on its owning
-    shard's domain; within a shard, jobs run serially in queue order.
-    Results come back in tracee order.  If jobs raised, the exception
-    of the lowest-numbered failing tracee is re-raised after every
-    domain has been joined (deterministic, no orphaned domains). *)
+(** Run one job per tracee (index = tracee id).  Under {!Static} each
+    job runs on its home shard's domain, serially in queue order.
+    Under {!Least_loaded}/{!Steal} the pool work-steals for real: each
+    shard's {!Trap_queue.Deque} is seeded with its home tracees,
+    owners pop the front, and an idle worker steals whole-tracee
+    claims from the back of the longest victim (job costs are unknown
+    until run, so both non-static policies share this execution; the
+    cost-aware modelled split lives in {!plan_jobs}).  Results come
+    back in tracee order.  If jobs raised, the exception of the
+    lowest-numbered failing tracee is re-raised after every domain has
+    been joined (deterministic, no orphaned domains). *)
 val run_tracees : config:config -> (unit -> 'r) array -> 'r array * stats
 
 (** Dispatch an interleaved trap stream [(tracee, trap); ...] to the
-    owning shards.  [init tracee] creates the tracee's verifier state
-    *on its shard's domain* at its first trap; [verify] folds each trap
-    through that state.  Per-tracee verdict order equals stream order
-    (one bounded FIFO per shard, one consumer).  Tracee ids must lie in
-    [0, tracees).  Returns the per-tracee verdict lists, tracee order. *)
+    claim-owning shards, routing every trap through one {!Plan} in
+    feed order ([service], default [fun _ -> 1], prices each trap; a
+    trap's virtual arrival is the ideal-balance completion time of the
+    stream before it).  [init tracee] creates the tracee's verifier
+    state on its first shard; on migration the releasing shard
+    surrenders that state through a blocking {!Trap_queue.Cell} after
+    its last pre-migration trap, so the acquiring shard cannot run
+    ahead — per-tracee verdict order equals stream order under every
+    policy, and the returned verdicts are bit-identical to
+    {!process_stream_serial}.  Tracee ids must lie in [0, tracees).
+    Returns the per-tracee verdict lists, tracee order. *)
 val process_stream :
+  ?service:('trap -> int) ->
   config:config ->
   tracees:int ->
   init:(int -> 's) ->
@@ -97,10 +210,16 @@ val process_stream_serial :
   (int * 'trap) list ->
   'v list array
 
+val util_spread : stats -> float
+(** Imbalance in one number: the hottest shard's items over the mean
+    per-shard items.  [1.0] is perfectly level, [shards] is everything
+    on one shard; [0.0] when the pool processed nothing. *)
+
 (** Expose a finished pool's per-shard occupancy and queue
     backpressure accounting as sampled probes on a metrics registry
-    ([mt.shards], [mt.tracees], and per shard [mt.shard<i>.items],
-    [.tracees], [.queue.capacity], [.queue.pushed], [.queue.popped],
+    ([mt.shards], [mt.tracees], [mt.steals], [mt.migrations],
+    [mt.util_spread], and per shard [mt.shard<i>.items], [.tracees],
+    [.queue.capacity], [.queue.pushed], [.queue.popped],
     [.queue.max_depth], [.queue.blocked_pushes], [.queue.batches],
     [.queue.mean_batch]).  Probes, not counters: the stats snapshot
     stays authoritative and re-registration replaces rather than

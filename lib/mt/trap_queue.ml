@@ -154,3 +154,155 @@ let register_probes (t : 'a t) reg ~prefix =
   probe "mean_batch" (fun () ->
       if t.batches = 0 then 0.0
       else float_of_int t.popped /. float_of_int t.batches)
+
+(* ------------------------------------------------------------------ *)
+(* The stealable deque of whole-tracee claims                          *)
+
+(* A mutex-guarded double-ended queue: the owning shard pops claims
+   from the front (FIFO over its seeded work), idle thieves steal from
+   the back — the claim least likely to be the one the owner touches
+   next.  Like the trap queue, this is a coordination point, not a hot
+   loop: a claim is a whole tracee's work batch, so contention is per
+   tracee, not per trap.  No blocking: deques are seeded up front and
+   never refilled, so an empty scan means the work is done. *)
+module Deque = struct
+  type 'a t = {
+    d_lock : Mutex.t;
+    (* Front list in order + back list reversed: O(1) amortised at
+       both ends, fine under a mutex. *)
+    mutable front : 'a list;
+    mutable back : 'a list;
+    mutable d_len : int;
+    mutable d_pushed : int;
+    mutable d_popped : int;  (* owner pops (front) *)
+    mutable d_stolen : int;  (* thief steals (back) *)
+    mutable d_max_len : int;
+  }
+
+  type stats = {
+    dq_pushed : int;
+    dq_popped : int;
+    dq_stolen : int;
+    dq_max_len : int;
+  }
+
+  let create () =
+    {
+      d_lock = Mutex.create ();
+      front = [];
+      back = [];
+      d_len = 0;
+      d_pushed = 0;
+      d_popped = 0;
+      d_stolen = 0;
+      d_max_len = 0;
+    }
+
+  let locked (t : 'a t) f =
+    Mutex.lock t.d_lock;
+    match f () with
+    | v ->
+      Mutex.unlock t.d_lock;
+      v
+    | exception e ->
+      Mutex.unlock t.d_lock;
+      raise e
+
+  let push_back (t : 'a t) x =
+    locked t (fun () ->
+        t.back <- x :: t.back;
+        t.d_len <- t.d_len + 1;
+        t.d_pushed <- t.d_pushed + 1;
+        if t.d_len > t.d_max_len then t.d_max_len <- t.d_len)
+
+  let pop_front (t : 'a t) =
+    locked t (fun () ->
+        (match t.front with
+        | [] ->
+          t.front <- List.rev t.back;
+          t.back <- []
+        | _ -> ());
+        match t.front with
+        | [] -> None
+        | x :: rest ->
+          t.front <- rest;
+          t.d_len <- t.d_len - 1;
+          t.d_popped <- t.d_popped + 1;
+          Some x)
+
+  let steal_back (t : 'a t) =
+    locked t (fun () ->
+        (match t.back with
+        | [] ->
+          t.back <- List.rev t.front;
+          t.front <- []
+        | _ -> ());
+        match t.back with
+        | [] -> None
+        | x :: rest ->
+          t.back <- rest;
+          t.d_len <- t.d_len - 1;
+          t.d_stolen <- t.d_stolen + 1;
+          Some x)
+
+  let length (t : 'a t) = locked t (fun () -> t.d_len)
+
+  let stats (t : 'a t) =
+    locked t (fun () ->
+        {
+          dq_pushed = t.d_pushed;
+          dq_popped = t.d_popped;
+          dq_stolen = t.d_stolen;
+          dq_max_len = t.d_max_len;
+        })
+end
+
+(* ------------------------------------------------------------------ *)
+(* The claim-handoff cell                                              *)
+
+(* A single-shot blocking box carrying a migrating tracee's
+   verification state between shard domains.  The releasing shard
+   fills it exactly once when it has processed the tracee's last
+   pre-migration trap; the acquiring shard blocks in [take] until then,
+   which is the happens-before edge that keeps per-tracee order total
+   across the handoff.  Deadlock-freedom: a worker blocked in [take]
+   waits on a cell filled at a strictly earlier feed position (the
+   release is enqueued before the acquire), so any waits-for chain
+   walks strictly backwards through the feed order and can never
+   cycle — see DESIGN §13. *)
+module Cell = struct
+  type 'a t = {
+    c_lock : Mutex.t;
+    c_cond : Condition.t;
+    mutable c_value : 'a option;
+  }
+
+  let create () =
+    { c_lock = Mutex.create (); c_cond = Condition.create (); c_value = None }
+
+  let fill (t : 'a t) v =
+    Mutex.lock t.c_lock;
+    (match t.c_value with
+    | Some _ ->
+      Mutex.unlock t.c_lock;
+      invalid_arg "Trap_queue.Cell.fill: cell already filled"
+    | None ->
+      t.c_value <- Some v;
+      Condition.signal t.c_cond;
+      Mutex.unlock t.c_lock)
+
+  let take (t : 'a t) =
+    Mutex.lock t.c_lock;
+    let rec wait () =
+      match t.c_value with
+      | Some v ->
+        t.c_value <- None;
+        Mutex.unlock t.c_lock;
+        v
+      | None ->
+        Condition.wait t.c_cond t.c_lock;
+        wait ()
+    in
+    wait ()
+end
+

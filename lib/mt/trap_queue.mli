@@ -65,3 +65,47 @@ val register_probes : 'a t -> Obs.Metrics.t -> prefix:string -> unit
     popped, max_depth, blocked_pushes, batches, mean_batch) as sampled
     probes named [prefix ^ "." ^ field].  Probes read under the
     queue's lock, so they never disagree with {!stats}. *)
+
+(** A mutex-guarded stealable deque of whole-tracee claims for the
+    work-stealing scheduler: the owning shard pops from the front
+    (FIFO over its seeded work), idle thieves steal from the back.
+    Deques are seeded up front and never refilled, so an empty scan
+    across every deque means the work is done — no blocking needed. *)
+module Deque : sig
+  type 'a t
+
+  type stats = {
+    dq_pushed : int;   (** claims seeded onto this deque *)
+    dq_popped : int;   (** claims the owner popped from the front *)
+    dq_stolen : int;   (** claims thieves stole from the back *)
+    dq_max_len : int;  (** high-water occupancy *)
+  }
+
+  val create : unit -> 'a t
+  val push_back : 'a t -> 'a -> unit
+  val pop_front : 'a t -> 'a option
+  val steal_back : 'a t -> 'a option
+  val length : 'a t -> int
+  val stats : 'a t -> stats
+end
+
+(** A single-shot blocking box for claim handoff: when the scheduler
+    migrates a tracee between shards, the releasing shard [fill]s the
+    cell with the tracee's verification state after processing its last
+    pre-migration trap, and the acquiring shard blocks in [take] until
+    it does.  That wait is the happens-before edge that keeps
+    per-tracee trap order total across the migration.  Deadlock-free:
+    a release is always enqueued at a strictly earlier feed position
+    than its acquire, so waits-for chains walk strictly backwards
+    through the feed order and cannot cycle (DESIGN §13). *)
+module Cell : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val fill : 'a t -> 'a -> unit
+  (** @raise Invalid_argument if the cell is already filled. *)
+
+  val take : 'a t -> 'a
+  (** Blocks until {!fill}; consumes the value. *)
+end

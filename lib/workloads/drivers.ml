@@ -282,29 +282,28 @@ type multi = {
   mm_wall_seconds : float;
   mm_serial_cycles : int;
   mm_makespan_cycles : int;
+  mm_plan : Pool.job_plan;
 }
 
 let sum_traps (m : multi) =
   Array.fold_left (fun acc t -> acc + t.m_traps) 0 m.mm_tracees
 
-(* Group the per-tracee cycle totals by owning shard and take the
-   heaviest shard: the modelled makespan of a deployment where every
-   shard runs on its own core. *)
-let makespan_cycles ~shards (tracees : measurement array) =
-  let per_shard = Array.make shards 0 in
-  Array.iteri
-    (fun i m ->
-      let s = Pool.shard_of_tracee ~shards i in
-      per_shard.(s) <- per_shard.(s) + m.m_cycles)
-    tracees;
-  Array.fold_left max 0 per_shard
-
 let run_multi ?cost ?trap_cache ?pre_resolve ?prefilter ?queue_capacity ?batch
-    ?shard_recorders ~shards ~tracees (app : app) (defense : defense) : multi =
+    ?(scheduler = Pool.Static) ?shard_recorders ~shards ~tracees (app : app)
+    (defense : defense) : multi =
   if tracees < 1 then invalid_arg "Drivers.run_multi: tracees must be >= 1";
   (match shard_recorders with
   | Some rs when Array.length rs <> shards ->
     invalid_arg "Drivers.run_multi: shard_recorders must have one slot per shard"
+  | _ -> ());
+  (* A shard recorder's lane stamping relies on the static pin (its
+     tracees run serially on its own domain); under a stealing policy
+     a tracee may execute anywhere, so the combination is rejected
+     rather than silently racy. *)
+  (match (shard_recorders, scheduler) with
+  | Some _, (Pool.Least_loaded | Pool.Steal) ->
+    invalid_arg
+      "Drivers.run_multi: shard_recorders requires the static scheduler"
   | _ -> ());
   (* Warm the shared compile-pass caches on this domain before any
      worker spawns: afterwards the worker domains only ever *read* the
@@ -317,7 +316,7 @@ let run_multi ?cost ?trap_cache ?pre_resolve ?prefilter ?queue_capacity ?batch
   | Bastion_fs _ ->
     ignore (protected_of ?pre_resolve app ~fs:true);
     if prefilter <> None then ignore (flow_spec_of app ~fs:true));
-  let config = Pool.config ?queue_capacity ?batch ~shards () in
+  let config = Pool.config ?queue_capacity ?batch ~policy:scheduler ~shards () in
   let job tracee () =
     let recorder =
       match shard_recorders with
@@ -336,10 +335,19 @@ let run_multi ?cost ?trap_cache ?pre_resolve ?prefilter ?queue_capacity ?batch
   let t0 = Unix.gettimeofday () in
   let results, pool = Pool.run_tracees ~config (Array.init tracees job) in
   let wall = Unix.gettimeofday () -. t0 in
+  (* Modelled makespan comes from the deterministic job plan over the
+     measured per-tracee cycles — the deployment where every shard has
+     its own core and placement follows the chosen policy.  For
+     [Static] this is exactly the old group-by-home-shard maximum. *)
+  let plan =
+    Pool.plan_jobs ~policy:scheduler ~shards
+      (Array.map (fun m -> m.m_cycles) results)
+  in
   {
     mm_tracees = results;
     mm_pool = pool;
     mm_wall_seconds = wall;
     mm_serial_cycles = Array.fold_left (fun acc m -> acc + m.m_cycles) 0 results;
-    mm_makespan_cycles = makespan_cycles ~shards results;
+    mm_makespan_cycles = plan.Pool.jp_makespan;
+    mm_plan = plan;
   }

@@ -116,8 +116,12 @@ type multi = {
   mm_wall_seconds : float;          (** host wall clock around the pool *)
   mm_serial_cycles : int;           (** Σ per-tracee modelled cycles *)
   mm_makespan_cycles : int;
-      (** modelled makespan: the heaviest shard's cycle sum (each shard
-          on its own modelled core) *)
+      (** modelled makespan: the heaviest shard's cycle sum under the
+          chosen scheduler's job plan (each shard on its own modelled
+          core) *)
+  mm_plan : Bastion_mt.Monitor_pool.job_plan;
+      (** the deterministic placement behind [mm_makespan_cycles] —
+          per-shard cycles, steals and migrations included *)
 }
 
 (** Total TRACE stops across the tracees. *)
@@ -130,12 +134,18 @@ val sum_traps : multi -> int
     given, supplies each *shard* its own flight recorder (its tracees
     run serially, so the recorder never crosses a domain).  Per-tracee
     results are byte-identical to a serial [run] loop for every shard
-    count.  The shared compile-pass caches are warmed before any worker
-    spawns.
+    count *and every scheduler*: a tracee's session never outlives its
+    executing domain, so placement cannot change its verdicts or
+    cycles.  [scheduler] (default [Static]) picks the pool's placement
+    policy; [shard_recorders] requires the static scheduler (lane
+    stamping relies on the static pin) and the combination is rejected
+    otherwise.  The shared compile-pass caches are warmed before any
+    worker spawns.
     @raise Benign_run_died if any tracee faults (lowest tracee wins). *)
 val run_multi :
   ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?pre_resolve:bool ->
   ?prefilter:Kernel.Seccomp.flow_mode ->
   ?queue_capacity:int -> ?batch:int ->
+  ?scheduler:Bastion_mt.Monitor_pool.policy ->
   ?shard_recorders:Obs.Recorder.t array ->
   shards:int -> tracees:int -> app -> defense -> multi

@@ -31,11 +31,23 @@
      and by the qcheck laws).
 
    The sweep fixes the arrival *schedule* (rate only scales spacing),
-   so per-shard busy cycles are load-independent and the saturation
-   point is computable: [capacity] is the rate at which the busiest
-   shard's utilisation reaches 1.  Points above it let queues grow
-   without bound — the p99/p99.9 blow-up the knee detector looks
-   for. *)
+   so total busy cycles are load-independent and the saturation point
+   is computable: [capacity] is the rate at which the *mean* shard
+   utilisation reaches 1 — the ideal aggregate capacity a perfectly
+   balanced pool could reach.  A static fleet hits its bottleneck
+   shard's limit well below that (the [capacity_bottleneck] rate);
+   the scheduler ablation measures how much of the gap least-loaded
+   placement and work stealing recover.  Points past a policy's own
+   saturation let queues grow without bound — the p99/p99.9 blow-up
+   the knee detector looks for.
+
+   Placement under a non-static policy runs through the pool's
+   deterministic virtual-clock [Pool.Plan], fed in arrival order with
+   the same arrivals and service costs on the sharded and serial
+   paths, so the merged shard registries still [Metrics.equal] the
+   serial reference exactly: migration needs no state handoff here —
+   each trap's observation is a pure function of its arrival, its
+   profile entry and the destination shard's clock. *)
 
 module Pool = Bastion_mt.Monitor_pool
 module Queue_ = Bastion_mt.Trap_queue
@@ -174,10 +186,23 @@ let busy_cycles (t : t) sched =
     sched;
   busy
 
-(** The offered rate (traps/second on the modelled clock) at which the
-    busiest shard's utilisation reaches 1.0 — the analytic saturation
-    point of this fleet and schedule. *)
+(** The ideal aggregate capacity: the offered rate (traps/second on
+    the modelled clock) at which the *mean* shard utilisation reaches
+    1.0 — what a perfectly balanced pool could sustain.  Independent of
+    placement (total service is), so every scheduler arm of an
+    ablation is measured against the same yardstick. *)
 let capacity (t : t) ~arrivals =
+  let sched = schedule t ~arrivals in
+  let total_busy =
+    max 1 (Array.fold_left (fun acc (_, tp) -> acc + service tp) 0 sched)
+  in
+  float_of_int arrivals *. Drivers_config.cycles_per_second
+  *. float_of_int t.f_shards /. float_of_int total_busy
+
+(** The static fleet's analytic saturation point: the rate at which
+    the busiest statically-pinned shard's utilisation reaches 1.0.
+    Always <= {!capacity}; the ratio is the price of imbalance. *)
+let capacity_bottleneck (t : t) ~arrivals =
   let sched = schedule t ~arrivals in
   let max_busy = Array.fold_left max 1 (busy_cycles t sched) in
   float_of_int arrivals *. Drivers_config.cycles_per_second /. float_of_int max_busy
@@ -216,14 +241,33 @@ let observe_trap reg ~shard ~tracee ~at ~clock tp =
    product is exact enough (< 2^53) and identical on both paths. *)
 let arrival_time ~spacing i = int_of_float (float_of_int i *. spacing)
 
+(* Route a whole schedule through one deterministic plan in arrival
+   order: [dests.(i)] is trap [i]'s shard under the policy.  Both the
+   sharded feeder and the serial reference call this with identical
+   inputs, so they place every trap identically. *)
+let plan_schedule ~policy (t : t) sched ~spacing =
+  let plan = Pool.Plan.create ~policy ~shards:t.f_shards () in
+  let dests =
+    Array.mapi
+      (fun i (tracee, tp) ->
+        (Pool.Plan.route plan ~tracee ~at:(arrival_time ~spacing i)
+           ~service:(service tp))
+          .Pool.Plan.d_shard)
+      sched
+  in
+  (plan, dests)
+
 (** The serial reference: the same per-shard virtual-clock math run
-    inline over one registry, in arrival order. *)
-let simulate_serial (t : t) sched ~spacing : Obs.Metrics.t =
+    inline over one registry, in arrival order, with placement from an
+    identical plan. *)
+let simulate_serial ?(policy = Pool.Static) (t : t) sched ~spacing :
+    Obs.Metrics.t =
   let reg = Obs.Metrics.create () in
   let clocks = Array.make t.f_shards 0 in
+  let _, dests = plan_schedule ~policy t sched ~spacing in
   Array.iteri
     (fun i (tracee, tp) ->
-      let shard = Pool.shard_of_tracee ~shards:t.f_shards tracee in
+      let shard = dests.(i) in
       let at = arrival_time ~spacing i in
       clocks.(shard) <-
         observe_trap reg ~shard ~tracee ~at ~clock:clocks.(shard) tp)
@@ -231,36 +275,40 @@ let simulate_serial (t : t) sched ~spacing : Obs.Metrics.t =
   reg
 
 type run_result = {
+  rr_policy : Pool.policy;    (** placement policy of this run *)
   rr_rate : float;            (** offered traps/second *)
   rr_horizon : int;           (** cycles spanned by the arrival process *)
   rr_merged : Obs.Metrics.t;  (** shard registries, merged at join *)
   rr_matches_serial : bool;   (** merged = serial reference, exactly *)
-  rr_shard_util : float array;   (** busy / horizon per shard *)
+  rr_shard_util : float array;   (** busy / horizon per shard, as placed *)
+  rr_steals : int;            (** plan-level steals ([Steal] only) *)
+  rr_migrations : int;        (** plan-level claim moves *)
   rr_stats : Obs.Timeseries.row list;  (** when sampling was on *)
 }
 
 (** Drive the schedule through the real sharded pool at [rate] traps
-    per second.  Workers record into their domain's registry
-    ([Metrics.Shards]); [stats_interval] (cycles) additionally samples
-    a per-shard time-series row at every virtual-clock boundary. *)
-let run_at ?stats_interval (t : t) ~arrivals ~rate : run_result =
+    per second under [policy] (default static).  Workers record into
+    their domain's registry ([Metrics.Shards]); [stats_interval]
+    (cycles) additionally samples a per-shard time-series row at every
+    virtual-clock boundary. *)
+let run_at ?stats_interval ?(policy = Pool.Static) (t : t) ~arrivals ~rate :
+    run_result =
   if rate <= 0.0 then invalid_arg "Fleet.run_at: rate must be positive";
   let sched = schedule t ~arrivals in
   let spacing = Drivers_config.cycles_per_second /. rate in
   let horizon = max 1 (arrival_time ~spacing (arrivals - 1)) in
   let shards_reg = Obs.Metrics.Shards.create () in
-  let config = Pool.config ~shards:t.f_shards () in
+  let config = Pool.config ~policy ~shards:t.f_shards () in
+  let plan, dests = plan_schedule ~policy t sched ~spacing in
+  (* Items carry their arrival index so stamping and routing are pure
+     lookups, not feeder-side counters. *)
   let items =
-    Seq.map (fun (tracee, tp) -> (tracee, tp)) (Array.to_seq sched)
+    Array.to_seq (Array.mapi (fun i (tracee, tp) -> (tracee, (i, tp))) sched)
   in
   (* Stamp arrivals with the open-loop clock, not the service clock:
      item [i]'s stamp is its scheduled arrival time. *)
-  let next_arrival = ref 0 in
-  let arrival _ =
-    let at = arrival_time ~spacing !next_arrival in
-    incr next_arrival;
-    at
-  in
+  let arrival (_, (i, _)) = arrival_time ~spacing i in
+  let route (_, (i, _)) = dests.(i) in
   let worker ~shard queue =
     let reg = Obs.Metrics.Shards.my shards_reg in
     let stats = Obs.Timeseries.create () in
@@ -302,7 +350,7 @@ let run_at ?stats_interval (t : t) ~arrivals ~rate : run_result =
       | [] -> sample (max !clock horizon)
       | batch ->
         List.iter
-          (fun (at, (tracee, tp)) ->
+          (fun (at, (tracee, (_, tp))) ->
             clock := observe_trap reg ~shard ~tracee ~at ~clock:!clock tp;
             sample !clock)
           batch;
@@ -311,17 +359,22 @@ let run_at ?stats_interval (t : t) ~arrivals ~rate : run_result =
     drain ();
     stats
   in
-  let stats_accs, _queue_stats = Pool.with_pool ~arrival config ~items ~worker in
+  let stats_accs, _queue_stats =
+    Pool.with_pool ~arrival ~route config ~items ~worker
+  in
   let merged = Obs.Metrics.Shards.merged shards_reg in
-  let serial = simulate_serial t sched ~spacing in
-  let busy = busy_cycles t sched in
+  let serial = simulate_serial ~policy t sched ~spacing in
+  let busy = Pool.Plan.busy_per_shard plan in
   {
+    rr_policy = policy;
     rr_rate = rate;
     rr_horizon = horizon;
     rr_merged = merged;
     rr_matches_serial = Obs.Metrics.equal merged serial;
     rr_shard_util =
       Array.map (fun b -> float_of_int b /. float_of_int horizon) busy;
+    rr_steals = Pool.Plan.steals plan;
+    rr_migrations = Pool.Plan.migrations plan;
     rr_stats = Obs.Timeseries.merge (Array.to_list stats_accs);
   }
 
@@ -334,13 +387,28 @@ type point = {
 }
 
 type sweep = {
+  sw_policy : Pool.policy;
   sw_tracees : int;
   sw_shards : int;
   sw_arrivals : int;
-  sw_capacity : float;  (** traps/second at bottleneck-shard util 1.0 *)
+  sw_capacity : float;  (** traps/second at *mean* shard util 1.0 *)
+  sw_capacity_bottleneck : float;
+      (** traps/second at static bottleneck-shard util 1.0 *)
   sw_points : point list;
   sw_knee : int option;  (** index of the first saturated point *)
   sw_knee_reason : string option;
+}
+
+(** A scheduler ablation: one fleet and one arrival schedule swept
+    under several placement policies against the same capacity
+    yardstick. *)
+type ablation = {
+  ab_tracees : int;
+  ab_shards : int;
+  ab_arrivals : int;
+  ab_capacity : float;
+  ab_capacity_bottleneck : float;
+  ab_sweeps : sweep list;
 }
 
 (** The saturation knee over per-point (max shard utilisation, p99
@@ -384,15 +452,24 @@ let service_mean (r : run_result) =
 
 let max_util (r : run_result) = Array.fold_left Float.max 0.0 r.rr_shard_util
 
-(** Sweep offered load across [points] fractions of {!capacity}. *)
-let sweep ?stats_interval ~tracees ~shards ~arrivals ~points () : sweep =
-  let t = build ~tracees ~shards in
+(** Per-point imbalance: hottest shard's utilisation over the mean.
+    1.0 is perfectly level; [shards] is everything on one shard. *)
+let util_spread (r : run_result) =
+  let n = Array.length r.rr_shard_util in
+  if n = 0 then 0.0
+  else begin
+    let total = Array.fold_left ( +. ) 0.0 r.rr_shard_util in
+    if total <= 0.0 then 0.0 else max_util r /. (total /. float_of_int n)
+  end
+
+let sweep_fleet ?stats_interval ~policy (t : t) ~arrivals ~points : sweep =
   let cap = capacity t ~arrivals in
   let pts =
     List.map
       (fun f ->
         { pt_fraction = f;
-          pt_result = run_at ?stats_interval t ~arrivals ~rate:(f *. cap) })
+          pt_result =
+            run_at ?stats_interval ~policy t ~arrivals ~rate:(f *. cap) })
       (fractions ~points)
   in
   let knee =
@@ -403,13 +480,40 @@ let sweep ?stats_interval ~tracees ~shards ~arrivals ~points () : sweep =
          pts)
   in
   {
-    sw_tracees = tracees;
-    sw_shards = shards;
+    sw_policy = policy;
+    sw_tracees = Array.length t.f_tracees;
+    sw_shards = t.f_shards;
     sw_arrivals = arrivals;
     sw_capacity = cap;
+    sw_capacity_bottleneck = capacity_bottleneck t ~arrivals;
     sw_points = pts;
     sw_knee = Option.map fst knee;
     sw_knee_reason = Option.map snd knee;
+  }
+
+(** Sweep offered load across [points] fractions of {!capacity} under
+    one placement [policy] (default static). *)
+let sweep ?stats_interval ?(policy = Pool.Static) ~tracees ~shards ~arrivals
+    ~points () : sweep =
+  let t = build ~tracees ~shards in
+  sweep_fleet ?stats_interval ~policy t ~arrivals ~points
+
+(** The scheduler ablation: build the fleet once, sweep every policy
+    in [policies] (default all three) over the identical schedule and
+    capacity yardstick. *)
+let ablation ?stats_interval ?(policies = Pool.all_policies) ~tracees ~shards
+    ~arrivals ~points () : ablation =
+  let t = build ~tracees ~shards in
+  {
+    ab_tracees = tracees;
+    ab_shards = shards;
+    ab_arrivals = arrivals;
+    ab_capacity = capacity t ~arrivals;
+    ab_capacity_bottleneck = capacity_bottleneck t ~arrivals;
+    ab_sweeps =
+      List.map
+        (fun policy -> sweep_fleet ?stats_interval ~policy t ~arrivals ~points)
+        policies;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -437,6 +541,9 @@ let point_json (t_shards : int) (p : point) : Report.Json.t =
       ("load_fraction", Num p.pt_fraction);
       ("horizon_cycles", Num (float_of_int r.rr_horizon));
       ("util_max", Num (max_util r));
+      ("util_spread", Num (util_spread r));
+      ("steals", Num (float_of_int r.rr_steals));
+      ("migrations", Num (float_of_int r.rr_migrations));
       ("matches_serial", Bool r.rr_matches_serial);
       ("queue_wait", summary_json (s "fleet.queue_wait"));
       ("e2e", summary_json (s "fleet.e2e"));
@@ -454,54 +561,83 @@ let point_json (t_shards : int) (p : point) : Report.Json.t =
                  ])) );
     ]
 
-(** The BENCH_fleet.json document: offered load vs latency tails plus
-    the detected knee.  Everything in it derives from the modelled
-    clock, so regeneration is byte-identical. *)
-let sweep_json (s : sweep) : Report.Json.t =
+let knee_json (s : sweep) : Report.Json.t =
+  let open Report.Json in
+  match (s.sw_knee, s.sw_knee_reason) with
+  | Some i, Some reason ->
+    let p = List.nth s.sw_points i in
+    Obj
+      [
+        ("index", Num (float_of_int i));
+        ("offered_traps_per_sec", Num p.pt_result.rr_rate);
+        ("load_fraction", Num p.pt_fraction);
+        ("reason", Str reason);
+      ]
+  | _ -> Null
+
+let policy_json (s : sweep) : Report.Json.t =
   let open Report.Json in
   Obj
     [
-      ("schema", Str "bastion-fleet/1");
+      ("policy", Str (Pool.policy_name s.sw_policy));
+      ("results", List (List.map (point_json s.sw_shards) s.sw_points));
+      ("knee", knee_json s);
+    ]
+
+(** The BENCH_fleet.json document (schema v2): offered load vs latency
+    tails per scheduler policy, each arm with its own knee, against one
+    ideal-aggregate capacity yardstick.  Everything in it derives from
+    the modelled clock, so regeneration is byte-identical. *)
+let ablation_json (a : ablation) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    [
+      ("schema", Str "bastion-fleet/2");
       ( "config",
         Obj
           [
-            ("tracees", Num (float_of_int s.sw_tracees));
-            ("shards", Num (float_of_int s.sw_shards));
-            ("arrivals", Num (float_of_int s.sw_arrivals));
+            ("tracees", Num (float_of_int a.ab_tracees));
+            ("shards", Num (float_of_int a.ab_shards));
+            ("arrivals", Num (float_of_int a.ab_arrivals));
             ( "apps",
               List (List.map (fun (name, _) -> Str name) (small_apps ())) );
           ] );
-      ("capacity_traps_per_sec", Num s.sw_capacity);
-      ("results", List (List.map (point_json s.sw_shards) s.sw_points));
-      ( "knee",
-        match (s.sw_knee, s.sw_knee_reason) with
-        | Some i, Some reason ->
-          let p = List.nth s.sw_points i in
-          Obj
-            [
-              ("index", Num (float_of_int i));
-              ("offered_traps_per_sec", Num p.pt_result.rr_rate);
-              ("load_fraction", Num p.pt_fraction);
-              ("reason", Str reason);
-            ]
-        | _ -> Null );
+      ("capacity_traps_per_sec", Num a.ab_capacity);
+      ("capacity_bottleneck_traps_per_sec", Num a.ab_capacity_bottleneck);
+      ("policies", List (List.map policy_json a.ab_sweeps));
     ]
+
+(** A single sweep as a one-arm v2 document ([bastion fleet --json]
+    with one scheduler selected). *)
+let sweep_json (s : sweep) : Report.Json.t =
+  ablation_json
+    {
+      ab_tracees = s.sw_tracees;
+      ab_shards = s.sw_shards;
+      ab_arrivals = s.sw_arrivals;
+      ab_capacity = s.sw_capacity;
+      ab_capacity_bottleneck = s.sw_capacity_bottleneck;
+      ab_sweeps = [ s ];
+    }
 
 (** Render a sweep for the terminal ([bastion fleet]). *)
 let render_sweep (s : sweep) : string =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf
-       "fleet: %d tracees (%s mix), %d shards, %d arrivals/point\n\
-        capacity (bottleneck shard util = 1): %.0f traps/sec\n\n"
+       "fleet: %d tracees (%s mix), %d shards, %d arrivals/point, %s scheduler\n\
+        capacity (mean shard util = 1): %.0f traps/sec (static bottleneck: %.0f)\n\n"
        s.sw_tracees
        (String.concat "/" (List.map fst (small_apps ())))
-       s.sw_shards s.sw_arrivals s.sw_capacity);
+       s.sw_shards s.sw_arrivals
+       (Pool.policy_name s.sw_policy)
+       s.sw_capacity s.sw_capacity_bottleneck);
   Buffer.add_string buf
     (Report.Table.render
-       ~align:Report.Table.[ R; R; R; R; R; R; R; R; R ]
+       ~align:Report.Table.[ R; R; R; R; R; R; R; R; R; R; R ]
        ~header:
-         [ "load"; "traps/sec"; "util"; "wait p50"; "wait p99"; "wait p99.9";
+         [ "load"; "traps/sec"; "util"; "spread"; "steals";
+           "wait p50"; "wait p99"; "wait p99.9";
            "e2e p50"; "e2e p99"; "e2e p99.9" ]
        (List.map
           (fun p ->
@@ -514,6 +650,8 @@ let render_sweep (s : sweep) : string =
               Printf.sprintf "%.2f" p.pt_fraction;
               Printf.sprintf "%.0f" r.rr_rate;
               Printf.sprintf "%.2f" (max_util r);
+              Printf.sprintf "%.2f" (util_spread r);
+              string_of_int r.rr_steals;
               Printf.sprintf "%.0f" w.Obs.Metrics.s_p50;
               Printf.sprintf "%.0f" w.Obs.Metrics.s_p99;
               Printf.sprintf "%.0f" w.Obs.Metrics.s_p999;
@@ -538,4 +676,52 @@ let render_sweep (s : sweep) : string =
       (Printf.sprintf
          "WARNING: %d point(s) diverged from the serial reference\n"
          (List.length bad));
+  Buffer.contents buf
+
+(** Render an ablation: the per-policy knee comparison, then each
+    arm's sweep table. *)
+let render_ablation (a : ablation) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "scheduler ablation: %d tracees, %d shards, %d arrivals/point\n\
+        capacity (mean shard util = 1): %.0f traps/sec (static bottleneck: %.0f)\n\n"
+       a.ab_tracees a.ab_shards a.ab_arrivals a.ab_capacity
+       a.ab_capacity_bottleneck);
+  Buffer.add_string buf
+    (Report.Table.render
+       ~align:Report.Table.[ L; R; R; R; R ]
+       ~header:[ "policy"; "knee load"; "knee traps/sec"; "steals"; "migrations" ]
+       (List.map
+          (fun s ->
+            let steals =
+              List.fold_left (fun acc p -> acc + p.pt_result.rr_steals) 0 s.sw_points
+            in
+            let migrations =
+              List.fold_left
+                (fun acc p -> acc + p.pt_result.rr_migrations)
+                0 s.sw_points
+            in
+            let knee_load, knee_rate =
+              match s.sw_knee with
+              | Some i ->
+                let p = List.nth s.sw_points i in
+                ( Printf.sprintf "%.2f" p.pt_fraction,
+                  Printf.sprintf "%.0f" p.pt_result.rr_rate )
+              | None -> ("-", "-")
+            in
+            [
+              Pool.policy_name s.sw_policy;
+              knee_load;
+              knee_rate;
+              string_of_int steals;
+              string_of_int migrations;
+            ])
+          a.ab_sweeps));
+  Buffer.add_string buf "\n\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (render_sweep s);
+      Buffer.add_char buf '\n')
+    a.ab_sweeps;
   Buffer.contents buf

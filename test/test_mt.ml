@@ -126,6 +126,64 @@ let test_backpressure_blocks_never_drops () =
   Alcotest.(check bool) "depth never exceeded capacity" true
     (s.Q.q_max_depth <= 2)
 
+(* --- Trap_queue.Deque and Cell (the stealing substrate) ------------ *)
+
+let test_deque_owner_and_thief () =
+  let dq = Q.Deque.create () in
+  Alcotest.(check (option int)) "empty pop" None (Q.Deque.pop_front dq);
+  Alcotest.(check (option int)) "empty steal" None (Q.Deque.steal_back dq);
+  List.iter (Q.Deque.push_back dq) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Q.Deque.length dq);
+  (* The owner pops the front (FIFO), a thief steals the back. *)
+  Alcotest.(check (option int)) "owner pops oldest" (Some 1) (Q.Deque.pop_front dq);
+  Alcotest.(check (option int)) "thief steals newest" (Some 3)
+    (Q.Deque.steal_back dq);
+  Alcotest.(check (option int)) "owner gets the rest" (Some 2)
+    (Q.Deque.pop_front dq);
+  Alcotest.(check (option int)) "drained" None (Q.Deque.pop_front dq);
+  let s = Q.Deque.stats dq in
+  Alcotest.(check int) "pushed" 3 s.Q.Deque.dq_pushed;
+  Alcotest.(check int) "popped" 2 s.Q.Deque.dq_popped;
+  Alcotest.(check int) "stolen" 1 s.Q.Deque.dq_stolen;
+  Alcotest.(check int) "high water" 3 s.Q.Deque.dq_max_len
+
+let test_cell_handoff () =
+  let c = Q.Cell.create () in
+  Q.Cell.fill c 42;
+  Alcotest.check_raises "double fill rejected"
+    (Invalid_argument "Trap_queue.Cell.fill: cell already filled") (fun () ->
+      Q.Cell.fill c 43);
+  Alcotest.(check int) "take consumes" 42 (Q.Cell.take c);
+  (* After the take, the cell is a fresh single-shot box again. *)
+  Q.Cell.fill c 7;
+  Alcotest.(check int) "refill after take" 7 (Q.Cell.take c);
+  (* The blocking edge: a taker on another domain waits for the fill. *)
+  let c2 = Q.Cell.create () in
+  let taker = Domain.spawn (fun () -> Q.Cell.take c2) in
+  Unix.sleepf 0.01;
+  Q.Cell.fill c2 99;
+  Alcotest.(check int) "cross-domain take sees the fill" 99 (Domain.join taker)
+
+(* --- with_pool failure semantics (first failure wins) -------------- *)
+
+exception Feeder_boom
+exception Worker_boom
+
+(* Regression: the feeder's exception must survive even when every
+   worker *also* raised — the cleanup joins must discard worker
+   errors, not let them shadow the first failure. *)
+let test_pool_feeder_exception_wins () =
+  let items () =
+    Seq.Cons ((0, 0), fun () -> raise Feeder_boom)
+  in
+  Alcotest.check_raises "feeder exception wins over worker errors"
+    Feeder_boom (fun () ->
+      ignore
+        (Pool.with_pool
+           (Pool.config ~shards:2 ())
+           ~items
+           ~worker:(fun ~shard:_ _ -> raise Worker_boom)))
+
 (* --- Monitor_pool: the stream verifier ----------------------------- *)
 
 (* A deterministic stateful per-tracee verifier: each verdict folds the
@@ -190,6 +248,111 @@ let prop_stream_equivalence =
       in
       sharded = serial)
 
+(* qcheck: random streams, random shard counts, random trap pricing —
+   every placement policy reproduces the serial verdict streams
+   bit-for-bit.  This is the scheduler's correctness law: migration
+   through the claim-token handoff must be invisible to verdicts. *)
+let prop_stream_policy_equivalence =
+  QCheck.Test.make ~count:40
+    ~name:"process_stream == serial under every policy and service pricing"
+    QCheck.(
+      triple
+        (list_of_size Gen.(0 -- 100) (pair (int_bound 5) (int_bound 1000)))
+        (int_range 1 5) (int_range 1 9))
+    (fun (stream, shards, price) ->
+      let tracees = 6 in
+      (* A deterministic per-trap price derived from the trap value. *)
+      let service trap = 1 + ((trap * 7) mod (price * 13)) in
+      let serial =
+        Pool.process_stream_serial ~tracees ~init:stream_init
+          ~verify:stream_verify stream
+      in
+      List.for_all
+        (fun policy ->
+          let sharded, stats =
+            Pool.process_stream ~service
+              ~config:(Pool.config ~shards ~policy ())
+              ~tracees ~init:stream_init ~verify:stream_verify stream
+          in
+          sharded = serial
+          && (policy <> Pool.Static || stats.Pool.p_steals = 0))
+        Pool.all_policies)
+
+(* The adversarial elephant: one tracee fires six traps for every one
+   of the others', so its static home shard drowns.  The steal policy
+   must actually fire (steals > 0) and must level the pool: the
+   hottest shard processes strictly fewer items than under static
+   pinning.  Deterministic — the stream is fixed, the plan is virtual. *)
+let test_stream_steal_beats_static () =
+  let tracees = 4 and shards = 2 in
+  (* Tracees 0 and 2 are homed on shard 0; 0 becomes the elephant.  A
+     balanced warm-up first, so every tracee's claim is established on
+     its home shard — only then does the elephant drown shard 0 and
+     force tracee 2's claim to be *stolen* rather than first-placed. *)
+  let rounds n r = List.concat_map (fun t -> List.map (fun tr -> (tr, t)) r)
+      (List.init n Fun.id)
+  in
+  let stream = rounds 10 [ 0; 1; 2; 3 ] @ rounds 20 [ 0; 0; 0; 0; 0; 0; 1; 2; 3 ] in
+  let run policy =
+    let verdicts, stats =
+      Pool.process_stream
+        ~config:(Pool.config ~shards ~policy ())
+        ~tracees ~init:stream_init ~verify:stream_verify stream
+    in
+    (verdicts, stats)
+  in
+  let serial =
+    Pool.process_stream_serial ~tracees ~init:stream_init
+      ~verify:stream_verify stream
+  in
+  let max_items (stats : Pool.stats) =
+    Array.fold_left (fun acc sh -> max acc sh.Pool.sh_items) 0 stats.Pool.p_shards
+  in
+  let v_static, s_static = run Pool.Static in
+  let v_steal, s_steal = run Pool.Steal in
+  Alcotest.(check bool) "static matches serial" true (v_static = serial);
+  Alcotest.(check bool) "steal matches serial" true (v_steal = serial);
+  Alcotest.(check int) "static never steals" 0 s_static.Pool.p_steals;
+  Alcotest.(check bool) "steal policy actually stole" true
+    (s_steal.Pool.p_steals > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "hottest shard levelled (%d < %d items)"
+       (max_items s_steal) (max_items s_static))
+    true
+    (max_items s_steal < max_items s_static);
+  Alcotest.(check bool) "spread improves" true
+    (Pool.util_spread s_steal < Pool.util_spread s_static)
+
+(* --- the deterministic whole-job scheduler ------------------------- *)
+
+let test_plan_jobs_policies () =
+  let costs = [| 100; 10; 10; 10; 10; 10 |] in
+  let shards = 2 in
+  let static = Pool.plan_jobs ~policy:Pool.Static ~shards costs in
+  Alcotest.(check (array int)) "static pins to homes" [| 0; 1; 0; 1; 0; 1 |]
+    static.Pool.jp_assignment;
+  Alcotest.(check int) "static makespan is the hot home" 120
+    static.Pool.jp_makespan;
+  Alcotest.(check int) "static steals nothing" 0 static.Pool.jp_steals;
+  Alcotest.(check int) "static migrates nothing" 0 static.Pool.jp_migrations;
+  let least = Pool.plan_jobs ~policy:Pool.Least_loaded ~shards costs in
+  Alcotest.(check int) "least-loaded evades the elephant" 100
+    least.Pool.jp_makespan;
+  Alcotest.(check int) "least-loaded migrated the elephant's home peers" 2
+    least.Pool.jp_migrations;
+  Alcotest.(check int) "least-loaded records no steals" 0 least.Pool.jp_steals;
+  let steal = Pool.plan_jobs ~policy:Pool.Steal ~shards costs in
+  Alcotest.(check int) "steal reaches the same makespan" 100
+    steal.Pool.jp_makespan;
+  Alcotest.(check int) "two victims stolen" 2 steal.Pool.jp_steals;
+  Alcotest.(check int) "steals are migrations" 2 steal.Pool.jp_migrations;
+  List.iter
+    (fun (p : Pool.job_plan) ->
+      Alcotest.(check int) "every cycle accounted"
+        (Array.fold_left ( + ) 0 costs)
+        (Array.fold_left ( + ) 0 p.Pool.jp_shard_cycles))
+    [ static; least; steal ]
+
 (* --- Monitor_pool: whole-tracee jobs ------------------------------- *)
 
 let test_run_tracees_order () =
@@ -243,7 +406,32 @@ let test_mirror_stats () =
   Alcotest.(check (float 1e-9)) "mt.shards" 2.0 (assoc "mt.shards");
   Alcotest.(check (float 1e-9)) "mt.tracees" 5.0 (assoc "mt.tracees");
   Alcotest.(check (float 1e-9)) "shard0 owns 0,2,4" 3.0 (assoc "mt.shard0.tracees");
-  Alcotest.(check (float 1e-9)) "shard1 owns 1,3" 2.0 (assoc "mt.shard1.tracees")
+  Alcotest.(check (float 1e-9)) "shard1 owns 1,3" 2.0 (assoc "mt.shard1.tracees");
+  (* The imbalance probes ride along: a static 3/2 split of 5 items. *)
+  Alcotest.(check (float 1e-9)) "mt.steals" 0.0 (assoc "mt.steals");
+  Alcotest.(check (float 1e-9)) "mt.migrations" 0.0 (assoc "mt.migrations");
+  Alcotest.(check (float 1e-9)) "mt.util_spread" (3.0 /. 2.5)
+    (assoc "mt.util_spread")
+
+(* run_tracees under the stealing policies: results still come back in
+   tracee order and every claim is processed exactly once, whichever
+   worker ran it. *)
+let test_run_tracees_stealing_policies () =
+  let n = 12 in
+  let jobs = Array.init n (fun i () -> i * i) in
+  List.iter
+    (fun policy ->
+      let results, stats =
+        Pool.run_tracees ~config:(Pool.config ~shards:3 ~policy ()) jobs
+      in
+      Alcotest.(check (array int))
+        (Pool.policy_name policy ^ ": tracee order preserved")
+        (Array.init n (fun i -> i * i))
+        results;
+      Alcotest.(check int) "every claim ran exactly once" n
+        (Array.fold_left (fun acc sh -> acc + sh.Pool.sh_items) 0
+           stats.Pool.p_shards))
+    [ Pool.Least_loaded; Pool.Steal ]
 
 (* --- run_multi: equivalence with a serial Drivers.run loop --------- *)
 
@@ -279,6 +467,45 @@ let test_run_multi_matches_serial () =
         Alcotest.(check int) "one shard: makespan == serial" serial_cycles
           m.D.mm_makespan_cycles)
     [ 1; 2; 3 ]
+
+(* The scheduler axis: a tracee's session never outlives its executing
+   domain, so placement must not change a single measured bit.  The
+   job plan behind the makespan must account every cycle. *)
+let test_run_multi_schedulers () =
+  let app = small_nginx () in
+  let tracees = 3 and shards = 2 in
+  let serial = Array.init tracees (fun _ -> D.run app D.Bastion_full) in
+  let serial_cycles =
+    Array.fold_left (fun acc (m : D.measurement) -> acc + m.D.m_cycles) 0 serial
+  in
+  List.iter
+    (fun policy ->
+      let m = D.run_multi ~scheduler:policy ~shards ~tracees app D.Bastion_full in
+      Alcotest.(check bool)
+        (Pool.policy_name policy ^ ": per-tracee results identical")
+        true
+        (Array.for_all2
+           (fun a b -> fingerprint a = fingerprint b)
+           serial m.D.mm_tracees);
+      Alcotest.(check bool) "plan carries the policy" true
+        (m.D.mm_plan.Pool.jp_policy = policy);
+      Alcotest.(check int) "makespan is the plan's" m.D.mm_plan.Pool.jp_makespan
+        m.D.mm_makespan_cycles;
+      Alcotest.(check int) "plan accounts every cycle" serial_cycles
+        (Array.fold_left ( + ) 0 m.D.mm_plan.Pool.jp_shard_cycles);
+      Alcotest.(check bool) "makespan bounded by serial" true
+        (m.D.mm_makespan_cycles <= serial_cycles))
+    Pool.all_policies;
+  (* Lane stamping relies on the static pin, so the combination of
+     shard recorders and a stealing scheduler is a usage error. *)
+  Alcotest.check_raises "recorders require the static scheduler"
+    (Invalid_argument
+       "Drivers.run_multi: shard_recorders requires the static scheduler")
+    (fun () ->
+      ignore
+        (D.run_multi ~scheduler:Pool.Steal ~shards:2 ~tracees:2
+           ~shard_recorders:(Array.init 2 (fun _ -> Obs.Recorder.create ()))
+           app D.Bastion_full))
 
 let test_run_multi_recorders () =
   let app = small_nginx () in
@@ -335,7 +562,14 @@ let test_table6_sharded_matches_serial () =
   Alcotest.(check int) "every row ran on some shard"
     (List.length serial)
     (Array.fold_left (fun acc sh -> acc + sh.Pool.sh_tracees) 0
-       stats.Pool.p_shards)
+       stats.Pool.p_shards);
+  (* The stealing scheduler reproduces the matrix too — attack rows
+     are whole-tracee jobs, so placement cannot change a verdict. *)
+  let rows_steal, _ =
+    Attacks.Runner.evaluate_all_sharded ~policy:Pool.Steal ~shards:4 ()
+  in
+  Alcotest.(check bool) "steal-scheduled matrix identical" true
+    (List.map row_sig rows_steal = serial)
 
 (* --- the Api.protect ~validate lint gate --------------------------- *)
 
@@ -426,6 +660,10 @@ let suites =
           test_queue_try_push_full;
         Alcotest.test_case "backpressure blocks, never drops" `Quick
           test_backpressure_blocks_never_drops;
+        Alcotest.test_case "deque: owner pops front, thief steals back" `Quick
+          test_deque_owner_and_thief;
+        Alcotest.test_case "cell: single-shot blocking handoff" `Quick
+          test_cell_handoff;
       ] );
     ( "mt-pool",
       [
@@ -434,8 +672,17 @@ let suites =
         Alcotest.test_case "stream rejects bad tracee ids" `Quick
           test_stream_rejects_bad_tracee;
         QCheck_alcotest.to_alcotest prop_stream_equivalence;
+        QCheck_alcotest.to_alcotest prop_stream_policy_equivalence;
+        Alcotest.test_case "elephant stream: steal levels the pool" `Quick
+          test_stream_steal_beats_static;
+        Alcotest.test_case "plan_jobs across the policies" `Quick
+          test_plan_jobs_policies;
+        Alcotest.test_case "feeder exception wins over worker errors" `Quick
+          test_pool_feeder_exception_wins;
         Alcotest.test_case "run_tracees merges in tracee order" `Quick
           test_run_tracees_order;
+        Alcotest.test_case "run_tracees steals whole claims" `Quick
+          test_run_tracees_stealing_policies;
         Alcotest.test_case "lowest failing tracee propagates" `Quick
           test_run_tracees_exception;
         Alcotest.test_case "shard assignment is stable" `Quick
@@ -447,6 +694,8 @@ let suites =
       [
         Alcotest.test_case "run_multi matches a serial run loop" `Quick
           test_run_multi_matches_serial;
+        Alcotest.test_case "run_multi under every scheduler" `Quick
+          test_run_multi_schedulers;
         Alcotest.test_case "per-shard recorders" `Quick test_run_multi_recorders;
         Alcotest.test_case "sharded Table 6 matches serial" `Slow
           test_table6_sharded_matches_serial;
