@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench bench-prefilter bench-static bench-fleet trace-demo golden replay-golden clean
+.PHONY: all build test lint check bench bench-prefilter bench-static bench-fleet trace-demo golden replay-golden diff-golden clean
 
 all: build
 
@@ -63,6 +63,14 @@ replay-golden:
 	for t in test/golden/*.jsonl; do \
 	  dune exec bin/bastion_cli.exe -- replay $$t --strict || exit 1; \
 	done
+
+# Differentially replay the whole golden corpus against the in-tree
+# compile pass: the regression oracle.  Exits non-zero on any verdict
+# flip or context move and writes the committed "what moved" artifact
+# (CI enforces it stays byte-identical with `git diff`).
+diff-golden:
+	dune build bin/bastion_cli.exe
+	dune exec bin/bastion_cli.exe -- replay test/golden/nginx-benign.jsonl test/golden/sqlite-benign.jsonl test/golden/vsftpd-benign.jsonl test/golden/nginx-attack.jsonl test/golden/sqlite-attack.jsonl test/golden/vsftpd-attack.jsonl --against current --diff DIFF_replay_golden.json
 
 clean:
 	dune clean

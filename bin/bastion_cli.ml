@@ -11,14 +11,24 @@
          writes a replayable versioned trace); the tiered syscall-flow
          pre-filter is on by default (--no-prefilter disables it)
 
-     bastion replay TRACE [--strict] [--json REPORT]
-         re-verify a recorded trap stream against the real monitor and
+     bastion replay TRACE... [--strict] [--json REPORT]
+         re-verify recorded trap streams against the real monitor and
          exit non-zero on any divergence
+
+     bastion replay TRACE... --against current|FILE [--diff REPORT]
+         differential replay: judge the recorded streams through a
+         monitor built from changed metadata (the in-tree compile
+         pass, or an edited metadata file) and report what moved —
+         verdict flips, context moves, tier movements, cycle deltas;
+         exits non-zero on any verdict flip or context move
 
      bastion lint --app nginx [--fs] [--pre-resolve]
          run the metadata-soundness linter over an application model;
          exits non-zero if any error-severity diagnostic fires
          (warnings are printed but never fail the run)
+
+     bastion lint --metadata FILE
+         validate a metadata file's v3 section table
 
      bastion trace-summary FILE
          summarise a Chrome-trace file written by `bastion run --trace`
@@ -143,8 +153,41 @@ let analyze_cmd =
 
 (* --- lint ------------------------------------------------------------- *)
 
-let lint verbose app fs pre_resolve =
+let print_diags diags =
+  List.iter
+    (fun (d : Bastion_analysis.Lint.diag) ->
+      Format.printf "%s: %a@."
+        (Bastion_analysis.Lint.severity_name d.d_sev)
+        Bastion_analysis.Lint.pp_diag d)
+    diags
+
+let lint_metadata file =
+  match
+    let ic = open_in file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    text
+  with
+  | exception Sys_error e -> `Error (false, e)
+  | text -> (
+    let diags = Bastion_analysis.Lint.check_metadata_text text in
+    print_diags diags;
+    match Bastion_analysis.Lint.errors diags with
+    | [] ->
+      Printf.printf "%s: section table valid, 0 error(s)\n" file;
+      `Ok ()
+    | errs ->
+      `Error
+        ( false,
+          Printf.sprintf "%d section-table error%s in %s" (List.length errs)
+            (if List.length errs = 1 then "" else "s")
+            file ))
+
+let lint verbose app fs pre_resolve metadata =
   setup_logs verbose;
+  match metadata with
+  | Some file -> lint_metadata file
+  | None ->
   let prog = prog_of_name app in
   let protected_prog = Bastion.Api.protect ~protect_filesystem:fs prog in
   let protected_prog =
@@ -152,12 +195,7 @@ let lint verbose app fs pre_resolve =
     else protected_prog
   in
   let diags = Bastion_analysis.Lint.check protected_prog in
-  List.iter
-    (fun (d : Bastion_analysis.Lint.diag) ->
-      Format.printf "%s: %a@."
-        (Bastion_analysis.Lint.severity_name d.d_sev)
-        Bastion_analysis.Lint.pp_diag d)
-    diags;
+  print_diags diags;
   match Bastion_analysis.Lint.errors diags with
   | [] ->
     Printf.printf "%s%s: metadata sound, %d error(s), %d warning(s)\n" app
@@ -185,11 +223,20 @@ let lint_cmd =
           ~doc:"Run constant-argument pre-resolution first and lint the \
                 stored results too.")
   in
+  let metadata =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metadata" ] ~docv:"FILE"
+          ~doc:"Instead of linting an application model, validate FILE's v3 \
+                section table: required/optional flags on known sections, no \
+                duplicates, no missing required section.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Cross-check the emitted metadata against the program (exit \
              non-zero on any error-severity diagnostic; warnings only print)")
-    Term.(ret (const lint $ verbose_arg $ app_arg $ fs $ pre_resolve))
+    Term.(ret (const lint $ verbose_arg $ app_arg $ fs $ pre_resolve $ metadata))
 
 (* --- run -------------------------------------------------------------- *)
 
@@ -416,6 +463,7 @@ let run_workload verbose app scale defense no_trap_cache pre_resolve
             (match m.m_monitor with
             | Some mon -> Bastion.Metadata.fingerprint mon.Bastion.Monitor.meta
             | None -> "-");
+          h_against = None;
           h_traps = List.length (Obs.Recorder.trap_events r);
           h_cycles = m.m_cycles;
         }
@@ -1023,42 +1071,85 @@ let attack_cmd =
 
 (* --- replay ------------------------------------------------------------ *)
 
-let replay_trace verbose file strict json =
+(* One JSON value for one trace, a list for several — so the classic
+   single-trace report shape is unchanged. *)
+let json_of_reports to_json = function
+  | [ r ] -> to_json r
+  | rs -> Report.Json.List (List.map to_json rs)
+
+let replay_trace verbose files strict json against diff_out =
   setup_logs verbose;
   let positioned e =
     match Bastion_replay.Trace.describe_malformed e with
     | Some msg -> `Error (false, msg)
     | None -> raise e
   in
-  match Bastion_replay.Trace.read_file file with
-  | exception Sys_error e -> `Error (false, e)
-  | exception (Bastion_replay.Trace.Malformed _ as e) -> positioned e
-  | tr -> (
-    match Bastion_replay.Engine.replay ~strict tr with
-    | exception (Bastion_replay.Trace.Malformed _ as e) -> positioned e
-    | report ->
+  try
+    let traces = List.map Bastion_replay.Trace.read_file files in
+    match against with
+    | None ->
+      let reports = List.map (Bastion_replay.Engine.replay ~strict) traces in
       (match json with
       | Some path ->
-        Report.Json.to_file path (Bastion_replay.Engine.report_to_json report)
+        Report.Json.to_file path
+          (json_of_reports Bastion_replay.Engine.report_to_json reports)
       | None -> ());
-      print_string (Bastion_replay.Engine.render report);
-      if Bastion_replay.Engine.ok report then `Ok ()
+      List.iter (fun r -> print_string (Bastion_replay.Engine.render r)) reports;
+      let bad =
+        List.filter (fun r -> not (Bastion_replay.Engine.ok r)) reports
+      in
+      if bad = [] then `Ok ()
       else
-        let n = List.length report.rp_divergences in
         `Error
           ( false,
-            Printf.sprintf "%s: %d divergence%s between recorded and replayed runs"
-              file n
-              (if n = 1 then "" else "s") ))
+            Printf.sprintf
+              "%d of %d trace(s) diverged between recorded and replayed runs"
+              (List.length bad) (List.length reports) )
+    | Some spec ->
+      let diff_one tr =
+        let against =
+          match spec with
+          | "current" -> None
+          | file ->
+            let base = Bastion_replay.Engine.base_bundle tr in
+            Some (Bastion.Metadata_io.load ~file base.inst.iprog)
+        in
+        Bastion_replay.Engine.diff_replay ?against tr
+      in
+      let reports = List.map diff_one traces in
+      (match diff_out with
+      | Some path ->
+        Report.Json.to_file path
+          (json_of_reports Bastion_replay.Engine.diff_report_to_json reports)
+      | None -> ());
+      List.iter
+        (fun r -> print_string (Bastion_replay.Engine.render_diff r))
+        reports;
+      let bad =
+        List.filter (fun r -> not (Bastion_replay.Engine.diff_ok r)) reports
+      in
+      if bad = [] then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf
+              "%d of %d trace(s) show verdict flips, context moves or a dead \
+               replay"
+              (List.length bad) (List.length reports) )
+  with
+  | Sys_error e -> `Error (false, e)
+  | Bastion_replay.Trace.Malformed _ as e -> positioned e
+  | Bastion.Metadata_io.Parse_error (ln, msg) ->
+    `Error (false, Printf.sprintf "--against metadata line %d: %s" ln msg)
 
 let replay_cmd =
-  let file =
+  let files =
     Arg.(
-      required
-      & pos 0 (some string) None
+      non_empty
+      & pos_all string []
       & info [] ~docv:"TRACE"
-          ~doc:"JSONL trap trace written by `bastion run --audit` or `bastion \
-                attack --audit`.")
+          ~doc:"JSONL trap trace(s) written by `bastion run --audit` or \
+                `bastion attack --audit`.")
   in
   let strict =
     Arg.(
@@ -1074,11 +1165,33 @@ let replay_cmd =
       & info [ "json" ] ~docv:"REPORT"
           ~doc:"Also write the divergence report as JSON to REPORT.")
   in
+  let against =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "against" ] ~docv:"current|FILE"
+          ~doc:"Differential replay: judge the recorded stream through a \
+                monitor built from changed metadata — $(b,current) rebuilds \
+                the in-tree compile pass (the regression oracle), FILE loads \
+                an edited metadata file — and report what moved instead of \
+                refusing a fingerprint mismatch.")
+  in
+  let diff_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "diff" ] ~docv:"REPORT"
+          ~doc:"With --against: also write the structured what-moved report \
+                as JSON to REPORT.")
+  in
   Cmd.v
     (Cmd.info "replay"
-       ~doc:"Re-verify a recorded trap stream against the real monitor (exit \
-             non-zero on any divergence)")
-    Term.(ret (const replay_trace $ verbose_arg $ file $ strict $ json))
+       ~doc:"Re-verify recorded trap streams against the real monitor (exit \
+             non-zero on any divergence; with --against, on any verdict flip)")
+    Term.(
+      ret
+        (const replay_trace $ verbose_arg $ files $ strict $ json $ against
+        $ diff_out))
 
 (* --- list ------------------------------------------------------------- *)
 

@@ -46,6 +46,7 @@ type kind =
   | Not_callable_misclass
   | Overbroad_calltype
   | Stale_pre_resolution
+  | Malformed_section_table
   | Dead_sensitive_store
 
 let kind_name = function
@@ -59,6 +60,7 @@ let kind_name = function
   | Not_callable_misclass -> "not-callable-misclass"
   | Overbroad_calltype -> "overbroad-calltype"
   | Stale_pre_resolution -> "stale-pre-resolution"
+  | Malformed_section_table -> "malformed-section-table"
   | Dead_sensitive_store -> "dead-sensitive-store"
 
 type severity = Warning | Error
@@ -69,7 +71,8 @@ let severity_of = function
   | Dead_sensitive_store -> Warning
   | Dead_sensitive_callsite | Dead_flow_node | Broken_cf_chain
   | Missing_entry_sync | Uncovered_def | Untracked_source | Unbound_argument
-  | Not_callable_misclass | Overbroad_calltype | Stale_pre_resolution ->
+  | Not_callable_misclass | Overbroad_calltype | Stale_pre_resolution
+  | Malformed_section_table ->
     Error
 
 let severity_name = function Warning -> "warning" | Error -> "error"
@@ -764,6 +767,79 @@ let check (p : Bastion.Api.protected) : diag list =
     (Sil.Prog.functions p.original);
 
   List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* The v3 section table                                                *)
+
+(* Validate a metadata file's self-describing section table — the
+   properties the parser deliberately does NOT enforce.  The parser's
+   job is forward compatibility: it skips unknown optional sections
+   and accepts any subset of the known ones.  The linter's job is
+   soundness of a file about to be deployed: a known section carrying
+   the wrong required/optional flag invites a skipping reader to drop
+   (or choke on) records it must not, a duplicated section silently
+   shadows records, and a missing required section deploys with a
+   silently weakened context.  Parse failures surface as positioned
+   diagnostics rather than exceptions.  v2 files carry no section
+   table; there is nothing to validate. *)
+let check_metadata_text (text : string) : diag list =
+  let diag msg =
+    { d_kind = Malformed_section_table; d_sev = Error; d_loc = None; d_msg = msg }
+  in
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  if Array.length lines = 0 || String.length text = 0 then
+    [ diag "empty metadata text" ]
+  else if String.equal lines.(0) Bastion.Metadata_io.header_v2 then []
+  else
+    match Bastion.Metadata_io.parse text with
+    | exception Bastion.Metadata_io.Parse_error (ln, msg) ->
+      [ diag (Printf.sprintf "line %d: %s" ln msg) ]
+    | _ ->
+      let seen = Hashtbl.create 8 in
+      let ds = ref [] in
+      Array.iteri
+        (fun i line ->
+          let ln = i + 1 in
+          if String.starts_with ~prefix:"section " line then
+            try
+              Scanf.sscanf line "section %s %d %s%!" (fun name _count flag ->
+                  if Hashtbl.mem seen name then
+                    ds :=
+                      diag (Printf.sprintf "line %d: duplicate section %S" ln name)
+                      :: !ds
+                  else Hashtbl.replace seen name ();
+                  match List.assoc_opt name Bastion.Metadata_io.known_sections with
+                  | Some `Required when not (String.equal flag "required") ->
+                    ds :=
+                      diag
+                        (Printf.sprintf
+                           "line %d: section %S must be flagged required (a \
+                            skipping reader would drop soundness-critical \
+                            records)"
+                           ln name)
+                      :: !ds
+                  | Some `Optional when not (String.equal flag "optional") ->
+                    ds :=
+                      diag
+                        (Printf.sprintf
+                           "line %d: section %S must be flagged optional (a \
+                            reader without it still enforces soundly)"
+                           ln name)
+                      :: !ds
+                  | Some _ | None -> ())
+            with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+              (* the parser accepted the file, so this cannot happen; keep
+                 the scan total anyway *)
+              ())
+        lines;
+      List.iter
+        (fun (name, flag) ->
+          match flag with
+          | `Required when not (Hashtbl.mem seen name) ->
+            ds := diag (Printf.sprintf "missing required section %S" name) :: !ds
+          | `Required | `Optional -> ())
+        Bastion.Metadata_io.known_sections;
+      List.rev !ds
 
 (* ------------------------------------------------------------------ *)
 (* The library gate                                                    *)

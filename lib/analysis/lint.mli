@@ -41,6 +41,11 @@ type kind =
           dead-site pre-resolution, or a taint rank — disagrees with a
           fresh {!Sccp} + {!Taint} run; includes any pre-resolution of
           an attacker-tainted slot *)
+  | Malformed_section_table
+      (** a metadata v3 section table violates deployment soundness: a
+          known section carries the wrong required/optional flag, a
+          section is duplicated, a required section is missing, or the
+          file does not parse at all *)
   | Dead_sensitive_store
       (** warning: a definition of a sensitive variable no later use
           observes — its shadow sync is pure overhead, never a
@@ -70,6 +75,15 @@ val pp_diag : Format.formatter -> diag -> unit
 
 (** Run every check; diagnostics come back in deterministic order. *)
 val check : Bastion.Api.protected -> diag list
+
+(** Validate a metadata file's v3 section table — the deployment
+    properties the (deliberately forward-compatible) parser does not
+    enforce: correct required/optional flags on known sections, no
+    duplicate sections, no missing required section.  A parse failure
+    becomes one positioned diagnostic.  v2 files carry no section
+    table and always come back clean.  All diagnostics are
+    {!Malformed_section_table} errors, in line order. *)
+val check_metadata_text : string -> diag list
 
 (** Register {!check} as the validator behind
     [Bastion.Api.protect ~validate:true]: each error-severity

@@ -37,7 +37,7 @@ let contexts_of = function
    stack garbage; bound the run and end it as soon as the goal fires. *)
 let attack_fuel = 20_000_000
 
-let run ?(trap_cache = true) ?(pre_resolve = false) ?prefilter ?recorder
+let run ?(trap_cache = true) ?(pre_resolve = false) ?prefilter ?bundle ?recorder
     ?on_session (attack : Attack.t) (config : config) : outcome =
   let prog = attack.a_victim.v_build () in
   let machine_config = { Machine.default_config with fuel = attack_fuel } in
@@ -45,12 +45,15 @@ let run ?(trap_cache = true) ?(pre_resolve = false) ?prefilter ?recorder
     match config with
     | Undefended -> Bastion.Api.launch_unprotected ~machine_config prog
     | _ ->
+      (* [bundle] overrides the compile pass: the differential replay
+         engine deploys a restored (possibly edited) metadata bundle
+         through the exact path a recorded attack used. *)
       let protected_prog =
-        Bastion.Api.protect ~protect_filesystem:attack.a_fs_scope prog
-      in
-      let protected_prog =
-        if pre_resolve then Bastion_analysis.Preresolve.enrich protected_prog
-        else protected_prog
+        match bundle with
+        | Some b -> b
+        | None ->
+          let p = Bastion.Api.protect ~protect_filesystem:attack.a_fs_scope prog in
+          if pre_resolve then Bastion_analysis.Preresolve.enrich p else p
       in
       let monitor_config =
         {

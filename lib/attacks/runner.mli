@@ -30,10 +30,13 @@ val attack_fuel : int
     [on_session] fires once the session is built, before setup and
     execution — the replay engine's hook for swapping the monitor's
     trap source (never called for undefended runs, which have no
-    session). *)
+    session).  [bundle] overrides the compile pass with a restored
+    (possibly edited) metadata bundle — the differential replay seam;
+    it bypasses the lint gate on purpose. *)
 val run :
   ?trap_cache:bool -> ?pre_resolve:bool ->
-  ?prefilter:Kernel.Seccomp.flow_mode -> ?recorder:Obs.Recorder.t ->
+  ?prefilter:Kernel.Seccomp.flow_mode ->
+  ?bundle:Bastion.Api.protected -> ?recorder:Obs.Recorder.t ->
   ?on_session:(Bastion.Api.session -> unit) ->
   Attack.t -> config -> outcome
 

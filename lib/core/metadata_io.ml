@@ -11,7 +11,8 @@
 
    Format (one record per line, strings in OCaml lexical form):
 
-     BASTION-METADATA v2
+     BASTION-METADATA v3
+     section <name> <count> <required|optional>
      calltype <sysno> <d|i|di>
      indirect-callsite <func> <block> <index>
      indirect-target <fname>
@@ -41,13 +42,42 @@
    The pre-resolved-ctx (per-caller constants), slot-rank (taint ranks,
    t = tainted, u = untainted) and dead-site (benign-unreachable
    callsites) records are additive v2 extensions: files without them
-   parse unchanged. *)
+   parse unchanged.
 
-let header = "BASTION-METADATA v2"
+   v2 -> v3: the file gains a self-describing section table.  Every
+   record now lives inside a named, length-prefixed section
+
+     section <name> <count> <required|optional>
+
+   followed by exactly <count> record lines.  A v3 reader that meets a
+   section name it does not know SKIPS its <count> lines when the
+   section is marked optional, and rejects the file with a positioned
+   error when it is marked required — so future metadata extensions are
+   additive without another version bump, and a writer can demand that
+   a reader understand a section by flagging it required.  Truncated
+   sections (fewer lines than the count promises) and record lines
+   outside any section are positioned errors too.  v2 files keep their
+   exact v1-era reader: no section table, every line a record. *)
+
+let header = "BASTION-METADATA v3"
+
+let header_v2 = "BASTION-METADATA v2"
 
 let header_prefix = "BASTION-METADATA "
 
 exception Parse_error of int * string
+
+(* The canonical v3 sections, in file order.  [static] is the only
+   optional one: a reader that cannot interpret the static-analysis
+   acceleration records can still enforce soundly without them, whereas
+   dropping any of the others would silently weaken enforcement. *)
+let known_sections = [
+  ("calltype", `Required);
+  ("cfg", `Required);
+  ("callsites", `Required);
+  ("static", `Optional);
+  ("sensitive", `Required);
+]
 
 let loc_str (l : Sil.Loc.t) = Printf.sprintf "%s %s %d" l.func l.block l.index
 
@@ -62,12 +92,26 @@ let write_binding buf id pos (b : Arg_analysis.binding) =
   | Bind_var v -> Printf.bprintf buf "arg %d %d var %d %S\n" id pos v.vid v.vname
   | Bind_global g -> Printf.bprintf buf "arg %d %d global %s\n" id pos g
 
-(** Render the metadata of a protected program. *)
+(* A section under construction: records are rendered into a private
+   buffer, then emitted behind a [section <name> <count> <flag>] line
+   with the exact line count. *)
+let section_lines buf =
+  let n = ref 0 in
+  String.iter (fun c -> if Char.equal c '\n' then incr n) (Buffer.contents buf);
+  !n
+
+let emit_section out name flag buf =
+  Printf.bprintf out "section %s %d %s\n" name (section_lines buf)
+    (match flag with `Required -> "required" | `Optional -> "optional");
+  Buffer.add_buffer out buf
+
+(** Render the metadata of a protected program (v3: sectioned). *)
 let write (p : Api.protected) : string =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf header;
-  Buffer.add_char buf '\n';
-  (* Call-type table. *)
+  let out = Buffer.create 4096 in
+  Buffer.add_string out header;
+  Buffer.add_char out '\n';
+  (* Call-type section. *)
+  let buf = Buffer.create 1024 in
   Hashtbl.iter
     (fun sysno (ct : Calltype.call_type) ->
       let conv =
@@ -85,7 +129,9 @@ let write (p : Api.protected) : string =
   Hashtbl.iter
     (fun f () -> Printf.bprintf buf "indirect-target %s\n" f)
     p.calltype.indirect_targets;
-  (* Control-flow metadata. *)
+  emit_section out "calltype" `Required buf;
+  (* Control-flow section. *)
+  let buf = Buffer.create 1024 in
   Hashtbl.iter
     (fun callee set ->
       Sil.Loc.Set.iter
@@ -96,7 +142,9 @@ let write (p : Api.protected) : string =
   Sil.Loc.Set.iter
     (fun l -> Printf.bprintf buf "sensitive-callsite %s\n" (loc_str l))
     p.cfg.sensitive_callsites;
-  (* Instrumented-callsite metadata. *)
+  emit_section out "cfg" `Required buf;
+  (* Instrumented-callsite section. *)
+  let buf = Buffer.create 1024 in
   Printf.bprintf buf "counts %d %d %d\n" p.inst.counts.write_mem p.inst.counts.bind_mem
     p.inst.counts.bind_const;
   List.iter
@@ -106,8 +154,12 @@ let write (p : Api.protected) : string =
         (match cm.cm_sysno with Some n -> string_of_int n | None -> "-");
       List.iter (fun (pos, b) -> write_binding buf cm.cm_id pos b) cm.cm_specs)
     p.inst.callsites;
-  (* Constant-argument pre-resolution results (empty unless the static
-     pre-resolution pass ran). *)
+  emit_section out "callsites" `Required buf;
+  (* Static-analysis acceleration section: pre-resolution results,
+     taint ranks and dead sites (empty unless the passes ran).  The
+     only OPTIONAL section — a reader without it still enforces
+     soundly, just without the cheaper AI tiers. *)
+  let buf = Buffer.create 1024 in
   Hashtbl.iter
     (fun id pres ->
       List.iter
@@ -129,7 +181,9 @@ let write (p : Api.protected) : string =
         ranks)
     p.slot_ranks;
   Hashtbl.iter (fun id () -> Printf.bprintf buf "dead-site %d\n" id) p.dead_sites;
+  emit_section out "static" `Optional buf;
   (* Sensitive items (drive the monitor's sweeps). *)
+  let buf = Buffer.create 1024 in
   Arg_analysis.Item_set.iter
     (fun item ->
       match item with
@@ -138,7 +192,8 @@ let write (p : Api.protected) : string =
       | Arg_analysis.S_global g -> Printf.bprintf buf "sensitive-global %s\n" g
       | Arg_analysis.S_field (s, f) -> Printf.bprintf buf "sensitive-field %s %s\n" s f)
     p.analysis.items;
-  Buffer.contents buf
+  emit_section out "sensitive" `Required buf;
+  Buffer.contents out
 
 let save (p : Api.protected) ~file =
   let oc = open_out file in
@@ -166,21 +221,25 @@ type parsed = {
 }
 
 let parse (text : string) : parsed =
-  let lines = String.split_on_char '\n' text in
-  (match lines with
-  | first :: _ when String.equal first header -> ()
-  | first :: _
-    when String.length first >= String.length header_prefix
-         && String.equal (String.sub first 0 (String.length header_prefix)) header_prefix
-    ->
-    raise
-      (Parse_error
-         ( 1,
-           Printf.sprintf "unsupported metadata version %s (this build reads %s)"
-             (String.sub first (String.length header_prefix)
-                (String.length first - String.length header_prefix))
-             header ))
-  | _ -> raise (Parse_error (1, "missing metadata header")));
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let first = if Array.length lines > 0 then lines.(0) else "" in
+  let version =
+    if String.equal first header then `V3
+    else if String.equal first header_v2 then `V2
+    else if
+      String.length first >= String.length header_prefix
+      && String.equal (String.sub first 0 (String.length header_prefix)) header_prefix
+    then
+      raise
+        (Parse_error
+           ( 1,
+             Printf.sprintf
+               "unsupported metadata version %s (this build reads %s and %s)"
+               (String.sub first (String.length header_prefix)
+                  (String.length first - String.length header_prefix))
+               header header_v2 ))
+    else raise (Parse_error (1, "missing metadata header"))
+  in
   let calltype = ref [] in
   let ind_cs = ref [] in
   let ind_tg = ref [] in
@@ -196,11 +255,10 @@ let parse (text : string) : parsed =
   let slot_ranks = ref [] in
   let dead_sites = ref [] in
   let fail ln msg = raise (Parse_error (ln, msg)) in
-  List.iteri
-    (fun i line ->
-      let ln = i + 1 in
-      if ln = 1 || String.length line = 0 then ()
-      else
+  (* One record line, shared verbatim between the v2 reader (every
+     non-blank line is a record) and the v3 reader (records live inside
+     sections). *)
+  let parse_record ln line =
         try
           Scanf.sscanf line "%s@ %s@\000" (fun kind rest ->
               match kind with
@@ -294,8 +352,66 @@ let parse (text : string) : parsed =
         | Parse_error _ as e -> raise e
         | Scanf.Scan_failure msg -> fail ln msg
         | Failure msg -> fail ln msg
-        | End_of_file -> fail ln "truncated record")
-    lines;
+        | End_of_file -> fail ln "truncated record"
+  in
+  (match version with
+  | `V2 ->
+    (* The exact v1-era reader: every non-blank line after the header
+       is a record. *)
+    Array.iteri
+      (fun i line ->
+        let ln = i + 1 in
+        if ln = 1 || String.length line = 0 then () else parse_record ln line)
+      lines
+  | `V3 ->
+    (* The sectioned reader: a little state machine over the section
+       table.  Unknown optional sections are skipped record-for-record;
+       unknown required sections, truncated sections and records
+       outside any section are positioned errors. *)
+    let n = Array.length lines in
+    let i = ref 1 in
+    while !i < n do
+      let line = lines.(!i) in
+      let ln = !i + 1 in
+      if String.length line = 0 then incr i
+      else if String.starts_with ~prefix:"section " line then begin
+        let name, count, flag =
+          try
+            Scanf.sscanf line "section %s %d %s%!" (fun name count flag ->
+                let flag =
+                  match flag with
+                  | "required" -> `Required
+                  | "optional" -> `Optional
+                  | other -> fail ln ("bad section flag " ^ other)
+                in
+                (name, count, flag))
+          with
+          | Parse_error _ as e -> raise e
+          | Scanf.Scan_failure msg -> fail ln msg
+          | Failure msg -> fail ln msg
+          | End_of_file -> fail ln "truncated section header"
+        in
+        if count < 0 then fail ln (Printf.sprintf "negative section length %d" count);
+        let known = List.mem_assoc name known_sections in
+        (match flag with
+        | `Required when not known ->
+          fail ln
+            (Printf.sprintf
+               "unknown required section %s (this reader cannot skip it)" name)
+        | _ -> ());
+        for k = 1 to count do
+          let j = !i + k in
+          if j >= n || String.length lines.(j) = 0 then
+            fail
+              (min (j + 1) n)
+              (Printf.sprintf "truncated section %s (%d of %d records)" name
+                 (k - 1) count);
+          if known then parse_record (j + 1) lines.(j)
+        done;
+        i := !i + count + 1
+      end
+      else fail ln "record outside any section"
+    done);
   let pr_callsites =
     Hashtbl.fold
       (fun id (cm : Instrument.callsite_meta) acc ->
@@ -375,28 +491,40 @@ let restore (iprog : Sil.Prog.t) (pr : parsed) : Api.protected =
         })
     pr.pr_callsites;
   let analysis = { Arg_analysis.items; plans } in
-  let pre_resolved = Hashtbl.create (max 1 (List.length pr.pr_pre_resolved)) in
-  List.iter
-    (fun (id, pos, c) ->
-      let existing = Option.value ~default:[] (Hashtbl.find_opt pre_resolved id) in
-      Hashtbl.replace pre_resolved id ((pos, c) :: existing))
-    pr.pr_pre_resolved;
-  let pre_resolved_ctx =
-    Hashtbl.create (max 1 (List.length pr.pr_pre_resolved_ctx))
+  (* The per-id acceleration lists are rebuilt in SORTED position
+     order — the same ascending order the static pre-resolution pass
+     produces — so a saved-then-restored bundle deploys with the same
+     metadata fingerprint as the in-memory bundle it was written from
+     (the fingerprint hashes these lists in stored order). *)
+  let group_sorted size add rows =
+    let tbl = Hashtbl.create (max 1 size) in
+    List.iter
+      (fun row ->
+        let id, entry = add row in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt tbl id) in
+        Hashtbl.replace tbl id (entry :: existing))
+      rows;
+    let groups = Hashtbl.fold (fun id l acc -> (id, l) :: acc) tbl [] in
+    List.iter
+      (fun (id, l) -> Hashtbl.replace tbl id (List.sort compare l))
+      groups;
+    tbl
   in
-  List.iter
-    (fun (id, pos, caller, c) ->
-      let existing =
-        Option.value ~default:[] (Hashtbl.find_opt pre_resolved_ctx id)
-      in
-      Hashtbl.replace pre_resolved_ctx id ((pos, caller, c) :: existing))
-    pr.pr_pre_resolved_ctx;
-  let slot_ranks = Hashtbl.create (max 1 (List.length pr.pr_slot_ranks)) in
-  List.iter
-    (fun (id, pos, tainted) ->
-      let existing = Option.value ~default:[] (Hashtbl.find_opt slot_ranks id) in
-      Hashtbl.replace slot_ranks id ((pos, tainted) :: existing))
-    pr.pr_slot_ranks;
+  let pre_resolved =
+    group_sorted (List.length pr.pr_pre_resolved)
+      (fun (id, pos, c) -> (id, (pos, c)))
+      pr.pr_pre_resolved
+  in
+  let pre_resolved_ctx =
+    group_sorted (List.length pr.pr_pre_resolved_ctx)
+      (fun (id, pos, caller, c) -> (id, (pos, caller, c)))
+      pr.pr_pre_resolved_ctx
+  in
+  let slot_ranks =
+    group_sorted (List.length pr.pr_slot_ranks)
+      (fun (id, pos, tainted) -> (id, (pos, tainted)))
+      pr.pr_slot_ranks
+  in
   let dead_sites = Hashtbl.create (max 1 (List.length pr.pr_dead_sites)) in
   List.iter (fun id -> Hashtbl.replace dead_sites id ()) pr.pr_dead_sites;
   let w, bm, bc = pr.pr_counts in

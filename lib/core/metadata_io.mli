@@ -3,9 +3,21 @@
     binary and the monitor loads at initialisation (§7.1, Fig. 1). *)
 
 val header : string
+(** The current format header, ["BASTION-METADATA v3"]. *)
+
+val header_v2 : string
+(** The previous header; v2 files keep their exact original reader. *)
 
 exception Parse_error of int * string
 (** Line number and message. *)
+
+(** The canonical v3 sections in file order, with their
+    required/optional flags.  [static] is the only optional one: a
+    reader without it still enforces soundly, just without the cheaper
+    AI tiers.  Unknown optional sections in a file are skipped
+    record-for-record; unknown required sections are rejected with a
+    positioned error. *)
+val known_sections : (string * [ `Required | `Optional ]) list
 
 (** Render a protected program's metadata as the line-oriented text
     format documented in the implementation. *)

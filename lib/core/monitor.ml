@@ -79,6 +79,12 @@ type t = {
   mutable ai_untainted : int;
       (** ranked slot verifications eligible for the cheap path *)
   mutable denials : denial list;
+  mutable cur_tier : int;
+      (** deepest {!Obs.Event.tier} rank engaged by the trap in flight
+          (-1: none yet); folded into the event at {!obs_finish} *)
+  tier_counts : int array;
+      (** per-tier trap totals, indexed by {!Obs.Event.tier_rank} (the
+          prefilter slot stays 0 here — resolved calls never trap) *)
   (* §9.2 statistics: call-stack depth observed at each verified trap. *)
   mutable depth_total : int;
   mutable depth_min : int;
@@ -109,6 +115,8 @@ let create ?recorder ~(meta : Metadata.t) ~(runtime : Runtime.t) ~config
     ai_tainted = 0;
     ai_untainted = 0;
     denials = [];
+    cur_tier = -1;
+    tier_counts = Array.make 6 0;
     depth_total = 0;
     depth_min = max_int;
     depth_max = 0;
@@ -119,6 +127,14 @@ let set_recorder (t : t) r = t.recorder <- r
 let set_source (t : t) s = t.source <- s
 
 let charge_check (t : t) = Machine.charge t.machine t.machine.config.cost.monitor_check
+
+(* Resolution-tier tracking: each piece of machinery a trap engages
+   notes its {!Obs.Event.tier_rank}; the trap's tier is the deepest
+   note.  Pure bookkeeping — never charges modelled cycles, so cycle
+   totals are identical with or without a recorder. *)
+let note_tier (t : t) tier =
+  let rank = Obs.Event.tier_rank tier in
+  if rank > t.cur_tier then t.cur_tier <- rank
 
 (* Shadow-memory access from the monitor side.  The shadow region is
    mapped *shared* between the application and the monitor (§7.1), so
@@ -274,6 +290,7 @@ let check_callsite_args (t : t) (tracer : Ptrace.t) (entry : Metadata.cs_entry)
   (* Dynamic verification of one Spec_mem slot, the full two-lookup
      path: binding table, then shadow. *)
   let full_mem_check pos actual =
+    note_tier t Obs.Event.Tier_full;
     match binding_lookup t ~id:entry.e_id ~pos with
     | None ->
       raise
@@ -327,6 +344,7 @@ let check_callsite_args (t : t) (tracer : Ptrace.t) (entry : Metadata.cs_entry)
            shadow probes (two priced lookups saved per slot). *)
         let legit = List.assoc pos entry.e_pre in
         t.pre_resolved_hits <- t.pre_resolved_hits + 1;
+        note_tier t Obs.Event.Tier_pre_resolved;
         if not (Int64.equal legit actual) then
           raise
             (Deny
@@ -339,6 +357,7 @@ let check_callsite_args (t : t) (tracer : Ptrace.t) (entry : Metadata.cs_entry)
           (* 1-context pre-resolved slot: constant per caller, matched
              against the caller frame's callsite — still no probes. *)
           t.ctx_hits <- t.ctx_hits + 1;
+          note_tier t Obs.Event.Tier_ctx;
           if not (Int64.equal legit actual) then
             raise
               (Deny
@@ -364,6 +383,7 @@ let check_callsite_args (t : t) (tracer : Ptrace.t) (entry : Metadata.cs_entry)
                the binding-table lookup is skipped.  Denial semantics
                are identical to the full path: a missing shadow entry
                still means untraced, a mismatch still means corrupted. *)
+            note_tier t Obs.Event.Tier_cheap;
             let a =
               match recipe with
               | Metadata.Cheap_frame off -> Machine.Memory.addr_add frame.fv_base off
@@ -577,7 +597,7 @@ let obs_cached (t : t) (obs : trap_obs option) phase =
       :: ob.ob_spans
 
 let obs_finish (t : t) (tracer : Ptrace.t) (obs : trap_obs option) ~(rip : int64)
-    ~kind (verdict : Obs.Event.verdict) =
+    ~kind ~(tier : Obs.Event.tier option) (verdict : Obs.Event.verdict) =
   match t.recorder with
   | None -> ()
   | Some r -> (
@@ -605,11 +625,27 @@ let obs_finish (t : t) (tracer : Ptrace.t) (obs : trap_obs option) ~(rip : int64
           ev_shadow_probes = Shadow_memory.probe_count t.runtime.shadow - ob.ob_probes0;
           ev_shard = 0;
           ev_tracee = 0;
+          ev_tier = tier;
           ev_input = ob.ob_input;
         })
 
+(* The trap's settled tier: the deepest contribution noted while the
+   checks ran.  A trap that engaged none of the tiered machinery (e.g.
+   the CT-only configuration, or a stack with no AI-bound slots) is
+   conservatively [Tier_full] — nothing cheaper vouched for it. *)
+let settle_tier (t : t) : Obs.Event.tier =
+  let tier =
+    match Obs.Event.tier_of_rank t.cur_tier with
+    | Some tier -> tier
+    | None -> Obs.Event.Tier_full
+  in
+  t.tier_counts.(Obs.Event.tier_rank tier) <-
+    t.tier_counts.(Obs.Event.tier_rank tier) + 1;
+  tier
+
 let full_check (t : t) (tracer : Ptrace.t) : Process.verdict =
   t.traps_checked <- t.traps_checked + 1;
+  t.cur_tier <- -1;
   let obs = obs_begin t tracer in
   let regs = t.source.ts_regs tracer in
   try
@@ -651,6 +687,7 @@ let full_check (t : t) (tracer : Ptrace.t) : Process.verdict =
       | Some ob when use_cache -> ob.ob_cache <- Some hit
       | _ -> ());
       if hit then begin
+        note_tier t Obs.Event.Tier_cached;
         obs_cached t obs Obs.Event.Ct;
         obs_cached t obs Obs.Event.Cf
       end
@@ -669,11 +706,13 @@ let full_check (t : t) (tracer : Ptrace.t) : Process.verdict =
         obs_span t obs Obs.Event.Ai (fun () ->
             check_argument_integrity t tracer regs snap)
     end;
-    obs_finish t tracer obs ~rip:regs.rip ~kind:Obs.Event.Trap_check Obs.Event.Allowed;
+    obs_finish t tracer obs ~rip:regs.rip ~kind:Obs.Event.Trap_check
+      ~tier:(Some (settle_tier t)) Obs.Event.Allowed;
     Process.Continue
   with Deny (context, detail) ->
     t.denials <- { d_sysno = tracer.cur_sysno; d_context = context; d_detail = detail } :: t.denials;
     obs_finish t tracer obs ~rip:regs.rip ~kind:Obs.Event.Trap_check
+      ~tier:(Some (settle_tier t))
       (Obs.Event.Denied { d_context = context; d_detail = detail });
     Process.Deny { context; detail }
 
@@ -687,7 +726,8 @@ let fetch_only (t : t) (tracer : Ptrace.t) : Process.verdict =
     ob.ob_depth <- List.length snap.sn_frames;
     ob.ob_input <- Some (input_of regs (Some snap))
   | None -> ());
-  obs_finish t tracer obs ~rip:regs.rip ~kind:Obs.Event.Fetch_only Obs.Event.Allowed;
+  obs_finish t tracer obs ~rip:regs.rip ~kind:Obs.Event.Fetch_only ~tier:None
+    Obs.Event.Allowed;
   Process.Continue
 
 (* ------------------------------------------------------------------ *)
@@ -874,6 +914,10 @@ let ctx_resolved_hits (t : t) = t.ctx_hits
 (** Ranked-slot verification counts: (tainted — full path, untainted —
     cheap-path eligible). *)
 let ai_rank_stats (t : t) = (t.ai_tainted, t.ai_untainted)
+
+(** Per-tier trap totals, indexed by {!Obs.Event.tier_rank} (a copy;
+    the prefilter slot is always 0 — resolved calls never trap). *)
+let tier_counts (t : t) = Array.copy t.tier_counts
 
 (** §9.2 call-depth statistics over all verified traps:
     (min, mean, max); [None] before the first stack walk. *)

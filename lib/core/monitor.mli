@@ -76,6 +76,11 @@ type t = {
   mutable ai_untainted : int;
       (** ranked slot verifications eligible for the cheap path *)
   mutable denials : denial list;
+  mutable cur_tier : int;
+      (** deepest {!Obs.Event.tier} rank engaged by the trap in flight
+          (-1: none yet) *)
+  tier_counts : int array;
+      (** per-tier trap totals, indexed by {!Obs.Event.tier_rank} *)
   mutable depth_total : int;
   mutable depth_min : int;
   mutable depth_max : int;
@@ -157,6 +162,10 @@ val ctx_resolved_hits : t -> int
 (** Ranked-slot verification counts: (tainted — full binding+shadow
     path, untainted — cheap-path eligible). *)
 val ai_rank_stats : t -> int * int
+
+(** Per-tier trap totals, indexed by {!Obs.Event.tier_rank} (a copy;
+    the prefilter slot is always 0 — resolved calls never trap). *)
+val tier_counts : t -> int array
 
 (** §9.2 call-depth statistics over verified traps: (min, mean, max). *)
 val depth_stats : t -> (int * float * int) option

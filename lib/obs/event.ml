@@ -36,6 +36,57 @@ type kind =
 
 let kind_name = function Trap_check -> "trap" | Fetch_only -> "fetch"
 
+(* The resolution tier: the deepest (most expensive) machinery a trap
+   engaged before its verdict settled.  Ordered cheapest-first; the
+   differential replay engine diffs this field across metadata
+   versions, so movements toward lower ranks are wins. *)
+
+type tier =
+  | Tier_prefilter     (** resolved by the seccomp-stage flow automaton *)
+  | Tier_cached        (** CT+CF vouched for by a verdict-cache hit *)
+  | Tier_pre_resolved  (** AI slots all settled by static pre-resolution *)
+  | Tier_ctx           (** AI settled by 1-context pre-resolution *)
+  | Tier_cheap         (** AI settled on the taint-ranked cheap path *)
+  | Tier_full          (** the full memory-walk AI check (or CT/CF run) *)
+
+let tier_name = function
+  | Tier_prefilter -> "prefilter"
+  | Tier_cached -> "cached"
+  | Tier_pre_resolved -> "pre-resolved"
+  | Tier_ctx -> "ctx"
+  | Tier_cheap -> "cheap"
+  | Tier_full -> "full"
+
+let tier_of_name = function
+  | "prefilter" -> Ok Tier_prefilter
+  | "cached" -> Ok Tier_cached
+  | "pre-resolved" -> Ok Tier_pre_resolved
+  | "ctx" -> Ok Tier_ctx
+  | "cheap" -> Ok Tier_cheap
+  | "full" -> Ok Tier_full
+  | s -> Error (Printf.sprintf "unknown tier %S" s)
+
+let tier_rank = function
+  | Tier_prefilter -> 0
+  | Tier_cached -> 1
+  | Tier_pre_resolved -> 2
+  | Tier_ctx -> 3
+  | Tier_cheap -> 4
+  | Tier_full -> 5
+
+let tier_of_rank = function
+  | 0 -> Some Tier_prefilter
+  | 1 -> Some Tier_cached
+  | 2 -> Some Tier_pre_resolved
+  | 3 -> Some Tier_ctx
+  | 4 -> Some Tier_cheap
+  | 5 -> Some Tier_full
+  | _ -> None
+
+let all_tiers =
+  [ Tier_prefilter; Tier_cached; Tier_pre_resolved; Tier_ctx; Tier_cheap;
+    Tier_full ]
+
 (* The snapshot inputs the monitor consumed while judging the trap,
    captured so the verdict can be re-derived offline (`bastion replay`).
    These mirror Kernel.Ptrace's regs/frame_view/frame_slots without
@@ -78,6 +129,7 @@ type t = {
   ev_shadow_probes : int;   (** shadow-table slots examined *)
   ev_shard : int;           (** monitor shard lane (0: single-shard run) *)
   ev_tracee : int;          (** tracee lane within the fleet (0: solo run) *)
+  ev_tier : tier option;    (** deepest machinery engaged ([Trap_check]) *)
   ev_input : input option;  (** snapshot inputs, for offline replay *)
 }
 
@@ -198,6 +250,11 @@ let to_json (ev : t) : Report.Json.t =
            ("shard", Num (float_of_int ev.ev_shard));
            ("tracee", Num (float_of_int ev.ev_tracee));
          ])
+    (* The resolution tier is sparse too: fetch-only events (and
+       records written before the field existed) simply omit it. *)
+    @ (match ev.ev_tier with
+      | None -> []
+      | Some tier -> [ ("tier", Str (tier_name tier)) ])
     @ [ ("phases", List (List.map span_to_json ev.ev_spans)) ]
     @ (match ev.ev_input with
       | None -> []
@@ -366,6 +423,14 @@ let of_json (json : Report.Json.t) : (t, string) result =
     let* ev_shadow_probes = int_field "shadow_probes" json in
     let* ev_shard = opt_int_field "shard" ~default:0 json in
     let* ev_tracee = opt_int_field "tracee" ~default:0 json in
+    let* ev_tier =
+      match Report.Json.member "tier" json with
+      | None -> Ok None
+      | Some (Report.Json.Str s) ->
+        let* t = tier_of_name s in
+        Ok (Some t)
+      | Some _ -> Error "field \"tier\" is not a string"
+    in
     let* phases = field "phases" json in
     let* phases = as_list "phases" phases in
     let* ev_spans = map_result span_of_json phases in
@@ -380,6 +445,7 @@ let of_json (json : Report.Json.t) : (t, string) result =
       {
         ev_seq; ev_kind; ev_sysno; ev_sysname; ev_rip; ev_start; ev_dur;
         ev_verdict; ev_spans; ev_cache; ev_depth; ev_ptrace_calls;
-        ev_ptrace_words; ev_shadow_probes; ev_shard; ev_tracee; ev_input;
+        ev_ptrace_words; ev_shadow_probes; ev_shard; ev_tracee; ev_tier;
+        ev_input;
       }
   | _ -> Error "audit record is not a JSON object"

@@ -28,6 +28,28 @@ type kind =
 
 val kind_name : kind -> string
 
+(** The resolution tier: the deepest (most expensive) machinery a trap
+    engaged before its verdict settled, ordered cheapest-first.  The
+    differential replay engine diffs it across metadata versions. *)
+type tier =
+  | Tier_prefilter     (** resolved by the seccomp-stage flow automaton *)
+  | Tier_cached        (** CT+CF vouched for by a verdict-cache hit *)
+  | Tier_pre_resolved  (** AI slots all settled by static pre-resolution *)
+  | Tier_ctx           (** AI settled by 1-context pre-resolution *)
+  | Tier_cheap         (** AI settled on the taint-ranked cheap path *)
+  | Tier_full          (** the full memory-walk AI check (or CT/CF run) *)
+
+val tier_name : tier -> string
+val tier_of_name : string -> (tier, string) result
+
+(** Rank in the cheapest-first order, 0 (prefilter) to 5 (full). *)
+val tier_rank : tier -> int
+
+val tier_of_rank : int -> tier option
+
+(** Every tier, cheapest first. *)
+val all_tiers : tier list
+
 (** The snapshot inputs the monitor consumed while judging the trap,
     captured so the verdict can be re-derived offline by the replay
     engine.  Mirrors [Kernel.Ptrace]'s regs / frame_view / frame_slots
@@ -70,6 +92,7 @@ type t = {
   ev_shadow_probes : int;   (** shadow-table slots examined *)
   ev_shard : int;           (** monitor shard lane (0: single-shard run) *)
   ev_tracee : int;          (** tracee lane within the fleet (0: solo run) *)
+  ev_tier : tier option;    (** deepest machinery engaged ([Trap_check]) *)
   ev_input : input option;  (** snapshot inputs, for offline replay *)
 }
 

@@ -138,6 +138,7 @@ let record_run ?(trap_cache = true) ?(pre_resolve = false) ?prefilter ~app
         (match m.Drivers.m_monitor with
         | Some mon -> fingerprint_of mon
         | None -> "-");
+      h_against = None;
       h_traps = List.length (Obs.Recorder.trap_events recorder);
       h_cycles = m.Drivers.m_cycles;
     }
@@ -177,6 +178,7 @@ let record_attack ?(trap_cache = true) ?(pre_resolve = false) ?prefilter
       h_pre_resolve = pre_resolve;
       h_prefilter = prefilter;
       h_fingerprint = !fp;
+      h_against = None;
       h_traps = List.length (Obs.Recorder.trap_events recorder);
       h_cycles = (match !machine with Some m -> m.stats.cycles | None -> 0);
     }
@@ -201,10 +203,15 @@ type report = {
   rp_traps_recorded : int;
   rp_traps_replayed : int;
   rp_cycles_replayed : int;
+  rp_header_mismatch : (string * string) option;
+      (* (recorded fingerprint, deployed fingerprint) when the hard
+         gate refused to judge the stream — a run-level condition, not
+         a per-trap divergence, so it never appears in
+         [rp_divergences] *)
   rp_divergences : divergence list;
 }
 
-let ok r = r.rp_divergences = []
+let ok r = r.rp_header_mismatch = None && r.rp_divergences = []
 
 (* Per-replay comparison state, shared between the injection source
    and the wrapped tracer hook.  [idx] is the next recorded trap to
@@ -368,6 +375,7 @@ let finish st (tr : Trace.t) ~fresh_cycles : report =
     rp_traps_recorded = n;
     rp_traps_replayed = st.idx + st.extra;
     rp_cycles_replayed = fresh_cycles;
+    rp_header_mismatch = None;
     rp_divergences = List.rev st.divs;
   }
 
@@ -378,11 +386,8 @@ let fingerprint_only_report (tr : Trace.t) ~expected_fp ~actual_fp : report =
     rp_traps_recorded = List.length tr.t_events;
     rp_traps_replayed = 0;
     rp_cycles_replayed = 0;
-    rp_divergences =
-      [
-        { dv_line = 1; dv_seq = -1; dv_field = "fingerprint";
-          dv_recorded = expected_fp; dv_replayed = actual_fp };
-      ];
+    rp_header_mismatch = Some (expected_fp, actual_fp);
+    rp_divergences = [];
   }
 
 let new_state ~strict (tr : Trace.t) : state =
@@ -476,6 +481,428 @@ let replay ?(strict = false) (tr : Trace.t) : report =
   | Trace.Attack { attack_id; config } -> replay_attack ~strict tr ~attack_id ~config
 
 (* ------------------------------------------------------------------ *)
+(* Differential replay.
+
+   Where strict replay refuses a trace whose metadata fingerprint has
+   moved, differential replay embraces it: re-execute the recorded trap
+   stream through a monitor built from *changed* metadata, follow the
+   recorded snapshot inputs and verdicts (so control flow stays on the
+   recorded path), but judge every trap with the fresh verification
+   logic — and report what moved.  Verdict flips (allow->deny and
+   deny->allow separately), denial-context changes, tier movements
+   (including across the seccomp pre-filter boundary) and cycle deltas
+   are the payload, not failures.
+
+   Stream alignment is positional with a (sysno, rip) guard: a
+   recorded trap is consumed by the fresh trap at the same position
+   only when both agree on the trapping syscall and callsite.  When
+   the changed metadata alters the *pre-filter automaton* the streams
+   can genuinely differ: a recorded trap the fresh automaton resolves
+   at seccomp stage is consumed by the wrapped resolution hook (a
+   movement to the prefilter tier), and a fresh trap the recorded run
+   resolved (so it is absent from the trace) is judged fresh against a
+   synthetic prefilter "before" and then allowed through, because
+   that is how the recorded run behaved.  When the fingerprints are
+   equal the automata are identical, the guards reduce to pure
+   positional matching, and a clean diff (zero flips, zero moves) is
+   the regression oracle CI asserts over the golden corpus. *)
+
+type flip = {
+  fl_line : int;    (* trace line of the recorded trap; 0 when unmatched *)
+  fl_seq : int;     (* recorded trap sequence number; -1 when unmatched *)
+  fl_sysno : int;
+  fl_sysname : string;
+  fl_rip : int64;
+  fl_before : string;  (* recorded side of the verdict *)
+  fl_after : string;   (* freshly judged side *)
+}
+
+type context_move = {
+  cm_line : int;
+  cm_seq : int;
+  cm_sysname : string;
+  cm_before : string;  (* recorded denial, "context: detail" *)
+  cm_after : string;   (* fresh denial *)
+}
+
+type diff_report = {
+  dr_file : string;
+  dr_header : Trace.header;  (* [h_against] filled with the fresh fingerprint *)
+  dr_recorded_fp : string;
+  dr_against_fp : string;
+  dr_same_metadata : bool;
+  dr_traps_recorded : int;
+  dr_traps_matched : int;
+  dr_moved_to_prefilter : int;
+      (* recorded traps the fresh automaton resolved at seccomp stage *)
+  dr_fresh_unmatched : int;
+      (* fresh traps with no recorded counterpart (prefilter-resolved
+         in the recorded run) *)
+  dr_unconsumed_recorded : int;
+      (* recorded traps the fresh run never delivered *)
+  dr_allow_to_deny : flip list;
+  dr_deny_to_allow : flip list;
+  dr_context_moves : context_move list;
+  dr_tier_matrix : (string * string * int) list;
+      (* (before, after, count), ascending tier-rank order, zero rows
+         omitted; the diagonal counts traps whose tier did not move *)
+  dr_tier_moves : int;  (* off-diagonal total *)
+  dr_trap_cycle_delta : int;  (* Σ fresh dur - recorded dur, matched traps *)
+  dr_cycles_recorded : int;
+  dr_cycles_replayed : int;
+  dr_run_outcome : string option;  (* Some msg when the replayed run died *)
+}
+
+(* A diff is benign when no verdict moved in either direction, no
+   denial changed context, and the replayed run survived.  Tier
+   movements and cycle deltas are informational: they are the expected
+   consequence of metadata that got better or worse, not breakage. *)
+let diff_ok r =
+  r.dr_allow_to_deny = [] && r.dr_deny_to_allow = []
+  && r.dr_context_moves = [] && r.dr_run_outcome = None
+
+(* The in-tree compile pass for the recorded configuration — the base
+   whose instrumented program an edited metadata file is restored
+   against ([Metadata_io.load (base_bundle tr).inst.iprog]). *)
+let base_bundle (tr : Trace.t) : Bastion.Api.protected =
+  let pre_resolve = tr.t_header.h_pre_resolve in
+  match tr.t_header.h_kind with
+  | Trace.Run { app; defense; scale } ->
+    let a =
+      match app_of ~name:app ~scale with
+      | Ok a -> a
+      | Error msg -> malformed ~file:tr.t_file msg
+    in
+    let fs =
+      match defense_of_key defense with
+      | Some (Drivers.Bastion_fs _) -> true
+      | Some _ -> false
+      | None ->
+        malformed ~file:tr.t_file (Printf.sprintf "unknown defense %S" defense)
+    in
+    Drivers.protected_of ~pre_resolve a ~fs
+  | Trace.Attack { attack_id; _ } ->
+    let attack =
+      match attack_of ~id:attack_id with
+      | Ok a -> a
+      | Error msg -> malformed ~file:tr.t_file msg
+    in
+    let p =
+      Bastion.Api.protect ~protect_filesystem:attack.a_fs_scope
+        (attack.a_victim.v_build ())
+    in
+    if pre_resolve then Bastion_analysis.Preresolve.enrich p else p
+
+type dstate = {
+  d_expected : (int * Event.t) array;
+  d_against_fp : string;
+  d_same : bool;  (* fingerprints equal: pure positional matching *)
+  mutable d_idx : int;
+  mutable d_matched : int;
+  mutable d_moved_pre : int;
+  mutable d_unmatched : int;
+  mutable d_ad : flip list;          (* reverse discovery order *)
+  mutable d_da : flip list;
+  mutable d_ctx : context_move list;
+  d_matrix : int array array;        (* 6x6, indexed by tier rank *)
+  mutable d_trap_delta : int;
+  d_last : Event.t option ref;
+}
+
+let new_dstate (tr : Trace.t) ~against_fp ~last : dstate =
+  {
+    d_expected = Array.of_list tr.t_events;
+    d_against_fp = against_fp;
+    d_same = String.equal against_fp tr.t_header.h_fingerprint;
+    d_idx = 0;
+    d_matched = 0;
+    d_moved_pre = 0;
+    d_unmatched = 0;
+    d_ad = [];
+    d_da = [];
+    d_ctx = [];
+    d_matrix = Array.make_matrix 6 6 0;
+    d_trap_delta = 0;
+    d_last = last;
+  }
+
+let dpeek d =
+  if d.d_idx < Array.length d.d_expected then Some d.d_expected.(d.d_idx)
+  else None
+
+let bump_matrix d ~before ~after =
+  match (before, after) with
+  | Some b, Some a ->
+    let b = Event.tier_rank b and a = Event.tier_rank a in
+    d.d_matrix.(b).(a) <- d.d_matrix.(b).(a) + 1
+  | _ -> ()  (* fetch-only records carry no tier; nothing to place *)
+
+let mkflip ~line (recorded : Event.t) ~before ~after : flip =
+  {
+    fl_line = line;
+    fl_seq = recorded.ev_seq;
+    fl_sysno = recorded.ev_sysno;
+    fl_sysname = recorded.ev_sysname;
+    fl_rip = recorded.ev_rip;
+    fl_before = before;
+    fl_after = after;
+  }
+
+(* Injection for the diff: recorded inputs only where the recorded
+   trap demonstrably is the live trap (same syscall, same callsite —
+   [trap_rip] and [cur_sysno] are engine-side peeks, never charged).
+   Anywhere else the fresh run reads the tracee live, which is the
+   ground truth because control flow follows the recorded path. *)
+let diff_source d : Bastion.Monitor.trap_source =
+  let next (tracer : Ptrace.t) =
+    match dpeek d with
+    | Some (_, ev)
+      when ev.Event.ev_sysno = tracer.Ptrace.cur_sysno
+           && Int64.equal ev.Event.ev_rip tracer.Ptrace.machine.Machine.trap_rip
+      ->
+      Some ev
+    | _ -> None
+  in
+  {
+    Bastion.Monitor.ts_regs =
+      (fun tracer ->
+        match next tracer with
+        | Some ev -> (
+          match ev.Event.ev_input with
+          | Some i ->
+            Ptrace.inject_regs tracer
+              { Ptrace.rip = ev.ev_rip; sysno = ev.ev_sysno;
+                args = Array.copy i.in_args }
+          | None -> Ptrace.getregs tracer)
+        | None -> Ptrace.getregs tracer);
+    ts_snapshot =
+      (fun tracer ~slot_span ->
+        match next tracer with
+        | Some { Event.ev_input = Some i; _ } ->
+          Ptrace.inject_snapshot tracer (snapshot_of_input i)
+        | _ -> Ptrace.snapshot tracer ~slot_span);
+  }
+
+(* Wrap the tracer hook: judge the trap fresh, classify the movement
+   against the matched recorded trap, then follow the *recorded*
+   behaviour (matched traps follow the recorded verdict; unmatched
+   fresh traps were prefilter-resolved — i.e. allowed — in the
+   recorded run). *)
+let diff_hook d (proc : Kernel.Process.t) =
+  match proc.tracer_hook with
+  | None -> ()
+  | Some orig ->
+    proc.tracer_hook <-
+      Some
+        (fun p ~sysno ~args ->
+          d.d_last := None;
+          let fresh_verdict = orig p ~sysno ~args in
+          match !(d.d_last) with
+          | None -> fresh_verdict
+          | Some fresh -> (
+            match dpeek d with
+            | Some (line, recorded)
+              when recorded.Event.ev_sysno = fresh.Event.ev_sysno
+                   && Int64.equal recorded.ev_rip fresh.ev_rip ->
+              d.d_idx <- d.d_idx + 1;
+              d.d_matched <- d.d_matched + 1;
+              d.d_trap_delta <- d.d_trap_delta + fresh.ev_dur - recorded.ev_dur;
+              bump_matrix d ~before:recorded.ev_tier ~after:fresh.ev_tier;
+              (match (recorded.ev_verdict, fresh.ev_verdict) with
+              | Event.Allowed, Event.Allowed -> ()
+              | Event.Allowed, (Event.Denied _ as v) ->
+                d.d_ad <-
+                  mkflip ~line recorded ~before:"allowed" ~after:(verdict_str v)
+                  :: d.d_ad
+              | (Event.Denied _ as v), Event.Allowed ->
+                d.d_da <-
+                  mkflip ~line recorded ~before:(verdict_str v) ~after:"allowed"
+                  :: d.d_da
+              | (Event.Denied _ as rv), (Event.Denied _ as fv) ->
+                if rv <> fv then
+                  d.d_ctx <-
+                    { cm_line = line; cm_seq = recorded.ev_seq;
+                      cm_sysname = recorded.ev_sysname;
+                      cm_before = verdict_str rv; cm_after = verdict_str fv }
+                    :: d.d_ctx);
+              (match recorded.ev_verdict with
+              | Event.Allowed -> Kernel.Process.Continue
+              | Event.Denied { d_context; d_detail } ->
+                Kernel.Process.Deny { context = d_context; detail = d_detail })
+            | _ ->
+              (* No recorded counterpart: the recorded run resolved this
+                 trap at the seccomp stage, so its "before" is the
+                 prefilter tier and its recorded behaviour is allow. *)
+              d.d_unmatched <- d.d_unmatched + 1;
+              bump_matrix d ~before:(Some Event.Tier_prefilter)
+                ~after:fresh.ev_tier;
+              (match fresh.ev_verdict with
+              | Event.Denied _ as v ->
+                d.d_ad <-
+                  mkflip ~line:0
+                    { fresh with ev_seq = -1 }
+                    ~before:"allowed@prefilter" ~after:(verdict_str v)
+                  :: d.d_ad
+              | Event.Allowed -> ());
+              Kernel.Process.Continue))
+
+(* The other side of the seccomp boundary: the fresh automaton resolves
+   a trap the recorded run delivered to the full monitor.  Consume the
+   recorded trap as a movement to the prefilter tier; a recorded denial
+   resolved away is a deny->allow flip.  With identical fingerprints
+   the automata are identical and the recorded stream holds exactly the
+   fall-throughs, so the guard is skipped entirely. *)
+let diff_wrap_resolve d (mon : Bastion.Monitor.t) =
+  match Bastion.Monitor.prefilter mon with
+  | None -> ()
+  | Some fa ->
+    let orig = fa.Kernel.Seccomp.fa_on_resolve in
+    fa.Kernel.Seccomp.fa_on_resolve <-
+      Some
+        (fun ~sysno ~rip ->
+          (match orig with Some f -> f ~sysno ~rip | None -> ());
+          if not d.d_same then
+            match dpeek d with
+            | Some (line, recorded)
+              when recorded.Event.ev_sysno = sysno
+                   && Int64.equal recorded.ev_rip rip ->
+              d.d_idx <- d.d_idx + 1;
+              d.d_moved_pre <- d.d_moved_pre + 1;
+              bump_matrix d ~before:recorded.ev_tier
+                ~after:(Some Event.Tier_prefilter);
+              (match recorded.ev_verdict with
+              | Event.Denied _ as v ->
+                d.d_da <-
+                  mkflip ~line recorded ~before:(verdict_str v)
+                    ~after:"allowed@prefilter"
+                  :: d.d_da
+              | Event.Allowed -> ())
+            | _ -> ())
+
+let tier_rank_name r =
+  match Event.tier_of_rank r with Some t -> Event.tier_name t | None -> "?"
+
+let diff_finish d (tr : Trace.t) ~fresh_cycles ~run_outcome : diff_report =
+  let entries = ref [] in
+  let moves = ref 0 in
+  for b = 5 downto 0 do
+    for a = 5 downto 0 do
+      let c = d.d_matrix.(b).(a) in
+      if c > 0 then begin
+        if b <> a then moves := !moves + c;
+        entries := (tier_rank_name b, tier_rank_name a, c) :: !entries
+      end
+    done
+  done;
+  {
+    dr_file = tr.t_file;
+    dr_header = { tr.t_header with Trace.h_against = Some d.d_against_fp };
+    dr_recorded_fp = tr.t_header.h_fingerprint;
+    dr_against_fp = d.d_against_fp;
+    dr_same_metadata = d.d_same;
+    dr_traps_recorded = Array.length d.d_expected;
+    dr_traps_matched = d.d_matched;
+    dr_moved_to_prefilter = d.d_moved_pre;
+    dr_fresh_unmatched = d.d_unmatched;
+    dr_unconsumed_recorded = Array.length d.d_expected - d.d_idx;
+    dr_allow_to_deny = List.rev d.d_ad;
+    dr_deny_to_allow = List.rev d.d_da;
+    dr_context_moves = List.rev d.d_ctx;
+    dr_tier_matrix = !entries;
+    dr_tier_moves = !moves;
+    dr_trap_cycle_delta = d.d_trap_delta;
+    dr_cycles_recorded = tr.t_header.h_cycles;
+    dr_cycles_replayed = fresh_cycles;
+    dr_run_outcome = run_outcome;
+  }
+
+let diff_run ?against (tr : Trace.t) ~app ~defense ~scale : diff_report =
+  let a =
+    match app_of ~name:app ~scale with
+    | Ok a -> a
+    | Error msg -> malformed ~file:tr.t_file msg
+  in
+  let defense_v =
+    match defense_of_key defense with
+    | Some d -> d
+    | None -> malformed ~file:tr.t_file (Printf.sprintf "unknown defense %S" defense)
+  in
+  let last = ref None in
+  let recorder = Obs.Recorder.create () in
+  Obs.Recorder.set_on_event recorder (Some (fun ev -> last := Some ev));
+  let prepared =
+    Drivers.prepare ~trap_cache:tr.t_header.h_trap_cache
+      ~pre_resolve:tr.t_header.h_pre_resolve
+      ?prefilter:tr.t_header.h_prefilter ?bundle:against ~recorder a defense_v
+  in
+  let against_fp =
+    match prepared.Drivers.pr_monitor with
+    | Some mon -> fingerprint_of mon
+    | None -> "-"
+  in
+  let d = new_dstate tr ~against_fp ~last in
+  (match prepared.Drivers.pr_monitor with
+  | Some mon ->
+    Bastion.Monitor.set_source mon (diff_source d);
+    diff_wrap_resolve d mon
+  | None -> ());
+  diff_hook d prepared.Drivers.pr_process;
+  let run_outcome =
+    try
+      ignore (Drivers.execute prepared);
+      None
+    with Drivers.Benign_run_died msg -> Some msg
+  in
+  diff_finish d tr ~fresh_cycles:prepared.Drivers.pr_machine.stats.cycles
+    ~run_outcome
+
+let diff_attack ?against (tr : Trace.t) ~attack_id ~config : diff_report =
+  let attack =
+    match attack_of ~id:attack_id with
+    | Ok a -> a
+    | Error msg -> malformed ~file:tr.t_file msg
+  in
+  let config_v =
+    match config_of_key config with
+    | Some c -> c
+    | None ->
+      malformed ~file:tr.t_file (Printf.sprintf "unknown attack config %S" config)
+  in
+  let last = ref None in
+  let recorder = Obs.Recorder.create () in
+  Obs.Recorder.set_on_event recorder (Some (fun ev -> last := Some ev));
+  let machine : Machine.t option ref = ref None in
+  let dref = ref None in
+  let on_session (s : Bastion.Api.session) =
+    machine := Some s.Bastion.Api.machine;
+    let against_fp = fingerprint_of s.Bastion.Api.monitor in
+    let d = new_dstate tr ~against_fp ~last in
+    dref := Some d;
+    Bastion.Monitor.set_source s.Bastion.Api.monitor (diff_source d);
+    diff_wrap_resolve d s.Bastion.Api.monitor;
+    diff_hook d s.Bastion.Api.process
+  in
+  ignore
+    (Runner.run ~trap_cache:tr.t_header.h_trap_cache
+       ~pre_resolve:tr.t_header.h_pre_resolve
+       ?prefilter:tr.t_header.h_prefilter ?bundle:against ~recorder ~on_session
+       attack config_v);
+  match !dref with
+  | None ->
+    malformed ~file:tr.t_file "undefended attack traces cannot be diff-replayed"
+  | Some d ->
+    let fresh_cycles =
+      match !machine with Some m -> m.Machine.stats.cycles | None -> 0
+    in
+    diff_finish d tr ~fresh_cycles ~run_outcome:None
+
+let diff_replay ?against (tr : Trace.t) : diff_report =
+  match tr.t_header.h_kind with
+  | Trace.Run { app; defense; scale } -> diff_run ?against tr ~app ~defense ~scale
+  | Trace.Attack { attack_id; config } ->
+    diff_attack ?against tr ~attack_id ~config
+
+(* ------------------------------------------------------------------ *)
 (* Reporting *)
 
 let divergence_to_json (d : divergence) : Report.Json.t =
@@ -492,7 +919,7 @@ let divergence_to_json (d : divergence) : Report.Json.t =
 let report_to_json (r : report) : Report.Json.t =
   let open Report.Json in
   Obj
-    [
+    ([
       ("file", Str r.rp_file);
       ("header", Trace.header_to_json r.rp_header);
       ("traps_recorded", Num (float_of_int r.rp_traps_recorded));
@@ -500,8 +927,13 @@ let report_to_json (r : report) : Report.Json.t =
       ("cycles_recorded", Num (float_of_int r.rp_header.Trace.h_cycles));
       ("cycles_replayed", Num (float_of_int r.rp_cycles_replayed));
       ("ok", Bool (ok r));
-      ("divergences", List (List.map divergence_to_json r.rp_divergences));
     ]
+    @ (match r.rp_header_mismatch with
+      | None -> []
+      | Some (recorded, deployed) ->
+        [ ("header_mismatch",
+           Obj [ ("recorded", Str recorded); ("deployed", Str deployed) ]) ])
+    @ [ ("divergences", List (List.map divergence_to_json r.rp_divergences)) ])
 
 let kind_str = function
   | Trace.Run { app; defense; scale } -> Printf.sprintf "%s/%s [%s]" app defense scale
@@ -515,6 +947,15 @@ let render (r : report) : string =
        r.rp_traps_replayed
        (List.length r.rp_divergences)
        (if List.length r.rp_divergences = 1 then "" else "s"));
+  (match r.rp_header_mismatch with
+  | None -> ()
+  | Some (recorded, deployed) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  %s:1: metadata fingerprint mismatch: recorded %s, deployed %s — \
+          stream not judged (use `bastion replay --against` for a \
+          differential report)\n"
+         r.rp_file recorded deployed));
   List.iter
     (fun d ->
       let where =
@@ -525,4 +966,139 @@ let render (r : report) : string =
         (Printf.sprintf "  %s: %s: recorded %s, replayed %s\n" where d.dv_field
            d.dv_recorded d.dv_replayed))
     r.rp_divergences;
+  Buffer.contents buf
+
+let flip_to_json (f : flip) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    [
+      ("line", Num (float_of_int f.fl_line));
+      ("seq", Num (float_of_int f.fl_seq));
+      ("sysno", Num (float_of_int f.fl_sysno));
+      ("sysname", Str f.fl_sysname);
+      ("rip", Str (Printf.sprintf "0x%Lx" f.fl_rip));
+      ("before", Str f.fl_before);
+      ("after", Str f.fl_after);
+    ]
+
+let context_move_to_json (c : context_move) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    [
+      ("line", Num (float_of_int c.cm_line));
+      ("seq", Num (float_of_int c.cm_seq));
+      ("sysname", Str c.cm_sysname);
+      ("before", Str c.cm_before);
+      ("after", Str c.cm_after);
+    ]
+
+let diff_report_to_json (r : diff_report) : Report.Json.t =
+  let open Report.Json in
+  Obj
+    ([
+       ("schema", Str "bastion-diff-replay/1");
+       ("file", Str r.dr_file);
+       ("header", Trace.header_to_json r.dr_header);
+       ("recorded_fingerprint", Str r.dr_recorded_fp);
+       ("against_fingerprint", Str r.dr_against_fp);
+       ("same_metadata", Bool r.dr_same_metadata);
+       ("ok", Bool (diff_ok r));
+       ("traps",
+        Obj
+          [
+            ("recorded", Num (float_of_int r.dr_traps_recorded));
+            ("matched", Num (float_of_int r.dr_traps_matched));
+            ("moved_to_prefilter", Num (float_of_int r.dr_moved_to_prefilter));
+            ("fresh_unmatched", Num (float_of_int r.dr_fresh_unmatched));
+            ("unconsumed", Num (float_of_int r.dr_unconsumed_recorded));
+          ]);
+       ("flips",
+        Obj
+          [
+            ("allow_to_deny", List (List.map flip_to_json r.dr_allow_to_deny));
+            ("deny_to_allow", List (List.map flip_to_json r.dr_deny_to_allow));
+          ]);
+       ("context_moves", List (List.map context_move_to_json r.dr_context_moves));
+       ("tier_matrix",
+        List
+          (List.map
+             (fun (before, after, count) ->
+               Obj
+                 [
+                   ("before", Str before);
+                   ("after", Str after);
+                   ("count", Num (float_of_int count));
+                 ])
+             r.dr_tier_matrix));
+       ("tier_moves", Num (float_of_int r.dr_tier_moves));
+       ("cycles",
+        Obj
+          [
+            ("recorded", Num (float_of_int r.dr_cycles_recorded));
+            ("replayed", Num (float_of_int r.dr_cycles_replayed));
+            ("trap_delta", Num (float_of_int r.dr_trap_cycle_delta));
+          ]);
+     ]
+    @ match r.dr_run_outcome with
+      | None -> []
+      | Some msg -> [ ("run_outcome", Str msg) ])
+
+let render_diff (r : diff_report) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "diff-replay %s: %s — recorded %s, against %s%s\n" r.dr_file
+       (kind_str r.dr_header.Trace.h_kind) r.dr_recorded_fp r.dr_against_fp
+       (if r.dr_same_metadata then " (metadata unchanged)" else ""));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  traps: %d recorded, %d matched, %d moved to prefilter, %d fresh \
+        unmatched, %d unconsumed\n"
+       r.dr_traps_recorded r.dr_traps_matched r.dr_moved_to_prefilter
+       r.dr_fresh_unmatched r.dr_unconsumed_recorded);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  verdict flips: %d allow->deny, %d deny->allow; context moves: %d\n"
+       (List.length r.dr_allow_to_deny)
+       (List.length r.dr_deny_to_allow)
+       (List.length r.dr_context_moves));
+  (if r.dr_tier_moves = 0 then
+     Buffer.add_string buf "  tiers: unchanged\n"
+   else begin
+     let moved =
+       List.filter_map
+         (fun (b, a, c) ->
+           if String.equal b a then None
+           else Some (Printf.sprintf "%s->%s x%d" b a c))
+         r.dr_tier_matrix
+     in
+     Buffer.add_string buf
+       (Printf.sprintf "  tiers: %d moved (%s)\n" r.dr_tier_moves
+          (String.concat ", " moved))
+   end);
+  Buffer.add_string buf
+    (Printf.sprintf "  cycles: %d recorded, %d replayed (trap delta %+d)\n"
+       r.dr_cycles_recorded r.dr_cycles_replayed r.dr_trap_cycle_delta);
+  let flip_line tag (f : flip) =
+    let where =
+      if f.fl_line = 0 then Printf.sprintf "%s: unmatched" r.dr_file
+      else Printf.sprintf "%s:%d: trap seq %d" r.dr_file f.fl_line f.fl_seq
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  %s: %s %s(%d) at %s: %s -> %s\n" where tag f.fl_sysname
+         f.fl_sysno
+         (Printf.sprintf "0x%Lx" f.fl_rip)
+         f.fl_before f.fl_after)
+  in
+  List.iter (flip_line "allow->deny") r.dr_allow_to_deny;
+  List.iter (flip_line "deny->allow") r.dr_deny_to_allow;
+  List.iter
+    (fun (c : context_move) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s:%d: trap seq %d: context moved: %s -> %s\n"
+           r.dr_file c.cm_line c.cm_seq c.cm_before c.cm_after))
+    r.dr_context_moves;
+  (match r.dr_run_outcome with
+  | None -> ()
+  | Some msg ->
+    Buffer.add_string buf (Printf.sprintf "  run outcome: %s\n" msg));
   Buffer.contents buf

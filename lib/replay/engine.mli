@@ -14,9 +14,11 @@
     the *recorded* verdict, so one corrupted record cannot derail the
     comparison of everything after it.
 
-    The metadata fingerprint is a hard gate: a trace recorded against a
-    different bundle is reported as a single fingerprint divergence and
-    never judged. *)
+    The metadata fingerprint is a hard gate for *strict* replay: a
+    trace recorded against a different bundle is reported as a header
+    mismatch and never judged.  {!diff_replay} is the other mode: it
+    embraces a changed bundle and reports what moved — verdict flips,
+    denial-context changes, tier movements, cycle deltas. *)
 
 (** {1 Name registries}
 
@@ -80,9 +82,14 @@ type report = {
   rp_traps_recorded : int;
   rp_traps_replayed : int;    (** traps the fresh run delivered *)
   rp_cycles_replayed : int;   (** final modelled cycle total of the replay *)
+  rp_header_mismatch : (string * string) option;
+      (** (recorded, deployed) metadata fingerprints when the hard gate
+          refused to judge the stream; a run-level condition with its
+          own report field — never a synthetic divergence row *)
   rp_divergences : divergence list;  (** in discovery order *)
 }
 
+(** No header mismatch and no divergences. *)
 val ok : report -> bool
 
 (** Re-run the recorded configuration with recorded snapshots injected
@@ -101,3 +108,90 @@ val report_to_json : report -> Report.Json.t
 (** Human-readable report: a summary line plus one "file:line:" line
     per divergence. *)
 val render : report -> string
+
+(** {1 Differential replay}
+
+    Re-execute a recorded trap stream through a monitor built from
+    *changed* metadata: recorded snapshot inputs are injected wherever
+    the recorded trap demonstrably is the live trap, control flow
+    always follows the recorded behaviour, but every trap is judged by
+    the fresh verification logic — and the report says what moved.
+    With identical fingerprints a clean diff (zero flips, zero
+    movements) is the golden corpus's regression oracle. *)
+
+(** One verdict flip.  [fl_line]/[fl_seq] locate the recorded trap
+    (0 / -1 for a fresh trap with no recorded counterpart — one the
+    recorded run resolved at the seccomp pre-filter). *)
+type flip = {
+  fl_line : int;
+  fl_seq : int;
+  fl_sysno : int;
+  fl_sysname : string;
+  fl_rip : int64;
+  fl_before : string;  (** recorded side of the verdict *)
+  fl_after : string;   (** freshly judged side *)
+}
+
+(** Both sides denied, but the denial context or detail moved. *)
+type context_move = {
+  cm_line : int;
+  cm_seq : int;
+  cm_sysname : string;
+  cm_before : string;
+  cm_after : string;
+}
+
+type diff_report = {
+  dr_file : string;
+  dr_header : Trace.header;
+      (** the recorded header with [h_against] set to the fresh
+          bundle's fingerprint *)
+  dr_recorded_fp : string;
+  dr_against_fp : string;
+  dr_same_metadata : bool;   (** fingerprints equal (the CI case) *)
+  dr_traps_recorded : int;
+  dr_traps_matched : int;
+  dr_moved_to_prefilter : int;
+      (** recorded traps the fresh automaton resolved at seccomp stage *)
+  dr_fresh_unmatched : int;
+      (** fresh traps absent from the recording (prefilter-resolved in
+          the recorded run) *)
+  dr_unconsumed_recorded : int;
+      (** recorded traps the fresh run never delivered *)
+  dr_allow_to_deny : flip list;   (** in stream order *)
+  dr_deny_to_allow : flip list;
+  dr_context_moves : context_move list;
+  dr_tier_matrix : (string * string * int) list;
+      (** (before, after, count) in ascending tier-rank order, zero
+          cells omitted; the diagonal counts unmoved traps *)
+  dr_tier_moves : int;            (** off-diagonal total *)
+  dr_trap_cycle_delta : int;
+      (** Σ fresh - recorded per-trap cycles over matched traps *)
+  dr_cycles_recorded : int;
+  dr_cycles_replayed : int;
+  dr_run_outcome : string option;  (** [Some msg] if the replay died *)
+}
+
+(** Benign diff: no flips, no context moves, clean run outcome.  Tier
+    movements and cycle deltas are informational, not failures. *)
+val diff_ok : diff_report -> bool
+
+(** The in-tree compile pass for the recorded configuration — the base
+    whose instrumented program an edited metadata file restores
+    against: [Metadata_io.load ~file (base_bundle tr).inst.iprog].
+    @raise Trace.Malformed (line 1) on unknown header keys. *)
+val base_bundle : Trace.t -> Bastion.Api.protected
+
+(** Diff-replay [tr] against [against] (default: the in-tree bundle
+    for the recorded configuration, rebuilt from the current compile
+    pass — the regression-oracle mode).
+    @raise Trace.Malformed (line 1) on unknown header keys or an
+    undefended attack trace. *)
+val diff_replay : ?against:Bastion.Api.protected -> Trace.t -> diff_report
+
+(** Deterministic machine-readable report
+    ([{"schema": "bastion-diff-replay/1", ...}]). *)
+val diff_report_to_json : diff_report -> Report.Json.t
+
+(** Human-readable "what moved" summary. *)
+val render_diff : diff_report -> string

@@ -25,6 +25,10 @@ type header = {
   h_pre_resolve : bool;
   h_prefilter : Kernel.Seccomp.flow_mode option;
   h_fingerprint : string;
+  h_against : string option;
+      (* fingerprint of the changed metadata a diff-replay report was
+         judged against; recording always leaves it [None], and the
+         field is emitted sparsely, so recorded traces are unchanged *)
   h_traps : int;
   h_cycles : int;
 }
@@ -64,6 +68,11 @@ let header_to_json (h : header) : Report.Json.t =
             | None -> "off"
             | Some m -> Kernel.Seccomp.flow_mode_name m) );
         ("fingerprint", Str h.h_fingerprint);
+      ]
+    @ (match h.h_against with
+      | None -> []
+      | Some fp -> [ ("against", Str fp) ])
+    @ [
         ("traps", Num (float_of_int h.h_traps));
         ("cycles", Num (float_of_int h.h_cycles));
       ])
@@ -134,6 +143,11 @@ let parse_header ~file ~line json =
       | "prefilter-only" -> Some Kernel.Seccomp.Flow_standalone
       | m -> fail ~file ~line (Printf.sprintf "unknown prefilter mode %S" m));
     h_fingerprint = str_field ~file ~line "fingerprint" json;
+    h_against =
+      (match Report.Json.member "against" json with
+      | Some (Report.Json.Str s) -> Some s
+      | Some _ -> fail ~file ~line "header field \"against\" is not a string"
+      | None -> None);
     h_traps = int_field ~file ~line "traps" json;
     h_cycles = int_field ~file ~line "cycles" json;
   }

@@ -41,6 +41,11 @@ type header = {
   h_fingerprint : string;
       (** {!Bastion.Metadata.fingerprint} of the deployed bundle; "-"
           when the configuration carries no monitor *)
+  h_against : string option;
+      (** fingerprint of the *changed* metadata a differential replay
+          judged this stream against; always [None] on recorded traces
+          (the field is emitted sparsely, so recordings are
+          byte-identical to pre-v3 ones) *)
   h_traps : int;            (** trap records that follow *)
   h_cycles : int;           (** final modelled cycle total of the run *)
 }

@@ -171,9 +171,17 @@ type prepared = {
 }
 
 let prepare ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = false)
-    ?(taint_cheap_path = true) ?prefilter ?recorder (app : app)
+    ?(taint_cheap_path = true) ?prefilter ?bundle ?recorder (app : app)
     (defense : defense) : prepared =
   let machine_config cet = { Machine.default_config with cet; cost } in
+  (* [bundle] overrides the compile pass entirely: the differential
+     replay engine deploys a restored (possibly hand-edited) metadata
+     bundle through the exact driver path a recording used.  Overridden
+     bundles bypass the protect-time lint gate on purpose — judging
+     what a metadata edit changes requires deploying it. *)
+  let bundle_for ~fs =
+    match bundle with Some b -> b | None -> protected_of ~pre_resolve app ~fs
+  in
   let machine, process, monitor =
     match defense with
     | Vanilla ->
@@ -207,7 +215,7 @@ let prepare ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = 
           ~monitor_config:
             { Bastion.Monitor.default_config with contexts; trap_cache;
               taint_cheap_path }
-          ?recorder (protected_of ~pre_resolve app ~fs:false) ()
+          ?recorder (bundle_for ~fs:false) ()
       in
       (session.machine, session.process, Some session.monitor)
     | Bastion_fs mode ->
@@ -216,7 +224,7 @@ let prepare ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = 
           ~monitor_config:
             { Bastion.Monitor.default_config with fs_mode = mode; trap_cache;
               taint_cheap_path }
-          ?recorder (protected_of ~pre_resolve app ~fs:true) ()
+          ?recorder (bundle_for ~fs:true) ()
       in
       (session.machine, session.process, Some session.monitor)
   in
@@ -226,9 +234,15 @@ let prepare ?(cost = Machine.Cost.default) ?(trap_cache = true) ?(pre_resolve = 
   (match (prefilter, monitor) with
   | Some mode, Some mon ->
     let fs = match defense with Bastion_fs _ -> true | _ -> false in
+    (* With an overridden bundle, the automaton must be extracted from
+       *that* metadata — the cached spec belongs to the in-tree pass. *)
+    let spec =
+      match bundle with
+      | Some b -> Bastion_analysis.Flowgraph.extract b
+      | None -> flow_spec_of app ~fs
+    in
     ignore
-      (Bastion_analysis.Flowgraph.attach ~spec:(flow_spec_of app ~fs) ~mode
-         (protected_of ~pre_resolve app ~fs)
+      (Bastion_analysis.Flowgraph.attach ~spec ~mode (bundle_for ~fs)
          ~monitor:mon ~process)
   | _ -> ());
   app.setup process;
@@ -259,11 +273,11 @@ let execute (p : prepared) : measurement =
     m_monitor = monitor;
   }
 
-let run ?cost ?trap_cache ?pre_resolve ?taint_cheap_path ?prefilter ?recorder
-    (app : app) (defense : defense) : measurement =
+let run ?cost ?trap_cache ?pre_resolve ?taint_cheap_path ?prefilter ?bundle
+    ?recorder (app : app) (defense : defense) : measurement =
   execute
     (prepare ?cost ?trap_cache ?pre_resolve ?taint_cheap_path ?prefilter
-       ?recorder app defense)
+       ?bundle ?recorder app defense)
 
 (** Relative overhead (in %) of a measurement against a baseline,
     respecting the metric's direction. *)

@@ -76,6 +76,7 @@ type prepared = {
 val prepare :
   ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?pre_resolve:bool ->
   ?taint_cheap_path:bool -> ?prefilter:Kernel.Seccomp.flow_mode ->
+  ?bundle:Bastion.Api.protected ->
   ?recorder:Obs.Recorder.t -> app -> defense -> prepared
 
 (** Execute a prepared session and measure it.
@@ -97,11 +98,16 @@ val execute : prepared -> measurement
     ignored by the unmonitored baselines); [recorder] wires a
     flight recorder through the monitored configurations (ignored by
     the unmonitored baselines — observation never changes a run's
-    cycles or verdicts).
+    cycles or verdicts); [bundle] overrides the compile pass with a
+    restored (possibly edited) metadata bundle — the differential
+    replay engine's seam; overridden bundles bypass the protect-time
+    lint gate on purpose, and the pre-filter spec (when [prefilter] is
+    also given) is re-extracted from the override.
     @raise Benign_run_died if the run faults. *)
 val run :
   ?cost:Machine.Cost.t -> ?trap_cache:bool -> ?pre_resolve:bool ->
   ?taint_cheap_path:bool -> ?prefilter:Kernel.Seccomp.flow_mode ->
+  ?bundle:Bastion.Api.protected ->
   ?recorder:Obs.Recorder.t -> app -> defense -> measurement
 
 (** Relative overhead (%) against a baseline measurement, respecting the

@@ -116,6 +116,158 @@ let test_monitor_depth_window () =
   Alcotest.(check bool) "no frame walks in CT-only mode" true
     (Bastion.Monitor.depth_stats session.monitor = None)
 
+(* --- tier-transition matrix coverage ----------------------------------- *)
+
+(* The differential-replay tier matrix is 6x6.  This test runs a small
+   battery of metadata mutations and asserts that every (before, after)
+   pair is either observed at least once across the battery or
+   documented unreachable with a reason — so a new movement kind can
+   never appear silently, and a documented-unreachable cell firing is a
+   test failure that forces the table (and the docs) to be updated. *)
+let test_tier_transition_matrix () =
+  let module Engine = Bastion_replay.Engine in
+  let module Trace = Bastion_replay.Trace in
+  let module Drivers = Workloads.Drivers in
+  let observed : (string * string, unit) Hashtbl.t = Hashtbl.create 36 in
+  let note (r : Engine.diff_report) =
+    List.iter (fun (b, a, _) -> Hashtbl.replace observed (b, a) ()) r.dr_tier_matrix
+  in
+  let with_recording ?pre_resolve ?prefilter app scenarios =
+    let path = Filename.temp_file "bastion-matrix" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        ignore
+          (Engine.record_run ?pre_resolve ?prefilter ~app ~scale:"small"
+             ~defense:Drivers.Bastion_full ~path ());
+        let tr = Trace.read_file path in
+        let base = Engine.base_bundle tr in
+        let text = Bastion.Metadata_io.write base in
+        List.iter
+          (fun against ->
+            note (Engine.diff_replay ?against:(against base text) tr))
+          scenarios)
+  in
+  let edited f base text =
+    Some (Test_replay.against_of_text base (f text))
+  in
+  let drop_records prefix =
+    List.filter (fun l -> not (String.starts_with ~prefix l))
+  in
+  (* Identity diffs: the diagonal of every tier a recording visits. *)
+  with_recording ~pre_resolve:true "nginx"
+    [
+      (fun _ _ -> None);
+      (* dropped static pre-resolution: pre-resolved -> cheap/full *)
+      edited (Test_replay.edit_section "static" (drop_records "pre-resolved"));
+      (* the whole static section gone: every static tier -> cheap/full *)
+      edited (Test_replay.edit_section "static" (fun _ -> []));
+    ];
+  with_recording ~pre_resolve:true "vsftpd"
+    [
+      (fun _ _ -> None);
+      (* tainting every rank disables the cheap path: cheap -> full *)
+      edited
+        (Test_replay.edit_section "static"
+           (List.map (fun l ->
+                if
+                  String.starts_with ~prefix:"slot-rank " l
+                  && String.ends_with ~suffix:" u" l
+                then String.sub l 0 (String.length l - 1) ^ "t"
+                else l)));
+      edited (Test_replay.edit_section "static" (fun _ -> []));
+    ];
+  (* Enrichment direction: full/cheap work moves down to static tiers. *)
+  with_recording "nginx"
+    [ (fun base _ -> Some (Bastion_analysis.Preresolve.enrich base)) ];
+  with_recording "vsftpd"
+    [ (fun base _ -> Some (Bastion_analysis.Preresolve.enrich base)) ];
+  (* CF edges removed: allowed traps become control-flow denials. *)
+  with_recording "sqlite"
+    [
+      edited (Test_replay.edit_section "cfg" (drop_records "valid-caller "));
+    ];
+  with_recording ~pre_resolve:true "nginx"
+    [
+      edited (Test_replay.edit_section "cfg" (drop_records "valid-caller "));
+    ];
+  let tiers =
+    [ "prefilter"; "cached"; "pre-resolved"; "ctx"; "cheap"; "full" ]
+  in
+  (* Cells no metadata mutation can produce, with the reason.  The
+     assertion is two-sided: reachable cells must be observed above,
+     and a documented-unreachable cell being observed fails too. *)
+  let unreachable =
+    [
+      (* The whole prefilter row and column: the syscall-flow automaton
+         is extracted from the instrumented *program*
+         (Flowgraph.extract reads p.inst.iprog), and diff-replay pins
+         the program — only the metadata varies.  No metadata edit can
+         move the seccomp boundary, so a trap resolves at the prefilter
+         in the fresh run iff it did in the recorded one — and such
+         traps appear in neither stream.  The engine still counts
+         boundary movements (dr_moved_to_prefilter, dr_fresh_unmatched)
+         for deployments where the program itself differs. *)
+      ("prefilter", "prefilter");
+      ("prefilter", "cached");
+      ("prefilter", "pre-resolved");
+      ("prefilter", "ctx");
+      ("prefilter", "cheap");
+      ("prefilter", "full");
+      ("cached", "prefilter");
+      ("pre-resolved", "prefilter");
+      ("ctx", "prefilter");
+      ("cheap", "prefilter");
+      ("full", "prefilter");
+      (* Moves into cached: the verdict-cache disposition is a function
+         of the replayed trap stream alone (key recurrence), and
+         diff-replay preserves the stream; metadata edits act on the AI
+         tiers below the cache probe.  A trap lands on cached fresh iff
+         it was cached recorded. *)
+      ("pre-resolved", "cached");
+      ("ctx", "cached");
+      ("cheap", "cached");
+      ("full", "cached");
+      (* Moves off cached land only on full: the same stream warms the
+         same keys, so a cache-vouched trap stays vouched unless an
+         upstream fresh denial kept the cache cold — and then the full
+         judging pipeline runs (cached->full, observed above), never a
+         static AI shortcut (those slots were not statically settled,
+         or the trap would not have been probing the cache). *)
+      ("cached", "pre-resolved");
+      ("cached", "ctx");
+      ("cached", "cheap");
+      (* Cross moves between the static AI tiers: the enrichment pass
+         settles disjoint slot sets per tier — a globally constant slot
+         is recorded plain pre-resolved, a 1-context one per-caller,
+         and taint ranks are only computed for what remains.  Dropping
+         one record family therefore falls through to the full walk
+         (x->full, observed above), never sideways to another static
+         tier, and enrichment gains come only from the full walk. *)
+      ("pre-resolved", "ctx");
+      ("pre-resolved", "cheap");
+      ("ctx", "pre-resolved");
+      ("ctx", "cheap");
+      ("cheap", "pre-resolved");
+      ("cheap", "ctx");
+    ]
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun a ->
+          let seen = Hashtbl.mem observed (b, a) in
+          if List.mem (b, a) unreachable then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s->%s stays unreachable (documented)" b a)
+              false seen
+          else
+            Alcotest.(check bool)
+              (Printf.sprintf "%s->%s exercised" b a)
+              true seen)
+        tiers)
+    tiers
+
 let suites =
   [
     ( "coverage",
@@ -128,5 +280,7 @@ let suites =
         Alcotest.test_case "binding keyspace" `Quick test_binding_keyspace;
         Alcotest.test_case "machine stats plumbing" `Quick test_machine_stats_plumbing;
         Alcotest.test_case "depth stats need frame walks" `Quick test_monitor_depth_window;
+        Alcotest.test_case "tier-transition matrix fully accounted" `Slow
+          test_tier_transition_matrix;
       ] );
   ]

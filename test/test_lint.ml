@@ -518,6 +518,91 @@ let test_mutation_not_callable_misclass () =
   mutate_and_lint Lint.Not_callable_misclass misclassify_address_taken
 
 (* A stale stored pre-resolution constant must be flagged. *)
+(* --- the linter: metadata section tables ---------------------------- *)
+
+(* A freshly written v3 file and its v2 rendering both validate clean;
+   the parser's forward-compatible leniency (unknown optional sections)
+   stays clean too. *)
+let test_section_table_clean () =
+  let p = Bastion.Api.protect (Testlib.exec_program ()) in
+  let text = Bastion.Metadata_io.write p in
+  Alcotest.(check int) "v3 write validates clean" 0
+    (List.length (Lint.check_metadata_text text));
+  let v2 =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun l ->
+        if String.equal l Bastion.Metadata_io.header then
+          Some Bastion.Metadata_io.header_v2
+        else if String.starts_with ~prefix:"section " l then None
+        else Some l)
+    |> String.concat "\n"
+  in
+  Alcotest.(check int) "v2 files carry no table to validate" 0
+    (List.length (Lint.check_metadata_text v2));
+  let with_future =
+    match String.split_on_char '\n' text with
+    | hdr :: rest ->
+      String.concat "\n"
+        (hdr :: "section zfuture 1 optional" :: "future-record 0" :: rest)
+    | [] -> assert false
+  in
+  Alcotest.(check int) "unknown optional section is fine" 0
+    (List.length (Lint.check_metadata_text with_future))
+
+(* Each deployment-soundness violation the parser deliberately does not
+   enforce: wrong flag on a known section (both directions), duplicate
+   sections, missing required section — plus a parse failure folding
+   into one positioned diagnostic. *)
+let test_section_table_violations () =
+  let p = Bastion.Api.protect (Testlib.exec_program ()) in
+  let text = Bastion.Metadata_io.write p in
+  let expect_msgs label f msgs =
+    let ds = Lint.check_metadata_text (f text) in
+    List.iter
+      (fun (d : Lint.diag) ->
+        Alcotest.(check bool) (label ^ ": error severity") true
+          (d.d_sev = Lint.Error);
+        Alcotest.(check string) (label ^ ": kind") "malformed-section-table"
+          (Lint.kind_name d.d_kind))
+      ds;
+    List.iter
+      (fun m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: a diagnostic mentions %S" label m)
+          true
+          (List.exists
+             (fun (d : Lint.diag) -> Astring.String.is_infix ~affix:m d.d_msg)
+             ds))
+      msgs
+  in
+  expect_msgs "required section renamed away"
+    (Str.replace_first
+       (Str.regexp "section cfg \\([0-9]+\\) required")
+       "section cfg-renamed \\1 optional")
+    [ "missing required section \"cfg\"" ];
+  expect_msgs "soundness section flagged optional"
+    (fun t ->
+      Str.replace_first (Str.regexp "section cfg \\([0-9]+\\) required")
+        "section cfg \\1 optional" t)
+    [ "must be flagged required" ];
+  expect_msgs "optional section flagged required"
+    (fun t ->
+      Str.replace_first (Str.regexp "section static \\([0-9]+\\) optional")
+        "section static \\1 required" t)
+    [ "must be flagged optional" ];
+  expect_msgs "duplicated section"
+    (fun t ->
+      t ^ "section static 0 optional\n")
+    [ "duplicate section \"static\"" ];
+  (* A file that does not parse folds into one positioned diagnostic. *)
+  match Lint.check_metadata_text "BASTION-METADATA v3\ncalltype 59 d" with
+  | [ d ] ->
+    Alcotest.(check bool) "positioned" true
+      (Astring.String.is_infix ~affix:"line 2" d.d_msg);
+    Alcotest.(check bool) "carries the parser message" true
+      (Astring.String.is_infix ~affix:"record outside any section" d.d_msg)
+  | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds)
+
 let test_mutation_stale_pre_resolution () =
   let app = Workloads.Drivers.nginx () in
   let p = Pre.enrich (Bastion.Api.protect (Lazy.force app.prog)) in
@@ -701,6 +786,10 @@ let suites =
           test_mutation_broken_cf_chain;
         Alcotest.test_case "mutation: misclassified address-taken" `Quick
           test_mutation_not_callable_misclass;
+        Alcotest.test_case "section table: clean files validate clean" `Quick
+          test_section_table_clean;
+        Alcotest.test_case "section table: violations are diagnosed" `Quick
+          test_section_table_violations;
         Alcotest.test_case "mutation: stale pre-resolution" `Quick
           test_mutation_stale_pre_resolution;
       ] );

@@ -11,13 +11,44 @@ let roundtrip prog =
 let test_header_and_shape () =
   let _, text, _ = roundtrip (Testlib.exec_program ()) in
   Alcotest.(check bool) "header" true
-    (Astring.String.is_prefix ~affix:"BASTION-METADATA v2" text);
+    (Astring.String.is_prefix ~affix:"BASTION-METADATA v3" text);
   Alcotest.(check bool) "has calltype records" true
     (Astring.String.is_infix ~affix:"\ncalltype " text);
   Alcotest.(check bool) "has valid-caller records" true
     (Astring.String.is_infix ~affix:"\nvalid-caller " text);
   Alcotest.(check bool) "has callsite records" true
-    (Astring.String.is_infix ~affix:"\ncallsite " text)
+    (Astring.String.is_infix ~affix:"\ncallsite " text);
+  (* v3: every record lives inside a named, length-prefixed section,
+     each section's count matches its body exactly, and the canonical
+     sections appear in file order with their canonical flags. *)
+  let lines = String.split_on_char '\n' text in
+  let sections =
+    List.filter_map
+      (fun l ->
+        if String.starts_with ~prefix:"section " l then
+          Some (Scanf.sscanf l "section %s %d %s%!" (fun n c f -> (n, c, f)))
+        else None)
+      lines
+  in
+  Alcotest.(check (list (triple string int string)))
+    "section table (names, flags, order)"
+    (List.map
+       (fun (n, c, _) ->
+         ( n, c,
+           match List.assoc n Bastion.Metadata_io.known_sections with
+           | `Required -> "required"
+           | `Optional -> "optional" ))
+       sections)
+    sections;
+  Alcotest.(check (list string)) "canonical section order"
+    (List.map fst Bastion.Metadata_io.known_sections)
+    (List.map (fun (n, _, _) -> n) sections);
+  (* Counts are exact: total lines = header + section headers + bodies. *)
+  let body = List.fold_left (fun acc (_, c, _) -> acc + c) 0 sections in
+  let non_blank = List.filter (fun l -> String.length l > 0) lines in
+  Alcotest.(check int) "length-prefixed counts cover every record"
+    (List.length non_blank)
+    (1 + List.length sections + body)
 
 let test_roundtrip_equivalence () =
   let p, _, restored = roundtrip (Testlib.exec_program ()) in
@@ -98,9 +129,132 @@ let test_old_version_rejected () =
     Alcotest.(check int) "error on the header line" 1 line;
     Alcotest.(check bool) "names the unsupported version" true
       (Astring.String.is_infix ~affix:"v1" msg);
-    Alcotest.(check bool) "names the supported version" true
-      (Astring.String.is_infix ~affix:"v2" msg)
+    Alcotest.(check bool) "names both supported versions" true
+      (Astring.String.is_infix ~affix:"v3" msg
+      && Astring.String.is_infix ~affix:"v2" msg)
   | _ -> Alcotest.fail "expected a version error"
+
+(* Field-order-insensitive view of a parsed file: the reader
+   accumulates records in reverse, so section skipping must be checked
+   up to per-family ordering. *)
+let norm (p : Bastion.Metadata_io.parsed) =
+  let s l = List.sort compare l in
+  {
+    p with
+    Bastion.Metadata_io.pr_calltype = s p.pr_calltype;
+    pr_indirect_callsites = s p.pr_indirect_callsites;
+    pr_indirect_targets = s p.pr_indirect_targets;
+    pr_valid_callers = s p.pr_valid_callers;
+    pr_covered = s p.pr_covered;
+    pr_sensitive_callsites = s p.pr_sensitive_callsites;
+    pr_callsites = s p.pr_callsites;
+    pr_items = s p.pr_items;
+    pr_pre_resolved = s p.pr_pre_resolved;
+    pr_pre_resolved_ctx = s p.pr_pre_resolved_ctx;
+    pr_slot_ranks = s p.pr_slot_ranks;
+    pr_dead_sites = s p.pr_dead_sites;
+  }
+
+let base_meta_text =
+  lazy (Bastion.Metadata_io.write (Bastion.Api.protect (Testlib.exec_program ())))
+
+let test_v2_still_parses () =
+  (* The v2 compatibility path: the same records without a section
+     table, under the old header, parse to the identical result. *)
+  let text = Lazy.force base_meta_text in
+  let v2_text =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun l ->
+        if String.equal l Bastion.Metadata_io.header then
+          Some Bastion.Metadata_io.header_v2
+        else if String.starts_with ~prefix:"section " l then None
+        else Some l)
+    |> String.concat "\n"
+  in
+  Alcotest.(check bool) "v2 and v3 readers agree on the same records" true
+    (norm (Bastion.Metadata_io.parse v2_text)
+    = norm (Bastion.Metadata_io.parse text))
+
+(* qcheck: a v3 reader skips unknown *optional* sections wholesale —
+   injecting any number of them, with any bodies, at any section
+   boundary, parses to exactly the section-free result.  This is the
+   forward-compatibility law that lets future compilers add sections
+   without breaking deployed monitors. *)
+let mystery_sections_qcheck =
+  QCheck.Test.make ~count:30
+    ~name:"metadata-io skips unknown optional sections (forward compat)"
+    QCheck.(small_list (pair small_nat (int_bound 4)))
+    (fun injections ->
+      let text = Lazy.force base_meta_text in
+      let clean = norm (Bastion.Metadata_io.parse text) in
+      let lines = String.split_on_char '\n' text in
+      let n = List.length lines in
+      (* Legal insertion points: right after the header, before any
+         existing section header, or at end of file (before the final
+         blank produced by the trailing newline). *)
+      let boundaries =
+        List.concat
+          (List.mapi
+             (fun i l ->
+               if i > 0 && String.starts_with ~prefix:"section " l then [ i ]
+               else if i = n - 1 && String.length l = 0 then [ i ]
+               else [])
+             lines)
+      in
+      let ins : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+      List.iteri
+        (fun k (bi, cnt) ->
+          let pos = List.nth boundaries (bi mod List.length boundaries) in
+          let sec =
+            Printf.sprintf "section zmystery%d %d optional" k cnt
+            :: List.init cnt (fun j -> Printf.sprintf "future-record %d %d" k j)
+          in
+          Hashtbl.replace ins pos
+            (sec @ Option.value ~default:[] (Hashtbl.find_opt ins pos)))
+        injections;
+      let out =
+        List.concat
+          (List.mapi
+             (fun i l ->
+               Option.value ~default:[] (Hashtbl.find_opt ins i) @ [ l ])
+             lines)
+      in
+      norm (Bastion.Metadata_io.parse (String.concat "\n" out)) = clean)
+
+let test_unknown_required_rejected () =
+  (* An unknown *required* section must stop the reader with an error
+     positioned at the section header: skipping it would silently drop
+     records the producer declared soundness-critical. *)
+  let text = Lazy.force base_meta_text in
+  let injected =
+    match String.split_on_char '\n' text with
+    | hdr :: rest ->
+      String.concat "\n"
+        (hdr :: "section exotic 1 required" :: "exotic-record 0" :: rest)
+    | [] -> assert false
+  in
+  match Bastion.Metadata_io.parse injected with
+  | exception Bastion.Metadata_io.Parse_error (line, msg) ->
+    Alcotest.(check int) "positioned at the section header" 2 line;
+    Alcotest.(check bool) "names the section and the reason" true
+      (Astring.String.is_infix ~affix:"unknown required section exotic" msg)
+  | _ -> Alcotest.fail "expected rejection of an unknown required section"
+
+let test_v3_structural_errors () =
+  (* The three structural failure modes of the sectioned format. *)
+  let expect affix text =
+    match Bastion.Metadata_io.parse text with
+    | exception Bastion.Metadata_io.Parse_error (_, msg) ->
+      Alcotest.(check bool) affix true (Astring.String.is_infix ~affix msg)
+    | _ -> Alcotest.fail ("expected parse error: " ^ affix)
+  in
+  expect "record outside any section" "BASTION-METADATA v3\ncalltype 59 d";
+  expect "truncated section"
+    "BASTION-METADATA v3\nsection calltype 2 required\ncalltype 59 d";
+  expect "bad section flag"
+    "BASTION-METADATA v3\nsection calltype 1 mandatory\ncalltype 59 d";
+  expect "negative section length"
+    "BASTION-METADATA v3\nsection calltype -1 required"
 
 let test_pre_resolved_roundtrip () =
   let p = Bastion.Api.protect (Testlib.exec_program ()) in
@@ -268,6 +422,13 @@ let suites =
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
         Alcotest.test_case "old version rejected clearly" `Quick
           test_old_version_rejected;
+        Alcotest.test_case "v2 files still parse identically" `Quick
+          test_v2_still_parses;
+        QCheck_alcotest.to_alcotest mystery_sections_qcheck;
+        Alcotest.test_case "unknown required section rejected" `Quick
+          test_unknown_required_rejected;
+        Alcotest.test_case "v3 structural errors" `Quick
+          test_v3_structural_errors;
         Alcotest.test_case "pre-resolved records roundtrip" `Quick
           test_pre_resolved_roundtrip;
         QCheck_alcotest.to_alcotest preres_qcheck;

@@ -261,8 +261,10 @@ let test_corrupted_verdict () =
       (Astring.String.is_infix ~affix:"tampered" first.dv_recorded)
   | [] -> Alcotest.fail "no divergences reported"
 
-(* Tampering with the header fingerprint must refuse judgement: one
-   fingerprint divergence, no traps replayed. *)
+(* Tampering with the header fingerprint must refuse judgement: the
+   hard gate is a run-level condition with its own report field, never
+   a synthetic divergence row (which used to leak dv_line=1/dv_seq=-1
+   into --json as a fake stream divergence). *)
 let test_fingerprint_gate () =
   let text = read_whole "golden/nginx-benign.jsonl" in
   let tampered =
@@ -271,12 +273,32 @@ let test_fingerprint_gate () =
   in
   let tr = Trace.read_string ~file:"tampered.jsonl" tampered in
   let r = Engine.replay tr in
-  (match r.rp_divergences with
-  | [ d ] ->
-    Alcotest.(check string) "single fingerprint divergence" "fingerprint" d.dv_field;
-    Alcotest.(check int) "reported at the header line" 1 d.dv_line
-  | ds -> Alcotest.failf "expected 1 divergence, got %d" (List.length ds));
-  Alcotest.(check int) "no traps judged" 0 r.rp_traps_replayed
+  Alcotest.(check bool) "gated report is not ok" false (Engine.ok r);
+  (match r.rp_header_mismatch with
+  | Some (recorded, deployed) ->
+    Alcotest.(check bool) "recorded side is the tampered fingerprint" true
+      (Astring.String.is_prefix ~affix:"fnv1a64:0000" recorded);
+    Alcotest.(check bool) "deployed side differs" true
+      (not (String.equal recorded deployed))
+  | None -> Alcotest.fail "expected rp_header_mismatch = Some _");
+  Alcotest.(check int) "no divergence rows" 0 (List.length r.rp_divergences);
+  Alcotest.(check int) "no traps judged" 0 r.rp_traps_replayed;
+  (* JSON shape: a structured header_mismatch member, an empty
+     divergence array, no fake per-trap row. *)
+  let j = Engine.report_to_json r in
+  (match Report.Json.member "header_mismatch" j with
+  | Some (Report.Json.Obj fields) ->
+    Alcotest.(check bool) "recorded and deployed members" true
+      (List.mem_assoc "recorded" fields && List.mem_assoc "deployed" fields)
+  | _ -> Alcotest.fail "JSON lacks the header_mismatch object");
+  (match Report.Json.member "divergences" j with
+  | Some (Report.Json.List l) ->
+    Alcotest.(check int) "empty divergence array" 0 (List.length l)
+  | _ -> Alcotest.fail "JSON lacks the divergences array");
+  (* An untampered gate-free report must not grow the member. *)
+  let clean = Engine.replay (Trace.read_string ~file:"c.jsonl" text) in
+  Alcotest.(check bool) "clean report has no header_mismatch member" true
+    (Report.Json.member "header_mismatch" (Engine.report_to_json clean) = None)
 
 (* Tampering with the header cycle total is a run-level divergence. *)
 let test_cycle_total_divergence () =
@@ -290,6 +312,198 @@ let test_cycle_total_divergence () =
   match r.rp_divergences with
   | [ d ] -> Alcotest.(check string) "field" "total-cycles" d.dv_field
   | ds -> Alcotest.failf "expected 1 divergence, got %d" (List.length ds)
+
+(* --- differential replay ---------------------------------------------- *)
+
+let flip_count (r : Engine.diff_report) =
+  List.length r.dr_allow_to_deny + List.length r.dr_deny_to_allow
+
+(* Rewrite one v3 section body through [f], fixing the length prefix. *)
+let edit_section name f text =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | l :: rest ->
+      if String.starts_with ~prefix:("section " ^ name ^ " ") l then begin
+        let count, flag = Scanf.sscanf l "section %s %d %s%!" (fun _ c fl -> (c, fl)) in
+        let body = List.filteri (fun i _ -> i < count) rest in
+        let rest = List.filteri (fun i _ -> i >= count) rest in
+        let body = f body in
+        let hdr = Printf.sprintf "section %s %d %s" name (List.length body) flag in
+        go (List.rev_append (hdr :: body) acc) rest
+      end
+      else go (l :: acc) rest
+  in
+  String.concat "\n" (go [] (String.split_on_char '\n' text))
+
+let against_of_text (base : Bastion.Api.protected) text =
+  Bastion.Metadata_io.restore base.inst.iprog (Bastion.Metadata_io.parse text)
+
+(* Unchanged metadata: the differential replay is the regression
+   oracle — every trap matches, nothing flips, nothing moves, and the
+   cycle attribution is byte-identical. *)
+let test_diff_same_metadata () =
+  with_temp_trace (fun path ->
+      ignore
+        (Engine.record_run ~pre_resolve:true ~app:"nginx" ~scale:"small"
+           ~defense:Drivers.Bastion_full ~path ());
+      let tr = Trace.read_file path in
+      let r = Engine.diff_replay tr in
+      Alcotest.(check bool) "same metadata" true r.dr_same_metadata;
+      Alcotest.(check bool) "diff ok" true (Engine.diff_ok r);
+      Alcotest.(check int) "all traps matched" r.dr_traps_recorded
+        r.dr_traps_matched;
+      Alcotest.(check int) "no flips" 0 (flip_count r);
+      Alcotest.(check int) "no context moves" 0 (List.length r.dr_context_moves);
+      Alcotest.(check int) "no tier movement" 0 r.dr_tier_moves;
+      Alcotest.(check int) "no fresh unmatched traps" 0 r.dr_fresh_unmatched;
+      Alcotest.(check int) "no unconsumed recorded traps" 0
+        r.dr_unconsumed_recorded;
+      Alcotest.(check int) "per-trap cycles identical" 0 r.dr_trap_cycle_delta;
+      Alcotest.(check int) "total cycles identical" r.dr_cycles_recorded
+        r.dr_cycles_replayed;
+      let diag =
+        List.fold_left
+          (fun a (b, af, c) -> if String.equal b af then a + c else a)
+          0 r.dr_tier_matrix
+      in
+      Alcotest.(check int) "matrix diagonal covers every matched trap"
+        r.dr_traps_matched diag)
+
+(* Mutation (a): drop the static pre-resolution records.  No verdict
+   may flip — static AI verification is an optimisation, not a policy —
+   but the matched traps must visibly move off the pre-resolved tier
+   and the fresh judging must get dearer. *)
+let test_diff_dropped_pre_resolution () =
+  with_temp_trace (fun path ->
+      ignore
+        (Engine.record_run ~pre_resolve:true ~app:"nginx" ~scale:"small"
+           ~defense:Drivers.Bastion_full ~path ());
+      let tr = Trace.read_file path in
+      let base = Engine.base_bundle tr in
+      let text =
+        edit_section "static"
+          (List.filter (fun l ->
+               not (String.starts_with ~prefix:"pre-resolved" l)))
+          (Bastion.Metadata_io.write base)
+      in
+      let r = Engine.diff_replay ~against:(against_of_text base text) tr in
+      Alcotest.(check bool) "metadata changed" false r.dr_same_metadata;
+      Alcotest.(check int) "no verdict flips" 0 (flip_count r);
+      Alcotest.(check int) "no context moves" 0 (List.length r.dr_context_moves);
+      Alcotest.(check bool) "still a benign diff" true (Engine.diff_ok r);
+      Alcotest.(check bool) "traps moved off the pre-resolved tier" true
+        (List.exists
+           (fun (b, a, _) ->
+             String.equal b "pre-resolved" && not (String.equal a "pre-resolved"))
+           r.dr_tier_matrix);
+      Alcotest.(check bool) "movement counted" true (r.dr_tier_moves > 0);
+      Alcotest.(check bool) "fresh judging got dearer" true
+        (r.dr_trap_cycle_delta > 0))
+
+(* Mutation (b): mark every untainted slot rank tainted.  The cheap
+   taint-ranked AI path is disabled, so traps fall to costlier tiers —
+   again with zero verdict flips. *)
+let test_diff_taint_rank_flip () =
+  with_temp_trace (fun path ->
+      ignore
+        (Engine.record_run ~pre_resolve:true ~app:"vsftpd" ~scale:"small"
+           ~defense:Drivers.Bastion_full ~path ());
+      let tr = Trace.read_file path in
+      let base = Engine.base_bundle tr in
+      let text =
+        edit_section "static"
+          (List.map (fun l ->
+               if
+                 String.starts_with ~prefix:"slot-rank " l
+                 && String.ends_with ~suffix:" u" l
+               then String.sub l 0 (String.length l - 1) ^ "t"
+               else l))
+          (Bastion.Metadata_io.write base)
+      in
+      let r = Engine.diff_replay ~against:(against_of_text base text) tr in
+      Alcotest.(check bool) "metadata changed" false r.dr_same_metadata;
+      Alcotest.(check int) "no verdict flips" 0 (flip_count r);
+      Alcotest.(check bool) "still a benign diff" true (Engine.diff_ok r);
+      Alcotest.(check bool) "cheap-path traps fell to the full walk" true
+        (List.exists
+           (fun (b, a, _) -> String.equal b "cheap" && String.equal a "full")
+           r.dr_tier_matrix);
+      Alcotest.(check bool) "fresh judging got dearer" true
+        (r.dr_trap_cycle_delta > 0))
+
+(* Mutation (c): remove the CF valid-caller edges.  Every sensitive
+   trap the recorded run allowed is now denied by the fresh
+   control-flow check — each one an allow->deny flip anchored to its
+   recorded line, and the diff is no longer benign. *)
+let test_diff_removed_cf_edges () =
+  with_temp_trace (fun path ->
+      ignore
+        (Engine.record_run ~app:"sqlite" ~scale:"small"
+           ~defense:Drivers.Bastion_full ~path ());
+      let tr = Trace.read_file path in
+      let base = Engine.base_bundle tr in
+      let text =
+        edit_section "cfg"
+          (List.filter (fun l ->
+               not (String.starts_with ~prefix:"valid-caller " l)))
+          (Bastion.Metadata_io.write base)
+      in
+      let r = Engine.diff_replay ~against:(against_of_text base text) tr in
+      Alcotest.(check bool) "metadata changed" false r.dr_same_metadata;
+      Alcotest.(check bool) "flips detected" true
+        (List.length r.dr_allow_to_deny > 0);
+      Alcotest.(check int) "no deny-to-allow flips" 0
+        (List.length r.dr_deny_to_allow);
+      Alcotest.(check bool) "diff is not benign" false (Engine.diff_ok r);
+      List.iter
+        (fun (f : Engine.flip) ->
+          Alcotest.(check string) "recorded side allowed" "allowed" f.fl_before;
+          Alcotest.(check bool) "fresh side is a control-flow denial" true
+            (Astring.String.is_infix ~affix:"control-flow" f.fl_after);
+          Alcotest.(check bool) "anchored to a recorded trap" true
+            (f.fl_line > 1 && f.fl_seq >= 0))
+        r.dr_allow_to_deny)
+
+(* The inverse direction: replaying an unenriched recording against an
+   enriched bundle moves AI work from the full walk down to the static
+   tiers, with zero flips and a negative cycle delta. *)
+let test_diff_enrichment_moves_tiers () =
+  with_temp_trace (fun path ->
+      ignore
+        (Engine.record_run ~app:"nginx" ~scale:"small"
+           ~defense:Drivers.Bastion_full ~path ());
+      let tr = Trace.read_file path in
+      let against = Bastion_analysis.Preresolve.enrich (Engine.base_bundle tr) in
+      let r = Engine.diff_replay ~against tr in
+      Alcotest.(check bool) "metadata changed" false r.dr_same_metadata;
+      Alcotest.(check int) "no flips" 0 (flip_count r);
+      Alcotest.(check bool) "benign diff" true (Engine.diff_ok r);
+      Alcotest.(check bool) "AI work moved to cheaper static tiers" true
+        (List.exists
+           (fun (b, a, _) ->
+             String.equal b "full" && not (String.equal a "full"))
+           r.dr_tier_matrix);
+      Alcotest.(check bool) "fresh judging got cheaper" true
+        (r.dr_trap_cycle_delta < 0))
+
+(* The regression oracle CI runs: every checked-in golden trace
+   diff-replays clean against the current in-tree compile pass. *)
+let test_golden_diff_oracle () =
+  List.iter
+    (fun file ->
+      let tr = Trace.read_file file in
+      let r = Engine.diff_replay tr in
+      Alcotest.(check bool) (file ^ " metadata unchanged") true
+        r.dr_same_metadata;
+      Alcotest.(check bool) (file ^ " diff clean") true (Engine.diff_ok r);
+      Alcotest.(check int) (file ^ " zero tier movement") 0 r.dr_tier_moves;
+      Alcotest.(check int) (file ^ " zero cycle delta") 0 r.dr_trap_cycle_delta;
+      Alcotest.(check int) (file ^ " every trap matched") tr.t_header.h_traps
+        r.dr_traps_matched;
+      Alcotest.(check int) (file ^ " nothing unconsumed") 0
+        r.dr_unconsumed_recorded;
+      Alcotest.(check int) (file ^ " nothing unmatched") 0 r.dr_fresh_unmatched)
+    golden_files
 
 let suites =
   [
@@ -309,6 +523,18 @@ let suites =
           test_fingerprint_gate;
         Alcotest.test_case "cycle-total tamper is a run divergence" `Quick
           test_cycle_total_divergence;
+        Alcotest.test_case "diff-replay: same metadata is a clean oracle" `Quick
+          test_diff_same_metadata;
+        Alcotest.test_case "diff-replay: dropped pre-resolution moves tiers"
+          `Quick test_diff_dropped_pre_resolution;
+        Alcotest.test_case "diff-replay: tainted ranks disable the cheap path"
+          `Quick test_diff_taint_rank_flip;
+        Alcotest.test_case "diff-replay: removed CF edges flip verdicts" `Quick
+          test_diff_removed_cf_edges;
+        Alcotest.test_case "diff-replay: enrichment moves tiers down" `Quick
+          test_diff_enrichment_moves_tiers;
+        Alcotest.test_case "diff-replay: golden corpus is the oracle" `Quick
+          test_golden_diff_oracle;
       ]
       @ List.map QCheck_alcotest.to_alcotest
           [ prop_record_replay_equivalence; prop_bitflip_total ] );
